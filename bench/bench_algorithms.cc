@@ -1,0 +1,122 @@
+/**
+ * @file
+ * NeRF algorithm comparison — context for Table III's "NeRF Algorithm"
+ * column. Trains the three families the paper's baselines use on the
+ * same scene and budget:
+ *   hash grid (Instant-NGP, this work / Instant-3D / NeuRex),
+ *   CP-factorized grid (TensoRF, RT-NeRF), and
+ *   frequency-encoded MLP (vanilla NeRF, MetaVRain),
+ * and reports PSNR vs iteration plus the per-point MAC cost — showing
+ * why the hash-grid substrate is the one that makes instant on-device
+ * training feasible.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "nerf/freq_nerf.h"
+#include "nerf/tensorf.h"
+#include "nerf/trainer.h"
+#include "scenes/dataset_gen.h"
+
+using namespace fusion3d;
+
+namespace
+{
+
+struct Row
+{
+    std::string name;
+    std::size_t params = 0;
+    std::uint64_t macs_per_point = 0;
+    std::vector<std::pair<int, double>> history;
+};
+
+Row
+train(const std::string &name, nerf::RadianceField &field, std::size_t macs,
+      const nerf::Dataset &data, int iterations)
+{
+    nerf::TrainerConfig tc;
+    tc.iterations = iterations;
+    tc.raysPerBatch = 128;
+    tc.evalEvery = std::max(iterations / 5, 1);
+    tc.occupancyWarmup = 96;
+    tc.occupancyUpdateEvery = 48;
+    nerf::Trainer trainer(field, data, tc);
+    Row row;
+    row.name = name;
+    row.params = field.paramCount();
+    row.macs_per_point = macs;
+    row.history = trainer.run().history;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int iterations = argc > 1 ? std::atoi(argv[1]) : 400;
+    bench::banner("NeRF algorithm comparison (Table III context)");
+
+    const auto scene = scenes::makeSyntheticScene("lego");
+    scenes::DatasetConfig dc = scenes::syntheticRig(32);
+    dc.reference.steps = 128;
+    const nerf::Dataset data = scenes::makeDataset(*scene, dc);
+
+    std::vector<Row> rows;
+
+    {
+        nerf::PipelineConfig pc = bench::defaultPipeline();
+        pc.sampler.maxSamplesPerRay = 32;
+        nerf::NerfPipeline hash(pc);
+        std::printf("training hash-grid NeRF ...\n");
+        rows.push_back(train("Hash grid (ours)", hash, hash.model().macsPerPoint(),
+                             data, iterations));
+    }
+    {
+        nerf::TensorfPipelineConfig tc;
+        tc.model.densityRank = 16;
+        tc.model.appearanceRank = 24;
+        tc.sampler.maxSamplesPerRay = 32;
+        nerf::TensorfPipeline cp(tc);
+        std::printf("training TensoRF (CP) ...\n");
+        // CP interpolation cost ~ 3 line lerps x (rank_d + rank_a).
+        const std::uint64_t macs =
+            3ull * 2ull * (tc.model.densityRank + tc.model.appearanceRank) +
+            cp.model().colorNet().forwardMacs();
+        rows.push_back(train("Dense grid (TensoRF)", cp, macs, data, iterations));
+    }
+    {
+        nerf::FreqPipelineConfig fc;
+        fc.lrFactors = 2e-3f; // pure MLP: both groups at net rates
+        fc.sampler.maxSamplesPerRay = 32;
+        nerf::FreqPipeline mlp(fc);
+        std::printf("training frequency-encoded MLP NeRF ...\n");
+        rows.push_back(train("MLP (vanilla/MetaVRain)", mlp,
+                             mlp.model().macsPerPoint(), data, iterations));
+    }
+
+    std::printf("\n%-26s %10s %12s |", "algorithm", "params", "MACs/point");
+    for (const auto &[iter, _] : rows[0].history)
+        std::printf(" %7d", iter);
+    std::printf("  (PSNR dB at iteration)\n");
+    bench::rule(100);
+    for (const Row &row : rows) {
+        std::printf("%-26s %10zu %12llu |", row.name.c_str(), row.params,
+                    static_cast<unsigned long long>(row.macs_per_point));
+        for (const auto &[_, p] : row.history)
+            std::printf(" %7.1f", p);
+        std::printf("\n");
+    }
+    bench::rule(100);
+    std::printf("The grid-based fields (hash, CP) match or beat the pure-MLP field\n"
+                "while the MLP substrate (MetaVRain's) costs ~%.0fx more MACs per\n"
+                "point -- the property Instant-3D/NeuRex/this work build on, and the\n"
+                "reason MetaVRain leans on image warping for rate (cf. Table III and\n"
+                "bench_ablation_warp).\n",
+                static_cast<double>(rows[2].macs_per_point) /
+                    static_cast<double>(rows[0].macs_per_point));
+    return 0;
+}

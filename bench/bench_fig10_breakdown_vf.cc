@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates Fig. 10(c)/(d): the fabricated chip's area & power
+ * breakdown and the measured voltage-frequency curve (modeled with an
+ * alpha-power law fitted through the published 600 MHz @ 0.95 V point).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "chip/tech_model.h"
+
+using namespace fusion3d;
+
+int
+main()
+{
+    const chip::ChipConfig cfg = chip::ChipConfig::prototype();
+    const chip::TechModel tech(cfg);
+
+    bench::banner("Fig. 10(c): prototype area & power breakdown");
+    std::printf("%-12s %12s %12s\n", "Module", "Area mm^2", "Power W");
+    bench::rule(40);
+    for (const chip::ModuleShare &m : tech.breakdown()) {
+        std::printf("%-12s %12.2f %12.3f\n", m.name.c_str(),
+                    m.areaFraction * cfg.dieAreaMm2,
+                    m.powerFraction * cfg.typicalPowerW);
+    }
+    bench::rule(40);
+    std::printf("Total: %.1f mm^2, %.2f W (paper prototype: 1.21 W at 600 MHz)\n\n",
+                cfg.dieAreaMm2, cfg.typicalPowerW);
+
+    bench::banner("Fig. 10(d): voltage-frequency curve");
+    std::printf("%8s %14s %12s\n", "V (V)", "f (MHz)", "Power (W)");
+    bench::rule(38);
+    for (double v = 0.60; v <= 1.101; v += 0.05) {
+        const double f = tech.frequencyAtVoltage(v);
+        std::printf("%8.2f %14.0f %12.2f\n", v, f / 1e6, tech.powerAt(v, f));
+    }
+    bench::rule(38);
+    std::printf("Anchor point: %.0f MHz at %.2f V (paper: 600 MHz @ 0.95 V).\n",
+                tech.frequencyAtVoltage(cfg.coreVoltage) / 1e6, cfg.coreVoltage);
+    std::printf("Voltage needed for 800 MHz: %.2f V\n",
+                tech.voltageForFrequency(800e6));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates Fig. 3: the data volume of the three NeRF pipeline stages
+ * during one full training run (paper: ~155 GB of intermediate data,
+ * ~0.7 GB of true pipeline input/output), and the bandwidth the
+ * different design boundaries therefore require for 2-second training.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "chip/perf_model.h"
+
+using namespace fusion3d;
+
+int
+main()
+{
+    bench::banner("Fig. 3: training data volume per pipeline stage");
+
+    chip::BandwidthModel bm; // paper-scale workload parameters
+
+    const double inter_gb = bm.interStageGBs() * bm.trainSeconds;
+    const double intra_gb = bm.intraStageGBs() * bm.trainSeconds;
+
+    std::printf("Workload: %.0f M samples/s for %.1f s (training to 25 PSNR)\n",
+                bm.samplesPerSec / 1e6, bm.trainSeconds);
+    std::printf("Hash grid: %d levels x %d features; MLP hidden %d\n\n", bm.levels,
+                bm.featuresPerLevel, bm.mlpHidden);
+
+    std::printf("%-44s %12s\n", "Data band", "Volume (GB)");
+    bench::rule(58);
+    std::printf("%-44s %12.1f\n", "Inter-stage traffic (S1->S2, S2->S3)", inter_gb);
+    std::printf("%-44s %12.1f\n", "Intra-stage traffic (updates, activations)",
+                intra_gb);
+    std::printf("%-44s %12.1f\n", "Total intermediate", inter_gb + intra_gb);
+    std::printf("%-44s %12.2f\n", "Pipeline input (posed images)", bm.datasetGb);
+    std::printf("%-44s %12.2f\n", "Pipeline output (trained model)", bm.modelOutGb);
+    bench::rule(58);
+    std::printf("Paper: 155 GB intermediate, 0.7 GB input+output.\n\n");
+
+    std::printf("Bandwidth for 2 s training, per design boundary (Fig. 3 boxes):\n");
+    const double table = 640.0 * 1024.0;
+    std::printf("  %-38s %8.2f GB/s\n", "End-to-end (this work)",
+                bm.requiredBandwidthGBs(chip::CoverageBoundary::EndToEnd, table));
+    const double i3d_table = (65536.0 + 262144.0) * 2.0 * 2.0;
+    std::printf("  %-38s %8.1f GB/s\n", "Stages II+III on-chip (Instant-3D)",
+                bm.requiredBandwidthGBs(chip::CoverageBoundary::Stage23, i3d_table));
+    std::printf("  %-38s %8.1f GB/s\n", "Stage II only (NGPC/NeuRex)",
+                bm.requiredBandwidthGBs(chip::CoverageBoundary::Stage2Only, i3d_table));
+    std::printf("Paper: ~12.5 GB/s inter-stage + ~77.5 GB/s intra-stage when "
+                "crossing off-chip; 0.6 GB/s end-to-end.\n");
+    return 0;
+}

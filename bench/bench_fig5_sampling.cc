@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Regenerates Fig. 5: (a) the arithmetic saving of Model Normalization
+ * & Partitioning (18 DIV + 54 MUL + 54 ADD down to 3 MUL + 3 MAC per
+ * intersection) and (c) the core-utilization gain of Dynamic Workload
+ * Scheduling over the ray-by-ray baseline.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "chip/sampling_module.h"
+#include "common/rng.h"
+#include "nerf/camera.h"
+#include "nerf/sampler.h"
+
+using namespace fusion3d;
+
+int
+main()
+{
+    bench::banner("Fig. 5(a): op cost of ray/model intersection");
+
+    const Ray ray({0.5f, 0.5f, -1.0f}, normalize(Vec3f{0.1f, 0.05f, 1.0f}));
+    OpCounter generic_ops, fast_ops, fast_partitioned;
+    (void)Aabb::unitCube().intersectGeneric(ray, &generic_ops);
+    (void)Aabb::intersectUnitCube(ray, &fast_ops);
+    fast_partitioned = fast_ops;
+    for (int oct = 0; oct < 8; ++oct)
+        (void)Aabb::intersectOctant(ray, oct, &fast_partitioned);
+
+    std::printf("%-42s %6s %6s %6s %6s %10s\n", "Intersection path", "DIV", "MUL",
+                "ADD", "MAC", "wtd cost");
+    bench::rule(84);
+    std::printf("%-42s %6llu %6llu %6llu %6llu %10llu\n",
+                "Generic box (paper baseline, per ray)",
+                (unsigned long long)generic_ops.divs, (unsigned long long)generic_ops.muls,
+                (unsigned long long)generic_ops.adds, (unsigned long long)generic_ops.macs,
+                (unsigned long long)generic_ops.weightedCost());
+    std::printf("%-42s %6llu %6llu %6llu %6llu %10llu\n",
+                "Normalized cube (T1-1, per ray)",
+                (unsigned long long)fast_ops.divs, (unsigned long long)fast_ops.muls,
+                (unsigned long long)fast_ops.adds, (unsigned long long)fast_ops.macs,
+                (unsigned long long)fast_ops.weightedCost());
+    std::printf("%-42s %6llu %6llu %6llu %6llu %10llu\n",
+                "Normalized + all 8 octants (T1-1)",
+                (unsigned long long)fast_partitioned.divs,
+                (unsigned long long)fast_partitioned.muls,
+                (unsigned long long)fast_partitioned.adds,
+                (unsigned long long)fast_partitioned.macs,
+                (unsigned long long)fast_partitioned.weightedCost());
+    bench::rule(84);
+    std::printf("Datapath cost reduction (single cube): %.1fx; even testing all nine\n"
+                "boxes stays %.1fx cheaper than one generic intersection.\n\n",
+                double(generic_ops.weightedCost()) / fast_ops.weightedCost(),
+                double(generic_ops.weightedCost()) / fast_partitioned.weightedCost());
+
+    bench::banner("Fig. 5(c): dynamic scheduling vs ray-by-ray baseline");
+
+    // A realistic ray-cube pair population: 1-3 pairs per ray with
+    // widely varying candidate counts (Sec. IV-A2: 3..100).
+    Pcg32 rng(12, 5);
+    std::vector<nerf::RayWorkload> rays;
+    for (int i = 0; i < 4000; ++i) {
+        nerf::RayWorkload wl;
+        const int pairs = 1 + static_cast<int>(rng.nextBounded(3));
+        for (int p = 0; p < pairs; ++p) {
+            nerf::RayCubePair pair;
+            pair.octant = p;
+            pair.candidates = 3 + static_cast<int>(rng.nextBounded(98));
+            pair.valid = pair.candidates / 3;
+            wl.pairs.push_back(pair);
+            wl.totalCandidates += pair.candidates;
+            wl.totalValid += pair.valid;
+        }
+        rays.push_back(wl);
+    }
+
+    const chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    std::printf("%-26s %14s %14s\n", "Schedule", "Cycles", "Utilization");
+    bench::rule(58);
+    const struct
+    {
+        const char *name;
+        chip::SamplingSchedule sched;
+    } rows[] = {
+        {"Ray-serial (baseline)", chip::SamplingSchedule::RaySerial},
+        {"Dynamic (T1-2)", chip::SamplingSchedule::Dynamic},
+        {"Per-pair greedy (bound)", chip::SamplingSchedule::PairGreedy},
+    };
+    chip::SamplingRunStats base{}, dyn{};
+    for (const auto &row : rows) {
+        const chip::SamplingModule mod(cfg, row.sched);
+        const chip::SamplingRunStats s = mod.run(rays);
+        if (row.sched == chip::SamplingSchedule::RaySerial)
+            base = s;
+        if (row.sched == chip::SamplingSchedule::Dynamic)
+            dyn = s;
+        std::printf("%-26s %14llu %13.1f%%\n", row.name,
+                    static_cast<unsigned long long>(s.totalCycles),
+                    s.utilization(cfg.samplingCores) * 100.0);
+    }
+    bench::rule(58);
+    std::printf("Dynamic scheduling speedup over ray-serial: %.1fx; utilization "
+                "%.0f%% -> %.0f%%.\n",
+                double(base.totalCycles) / dyn.totalCycles,
+                base.utilization(cfg.samplingCores) * 100.0,
+                dyn.utilization(cfg.samplingCores) * 100.0);
+    std::printf("Paper: more cores utilized instead of remaining idle (Fig. 5(c)).\n");
+
+    // --- Bonus ablation: per-step occupancy probing vs DDA skipping ---
+    bench::banner("Empty-space skipping: per-sample probing vs DDA cell walk");
+    {
+        // DDA pays one walk per grid cell crossed, so it wins when the
+        // sampling lattice is finer than the grid (the Instant-NGP
+        // regime: 1024 samples/ray over a 128^3 grid).
+        const auto scene = scenes::makeSyntheticScene("mic");
+        nerf::OccupancyGrid gate(32);
+        Pcg32 gate_rng(9, 9);
+        gate.update([&](const Vec3f &p) { return scene->density(p); }, gate_rng, 0.0f);
+
+        nerf::SamplerConfig probe_cfg;
+        probe_cfg.maxSamplesPerRay = 256;
+        nerf::SamplerConfig dda_cfg = probe_cfg;
+        dda_cfg.ddaSkip = true;
+
+        const nerf::Camera cam = nerf::Camera::orbit({0.5f, 0.45f, 0.5f}, 1.4f, 25.0f,
+                                                     20.0f, 45.0f, 128, 128);
+        Pcg32 r1(10, 1), r2(10, 1);
+        std::vector<nerf::RaySample> out;
+        std::uint64_t probe_candidates = 0, dda_candidates = 0, dda_steps = 0;
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint32_t pick = r1.nextBounded(128u * 128u);
+            const Ray ray = cam.rayForPixel(static_cast<int>(pick % 128),
+                                            static_cast<int>(pick / 128));
+            nerf::RayWorkload wl;
+            nerf::RaySampler(probe_cfg).sample(ray, &gate, r1, out, &wl);
+            probe_candidates += static_cast<std::uint64_t>(wl.totalCandidates);
+            nerf::RaySampler(dda_cfg).sample(ray, &gate, r2, out, &wl);
+            dda_candidates += static_cast<std::uint64_t>(wl.totalCandidates);
+            dda_steps += static_cast<std::uint64_t>(wl.ddaSteps);
+        }
+        std::printf("mic scene, 2000 rays: probing marches %llu lattice steps;\n"
+                    "DDA marches %llu steps + %llu cell walks (%.1fx less core "
+                    "work).\n",
+                    static_cast<unsigned long long>(probe_candidates),
+                    static_cast<unsigned long long>(dda_candidates),
+                    static_cast<unsigned long long>(dda_steps),
+                    static_cast<double>(probe_candidates) /
+                        std::max<double>(1.0,
+                                         static_cast<double>(dda_candidates + dda_steps)));
+    }
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Regenerates Table III: the scaled-up single-chip accelerator versus
+ * six baselines (two edge GPUs, four NeRF accelerators). Baseline rows
+ * carry the numbers their own publications report (as in the paper);
+ * the "This Work" column is produced by the calibrated cycle-level
+ * simulator driven by real workload traces from the functional NeRF.
+ */
+
+#include <cstdio>
+
+#include "baselines/platforms.h"
+#include "bench/bench_util.h"
+#include "chip/chip.h"
+#include "nerf/trainer.h"
+#include "scenes/dataset_gen.h"
+
+using namespace fusion3d;
+
+int
+main(int argc, char **argv)
+{
+    const int train_iters = argc > 1 ? std::atoi(argv[1]) : 300;
+    bench::banner("Table III: single-chip accelerator vs SOTA NeRF accelerators");
+
+    // --- Functional run: train on a representative synthetic scene ---
+    const auto scene = scenes::makeSyntheticScene("lego");
+    scenes::DatasetConfig dc = scenes::syntheticRig(32);
+    dc.reference.steps = 128;
+    const nerf::Dataset data = scenes::makeDataset(*scene, dc);
+
+    nerf::PipelineConfig pc = bench::defaultPipeline();
+    pc.sampler.maxSamplesPerRay = 48;
+    nerf::NerfPipeline pipeline(pc);
+    nerf::TrainerConfig tc;
+    tc.iterations = train_iters;
+    tc.raysPerBatch = 160;
+    tc.evalEvery = 25;
+    nerf::Trainer trainer(pipeline, data, tc);
+    std::printf("training functional pipeline (%d iters) ...\n", train_iters);
+    const nerf::TrainResult tr = trainer.run();
+    std::printf("final PSNR %.2f dB; 25 dB reached at iter %d\n", tr.finalPsnr,
+                tr.itersTo25Psnr);
+
+    // --- Cycle-level characterization on the trained model ---
+    const chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    const chip::Chip chip_model(cfg);
+    const nerf::Camera cam =
+        nerf::Camera::orbit({0.5f, 0.45f, 0.5f}, 1.4f, 25.0f, 25.0f, 45.0f, 800, 800);
+    const chip::InferenceReport inf = chip_model.evaluateInference(pipeline, cam, 3000);
+    const chip::TrainingReport trn = chip_model.evaluateTraining(pipeline, data, 4096);
+
+    const double inf_mpts = inf.perf.throughputPointsPerSec / 1e6;
+    const double trn_mpts = trn.perf.throughputPointsPerSec / 1e6;
+
+    // --- The table ---
+    std::printf("\n%-26s %8s %8s %8s %9s %10s %10s %10s %10s\n", "Platform", "Proc",
+                "Area", "SRAM", "Clock", "Inf M/s", "Trn M/s", "Inf nJ/pt",
+                "Trn nJ/pt");
+    bench::rule(106);
+    for (const auto &p : baselines::edgeBaselines()) {
+        std::printf("%-26s %6dnm %6.1fmm %6.0fKB %6.0fMHz %10s %10s %10s %10s\n",
+                    p.name.c_str(), p.processNm, p.dieAreaMm2, p.sramKb, p.clockMHz,
+                    bench::fmtOpt(p.inferenceMpts.has_value(),
+                                  p.inferenceMpts.value_or(0))
+                        .c_str(),
+                    bench::fmtOpt(p.trainingMpts.has_value(), p.trainingMpts.value_or(0))
+                        .c_str(),
+                    bench::fmtOpt(p.inferenceEnergyNj.has_value(),
+                                  p.inferenceEnergyNj.value_or(0))
+                        .c_str(),
+                    bench::fmtOpt(p.trainingEnergyNj.has_value(),
+                                  p.trainingEnergyNj.value_or(0))
+                        .c_str());
+    }
+    std::printf("%-26s %6dnm %6.1fmm %6dKB %6.0fMHz %10.1f %10.1f %10.2f %10.2f\n",
+                "This Work (simulated)", 28, cfg.dieAreaMm2, cfg.totalSramKb(),
+                cfg.clockHz / 1e6, inf_mpts, trn_mpts, inf.perf.energyPerPointNj,
+                trn.perf.energyPerPointNj);
+    bench::rule(106);
+
+    // --- Headline comparisons (paper Sec. VI-A) ---
+    const auto &rtnerf = baselines::platform("RT-NeRF (Edge)");
+    const auto &i3d = baselines::platform("Instant-3D");
+    const auto &neurex = baselines::platform("NeuRex (Edge)");
+    std::printf("Inference speedup vs best baseline (RT-NeRF, 288 M/s): %.2fx "
+                "(paper: 1.36x; 591/288 = 2.05x w/ round values)\n",
+                inf_mpts / *rtnerf.inferenceMpts);
+    std::printf("Training speedup vs best baseline (Instant-3D, 32 M/s): %.2fx "
+                "(paper: 4.15x ... 6.2x)\n",
+                trn_mpts / *i3d.trainingMpts);
+    std::printf("Inference speedup vs same-algorithm NeuRex (112 M/s): %.2fx "
+                "(paper: ~6x incl. end-to-end effects)\n",
+                inf_mpts / *neurex.inferenceMpts);
+    std::printf("Inference energy eff. vs RT-NeRF (27 nJ/pt): %.1fx (paper: 19x)\n",
+                *rtnerf.inferenceEnergyNj / inf.perf.energyPerPointNj);
+    std::printf("Training energy eff. vs Instant-3D (59 nJ/pt): %.1fx (paper: 25x)\n",
+                *i3d.trainingEnergyNj / trn.perf.energyPerPointNj);
+
+    // --- Instant training / real-time rendering checks ---
+    const double train_seconds =
+        (tr.itersTo25Psnr > 0 ? tr.itersTo25Psnr : tr.iterationsRun) *
+        trn.secondsPerIteration * (tr.totalRays / double(tr.iterationsRun)) /
+        trn.raysPerBatch;
+    std::printf("\nSimulated 800x800 frame rate: %.1f FPS (paper: 36 FPS, >=30 "
+                "target) -> %s\n",
+                inf.fps, inf.fps >= 30.0 ? "real-time" : "NOT real-time");
+    std::printf("Simulated training to 25 PSNR (this workload scale): %.3f s "
+                "(paper full-scale: 1.8 s, <=2 s target)\n",
+                train_seconds);
+    std::printf("Stage cycles (inference): S1=%llu S2=%llu S3=%llu (balanced by "
+                "design, Sec. VI-C)\n",
+                static_cast<unsigned long long>(inf.perf.stage1Cycles),
+                static_cast<unsigned long long>(inf.perf.stage2Cycles),
+                static_cast<unsigned long long>(inf.perf.stage3Cycles));
+    return 0;
+}

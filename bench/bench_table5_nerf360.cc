@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates Table V: per-scene speedup and energy efficiency of the
+ * multi-chip system over the Nvidia 2080Ti on the seven NeRF-360-style
+ * large scenes, for both inference and training.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/platforms.h"
+#include "bench/bench_util.h"
+#include "multichip/system.h"
+#include "nerf/moe.h"
+#include "scenes/dataset_gen.h"
+
+using namespace fusion3d;
+
+int
+main()
+{
+    bench::banner(
+        "Table V: multi-chip speedup & energy efficiency vs 2080Ti (NeRF-360 scenes)");
+
+    const auto &gpu = baselines::platform("Nvidia 2080Ti");
+    const multichip::SystemConfig sc;
+    const multichip::MultiChipSystem sys(sc);
+
+    std::printf("%-10s %14s %14s %14s %14s\n", "Scene", "Inf speedup", "Trn speedup",
+                "Inf energy", "Trn energy");
+    bench::rule(72);
+
+    double worst_inf = 1e9, best_inf = 0.0;
+    for (const std::string &name : scenes::nerf360SceneNames()) {
+        const auto scene = scenes::makeNerf360Scene(name);
+
+        nerf::MoeConfig mc;
+        mc.numExperts = 4;
+        mc.expert = bench::defaultPipeline();
+        mc.expert.model.grid.log2TableSize = 14;
+        mc.expert.sampler.maxSamplesPerRay = 48;
+        nerf::MoeNerf moe(mc);
+        bench::bootstrapMoeGates(moe, *scene);
+
+        const nerf::Camera cam = nerf::Camera::orbit({0.5f, 0.4f, 0.5f}, 0.38f, 60.0f,
+                                                     12.0f, 70.0f, 800, 800);
+        const auto inf = sys.evaluateInference(moe, cam, 700);
+
+        scenes::DatasetConfig dc = scenes::nerf360Rig(24);
+        dc.trainViews = 4;
+        dc.testViews = 1;
+        dc.reference.steps = 64;
+        const nerf::Dataset ds = scenes::makeDataset(*scene, dc);
+        const auto trn = sys.evaluateTraining(moe, ds, 1024);
+
+        // The GPU runs the same number of sampled points at its
+        // published throughput; energy at its typical power.
+        const double pts_inf = static_cast<double>(inf.totalPoints);
+        const double pts_trn = static_cast<double>(trn.totalPoints);
+        const double gpu_inf_s = *gpu.inferenceSeconds(pts_inf);
+        const double gpu_trn_s = *gpu.trainingSeconds(pts_trn);
+        const double gpu_inf_j = gpu_inf_s * *gpu.typicalPowerW;
+        const double gpu_trn_j = gpu_trn_s * *gpu.typicalPowerW;
+
+        const double inf_speedup = gpu_inf_s / inf.seconds;
+        const double trn_speedup = gpu_trn_s / trn.seconds;
+        const double inf_energy = gpu_inf_j / inf.energyJ;
+        const double trn_energy = gpu_trn_j / trn.energyJ;
+        worst_inf = std::min(worst_inf, inf_speedup);
+        best_inf = std::max(best_inf, inf_speedup);
+
+        std::printf("%-10s %13.1fx %13.1fx %13.0fx %13.0fx\n", name.c_str(),
+                    inf_speedup, trn_speedup, inf_energy, trn_energy);
+        std::fflush(stdout);
+    }
+    bench::rule(72);
+    std::printf("Paper: inference speedup 3.1x (garden) .. 9.2x (bicycle); training "
+                "5.5x .. 8.8x;\n       inference energy eff. 128x .. 380x; training "
+                "229x .. 365x.\n");
+    std::printf("Reproduced spread across scenes: %.1fx .. %.1fx inference speedup.\n",
+                worst_inf, best_inf);
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: scene-bootstrapped
+ * pipelines, content-box analysis for the Technique-T1 ablation, and
+ * table formatting. Each bench binary regenerates one table or figure
+ * of the paper (see DESIGN.md's per-experiment index).
+ */
+
+#ifndef FUSION3D_BENCH_BENCH_UTIL_H_
+#define FUSION3D_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/aabb.h"
+#include "nerf/moe.h"
+#include "nerf/pipeline.h"
+#include "scenes/factory.h"
+#include "scenes/scene.h"
+
+namespace fusion3d::bench
+{
+
+/** Default model/pipeline configuration used across benches. */
+inline nerf::PipelineConfig
+defaultPipeline()
+{
+    nerf::PipelineConfig pc;
+    pc.model.grid.levels = 8;
+    pc.model.grid.featuresPerLevel = 2;
+    pc.model.grid.log2TableSize = 14;
+    pc.model.grid.baseResolution = 16;
+    pc.model.grid.maxResolution = 128;
+    pc.model.densityHidden = 32;
+    pc.model.colorHidden = 32;
+    pc.model.geoFeatures = 15;
+    pc.model.shDegree = 3;
+    pc.sampler.maxSamplesPerRay = 64;
+    pc.occupancyResolution = 48;
+    return pc;
+}
+
+/**
+ * Build a pipeline whose occupancy gate reflects the scene's true
+ * geometry. Workload-characterization benches use this instead of a
+ * full training run: a converged NeRF's occupancy grid tracks the
+ * scene's occupied cells, and every accelerator-relevant statistic
+ * (candidates, valid samples, hash accesses) follows from the gate.
+ */
+inline std::unique_ptr<nerf::NerfPipeline>
+pipelineForScene(const scenes::Scene &scene,
+                 const nerf::PipelineConfig &pc = defaultPipeline())
+{
+    auto pipe = std::make_unique<nerf::NerfPipeline>(pc);
+    Pcg32 rng(2024, 17);
+    pipe->grid().update([&scene](const Vec3f &p) { return scene.density(p); }, rng,
+                        /*decay=*/0.0f);
+    return pipe;
+}
+
+/**
+ * Bootstrap every expert gate of a MoE model from the scene's true
+ * geometry, intersected with the expert's spatial region (Level-1
+ * tiling). See pipelineForScene() for why this stands in for training.
+ */
+inline void
+bootstrapMoeGates(nerf::MoeNerf &moe, const scenes::Scene &scene)
+{
+    Pcg32 rng(2025, 19);
+    for (int k = 0; k < moe.numExperts(); ++k) {
+        moe.expert(k).grid().update(
+            [&scene](const Vec3f &p) { return scene.density(p); }, rng, 0.0f);
+        moe.expert(k).grid().maskRegion(
+            [&moe, k](const Vec3f &p) { return moe.regionOf(p) == k; });
+    }
+}
+
+/** Tight bounding box of the scene's occupied space (the "model
+ *  region" Technique T1-1 normalizes away). */
+inline Aabb
+contentBox(const scenes::Scene &scene, int res = 32, float threshold = 0.01f)
+{
+    Aabb box(Vec3f(1.0f), Vec3f(0.0f)); // inverted; expand() fixes it
+    const float inv = 1.0f / static_cast<float>(res);
+    bool any = false;
+    for (int z = 0; z < res; ++z) {
+        for (int y = 0; y < res; ++y) {
+            for (int x = 0; x < res; ++x) {
+                const Vec3f p{(x + 0.5f) * inv, (y + 0.5f) * inv, (z + 0.5f) * inv};
+                if (scene.density(p) > threshold) {
+                    box.expand(compMax(p - Vec3f(inv), Vec3f(0.0f)));
+                    box.expand(compMin(p + Vec3f(inv), Vec3f(1.0f)));
+                    any = true;
+                }
+            }
+        }
+    }
+    if (!any)
+        return Aabb::unitCube();
+    return box;
+}
+
+/** Re-express a world-space ray in the normalized frame of @p box. */
+inline Ray
+normalizeRay(const Ray &ray, const Aabb &box)
+{
+    const Vec3f e = box.extent();
+    const Vec3f o = (ray.origin - box.lo) / e;
+    const Vec3f d = ray.dir / e;
+    return Ray(o, d);
+}
+
+/** Print a horizontal rule sized for a bench table. */
+inline void
+rule(int width = 94)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a bench header banner. */
+inline void
+banner(const std::string &title)
+{
+    rule();
+    std::printf("%s\n", title.c_str());
+    rule();
+}
+
+/** Format helper: "N/S" for unsupported metrics. */
+inline std::string
+fmtOpt(bool present, double value, const char *fmt = "%.1f")
+{
+    if (!present)
+        return "N/S";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    return buf;
+}
+
+} // namespace fusion3d::bench
+
+#endif // FUSION3D_BENCH_BENCH_UTIL_H_

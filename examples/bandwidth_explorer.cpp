@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Example: explore the off-chip bandwidth design space — the deployment
+ * question the paper opens with. For a model size and a coverage
+ * boundary of your choice, report the bandwidth a 2-second training run
+ * needs and whether it fits common edge interfaces, plus the
+ * voltage/frequency operating points that trade power for speed.
+ *
+ * Usage: bandwidth_explorer [log2_table_size] [levels]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "chip/config.h"
+#include "chip/perf_model.h"
+#include "chip/tech_model.h"
+#include "common/logging.h"
+
+using namespace fusion3d;
+
+int
+main(int argc, char **argv)
+{
+    const int log2_table = argc > 1 ? std::atoi(argv[1]) : 16;
+    const int levels = argc > 2 ? std::atoi(argv[2]) : 16;
+
+    chip::BandwidthModel bm;
+    bm.levels = levels;
+    const double table_bytes =
+        static_cast<double>(levels) * (1ull << log2_table) * 2.0 * 2.0;
+
+    inform("model: %d levels x 2^%d entries x 2 fp16 features = %.2f MB of tables",
+           levels, log2_table, table_bytes / (1024.0 * 1024.0));
+    inform("on-chip table SRAM: %.0f KB", bm.onchipTableBytes / 1024.0);
+
+    struct InterfaceRow
+    {
+        const char *name;
+        double gbs;
+    };
+    const InterfaceRow interfaces[] = {
+        {"USB 3.2 Gen 1 (5 Gbps)", 0.625},
+        {"USB 3.2 Gen 2 (10 Gbps)", 1.25},
+        {"LPDDR4-1600", 17.0},
+        {"LPDDR4X-4266", 34.1},
+        {"GDDR6X", 231.0},
+        {"HBM2", 510.0},
+    };
+
+    const struct
+    {
+        const char *name;
+        chip::CoverageBoundary boundary;
+    } boundaries[] = {
+        {"end-to-end (this work)", chip::CoverageBoundary::EndToEnd},
+        {"stages II+III on-chip", chip::CoverageBoundary::Stage23},
+        {"stage II only", chip::CoverageBoundary::Stage2Only},
+    };
+
+    std::printf("\n%-26s %14s   fits...\n", "Coverage boundary", "needs GB/s");
+    for (const auto &b : boundaries) {
+        const double need = bm.requiredBandwidthGBs(b.boundary, table_bytes);
+        std::printf("%-26s %14.2f   ", b.name, need);
+        bool any = false;
+        for (const InterfaceRow &itf : interfaces) {
+            if (need <= itf.gbs) {
+                std::printf("%s", itf.name);
+                any = true;
+                break;
+            }
+        }
+        if (!any)
+            std::printf("nothing in the list");
+        std::printf("\n");
+    }
+
+    // Frequency/voltage trade-off at fixed work.
+    const chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    const chip::TechModel tech(cfg);
+    std::printf("\nOperating points (scaled-up chip):\n");
+    std::printf("%8s %10s %10s %16s\n", "V", "MHz", "W", "rel. energy/op");
+    const double base_epo = cfg.typicalPowerW / cfg.clockHz;
+    for (double v : {0.7, 0.8, 0.9, 0.95, 1.0, 1.05}) {
+        const double f = tech.frequencyAtVoltage(v);
+        const double p = tech.powerAt(v, f);
+        std::printf("%8.2f %10.0f %10.2f %16.2f\n", v, f / 1e6, p, (p / f) / base_epo);
+    }
+    return 0;
+}

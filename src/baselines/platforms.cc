@@ -1,0 +1,249 @@
+#include "baselines/platforms.h"
+
+#include "common/logging.h"
+
+namespace fusion3d::baselines
+{
+
+namespace
+{
+
+std::vector<PlatformSpec>
+buildEdge()
+{
+    std::vector<PlatformSpec> v;
+
+    PlatformSpec nano;
+    nano.name = "Jetson Nano";
+    nano.venue = "Nvidia";
+    nano.processNm = 20;
+    nano.dieAreaMm2 = 118.0;
+    nano.clockMHz = 900.0;
+    nano.sramKb = 2500.0;
+    nano.nerfAlgorithm = "Hash Grid";
+    nano.inferenceMpts = 2.5;
+    nano.trainingMpts = 0.5;
+    nano.inferenceEnergyNj = 192.0;
+    nano.trainingEnergyNj = 943.0;
+    nano.offChipGBs = 25.6;
+    nano.offChipType = "LPDDR4";
+    v.push_back(nano);
+
+    PlatformSpec xnx;
+    xnx.name = "Jetson XNX";
+    xnx.venue = "Nvidia";
+    xnx.processNm = 12;
+    xnx.dieAreaMm2 = 350.0;
+    xnx.clockMHz = 1100.0;
+    xnx.sramKb = 11000.0;
+    xnx.nerfAlgorithm = "Hash Grid";
+    xnx.inferenceMpts = 12.5;
+    xnx.trainingMpts = 2.6;
+    xnx.inferenceEnergyNj = 486.0;
+    xnx.trainingEnergyNj = 2357.0;
+    xnx.offChipGBs = 59.7;
+    xnx.offChipType = "LPDDR4x";
+    v.push_back(xnx);
+
+    PlatformSpec rtnerf;
+    rtnerf.name = "RT-NeRF (Edge)";
+    rtnerf.venue = "ICCAD'22";
+    rtnerf.processNm = 28;
+    rtnerf.dieAreaMm2 = 18.85;
+    rtnerf.clockMHz = 1000.0;
+    rtnerf.sramKb = 3500.0;
+    rtnerf.coreVoltage = 1.0;
+    rtnerf.nerfAlgorithm = "Dense Grid";
+    rtnerf.realTimeInference = true;
+    rtnerf.inferenceMpts = 288.0;
+    rtnerf.inferenceEnergyNj = 27.0;
+    rtnerf.offChipGBs = 17.0;
+    rtnerf.offChipType = "LPDDR4-1600";
+    v.push_back(rtnerf);
+
+    PlatformSpec instant3d;
+    instant3d.name = "Instant-3D";
+    instant3d.venue = "ISCA'23";
+    instant3d.processNm = 28;
+    instant3d.dieAreaMm2 = 6.8;
+    instant3d.clockMHz = 800.0;
+    instant3d.sramKb = 1536.0;
+    instant3d.coreVoltage = 1.0;
+    instant3d.instantTraining = true;
+    instant3d.realTimeInference = true;
+    instant3d.trainingMpts = 32.0;
+    instant3d.trainingEnergyNj = 59.0;
+    instant3d.offChipGBs = 59.7;
+    instant3d.offChipType = "LPDDR4-1866";
+    v.push_back(instant3d);
+
+    PlatformSpec neurex;
+    neurex.name = "NeuRex (Edge)";
+    neurex.venue = "ISCA'23";
+    neurex.processNm = 28;
+    neurex.dieAreaMm2 = 3.14;
+    neurex.clockMHz = 1000.0;
+    neurex.sramKb = 884.0;
+    neurex.realTimeInference = true;
+    neurex.inferenceMpts = 112.0;
+    neurex.inferenceEnergyNj = 41.0;
+    neurex.offChipGBs = 25.6;
+    neurex.offChipType = "LPDDR4-3200";
+    v.push_back(neurex);
+
+    PlatformSpec metavrain;
+    metavrain.name = "MetaVRain";
+    metavrain.venue = "ISSCC'23";
+    metavrain.processNm = 28;
+    metavrain.dieAreaMm2 = 20.25;
+    metavrain.clockMHz = 250.0;
+    metavrain.sramKb = 2050.0;
+    metavrain.coreVoltage = 0.95;
+    metavrain.nerfAlgorithm = "MLP";
+    metavrain.siliconPrototype = true;
+    metavrain.realTimeInference = true; // with image warping
+    metavrain.inferenceMpts = 13.8;
+    metavrain.inferenceEnergyNj = 65.0;
+    v.push_back(metavrain);
+
+    return v;
+}
+
+std::vector<PlatformSpec>
+buildCloud()
+{
+    std::vector<PlatformSpec> v;
+
+    PlatformSpec gpu;
+    gpu.name = "Nvidia 2080Ti";
+    gpu.venue = "Nvidia";
+    gpu.processNm = 12;
+    gpu.dieAreaMm2 = 754.0;
+    gpu.clockMHz = 1350.0;
+    gpu.sramKb = 27394.0;
+    gpu.typicalPowerW = 250.0;
+    // Throughput/W rows of Table IV: 0.4 / 0.1 M samples/s/W.
+    gpu.inferenceMpts = 0.4 * 250.0;
+    gpu.trainingMpts = 0.1 * 250.0;
+    gpu.offChipGBs = 616.0;
+    gpu.offChipType = "GDDR6";
+    v.push_back(gpu);
+
+    PlatformSpec rtcloud;
+    rtcloud.name = "RT-NeRF-Cloud";
+    rtcloud.venue = "ICCAD'22";
+    rtcloud.processNm = 28;
+    rtcloud.dieAreaMm2 = 565.0;
+    rtcloud.clockMHz = 1000.0;
+    rtcloud.sramKb = 105000.0;
+    rtcloud.typicalPowerW = 240.0;
+    rtcloud.inferenceMpts = 34.0 * 240.0;
+    rtcloud.offChipGBs = 510.0;
+    rtcloud.offChipType = "HBM2";
+    v.push_back(rtcloud);
+
+    PlatformSpec neurexs;
+    neurexs.name = "NeuRex-Server";
+    neurexs.venue = "ISCA'23";
+    neurexs.processNm = 28;
+    neurexs.dieAreaMm2 = 21.37;
+    neurexs.clockMHz = 1000.0;
+    neurexs.sramKb = 4644.0;
+    neurexs.typicalPowerW = 6.1;
+    neurexs.inferenceMpts = 50.0 * 6.1;
+    neurexs.offChipGBs = 512.0;
+    neurexs.offChipType = "HBM2";
+    v.push_back(neurexs);
+
+    return v;
+}
+
+std::vector<PlatformSpec>
+buildBandwidthRows()
+{
+    std::vector<PlatformSpec> v;
+
+    PlatformSpec r;
+    r.name = "RT-NeRF (Edge)";
+    r.offChipGBs = 17.0;
+    r.offChipType = "LPDDR4-1600";
+    v.push_back(r);
+
+    r = PlatformSpec{};
+    r.name = "Gen-NeRF";
+    r.offChipGBs = 17.8;
+    r.offChipType = "LPDDR4-2400";
+    v.push_back(r);
+
+    r = PlatformSpec{};
+    r.name = "NeuRex (Edge)";
+    r.offChipGBs = 25.6;
+    r.offChipType = "LPDDR4-3200";
+    v.push_back(r);
+
+    r = PlatformSpec{};
+    r.name = "Instant-3D";
+    r.instantTraining = true;
+    r.offChipGBs = 59.7;
+    r.offChipType = "LPDDR4-1866";
+    v.push_back(r);
+
+    r = PlatformSpec{};
+    r.name = "NGPC";
+    r.offChipGBs = 231.0;
+    r.offChipType = "GDDR6X";
+    v.push_back(r);
+
+    r = PlatformSpec{};
+    r.name = "RT-NeRF (Server)";
+    r.offChipGBs = 510.0;
+    r.offChipType = "HBM2";
+    v.push_back(r);
+
+    r = PlatformSpec{};
+    r.name = "NeuRex (Server)";
+    r.offChipGBs = 256.0;
+    r.offChipType = "HBM2";
+    v.push_back(r);
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<PlatformSpec> &
+edgeBaselines()
+{
+    static const std::vector<PlatformSpec> v = buildEdge();
+    return v;
+}
+
+const std::vector<PlatformSpec> &
+cloudBaselines()
+{
+    static const std::vector<PlatformSpec> v = buildCloud();
+    return v;
+}
+
+const std::vector<PlatformSpec> &
+bandwidthTableRows()
+{
+    static const std::vector<PlatformSpec> v = buildBandwidthRows();
+    return v;
+}
+
+const PlatformSpec &
+platform(const std::string &name)
+{
+    for (const auto &p : edgeBaselines()) {
+        if (p.name == name)
+            return p;
+    }
+    for (const auto &p : cloudBaselines()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown platform '%s'", name.c_str());
+}
+
+} // namespace fusion3d::baselines

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytical models of the platforms the paper compares against
+ * (Tables I, III, IV; Figs. 11, and the Table-V GPU). The headline
+ * numbers are the values those platforms' own publications report —
+ * exactly how the paper itself obtains them — and per-scene scaling is
+ * workload-proportional, as in the paper's normalized comparisons.
+ */
+
+#ifndef FUSION3D_BASELINES_PLATFORMS_H_
+#define FUSION3D_BASELINES_PLATFORMS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fusion3d::baselines
+{
+
+/** Published characteristics of one platform (Table III/IV rows). */
+struct PlatformSpec
+{
+    std::string name;
+    std::string venue;
+    int processNm = 28;
+    double dieAreaMm2 = 0.0;
+    double clockMHz = 0.0;
+    double sramKb = 0.0;
+    std::optional<double> coreVoltage;
+    std::string nerfAlgorithm = "Hash Grid";
+    bool siliconPrototype = false;
+    bool instantTraining = false;
+    bool realTimeInference = false;
+    bool endToEnd = false;
+    /** Samples/s in millions (Table III convention). */
+    std::optional<double> inferenceMpts;
+    std::optional<double> trainingMpts;
+    /** Energy per sampled point, nJ. */
+    std::optional<double> inferenceEnergyNj;
+    std::optional<double> trainingEnergyNj;
+    /** Off-chip bandwidth, GB/s. */
+    std::optional<double> offChipGBs;
+    std::string offChipType;
+    /** Typical power in W (Table IV platforms). */
+    std::optional<double> typicalPowerW;
+
+    /** Seconds for @p points sampled points of inference work. */
+    std::optional<double>
+    inferenceSeconds(double points) const
+    {
+        if (!inferenceMpts || *inferenceMpts <= 0.0)
+            return std::nullopt;
+        return points / (*inferenceMpts * 1e6);
+    }
+
+    /** Seconds for @p points sampled points of training work. */
+    std::optional<double>
+    trainingSeconds(double points) const
+    {
+        if (!trainingMpts || *trainingMpts <= 0.0)
+            return std::nullopt;
+        return points / (*trainingMpts * 1e6);
+    }
+};
+
+/** The edge baselines of Table III (in table order). */
+const std::vector<PlatformSpec> &edgeBaselines();
+
+/** The cloud baselines of Table IV. */
+const std::vector<PlatformSpec> &cloudBaselines();
+
+/** The prior-accelerator bandwidth rows of Table I. */
+const std::vector<PlatformSpec> &bandwidthTableRows();
+
+/** Look up a baseline by name across all groups; fatal if unknown. */
+const PlatformSpec &platform(const std::string &name);
+
+} // namespace fusion3d::baselines
+
+#endif // FUSION3D_BASELINES_PLATFORMS_H_

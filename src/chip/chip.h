@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Top-level single-chip accelerator model. Captures real workload
+ * traces from a functional NeRF pipeline (Stage-I ray-cube pairs and
+ * Stage-II vertex accesses), replays them through the cycle models,
+ * and reports end-to-end throughput / latency / energy — the quantities
+ * of Tables III-V and Figs. 11-13.
+ */
+
+#ifndef FUSION3D_CHIP_CHIP_H_
+#define FUSION3D_CHIP_CHIP_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "chip/config.h"
+#include "chip/hash_tiler.h"
+#include "chip/interp_module.h"
+#include "chip/perf_model.h"
+#include "chip/sampling_module.h"
+#include "chip/tech_model.h"
+#include "nerf/camera.h"
+#include "nerf/dataset.h"
+#include "nerf/pipeline.h"
+
+namespace fusion3d::chip
+{
+
+/** Result of characterizing an inference (rendering) workload. */
+struct InferenceReport
+{
+    ChipRunResult perf;
+    SamplingRunStats stage1;
+    InterpRunStats stage2;
+    WorkloadProfile workload;
+    /** Frames per second for the characterized camera. */
+    double fps = 0.0;
+};
+
+/** Result of characterizing one training iteration's workload. */
+struct TrainingReport
+{
+    ChipRunResult perf;
+    SamplingRunStats stage1;
+    InterpRunStats stage2;
+    WorkloadProfile workload;
+    /** Wall-clock seconds per training iteration of @p raysPerBatch. */
+    double secondsPerIteration = 0.0;
+    int raysPerBatch = 0;
+};
+
+/** The single-chip accelerator model. */
+class Chip
+{
+  public:
+    /**
+     * @param cfg      Hardware configuration.
+     * @param policy   Stage-II bank mapping (tiled by default).
+     * @param schedule Stage-I scheduling (dynamic by default).
+     */
+    explicit Chip(const ChipConfig &cfg,
+                  BankPolicy policy = BankPolicy::TwoLevelTiling,
+                  SamplingSchedule schedule = SamplingSchedule::Dynamic,
+                  bool normalized_preproc = true);
+
+    const ChipConfig &config() const { return cfg_; }
+    const TechModel &tech() const { return tech_; }
+    const PerfModel &perfModel() const { return perf_; }
+
+    /**
+     * Characterize rendering @p camera's frame with @p pipeline.
+     * Traces @p trace_rays pixel rays (stratified over the frame) and
+     * extrapolates to the full frame.
+     */
+    InferenceReport evaluateInference(nerf::NerfPipeline &pipeline,
+                                      const nerf::Camera &camera,
+                                      int trace_rays = 2048,
+                                      std::uint64_t seed = 99) const;
+
+    /**
+     * Characterize one training iteration of @p rays_per_batch random
+     * rays from @p dataset with the pipeline's current state.
+     */
+    TrainingReport evaluateTraining(nerf::NerfPipeline &pipeline,
+                                    const nerf::Dataset &dataset,
+                                    int rays_per_batch = 4096,
+                                    std::uint64_t seed = 99) const;
+
+  private:
+    ChipConfig cfg_;
+    BankPolicy policy_;
+    SamplingSchedule schedule_;
+    bool normalized_;
+    TechModel tech_;
+    PerfModel perf_;
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_CHIP_H_

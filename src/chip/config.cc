@@ -1,0 +1,44 @@
+#include "chip/config.h"
+
+namespace fusion3d::chip
+{
+
+ChipConfig
+ChipConfig::prototype()
+{
+    ChipConfig c;
+    c.name = "fusion3d-prototype";
+    c.clockHz = 600e6;
+    c.coreVoltage = 0.95;
+    c.samplingCores = 16;
+    c.interpCores = 5;
+    c.memoryClusters = 2;
+    c.sramPerClusterKb = 92;
+    c.hashTableSramKb = 320; // 2 x 64 KB tables across 5 interp cores
+    c.scratchSramKb = 16;
+    c.mlpMacsPerCycle = 1536;
+    c.dieAreaMm2 = 5.0;
+    c.typicalPowerW = 1.21;
+    return c;
+}
+
+ChipConfig
+ChipConfig::scaledUp()
+{
+    ChipConfig c;
+    c.name = "fusion3d-scaled";
+    c.clockHz = 600e6;
+    c.coreVoltage = 0.95;
+    c.samplingCores = 16;
+    c.interpCores = 10;
+    c.memoryClusters = 5;
+    c.sramPerClusterKb = 92;
+    c.hashTableSramKb = 640; // 2 x 5 x 64 KB (Sec. VI-C)
+    c.scratchSramKb = 0;
+    c.mlpMacsPerCycle = 3072;
+    c.dieAreaMm2 = 8.7;
+    c.typicalPowerW = 1.5;
+    return c;
+}
+
+} // namespace fusion3d::chip

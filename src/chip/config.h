@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Static configuration of a Fusion-3D chip. Two canonical instances
+ * mirror the paper: the taped-out prototype (Fig. 9) and the scaled-up
+ * single-chip accelerator used for the Table-III comparison (five more
+ * feature-interpolation cores and three more memory clusters).
+ */
+
+#ifndef FUSION3D_CHIP_CONFIG_H_
+#define FUSION3D_CHIP_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fusion3d::chip
+{
+
+/** Hardware configuration of one chip. */
+struct ChipConfig
+{
+    std::string name = "fusion3d";
+
+    /** Nominal clock frequency in Hz (silicon: 600 MHz at 0.95 V). */
+    double clockHz = 600e6;
+    /** Nominal core supply voltage. */
+    double coreVoltage = 0.95;
+
+    // --- Sampling module (Stage I) ---
+    /** Parallel sampling cores. */
+    int samplingCores = 16;
+    /** Pipelined rays/cycle through the normalized pre-processing unit. */
+    double preprocRaysPerCycle = 1.0;
+    /** Cycles per ray for the un-normalized (generic) intersection path:
+     *  18 serialized divisions on an iterative divider. */
+    int genericPreprocCyclesPerRay = 24;
+    /** Extra cycles a sampling core spends emitting one valid sample
+     *  (position/step record generation and buffer write) on top of
+     *  the one-cycle occupancy probe every lattice step costs. */
+    int samplingEmitCycles = 2;
+
+    // --- Feature interpolation module (Stage II) ---
+    /** Feature interpolation cores (prototype 5, scaled-up 10). */
+    int interpCores = 10;
+    /** SRAM banks per interpolation core (Level 2/3 tiling needs 8). */
+    int sramBanksPerCore = 8;
+    /** Feature bytes fetched per vertex access. */
+    int bytesPerVertexFeature = 4;
+
+    // --- Post-processing module (Stage III) ---
+    /** MAC units in the MLP engine. */
+    int mlpMacsPerCycle = 3072;
+    /** Samples composited per cycle by the volume-rendering unit. */
+    double renderSamplesPerCycle = 2.0;
+
+    // --- Memory ---
+    /** Memory clusters (prototype 2, scaled-up 5). */
+    int memoryClusters = 2;
+    /** SRAM per memory cluster in KB. */
+    int sramPerClusterKb = 92;
+    /** Hash-table SRAM in KB (paper: 2 x 5 x 64 KB on the scaled chip). */
+    int hashTableSramKb = 640;
+
+    // --- Physical ---
+    /** Die area in mm^2 (scaled-up: 8.7). */
+    double dieAreaMm2 = 8.7;
+    /** Typical total power at nominal voltage/frequency in W. */
+    double typicalPowerW = 1.5;
+
+    /** Total on-chip SRAM in KB. */
+    int
+    totalSramKb() const
+    {
+        return memoryClusters * sramPerClusterKb + hashTableSramKb +
+               scratchSramKb;
+    }
+
+    /** Controller/interface scratch SRAM in KB. */
+    int scratchSramKb = 0;
+
+    /** The taped-out 28 nm prototype chip (Fig. 9). */
+    static ChipConfig prototype();
+
+    /** The scaled-up single-chip accelerator of Table III. */
+    static ChipConfig scaledUp();
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_CONFIG_H_

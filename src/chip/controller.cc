@@ -1,0 +1,109 @@
+#include "chip/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fusion3d::chip
+{
+
+Cycles
+pipelineCycles(std::span<const BatchCost> batches)
+{
+    // start[s] / finish[s] of the previous batch per stage, plus the
+    // start of the downstream stage's previous batch (which frees the
+    // ping-pong half this stage writes into).
+    const std::size_t n = batches.size();
+    if (n == 0)
+        return 0;
+
+    std::vector<Cycles> finish_prev(3, 0); // finish[s][b-1]
+    std::vector<Cycles> start_prev(3, 0);  // start[s][b-1]
+    Cycles last_finish = 0;
+
+    for (std::size_t b = 0; b < n; ++b) {
+        Cycles start[3];
+        Cycles finish[3];
+        for (int s = 0; s < 3; ++s) {
+            if (batches[b].stage(s) == 0)
+                fatal("pipelineCycles: stage costs must be >= 1 cycle");
+            Cycles t = finish_prev[static_cast<std::size_t>(s)]; // self busy
+            if (s > 0)
+                t = std::max(t, finish[s - 1]); // upstream delivered
+            if (s < 2 && b > 0) {
+                // Output half frees when downstream started the
+                // previous batch.
+                t = std::max(t, start_prev[static_cast<std::size_t>(s + 1)]);
+            }
+            start[s] = t;
+            finish[s] = t + batches[b].stage(s);
+        }
+        for (int s = 0; s < 3; ++s) {
+            start_prev[static_cast<std::size_t>(s)] = start[s];
+            finish_prev[static_cast<std::size_t>(s)] = finish[s];
+        }
+        last_finish = finish[2];
+    }
+    return last_finish;
+}
+
+PipelinedMachine::PipelinedMachine(std::vector<BatchCost> batches)
+    : sim::Clocked("pipelined_machine"), batches_(std::move(batches))
+{
+    for (const BatchCost &b : batches_) {
+        for (int s = 0; s < 3; ++s) {
+            if (b.stage(s) == 0)
+                fatal("PipelinedMachine: stage costs must be >= 1 cycle");
+        }
+    }
+}
+
+bool
+PipelinedMachine::done() const
+{
+    return retired_ == batches_.size();
+}
+
+void
+PipelinedMachine::tick(Cycles now)
+{
+    if (done())
+        return;
+
+    // Downstream first: a stage consuming this cycle frees the upstream
+    // buffer, allowing an upstream start in the same cycle — matching
+    // the analytic recurrence's start[s][b] >= start[s+1][b-1] with
+    // equality allowed.
+    for (int s = 2; s >= 0; --s) {
+        StageState &st = stages_[s];
+
+        // Try to start the next batch.
+        if (st.remaining == 0 && st.next < batches_.size() && !st.outputFull) {
+            const bool input_ready =
+                s == 0 || (stages_[s - 1].outputFull &&
+                           stages_[s - 1].next == st.next + 1);
+            if (input_ready) {
+                if (s > 0)
+                    stages_[s - 1].outputFull = false;
+                st.remaining = batches_[st.next].stage(s);
+            }
+        }
+
+        // Work one cycle on the in-flight batch.
+        if (st.remaining > 0) {
+            --st.remaining;
+            ++busy_[s];
+            if (st.remaining == 0) {
+                ++st.next;
+                if (s < 2) {
+                    st.outputFull = true;
+                } else {
+                    ++retired_;
+                    finish_ = now + 1;
+                }
+            }
+        }
+    }
+}
+
+} // namespace fusion3d::chip

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Interface/Controller module (Fig. 4(a) item 5): top-level batch
+ * sequencing of the three-stage macro-pipeline over the ping-pong
+ * memory clusters. Two implementations of the same schedule:
+ *
+ *  - pipelineCycles(): the analytic recurrence
+ *        t[s][b] = max(t[s][b-1], t[s-1][b]) + cost[s][b]
+ *    (a stage starts a batch once it finished its previous batch and
+ *    the upstream stage has filled the ping-pong buffer);
+ *  - PipelinedMachine: a cycle-driven model built on sim::Clocked that
+ *    executes the same schedule event by event. Tests assert the two
+ *    agree cycle-exactly, validating the perf model's pipelining
+ *    assumptions.
+ */
+
+#ifndef FUSION3D_CHIP_CONTROLLER_H_
+#define FUSION3D_CHIP_CONTROLLER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/clocked.h"
+
+namespace fusion3d::chip
+{
+
+/** Per-batch cycle costs of the three pipeline stages. */
+struct BatchCost
+{
+    Cycles stage1 = 0;
+    Cycles stage2 = 0;
+    Cycles stage3 = 0;
+
+    Cycles stage(int s) const { return s == 0 ? stage1 : (s == 1 ? stage2 : stage3); }
+};
+
+/** Analytic completion time of the batch pipeline. */
+Cycles pipelineCycles(std::span<const BatchCost> batches);
+
+/**
+ * Event-driven model of the same machine: three stages connected by
+ * depth-1 ping-pong buffers, advanced by a sim::Simulator.
+ */
+class PipelinedMachine : public sim::Clocked
+{
+  public:
+    explicit PipelinedMachine(std::vector<BatchCost> batches);
+
+    void tick(Cycles now) override;
+    bool done() const override;
+
+    /** Cycle at which the last batch left stage 3 (valid once done). */
+    Cycles finishCycle() const { return finish_; }
+
+    /** Busy cycles of stage @p s, for utilization accounting. */
+    Cycles busyCycles(int s) const { return busy_[static_cast<std::size_t>(s)]; }
+
+  private:
+    struct StageState
+    {
+        /** Next batch index this stage will accept. */
+        std::size_t next = 0;
+        /** Cycles remaining on the in-flight batch (0 = idle). */
+        Cycles remaining = 0;
+        /** True while the output ping-pong half holds a finished batch
+         *  the downstream stage has not consumed yet. */
+        bool outputFull = false;
+    };
+
+    std::vector<BatchCost> batches_;
+    StageState stages_[3];
+    Cycles busy_[3] = {0, 0, 0};
+    std::size_t retired_ = 0;
+    Cycles finish_ = 0;
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_CONTROLLER_H_

@@ -1,0 +1,37 @@
+#include "chip/energy_model.h"
+
+namespace fusion3d::chip
+{
+
+EnergyBreakdown
+estimateEnergy(const WorkloadProfile &wl, const ChipRunResult &run, bool training,
+               const EnergyCoefficients &coeff)
+{
+    EnergyBreakdown e;
+
+    const double points = static_cast<double>(wl.validPoints);
+    const double mac_passes = training ? 3.0 : 1.0;
+    const double mac_energy = training ? coeff.macFp32J : coeff.macFp16J;
+
+    // MLP engine: macsPerPoint per pass, plus the interpolation MAC
+    // trees (8 lanes per level).
+    const double mlp_macs = points * static_cast<double>(wl.macsPerPoint) * mac_passes;
+    const double interp_macs = points * wl.levels * 8.0 * mac_passes;
+    e.mlpJ = (mlp_macs + interp_macs) * mac_energy;
+
+    // Feature SRAM: 8 vertex reads x feature bytes per level, plus the
+    // write-back pass when training.
+    const double feature_bytes = points * wl.levels * 8.0 * 4.0;
+    e.sramJ = feature_bytes * (training ? 2.0 : 1.0) * coeff.sramByteJ;
+
+    // NoC: inter-stage hand-offs (positions in, features through,
+    // samples out).
+    const double noc_bytes =
+        points * (8.0 + wl.levels * 2.0 * 2.0) * (training ? 2.0 : 1.0);
+    e.nocJ = noc_bytes * coeff.nocByteJ;
+
+    e.staticJ = static_cast<double>(run.totalCycles) * coeff.idlePerCycleJ;
+    return e;
+}
+
+} // namespace fusion3d::chip

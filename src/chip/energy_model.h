@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bottom-up energy model: per-operation 28 nm energy coefficients
+ * (MACs, SRAM accesses, interconnect bytes) applied to a workload's
+ * operation counts. Cross-checks the top-down TechModel number
+ * (power x time) — the two independent estimates agreeing within a
+ * small factor is the usual sanity bar for accelerator papers.
+ */
+
+#ifndef FUSION3D_CHIP_ENERGY_MODEL_H_
+#define FUSION3D_CHIP_ENERGY_MODEL_H_
+
+#include <cstdint>
+
+#include "chip/perf_model.h"
+
+namespace fusion3d::chip
+{
+
+/** 28 nm per-operation energy coefficients (joules). */
+struct EnergyCoefficients
+{
+    /** One fp16 multiply-accumulate. */
+    double macFp16J = 1.0e-12;
+    /** One fp32 multiply-accumulate (training arithmetic). */
+    double macFp32J = 3.0e-12;
+    /** One byte read/written from a small on-chip SRAM bank. */
+    double sramByteJ = 0.6e-12;
+    /** One byte moved across the on-chip NoC. */
+    double nocByteJ = 0.15e-12;
+    /** Static/clock overhead per cycle for the whole chip. */
+    double idlePerCycleJ = 0.35e-9;
+};
+
+/** Bottom-up energy estimate of one run. */
+struct EnergyBreakdown
+{
+    double mlpJ = 0.0;
+    double sramJ = 0.0;
+    double nocJ = 0.0;
+    double staticJ = 0.0;
+
+    double totalJ() const { return mlpJ + sramJ + nocJ + staticJ; }
+};
+
+/**
+ * Estimate the energy of a characterized run bottom-up.
+ * @param wl       The workload (points, levels, MACs/point).
+ * @param run      The timing result (cycles for the static term).
+ * @param training Charge fp32 arithmetic and the 3x Stage-II update.
+ */
+EnergyBreakdown estimateEnergy(const WorkloadProfile &wl, const ChipRunResult &run,
+                               bool training,
+                               const EnergyCoefficients &coeff = {});
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_ENERGY_MODEL_H_

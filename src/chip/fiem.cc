@@ -1,0 +1,46 @@
+#include "chip/fiem.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fusion3d::chip
+{
+
+float
+fiemMultiply(Half feature, std::int32_t weight)
+{
+    const bool neg = (feature.signBit() != 0) != (weight < 0);
+
+    if (feature.isNan())
+        return std::numeric_limits<float>::quiet_NaN();
+    if (feature.isInf()) {
+        if (weight == 0)
+            return std::numeric_limits<float>::quiet_NaN(); // inf * 0
+        return neg ? -std::numeric_limits<float>::infinity()
+                   : std::numeric_limits<float>::infinity();
+    }
+    if (weight == 0 || feature.isZero())
+        return neg ? -0.0f : 0.0f;
+
+    // Significand x |integer|: at most 11 x 31 bits; for the hardware's
+    // 8-bit weights this is <= 19 bits and therefore exact in float.
+    const std::uint64_t mag =
+        static_cast<std::uint64_t>(weight < 0 ? -static_cast<std::int64_t>(weight)
+                                              : weight);
+    const std::uint64_t product = static_cast<std::uint64_t>(feature.significand()) * mag;
+
+    // Exponent combine: significand is sig * 2^(e-10).
+    const int exp = feature.unbiasedExponent() - 10;
+    const float magnitude = std::ldexp(static_cast<float>(product), exp);
+    return neg ? -magnitude : magnitude;
+}
+
+Half
+fiemMultiplyHalf(Half feature, std::int32_t weight)
+{
+    // The normalize/round output stage: round-to-nearest-even into
+    // binary16, exactly what Half::fromFloat implements.
+    return Half::fromFloat(fiemMultiply(feature, weight));
+}
+
+} // namespace fusion3d::chip

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * FP-INT Efficient Multiplier (FIEM, Technique T2-2): multiplies a
+ * floating-point feature by an integer interpolation weight without
+ * first converting the integer to floating point. The significand is
+ * multiplied by the integer directly and the exponent is carried
+ * through, replacing an INT2FP unit + full FPMUL.
+ *
+ * The functional model here is bit-exact: because an 11-bit significand
+ * times an 8-bit integer fits in 19 bits (< the 24-bit single-precision
+ * significand), the result is exact and must equal the float reference
+ * — a property the tests assert exhaustively. The matching area/power
+ * model lives in hw_cost.h (fiem_cost).
+ */
+
+#ifndef FUSION3D_CHIP_FIEM_H_
+#define FUSION3D_CHIP_FIEM_H_
+
+#include <cstdint>
+
+#include "common/half.h"
+
+namespace fusion3d::chip
+{
+
+/**
+ * FIEM datapath: Half x signed integer, exact single-precision result.
+ * Handles zero, subnormal, infinity and NaN inputs like IEEE multiply.
+ */
+float fiemMultiply(Half feature, std::int32_t weight);
+
+/**
+ * FIEM with a half-precision result register: the exact product passes
+ * through the round-to-nearest-even normalize/round stage.
+ */
+Half fiemMultiplyHalf(Half feature, std::int32_t weight);
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_FIEM_H_

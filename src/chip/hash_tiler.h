@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Two-level hash tiling (Technique T4, Fig. 7(b)/(c)): the bank-mapping
+ * policy that makes the eight vertex-feature fetches of every sampled
+ * point land on eight *distinct* SRAM banks, deterministically.
+ *
+ * Level 2 ("interpolation level tiling"): the feature table is split
+ * into four SRAM groups keyed by the vertex's (y, z) coordinate
+ * parities. A point's eight corners take (y+dy, z+dz) with dy,dz in
+ * {0,1}, so the four YZ-offset pairs land in the four distinct groups.
+ *
+ * Level 3 ("parity level tiling"): within a group, the two corners
+ * differ only by +1 in x, and the Instant-NGP hash (x-prime = 1, other
+ * primes odd, power-of-two table) flips the address parity under
+ * x -> x+1; even/odd addresses live in separate banks.
+ *
+ * Together: corner (dx, dy, dz) -> bank, a bijection onto 8 banks for
+ * every query point, eliminating all conflicts and allowing the
+ * crossbar to be replaced by one-to-one wiring (Fig. 12(b)-(e)).
+ *
+ * The baseline policy is plain address interleaving (addr mod banks),
+ * which suffers 1..8-cycle conflicts exactly as Sec. V-B describes.
+ */
+
+#ifndef FUSION3D_CHIP_HASH_TILER_H_
+#define FUSION3D_CHIP_HASH_TILER_H_
+
+#include <cstdint>
+
+#include "common/vec.h"
+
+namespace fusion3d::chip
+{
+
+/** Bank-mapping policy for Stage-II feature SRAM. */
+enum class BankPolicy
+{
+    /** Baseline: bank = hash address mod number of banks. */
+    ModuloInterleave,
+    /** Level 2 + Level 3 tiling: YZ-parity group, X/address parity. */
+    TwoLevelTiling,
+};
+
+/** Computes the SRAM bank of one vertex access. */
+class HashTiler
+{
+  public:
+    HashTiler(BankPolicy policy, std::uint32_t num_banks)
+        : policy_(policy), num_banks_(num_banks)
+    {}
+
+    BankPolicy policy() const { return policy_; }
+    std::uint32_t numBanks() const { return num_banks_; }
+
+    /**
+     * Bank of a vertex access.
+     * @param coord   Integer vertex coordinate.
+     * @param address Table-entry index (dense or hashed).
+     */
+    std::uint32_t
+    bankOf(const Vec3i &coord, std::uint32_t address) const
+    {
+        if (policy_ == BankPolicy::ModuloInterleave)
+            return address % num_banks_;
+        // Level 2: YZ coordinate-parity group (2 bits).
+        const std::uint32_t group =
+            ((static_cast<std::uint32_t>(coord.y) & 1u) << 1) |
+            (static_cast<std::uint32_t>(coord.z) & 1u);
+        // Level 3: address parity (== x parity within a group).
+        const std::uint32_t parity = address & 1u;
+        return (group << 1) | parity;
+    }
+
+    /**
+     * Row within the bank, for capacity accounting: the tiled layout
+     * stores each parity/group partition contiguously.
+     */
+    std::uint32_t
+    rowOf(std::uint32_t address) const
+    {
+        if (policy_ == BankPolicy::ModuloInterleave)
+            return address / num_banks_;
+        return address >> 1; // per-parity sub-table
+    }
+
+  private:
+    BankPolicy policy_;
+    std::uint32_t num_banks_;
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_HASH_TILER_H_

@@ -1,0 +1,274 @@
+#include "chip/hw_cost.h"
+
+#include <cmath>
+
+namespace fusion3d::chip
+{
+
+namespace hw
+{
+
+namespace
+{
+
+/** Build a cost from gates and a per-op switching-activity factor. */
+constexpr HwCost
+cost(double gates, double activity)
+{
+    return HwCost{gates, gates * activity};
+}
+
+} // namespace
+
+HwCost
+adder(int bits)
+{
+    // One full adder ~ 5 NAND2 equivalents.
+    return cost(5.0 * bits, 0.5);
+}
+
+HwCost
+multiplier(int a_bits, int b_bits)
+{
+    // Array/Booth-Wallace multiplier: one gate-dense cell per partial
+    // product bit plus a final carry-propagate adder.
+    return cost(6.0 * a_bits * b_bits + 5.0 * (a_bits + b_bits), 0.5);
+}
+
+HwCost
+mux2(int bits)
+{
+    return cost(3.0 * bits, 0.3);
+}
+
+HwCost
+barrelShifter(int bits)
+{
+    const int stages = bits <= 1 ? 1 : static_cast<int>(std::ceil(std::log2(bits)));
+    return cost(3.0 * bits * stages, 0.4);
+}
+
+HwCost
+priorityEncoder(int bits)
+{
+    return cost(6.0 * bits, 0.4);
+}
+
+HwCost
+registerBits(int bits)
+{
+    // A DFF ~ 8 NAND2 equivalents; clocked every cycle.
+    return cost(8.0 * bits, 0.6);
+}
+
+HwCost
+comparator(int bits)
+{
+    return cost(3.0 * bits, 0.3);
+}
+
+HwCost
+control(int states)
+{
+    return cost(30.0 + 10.0 * states, 0.2);
+}
+
+HwCost
+divider(int bits)
+{
+    // Radix-4 SRT: quotient-selection logic plus a carry-save adder per
+    // iteration stage; ~2.5x the area of a same-width multiplier with
+    // near-continuous switching while iterating.
+    return cost(2.5 * (6.0 * bits * bits + 5.0 * 2.0 * bits), 0.85);
+}
+
+HwCost
+sramMacro(double bits)
+{
+    // Dense 6T macro layout (0.05 NAND2-equivalents/bit); per-access
+    // energy is dominated by bitline/sense-amp switching, a ~10%
+    // activity-equivalent of the array.
+    return HwCost{bits * 0.05, bits * 0.05 * 0.1};
+}
+
+} // namespace hw
+
+namespace fiem_cost
+{
+
+namespace
+{
+
+/** FP32 significand width (training precision, cf. Table II). */
+constexpr int kFracBits = 24;
+/** FP32 exponent width. */
+constexpr int kExpBits = 8;
+
+} // namespace
+
+HwCost
+int2fpPlusFpmul(int int_bits)
+{
+    // INT2FP: sign/absolute conversion, leading-one detection, left
+    // shift into the significand field, exponent formation, and the
+    // pipeline register between the two sub-units.
+    HwCost int2fp;
+    int2fp += hw::adder(int_bits);                 // two's-complement abs
+    int2fp += hw::priorityEncoder(int_bits);       // leading-one detect
+    int2fp += hw::barrelShifter(kFracBits);        // align into fraction
+    int2fp += hw::adder(kExpBits);                 // exponent formation
+    int2fp += hw::registerBits(1 + kExpBits + kFracBits - 1);
+
+    // Full FPMUL: significand array multiplier, exponent adder,
+    // 1-bit normalization, round-to-nearest-even, exception flags,
+    // input/output registers.
+    HwCost fpmul;
+    fpmul += hw::multiplier(kFracBits, kFracBits);
+    fpmul += hw::adder(kExpBits + 1);
+    fpmul += hw::mux2(kFracBits + 1);              // normalize select
+    fpmul += hw::adder(kFracBits);                 // rounding increment
+    fpmul += hw::control(4);                       // inf/nan/zero flags
+    fpmul += hw::registerBits(2 * 32);             // operand staging
+    fpmul += hw::registerBits(32);                 // result register
+
+    return int2fp + fpmul;
+}
+
+HwCost
+fiem(int int_bits)
+{
+    // FIEM: the integer multiplies the significand directly. The array
+    // shrinks from kFracBits^2 to kFracBits*int_bits partial products,
+    // and the INT2FP stage (and its pipeline register) disappears;
+    // only a wider post-normalization remains.
+    HwCost c;
+    c += hw::adder(int_bits);                          // abs of the int
+    c += hw::multiplier(kFracBits, int_bits);          // frac x int
+    c += hw::adder(kExpBits + 1);                      // exponent combine
+    c += hw::priorityEncoder(int_bits);                // product MSB find
+    c += hw::barrelShifter(kFracBits + 1);             // renormalize
+    c += hw::adder(kFracBits);                         // rounding
+    c += hw::control(2);
+    c += hw::registerBits(32);                         // result register
+    return c;
+}
+
+} // namespace fiem_cost
+
+StageTwoSharing
+stageTwoSharing(int feature_bits, int levels)
+{
+    // SRAM density in NAND2 equivalents per bit (6T cell vs ~4T/gate,
+    // but far denser layout): calibrated so the datapath/SRAM split
+    // matches the paper's post-layout observation that roughly half of
+    // the interpolation module is SRAM.
+    constexpr double kSramUnitsPerBit = 0.1;
+    constexpr double kFeatureSramBits = 2.0 * 64.0 * 1024.0 * 8.0; // 2x64 KB
+
+    StageTwoSharing s;
+
+    // --- Directly shared between inference and training ---
+    HwCost shared;
+    // Vertex coordinate generation: floor/scale and the +1 offsets.
+    shared += hw::multiplier(16, 16);     // position scaling per axis
+    shared += hw::adder(16);
+    shared += hw::adder(16);
+    shared += hw::adder(16);
+    // Hash index computation: two constant multipliers (y, z primes)
+    // plus XOR folding; constant multipliers are ~1/3 of a full array.
+    const HwCost const_mult = hw::multiplier(16, 32);
+    shared.areaUnits += 2.0 * const_mult.areaUnits / 3.0;
+    shared.energyUnits += 2.0 * const_mult.energyUnits / 3.0;
+    // Interpolation weight computation (fraction products, fixed point).
+    shared += hw::multiplier(8, 8);
+    shared += hw::multiplier(8, 8);
+    shared += hw::multiplier(8, 8);
+    // SRAM banks with decoders and sense amps (feature tables).
+    shared.areaUnits += kFeatureSramBits * kSramUnitsPerBit;
+    shared.energyUnits += kFeatureSramBits * kSramUnitsPerBit * 0.02;
+    // Address/bank routing registers and control.
+    shared += hw::registerBits(8 * 32);
+    shared += hw::control(levels);
+
+    // --- Reused via reconfiguration: the interpolation array ---
+    // Eight mixed-precision (FIEM) multipliers feeding either a MAC
+    // tree (forward) or a scatter path (backward).
+    HwCost reconf;
+    for (int i = 0; i < 8; ++i)
+        reconf += fiem_cost::fiem(8);
+    for (int i = 0; i < 7; ++i)
+        reconf += hw::adder(feature_bits + 3); // adder tree / inverse tree
+    reconf += hw::mux2(8 * feature_bits);      // mode steering
+
+    s.sharedUnits = shared.areaUnits;
+    s.reconfiguredUnits = reconf.areaUnits;
+    // A naive design would instantiate the array once per mode.
+    s.duplicatedSavingUnits = reconf.areaUnits;
+    return s;
+}
+
+TensorfAdaptation
+tensorfAdaptation()
+{
+    // The retained TensoRF feature-interpolation module: factor-plane
+    // SRAM with its interpolation datapath. Identical in both designs.
+    HwCost feature;
+    feature += hw::sramMacro(2.0 * 1024.0 * 1024.0 * 8.0); // 2 MB factors
+    for (int i = 0; i < 8; ++i)
+        feature += hw::multiplier(16, 16); // bilinear/line interp lanes
+    for (int i = 0; i < 4; ++i)
+        feature += hw::adder(24);
+
+    // RT-NeRF-style sampling: generic ray/box intersection needs a
+    // divider bank plus the plane-evaluation multipliers/adders.
+    HwCost base_sampling;
+    for (int i = 0; i < 6; ++i)
+        base_sampling += hw::divider(24);
+    for (int i = 0; i < 18; ++i)
+        base_sampling += hw::multiplier(16, 16);
+    for (int i = 0; i < 18; ++i)
+        base_sampling += hw::adder(24);
+    base_sampling += hw::control(8);
+
+    // RT-NeRF-style post-processing: separate render and accumulation
+    // paths, duplicated per color channel plus a density path.
+    HwCost base_postproc;
+    for (int ch = 0; ch < 4; ++ch) {
+        for (int i = 0; i < 6; ++i)
+            base_postproc += hw::multiplier(16, 16);
+        for (int i = 0; i < 6; ++i)
+            base_postproc += hw::adder(24);
+        base_postproc += hw::barrelShifter(24);
+        base_postproc += hw::registerBits(6 * 32);
+    }
+    base_postproc += hw::control(6);
+
+    // Fusion-3D sampling module: folded-constant intersections (3 MUL +
+    // 3 MAC per box), no dividers.
+    HwCost our_sampling;
+    for (int i = 0; i < 3; ++i)
+        our_sampling += hw::multiplier(16, 16);
+    for (int i = 0; i < 3; ++i) {
+        our_sampling += hw::multiplier(16, 16); // MAC = mul + add
+        our_sampling += hw::adder(24);
+    }
+    our_sampling += hw::control(4);
+
+    // Fusion-3D post-processing: the shared reconfigurable render path
+    // (one datapath, mode-multiplexed) instead of per-channel copies.
+    HwCost our_postproc;
+    for (int i = 0; i < 3; ++i)
+        our_postproc += hw::multiplier(16, 16);
+    for (int i = 0; i < 3; ++i)
+        our_postproc += hw::adder(24);
+    our_postproc += hw::mux2(3 * 24);
+    our_postproc += hw::registerBits(3 * 32);
+    our_postproc += hw::control(4);
+
+    TensorfAdaptation t;
+    t.baseline = feature + base_sampling + base_postproc;
+    t.adapted = feature + our_sampling + our_postproc;
+    return t;
+}
+
+} // namespace fusion3d::chip

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit-gate hardware cost model. The paper's area/power ablation claims
+ * (FIEM: 55% area / 65% power saving over INT2FP+FPMUL, Fig. 6(d);
+ * Stage-II sharing: 87.4% directly shared + 12.6% reused, Sec. IV-B3;
+ * crossbar-elimination area saving, Fig. 12(b)) are *ratios* of datapath
+ * costs, which a standard unit-gate model reproduces without needing the
+ * authors' Cadence flow. One "unit" is a 2-input NAND equivalent.
+ */
+
+#ifndef FUSION3D_CHIP_HW_COST_H_
+#define FUSION3D_CHIP_HW_COST_H_
+
+#include <cstdint>
+
+namespace fusion3d::chip
+{
+
+/** Area (NAND2-equivalent gates) and switching energy of a datapath. */
+struct HwCost
+{
+    double areaUnits = 0.0;
+    /** Relative dynamic energy per operation (gate count x activity). */
+    double energyUnits = 0.0;
+
+    constexpr HwCost &
+    operator+=(const HwCost &o)
+    {
+        areaUnits += o.areaUnits;
+        energyUnits += o.energyUnits;
+        return *this;
+    }
+
+    constexpr HwCost
+    operator+(const HwCost &o) const
+    {
+        HwCost r = *this;
+        r += o;
+        return r;
+    }
+};
+
+/** Cost library: classic unit-gate estimates for datapath blocks. */
+namespace hw
+{
+
+/** Ripple/carry-select adder of @p bits (full adder ~ 5 gates). */
+HwCost adder(int bits);
+
+/** Array multiplier of @p a_bits x @p b_bits partial products. */
+HwCost multiplier(int a_bits, int b_bits);
+
+/** 2:1 multiplexer of @p bits. */
+HwCost mux2(int bits);
+
+/** Barrel shifter over @p bits (log2(bits) mux stages). */
+HwCost barrelShifter(int bits);
+
+/** Leading-zero/priority encoder over @p bits. */
+HwCost priorityEncoder(int bits);
+
+/** Flip-flop register of @p bits. */
+HwCost registerBits(int bits);
+
+/** Comparator of @p bits. */
+HwCost comparator(int bits);
+
+/** Small constant control overhead. */
+HwCost control(int states);
+
+/** Iterative (radix-4 SRT) divider of @p bits; area ~2.5x a same-width
+ *  multiplier and high switching activity. */
+HwCost divider(int bits);
+
+/** SRAM macro of @p bits capacity (dense layout, low activity). */
+HwCost sramMacro(double bits);
+
+} // namespace hw
+
+/** Datapath models of the two Stage-II mixed multipliers (Fig. 6(d)). */
+namespace fiem_cost
+{
+
+/**
+ * Traditional path: INT2FP conversion (priority encoder + barrel
+ * shifter + exponent adder) followed by a full FP16 multiplier (11x11
+ * significand array, exponent adder, normalizer, rounding).
+ */
+HwCost int2fpPlusFpmul(int int_bits = 8);
+
+/**
+ * FIEM: the integer multiplies the significand directly (11 x int_bits
+ * array), followed by one shared normalize/round stage; the INT2FP
+ * stage and the wider 11x11 array disappear.
+ */
+HwCost fiem(int int_bits = 8);
+
+} // namespace fiem_cost
+
+/** Stage-II pipeline sharing accounting (Technique T2-1). */
+struct StageTwoSharing
+{
+    /** Area directly shared between inference and training. */
+    double sharedUnits = 0.0;
+    /** Area of the reconfigurable (mode-switched) interpolation array. */
+    double reconfiguredUnits = 0.0;
+    /** Area a naive design would duplicate per mode. */
+    double duplicatedSavingUnits = 0.0;
+
+    double totalUnits() const { return sharedUnits + reconfiguredUnits; }
+    /** Fraction of Stage-II area that is directly shared (paper: 87.4%). */
+    double sharedFraction() const { return sharedUnits / totalUnits(); }
+    /** Fraction that is reused via reconfiguration (paper: 12.6%). */
+    double reconfiguredFraction() const { return reconfiguredUnits / totalUnits(); }
+};
+
+/**
+ * Gate-level accounting of one feature-interpolation core: coordinate
+ * generation, hash index computation, and weight computation are shared
+ * verbatim between the forward and backward passes; the interpolation
+ * array (MAC tree forward / scatter-multiply backward) is reconfigured.
+ */
+StageTwoSharing stageTwoSharing(int feature_bits = 16, int levels = 8);
+
+/** Result of adapting the Fusion-3D modules to a TensoRF accelerator. */
+struct TensorfAdaptation
+{
+    /** RT-NeRF-style baseline: generic sampling + separate post proc. */
+    HwCost baseline;
+    /** With the Fusion-3D sampling and post-processing modules dropped
+     *  in (feature-interpolation module retained). */
+    HwCost adapted;
+
+    double areaSaving() const { return 1.0 - adapted.areaUnits / baseline.areaUnits; }
+    double powerSaving() const
+    {
+        return 1.0 - adapted.energyUnits / baseline.energyUnits;
+    }
+};
+
+/**
+ * Gate-level model of the Sec. VI-C adaptation study: integrating the
+ * proposed Sampling and Post-Processing modules into a TensoRF
+ * accelerator while retaining its feature-interpolation module
+ * (paper: 39% power and 11% area reduction vs RT-NeRF).
+ */
+TensorfAdaptation tensorfAdaptation();
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_HW_COST_H_

@@ -1,0 +1,48 @@
+#include "chip/interp_array.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/fiem.h"
+
+namespace fusion3d::chip
+{
+
+QuantizedWeights
+quantizeWeights(const std::array<float, 8> &weights)
+{
+    QuantizedWeights q;
+    for (std::size_t i = 0; i < 8; ++i) {
+        const float w = std::clamp(weights[i], 0.0f, 1.0f);
+        q.w[i] = static_cast<std::uint8_t>(std::lround(w * 255.0f));
+    }
+    return q;
+}
+
+float
+InterpArray::forwardMacTree(const std::array<Half, 8> &features,
+                            const QuantizedWeights &weights)
+{
+    // Eight FIEM lanes followed by a three-level adder tree. The FIEM
+    // outputs are exact, so accumulation order only matters at float
+    // rounding granularity; we mirror the tree order of the hardware.
+    float lane[8];
+    for (std::size_t i = 0; i < 8; ++i)
+        lane[i] = fiemMultiply(features[i], static_cast<std::int32_t>(weights.w[i]));
+    const float l0 = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+    const float l1 = (lane[4] + lane[5]) + (lane[6] + lane[7]);
+    return (l0 + l1) * QuantizedWeights::kScale;
+}
+
+std::array<float, 8>
+InterpArray::backwardScatter(Half dout, const QuantizedWeights &weights)
+{
+    std::array<float, 8> out{};
+    for (std::size_t i = 0; i < 8; ++i) {
+        out[i] = fiemMultiply(dout, static_cast<std::int32_t>(weights.w[i])) *
+                 QuantizedWeights::kScale;
+    }
+    return out;
+}
+
+} // namespace fusion3d::chip

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional model of the shared, reconfigurable interpolation array
+ * (Technique T2-1, Fig. 6(b)). The same eight FIEM multipliers serve as
+ *
+ *  - a MAC tree in the forward pass:  out = sum_c w_c * f_c, and
+ *  - a vector (scatter) multiplier in the backward pass:
+ *    df_c = w_c * dout,
+ *
+ * i.e. the same computation graph with inverted edges. Interpolation
+ * weights are fixed-point integers (Stage II computes them from the
+ * fractional coordinates), which is exactly the FP x INT mix the FIEM
+ * exists for.
+ */
+
+#ifndef FUSION3D_CHIP_INTERP_ARRAY_H_
+#define FUSION3D_CHIP_INTERP_ARRAY_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/half.h"
+
+namespace fusion3d::chip
+{
+
+/** Fixed-point format of interpolation weights: unsigned Q0.8. */
+struct QuantizedWeights
+{
+    std::array<std::uint8_t, 8> w{};
+    /** Dequantization scale (1/255 for Q0.8). */
+    static constexpr float kScale = 1.0f / 255.0f;
+};
+
+/** Quantize the eight trilinear weights (each in [0,1]) to Q0.8. */
+QuantizedWeights quantizeWeights(const std::array<float, 8> &weights);
+
+/** The reconfigurable array. */
+class InterpArray
+{
+  public:
+    /**
+     * Forward (inference/training fwd) mode: MAC tree.
+     * @return sum_c scale * w_c * f_c computed through FIEM multipliers.
+     */
+    static float forwardMacTree(const std::array<Half, 8> &features,
+                                const QuantizedWeights &weights);
+
+    /**
+     * Backward (training) mode: scatter-multiply the upstream gradient
+     * onto the eight vertices: df_c = scale * w_c * dout.
+     */
+    static std::array<float, 8> backwardScatter(Half dout,
+                                                const QuantizedWeights &weights);
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_INTERP_ARRAY_H_

@@ -1,0 +1,143 @@
+#include "chip/interp_module.h"
+
+#include "common/logging.h"
+
+namespace fusion3d::chip
+{
+
+namespace
+{
+
+sim::SramConfig
+sramConfigFor(const ChipConfig &cfg)
+{
+    sim::SramConfig sc;
+    sc.numBanks = static_cast<std::uint32_t>(cfg.sramBanksPerCore);
+    // One 64 KB table pair split across the banks, 4-byte entries.
+    sc.bytesPerWord = static_cast<std::uint32_t>(cfg.bytesPerVertexFeature);
+    sc.wordsPerBank = (64u * 1024u * 2u) / (sc.numBanks * sc.bytesPerWord);
+    return sc;
+}
+
+} // namespace
+
+TdmResult
+tdmCoSchedule(std::uint64_t train_groups, std::uint64_t infer_groups, int cores)
+{
+    if (cores < 1)
+        fatal("tdmCoSchedule needs at least one core");
+    const auto per_core = [cores](std::uint64_t slots) {
+        return (slots + static_cast<std::uint64_t>(cores) - 1) /
+               static_cast<std::uint64_t>(cores);
+    };
+
+    TdmResult r;
+    r.trainingCycles = per_core(train_groups * 3);
+    r.inferenceAloneCycles = per_core(infer_groups);
+    // One idle compute slot per training update hosts one inference read.
+    r.inferenceAbsorbed = std::min(train_groups, infer_groups);
+    const std::uint64_t leftover = infer_groups - r.inferenceAbsorbed;
+    r.tdmCycles = r.trainingCycles + per_core(leftover);
+    return r;
+}
+
+InterpModule::InterpModule(const ChipConfig &cfg, BankPolicy policy)
+    : cfg_(cfg),
+      tiler_(policy, static_cast<std::uint32_t>(cfg.sramBanksPerCore)),
+      sram_(sramConfigFor(cfg), "interp_sram")
+{
+    if (policy == BankPolicy::ModuloInterleave) {
+        crossbar_ = std::make_unique<sim::Crossbar>(
+            8, static_cast<std::uint32_t>(cfg.sramBanksPerCore), "interp_xbar");
+    } else {
+        if (cfg.sramBanksPerCore != 8)
+            fatal("Two-level tiling requires exactly 8 banks (got %d)",
+                  cfg.sramBanksPerCore);
+        direct_ = std::make_unique<sim::DirectConnect>(8, "interp_direct");
+    }
+    pending_banks_.reserve(8);
+}
+
+void
+InterpModule::visit(int level, int corner, const Vec3i &coord, std::uint32_t index,
+                    bool dense)
+{
+    (void)level;
+    (void)dense;
+    const std::uint32_t bank = tiler_.bankOf(coord, index);
+
+    if (tiler_.policy() == BankPolicy::TwoLevelTiling) {
+        // The tiled mapping must be a bijection corner -> bank; the
+        // DirectConnect wiring depends on it. Corner c = (dx, dy, dz)
+        // reaches the bank of its (y-parity, z-parity, addr-parity), so
+        // we route through port = bank to model the one-to-one wires.
+        (void)corner;
+    }
+
+    pending_banks_.push_back(bank);
+    if (pending_banks_.size() == 8)
+        flushGroup();
+}
+
+void
+InterpModule::flushGroup()
+{
+    Cycles cycles;
+    if (tiler_.policy() == BankPolicy::ModuloInterleave) {
+        // Crossbar arbitration + banked service; the SRAM model counts
+        // the same serialization, so take the max (they overlap).
+        const Cycles xbar = crossbar_->routeGroup(pending_banks_);
+        const sim::SramAccessResult r = sram_.accessGroup(pending_banks_);
+        cycles = std::max(xbar, r.cycles + crossbar_->profile().traversalLatency);
+    } else {
+        // One-to-one wiring: re-index ports so port i drives bank i.
+        // The tiling guarantees all 8 banks are distinct.
+        std::uint32_t sorted[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+        bool seen[8] = {};
+        for (std::uint32_t b : pending_banks_) {
+            if (b >= 8 || seen[b])
+                panic("two-level tiling produced a bank collision (bank %u)", b);
+            seen[b] = true;
+        }
+        const Cycles wire = direct_->routeGroup({sorted, 8});
+        const sim::SramAccessResult r = sram_.accessGroup(pending_banks_);
+        cycles = std::max(wire, r.cycles);
+    }
+    total_group_cycles_ += cycles;
+    ++groups_;
+    pending_banks_.clear();
+}
+
+InterpRunStats
+InterpModule::stats() const
+{
+    InterpRunStats s;
+    s.groups = groups_;
+    s.totalGroupCycles = total_group_cycles_;
+    s.conflicts = sram_.conflictCount();
+    s.meanGroupLatency =
+        groups_ ? static_cast<double>(total_group_cycles_) / static_cast<double>(groups_)
+                : 0.0;
+    // Latency variance of the raw SRAM group access (the interconnect
+    // adds a constant, so the variance is the SRAM's).
+    s.latencyVariance = sram_.latency().variance();
+    s.maxGroupLatency = sram_.latency().max();
+    return s;
+}
+
+sim::InterconnectProfile
+InterpModule::interconnectProfile() const
+{
+    return crossbar_ ? crossbar_->profile() : direct_->profile();
+}
+
+void
+InterpModule::reset()
+{
+    sram_.resetStats();
+    pending_banks_.clear();
+    total_group_cycles_ = 0;
+    groups_ = 0;
+}
+
+} // namespace fusion3d::chip

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cycle-level model of the Feature Interpolation Module (Stage II). It
+ * plugs into the functional pipeline as a VertexVisitor: every real
+ * hash-grid access the NeRF performs is replayed through the banked
+ * SRAM model under a bank-mapping policy (baseline interleaving vs the
+ * Level-2/3 tiling of Technique T4) and an interconnect (crossbar vs
+ * the one-to-one wiring the tiling enables). This produces the latency,
+ * variance, conflict and area numbers of Fig. 12(b)-(e).
+ */
+
+#ifndef FUSION3D_CHIP_INTERP_MODULE_H_
+#define FUSION3D_CHIP_INTERP_MODULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chip/config.h"
+#include "chip/hash_tiler.h"
+#include "common/types.h"
+#include "nerf/hash_encoding.h"
+#include "sim/noc.h"
+#include "sim/sram.h"
+
+namespace fusion3d::chip
+{
+
+/** Aggregate Stage-II statistics of a replayed trace. */
+struct InterpRunStats
+{
+    /** (point, level) access groups served. */
+    std::uint64_t groups = 0;
+    /** Total serialized group-service cycles (SRAM + interconnect). */
+    std::uint64_t totalGroupCycles = 0;
+    /** Total conflict (serialization) events. */
+    std::uint64_t conflicts = 0;
+    double meanGroupLatency = 0.0;
+    double latencyVariance = 0.0;
+    double maxGroupLatency = 0.0;
+
+    /** Core-parallel cycle count for @p cores interpolation cores. */
+    Cycles
+    coreCycles(int cores) const
+    {
+        if (cores <= 0)
+            return totalGroupCycles;
+        return (totalGroupCycles + static_cast<std::uint64_t>(cores) - 1) /
+               static_cast<std::uint64_t>(cores);
+    }
+};
+
+/** Result of time-division multiplexing training and inference work
+ *  through the shared Stage-II pipeline (Technique T2-1, Fig. 6(c)). */
+struct TdmResult
+{
+    /** Cycles for the training groups alone (3-slot feature updates). */
+    Cycles trainingCycles = 0;
+    /** Cycles for the inference groups alone (no TDM). */
+    Cycles inferenceAloneCycles = 0;
+    /** Cycles when inference rides the training updates' idle slots. */
+    Cycles tdmCycles = 0;
+    /** Inference groups absorbed into idle slots at zero cost. */
+    std::uint64_t inferenceAbsorbed = 0;
+
+    /** Cycles saved vs running the two workloads back-to-back. */
+    Cycles
+    savedCycles() const
+    {
+        return trainingCycles + inferenceAloneCycles - tdmCycles;
+    }
+};
+
+/**
+ * Model the TDM co-schedule: each training feature update occupies its
+ * SRAM bank for three slots (read, compute, write) and the compute slot
+ * leaves the memory idle — one interleaved inference read slots in for
+ * free. Remaining inference groups run afterwards at one slot each.
+ */
+TdmResult tdmCoSchedule(std::uint64_t train_groups, std::uint64_t infer_groups,
+                        int cores);
+
+/** Stage-II memory-system model; attach as the pipeline's VertexVisitor. */
+class InterpModule : public nerf::VertexVisitor
+{
+  public:
+    /**
+     * @param cfg    Chip configuration (bank count per core).
+     * @param policy Bank mapping under test.
+     */
+    InterpModule(const ChipConfig &cfg, BankPolicy policy);
+
+    BankPolicy policy() const { return tiler_.policy(); }
+
+    /** VertexVisitor hook: buffers the 8 corners of a group, then
+     *  replays the group access through interconnect + SRAM. */
+    void visit(int level, int corner, const Vec3i &coord, std::uint32_t index,
+               bool dense) override;
+
+    /** Statistics of everything replayed since the last reset. */
+    InterpRunStats stats() const;
+
+    /** The banked SRAM model (per-bank load, latency histogram). */
+    const sim::Sram &sram() const { return sram_; }
+
+    /** Interconnect area/latency profile of this configuration. */
+    sim::InterconnectProfile interconnectProfile() const;
+
+    void reset();
+
+  private:
+    void flushGroup();
+
+    ChipConfig cfg_;
+    HashTiler tiler_;
+    sim::Sram sram_;
+    std::unique_ptr<sim::Crossbar> crossbar_;       // baseline interconnect
+    std::unique_ptr<sim::DirectConnect> direct_;    // tiled interconnect
+
+    std::vector<std::uint32_t> pending_banks_;
+    std::uint64_t total_group_cycles_ = 0;
+    std::uint64_t groups_ = 0;
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_INTERP_MODULE_H_

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Memory Clusters of Fig. 4(a): shared SRAM spaces between the
+ * three computing modules with software-configurable connections that
+ * implement a ping-pong (double-buffer) hand-off — Stage N fills one
+ * buffer while Stage N+1 drains the other, which is what lets the
+ * macro-pipeline run without off-chip spills for intermediate data.
+ */
+
+#ifndef FUSION3D_CHIP_MEMORY_CLUSTER_H_
+#define FUSION3D_CHIP_MEMORY_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "chip/config.h"
+#include "common/types.h"
+
+namespace fusion3d::chip
+{
+
+/** Result of planning a batch through the ping-pong buffers. */
+struct BufferPlan
+{
+    /** Bytes one stage hand-off carries per batch. */
+    Bytes batchBytes = 0;
+    /** Capacity of one ping-pong half. */
+    Bytes halfCapacity = 0;
+    /** True if the batch fits on-chip (no off-chip spill needed). */
+    bool fits = false;
+    /** Bytes that would spill off-chip per batch when it does not fit. */
+    Bytes spillBytes = 0;
+};
+
+/**
+ * One memory cluster: a SRAM pool split into two ping-pong halves per
+ * stage boundary it serves.
+ */
+class MemoryCluster
+{
+  public:
+    /**
+     * @param cfg         Chip configuration (per-cluster capacity).
+     * @param boundaries  Stage boundaries this cluster serves (the
+     *                    capacity is divided among them, then halved
+     *                    for ping-pong).
+     */
+    explicit MemoryCluster(const ChipConfig &cfg, int boundaries = 2)
+        : capacity_bytes_(static_cast<Bytes>(cfg.sramPerClusterKb) * 1024),
+          boundaries_(boundaries)
+    {}
+
+    Bytes capacityBytes() const { return capacity_bytes_; }
+
+    /** Capacity of one ping-pong half for one boundary. */
+    Bytes
+    halfCapacity() const
+    {
+        return capacity_bytes_ / (2 * static_cast<Bytes>(boundaries_));
+    }
+
+    /**
+     * Plan a hand-off of @p points samples carrying @p bytes_per_point
+     * each across one stage boundary.
+     */
+    BufferPlan
+    plan(std::uint64_t points, std::uint32_t bytes_per_point) const
+    {
+        BufferPlan p;
+        p.batchBytes = points * bytes_per_point;
+        p.halfCapacity = halfCapacity();
+        p.fits = p.batchBytes <= p.halfCapacity;
+        p.spillBytes = p.fits ? 0 : p.batchBytes - p.halfCapacity;
+        return p;
+    }
+
+    /**
+     * Largest batch (in points) that fits one ping-pong half at
+     * @p bytes_per_point. The controller sizes ray batches with this.
+     */
+    std::uint64_t
+    maxBatchPoints(std::uint32_t bytes_per_point) const
+    {
+        if (bytes_per_point == 0)
+            return 0;
+        return halfCapacity() / bytes_per_point;
+    }
+
+  private:
+    Bytes capacity_bytes_;
+    int boundaries_;
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_MEMORY_CLUSTER_H_

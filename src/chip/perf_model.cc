@@ -1,0 +1,162 @@
+#include "chip/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::chip
+{
+
+ChipRunResult
+PerfModel::combine(const WorkloadProfile &wl, Cycles s1, Cycles s2, Cycles s3) const
+{
+    ChipRunResult r;
+    r.stage1Cycles = s1;
+    r.stage2Cycles = s2;
+    r.stage3Cycles = s3;
+    // The three stages run as a macro-pipeline over ray batches
+    // (ping-pong memory clusters): steady-state time is the slowest
+    // stage; fill/drain adds ~2%.
+    const Cycles slowest = std::max({s1, s2, s3});
+    r.totalCycles = slowest + slowest / 50;
+    r.seconds = static_cast<double>(r.totalCycles) / cfg_.clockHz;
+    r.energyJ = tech_.energyJ(static_cast<double>(r.totalCycles));
+    if (r.seconds > 0.0) {
+        r.throughputPointsPerSec = static_cast<double>(wl.validPoints) / r.seconds;
+    }
+    if (wl.validPoints > 0)
+        r.energyPerPointNj = r.energyJ * 1e9 / static_cast<double>(wl.validPoints);
+    return r;
+}
+
+namespace
+{
+
+/** Stage-II pipeline overhead beyond the steady-state group rate,
+ *  calibrated against the published 591 M samples/s. */
+constexpr double kStage2Overhead = 1.25;
+
+/** Extrapolate trace-replay Stage-I cycles to the full workload. */
+Cycles
+scaleStage1(const SamplingRunStats &stage1, std::uint64_t total_rays)
+{
+    if (stage1.raysProcessed == 0)
+        return 0;
+    const double scale = static_cast<double>(total_rays) /
+                         static_cast<double>(stage1.raysProcessed);
+    return static_cast<Cycles>(static_cast<double>(stage1.totalCycles) * scale);
+}
+
+} // namespace
+
+ChipRunResult
+PerfModel::inference(const WorkloadProfile &wl, const SamplingRunStats &stage1) const
+{
+    const Cycles s1 = scaleStage1(stage1, wl.rays);
+
+    // Stage II: one group access per (point, level), spread over cores;
+    // kStage2Overhead covers refill bubbles and bank-write turnaround
+    // the steady-state group rate hides.
+    const double groups =
+        static_cast<double>(wl.validPoints) * static_cast<double>(wl.levels);
+    const Cycles s2 = static_cast<Cycles>(
+        kStage2Overhead * groups * wl.avgGroupCycles / std::max(cfg_.interpCores, 1));
+
+    const PostprocModule post(cfg_, wl.macsPerPoint);
+    const Cycles s3 = post.inference(wl.validPoints, wl.compositedPoints).totalCycles;
+
+    return combine(wl, s1, s2, s3);
+}
+
+ChipRunResult
+PerfModel::training(const WorkloadProfile &wl, const SamplingRunStats &stage1,
+                    bool tdm_inference) const
+{
+    const Cycles s1 = scaleStage1(stage1, wl.rays);
+
+    // Stage II training: the three-step feature update (read, compute,
+    // write back) occupies each group for three memory slots. The TDM
+    // optimization does not shorten training; it donates the idle
+    // compute-slot to concurrent inference work (reported by callers
+    // that co-schedule rendering) -- so the training time is 3x either
+    // way, exactly the ~1/3 training/inference throughput ratio of
+    // Table III.
+    (void)tdm_inference;
+    const double groups =
+        static_cast<double>(wl.validPoints) * static_cast<double>(wl.levels);
+    const Cycles s2 = static_cast<Cycles>(
+        3.0 * kStage2Overhead * groups * wl.avgGroupCycles /
+        std::max(cfg_.interpCores, 1));
+
+    const PostprocModule post(cfg_, wl.macsPerPoint);
+    const Cycles s3 = post.training(wl.validPoints, wl.compositedPoints).totalCycles;
+
+    return combine(wl, s1, s2, s3);
+}
+
+double
+BandwidthModel::interStageGBs() const
+{
+    // Stage 1 -> 2: packed position + step (8 B). Stage 2 -> 3: the
+    // encoded features in fp16.
+    const double per_sample =
+        8.0 + static_cast<double>(levels) * featuresPerLevel * 2.0;
+    return samplesPerSec * per_sample / 1e9;
+}
+
+double
+BandwidthModel::intraStageGBs() const
+{
+    // Hash-table update traffic (8 vertices x levels x features, read +
+    // write in the backward pass) with a 4x coalescing factor, plus the
+    // MLP activation save/restore between forward and backward with a
+    // batch-locality factor.
+    const double hash_update = 8.0 * levels * featuresPerLevel * 2.0 * 2.0 * 0.25;
+    const double activations = 2.0 * mlpHidden * 2.0 * 2.0 * 0.15;
+    return samplesPerSec * (hash_update + activations) / 1e9;
+}
+
+double
+BandwidthModel::spillGBs(double table_bytes) const
+{
+    // Feature-read traffic that misses the on-chip table share.
+    if (table_bytes <= onchipTableBytes)
+        return 0.0;
+    const double access_bytes = 8.0 * levels * featuresPerLevel * 2.0;
+    const double spill_frac = 1.0 - onchipTableBytes / table_bytes;
+    constexpr double kLocality = 0.14; // occupancy + batch reuse
+    return samplesPerSec * access_bytes * spill_frac * kLocality / 1e9;
+}
+
+double
+BandwidthModel::totalIntermediateGb() const
+{
+    return (interStageGBs() + intraStageGBs()) * trainSeconds;
+}
+
+double
+BandwidthModel::requiredBandwidthGBs(CoverageBoundary boundary,
+                                     double table_bytes) const
+{
+    // Streaming the dataset in and the model out, with double-buffering
+    // overhead.
+    const double io = ioGb() / trainSeconds * 1.7;
+
+    switch (boundary) {
+      case CoverageBoundary::EndToEnd:
+        return io + spillGBs(table_bytes);
+      case CoverageBoundary::Stage23:
+        // Stage-I results cross off-chip, and splitting the pipeline
+        // amplifies spill traffic (partial sums are refetched instead
+        // of forwarded on-chip).
+        return io + interStageGBs() + spillGBs(table_bytes) * 5.0;
+      case CoverageBoundary::Stage2Only:
+        // Additionally ships Stage-III activations off-chip.
+        return io + interStageGBs() + intraStageGBs() * 0.5 +
+               spillGBs(table_bytes) * 5.0;
+    }
+    panic("BandwidthModel: bad boundary");
+}
+
+} // namespace fusion3d::chip

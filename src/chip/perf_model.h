@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Chip-level performance model: combines the Stage I/II/III cycle
+ * models into pipelined end-to-end throughput, wall-clock, FPS and
+ * energy (the Table III/IV/V metrics), plus the training data-volume /
+ * off-chip bandwidth model behind Fig. 3, Table I and Fig. 13(b).
+ *
+ * Methodology mirrors the paper: the cycle models are exercised on real
+ * workload traces captured from the functional NeRF pipeline, and the
+ * resulting per-unit rates are extrapolated to the full workload.
+ */
+
+#ifndef FUSION3D_CHIP_PERF_MODEL_H_
+#define FUSION3D_CHIP_PERF_MODEL_H_
+
+#include <cstdint>
+
+#include "chip/config.h"
+#include "chip/interp_module.h"
+#include "chip/postproc_module.h"
+#include "chip/sampling_module.h"
+#include "chip/tech_model.h"
+
+namespace fusion3d::chip
+{
+
+/** Workload description extracted from a functional run. */
+struct WorkloadProfile
+{
+    std::uint64_t rays = 0;
+    /** Candidate samples marched in Stage I. */
+    std::uint64_t candidates = 0;
+    /** Valid samples reaching Stages II/III. */
+    std::uint64_t validPoints = 0;
+    /** Samples actually composited (early termination). */
+    std::uint64_t compositedPoints = 0;
+    /** Hash-grid levels per point. */
+    int levels = 8;
+    /** MLP MACs per point (forward). */
+    std::uint64_t macsPerPoint = 2400;
+    /** Mean Stage-II group latency in cycles (from InterpModule). */
+    double avgGroupCycles = 1.0;
+};
+
+/** Per-stage and end-to-end cycles of a run. */
+struct ChipRunResult
+{
+    Cycles stage1Cycles = 0;
+    Cycles stage2Cycles = 0;
+    Cycles stage3Cycles = 0;
+    /** Pipelined end-to-end cycles: slowest stage plus fill/drain. */
+    Cycles totalCycles = 0;
+    double seconds = 0.0;
+    double energyJ = 0.0;
+    /** Valid samples per second. */
+    double throughputPointsPerSec = 0.0;
+    double energyPerPointNj = 0.0;
+};
+
+/** The combined chip performance model. */
+class PerfModel
+{
+  public:
+    PerfModel(const ChipConfig &cfg, const TechModel &tech)
+        : cfg_(cfg), tech_(tech)
+    {}
+
+    const ChipConfig &config() const { return cfg_; }
+
+    /**
+     * Inference run: Stage II serves one read pass per point-level.
+     * @param wl      Aggregate workload.
+     * @param stage1  Cycle stats from the SamplingModule trace replay.
+     */
+    ChipRunResult inference(const WorkloadProfile &wl,
+                            const SamplingRunStats &stage1) const;
+
+    /**
+     * Training run: Stage II performs the 3-step feature update (read /
+     * compute / write). With @p tdm_inference the idle memory slot of
+     * the update serves interleaved inference work (Technique T2-1,
+     * Fig. 6(c)), effectively hiding one of the three slots.
+     */
+    ChipRunResult training(const WorkloadProfile &wl, const SamplingRunStats &stage1,
+                           bool tdm_inference = true) const;
+
+  private:
+    ChipRunResult combine(const WorkloadProfile &wl, Cycles s1, Cycles s2,
+                          Cycles s3) const;
+
+    ChipConfig cfg_;
+    TechModel tech_;
+};
+
+/** Design boundary: which pipeline stages an accelerator covers. */
+enum class CoverageBoundary
+{
+    /** All three stages on-chip (this work). */
+    EndToEnd,
+    /** Stages II+III on-chip, Stage I on the host (Instant-3D style). */
+    Stage23,
+    /** Stage II only (NGPC/NeuRex style). */
+    Stage2Only,
+};
+
+/** Training data-volume / bandwidth model (paper-scale workload). */
+struct BandwidthModel
+{
+    /** Valid samples per second the accelerator sustains. */
+    double samplesPerSec = 2.0e8;
+    /** Target training wall-clock in seconds (instant training). */
+    double trainSeconds = 2.0;
+    /** Hash-grid levels / features per level at paper scale. */
+    int levels = 16;
+    int featuresPerLevel = 2;
+    /** Hidden widths of the two MLPs at paper scale. */
+    int mlpHidden = 64;
+    /** On-chip SRAM available for hash tables, bytes. */
+    double onchipTableBytes = 640.0 * 1024.0;
+    /** Input dataset size in GB (posed images). */
+    double datasetGb = 0.65;
+    /** Output model size in GB. */
+    double modelOutGb = 0.05;
+
+    /** GB/s crossing stage boundaries (Fig. 3's inter-stage band). */
+    double interStageGBs() const;
+    /** GB/s of intra-stage traffic (activations + weight updates). */
+    double intraStageGBs() const;
+    /** GB/s of hash-table spill traffic for a given table size. */
+    double spillGBs(double table_bytes) const;
+    /** Total intermediate volume of one training run, GB (Fig. 3). */
+    double totalIntermediateGb() const;
+    /** Pipeline input/output volume of one run, GB (Fig. 3's 0.7 GB). */
+    double ioGb() const { return datasetGb + modelOutGb; }
+
+    /**
+     * Off-chip bandwidth an accelerator with coverage @p boundary needs
+     * to finish training in trainSeconds, GB/s (Table I, Fig. 13(b)).
+     * @param table_bytes Total hash-table size of the model trained.
+     */
+    double requiredBandwidthGBs(CoverageBoundary boundary, double table_bytes) const;
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_PERF_MODEL_H_

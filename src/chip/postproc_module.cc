@@ -1,0 +1,43 @@
+#include "chip/postproc_module.h"
+
+#include <algorithm>
+
+namespace fusion3d::chip
+{
+
+PostprocRunStats
+PostprocModule::run(std::uint64_t points, std::uint64_t composited, int mlp_passes,
+                    int render_passes) const
+{
+    PostprocRunStats s;
+    s.macs = points * macs_per_point_ * static_cast<std::uint64_t>(mlp_passes);
+    const std::uint64_t macs_per_cycle =
+        std::max<std::uint64_t>(static_cast<std::uint64_t>(cfg_.mlpMacsPerCycle), 1);
+    s.mlpCycles = (s.macs + macs_per_cycle - 1) / macs_per_cycle;
+
+    const double render_ops =
+        static_cast<double>(composited) * static_cast<double>(render_passes);
+    s.renderCycles =
+        static_cast<Cycles>(render_ops / std::max(cfg_.renderSamplesPerCycle, 1e-9));
+
+    // The MLP engine and the render unit form a pipeline over points;
+    // steady-state time is bounded by the slower of the two.
+    s.totalCycles = std::max(s.mlpCycles, s.renderCycles);
+    return s;
+}
+
+PostprocRunStats
+PostprocModule::inference(std::uint64_t points, std::uint64_t composited) const
+{
+    return run(points, composited, /*mlp_passes=*/1, /*render_passes=*/1);
+}
+
+PostprocRunStats
+PostprocModule::training(std::uint64_t points, std::uint64_t composited) const
+{
+    // Forward, dL/d(input) and dL/d(weights) passes through the MAC
+    // array; compositing runs forward and backward.
+    return run(points, composited, /*mlp_passes=*/3, /*render_passes=*/2);
+}
+
+} // namespace fusion3d::chip

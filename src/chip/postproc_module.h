@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Timing model of the Post-Processing Module (Stage III): the MLP
+ * engine evaluating density/color per sampled point and the volumetric
+ * rendering unit compositing samples into pixels. Sized (Sec. VI-C,
+ * "Speedup Breakdown") so its throughput matches Stage II.
+ */
+
+#ifndef FUSION3D_CHIP_POSTPROC_MODULE_H_
+#define FUSION3D_CHIP_POSTPROC_MODULE_H_
+
+#include <cstdint>
+
+#include "chip/config.h"
+#include "common/types.h"
+
+namespace fusion3d::chip
+{
+
+/** Stage-III cycle estimate. */
+struct PostprocRunStats
+{
+    Cycles mlpCycles = 0;
+    Cycles renderCycles = 0;
+    Cycles totalCycles = 0; // MLP and render are pipelined: the max
+    std::uint64_t macs = 0;
+};
+
+/** Stage-III timing model. */
+class PostprocModule
+{
+  public:
+    /**
+     * @param cfg            Chip configuration (MAC count, render rate).
+     * @param macs_per_point MLP multiply-accumulates per sampled point
+     *                       (density + color networks, forward).
+     */
+    PostprocModule(const ChipConfig &cfg, std::uint64_t macs_per_point)
+        : cfg_(cfg), macs_per_point_(macs_per_point)
+    {}
+
+    std::uint64_t macsPerPoint() const { return macs_per_point_; }
+
+    /**
+     * Inference cost: one forward MLP pass per point plus compositing.
+     * @param points     Valid samples entering Stage III.
+     * @param composited Samples actually composited (early termination
+     *                   makes this <= points).
+     */
+    PostprocRunStats inference(std::uint64_t points, std::uint64_t composited) const;
+
+    /**
+     * Training cost: forward + input-gradient + weight-gradient passes
+     * (3x the MACs) plus the compositing forward/backward sweeps.
+     */
+    PostprocRunStats training(std::uint64_t points, std::uint64_t composited) const;
+
+  private:
+    PostprocRunStats run(std::uint64_t points, std::uint64_t composited,
+                         int mlp_passes, int render_passes) const;
+
+    ChipConfig cfg_;
+    std::uint64_t macs_per_point_;
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_POSTPROC_MODULE_H_

@@ -1,0 +1,88 @@
+#include "chip/sampling_module.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::chip
+{
+
+SamplingRunStats
+SamplingModule::run(std::span<const nerf::RayWorkload> rays) const
+{
+    const int cores = cfg_.samplingCores;
+    if (cores < 1)
+        fatal("SamplingModule needs at least one core");
+
+    SamplingRunStats stats;
+    std::vector<Cycles> busy_until(static_cast<std::size_t>(cores), 0);
+    std::vector<Cycles> sorted(static_cast<std::size_t>(cores));
+
+    std::uint64_t ray_index = 0;
+    for (const nerf::RayWorkload &ray : rays) {
+        ++ray_index;
+        ++stats.raysProcessed;
+
+        // Pre-processing pipeline: when this ray's pairs become
+        // available. The normalized path streams raysPerCycle rays per
+        // cycle; the generic path serializes its divisions.
+        const Cycles ready =
+            normalized_
+                ? static_cast<Cycles>(std::ceil(static_cast<double>(ray_index) /
+                                                cfg_.preprocRaysPerCycle))
+                : ray_index * static_cast<Cycles>(cfg_.genericPreprocCyclesPerRay);
+        stats.preprocCycles = std::max(stats.preprocCycles, ready);
+
+        const int pairs = static_cast<int>(ray.pairs.size());
+        if (pairs == 0)
+            continue;
+        if (pairs > cores)
+            panic("ray has %d pairs but only %d sampling cores", pairs, cores);
+
+        // Find the dispatch time allowed by the schedule.
+        std::copy(busy_until.begin(), busy_until.end(), sorted.begin());
+        std::sort(sorted.begin(), sorted.end());
+        Cycles dispatch = ready;
+        switch (schedule_) {
+          case SamplingSchedule::RaySerial:
+            // Baseline: wait for every core to drain.
+            dispatch = std::max(ready, sorted.back());
+            break;
+          case SamplingSchedule::Dynamic:
+            // Wait until `pairs` cores are free, then launch the whole
+            // ray (Technique T1-2's threshold).
+            dispatch = std::max(ready, sorted[static_cast<std::size_t>(pairs - 1)]);
+            break;
+          case SamplingSchedule::PairGreedy:
+            // Each pair independently takes the earliest free core.
+            dispatch = ready;
+            break;
+        }
+
+        // Assign each pair to the earliest-free core. Marching an empty
+        // lattice step costs one cycle; emitting a valid (occupied)
+        // sample costs one more (position/record generation).
+        for (const nerf::RayCubePair &pair : ray.pairs) {
+            auto it = std::min_element(busy_until.begin(), busy_until.end());
+            const Cycles span = static_cast<Cycles>(std::max(
+                pair.candidates + pair.valid * cfg_.samplingEmitCycles, 1));
+            const Cycles start = schedule_ == SamplingSchedule::PairGreedy
+                                     ? std::max(dispatch, *it)
+                                     : dispatch;
+            *it = start + span;
+            stats.busyCoreCycles += span;
+            ++stats.pairsProcessed;
+            stats.candidatesMarched += static_cast<std::uint64_t>(pair.candidates);
+            stats.validPoints += static_cast<std::uint64_t>(pair.valid);
+        }
+    }
+
+    Cycles end = stats.preprocCycles;
+    for (Cycles c : busy_until)
+        end = std::max(end, c);
+    stats.totalCycles = end;
+    return stats;
+}
+
+} // namespace fusion3d::chip

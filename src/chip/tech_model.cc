@@ -1,0 +1,94 @@
+#include "chip/tech_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::chip
+{
+
+TechModel::TechModel(const ChipConfig &cfg)
+    : cfg_(cfg)
+{
+    // Alpha-power law (alpha = 2): f = k * (V - Vth)^2 / V, fitted so
+    // the nominal point (cfg.coreVoltage, cfg.clockHz) lies on the
+    // curve. Vth = 0.53 V is typical of a 28 nm LP process.
+    const double v = cfg.coreVoltage;
+    const double ov = v - vth_;
+    if (ov <= 0.0)
+        fatal("TechModel: nominal voltage %.2f below threshold", v);
+    kfit_ = cfg.clockHz * v / (ov * ov);
+
+    // Module shares, calibrated to the published breakdown figures:
+    // the feature-interpolation module dominates (about half of it is
+    // feature SRAM, Sec. VIII), post-processing carries the MLP MACs.
+    breakdown_ = {
+        {"sampling", 0.12, 0.14},
+        {"interp", 0.42, 0.40},
+        {"postproc", 0.20, 0.28},
+        {"memory", 0.18, 0.12},
+        {"noc_ctrl", 0.08, 0.06},
+    };
+}
+
+double
+TechModel::frequencyAtVoltage(double voltage) const
+{
+    if (voltage <= vth_)
+        return 0.0;
+    const double ov = voltage - vth_;
+    return kfit_ * ov * ov / voltage;
+}
+
+double
+TechModel::voltageForFrequency(double hz) const
+{
+    // Bisect: frequencyAtVoltage is monotonic above Vth.
+    double lo = vth_ + 1e-4;
+    double hi = 1.5;
+    if (frequencyAtVoltage(hi) < hz)
+        fatal("TechModel: %g Hz unreachable below 1.5 V", hz);
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (frequencyAtVoltage(mid) < hz)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+double
+TechModel::powerAt(double voltage, double hz) const
+{
+    // Split the anchored typical power into dynamic and leakage parts.
+    constexpr double kDynFraction = 0.85;
+    const double v0 = cfg_.coreVoltage;
+    const double f0 = cfg_.clockHz;
+    const double dyn = cfg_.typicalPowerW * kDynFraction * (voltage * voltage) /
+                       (v0 * v0) * (hz / f0);
+    const double leak = cfg_.typicalPowerW * (1.0 - kDynFraction) * (voltage / v0);
+    return dyn + leak;
+}
+
+double
+TechModel::moduleAreaMm2(const std::string &name) const
+{
+    for (const ModuleShare &m : breakdown_) {
+        if (m.name == name)
+            return m.areaFraction * cfg_.dieAreaMm2;
+    }
+    fatal("TechModel: unknown module '%s'", name.c_str());
+}
+
+double
+TechModel::modulePowerW(const std::string &name) const
+{
+    for (const ModuleShare &m : breakdown_) {
+        if (m.name == name)
+            return m.powerFraction * cfg_.typicalPowerW;
+    }
+    fatal("TechModel: unknown module '%s'", name.c_str());
+}
+
+} // namespace fusion3d::chip

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * 28 nm technology model calibrated against the published silicon
+ * measurements: 600 MHz at 0.95 V, 1.21 W prototype / 1.5 W scaled-up
+ * typical power, 8.7 mm^2 scaled-up die, the module-level area/power
+ * breakdown of Fig. 9(c)/10(c) and the voltage-frequency curve of
+ * Fig. 10(d). Everything downstream (energy/point, throughput/W,
+ * Tables III-V) derives from this model.
+ */
+
+#ifndef FUSION3D_CHIP_TECH_MODEL_H_
+#define FUSION3D_CHIP_TECH_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "chip/config.h"
+
+namespace fusion3d::chip
+{
+
+/** One module's share of die area and power. */
+struct ModuleShare
+{
+    std::string name;
+    double areaFraction = 0.0;
+    double powerFraction = 0.0;
+};
+
+/** The calibrated technology/physical model. */
+class TechModel
+{
+  public:
+    explicit TechModel(const ChipConfig &cfg);
+
+    const ChipConfig &config() const { return cfg_; }
+
+    /**
+     * Achievable clock frequency at supply @p voltage, alpha-power-law
+     * fit (alpha = 2) through the measured 600 MHz @ 0.95 V point.
+     */
+    double frequencyAtVoltage(double voltage) const;
+
+    /** Inverse of frequencyAtVoltage (lowest voltage reaching @p hz). */
+    double voltageForFrequency(double hz) const;
+
+    /**
+     * Total power at operating point (@p voltage, @p hz): dynamic
+     * CV^2f scaling plus leakage ~ V, anchored at the typical power of
+     * the configuration's nominal point.
+     */
+    double powerAt(double voltage, double hz) const;
+
+    /** Power at the nominal operating point. */
+    double nominalPower() const { return cfg_.typicalPowerW; }
+
+    /** Module-level area/power breakdown (Fig. 9(c)/10(c)). */
+    const std::vector<ModuleShare> &breakdown() const { return breakdown_; }
+
+    /** Area of module @p name in mm^2. */
+    double moduleAreaMm2(const std::string &name) const;
+
+    /** Power of module @p name at nominal operation, in W. */
+    double modulePowerW(const std::string &name) const;
+
+    /** Energy for @p cycles of execution at nominal operation, joules. */
+    double
+    energyJ(double cycles) const
+    {
+        return cfg_.typicalPowerW * cycles / cfg_.clockHz;
+    }
+
+  private:
+    ChipConfig cfg_;
+    std::vector<ModuleShare> breakdown_;
+    double vth_ = 0.53;   // fitted threshold voltage
+    double kfit_ = 0.0;   // alpha-power constant
+};
+
+} // namespace fusion3d::chip
+
+#endif // FUSION3D_CHIP_TECH_MODEL_H_

@@ -1,0 +1,92 @@
+#include "common/aabb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fusion3d
+{
+
+namespace
+{
+
+/** Intersect [a0,a1] with [b0,b1]; empty intervals become a0 > a1. */
+void
+clipSpan(float &t0, float &t1, float lo_t, float hi_t)
+{
+    if (lo_t > hi_t)
+        std::swap(lo_t, hi_t);
+    t0 = std::max(t0, lo_t);
+    t1 = std::min(t1, hi_t);
+}
+
+std::optional<RaySpan>
+slabIntersect(const Ray &ray, const Vec3f &lo, const Vec3f &hi)
+{
+    float t0 = 0.0f;
+    float t1 = std::numeric_limits<float>::infinity();
+    for (int axis = 0; axis < 3; ++axis) {
+        const float o = ray.origin[axis];
+        const float inv = ray.invDir[axis];
+        if (std::isinf(inv)) {
+            // Ray parallel to this slab: miss unless origin lies inside.
+            if (o < lo[axis] || o > hi[axis])
+                return std::nullopt;
+            continue;
+        }
+        clipSpan(t0, t1, (lo[axis] - o) * inv, (hi[axis] - o) * inv);
+        if (t0 > t1)
+            return std::nullopt;
+    }
+    return RaySpan{t0, t1};
+}
+
+} // namespace
+
+std::optional<RaySpan>
+Aabb::intersectGeneric(const Ray &ray, OpCounter *ops) const
+{
+    if (ops) {
+        // Baseline cost of solving the six plane equations for an
+        // arbitrary box (Sec. IV-A, citing [26]): per plane one division
+        // of the plane offset by the direction component plus the
+        // in-plane point evaluation and two containment comparisons.
+        ops->divs += 18;
+        ops->muls += 54;
+        ops->adds += 54;
+        ops->cmps += 12;
+    }
+    return slabIntersect(ray, lo, hi);
+}
+
+std::optional<RaySpan>
+Aabb::intersectUnitCube(const Ray &ray, OpCounter *ops)
+{
+    if (ops) {
+        // Normalized fast path (Technique T1-1): with bounds fixed at
+        // {0,1}, t_lo = -o * invDir is one multiply per axis and
+        // t_hi = (1 - o) * invDir folds into one MAC per axis.
+        ops->muls += 3;
+        ops->macs += 3;
+        ops->cmps += 6;
+    }
+    return slabIntersect(ray, Vec3f(0.0f), Vec3f(1.0f));
+}
+
+std::optional<RaySpan>
+Aabb::intersectOctant(const Ray &ray, int octant, OpCounter *ops)
+{
+    if (ops) {
+        // Same folded-constant structure as the unit cube: bounds are
+        // {0, 0.5} or {0.5, 1} per axis, still one MUL + one MAC each.
+        ops->muls += 3;
+        ops->macs += 3;
+        ops->cmps += 6;
+    }
+    const Vec3f lo{(octant & 1) ? 0.5f : 0.0f,
+                   (octant & 2) ? 0.5f : 0.0f,
+                   (octant & 4) ? 0.5f : 0.0f};
+    const Vec3f hi{lo.x + 0.5f, lo.y + 0.5f, lo.z + 0.5f};
+    return slabIntersect(ray, lo, hi);
+}
+
+} // namespace fusion3d

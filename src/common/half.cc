@@ -1,0 +1,151 @@
+#include "common/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace fusion3d
+{
+
+Half
+Half::fromFloat(float f)
+{
+    const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    const std::uint32_t exp32 = (x >> 23) & 0xffu;
+    const std::uint32_t man32 = x & 0x7fffffu;
+
+    std::uint16_t out;
+    if (exp32 == 0xff) {
+        // Inf / NaN: preserve NaN-ness with a quiet payload bit.
+        out = static_cast<std::uint16_t>(sign | 0x7c00u | (man32 ? 0x200u : 0u));
+        return fromBits(out);
+    }
+
+    // Re-bias: float exponent bias 127, half bias 15.
+    const int exp16 = static_cast<int>(exp32) - 127 + 15;
+
+    if (exp16 >= 0x1f) {
+        // Overflow to infinity.
+        out = static_cast<std::uint16_t>(sign | 0x7c00u);
+        return fromBits(out);
+    }
+
+    if (exp16 <= 0) {
+        // Subnormal half or zero. Shift the full 24-bit significand
+        // right and round to nearest even.
+        if (exp16 < -10) {
+            out = static_cast<std::uint16_t>(sign); // rounds to zero
+            return fromBits(out);
+        }
+        const std::uint32_t sig = man32 | 0x800000u; // implicit bit
+        const int shift = 14 - exp16;                // 14..24
+        const std::uint32_t half_bit = 1u << (shift - 1);
+        const std::uint32_t mant = sig >> shift;
+        const std::uint32_t rem = sig & ((1u << shift) - 1);
+        std::uint32_t rounded = mant;
+        if (rem > half_bit || (rem == half_bit && (mant & 1)))
+            ++rounded;
+        out = static_cast<std::uint16_t>(sign | rounded);
+        return fromBits(out);
+    }
+
+    // Normal number: keep the top 10 mantissa bits, round to nearest even.
+    std::uint32_t mant = man32 >> 13;
+    const std::uint32_t rem = man32 & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (mant & 1)))
+        ++mant;
+    std::uint32_t exp_out = static_cast<std::uint32_t>(exp16);
+    if (mant == 0x400u) { // mantissa carry out
+        mant = 0;
+        ++exp_out;
+        if (exp_out >= 0x1f) {
+            out = static_cast<std::uint16_t>(sign | 0x7c00u);
+            return fromBits(out);
+        }
+    }
+    out = static_cast<std::uint16_t>(sign | (exp_out << 10) | mant);
+    return fromBits(out);
+}
+
+Half
+Half::fromDouble(double d)
+{
+    const std::uint64_t x = std::bit_cast<std::uint64_t>(d);
+    const std::uint32_t sign = static_cast<std::uint32_t>((x >> 48) & 0x8000u);
+    const std::uint32_t exp64 = static_cast<std::uint32_t>((x >> 52) & 0x7ffu);
+    const std::uint64_t man64 = x & 0xfffffffffffffULL;
+
+    if (exp64 == 0x7ff) {
+        return fromBits(static_cast<std::uint16_t>(sign | 0x7c00u |
+                                                   (man64 ? 0x200u : 0u)));
+    }
+
+    // Re-bias: double bias 1023, half bias 15.
+    const int exp16 = static_cast<int>(exp64) - 1023 + 15;
+
+    if (exp16 >= 0x1f)
+        return fromBits(static_cast<std::uint16_t>(sign | 0x7c00u));
+
+    if (exp16 <= 0) {
+        // Subnormal half or zero: shift the 53-bit significand down.
+        if (exp16 < -10)
+            return fromBits(static_cast<std::uint16_t>(sign));
+        const std::uint64_t sig = man64 | (exp64 ? (1ULL << 52) : 0);
+        const int shift = 43 - exp16; // 43..53
+        const std::uint64_t half_bit = 1ULL << (shift - 1);
+        const std::uint64_t mant = sig >> shift;
+        const std::uint64_t rem = sig & ((1ULL << shift) - 1);
+        std::uint64_t rounded = mant;
+        if (rem > half_bit || (rem == half_bit && (mant & 1)))
+            ++rounded;
+        return fromBits(static_cast<std::uint16_t>(sign | rounded));
+    }
+
+    // Normal: keep the top 10 mantissa bits with round-to-nearest-even.
+    std::uint64_t mant = man64 >> 42;
+    const std::uint64_t rem = man64 & ((1ULL << 42) - 1);
+    const std::uint64_t half_bit = 1ULL << 41;
+    if (rem > half_bit || (rem == half_bit && (mant & 1)))
+        ++mant;
+    std::uint32_t exp_out = static_cast<std::uint32_t>(exp16);
+    if (mant == 0x400u) {
+        mant = 0;
+        ++exp_out;
+        if (exp_out >= 0x1f)
+            return fromBits(static_cast<std::uint16_t>(sign | 0x7c00u));
+    }
+    return fromBits(static_cast<std::uint16_t>(sign | (exp_out << 10) |
+                                               static_cast<std::uint32_t>(mant)));
+}
+
+float
+Half::toFloat() const
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(signBit()) << 31;
+    const std::uint32_t exp = exponentField();
+    const std::uint32_t man = mantissaField();
+
+    std::uint32_t out;
+    if (exp == 0) {
+        if (man == 0) {
+            out = sign; // signed zero
+        } else {
+            // Subnormal: normalize into the float format.
+            int e = -1;
+            std::uint32_t m = man;
+            while (!(m & 0x400u)) {
+                m <<= 1;
+                ++e;
+            }
+            const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+            out = sign | (exp32 << 23) | ((m & 0x3ffu) << 13);
+        }
+    } else if (exp == 0x1f) {
+        out = sign | 0x7f800000u | (man << 13);
+    } else {
+        out = sign | ((exp - 15 + 127) << 23) | (man << 13);
+    }
+    return std::bit_cast<float>(out);
+}
+
+} // namespace fusion3d

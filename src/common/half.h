@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("half") arithmetic. The chip's inference
+ * datapath and the FIEM multiplier (Technique T2-2) operate on halves;
+ * the bit-level decomposition here is what the FIEM model consumes.
+ */
+
+#ifndef FUSION3D_COMMON_HALF_H_
+#define FUSION3D_COMMON_HALF_H_
+
+#include <cstdint>
+
+namespace fusion3d
+{
+
+/**
+ * IEEE-754 binary16 value stored in its raw 16-bit pattern:
+ * 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+ * Conversions implement round-to-nearest-even exactly.
+ */
+class Half
+{
+  public:
+    constexpr Half() = default;
+
+    /** Convert from single precision with round-to-nearest-even. */
+    static Half fromFloat(float f);
+
+    /** Convert from double precision with round-to-nearest-even. */
+    static Half fromDouble(double d);
+
+    /** Reinterpret a raw bit pattern as a Half. */
+    static constexpr Half
+    fromBits(std::uint16_t b)
+    {
+        Half h;
+        h.bits_ = b;
+        return h;
+    }
+
+    /** Widen to single precision (exact). */
+    float toFloat() const;
+
+    constexpr std::uint16_t bits() const { return bits_; }
+    constexpr std::uint16_t signBit() const { return bits_ >> 15; }
+    /** Biased 5-bit exponent field. */
+    constexpr std::uint16_t exponentField() const { return (bits_ >> 10) & 0x1f; }
+    /** 10-bit stored mantissa (without the implicit leading one). */
+    constexpr std::uint16_t mantissaField() const { return bits_ & 0x3ff; }
+
+    constexpr bool isZero() const { return (bits_ & 0x7fff) == 0; }
+    constexpr bool isSubnormal() const { return exponentField() == 0 && mantissaField() != 0; }
+    constexpr bool isInf() const { return exponentField() == 0x1f && mantissaField() == 0; }
+    constexpr bool isNan() const { return exponentField() == 0x1f && mantissaField() != 0; }
+
+    /**
+     * Full significand including the implicit bit: 11 bits for normal
+     * numbers, the raw mantissa for subnormals.
+     */
+    constexpr std::uint32_t
+    significand() const
+    {
+        if (exponentField() == 0)
+            return mantissaField();
+        return 0x400u | mantissaField();
+    }
+
+    /** Unbiased exponent of the significand interpreted as 1.m * 2^e. */
+    constexpr int
+    unbiasedExponent() const
+    {
+        if (exponentField() == 0)
+            return -14; // subnormals share the minimum exponent
+        return static_cast<int>(exponentField()) - 15;
+    }
+
+    constexpr bool operator==(const Half &o) const = default;
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+/** Round-trip helper: quantize a float through binary16. */
+inline float
+roundToHalf(float f)
+{
+    return Half::fromFloat(f).toFloat();
+}
+
+/**
+ * Correctly rounded binary16 addition: the double-precision sum of two
+ * halves is exact (11-bit significands, bounded exponent range), so a
+ * single round-to-nearest-even from double gives the IEEE result.
+ */
+inline Half
+halfAdd(Half a, Half b)
+{
+    return Half::fromDouble(static_cast<double>(a.toFloat()) +
+                            static_cast<double>(b.toFloat()));
+}
+
+/** Correctly rounded binary16 multiplication (same exactness argument:
+ *  an 11x11-bit product fits double with room to spare). */
+inline Half
+halfMul(Half a, Half b)
+{
+    return Half::fromDouble(static_cast<double>(a.toFloat()) *
+                            static_cast<double>(b.toFloat()));
+}
+
+/** Correctly rounded fused multiply-add in binary16: a*b + c with one
+ *  final rounding, as the MLP engine's MAC units compute. */
+inline Half
+halfFma(Half a, Half b, Half c)
+{
+    return Half::fromDouble(static_cast<double>(a.toFloat()) *
+                                static_cast<double>(b.toFloat()) +
+                            static_cast<double>(c.toFloat()));
+}
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_HALF_H_

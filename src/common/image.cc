@@ -1,0 +1,82 @@
+#include "common/image.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fusion3d
+{
+
+Image::Image(int w, int h, const Vec3f &fill)
+    : width_(w), height_(h),
+      pixels_(static_cast<std::size_t>(w) * static_cast<std::size_t>(h), fill)
+{
+    if (w < 0 || h < 0)
+        fatal("Image dimensions must be non-negative (got %d x %d)", w, h);
+}
+
+void
+Image::fill(const Vec3f &c)
+{
+    for (auto &p : pixels_)
+        p = c;
+}
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+    std::vector<unsigned char> row(static_cast<std::size_t>(width_) * 3);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            const Vec3f c = clamp(at(x, y), 0.0f, 1.0f);
+            const float g = 1.0f / 2.2f;
+            row[3 * x + 0] = static_cast<unsigned char>(std::pow(c.x, g) * 255.0f + 0.5f);
+            row[3 * x + 1] = static_cast<unsigned char>(std::pow(c.y, g) * 255.0f + 0.5f);
+            row[3 * x + 2] = static_cast<unsigned char>(std::pow(c.z, g) * 255.0f + 0.5f);
+        }
+        std::fwrite(row.data(), 1, row.size(), f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+double
+mse(const Image &a, const Image &b)
+{
+    if (a.width() != b.width() || a.height() != b.height())
+        fatal("mse: image size mismatch (%dx%d vs %dx%d)",
+              a.width(), a.height(), b.width(), b.height());
+    if (a.pixelCount() == 0)
+        return 0.0;
+    double acc = 0.0;
+    const auto &pa = a.pixels();
+    const auto &pb = b.pixels();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        const Vec3f d = pa[i] - pb[i];
+        acc += static_cast<double>(d.x) * d.x + static_cast<double>(d.y) * d.y +
+               static_cast<double>(d.z) * d.z;
+    }
+    return acc / (static_cast<double>(a.pixelCount()) * 3.0);
+}
+
+double
+psnrFromMse(double mse_value)
+{
+    if (mse_value <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return -10.0 * std::log10(mse_value);
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    return psnrFromMse(mse(a, b));
+}
+
+} // namespace fusion3d

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A simple linear-RGB float image plus the quality metrics (MSE / PSNR)
+ * the paper uses as its unified evaluation standard (Sec. VI-A).
+ */
+
+#ifndef FUSION3D_COMMON_IMAGE_H_
+#define FUSION3D_COMMON_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace fusion3d
+{
+
+/** Row-major RGB image with float channels in [0, 1]. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Create a w x h image cleared to @p fill. */
+    Image(int w, int h, const Vec3f &fill = Vec3f(0.0f));
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int pixelCount() const { return width_ * height_; }
+    bool empty() const { return pixels_.empty(); }
+
+    /** Pixel access; (x, y) must be in range. */
+    Vec3f &at(int x, int y) { return pixels_[static_cast<std::size_t>(y) * width_ + x]; }
+    const Vec3f &
+    at(int x, int y) const
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    const std::vector<Vec3f> &pixels() const { return pixels_; }
+    std::vector<Vec3f> &pixels() { return pixels_; }
+
+    /** Set every pixel to @p c. */
+    void fill(const Vec3f &c);
+
+    /**
+     * Write a binary PPM (P6) file with sRGB-ish gamma 2.2 applied.
+     * @return true on success.
+     */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<Vec3f> pixels_;
+};
+
+/** Mean squared error over all channels; images must match in size. */
+double mse(const Image &a, const Image &b);
+
+/**
+ * Peak signal-to-noise ratio in dB against peak 1.0.
+ * Identical images return +inf.
+ */
+double psnr(const Image &a, const Image &b);
+
+/** PSNR corresponding to a given MSE (peak 1.0). */
+double psnrFromMse(double mse_value);
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_IMAGE_H_

@@ -1,0 +1,81 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace fusion3d
+{
+
+namespace
+{
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+} // namespace
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", s.c_str());
+}
+
+} // namespace fusion3d

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a Fusion-3D bug); aborts.
+ * fatal()  - the user supplied an impossible configuration; exits cleanly.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef FUSION3D_COMMON_LOGGING_H_
+#define FUSION3D_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace fusion3d
+{
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message; call when an internal invariant is broken. */
+[[noreturn]] void panic(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message; call on invalid user configuration. */
+[[noreturn]] void fatal(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_LOGGING_H_

@@ -1,0 +1,19 @@
+#include "common/op_counter.h"
+
+#include "common/logging.h"
+
+namespace fusion3d
+{
+
+std::string
+OpCounter::toString() const
+{
+    return strprintf("div=%llu mul=%llu add=%llu mac=%llu cmp=%llu",
+                     static_cast<unsigned long long>(divs),
+                     static_cast<unsigned long long>(muls),
+                     static_cast<unsigned long long>(adds),
+                     static_cast<unsigned long long>(macs),
+                     static_cast<unsigned long long>(cmps));
+}
+
+} // namespace fusion3d

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Arithmetic operation tally used to reproduce the paper's op-count
+ * arguments (Fig. 5(a): generic ray/box intersection costs 18 DIV +
+ * 54 MUL + 54 ADD, the normalized fast path costs 3 MUL + 3 MAC).
+ */
+
+#ifndef FUSION3D_COMMON_OP_COUNTER_H_
+#define FUSION3D_COMMON_OP_COUNTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fusion3d
+{
+
+/**
+ * Tally of scalar arithmetic operations. The hardware-cost model weights
+ * these per-op to estimate datapath energy; the ablation benches report
+ * them raw.
+ */
+struct OpCounter
+{
+    std::uint64_t divs = 0;
+    std::uint64_t muls = 0;
+    std::uint64_t adds = 0;
+    /** Fused multiply-accumulate, counted as one op as in the paper. */
+    std::uint64_t macs = 0;
+    std::uint64_t cmps = 0;
+
+    constexpr OpCounter &
+    operator+=(const OpCounter &o)
+    {
+        divs += o.divs;
+        muls += o.muls;
+        adds += o.adds;
+        macs += o.macs;
+        cmps += o.cmps;
+        return *this;
+    }
+
+    constexpr OpCounter
+    operator+(const OpCounter &o) const
+    {
+        OpCounter r = *this;
+        r += o;
+        return r;
+    }
+
+    constexpr bool operator==(const OpCounter &o) const = default;
+
+    constexpr void
+    reset()
+    {
+        *this = OpCounter{};
+    }
+
+    /** Total op count, all kinds weighted equally. */
+    constexpr std::uint64_t total() const { return divs + muls + adds + macs + cmps; }
+
+    /**
+     * Latency-weighted cost in equivalent adder delays. Division is far
+     * more expensive than multiply/add on a fixed-function datapath;
+     * the weights follow standard unit-gate estimates (radix-4 SRT
+     * divider ~ 12x an adder, array multiplier ~ 3x, MAC ~ 4x).
+     */
+    constexpr std::uint64_t
+    weightedCost() const
+    {
+        return divs * 12 + muls * 3 + adds * 1 + macs * 4 + cmps * 1;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_OP_COUNTER_H_

@@ -1,0 +1,68 @@
+#include "common/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fusion3d
+{
+
+QuantScale
+computeScale(std::span<const float> values)
+{
+    float max_abs = 0.0f;
+    for (float v : values)
+        max_abs = std::max(max_abs, std::fabs(v));
+    QuantScale qs;
+    qs.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    return qs;
+}
+
+std::vector<std::int8_t>
+quantize(std::span<const float> values, QuantScale qs)
+{
+    std::vector<std::int8_t> out(values.size());
+    const float inv = qs.scale > 0.0f ? 1.0f / qs.scale : 0.0f;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const float q = std::round(values[i] * inv);
+        out[i] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+    }
+    return out;
+}
+
+std::vector<float>
+dequantize(std::span<const std::int8_t> q, QuantScale qs)
+{
+    std::vector<float> out(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i)
+        out[i] = static_cast<float>(q[i]) * qs.scale;
+    return out;
+}
+
+void
+fakeQuantizeInPlace(std::span<float> values)
+{
+    const QuantScale qs = computeScale(values);
+    const float inv = qs.scale > 0.0f ? 1.0f / qs.scale : 0.0f;
+    for (float &v : values) {
+        const float q = std::clamp(std::round(v * inv), -127.0f, 127.0f);
+        v = q * qs.scale;
+    }
+}
+
+double
+quantizationRmse(std::span<const float> values)
+{
+    if (values.empty())
+        return 0.0;
+    const QuantScale qs = computeScale(values);
+    const float inv = qs.scale > 0.0f ? 1.0f / qs.scale : 0.0f;
+    double acc = 0.0;
+    for (float v : values) {
+        const float q = std::clamp(std::round(v * inv), -127.0f, 127.0f);
+        const double e = static_cast<double>(v) - q * qs.scale;
+        acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+} // namespace fusion3d

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Symmetric INT8 tensor quantization used by the Table-II experiment
+ * (quantized training hurts model quality) and by the chip's
+ * mixed-precision inference path.
+ */
+
+#ifndef FUSION3D_COMMON_QUANT_H_
+#define FUSION3D_COMMON_QUANT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fusion3d
+{
+
+/** Per-tensor symmetric quantization parameters. */
+struct QuantScale
+{
+    /** Dequantized value = scale * q. */
+    float scale = 1.0f;
+};
+
+/** Compute the symmetric scale mapping max|v| onto 127. */
+QuantScale computeScale(std::span<const float> values);
+
+/** Quantize @p values to INT8 with round-to-nearest, saturating. */
+std::vector<std::int8_t> quantize(std::span<const float> values, QuantScale qs);
+
+/** Dequantize back to float. */
+std::vector<float> dequantize(std::span<const std::int8_t> q, QuantScale qs);
+
+/**
+ * Round-trip every value through INT8 in place (quantize-dequantize).
+ * This is the fake-quantization step applied to weights every N training
+ * iterations in Table II.
+ */
+void fakeQuantizeInPlace(std::span<float> values);
+
+/** RMS quantization error of a round trip through INT8. */
+double quantizationRmse(std::span<const float> values);
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_QUANT_H_

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A ray in 3D model space. Direction is stored together with its
+ * reciprocal so the hot ray/box code never re-divides (Sec. IV-A of the
+ * paper: division is the expensive operation the sampling module avoids).
+ */
+
+#ifndef FUSION3D_COMMON_RAY_H_
+#define FUSION3D_COMMON_RAY_H_
+
+#include <limits>
+
+#include "common/vec.h"
+
+namespace fusion3d
+{
+
+/** A parametric ray: p(t) = origin + t * dir. */
+struct Ray
+{
+    Vec3f origin;
+    Vec3f dir;
+    /** Component-wise reciprocal of dir, +/-inf where dir is zero. */
+    Vec3f invDir;
+
+    Ray() = default;
+
+    /** Build a ray and precompute the direction reciprocal. */
+    Ray(const Vec3f &o, const Vec3f &d)
+        : origin(o), dir(d),
+          invDir(safeInv(d.x), safeInv(d.y), safeInv(d.z))
+    {}
+
+    /** Point on the ray at parameter @p t. */
+    Vec3f at(float t) const { return origin + dir * t; }
+
+  private:
+    static float
+    safeInv(float v)
+    {
+        if (v == 0.0f)
+            return std::numeric_limits<float>::infinity();
+        return 1.0f / v;
+    }
+};
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_RAY_H_

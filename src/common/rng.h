@@ -1,0 +1,114 @@
+/**
+ * @file
+ * PCG32 pseudo-random generator (O'Neill 2014). Small, fast, and fully
+ * deterministic across platforms, which the reproduction benches rely on.
+ */
+
+#ifndef FUSION3D_COMMON_RNG_H_
+#define FUSION3D_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/vec.h"
+
+namespace fusion3d
+{
+
+/** PCG-XSH-RR 64/32 random number generator. */
+class Pcg32
+{
+  public:
+    /** Seed with a stream id so parallel consumers stay uncorrelated. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1u;
+        nextUint();
+        state_ += seed;
+        nextUint();
+    }
+
+    /** Next uniformly distributed 32-bit value. */
+    std::uint32_t
+    nextUint()
+    {
+        const std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        const std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        const std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint32_t
+    nextBounded(std::uint32_t bound)
+    {
+        // Lemire-style rejection-free mapping is fine here; exact
+        // uniformity is not statistically load-bearing for sampling.
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(nextUint()) * bound) >> 32);
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextUint() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** Standard normal deviate via Box-Muller. */
+    float
+    nextGaussian()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        float u1 = nextFloat();
+        const float u2 = nextFloat();
+        if (u1 < 1e-12f)
+            u1 = 1e-12f;
+        const float r = std::sqrt(-2.0f * std::log(u1));
+        const float theta = 6.28318530717958647692f * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Uniform point inside the unit cube. */
+    Vec3f
+    nextVec3()
+    {
+        return {nextFloat(), nextFloat(), nextFloat()};
+    }
+
+    /** Uniform direction on the unit sphere. */
+    Vec3f
+    nextUnitVector()
+    {
+        const float z = nextRange(-1.0f, 1.0f);
+        const float phi = nextRange(0.0f, 6.28318530717958647692f);
+        const float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+        return {r * std::cos(phi), r * std::sin(phi), z};
+    }
+
+  private:
+    std::uint64_t state_ = 0;
+    std::uint64_t inc_ = 0;
+    float cached_ = 0.0f;
+    bool have_cached_ = false;
+};
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_RNG_H_

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across all Fusion-3D libraries.
+ */
+
+#ifndef FUSION3D_COMMON_TYPES_H_
+#define FUSION3D_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fusion3d
+{
+
+/** Simulation time expressed in clock cycles of the owning clock domain. */
+using Cycles = std::uint64_t;
+
+/** Number of bytes, used by all traffic / bandwidth accounting. */
+using Bytes = std::uint64_t;
+
+/** Identifier of a hardware resource instance (core, bank, chip, ...). */
+using ResourceId = std::uint32_t;
+
+/** An invalid / not-yet-assigned resource id. */
+inline constexpr ResourceId kInvalidResource = 0xffffffffu;
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_TYPES_H_

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Minimal fixed-size vector types used throughout the NeRF pipeline and the
+ * hardware models. Header-only and constexpr-friendly; only what the
+ * project needs, no general linear-algebra framework.
+ */
+
+#ifndef FUSION3D_COMMON_VEC_H_
+#define FUSION3D_COMMON_VEC_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace fusion3d
+{
+
+/** A 3-component single-precision vector (points, directions, colors). */
+struct Vec3f
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3f() = default;
+    constexpr Vec3f(float xv, float yv, float zv) : x(xv), y(yv), z(zv) {}
+    /** Broadcast constructor: all three components set to @p v. */
+    constexpr explicit Vec3f(float v) : x(v), y(v), z(v) {}
+
+    constexpr float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    /** Mutable component access by axis index (0=x, 1=y, 2=z). */
+    constexpr float &
+    at(int i)
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    constexpr Vec3f operator+(const Vec3f &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3f operator-(const Vec3f &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3f operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3f operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3f operator-() const { return {-x, -y, -z}; }
+
+    /** Component-wise (Hadamard) product. */
+    constexpr Vec3f operator*(const Vec3f &o) const { return {x * o.x, y * o.y, z * o.z}; }
+    /** Component-wise division. */
+    constexpr Vec3f operator/(const Vec3f &o) const { return {x / o.x, y / o.y, z / o.z}; }
+
+    constexpr Vec3f &
+    operator+=(const Vec3f &o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+
+    constexpr Vec3f &
+    operator-=(const Vec3f &o)
+    {
+        x -= o.x; y -= o.y; z -= o.z;
+        return *this;
+    }
+
+    constexpr Vec3f &
+    operator*=(float s)
+    {
+        x *= s; y *= s; z *= s;
+        return *this;
+    }
+
+    constexpr bool operator==(const Vec3f &o) const = default;
+};
+
+constexpr Vec3f operator*(float s, const Vec3f &v) { return v * s; }
+
+constexpr float dot(const Vec3f &a, const Vec3f &b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+constexpr Vec3f
+cross(const Vec3f &a, const Vec3f &b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+constexpr float lengthSquared(const Vec3f &v) { return dot(v, v); }
+
+inline float length(const Vec3f &v) { return std::sqrt(lengthSquared(v)); }
+
+/** Return @p v scaled to unit length; zero vectors are returned unchanged. */
+inline Vec3f
+normalize(const Vec3f &v)
+{
+    const float len = length(v);
+    return len > 0.0f ? v / len : v;
+}
+
+constexpr Vec3f
+compMin(const Vec3f &a, const Vec3f &b)
+{
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+constexpr Vec3f
+compMax(const Vec3f &a, const Vec3f &b)
+{
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+constexpr float minComp(const Vec3f &v) { return std::min(v.x, std::min(v.y, v.z)); }
+constexpr float maxComp(const Vec3f &v) { return std::max(v.x, std::max(v.y, v.z)); }
+
+/** Linear interpolation: (1-t)*a + t*b. */
+constexpr Vec3f lerp(const Vec3f &a, const Vec3f &b, float t) { return a + (b - a) * t; }
+
+/** Clamp every component of @p v into [lo, hi]. */
+constexpr Vec3f
+clamp(const Vec3f &v, float lo, float hi)
+{
+    return {std::clamp(v.x, lo, hi), std::clamp(v.y, lo, hi), std::clamp(v.z, lo, hi)};
+}
+
+/** A 3-component signed integer vector (grid coordinates). */
+struct Vec3i
+{
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+    std::int32_t z = 0;
+
+    constexpr Vec3i() = default;
+    constexpr Vec3i(std::int32_t xv, std::int32_t yv, std::int32_t zv) : x(xv), y(yv), z(zv) {}
+
+    constexpr std::int32_t operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    constexpr Vec3i operator+(const Vec3i &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3i operator-(const Vec3i &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr bool operator==(const Vec3i &o) const = default;
+};
+
+/** Truncate each float component toward negative infinity onto the grid. */
+inline Vec3i
+floorToInt(const Vec3f &v)
+{
+    return {static_cast<std::int32_t>(std::floor(v.x)),
+            static_cast<std::int32_t>(std::floor(v.y)),
+            static_cast<std::int32_t>(std::floor(v.z))};
+}
+
+inline Vec3f
+toFloat(const Vec3i &v)
+{
+    return {static_cast<float>(v.x), static_cast<float>(v.y), static_cast<float>(v.z)};
+}
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_VEC_H_

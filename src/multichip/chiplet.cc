@@ -1,0 +1,49 @@
+#include "multichip/chiplet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::multichip
+{
+
+TemporalReuseResult
+chipletFrame(double model_bytes, double compute_seconds, const ChipletConfig &cfg)
+{
+    if (model_bytes < 0.0 || compute_seconds < 0.0)
+        fatal("chipletFrame: negative inputs");
+
+    TemporalReuseResult r;
+    r.computeSeconds = compute_seconds;
+
+    if (model_bytes <= cfg.residentTableBytes) {
+        r.passes = 1;
+        r.seconds = compute_seconds;
+        return r;
+    }
+
+    r.passes = static_cast<int>(
+        std::ceil(model_bytes / std::max(cfg.residentTableBytes, 1.0)));
+
+    // Every pass evaluates the frame's rays against one model chunk.
+    const double compute_total = compute_seconds * r.passes;
+
+    // Reload traffic: the whole model streams into the chips once per
+    // frame. It comes from the in-package buffer when it fits there,
+    // otherwise the overflow crawls in over the off-package link.
+    const double from_buffer = std::min(model_bytes, cfg.bufferBytes);
+    const double from_outside = model_bytes - from_buffer;
+    r.reloadSeconds = from_buffer / cfg.inPackageBytesPerSec +
+                      from_outside / cfg.offPackageBytesPerSec;
+    r.offPackageBound = from_outside > 0.0 &&
+                        from_outside / cfg.offPackageBytesPerSec >
+                            compute_total;
+
+    // Reloading chunk k+1 overlaps computing chunk k; the frame ends
+    // when both streams drain.
+    r.seconds = std::max(compute_total, r.reloadSeconds);
+    return r;
+}
+
+} // namespace fusion3d::multichip

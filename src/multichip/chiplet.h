@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Chiplet-based system model (Fig. 14(a), Discussion): an in-package
+ * buffer lets the four compute chips be *temporally* reused for models
+ * larger than their resident hash tables — the model is processed in
+ * chunks, reloading tables from the buffer over the high-bandwidth
+ * in-package interconnect while off-package traffic stays at 0.6 GB/s.
+ */
+
+#ifndef FUSION3D_MULTICHIP_CHIPLET_H_
+#define FUSION3D_MULTICHIP_CHIPLET_H_
+
+#include "multichip/io_module.h"
+
+namespace fusion3d::multichip
+{
+
+/** Chiplet-package configuration. */
+struct ChipletConfig
+{
+    /** Hash-table bytes resident across the compute chips. */
+    double residentTableBytes = 4.0 * 640.0 * 1024.0;
+    /** In-package interconnect bandwidth (the paper cites an InFO
+     *  package at 89.6 GB/s [25]). */
+    double inPackageBytesPerSec = 89.6e9;
+    /** Off-package bandwidth budget (the USB-class link). */
+    double offPackageBytesPerSec = 0.6e9;
+    /** In-package buffer capacity, bytes (sized by ChipletIoModel). */
+    double bufferBytes = 32.0 * 1024.0 * 1024.0;
+};
+
+/** Timing of one frame on the chiplet system. */
+struct TemporalReuseResult
+{
+    /** Chunks the model is split into (1 = fully resident). */
+    int passes = 1;
+    /** Seconds spent reloading tables per frame. */
+    double reloadSeconds = 0.0;
+    /** Seconds of compute per frame (input). */
+    double computeSeconds = 0.0;
+    /** End-to-end frame seconds. */
+    double seconds = 0.0;
+    /** True when the model exceeds even the in-package buffer and the
+     *  off-package link becomes the bottleneck. */
+    bool offPackageBound = false;
+
+    double fps() const { return seconds > 0.0 ? 1.0 / seconds : 0.0; }
+};
+
+/**
+ * Run one frame of a model with @p model_bytes of tables on the chiplet
+ * system, given the frame's compute time at full table residency.
+ * Each extra pass re-runs the frame's rays against another model chunk,
+ * so compute scales with the pass count while reloads overlap compute
+ * of the previous pass.
+ */
+TemporalReuseResult chipletFrame(double model_bytes, double compute_seconds,
+                                 const ChipletConfig &cfg = {});
+
+} // namespace fusion3d::multichip
+
+#endif // FUSION3D_MULTICHIP_CHIPLET_H_

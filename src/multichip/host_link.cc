@@ -1,0 +1,31 @@
+#include "multichip/host_link.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fusion3d::multichip
+{
+
+StreamingPlan
+planTrainingSession(double dataset_bytes, double model_bytes, double train_seconds,
+                    const HostLinkConfig &cfg)
+{
+    if (cfg.linkBytesPerSec <= 0.0 || cfg.efficiency <= 0.0)
+        fatal("planTrainingSession: invalid link configuration");
+
+    const double bw = cfg.linkBytesPerSec * cfg.efficiency;
+    StreamingPlan plan;
+    plan.datasetInSeconds = dataset_bytes / bw;
+    plan.modelOutSeconds = model_bytes / bw;
+    plan.trainSeconds = train_seconds;
+
+    // Training consumes batches as they arrive (double buffering), so
+    // input streaming overlaps training; the model ships afterwards.
+    plan.linkKeepsUp = plan.datasetInSeconds <= train_seconds;
+    plan.totalSeconds =
+        std::max(plan.datasetInSeconds, train_seconds) + plan.modelOutSeconds;
+    return plan;
+}
+
+} // namespace fusion3d::multichip

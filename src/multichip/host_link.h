@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Host-integration model (Sec. VI-D): the accelerator plugs into an
+ * existing AR/VR SoC "like a USB drive". This plans the dataset/model
+ * streaming over the USB-class link against the training timeline and
+ * reports whether the link keeps the accelerator fed.
+ */
+
+#ifndef FUSION3D_MULTICHIP_HOST_LINK_H_
+#define FUSION3D_MULTICHIP_HOST_LINK_H_
+
+namespace fusion3d::multichip
+{
+
+/** Host-link streaming configuration. */
+struct HostLinkConfig
+{
+    /** Link bandwidth, bytes/second (USB 3.2 Gen 1: 0.625 GB/s). */
+    double linkBytesPerSec = 0.625e9;
+    /** Protocol efficiency (framing/turnaround overhead). */
+    double efficiency = 0.9;
+};
+
+/** The streaming plan for one training session. */
+struct StreamingPlan
+{
+    /** Seconds to stream the posed-image dataset in. */
+    double datasetInSeconds = 0.0;
+    /** Seconds to stream the trained model out. */
+    double modelOutSeconds = 0.0;
+    /** Seconds of training compute (input). */
+    double trainSeconds = 0.0;
+    /** End-to-end session seconds with input streaming overlapped
+     *  against training (double-buffered batches) and the model
+     *  written out afterwards. */
+    double totalSeconds = 0.0;
+    /** True if the link sustains training without stalling it: the
+     *  dataset streams in no slower than training consumes it. */
+    bool linkKeepsUp = false;
+};
+
+/**
+ * Plan a training session.
+ * @param dataset_bytes Posed-image payload streamed to the accelerator.
+ * @param model_bytes   Trained-model payload streamed back.
+ * @param train_seconds Training wall-clock at full data availability.
+ */
+StreamingPlan planTrainingSession(double dataset_bytes, double model_bytes,
+                                  double train_seconds,
+                                  const HostLinkConfig &cfg = {});
+
+} // namespace fusion3d::multichip
+
+#endif // FUSION3D_MULTICHIP_HOST_LINK_H_

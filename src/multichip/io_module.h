@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The I/O module of the multi-chip system (Fig. 4(b)): broadcasts input
+ * rays to the expert chips, runs the MoE gating, and fuses the expert
+ * outputs by addition. On the PCB prototype this is an FPGA; in the
+ * simulated system it is synthesized in the same 28 nm flow and adds
+ * 0.5% area and 2.3% SRAM overhead (Sec. VI-B).
+ *
+ * Also contains the chiplet-variant buffer model of Fig. 14(b): the
+ * in-package buffer that lets compute chips be temporally reused for
+ * larger models while holding off-package bandwidth at 0.6 GB/s.
+ */
+
+#ifndef FUSION3D_MULTICHIP_IO_MODULE_H_
+#define FUSION3D_MULTICHIP_IO_MODULE_H_
+
+#include <cstdint>
+
+#include "chip/config.h"
+
+namespace fusion3d::multichip
+{
+
+/** Area/SRAM overhead model of the PCB system's I/O module. */
+struct IoModule
+{
+    /** Fractional die-area overhead over the summed compute chips. */
+    double areaOverheadFraction = 0.005;
+    /** Fractional SRAM overhead over the summed compute chips. */
+    double sramOverheadFraction = 0.023;
+    /** Fractional power overhead at nominal operation. */
+    double powerOverheadFraction = 0.01;
+
+    /** I/O-module area for a system of @p chips compute chips. */
+    double
+    areaMm2(const chip::ChipConfig &c, int chips) const
+    {
+        return c.dieAreaMm2 * chips * areaOverheadFraction;
+    }
+
+    /** I/O-module SRAM in KB for a system of @p chips compute chips. */
+    double
+    sramKb(const chip::ChipConfig &c, int chips) const
+    {
+        return static_cast<double>(c.totalSramKb()) * chips * sramOverheadFraction;
+    }
+
+    double
+    powerW(const chip::ChipConfig &c, int chips) const
+    {
+        return c.typicalPowerW * chips * powerOverheadFraction;
+    }
+};
+
+/** Chiplet-package I/O module with a model buffer (Fig. 14). */
+struct ChipletIoModel
+{
+    /** Base logic area of the I/O module without any buffer, mm^2. */
+    double baseLogicMm2 = 0.35;
+    /** 28 nm SRAM macro density including periphery, mm^2 per MB. */
+    double sramMm2PerMb = 1.05;
+    /** Hash-table bytes resident across the compute chips. */
+    double onchipTableBytes = 4.0 * 640.0 * 1024.0;
+
+    /**
+     * I/O-module area needed so a model of @p model_bytes hash-table
+     * bytes can be served at 0.6 GB/s off-package: everything that does
+     * not fit on the compute chips must be buffered in the package.
+     */
+    double
+    areaMm2(double model_bytes) const
+    {
+        const double spill = model_bytes > onchipTableBytes
+                                 ? model_bytes - onchipTableBytes
+                                 : 0.0;
+        return baseLogicMm2 + spill / (1024.0 * 1024.0) * sramMm2PerMb;
+    }
+};
+
+} // namespace fusion3d::multichip
+
+#endif // FUSION3D_MULTICHIP_IO_MODULE_H_

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The Fusion-3D multi-chip system (Sec. V): four scaled-up chips, each
+ * holding one MoE expert, joined by a PCB with an I/O module. Captures
+ * per-expert workload traces from a MoeNerf, runs each chip's cycle
+ * models, and accounts chip-to-chip communication — both for the MoE
+ * scheme (pixels only) and the conventional layer-split alternative
+ * (activations), which is the 94% communication saving of Fig. 12(a).
+ */
+
+#ifndef FUSION3D_MULTICHIP_SYSTEM_H_
+#define FUSION3D_MULTICHIP_SYSTEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/chip.h"
+#include "multichip/io_module.h"
+#include "nerf/moe.h"
+
+namespace fusion3d::multichip
+{
+
+/** System configuration. */
+struct SystemConfig
+{
+    int numChips = 4;
+    chip::ChipConfig chip = chip::ChipConfig::scaledUp();
+    /** Per-link chip-to-chip bandwidth on the PCB, bytes/second. */
+    double chipToChipBytesPerSec = 0.6e9;
+    /** Off-board (host) bandwidth, bytes/second (the USB-class limit). */
+    double offChipBytesPerSec = 0.6e9;
+    /** Energy per byte moved chip-to-chip on the PCB, joules. */
+    double chipToChipEnergyPerByte = 10e-12 * 8; // 10 pJ/bit
+    /** Partial pixels the I/O module can fuse per second. */
+    double ioFusionRate = 600e6;
+    IoModule io;
+};
+
+/** Per-chip slice of a system run. */
+struct ChipSlice
+{
+    chip::ChipRunResult perf;
+    chip::SamplingRunStats stage1;
+    chip::InterpRunStats stage2;
+    chip::WorkloadProfile workload;
+};
+
+/** Result of a system-level run. */
+struct SystemRunResult
+{
+    std::vector<ChipSlice> chips;
+    /** Wall-clock of the slowest chip. */
+    double computeSeconds = 0.0;
+    /** Chip-to-chip communication time (overlappable; reported). */
+    double commSeconds = 0.0;
+    /** Time the I/O module spends fusing expert partials. */
+    double fusionSeconds = 0.0;
+    /** End-to-end seconds: compute (chips run in parallel) + fusion. */
+    double seconds = 0.0;
+    /** MoE chip-to-chip traffic: partial pixels + broadcast rays. */
+    std::uint64_t moeCommBytes = 0;
+    /** Hypothetical layer-split traffic: inter-chip activations. */
+    std::uint64_t layerSplitCommBytes = 0;
+    /** Total energy: chips + I/O module + communication. */
+    double energyJ = 0.0;
+    /** Total valid samples across chips. */
+    std::uint64_t totalPoints = 0;
+    /** Workload imbalance: slowest/average chip time. */
+    double imbalance = 1.0;
+
+    double throughputPointsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(totalPoints) / seconds : 0.0;
+    }
+    /** Fraction of layer-split traffic the MoE scheme eliminates. */
+    double
+    commSavingFraction() const
+    {
+        if (layerSplitCommBytes == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(moeCommBytes) /
+                         static_cast<double>(layerSplitCommBytes);
+    }
+};
+
+/** The multi-chip accelerator model. */
+class MultiChipSystem
+{
+  public:
+    explicit MultiChipSystem(const SystemConfig &cfg);
+
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Total system power at nominal operation (chips + I/O module). */
+    double totalPowerW() const;
+
+    /** Total system die area (chips + I/O module), mm^2. */
+    double totalAreaMm2() const;
+
+    /** Total system SRAM (chips + I/O module), KB. */
+    double totalSramKb() const;
+
+    /**
+     * Characterize rendering a frame with a MoeNerf whose expert count
+     * matches numChips. Traces @p trace_rays rays; each expert's Stage
+     * I/II work lands on its own chip.
+     */
+    SystemRunResult evaluateInference(nerf::MoeNerf &moe, const nerf::Camera &camera,
+                                      int trace_rays = 1024,
+                                      std::uint64_t seed = 55) const;
+
+    /** Characterize one training iteration of @p rays_per_batch rays. */
+    SystemRunResult evaluateTraining(nerf::MoeNerf &moe, const nerf::Dataset &dataset,
+                                     int rays_per_batch = 2048,
+                                     std::uint64_t seed = 55) const;
+
+  private:
+    SystemRunResult
+    run(nerf::MoeNerf &moe, const std::vector<Ray> &rays, bool training,
+        std::uint64_t full_rays) const;
+
+    SystemConfig cfg_;
+};
+
+} // namespace fusion3d::multichip
+
+#endif // FUSION3D_MULTICHIP_SYSTEM_H_

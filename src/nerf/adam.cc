@@ -1,0 +1,40 @@
+#include "nerf/adam.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::nerf
+{
+
+Adam::Adam(std::size_t param_count, const AdamConfig &cfg)
+    : cfg_(cfg), m_(param_count, 0.0f), v_(param_count, 0.0f)
+{
+}
+
+void
+Adam::step(std::span<float> params, std::span<const float> grads)
+{
+    if (params.size() != m_.size() || grads.size() != m_.size())
+        panic("Adam::step size mismatch (%zu params, %zu state)",
+              params.size(), m_.size());
+
+    ++t_;
+    const float b1t = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+    const float b2t = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        float g = grads[i];
+        if (cfg_.skipZeroGrad && g == 0.0f)
+            continue;
+        if (cfg_.weightDecay != 0.0f)
+            g += cfg_.weightDecay * params[i];
+        m_[i] = cfg_.beta1 * m_[i] + (1.0f - cfg_.beta1) * g;
+        v_[i] = cfg_.beta2 * v_[i] + (1.0f - cfg_.beta2) * g * g;
+        const float mhat = m_[i] / b1t;
+        const float vhat = v_[i] / b2t;
+        params[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.epsilon);
+    }
+}
+
+} // namespace fusion3d::nerf

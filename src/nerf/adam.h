@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Adam optimizer over a flat parameter vector. Instant-NGP-style NeRF
+ * training (the paper's Stage II/III workload) uses Adam for both the
+ * hash tables and the MLPs.
+ */
+
+#ifndef FUSION3D_NERF_ADAM_H_
+#define FUSION3D_NERF_ADAM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fusion3d::nerf
+{
+
+/** Adam hyper-parameters. */
+struct AdamConfig
+{
+    float lr = 1e-2f;
+    float beta1 = 0.9f;
+    float beta2 = 0.99f;
+    float epsilon = 1e-10f;
+    /** L2 weight decay applied to the gradient (0 disables). */
+    float weightDecay = 0.0f;
+    /**
+     * Skip parameters whose gradient is exactly zero this step, as
+     * Instant-NGP does for the sparsely touched hash tables.
+     */
+    bool skipZeroGrad = false;
+};
+
+/** Adam state (first/second moments) for one parameter vector. */
+class Adam
+{
+  public:
+    Adam() = default;
+    Adam(std::size_t param_count, const AdamConfig &cfg);
+
+    /**
+     * Apply one update: params -= lr * mhat / (sqrt(vhat) + eps).
+     * @param params Parameter vector, modified in place.
+     * @param grads  Gradient of the loss w.r.t. params (same length).
+     */
+    void step(std::span<float> params, std::span<const float> grads);
+
+    /** Override the learning rate (for schedules). */
+    void setLearningRate(float lr) { cfg_.lr = lr; }
+    float learningRate() const { return cfg_.lr; }
+    std::size_t stepCount() const { return t_; }
+
+  private:
+    AdamConfig cfg_;
+    std::vector<float> m_;
+    std::vector<float> v_;
+    std::size_t t_ = 0;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_ADAM_H_

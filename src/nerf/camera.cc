@@ -1,0 +1,72 @@
+#include "nerf/camera.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::nerf
+{
+
+namespace
+{
+constexpr float kPi = 3.14159265358979323846f;
+} // namespace
+
+Camera::Camera(const Vec3f &position, const Vec3f &target, const Vec3f &up,
+               float vfov_degrees, int width, int height)
+    : position_(position), width_(width), height_(height)
+{
+    if (width < 1 || height < 1)
+        fatal("Camera image size must be positive (%d x %d)", width, height);
+    forward_ = normalize(target - position);
+    right_ = normalize(cross(forward_, up));
+    up_ = cross(right_, forward_);
+    tan_half_fov_ = std::tan(vfov_degrees * kPi / 360.0f);
+}
+
+Ray
+Camera::rayForPixel(int x, int y, float jx, float jy) const
+{
+    const float aspect = static_cast<float>(width_) / static_cast<float>(height_);
+    // NDC in [-1, 1] with y up.
+    const float u =
+        (2.0f * ((static_cast<float>(x) + jx) / static_cast<float>(width_)) - 1.0f);
+    const float v =
+        (1.0f - 2.0f * ((static_cast<float>(y) + jy) / static_cast<float>(height_)));
+    const Vec3f dir = normalize(forward_ + right_ * (u * tan_half_fov_ * aspect) +
+                                up_ * (v * tan_half_fov_));
+    return Ray(position_, dir);
+}
+
+bool
+Camera::project(const Vec3f &world, float &px, float &py, float &depth) const
+{
+    const Vec3f v = world - position_;
+    depth = dot(v, forward_);
+    if (depth <= 1e-6f)
+        return false; // behind the camera
+
+    const float aspect = static_cast<float>(width_) / static_cast<float>(height_);
+    const float u = dot(v, right_) / (depth * tan_half_fov_ * aspect);
+    const float ndc_v = dot(v, up_) / (depth * tan_half_fov_);
+
+    px = (u + 1.0f) * 0.5f * static_cast<float>(width_);
+    py = (1.0f - ndc_v) * 0.5f * static_cast<float>(height_);
+    return px >= 0.0f && px < static_cast<float>(width_) && py >= 0.0f &&
+           py < static_cast<float>(height_);
+}
+
+Camera
+Camera::orbit(const Vec3f &center, float radius, float azim_deg, float elev_deg,
+              float vfov_degrees, int width, int height)
+{
+    const float az = azim_deg * kPi / 180.0f;
+    const float el = elev_deg * kPi / 180.0f;
+    const Vec3f offset{radius * std::cos(el) * std::cos(az),
+                       radius * std::sin(el),
+                       radius * std::cos(el) * std::sin(az)};
+    return Camera(center + offset, center, Vec3f{0.0f, 1.0f, 0.0f}, vfov_degrees,
+                  width, height);
+}
+
+} // namespace fusion3d::nerf

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pinhole camera in the normalized model space. Stage I of the NeRF
+ * pipeline generates one ray per rendered pixel from such a camera.
+ */
+
+#ifndef FUSION3D_NERF_CAMERA_H_
+#define FUSION3D_NERF_CAMERA_H_
+
+#include "common/ray.h"
+#include "common/vec.h"
+
+namespace fusion3d::nerf
+{
+
+/** A look-at pinhole camera. */
+class Camera
+{
+  public:
+    Camera() = default;
+
+    /**
+     * @param position     Eye position (normalized model coordinates).
+     * @param target       Look-at point.
+     * @param up           Approximate up vector.
+     * @param vfov_degrees Vertical field of view.
+     * @param width        Image width in pixels.
+     * @param height       Image height in pixels.
+     */
+    Camera(const Vec3f &position, const Vec3f &target, const Vec3f &up,
+           float vfov_degrees, int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    const Vec3f &position() const { return position_; }
+
+    /**
+     * Ray through pixel (x, y); @p jx, @p jy in [0,1) offset the sample
+     * within the pixel (0.5/0.5 is the pixel center).
+     */
+    Ray rayForPixel(int x, int y, float jx = 0.5f, float jy = 0.5f) const;
+
+    /**
+     * Project a world-space point onto the image plane.
+     * @param world Point to project.
+     * @param px    Receives the (continuous) pixel x coordinate.
+     * @param py    Receives the pixel y coordinate.
+     * @param depth Receives the view-space depth along forward.
+     * @return false if the point is behind the camera or outside the
+     *         image bounds.
+     */
+    bool project(const Vec3f &world, float &px, float &py, float &depth) const;
+
+    /**
+     * A camera orbiting the point @p center at distance @p radius,
+     * elevation @p elev_deg, azimuth @p azim_deg — the standard rig the
+     * synthetic datasets use.
+     */
+    static Camera orbit(const Vec3f &center, float radius, float azim_deg,
+                        float elev_deg, float vfov_degrees, int width, int height);
+
+  private:
+    Vec3f position_{0.5f, 0.5f, -1.5f};
+    Vec3f forward_{0.0f, 0.0f, 1.0f};
+    Vec3f right_{1.0f, 0.0f, 0.0f};
+    Vec3f up_{0.0f, 1.0f, 0.0f};
+    float tan_half_fov_ = 0.5f;
+    int width_ = 64;
+    int height_ = 64;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_CAMERA_H_

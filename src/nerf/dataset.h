@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A posed-image dataset: the (camera, ground-truth image) pairs a NeRF
+ * trains from plus held-out test views for PSNR evaluation. The scenes
+ * library generates these from analytic scenes with a reference
+ * renderer, standing in for NeRF-Synthetic / NeRF-360 photographs.
+ */
+
+#ifndef FUSION3D_NERF_DATASET_H_
+#define FUSION3D_NERF_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/image.h"
+#include "nerf/camera.h"
+
+namespace fusion3d::nerf
+{
+
+/** One posed ground-truth view. */
+struct TrainView
+{
+    Camera camera;
+    Image image;
+};
+
+/** A train/test split of posed views of one scene. */
+struct Dataset
+{
+    std::string sceneName;
+    std::vector<TrainView> train;
+    std::vector<TrainView> test;
+
+    /** Total ground-truth pixels across training views. */
+    std::size_t
+    trainPixelCount() const
+    {
+        std::size_t n = 0;
+        for (const TrainView &v : train)
+            n += static_cast<std::size_t>(v.image.pixelCount());
+        return n;
+    }
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_DATASET_H_

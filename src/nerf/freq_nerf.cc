@@ -1,0 +1,170 @@
+#include "nerf/freq_nerf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/quant.h"
+#include "nerf/sh_encoding.h"
+
+namespace fusion3d::nerf
+{
+
+namespace
+{
+
+constexpr float kPi = 3.14159265358979323846f;
+
+AdamConfig
+adamFor(float lr)
+{
+    AdamConfig cfg;
+    cfg.lr = lr;
+    cfg.beta1 = 0.9f;
+    cfg.beta2 = 0.99f;
+    cfg.epsilon = 1e-15f;
+    return cfg;
+}
+
+} // namespace
+
+void
+freqEncode(const Vec3f &p, int frequencies, std::span<float> out)
+{
+    const std::size_t need = 3 + 3 * 2 * static_cast<std::size_t>(frequencies);
+    if (out.size() < need)
+        panic("freqEncode: output span too small");
+    out[0] = p.x;
+    out[1] = p.y;
+    out[2] = p.z;
+    std::size_t at = 3;
+    float scale = kPi;
+    for (int k = 0; k < frequencies; ++k) {
+        for (int axis = 0; axis < 3; ++axis) {
+            const float v = p[axis] * scale;
+            out[at++] = std::sin(v);
+            out[at++] = std::cos(v);
+        }
+        scale *= 2.0f;
+    }
+}
+
+FreqNerfModel::FreqNerfModel(const FreqNerfConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      adam_trunk_(),
+      adam_color_()
+{
+    if (cfg.posFrequencies < 1 || cfg.trunkLayers < 1)
+        fatal("FreqNerfModel: invalid configuration");
+
+    std::vector<int> trunk_sizes;
+    trunk_sizes.push_back(cfg.posDims());
+    for (int l = 0; l < cfg.trunkLayers; ++l)
+        trunk_sizes.push_back(cfg.hidden);
+    trunk_sizes.push_back(1 + cfg.geoFeatures);
+    trunk_ = std::make_unique<Mlp>(trunk_sizes, seed);
+
+    color_net_ = std::make_unique<Mlp>(
+        std::vector<int>{cfg.geoFeatures + cfg.shDims(), cfg.colorHidden, 3},
+        seed + 3);
+
+    adam_trunk_ = Adam(trunk_->paramCount(), adamFor(2e-3f));
+    adam_color_ = Adam(color_net_->paramCount(), adamFor(2e-3f));
+
+    encoded_.resize(static_cast<std::size_t>(cfg.posDims()));
+    sh_.resize(static_cast<std::size_t>(cfg.shDims()));
+    color_in_.resize(static_cast<std::size_t>(cfg.geoFeatures + cfg.shDims()));
+    dtrunk_out_.resize(static_cast<std::size_t>(1 + cfg.geoFeatures));
+    dcolor_out_.resize(3);
+    trunk_ws_ = trunk_->makeWorkspace();
+    color_ws_ = color_net_->makeWorkspace();
+}
+
+float
+FreqNerfModel::queryDensity(const Vec3f &pos)
+{
+    freqEncode(pos, cfg_.posFrequencies, encoded_);
+    const std::span<const float> out = trunk_->forward(encoded_, trunk_ws_);
+    raw_sigma_ = out[0];
+    return NerfModel::densityActivation(raw_sigma_);
+}
+
+PointEval
+FreqNerfModel::forwardPoint(const Vec3f &pos, const Vec3f &dir)
+{
+    PointEval pe;
+    pe.sigma = queryDensity(pos);
+
+    const std::span<const float> trunk_out = trunk_ws_.activations.back();
+    for (int i = 0; i < cfg_.geoFeatures; ++i)
+        color_in_[static_cast<std::size_t>(i)] =
+            trunk_out[static_cast<std::size_t>(i) + 1];
+    shEncode(dir, cfg_.shDegree, sh_);
+    for (int i = 0; i < cfg_.shDims(); ++i)
+        color_in_[static_cast<std::size_t>(cfg_.geoFeatures + i)] =
+            sh_[static_cast<std::size_t>(i)];
+
+    const std::span<const float> out = color_net_->forward(color_in_, color_ws_);
+    for (int i = 0; i < 3; ++i) {
+        const float r = out[static_cast<std::size_t>(i)];
+        pe.rgb.at(i) = r >= 0.0f ? 1.0f / (1.0f + std::exp(-r))
+                                 : std::exp(r) / (1.0f + std::exp(r));
+    }
+    return pe;
+}
+
+void
+FreqNerfModel::backwardPoint(const Vec3f &pos, const Vec3f &dir, float dsigma,
+                             const Vec3f &drgb)
+{
+    const PointEval pe = forwardPoint(pos, dir); // refresh caches
+
+    for (int i = 0; i < 3; ++i) {
+        const float s = pe.rgb[i];
+        dcolor_out_[static_cast<std::size_t>(i)] = drgb[i] * s * (1.0f - s);
+    }
+    color_net_->backward(dcolor_out_, color_ws_);
+
+    dtrunk_out_[0] = dsigma * NerfModel::densityActivationGrad(raw_sigma_, pe.sigma);
+    for (int i = 0; i < cfg_.geoFeatures; ++i)
+        dtrunk_out_[static_cast<std::size_t>(i) + 1] =
+            color_ws_.dinput[static_cast<std::size_t>(i)];
+    trunk_->backward(dtrunk_out_, trunk_ws_);
+    // The positional encoding has no parameters; gradients stop here.
+}
+
+void
+FreqNerfModel::zeroGrads()
+{
+    trunk_->zeroGrads();
+    color_net_->zeroGrads();
+}
+
+void
+FreqNerfModel::optimizerStep(float lr_trunk, float lr_color)
+{
+    adam_trunk_.setLearningRate(lr_trunk);
+    adam_color_.setLearningRate(lr_color);
+    adam_trunk_.step(trunk_->params(), trunk_->grads());
+    adam_color_.step(color_net_->params(), color_net_->grads());
+}
+
+void
+FreqNerfModel::quantizeWeights()
+{
+    fakeQuantizeInPlace(trunk_->params());
+    fakeQuantizeInPlace(color_net_->params());
+}
+
+std::size_t
+FreqNerfModel::paramCount() const
+{
+    return trunk_->paramCount() + color_net_->paramCount();
+}
+
+std::uint64_t
+FreqNerfModel::macsPerPoint() const
+{
+    return trunk_->forwardMacs() + color_net_->forwardMacs();
+}
+
+} // namespace fusion3d::nerf

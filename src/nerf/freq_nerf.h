@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Frequency-encoded (vanilla) NeRF: sinusoidal positional encoding into
+ * a pure-MLP radiance field — the algorithm family MetaVRain [13]
+ * accelerates ("NeRF Algorithm: MLP" in Table III). Included so the
+ * algorithm-comparison bench can show *why* the hash-grid pipeline is
+ * the right substrate for instant training: the MLP field needs far
+ * more compute per point and converges far slower.
+ */
+
+#ifndef FUSION3D_NERF_FREQ_NERF_H_
+#define FUSION3D_NERF_FREQ_NERF_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/vec.h"
+#include "nerf/adam.h"
+#include "nerf/mlp.h"
+#include "nerf/nerf_model.h"
+#include "nerf/point_pipeline.h"
+
+namespace fusion3d::nerf
+{
+
+/** Architecture of the frequency-encoded model. */
+struct FreqNerfConfig
+{
+    /** Positional-encoding octaves for positions (NeRF uses 10). */
+    int posFrequencies = 6;
+    /** Hidden width of the density trunk. */
+    int hidden = 64;
+    /** Hidden layers of the density trunk (vanilla NeRF uses 8). */
+    int trunkLayers = 3;
+    /** Geometry features handed to the color head. */
+    int geoFeatures = 15;
+    /** Hidden width of the color head. */
+    int colorHidden = 32;
+    /** Spherical-harmonics degree for view directions. */
+    int shDegree = 2;
+
+    int shDims() const { return shCoefficientCount(shDegree); }
+    /** Encoded position dimensionality: identity + sin/cos pairs. */
+    int posDims() const { return 3 + 3 * 2 * posFrequencies; }
+};
+
+/**
+ * Sinusoidal positional encoding: gamma(p) = (p, sin(2^k pi p),
+ * cos(2^k pi p)) for k in [0, frequencies).
+ */
+void freqEncode(const Vec3f &p, int frequencies, std::span<float> out);
+
+/** The pure-MLP radiance model (PointPipeline-compatible). */
+class FreqNerfModel
+{
+  public:
+    using Config = FreqNerfConfig;
+
+    explicit FreqNerfModel(const FreqNerfConfig &cfg, std::uint64_t seed = 41);
+
+    const FreqNerfConfig &config() const { return cfg_; }
+
+    PointEval forwardPoint(const Vec3f &pos, const Vec3f &dir);
+    float queryDensity(const Vec3f &pos);
+    void backwardPoint(const Vec3f &pos, const Vec3f &dir, float dsigma,
+                       const Vec3f &drgb);
+    void zeroGrads();
+    void optimizerStep(float lr_trunk, float lr_color);
+    void quantizeWeights();
+    std::size_t paramCount() const;
+
+    /** MLP MACs per point — the compute-cost gap vs hash-grid NeRF. */
+    std::uint64_t macsPerPoint() const;
+
+  private:
+    FreqNerfConfig cfg_;
+    std::unique_ptr<Mlp> trunk_;
+    std::unique_ptr<Mlp> color_net_;
+    Adam adam_trunk_;
+    Adam adam_color_;
+
+    std::vector<float> encoded_;
+    std::vector<float> sh_;
+    std::vector<float> color_in_;
+    std::vector<float> dtrunk_out_;
+    std::vector<float> dcolor_out_;
+    MlpWorkspace trunk_ws_;
+    MlpWorkspace color_ws_;
+    float raw_sigma_ = 0.0f;
+};
+
+/** Vanilla-NeRF pipeline: generic point pipeline over the MLP model. */
+using FreqPipelineConfig = PointPipelineConfig<FreqNerfConfig>;
+using FreqPipeline = PointPipeline<FreqNerfModel>;
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_FREQ_NERF_H_

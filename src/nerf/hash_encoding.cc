@@ -1,0 +1,155 @@
+#include "nerf/hash_encoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fusion3d::nerf
+{
+
+HashGridEncoding::HashGridEncoding(const HashGridConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg)
+{
+    if (cfg.levels < 1)
+        fatal("HashGridEncoding needs at least one level");
+    if (cfg.featuresPerLevel < 1 || cfg.featuresPerLevel > 8)
+        fatal("HashGridEncoding supports 1..8 features per level (got %d)",
+              cfg.featuresPerLevel);
+    if (cfg.baseResolution < 1 || cfg.maxResolution < cfg.baseResolution)
+        fatal("HashGridEncoding resolution range invalid (%d..%d)",
+              cfg.baseResolution, cfg.maxResolution);
+
+    // Per-level geometric growth factor, as in Instant-NGP eq. (3).
+    const double growth =
+        cfg.levels > 1
+            ? std::exp((std::log(static_cast<double>(cfg.maxResolution)) -
+                        std::log(static_cast<double>(cfg.baseResolution))) /
+                       static_cast<double>(cfg.levels - 1))
+            : 1.0;
+
+    resolutions_.resize(cfg.levels);
+    dense_.resize(cfg.levels);
+    entries_.resize(cfg.levels);
+    offsets_.resize(cfg.levels);
+
+    std::size_t total_floats = 0;
+    for (int l = 0; l < cfg.levels; ++l) {
+        const double r = static_cast<double>(cfg.baseResolution) * std::pow(growth, l);
+        resolutions_[l] = static_cast<int>(std::floor(r));
+        const std::uint64_t dense_entries =
+            static_cast<std::uint64_t>(resolutions_[l] + 1) * (resolutions_[l] + 1) *
+            (resolutions_[l] + 1);
+        if (dense_entries <= cfg.tableSize()) {
+            dense_[l] = true;
+            entries_[l] = static_cast<std::uint32_t>(dense_entries);
+        } else {
+            dense_[l] = false;
+            entries_[l] = cfg.tableSize();
+        }
+        offsets_[l] = total_floats;
+        total_floats += static_cast<std::size_t>(entries_[l]) * cfg.featuresPerLevel;
+    }
+
+    params_.resize(total_floats);
+    grads_.assign(total_floats, 0.0f);
+
+    // Small uniform init, as in Instant-NGP (U[-1e-4, 1e-4]).
+    Pcg32 rng(seed, 0x9e3779b97f4a7c15ULL);
+    for (float &p : params_)
+        p = rng.nextRange(-1e-4f, 1e-4f);
+}
+
+std::uint32_t
+HashGridEncoding::vertexIndex(int level, const Vec3i &c) const
+{
+    if (dense_[level]) {
+        const std::uint32_t n = static_cast<std::uint32_t>(resolutions_[level] + 1);
+        return (static_cast<std::uint32_t>(c.z) * n + static_cast<std::uint32_t>(c.y)) * n +
+               static_cast<std::uint32_t>(c.x);
+    }
+    return hashCoords(c, cfg_.tableSize() - 1);
+}
+
+void
+HashGridEncoding::gatherCorners(int level, const Vec3f &pos, CornerSet &cs) const
+{
+    const float n = static_cast<float>(resolutions_[level]);
+    // Clamp so base+1 stays a valid vertex even at pos == 1.0.
+    const Vec3f p = clamp(pos, 0.0f, 1.0f);
+    const Vec3f scaled{std::min(p.x * n, n - 1e-4f),
+                       std::min(p.y * n, n - 1e-4f),
+                       std::min(p.z * n, n - 1e-4f)};
+    const Vec3i base = floorToInt(scaled);
+    const Vec3f frac = scaled - toFloat(base);
+
+    for (int c = 0; c < 8; ++c) {
+        const int dx = c & 1;
+        const int dy = (c >> 1) & 1;
+        const int dz = (c >> 2) & 1;
+        const Vec3i v{base.x + dx, base.y + dy, base.z + dz};
+        cs.coords[c] = v;
+        cs.indices[c] = vertexIndex(level, v);
+        const float wx = dx ? frac.x : 1.0f - frac.x;
+        const float wy = dy ? frac.y : 1.0f - frac.y;
+        const float wz = dz ? frac.z : 1.0f - frac.z;
+        cs.weights[c] = wx * wy * wz;
+    }
+}
+
+void
+HashGridEncoding::encode(const Vec3f &pos, std::span<float> out,
+                         VertexVisitor *visitor) const
+{
+    const int fpl = cfg_.featuresPerLevel;
+    if (out.size() < static_cast<std::size_t>(cfg_.encodedDims()))
+        panic("HashGridEncoding::encode output span too small");
+
+    CornerSet cs;
+    for (int l = 0; l < cfg_.levels; ++l) {
+        gatherCorners(l, pos, cs);
+        float acc[8]; // featuresPerLevel <= 8 supported
+        for (int f = 0; f < fpl; ++f)
+            acc[f] = 0.0f;
+        const std::size_t base = offsets_[l];
+        for (int c = 0; c < 8; ++c) {
+            const std::size_t at = base + static_cast<std::size_t>(cs.indices[c]) * fpl;
+            const float w = cs.weights[c];
+            for (int f = 0; f < fpl; ++f)
+                acc[f] += w * params_[at + f];
+            if (visitor)
+                visitor->visit(l, c, cs.coords[c], cs.indices[c], dense_[l]);
+        }
+        for (int f = 0; f < fpl; ++f)
+            out[static_cast<std::size_t>(l) * fpl + f] = acc[f];
+    }
+}
+
+void
+HashGridEncoding::backward(const Vec3f &pos, std::span<const float> dout)
+{
+    const int fpl = cfg_.featuresPerLevel;
+    if (dout.size() < static_cast<std::size_t>(cfg_.encodedDims()))
+        panic("HashGridEncoding::backward gradient span too small");
+
+    CornerSet cs;
+    for (int l = 0; l < cfg_.levels; ++l) {
+        gatherCorners(l, pos, cs);
+        const std::size_t base = offsets_[l];
+        for (int c = 0; c < 8; ++c) {
+            const std::size_t at = base + static_cast<std::size_t>(cs.indices[c]) * fpl;
+            const float w = cs.weights[c];
+            for (int f = 0; f < fpl; ++f)
+                grads_[at + f] += w * dout[static_cast<std::size_t>(l) * fpl + f];
+        }
+    }
+}
+
+void
+HashGridEncoding::zeroGrads()
+{
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+} // namespace fusion3d::nerf

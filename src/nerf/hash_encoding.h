@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Multiresolution hash-grid encoding (Instant-NGP, Mueller et al. 2022),
+ * the Stage-II workload of the Fusion-3D pipeline. Each query point is
+ * trilinearly interpolated from the eight nearest vertices of every
+ * level; coarse levels index densely, fine levels through the spatial
+ * hash with primes (1, 2654435761, 805459861).
+ *
+ * Two properties of this addressing are load-bearing for the paper's
+ * Technique T4 and are asserted by tests:
+ *  - vertices that differ by +1 in x map to addresses of opposite parity
+ *    (all non-x primes are odd and the x stride is 1);
+ *  - the four YZ-offset pairs of a corner group land far apart in the
+ *    table (large y/z multipliers).
+ */
+
+#ifndef FUSION3D_NERF_HASH_ENCODING_H_
+#define FUSION3D_NERF_HASH_ENCODING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace fusion3d::nerf
+{
+
+/** Static configuration of the multiresolution hash grid. */
+struct HashGridConfig
+{
+    /** Number of resolution levels (paper/NGP default 16; we default 8). */
+    int levels = 8;
+    /** Feature channels per level (NGP default 2). */
+    int featuresPerLevel = 2;
+    /** log2 of the per-level hash-table entry count. */
+    int log2TableSize = 14;
+    /** Coarsest grid resolution. */
+    int baseResolution = 16;
+    /** Finest grid resolution. */
+    int maxResolution = 128;
+
+    int encodedDims() const { return levels * featuresPerLevel; }
+    std::uint32_t tableSize() const { return 1u << log2TableSize; }
+};
+
+/**
+ * Observer of the per-corner memory accesses performed by one encode()
+ * call. The chip model implements this to drive the banked-SRAM and
+ * hash-tiling simulations from real access traces.
+ */
+class VertexVisitor
+{
+  public:
+    virtual ~VertexVisitor() = default;
+
+    /**
+     * One vertex-feature access.
+     * @param level  Grid level.
+     * @param corner Corner index 0..7; bit0 = +x, bit1 = +y, bit2 = +z.
+     * @param coord  Integer vertex coordinate at this level.
+     * @param index  Table entry index within the level (pre-feature-dim).
+     * @param dense  True if the level indexes densely (no hashing).
+     */
+    virtual void visit(int level, int corner, const Vec3i &coord,
+                       std::uint32_t index, bool dense) = 0;
+};
+
+/** Trainable multiresolution hash grid. */
+class HashGridEncoding
+{
+  public:
+    explicit HashGridEncoding(const HashGridConfig &cfg, std::uint64_t seed = 1);
+
+    const HashGridConfig &config() const { return cfg_; }
+
+    /** Grid resolution of @p level. */
+    int resolution(int level) const { return resolutions_[level]; }
+
+    /** True if @p level stores a dense grid rather than a hash table. */
+    bool isDense(int level) const { return dense_[level]; }
+
+    /** Number of feature entries (not floats) stored for @p level. */
+    std::uint32_t levelEntries(int level) const { return entries_[level]; }
+
+    /**
+     * The Instant-NGP spatial hash of a vertex coordinate.
+     * @param c     Vertex coordinate.
+     * @param mask  tableSize-1 (table size must be a power of two).
+     */
+    static std::uint32_t
+    hashCoords(const Vec3i &c, std::uint32_t mask)
+    {
+        const std::uint32_t x = static_cast<std::uint32_t>(c.x);
+        const std::uint32_t y = static_cast<std::uint32_t>(c.y);
+        const std::uint32_t z = static_cast<std::uint32_t>(c.z);
+        return (x * kPrimeX ^ y * kPrimeY ^ z * kPrimeZ) & mask;
+    }
+
+    /** Table-entry index of vertex @p c at @p level (dense or hashed). */
+    std::uint32_t vertexIndex(int level, const Vec3i &c) const;
+
+    /**
+     * Encode a point in the unit cube.
+     * @param pos     Query position, clamped into [0,1]^3.
+     * @param out     Receives levels*featuresPerLevel values.
+     * @param visitor Optional access-trace observer.
+     */
+    void encode(const Vec3f &pos, std::span<float> out,
+                VertexVisitor *visitor = nullptr) const;
+
+    /**
+     * Accumulate parameter gradients for a point previously encoded at
+     * @p pos given dL/d(encoding) @p dout. Recomputes the interpolation
+     * weights (cheap) rather than caching them.
+     */
+    void backward(const Vec3f &pos, std::span<const float> dout);
+
+    /** Flat parameter vector (levels concatenated, feature-major). */
+    std::span<float> params() { return params_; }
+    std::span<const float> params() const { return params_; }
+
+    /** Flat gradient vector matching params(). */
+    std::span<float> grads() { return grads_; }
+
+    /** Zero the gradient vector. */
+    void zeroGrads();
+
+    /** Total parameter count. */
+    std::size_t paramCount() const { return params_.size(); }
+
+    /** Parameter bytes at a given precision (for bandwidth accounting). */
+    std::size_t paramBytes(int bytes_per_param = 2) const
+    {
+        return params_.size() * static_cast<std::size_t>(bytes_per_param);
+    }
+
+    static constexpr std::uint32_t kPrimeX = 1u;
+    static constexpr std::uint32_t kPrimeY = 2654435761u;
+    static constexpr std::uint32_t kPrimeZ = 805459861u;
+
+  private:
+    struct CornerSet
+    {
+        Vec3i coords[8];
+        std::uint32_t indices[8];
+        float weights[8];
+    };
+
+    /** Compute corners/weights/indices of @p pos at @p level. */
+    void gatherCorners(int level, const Vec3f &pos, CornerSet &cs) const;
+
+    HashGridConfig cfg_;
+    std::vector<int> resolutions_;
+    std::vector<bool> dense_;
+    std::vector<std::uint32_t> entries_;
+    /** Offset of each level's first float in params_. */
+    std::vector<std::size_t> offsets_;
+    std::vector<float> params_;
+    std::vector<float> grads_;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_HASH_ENCODING_H_

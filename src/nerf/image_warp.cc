@@ -1,0 +1,74 @@
+#include "nerf/image_warp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fusion3d::nerf
+{
+
+WarpResult
+forwardWarp(const DepthFrame &prev, const Camera &target_camera)
+{
+    if (static_cast<int>(prev.depth.size()) != prev.color.pixelCount())
+        fatal("forwardWarp: depth map size does not match the color image");
+
+    const int tw = target_camera.width();
+    const int th = target_camera.height();
+    WarpResult result;
+    result.image = Image(tw, th, Vec3f(0.0f));
+    result.covered.assign(static_cast<std::size_t>(tw) * th, false);
+    std::vector<float> zbuf(static_cast<std::size_t>(tw) * th,
+                            std::numeric_limits<float>::infinity());
+
+    for (int y = 0; y < prev.color.height(); ++y) {
+        for (int x = 0; x < prev.color.width(); ++x) {
+            const float d =
+                prev.depth[static_cast<std::size_t>(y) * prev.color.width() + x];
+            if (!(d > 0.0f))
+                continue;
+            const Ray ray = prev.camera.rayForPixel(x, y);
+            const Vec3f world = ray.at(d);
+
+            float px, py, vdepth;
+            if (!target_camera.project(world, px, py, vdepth))
+                continue;
+
+            // 2x2 splat around the projected position.
+            const int bx = static_cast<int>(px);
+            const int by = static_cast<int>(py);
+            for (int dy = 0; dy <= 1; ++dy) {
+                for (int dx = 0; dx <= 1; ++dx) {
+                    const int tx = bx + dx;
+                    const int ty = by + dy;
+                    if (tx < 0 || ty < 0 || tx >= tw || ty >= th)
+                        continue;
+                    const std::size_t idx =
+                        static_cast<std::size_t>(ty) * tw + tx;
+                    if (vdepth < zbuf[idx]) {
+                        zbuf[idx] = vdepth;
+                        result.image.at(tx, ty) = prev.color.at(x, y);
+                        result.covered[idx] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    std::size_t n = 0;
+    for (const bool c : result.covered)
+        n += c ? 1 : 0;
+    result.coverage =
+        static_cast<double>(n) / static_cast<double>(result.covered.size());
+    return result;
+}
+
+double
+warpAssistSpeedup(double coverage, double warp_overhead)
+{
+    const double work = (1.0 - coverage) + warp_overhead;
+    return work > 0.0 ? 1.0 / work : 1.0;
+}
+
+} // namespace fusion3d::nerf

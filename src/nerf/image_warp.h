@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Image-warping frame reuse, the technique MetaVRain [13] relies on for
+ * real-time rates (Table III footnote: real-time only when > 97% of
+ * pixels overlap the previous frame). Implemented here as an extension
+ * so the bench can quantify when warping suffices and when the
+ * end-to-end accelerator's full re-render is required.
+ *
+ * The previous frame's pixels are lifted to 3D with the composited
+ * depth map and splatted into the new view (forward warping with a
+ * z-buffer); uncovered pixels must be re-rendered.
+ */
+
+#ifndef FUSION3D_NERF_IMAGE_WARP_H_
+#define FUSION3D_NERF_IMAGE_WARP_H_
+
+#include <vector>
+
+#include "common/image.h"
+#include "nerf/camera.h"
+
+namespace fusion3d::nerf
+{
+
+/** A rendered frame with its per-pixel termination depth. */
+struct DepthFrame
+{
+    Image color;
+    /** Ray-parameter depth per pixel (same layout as color). */
+    std::vector<float> depth;
+    Camera camera;
+};
+
+/** Result of warping a frame into a new view. */
+struct WarpResult
+{
+    Image image;
+    /** Per-pixel flag: true where the warp produced a value. */
+    std::vector<bool> covered;
+    /** Fraction of target pixels covered by the warp. */
+    double coverage = 0.0;
+};
+
+/**
+ * Forward-warp @p prev into @p target_camera with z-buffered splatting.
+ * Each source pixel is splatted into a 2x2 footprint so small motions
+ * do not leave pinholes.
+ */
+WarpResult forwardWarp(const DepthFrame &prev, const Camera &target_camera);
+
+/**
+ * Effective speedup of warp-assisted rendering: only uncovered pixels
+ * are re-rendered, plus a fixed @p warp_overhead fraction of a full
+ * frame for the warp pass itself.
+ */
+double warpAssistSpeedup(double coverage, double warp_overhead = 0.05);
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_IMAGE_WARP_H_

@@ -1,0 +1,159 @@
+#include "nerf/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fusion3d::nerf
+{
+
+Mlp::Mlp(std::vector<int> layer_sizes, std::uint64_t seed)
+    : sizes_(std::move(layer_sizes))
+{
+    if (sizes_.size() < 2)
+        fatal("Mlp needs at least input and output layers");
+    for (int s : sizes_) {
+        if (s < 1)
+            fatal("Mlp layer sizes must be positive");
+    }
+
+    std::size_t total = 0;
+    w_offsets_.resize(layerCount());
+    b_offsets_.resize(layerCount());
+    for (int l = 0; l < layerCount(); ++l) {
+        const std::size_t fan_in = static_cast<std::size_t>(sizes_[l]);
+        const std::size_t fan_out = static_cast<std::size_t>(sizes_[l + 1]);
+        w_offsets_[l] = total;
+        total += fan_in * fan_out;
+        b_offsets_[l] = total;
+        total += fan_out;
+    }
+    params_.resize(total);
+    grads_.assign(total, 0.0f);
+
+    // He-uniform init for the ReLU layers.
+    Pcg32 rng(seed, 0xcafef00dd15ea5e5ULL);
+    for (int l = 0; l < layerCount(); ++l) {
+        const int fan_in = sizes_[l];
+        const int fan_out = sizes_[l + 1];
+        const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+        float *w = params_.data() + w_offsets_[l];
+        for (int i = 0; i < fan_out * fan_in; ++i)
+            w[i] = rng.nextRange(-bound, bound);
+        float *b = params_.data() + b_offsets_[l];
+        std::fill(b, b + fan_out, 0.0f);
+    }
+}
+
+MlpWorkspace
+Mlp::makeWorkspace() const
+{
+    MlpWorkspace ws;
+    ws.activations.resize(sizes_.size());
+    ws.preacts.resize(layerCount());
+    for (std::size_t i = 0; i < sizes_.size(); ++i)
+        ws.activations[i].resize(static_cast<std::size_t>(sizes_[i]));
+    for (int l = 0; l < layerCount(); ++l)
+        ws.preacts[l].resize(static_cast<std::size_t>(sizes_[l + 1]));
+    ws.dinput.resize(static_cast<std::size_t>(sizes_.front()));
+    const int widest = *std::max_element(sizes_.begin(), sizes_.end());
+    ws.delta_a.resize(static_cast<std::size_t>(widest));
+    ws.delta_b.resize(static_cast<std::size_t>(widest));
+    return ws;
+}
+
+std::span<const float>
+Mlp::forward(std::span<const float> input, MlpWorkspace &ws) const
+{
+    if (input.size() < static_cast<std::size_t>(inputDim()))
+        panic("Mlp::forward input too small (%zu < %d)", input.size(), inputDim());
+
+    std::copy_n(input.begin(), inputDim(), ws.activations[0].begin());
+
+    for (int l = 0; l < layerCount(); ++l) {
+        const int fan_in = sizes_[l];
+        const int fan_out = sizes_[l + 1];
+        const float *w = params_.data() + w_offsets_[l];
+        const float *b = params_.data() + b_offsets_[l];
+        const float *x = ws.activations[l].data();
+        float *z = ws.preacts[l].data();
+        float *a = ws.activations[l + 1].data();
+        const bool hidden = l != layerCount() - 1;
+
+        for (int o = 0; o < fan_out; ++o) {
+            const float *wrow = w + static_cast<std::size_t>(o) * fan_in;
+            float acc = b[o];
+            for (int i = 0; i < fan_in; ++i)
+                acc += wrow[i] * x[i];
+            z[o] = acc;
+            a[o] = hidden ? std::max(acc, 0.0f) : acc;
+        }
+    }
+    return {ws.activations.back().data(), static_cast<std::size_t>(outputDim())};
+}
+
+void
+Mlp::backward(std::span<const float> dout, MlpWorkspace &ws)
+{
+    if (dout.size() < static_cast<std::size_t>(outputDim()))
+        panic("Mlp::backward gradient too small");
+
+    float *delta = ws.delta_a.data();
+    float *next_delta = ws.delta_b.data();
+    std::copy_n(dout.begin(), outputDim(), delta);
+
+    for (int l = layerCount() - 1; l >= 0; --l) {
+        const int fan_in = sizes_[l];
+        const int fan_out = sizes_[l + 1];
+        const float *w = params_.data() + w_offsets_[l];
+        float *gw = grads_.data() + w_offsets_[l];
+        float *gb = grads_.data() + b_offsets_[l];
+        const float *x = ws.activations[l].data();
+        const float *z = ws.preacts[l].data();
+        const bool hidden = l != layerCount() - 1;
+
+        // Fold the ReLU derivative into delta for hidden layers.
+        if (hidden) {
+            for (int o = 0; o < fan_out; ++o) {
+                if (z[o] <= 0.0f)
+                    delta[o] = 0.0f;
+            }
+        }
+
+        std::fill_n(next_delta, fan_in, 0.0f);
+        for (int o = 0; o < fan_out; ++o) {
+            const float d = delta[o];
+            if (d == 0.0f)
+                continue;
+            const float *wrow = w + static_cast<std::size_t>(o) * fan_in;
+            float *gwrow = gw + static_cast<std::size_t>(o) * fan_in;
+            gb[o] += d;
+            for (int i = 0; i < fan_in; ++i) {
+                gwrow[i] += d * x[i];
+                next_delta[i] += d * wrow[i];
+            }
+        }
+        std::swap(delta, next_delta);
+    }
+
+    std::copy_n(delta, inputDim(), ws.dinput.begin());
+}
+
+void
+Mlp::zeroGrads()
+{
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+std::uint64_t
+Mlp::forwardMacs() const
+{
+    std::uint64_t macs = 0;
+    for (int l = 0; l < layerCount(); ++l)
+        macs += static_cast<std::uint64_t>(sizes_[l]) * sizes_[l + 1];
+    return macs;
+}
+
+} // namespace fusion3d::nerf

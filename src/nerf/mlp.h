@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A small fully connected network with ReLU hidden activations, exactly
+ * the "tiny MLP" of the Instant-NGP pipeline that Stage III evaluates
+ * per sampled point. Forward caches activations in a caller-provided
+ * workspace so backward can run sample-by-sample without heap churn.
+ */
+
+#ifndef FUSION3D_NERF_MLP_H_
+#define FUSION3D_NERF_MLP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fusion3d::nerf
+{
+
+/** Per-sample activation cache reused across forward/backward calls. */
+struct MlpWorkspace
+{
+    /** Post-activation of every layer; [0] is the input copy. */
+    std::vector<std::vector<float>> activations;
+    /** Pre-activation (z) of every non-input layer. */
+    std::vector<std::vector<float>> preacts;
+    /** dL/d(input), filled by backward(). */
+    std::vector<float> dinput;
+    /** Scratch delta buffers. */
+    std::vector<float> delta_a;
+    std::vector<float> delta_b;
+};
+
+/**
+ * Fully connected network. Layer sizes include input and output, e.g.
+ * {32, 64, 16} is one hidden layer of 64. Hidden layers use ReLU, the
+ * output layer is linear (callers apply their own output nonlinearity
+ * so its gradient can fuse with the loss).
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_sizes Sizes including input and output (>= 2 entries).
+     * @param seed        Weight-init RNG seed.
+     */
+    explicit Mlp(std::vector<int> layer_sizes, std::uint64_t seed = 2);
+
+    int inputDim() const { return sizes_.front(); }
+    int outputDim() const { return sizes_.back(); }
+    int layerCount() const { return static_cast<int>(sizes_.size()) - 1; }
+
+    /** Allocate a workspace sized for this network. */
+    MlpWorkspace makeWorkspace() const;
+
+    /**
+     * Forward one sample.
+     * @param input Input vector (inputDim values).
+     * @param ws    Workspace; activations cached for backward().
+     * @return View of the output activation (valid until next forward).
+     */
+    std::span<const float> forward(std::span<const float> input, MlpWorkspace &ws) const;
+
+    /**
+     * Backward one sample; must follow a forward() on the same workspace.
+     * Accumulates weight/bias gradients into the internal gradient vector
+     * and leaves dL/d(input) in ws.dinput.
+     * @param dout dL/d(output), outputDim values.
+     */
+    void backward(std::span<const float> dout, MlpWorkspace &ws);
+
+    /** Flat parameters: per layer, weights row-major [out][in] then biases. */
+    std::span<float> params() { return params_; }
+    std::span<const float> params() const { return params_; }
+    std::span<float> grads() { return grads_; }
+
+    void zeroGrads();
+    std::size_t paramCount() const { return params_.size(); }
+
+    /** Multiply-accumulate count of one forward pass (for op accounting). */
+    std::uint64_t forwardMacs() const;
+
+  private:
+    std::size_t weightOffset(int layer) const { return w_offsets_[layer]; }
+    std::size_t biasOffset(int layer) const { return b_offsets_[layer]; }
+
+    std::vector<int> sizes_;
+    std::vector<std::size_t> w_offsets_;
+    std::vector<std::size_t> b_offsets_;
+    std::vector<float> params_;
+    std::vector<float> grads_;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_MLP_H_

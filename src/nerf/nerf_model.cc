@@ -1,0 +1,136 @@
+#include "nerf/nerf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::nerf
+{
+
+NerfModel::NerfModel(const NerfModelConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg)
+{
+    if (cfg.geoFeatures < 1)
+        fatal("NerfModel needs at least one geometry feature");
+    encoding_ = std::make_unique<HashGridEncoding>(cfg.grid, seed);
+    density_net_ = std::make_unique<Mlp>(
+        std::vector<int>{cfg.grid.encodedDims(), cfg.densityHidden, 1 + cfg.geoFeatures},
+        seed + 1);
+    color_net_ = std::make_unique<Mlp>(
+        std::vector<int>{cfg.geoFeatures + cfg.shDims(), cfg.colorHidden, 3}, seed + 2);
+}
+
+PointWorkspace
+NerfModel::makeWorkspace() const
+{
+    PointWorkspace ws;
+    ws.encoding.resize(static_cast<std::size_t>(cfg_.grid.encodedDims()));
+    ws.sh.resize(static_cast<std::size_t>(cfg_.shDims()));
+    ws.colorIn.resize(static_cast<std::size_t>(cfg_.geoFeatures + cfg_.shDims()));
+    ws.dDensityOut.resize(static_cast<std::size_t>(1 + cfg_.geoFeatures));
+    ws.dColorOut.resize(3);
+    ws.densityWs = density_net_->makeWorkspace();
+    ws.colorWs = color_net_->makeWorkspace();
+    return ws;
+}
+
+float
+NerfModel::densityActivation(float raw)
+{
+    // Exponential activation as in Instant-NGP, clamped for stability.
+    return std::exp(std::clamp(raw, -15.0f, 10.0f));
+}
+
+float
+NerfModel::densityActivationGrad(float raw, float sigma)
+{
+    // d/draw exp(raw) = exp(raw); zero outside the clamp range.
+    if (raw <= -15.0f || raw >= 10.0f)
+        return 0.0f;
+    return sigma;
+}
+
+PointEval
+NerfModel::forwardPoint(const Vec3f &pos, const Vec3f &dir, PointWorkspace &ws,
+                        VertexVisitor *visitor) const
+{
+    encoding_->encode(pos, ws.encoding, visitor);
+    const std::span<const float> dens_out = density_net_->forward(ws.encoding, ws.densityWs);
+
+    ws.rawSigma = dens_out[0];
+    PointEval pe;
+    pe.sigma = densityActivation(ws.rawSigma);
+
+    shEncode(dir, cfg_.shDegree, ws.sh);
+    for (int i = 0; i < cfg_.geoFeatures; ++i)
+        ws.colorIn[static_cast<std::size_t>(i)] = dens_out[static_cast<std::size_t>(i) + 1];
+    for (int i = 0; i < cfg_.shDims(); ++i)
+        ws.colorIn[static_cast<std::size_t>(cfg_.geoFeatures + i)] = ws.sh[i];
+
+    const std::span<const float> col_out = color_net_->forward(ws.colorIn, ws.colorWs);
+    for (int i = 0; i < 3; ++i) {
+        ws.rawRgb[i] = col_out[static_cast<std::size_t>(i)];
+        // Numerically safe logistic sigmoid.
+        const float r = col_out[static_cast<std::size_t>(i)];
+        pe.rgb.at(i) = r >= 0.0f ? 1.0f / (1.0f + std::exp(-r))
+                                 : std::exp(r) / (1.0f + std::exp(r));
+    }
+    return pe;
+}
+
+float
+NerfModel::queryDensity(const Vec3f &pos, PointWorkspace &ws) const
+{
+    encoding_->encode(pos, ws.encoding);
+    const std::span<const float> out = density_net_->forward(ws.encoding, ws.densityWs);
+    return densityActivation(out[0]);
+}
+
+void
+NerfModel::backwardPoint(const Vec3f &pos, const Vec3f &dir, float dsigma,
+                         const Vec3f &drgb, PointWorkspace &ws)
+{
+    // Recompute the forward pass to refresh the activation caches.
+    const PointEval pe = forwardPoint(pos, dir, ws);
+
+    // Color net backward: dL/draw = drgb * sigmoid'(raw).
+    for (int i = 0; i < 3; ++i) {
+        const float s = pe.rgb[i];
+        ws.dColorOut[static_cast<std::size_t>(i)] = drgb[i] * s * (1.0f - s);
+    }
+    color_net_->backward(ws.dColorOut, ws.colorWs);
+
+    // Density net backward: raw-sigma grad fused with the activation,
+    // geometry features receive the color net's input gradient.
+    ws.dDensityOut[0] = dsigma * densityActivationGrad(ws.rawSigma, pe.sigma);
+    for (int i = 0; i < cfg_.geoFeatures; ++i)
+        ws.dDensityOut[static_cast<std::size_t>(i) + 1] =
+            ws.colorWs.dinput[static_cast<std::size_t>(i)];
+    density_net_->backward(ws.dDensityOut, ws.densityWs);
+
+    // Encoding backward: scatter into the hash tables.
+    encoding_->backward(pos, ws.densityWs.dinput);
+}
+
+void
+NerfModel::zeroGrads()
+{
+    encoding_->zeroGrads();
+    density_net_->zeroGrads();
+    color_net_->zeroGrads();
+}
+
+std::size_t
+NerfModel::paramCount() const
+{
+    return encoding_->paramCount() + density_net_->paramCount() + color_net_->paramCount();
+}
+
+std::uint64_t
+NerfModel::macsPerPoint() const
+{
+    return density_net_->forwardMacs() + color_net_->forwardMacs();
+}
+
+} // namespace fusion3d::nerf

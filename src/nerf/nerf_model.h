@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The point-wise Instant-NGP radiance model: hash-grid encoding feeding
+ * a density MLP whose geometry features, concatenated with a spherical-
+ * harmonics view encoding, feed a color MLP. This is the per-sample
+ * computation Stages II and III of the Fusion-3D pipeline execute.
+ */
+
+#ifndef FUSION3D_NERF_NERF_MODEL_H_
+#define FUSION3D_NERF_NERF_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/vec.h"
+#include "nerf/hash_encoding.h"
+#include "nerf/mlp.h"
+#include "nerf/sh_encoding.h"
+
+namespace fusion3d::nerf
+{
+
+/** Architecture configuration of one radiance model. */
+struct NerfModelConfig
+{
+    HashGridConfig grid;
+    /** Geometry feature channels passed from density to color net. */
+    int geoFeatures = 15;
+    /** Hidden width of the density MLP (one hidden layer). */
+    int densityHidden = 32;
+    /** Hidden width of the color MLP (one hidden layer). */
+    int colorHidden = 32;
+    /** Spherical-harmonics degree for the view direction (1..4). */
+    int shDegree = 3;
+
+    int shDims() const { return shCoefficientCount(shDegree); }
+};
+
+/** Density + color of one evaluated point. */
+struct PointEval
+{
+    float sigma = 0.0f;
+    Vec3f rgb;
+};
+
+/** Scratch buffers for point evaluation; reuse across calls. */
+struct PointWorkspace
+{
+    std::vector<float> encoding;
+    std::vector<float> sh;
+    std::vector<float> colorIn;
+    std::vector<float> dDensityOut;
+    std::vector<float> dColorOut;
+    MlpWorkspace densityWs;
+    MlpWorkspace colorWs;
+    /** Raw (pre-activation) density output cached by forwardPoint. */
+    float rawSigma = 0.0f;
+    /** Raw color-net outputs cached by forwardPoint. */
+    float rawRgb[3] = {0.0f, 0.0f, 0.0f};
+};
+
+/** A trainable radiance field over the normalized unit cube. */
+class NerfModel
+{
+  public:
+    explicit NerfModel(const NerfModelConfig &cfg, std::uint64_t seed = 7);
+
+    const NerfModelConfig &config() const { return cfg_; }
+    HashGridEncoding &encoding() { return *encoding_; }
+    const HashGridEncoding &encoding() const { return *encoding_; }
+    Mlp &densityNet() { return *density_net_; }
+    const Mlp &densityNet() const { return *density_net_; }
+    Mlp &colorNet() { return *color_net_; }
+    const Mlp &colorNet() const { return *color_net_; }
+
+    PointWorkspace makeWorkspace() const;
+
+    /**
+     * Evaluate density and view-dependent color of one point.
+     * @param pos     Position in [0,1]^3.
+     * @param dir     Unit view direction.
+     * @param ws      Workspace (activation cache for a following backward).
+     * @param visitor Optional Stage-II vertex-access observer.
+     */
+    PointEval forwardPoint(const Vec3f &pos, const Vec3f &dir, PointWorkspace &ws,
+                           VertexVisitor *visitor = nullptr) const;
+
+    /** Density-only evaluation (occupancy-grid updates). */
+    float queryDensity(const Vec3f &pos, PointWorkspace &ws) const;
+
+    /**
+     * Accumulate parameter gradients for a point. Recomputes the forward
+     * pass internally (recompute-in-backward strategy), so it does NOT
+     * require a prior forwardPoint on the same workspace.
+     *
+     * @param dsigma dL/d(sigma).
+     * @param drgb   dL/d(rgb).
+     */
+    void backwardPoint(const Vec3f &pos, const Vec3f &dir, float dsigma,
+                       const Vec3f &drgb, PointWorkspace &ws);
+
+    /** Zero all parameter gradients (encoding and both MLPs). */
+    void zeroGrads();
+
+    /** Total trainable parameter count. */
+    std::size_t paramCount() const;
+
+    /** MLP multiply-accumulates per point evaluation (forward). */
+    std::uint64_t macsPerPoint() const;
+
+    /** Density activation: sigma = exp(clamped raw). */
+    static float densityActivation(float raw);
+    /** Derivative of densityActivation w.r.t. raw, given the output. */
+    static float densityActivationGrad(float raw, float sigma);
+
+  private:
+    NerfModelConfig cfg_;
+    std::unique_ptr<HashGridEncoding> encoding_;
+    std::unique_ptr<Mlp> density_net_;
+    std::unique_ptr<Mlp> color_net_;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_NERF_MODEL_H_

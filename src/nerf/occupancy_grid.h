@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Occupancy grid over the normalized unit cube. Stage I filters sampled
+ * points through this grid so only points in non-empty space reach
+ * Stages II/III; the paper additionally uses it as the built-in MoE
+ * gating function of the multi-chip design (Sec. II-A, Sec. V-A).
+ */
+
+#ifndef FUSION3D_NERF_OCCUPANCY_GRID_H_
+#define FUSION3D_NERF_OCCUPANCY_GRID_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ray.h"
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace fusion3d::nerf
+{
+
+/** A cubic occupancy grid with EMA density estimates and a bitfield. */
+class OccupancyGrid
+{
+  public:
+    /**
+     * @param resolution Cells per axis.
+     * @param threshold  Density above which a cell counts as occupied.
+     */
+    explicit OccupancyGrid(int resolution = 64, float threshold = 0.01f);
+
+    int resolution() const { return res_; }
+    float threshold() const { return threshold_; }
+    std::size_t cellCount() const { return density_.size(); }
+
+    /** Linear index of the cell containing @p pos (pos in [0,1]^3). */
+    std::size_t cellIndex(const Vec3f &pos) const;
+
+    /** Cell-center position of linear cell @p idx. */
+    Vec3f cellCenter(std::size_t idx) const;
+
+    bool occupiedCell(std::size_t idx) const { return occupied_[idx]; }
+    bool occupiedAt(const Vec3f &pos) const { return occupied_[cellIndex(pos)]; }
+
+    /**
+     * EMA update from a density oracle (the NeRF model during training,
+     * or an analytic scene). Each cell is probed at its jittered center;
+     * the stored estimate decays toward the fresh sample as in
+     * Instant-NGP's grid update.
+     *
+     * @param density Density oracle over normalized coordinates.
+     * @param rng     Jitter source.
+     * @param decay   EMA decay of the old estimate.
+     */
+    void update(const std::function<float(const Vec3f &)> &density, Pcg32 &rng,
+                float decay = 0.95f);
+
+    /** Mark every cell occupied (the state before any update). */
+    void markAll();
+
+    /** Clear every cell. */
+    void clearAll();
+
+    /**
+     * Keep only cells for which @p keep is true (MoE Level-1 tiling:
+     * restrict an expert's gate to its spatial region).
+     */
+    void maskRegion(const std::function<bool(const Vec3f &)> &keep);
+
+    /** Fraction of cells currently occupied. */
+    double occupiedFraction() const;
+
+    /** Occupancy bitfield size in bytes (1 bit per cell). */
+    std::size_t bitfieldBytes() const { return (cellCount() + 7) / 8; }
+
+    /** One contiguous occupied interval along a traversed ray. */
+    struct Interval
+    {
+        float t0 = 0.0f;
+        float t1 = 0.0f;
+    };
+
+    /**
+     * 3D-DDA traversal: walk the grid cells pierced by @p ray between
+     * @p t_min and @p t_max and return the merged parametric intervals
+     * that lie in occupied cells. This is how the sampling hardware
+     * skips empty space in whole-cell steps instead of probing the
+     * bitfield per sample.
+     *
+     * @param out   Receives the merged occupied intervals (cleared first).
+     * @param steps If non-null, receives the number of grid cells the
+     *              DDA visited (the hardware's skip cost).
+     * @return Number of intervals produced.
+     */
+    int traverse(const Ray &ray, float t_min, float t_max,
+                 std::vector<Interval> &out, int *steps = nullptr) const;
+
+  private:
+    int res_;
+    float threshold_;
+    std::vector<float> density_;
+    std::vector<bool> occupied_;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_OCCUPANCY_GRID_H_

@@ -1,0 +1,131 @@
+#include "nerf/pipeline.h"
+
+#include "common/logging.h"
+#include "common/quant.h"
+
+namespace fusion3d::nerf
+{
+
+namespace
+{
+
+AdamConfig
+adamFor(float lr, bool sparse)
+{
+    AdamConfig cfg;
+    cfg.lr = lr;
+    cfg.beta1 = 0.9f;
+    cfg.beta2 = 0.99f;
+    cfg.epsilon = 1e-15f;
+    cfg.skipZeroGrad = sparse;
+    return cfg;
+}
+
+} // namespace
+
+NerfPipeline::NerfPipeline(const PipelineConfig &cfg)
+    : cfg_(cfg),
+      model_(std::make_unique<NerfModel>(cfg.model, cfg.seed)),
+      grid_(cfg.occupancyResolution, cfg.occupancyThreshold),
+      sampler_(cfg.sampler),
+      ws_(model_->makeWorkspace()),
+      adam_encoding_(model_->encoding().paramCount(), adamFor(cfg.lrEncoding, true)),
+      adam_density_(model_->densityNet().paramCount(), adamFor(cfg.lrNet, false)),
+      adam_color_(model_->colorNet().paramCount(), adamFor(cfg.lrNet, false))
+{
+}
+
+RayEval
+NerfPipeline::traceRay(const Ray &ray, Pcg32 &rng, bool record, RayWorkload *workload)
+{
+    std::vector<RaySample> &samples = record ? tape_samples_ : scratch_samples_;
+    sampler_.sample(ray, &grid_, rng, samples, workload);
+
+    RayEval ev;
+    ev.samples = static_cast<int>(samples.size());
+    ev.candidates = workload ? workload->totalCandidates : ev.samples;
+
+    std::vector<float> &sigmas = tape_sigmas_;
+    std::vector<Vec3f> &rgbs = tape_rgbs_;
+    std::vector<float> &dts = tape_dts_;
+    sigmas.resize(samples.size());
+    rgbs.resize(samples.size());
+    dts.resize(samples.size());
+
+    const Vec3f dir = normalize(ray.dir);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const PointEval pe = model_->forwardPoint(samples[i].pos, dir, ws_, visitor_);
+        sigmas[i] = pe.sigma;
+        rgbs[i] = pe.rgb;
+        dts[i] = samples[i].dt;
+    }
+
+    const CompositeResult cr = composite(sigmas, rgbs, dts, cfg_.render);
+    ev.color = cr.color;
+    ev.transmittance = cr.transmittance;
+    ev.composited = cr.used;
+    if (!samples.empty())
+        ev.firstHitT = samples.front().t;
+
+    if (record) {
+        tape_dir_ = dir;
+        tape_result_ = cr;
+        tape_valid_ = true;
+    }
+    return ev;
+}
+
+void
+NerfPipeline::backwardLastRay(const Vec3f &dcolor)
+{
+    if (!tape_valid_)
+        panic("backwardLastRay without a recorded traceRay");
+
+    tape_dsigmas_.resize(tape_sigmas_.size());
+    tape_drgbs_.resize(tape_rgbs_.size());
+    compositeBackward(tape_sigmas_, tape_rgbs_, tape_dts_, cfg_.render, tape_result_,
+                      dcolor, tape_dsigmas_, tape_drgbs_);
+
+    for (int i = 0; i < tape_result_.used; ++i) {
+        model_->backwardPoint(tape_samples_[static_cast<std::size_t>(i)].pos, tape_dir_,
+                              tape_dsigmas_[static_cast<std::size_t>(i)],
+                              tape_drgbs_[static_cast<std::size_t>(i)], ws_);
+    }
+    tape_valid_ = false;
+}
+
+void
+NerfPipeline::zeroGrads()
+{
+    model_->zeroGrads();
+}
+
+void
+NerfPipeline::optimizerStep()
+{
+    adam_encoding_.step(model_->encoding().params(), model_->encoding().grads());
+    adam_density_.step(model_->densityNet().params(), model_->densityNet().grads());
+    adam_color_.step(model_->colorNet().params(), model_->colorNet().grads());
+}
+
+void
+NerfPipeline::updateOccupancy(Pcg32 &rng)
+{
+    grid_.update([this](const Vec3f &p) { return model_->queryDensity(p, ws_); }, rng);
+}
+
+void
+NerfPipeline::quantizeWeights()
+{
+    fakeQuantizeInPlace(model_->encoding().params());
+    fakeQuantizeInPlace(model_->densityNet().params());
+    fakeQuantizeInPlace(model_->colorNet().params());
+}
+
+std::size_t
+NerfPipeline::paramCount() const
+{
+    return model_->paramCount();
+}
+
+} // namespace fusion3d::nerf

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The complete single-model NeRF pipeline: Stage I (sampling through the
+ * occupancy gate), Stage II (hash-grid feature interpolation), and
+ * Stage III (MLP + volumetric compositing), with training support.
+ * This is the workload one Fusion-3D chip executes end to end.
+ */
+
+#ifndef FUSION3D_NERF_PIPELINE_H_
+#define FUSION3D_NERF_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "nerf/adam.h"
+#include "nerf/nerf_model.h"
+#include "nerf/occupancy_grid.h"
+#include "nerf/radiance_field.h"
+#include "nerf/renderer.h"
+#include "nerf/sampler.h"
+
+namespace fusion3d::nerf
+{
+
+/** Pipeline-level configuration. */
+struct PipelineConfig
+{
+    NerfModelConfig model;
+    SamplerConfig sampler;
+    RenderParams render;
+    int occupancyResolution = 48;
+    float occupancyThreshold = 0.01f;
+    float lrEncoding = 1e-2f;
+    float lrNet = 2e-3f;
+    std::uint64_t seed = 7;
+};
+
+/** Single-model pipeline implementing the RadianceField interface. */
+class NerfPipeline : public RadianceField
+{
+  public:
+    using Config = PipelineConfig;
+
+    explicit NerfPipeline(const PipelineConfig &cfg);
+
+    const PipelineConfig &config() const { return cfg_; }
+    NerfModel &model() { return *model_; }
+    const NerfModel &model() const { return *model_; }
+    OccupancyGrid &grid() { return grid_; }
+    const OccupancyGrid &grid() const { return grid_; }
+    const RaySampler &sampler() const { return sampler_; }
+
+    /**
+     * Stage-II access-trace observer applied during traceRay. The chip
+     * model installs one to replay hash accesses through the banked-SRAM
+     * simulation. Pass nullptr to detach.
+     */
+    void setVertexVisitor(VertexVisitor *v) { visitor_ = v; }
+
+    RayEval traceRay(const Ray &ray, Pcg32 &rng, bool record,
+                     RayWorkload *workload = nullptr) override;
+    void backwardLastRay(const Vec3f &dcolor) override;
+    void zeroGrads() override;
+    void optimizerStep() override;
+    void updateOccupancy(Pcg32 &rng) override;
+    void quantizeWeights() override;
+    std::size_t paramCount() const override;
+
+  private:
+    PipelineConfig cfg_;
+    VertexVisitor *visitor_ = nullptr;
+    std::unique_ptr<NerfModel> model_;
+    OccupancyGrid grid_;
+    RaySampler sampler_;
+    PointWorkspace ws_;
+
+    Adam adam_encoding_;
+    Adam adam_density_;
+    Adam adam_color_;
+
+    // Tape of the last recorded ray.
+    std::vector<RaySample> tape_samples_;
+    std::vector<float> tape_sigmas_;
+    std::vector<Vec3f> tape_rgbs_;
+    std::vector<float> tape_dts_;
+    std::vector<float> tape_dsigmas_;
+    std::vector<Vec3f> tape_drgbs_;
+    Vec3f tape_dir_;
+    CompositeResult tape_result_;
+    bool tape_valid_ = false;
+
+    std::vector<RaySample> scratch_samples_;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_PIPELINE_H_

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Generic end-to-end pipeline over a self-contained point model: Stage
+ * I sampling through the occupancy gate, per-point model evaluation,
+ * Stage III compositing, and the training tape. TensoRF and the
+ * frequency-encoded (vanilla/MetaVRain-style) NeRF instantiate this;
+ * the hash-grid pipeline keeps its dedicated class (NerfPipeline)
+ * because it additionally exposes the Stage-II vertex-trace hooks the
+ * chip model consumes.
+ *
+ * A ModelT must provide:
+ *   using Config = ...;
+ *   ModelT(const Config &, std::uint64_t seed);
+ *   PointEval forwardPoint(const Vec3f &pos, const Vec3f &dir);
+ *   float queryDensity(const Vec3f &pos);
+ *   void backwardPoint(const Vec3f &, const Vec3f &, float, const Vec3f &);
+ *   void zeroGrads();
+ *   void optimizerStep(float lr_a, float lr_b);
+ *   void quantizeWeights();
+ *   std::size_t paramCount() const;
+ */
+
+#ifndef FUSION3D_NERF_POINT_PIPELINE_H_
+#define FUSION3D_NERF_POINT_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "nerf/occupancy_grid.h"
+#include "nerf/radiance_field.h"
+#include "nerf/renderer.h"
+#include "nerf/sampler.h"
+
+namespace fusion3d::nerf
+{
+
+/** Pipeline configuration over a model-config type. */
+template <class ModelConfigT>
+struct PointPipelineConfig
+{
+    ModelConfigT model;
+    SamplerConfig sampler;
+    RenderParams render;
+    int occupancyResolution = 48;
+    float occupancyThreshold = 0.01f;
+    /** Learning rate of the model's field/factor parameters. */
+    float lrFactors = 2e-2f;
+    /** Learning rate of the model's network parameters. */
+    float lrNet = 2e-3f;
+    std::uint64_t seed = 31;
+};
+
+/** The generic pipeline. */
+template <class ModelT>
+class PointPipeline : public RadianceField
+{
+  public:
+    using Config = PointPipelineConfig<typename ModelT::Config>;
+
+    explicit PointPipeline(const Config &cfg)
+        : cfg_(cfg),
+          model_(std::make_unique<ModelT>(cfg.model, cfg.seed)),
+          grid_(cfg.occupancyResolution, cfg.occupancyThreshold),
+          sampler_(cfg.sampler)
+    {}
+
+    const Config &config() const { return cfg_; }
+    ModelT &model() { return *model_; }
+    OccupancyGrid &grid() { return grid_; }
+    const OccupancyGrid &grid() const { return grid_; }
+
+    RayEval
+    traceRay(const Ray &ray, Pcg32 &rng, bool record,
+             RayWorkload *workload = nullptr) override
+    {
+        std::vector<RaySample> &samples = record ? tape_samples_ : scratch_samples_;
+        sampler_.sample(ray, &grid_, rng, samples, workload);
+
+        RayEval ev;
+        ev.samples = static_cast<int>(samples.size());
+        ev.candidates = workload ? workload->totalCandidates : ev.samples;
+
+        tape_sigmas_.resize(samples.size());
+        tape_rgbs_.resize(samples.size());
+        tape_dts_.resize(samples.size());
+        const Vec3f dir = normalize(ray.dir);
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            const PointEval pe = model_->forwardPoint(samples[i].pos, dir);
+            tape_sigmas_[i] = pe.sigma;
+            tape_rgbs_[i] = pe.rgb;
+            tape_dts_[i] = samples[i].dt;
+        }
+
+        const CompositeResult cr =
+            composite(tape_sigmas_, tape_rgbs_, tape_dts_, cfg_.render);
+        ev.color = cr.color;
+        ev.transmittance = cr.transmittance;
+        ev.composited = cr.used;
+        if (!samples.empty())
+            ev.firstHitT = samples.front().t;
+
+        if (record) {
+            tape_dir_ = dir;
+            tape_result_ = cr;
+            tape_valid_ = true;
+        }
+        return ev;
+    }
+
+    void
+    backwardLastRay(const Vec3f &dcolor) override
+    {
+        if (!tape_valid_)
+            panic("PointPipeline::backwardLastRay without a recorded ray");
+
+        tape_dsigmas_.resize(tape_sigmas_.size());
+        tape_drgbs_.resize(tape_rgbs_.size());
+        compositeBackward(tape_sigmas_, tape_rgbs_, tape_dts_, cfg_.render,
+                          tape_result_, dcolor, tape_dsigmas_, tape_drgbs_);
+
+        for (int i = 0; i < tape_result_.used; ++i) {
+            model_->backwardPoint(tape_samples_[static_cast<std::size_t>(i)].pos,
+                                  tape_dir_,
+                                  tape_dsigmas_[static_cast<std::size_t>(i)],
+                                  tape_drgbs_[static_cast<std::size_t>(i)]);
+        }
+        tape_valid_ = false;
+    }
+
+    void zeroGrads() override { model_->zeroGrads(); }
+
+    void optimizerStep() override { model_->optimizerStep(cfg_.lrFactors, cfg_.lrNet); }
+
+    void
+    updateOccupancy(Pcg32 &rng) override
+    {
+        grid_.update([this](const Vec3f &p) { return model_->queryDensity(p); }, rng);
+    }
+
+    void quantizeWeights() override { model_->quantizeWeights(); }
+
+    std::size_t paramCount() const override { return model_->paramCount(); }
+
+  private:
+    Config cfg_;
+    std::unique_ptr<ModelT> model_;
+    OccupancyGrid grid_;
+    RaySampler sampler_;
+
+    std::vector<RaySample> tape_samples_;
+    std::vector<float> tape_sigmas_;
+    std::vector<Vec3f> tape_rgbs_;
+    std::vector<float> tape_dts_;
+    std::vector<float> tape_dsigmas_;
+    std::vector<Vec3f> tape_drgbs_;
+    Vec3f tape_dir_;
+    CompositeResult tape_result_;
+    bool tape_valid_ = false;
+    std::vector<RaySample> scratch_samples_;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_POINT_PIPELINE_H_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Abstract trainable radiance field. Both the single-model pipeline
+ * (one chip) and the Mixture-of-Experts model (multi-chip, Technique T3)
+ * implement this interface, so the Trainer and the evaluation harness
+ * are agnostic to which one they drive.
+ */
+
+#ifndef FUSION3D_NERF_RADIANCE_FIELD_H_
+#define FUSION3D_NERF_RADIANCE_FIELD_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "common/ray.h"
+#include "common/rng.h"
+#include "common/vec.h"
+#include "nerf/sampler.h"
+
+namespace fusion3d::nerf
+{
+
+/** Result of tracing one ray through a radiance field. */
+struct RayEval
+{
+    Vec3f color;
+    /** Valid (occupancy-surviving) samples evaluated. */
+    int samples = 0;
+    /** Candidate samples before occupancy filtering. */
+    int candidates = 0;
+    /** Samples actually composited before early termination. */
+    int composited = 0;
+    /** Remaining transmittance behind the last sample. */
+    float transmittance = 1.0f;
+    /** Ray parameter of the first valid sample (+inf if none). The
+     *  multi-chip I/O module orders expert partials by this depth. */
+    float firstHitT = std::numeric_limits<float>::infinity();
+};
+
+/** A differentiable, trainable radiance field. */
+class RadianceField
+{
+  public:
+    virtual ~RadianceField() = default;
+
+    /**
+     * Render one ray.
+     * @param ray      Ray in normalized model coordinates.
+     * @param rng      Source of sampling jitter.
+     * @param record   Keep the evaluation tape so backwardLastRay() works.
+     * @param workload Optional Stage-I trace sink for the hardware model.
+     */
+    virtual RayEval traceRay(const Ray &ray, Pcg32 &rng, bool record,
+                             RayWorkload *workload = nullptr) = 0;
+
+    /** Backpropagate dL/d(color) of the most recently recorded ray. */
+    virtual void backwardLastRay(const Vec3f &dcolor) = 0;
+
+    /** Zero all accumulated parameter gradients. */
+    virtual void zeroGrads() = 0;
+
+    /** Apply one optimizer step using the accumulated gradients. */
+    virtual void optimizerStep() = 0;
+
+    /** Refresh the occupancy gate(s) from the current density field. */
+    virtual void updateOccupancy(Pcg32 &rng) = 0;
+
+    /** Fake-quantize all weights through INT8 (Table II experiment). */
+    virtual void quantizeWeights() = 0;
+
+    /** Total trainable parameter count. */
+    virtual std::size_t paramCount() const = 0;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_RADIANCE_FIELD_H_

@@ -1,0 +1,133 @@
+#include "nerf/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace fusion3d::nerf
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'F', '3', 'D', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header
+{
+    char magic[4];
+    std::uint32_t version;
+    std::int32_t levels;
+    std::int32_t featuresPerLevel;
+    std::int32_t log2TableSize;
+    std::int32_t baseResolution;
+    std::int32_t maxResolution;
+    std::int32_t geoFeatures;
+    std::int32_t densityHidden;
+    std::int32_t colorHidden;
+    std::int32_t shDegree;
+    std::uint64_t encodingParams;
+    std::uint64_t densityParams;
+    std::uint64_t colorParams;
+};
+
+bool
+writeBlock(std::FILE *f, std::span<const float> data)
+{
+    return std::fwrite(data.data(), sizeof(float), data.size(), f) == data.size();
+}
+
+bool
+readBlock(std::FILE *f, std::span<float> data)
+{
+    return std::fread(data.data(), sizeof(float), data.size(), f) == data.size();
+}
+
+} // namespace
+
+bool
+saveModel(const NerfModel &model, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+
+    const NerfModelConfig &cfg = model.config();
+    Header h{};
+    std::memcpy(h.magic, kMagic, 4);
+    h.version = kVersion;
+    h.levels = cfg.grid.levels;
+    h.featuresPerLevel = cfg.grid.featuresPerLevel;
+    h.log2TableSize = cfg.grid.log2TableSize;
+    h.baseResolution = cfg.grid.baseResolution;
+    h.maxResolution = cfg.grid.maxResolution;
+    h.geoFeatures = cfg.geoFeatures;
+    h.densityHidden = cfg.densityHidden;
+    h.colorHidden = cfg.colorHidden;
+    h.shDegree = cfg.shDegree;
+    h.encodingParams = model.encoding().paramCount();
+    h.densityParams = model.densityNet().paramCount();
+    h.colorParams = model.colorNet().paramCount();
+
+    bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
+    ok = ok && writeBlock(f, model.encoding().params());
+    ok = ok && writeBlock(f, model.densityNet().params());
+    ok = ok && writeBlock(f, model.colorNet().params());
+    std::fclose(f);
+    return ok;
+}
+
+std::unique_ptr<NerfModel>
+loadModel(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return nullptr;
+
+    Header h{};
+    if (std::fread(&h, sizeof(h), 1, f) != 1 || std::memcmp(h.magic, kMagic, 4) != 0 ||
+        h.version != kVersion) {
+        std::fclose(f);
+        return nullptr;
+    }
+
+    NerfModelConfig cfg;
+    cfg.grid.levels = h.levels;
+    cfg.grid.featuresPerLevel = h.featuresPerLevel;
+    cfg.grid.log2TableSize = h.log2TableSize;
+    cfg.grid.baseResolution = h.baseResolution;
+    cfg.grid.maxResolution = h.maxResolution;
+    cfg.geoFeatures = h.geoFeatures;
+    cfg.densityHidden = h.densityHidden;
+    cfg.colorHidden = h.colorHidden;
+    cfg.shDegree = h.shDegree;
+
+    auto model = std::make_unique<NerfModel>(cfg);
+    if (model->encoding().paramCount() != h.encodingParams ||
+        model->densityNet().paramCount() != h.densityParams ||
+        model->colorNet().paramCount() != h.colorParams) {
+        warn("loadModel: parameter counts in '%s' do not match its header",
+             path.c_str());
+        std::fclose(f);
+        return nullptr;
+    }
+
+    bool ok = readBlock(f, model->encoding().params());
+    ok = ok && readBlock(f, model->densityNet().params());
+    ok = ok && readBlock(f, model->colorNet().params());
+    std::fclose(f);
+    if (!ok)
+        return nullptr;
+    return model;
+}
+
+std::size_t
+modelFootprintBytes(const NerfModel &model, int bytes_per_param)
+{
+    return sizeof(Header) +
+           model.paramCount() * static_cast<std::size_t>(bytes_per_param);
+}
+
+} // namespace fusion3d::nerf

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Binary model serialization. The paper's deployment story leans on the
+ * small NeRF footprint (~10 MB) for transmission over the bandwidth-
+ * constrained edge link; this is the writer/reader for that artifact.
+ *
+ * Format (little-endian): magic "F3DM", u32 version, the HashGridConfig
+ * and MLP dimensions, then the three parameter blocks as raw float32.
+ */
+
+#ifndef FUSION3D_NERF_SERIALIZE_H_
+#define FUSION3D_NERF_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "nerf/nerf_model.h"
+
+namespace fusion3d::nerf
+{
+
+/** Serialize @p model to @p path. @return true on success. */
+bool saveModel(const NerfModel &model, const std::string &path);
+
+/**
+ * Load a model saved by saveModel().
+ * @return nullptr on I/O error, bad magic/version, or config mismatch
+ *         between the header and the stored parameter counts.
+ */
+std::unique_ptr<NerfModel> loadModel(const std::string &path);
+
+/** On-disk footprint of a model at the given parameter width. */
+std::size_t modelFootprintBytes(const NerfModel &model, int bytes_per_param = 4);
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_SERIALIZE_H_

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Real spherical-harmonics encoding of view directions, as used by
+ * Instant-NGP's color network input (up to degree 4, 16 coefficients).
+ */
+
+#ifndef FUSION3D_NERF_SH_ENCODING_H_
+#define FUSION3D_NERF_SH_ENCODING_H_
+
+#include <span>
+
+#include "common/vec.h"
+
+namespace fusion3d::nerf
+{
+
+/** Number of SH coefficients for @p degree bands (degree in 1..4). */
+constexpr int
+shCoefficientCount(int degree)
+{
+    return degree * degree;
+}
+
+/**
+ * Evaluate the first @p degree bands of real spherical harmonics at unit
+ * direction @p d, writing degree^2 values into @p out.
+ */
+void shEncode(const Vec3f &d, int degree, std::span<float> out);
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_SH_ENCODING_H_

@@ -1,0 +1,281 @@
+#include "nerf/tensorf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/quant.h"
+#include "common/rng.h"
+#include "nerf/sh_encoding.h"
+
+namespace fusion3d::nerf
+{
+
+namespace
+{
+
+/** Numerically safe softplus and its derivative. */
+float
+softplus(float x)
+{
+    if (x > 15.0f)
+        return x;
+    if (x < -15.0f)
+        return 0.0f;
+    return std::log1p(std::exp(x));
+}
+
+float
+softplusGrad(float x)
+{
+    if (x > 15.0f)
+        return 1.0f;
+    if (x < -15.0f)
+        return 0.0f;
+    const float e = std::exp(x);
+    return e / (1.0f + e);
+}
+
+AdamConfig
+adamFor(float lr)
+{
+    AdamConfig cfg;
+    cfg.lr = lr;
+    cfg.beta1 = 0.9f;
+    cfg.beta2 = 0.99f;
+    cfg.epsilon = 1e-15f;
+    return cfg;
+}
+
+} // namespace
+
+TensorfModel::TensorfModel(const TensorfModelConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg)
+{
+    if (cfg.densityRank < 1 || cfg.appearanceRank < 1 || cfg.lineResolution < 2)
+        fatal("TensorfModel: invalid rank/resolution configuration");
+
+    const std::size_t density_floats =
+        3ull * cfg.densityRank * cfg.lineResolution;
+    const std::size_t app_floats = 3ull * cfg.appearanceRank * cfg.lineResolution;
+    const std::size_t basis_floats =
+        static_cast<std::size_t>(cfg.appearanceDim) * cfg.appearanceRank;
+    params_.resize(density_floats + app_floats + basis_floats);
+    grads_.assign(params_.size(), 0.0f);
+
+    Pcg32 rng(seed, 0x7f4a7c159e3779b9ULL);
+    // Line factors start near a small positive constant so rank
+    // products are non-degenerate; the basis starts small-random.
+    for (std::size_t i = 0; i < density_floats + app_floats; ++i)
+        params_[i] = 0.2f + 0.05f * rng.nextGaussian();
+    for (std::size_t i = density_floats + app_floats; i < params_.size(); ++i)
+        params_[i] = 0.1f * rng.nextGaussian();
+
+    color_net_ = std::make_unique<Mlp>(
+        std::vector<int>{cfg.appearanceDim + cfg.shDims(), cfg.colorHidden, 3},
+        seed + 5);
+
+    adam_factors_ = Adam(params_.size(), adamFor(2e-2f));
+    adam_net_ = Adam(color_net_->paramCount(), adamFor(2e-3f));
+
+    sh_.resize(static_cast<std::size_t>(cfg.shDims()));
+    color_in_.resize(static_cast<std::size_t>(cfg.appearanceDim + cfg.shDims()));
+    dcolor_out_.resize(3);
+    app_prod_.resize(static_cast<std::size_t>(cfg.appearanceRank) * 3);
+    color_ws_ = color_net_->makeWorkspace();
+}
+
+std::size_t
+TensorfModel::densityOffset(int axis) const
+{
+    return static_cast<std::size_t>(axis) * cfg_.densityRank * cfg_.lineResolution;
+}
+
+std::size_t
+TensorfModel::appearanceOffset(int axis) const
+{
+    return 3ull * cfg_.densityRank * cfg_.lineResolution +
+           static_cast<std::size_t>(axis) * cfg_.appearanceRank * cfg_.lineResolution;
+}
+
+std::size_t
+TensorfModel::basisOffset() const
+{
+    return 3ull * cfg_.densityRank * cfg_.lineResolution +
+           3ull * cfg_.appearanceRank * cfg_.lineResolution;
+}
+
+namespace
+{
+
+/** Sample a line factor with linear interpolation. */
+inline float
+sampleLine(const float *line, int res, float u)
+{
+    const float x = std::clamp(u, 0.0f, 1.0f) * static_cast<float>(res - 1);
+    const int i0 = std::min(static_cast<int>(x), res - 2);
+    const float f = x - static_cast<float>(i0);
+    return line[i0] * (1.0f - f) + line[i0 + 1] * f;
+}
+
+/** Scatter a gradient into the two supports of a line factor. */
+inline void
+scatterLine(float *gline, int res, float u, float g)
+{
+    const float x = std::clamp(u, 0.0f, 1.0f) * static_cast<float>(res - 1);
+    const int i0 = std::min(static_cast<int>(x), res - 2);
+    const float f = x - static_cast<float>(i0);
+    gline[i0] += g * (1.0f - f);
+    gline[i0 + 1] += g * f;
+}
+
+} // namespace
+
+void
+TensorfModel::lineBackward(std::size_t block_offset, int r, float u, float g)
+{
+    const int res = cfg_.lineResolution;
+    scatterLine(grads_.data() + block_offset + static_cast<std::size_t>(r) * res, res,
+                u, g);
+}
+
+float
+TensorfModel::queryDensity(const Vec3f &pos)
+{
+    const int res = cfg_.lineResolution;
+    float raw = 0.0f;
+    for (int r = 0; r < cfg_.densityRank; ++r) {
+        float prod = 1.0f;
+        for (int axis = 0; axis < 3; ++axis) {
+            const float *line = params_.data() + densityOffset(axis) +
+                                static_cast<std::size_t>(r) * res;
+            prod *= sampleLine(line, res, pos[axis]);
+        }
+        raw += prod;
+    }
+    raw_sigma_ = raw - cfg_.densityShift;
+    return softplus(raw_sigma_) * cfg_.densityScale;
+}
+
+PointEval
+TensorfModel::forwardPoint(const Vec3f &pos, const Vec3f &dir)
+{
+    PointEval pe;
+    pe.sigma = queryDensity(pos);
+
+    const int res = cfg_.lineResolution;
+    // Appearance rank products, cached per axis for backward reuse.
+    for (int r = 0; r < cfg_.appearanceRank; ++r) {
+        for (int axis = 0; axis < 3; ++axis) {
+            const float *line = params_.data() + appearanceOffset(axis) +
+                                static_cast<std::size_t>(r) * res;
+            app_prod_[static_cast<std::size_t>(r) * 3 + axis] =
+                sampleLine(line, res, pos[axis]);
+        }
+    }
+
+    const float *basis = params_.data() + basisOffset();
+    for (int c = 0; c < cfg_.appearanceDim; ++c) {
+        float acc = 0.0f;
+        for (int r = 0; r < cfg_.appearanceRank; ++r) {
+            const float prod = app_prod_[static_cast<std::size_t>(r) * 3] *
+                               app_prod_[static_cast<std::size_t>(r) * 3 + 1] *
+                               app_prod_[static_cast<std::size_t>(r) * 3 + 2];
+            acc += basis[static_cast<std::size_t>(c) * cfg_.appearanceRank + r] * prod;
+        }
+        color_in_[static_cast<std::size_t>(c)] = acc;
+    }
+    shEncode(dir, cfg_.shDegree, sh_);
+    for (int i = 0; i < cfg_.shDims(); ++i)
+        color_in_[static_cast<std::size_t>(cfg_.appearanceDim + i)] =
+            sh_[static_cast<std::size_t>(i)];
+
+    const std::span<const float> out = color_net_->forward(color_in_, color_ws_);
+    for (int i = 0; i < 3; ++i) {
+        const float r = out[static_cast<std::size_t>(i)];
+        pe.rgb.at(i) = r >= 0.0f ? 1.0f / (1.0f + std::exp(-r))
+                                 : std::exp(r) / (1.0f + std::exp(r));
+    }
+    return pe;
+}
+
+void
+TensorfModel::backwardPoint(const Vec3f &pos, const Vec3f &dir, float dsigma,
+                            const Vec3f &drgb)
+{
+    const PointEval pe = forwardPoint(pos, dir); // recompute caches
+    const int res = cfg_.lineResolution;
+
+    // --- Color path ---
+    for (int i = 0; i < 3; ++i) {
+        const float s = pe.rgb[i];
+        dcolor_out_[static_cast<std::size_t>(i)] = drgb[i] * s * (1.0f - s);
+    }
+    color_net_->backward(dcolor_out_, color_ws_);
+
+    // d(features): the color net's input gradient feeds basis + lines.
+    const float *basis = params_.data() + basisOffset();
+    float *gbasis = grads_.data() + basisOffset();
+    for (int r = 0; r < cfg_.appearanceRank; ++r) {
+        const float px = app_prod_[static_cast<std::size_t>(r) * 3];
+        const float py = app_prod_[static_cast<std::size_t>(r) * 3 + 1];
+        const float pz = app_prod_[static_cast<std::size_t>(r) * 3 + 2];
+        const float prod = px * py * pz;
+        float dprod = 0.0f;
+        for (int c = 0; c < cfg_.appearanceDim; ++c) {
+            const float dfeat = color_ws_.dinput[static_cast<std::size_t>(c)];
+            gbasis[static_cast<std::size_t>(c) * cfg_.appearanceRank + r] +=
+                dfeat * prod;
+            dprod += dfeat * basis[static_cast<std::size_t>(c) * cfg_.appearanceRank + r];
+        }
+        // Product rule into each axis line.
+        lineBackward(appearanceOffset(0), r, pos.x, dprod * py * pz);
+        lineBackward(appearanceOffset(1), r, pos.y, dprod * px * pz);
+        lineBackward(appearanceOffset(2), r, pos.z, dprod * px * py);
+    }
+
+    // --- Density path ---
+    const float draw = dsigma * cfg_.densityScale * softplusGrad(raw_sigma_);
+    for (int r = 0; r < cfg_.densityRank; ++r) {
+        float axis_val[3];
+        for (int axis = 0; axis < 3; ++axis) {
+            const float *line = params_.data() + densityOffset(axis) +
+                                static_cast<std::size_t>(r) * res;
+            axis_val[axis] = sampleLine(line, res, pos[axis]);
+        }
+        lineBackward(densityOffset(0), r, pos.x, draw * axis_val[1] * axis_val[2]);
+        lineBackward(densityOffset(1), r, pos.y, draw * axis_val[0] * axis_val[2]);
+        lineBackward(densityOffset(2), r, pos.z, draw * axis_val[0] * axis_val[1]);
+    }
+}
+
+void
+TensorfModel::zeroGrads()
+{
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+    color_net_->zeroGrads();
+}
+
+void
+TensorfModel::optimizerStep(float lr_factors, float lr_net)
+{
+    adam_factors_.setLearningRate(lr_factors);
+    adam_net_.setLearningRate(lr_net);
+    adam_factors_.step(params_, grads_);
+    adam_net_.step(color_net_->params(), color_net_->grads());
+}
+
+void
+TensorfModel::quantizeWeights()
+{
+    fakeQuantizeInPlace(params_);
+    fakeQuantizeInPlace(color_net_->params());
+}
+
+std::size_t
+TensorfModel::paramCount() const
+{
+    return params_.size() + color_net_->paramCount();
+}
+
+} // namespace fusion3d::nerf

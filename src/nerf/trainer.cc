@@ -1,0 +1,107 @@
+#include "nerf/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nerf/sampler.h"
+
+namespace fusion3d::nerf
+{
+
+Trainer::Trainer(RadianceField &field, const Dataset &data, const TrainerConfig &cfg)
+    : field_(field), data_(data), cfg_(cfg), rng_(cfg.seed, 0x5851f42d4c957f2dULL)
+{
+    if (data.train.empty())
+        fatal("Trainer: dataset has no training views");
+}
+
+void
+Trainer::trainIteration()
+{
+    field_.zeroGrads();
+
+    RayWorkload workload;
+    for (int r = 0; r < cfg_.raysPerBatch; ++r) {
+        const TrainView &view =
+            data_.train[rng_.nextBounded(static_cast<std::uint32_t>(data_.train.size()))];
+        const int px = static_cast<int>(rng_.nextBounded(
+            static_cast<std::uint32_t>(view.image.width())));
+        const int py = static_cast<int>(rng_.nextBounded(
+            static_cast<std::uint32_t>(view.image.height())));
+        const Ray ray = view.camera.rayForPixel(px, py, rng_.nextFloat(), rng_.nextFloat());
+
+        const RayEval ev = field_.traceRay(ray, rng_, /*record=*/true, &workload);
+        ++total_rays_;
+        total_samples_ += static_cast<std::uint64_t>(ev.samples);
+        total_candidates_ += static_cast<std::uint64_t>(ev.candidates);
+
+        const Vec3f gt = view.image.at(px, py);
+        const Vec3f dcolor = ev.color - gt; // d/dC of 0.5*|C-gt|^2
+        field_.backwardLastRay(dcolor);
+    }
+
+    field_.optimizerStep();
+    ++iter_;
+
+    if (cfg_.occupancyUpdateEvery > 0 && iter_ >= cfg_.occupancyWarmup &&
+        (iter_ - cfg_.occupancyWarmup) % cfg_.occupancyUpdateEvery == 0) {
+        field_.updateOccupancy(rng_);
+    }
+
+    if (cfg_.quantizeEvery > 0 && iter_ % cfg_.quantizeEvery == 0)
+        field_.quantizeWeights();
+}
+
+Image
+Trainer::renderView(const Camera &camera)
+{
+    Image out(camera.width(), camera.height());
+    for (int y = 0; y < camera.height(); ++y) {
+        for (int x = 0; x < camera.width(); ++x) {
+            const Ray ray = camera.rayForPixel(x, y);
+            const RayEval ev = field_.traceRay(ray, rng_, /*record=*/false);
+            out.at(x, y) = clamp(ev.color, 0.0f, 1.0f);
+        }
+    }
+    return out;
+}
+
+double
+Trainer::evalPsnr(int max_views)
+{
+    if (data_.test.empty())
+        fatal("Trainer::evalPsnr: dataset has no test views");
+    const int views = std::min<int>(max_views, static_cast<int>(data_.test.size()));
+    double acc = 0.0;
+    for (int v = 0; v < views; ++v) {
+        const Image rendered = renderView(data_.test[static_cast<std::size_t>(v)].camera);
+        acc += psnr(rendered, data_.test[static_cast<std::size_t>(v)].image);
+    }
+    return acc / static_cast<double>(views);
+}
+
+TrainResult
+Trainer::run()
+{
+    TrainResult result;
+    for (int i = 0; i < cfg_.iterations; ++i) {
+        trainIteration();
+        if (cfg_.evalEvery > 0 && iter_ % cfg_.evalEvery == 0) {
+            const double p = evalPsnr(cfg_.evalViews);
+            result.history.emplace_back(iter_, p);
+            if (result.itersTo25Psnr < 0 && p >= 25.0)
+                result.itersTo25Psnr = iter_;
+        }
+    }
+    result.finalPsnr = evalPsnr(cfg_.evalViews);
+    result.history.emplace_back(iter_, result.finalPsnr);
+    if (result.itersTo25Psnr < 0 && result.finalPsnr >= 25.0)
+        result.itersTo25Psnr = iter_;
+    result.iterationsRun = iter_;
+    result.totalRays = total_rays_;
+    result.totalSamples = total_samples_;
+    result.totalCandidates = total_candidates_;
+    return result;
+}
+
+} // namespace fusion3d::nerf

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * End-to-end NeRF training loop over a RadianceField: per-iteration ray
+ * batches, MSE photometric loss, periodic occupancy refresh, optional
+ * periodic weight quantization (the Table-II experiment), and PSNR
+ * evaluation on held-out views. The workload statistics it gathers
+ * (rays, candidate and valid samples) feed the chip performance model.
+ */
+
+#ifndef FUSION3D_NERF_TRAINER_H_
+#define FUSION3D_NERF_TRAINER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/image.h"
+#include "nerf/dataset.h"
+#include "nerf/radiance_field.h"
+
+namespace fusion3d::nerf
+{
+
+/** Training-loop configuration. */
+struct TrainerConfig
+{
+    int iterations = 1500;
+    int raysPerBatch = 256;
+    /** Refresh the occupancy gate every N iterations (0 disables). */
+    int occupancyUpdateEvery = 48;
+    /** Iterations before the first occupancy refresh. */
+    int occupancyWarmup = 96;
+    /** Fake-quantize all weights to INT8 every N iterations (0 = never). */
+    int quantizeEvery = 0;
+    /** Record PSNR every N iterations (0 = final only). */
+    int evalEvery = 0;
+    /** Test views used per evaluation (capped by the dataset). */
+    int evalViews = 1;
+    std::uint64_t seed = 1234;
+};
+
+/** Aggregate statistics of one training run. */
+struct TrainResult
+{
+    /** (iteration, test PSNR) pairs, one per evaluation. */
+    std::vector<std::pair<int, double>> history;
+    double finalPsnr = 0.0;
+    int iterationsRun = 0;
+    /** Total rays traced during training (forward passes). */
+    std::uint64_t totalRays = 0;
+    /** Total valid samples evaluated (Stage II/III workload). */
+    std::uint64_t totalSamples = 0;
+    /** Total candidate samples before occupancy filtering (Stage I). */
+    std::uint64_t totalCandidates = 0;
+    /** First evaluated iteration whose PSNR reached 25 dB (-1 if never). */
+    int itersTo25Psnr = -1;
+
+    double
+    avgSamplesPerRay() const
+    {
+        return totalRays ? static_cast<double>(totalSamples) /
+                               static_cast<double>(totalRays)
+                         : 0.0;
+    }
+};
+
+/** Drives training of a RadianceField against a Dataset. */
+class Trainer
+{
+  public:
+    Trainer(RadianceField &field, const Dataset &data, const TrainerConfig &cfg);
+
+    /** Run the configured number of iterations. */
+    TrainResult run();
+
+    /** One optimization step (one ray batch). */
+    void trainIteration();
+
+    /** Mean PSNR over up to @p max_views test views. */
+    double evalPsnr(int max_views = 1);
+
+    /** Render an arbitrary camera with the current model. */
+    Image renderView(const Camera &camera);
+
+    int iteration() const { return iter_; }
+    std::uint64_t totalRays() const { return total_rays_; }
+    std::uint64_t totalSamples() const { return total_samples_; }
+    std::uint64_t totalCandidates() const { return total_candidates_; }
+
+  private:
+    RadianceField &field_;
+    const Dataset &data_;
+    TrainerConfig cfg_;
+    Pcg32 rng_;
+    int iter_ = 0;
+    std::uint64_t total_rays_ = 0;
+    std::uint64_t total_samples_ = 0;
+    std::uint64_t total_candidates_ = 0;
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_TRAINER_H_

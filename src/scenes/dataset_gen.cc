@@ -1,0 +1,64 @@
+#include "scenes/dataset_gen.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fusion3d::scenes
+{
+
+DatasetConfig
+syntheticRig(int image_size)
+{
+    DatasetConfig cfg;
+    cfg.width = cfg.height = image_size;
+    cfg.orbitRadius = 1.4f;
+    cfg.vfovDegrees = 45.0f;
+    return cfg;
+}
+
+DatasetConfig
+nerf360Rig(int image_size)
+{
+    DatasetConfig cfg;
+    cfg.width = cfg.height = image_size;
+    // Inside the cube looking across the scene.
+    cfg.orbitRadius = 0.38f;
+    cfg.vfovDegrees = 70.0f;
+    cfg.elevLowDeg = 8.0f;
+    cfg.elevHighDeg = 25.0f;
+    cfg.trainViews = 16;
+    return cfg;
+}
+
+nerf::Dataset
+makeDataset(const Scene &scene, const DatasetConfig &cfg)
+{
+    nerf::Dataset ds;
+    ds.sceneName = scene.name();
+
+    const Vec3f center{0.5f, 0.45f, 0.5f};
+    const int total = cfg.trainViews + cfg.testViews;
+    for (int i = 0; i < total; ++i) {
+        // Spread azimuths evenly; interleave test views between train
+        // views so the held-out poses are genuinely novel.
+        const float azim = 360.0f * static_cast<float>(i) / static_cast<float>(total);
+        const float elev = (i % 2 == 0) ? cfg.elevLowDeg : cfg.elevHighDeg;
+        const nerf::Camera cam = nerf::Camera::orbit(center, cfg.orbitRadius, azim, elev,
+                                                     cfg.vfovDegrees, cfg.width,
+                                                     cfg.height);
+        nerf::TrainView view;
+        view.camera = cam;
+        view.image = referenceRender(scene, cam, cfg.reference);
+        // Every (trainViews/testViews)-ish slot becomes a test view.
+        if (cfg.testViews > 0 && (i % (total / std::max(cfg.testViews, 1))) ==
+                                     (total / std::max(cfg.testViews, 1)) / 2 &&
+            static_cast<int>(ds.test.size()) < cfg.testViews) {
+            ds.test.push_back(std::move(view));
+        } else {
+            ds.train.push_back(std::move(view));
+        }
+    }
+    return ds;
+}
+
+} // namespace fusion3d::scenes

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dataset generation: render posed ground-truth views of an analytic
+ * scene with the reference renderer, producing the train/test splits the
+ * NeRF pipeline consumes. Object scenes use an outward orbit rig (like
+ * NeRF-Synthetic); 360 scenes an inside-the-scene orbit (like NeRF-360).
+ */
+
+#ifndef FUSION3D_SCENES_DATASET_GEN_H_
+#define FUSION3D_SCENES_DATASET_GEN_H_
+
+#include "nerf/dataset.h"
+#include "scenes/reference_renderer.h"
+#include "scenes/scene.h"
+
+namespace fusion3d::scenes
+{
+
+/** Dataset-rig configuration. */
+struct DatasetConfig
+{
+    int trainViews = 12;
+    int testViews = 2;
+    int width = 64;
+    int height = 64;
+    float vfovDegrees = 45.0f;
+    /** Orbit radius; object rigs sit outside the cube (> ~0.9). */
+    float orbitRadius = 1.4f;
+    /** Orbit elevations alternate between these two values. */
+    float elevLowDeg = 15.0f;
+    float elevHighDeg = 35.0f;
+    ReferenceConfig reference;
+};
+
+/** Defaults matching an object-centric (synthetic) capture. */
+DatasetConfig syntheticRig(int image_size = 64);
+
+/** Defaults matching an inside-out large-scene (360) capture. */
+DatasetConfig nerf360Rig(int image_size = 64);
+
+/** Render a dataset of @p scene with rig @p cfg. */
+nerf::Dataset makeDataset(const Scene &scene, const DatasetConfig &cfg);
+
+} // namespace fusion3d::scenes
+
+#endif // FUSION3D_SCENES_DATASET_GEN_H_

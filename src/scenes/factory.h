@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Scene factory: the eight "synthetic" object scenes (stand-ins for
+ * NeRF-Synthetic: chair, drums, ficus, hotdog, lego, materials, mic,
+ * ship) and the seven "360" large scenes (stand-ins for NeRF-360:
+ * bicycle, bonsai, counter, garden, kitchen, room, stump). Scenes are
+ * constructed with deliberately different occupancy fill factors so the
+ * per-scene workload spread of the paper's Tables V/VI and Fig. 11
+ * reproduces.
+ */
+
+#ifndef FUSION3D_SCENES_FACTORY_H_
+#define FUSION3D_SCENES_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenes/scene.h"
+
+namespace fusion3d::scenes
+{
+
+/** Names of the eight synthetic object scenes. */
+const std::vector<std::string> &syntheticSceneNames();
+
+/** Names of the seven large "360" scenes. */
+const std::vector<std::string> &nerf360SceneNames();
+
+/** Build a synthetic object scene by name; fatal on unknown name. */
+std::unique_ptr<Scene> makeSyntheticScene(const std::string &name);
+
+/** Build a large "360" scene by name; fatal on unknown name. */
+std::unique_ptr<Scene> makeNerf360Scene(const std::string &name);
+
+} // namespace fusion3d::scenes
+
+#endif // FUSION3D_SCENES_FACTORY_H_

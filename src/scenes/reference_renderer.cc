@@ -1,0 +1,57 @@
+#include "scenes/reference_renderer.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/aabb.h"
+
+namespace fusion3d::scenes
+{
+
+namespace
+{
+constexpr float kSqrt3 = 1.7320508075688772f;
+} // namespace
+
+Vec3f
+referenceTrace(const Scene &scene, const Ray &ray, const ReferenceConfig &cfg)
+{
+    const auto span = Aabb::intersectUnitCube(ray);
+    if (!span || span->t1 <= std::max(span->t0, 0.0f))
+        return cfg.render.background;
+
+    const float dt = kSqrt3 / static_cast<float>(cfg.steps);
+    const float t0 = std::max(span->t0, 0.0f);
+
+    Vec3f color(0.0f);
+    float trans = 1.0f;
+    for (float t = t0 + 0.5f * dt; t < span->t1; t += dt) {
+        const Vec3f p = ray.at(t);
+        const float sigma = scene.density(p);
+        if (sigma <= 0.0f)
+            continue;
+        const float alpha = 1.0f - std::exp(-sigma * dt);
+        color += scene.albedo(p) * (trans * alpha);
+        trans *= 1.0f - alpha;
+        if (trans < cfg.render.terminationThreshold)
+            break;
+    }
+    color += cfg.render.background * trans;
+    return color;
+}
+
+Image
+referenceRender(const Scene &scene, const nerf::Camera &camera,
+                const ReferenceConfig &cfg)
+{
+    Image out(camera.width(), camera.height());
+    for (int y = 0; y < camera.height(); ++y) {
+        for (int x = 0; x < camera.width(); ++x) {
+            const Ray ray = camera.rayForPixel(x, y);
+            out.at(x, y) = clamp(referenceTrace(scene, ray, cfg), 0.0f, 1.0f);
+        }
+    }
+    return out;
+}
+
+} // namespace fusion3d::scenes

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ground-truth renderer: dense volumetric ray marching of an analytic
+ * scene. This produces the posed "photographs" the NeRF trains against,
+ * using the same compositing math as the NeRF pipeline so the target is
+ * exactly representable.
+ */
+
+#ifndef FUSION3D_SCENES_REFERENCE_RENDERER_H_
+#define FUSION3D_SCENES_REFERENCE_RENDERER_H_
+
+#include "common/image.h"
+#include "nerf/camera.h"
+#include "nerf/renderer.h"
+#include "scenes/scene.h"
+
+namespace fusion3d::scenes
+{
+
+/** Reference-render settings. */
+struct ReferenceConfig
+{
+    /** Marching steps across the cube diagonal (denser than the NeRF). */
+    int steps = 192;
+    nerf::RenderParams render;
+};
+
+/** Composite one ray against the analytic scene. */
+Vec3f referenceTrace(const Scene &scene, const Ray &ray, const ReferenceConfig &cfg);
+
+/** Render a full view of the analytic scene. */
+Image referenceRender(const Scene &scene, const nerf::Camera &camera,
+                      const ReferenceConfig &cfg);
+
+} // namespace fusion3d::scenes
+
+#endif // FUSION3D_SCENES_REFERENCE_RENDERER_H_

@@ -1,0 +1,134 @@
+#include "scenes/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::scenes
+{
+
+namespace
+{
+
+float
+sdfSphere(const Vec3f &p, const Vec3f &c, float r)
+{
+    return length(p - c) - r;
+}
+
+float
+sdfBox(const Vec3f &p, const Vec3f &lo, const Vec3f &hi)
+{
+    const Vec3f c = (lo + hi) * 0.5f;
+    const Vec3f h = (hi - lo) * 0.5f;
+    const Vec3f q{std::fabs(p.x - c.x) - h.x, std::fabs(p.y - c.y) - h.y,
+                  std::fabs(p.z - c.z) - h.z};
+    const Vec3f qpos = compMax(q, Vec3f(0.0f));
+    return length(qpos) + std::min(maxComp(q), 0.0f);
+}
+
+float
+sdfTorus(const Vec3f &p, const Vec3f &c, float major, float minor)
+{
+    const float dx = p.x - c.x;
+    const float dz = p.z - c.z;
+    const float ring = std::sqrt(dx * dx + dz * dz) - major;
+    const float dy = p.y - c.y;
+    return std::sqrt(ring * ring + dy * dy) - minor;
+}
+
+float
+sdfCylinderY(const Vec3f &p, const Vec3f &c, float radius, float half_height)
+{
+    const float dx = p.x - c.x;
+    const float dz = p.z - c.z;
+    const float radial = std::sqrt(dx * dx + dz * dz) - radius;
+    const float axial = std::fabs(p.y - c.y) - half_height;
+    const float ro = std::max(radial, 0.0f);
+    const float ao = std::max(axial, 0.0f);
+    return std::sqrt(ro * ro + ao * ao) + std::min(std::max(radial, axial), 0.0f);
+}
+
+} // namespace
+
+float
+Primitive::signedDistance(const Vec3f &p) const
+{
+    switch (type) {
+      case Type::Sphere:
+        return sdfSphere(p, a, b.x);
+      case Type::Box:
+        return sdfBox(p, a, b);
+      case Type::Torus:
+        return sdfTorus(p, a, b.x, b.y);
+      case Type::CylinderY:
+        return sdfCylinderY(p, a, b.x, b.y);
+    }
+    panic("Primitive::signedDistance: bad type");
+}
+
+float
+Primitive::densityAt(const Vec3f &p) const
+{
+    const float d = signedDistance(p);
+    // Logistic falloff across the surface: full density well inside,
+    // zero well outside, smooth (and thus learnable) in between.
+    const float t = -d / softness;
+    if (t > 8.0f)
+        return density;
+    if (t < -8.0f)
+        return 0.0f;
+    return density / (1.0f + std::exp(-t));
+}
+
+Scene::Scene(std::string name, std::vector<Primitive> prims)
+    : name_(std::move(name)), prims_(std::move(prims))
+{
+}
+
+float
+Scene::density(const Vec3f &p) const
+{
+    float acc = 0.0f;
+    for (const Primitive &prim : prims_)
+        acc += prim.densityAt(p);
+    return acc;
+}
+
+Vec3f
+Scene::albedo(const Vec3f &p) const
+{
+    float total = 0.0f;
+    Vec3f color(0.0f);
+    for (const Primitive &prim : prims_) {
+        const float w = prim.densityAt(p);
+        total += w;
+        color += prim.color * w;
+    }
+    if (total <= 1e-6f)
+        return Vec3f{1.0f, 1.0f, 1.0f};
+    return color / total;
+}
+
+double
+Scene::occupiedFraction(int res, float threshold) const
+{
+    std::size_t hits = 0;
+    const float inv = 1.0f / static_cast<float>(res);
+    for (int z = 0; z < res; ++z) {
+        for (int y = 0; y < res; ++y) {
+            for (int x = 0; x < res; ++x) {
+                const Vec3f p{(static_cast<float>(x) + 0.5f) * inv,
+                              (static_cast<float>(y) + 0.5f) * inv,
+                              (static_cast<float>(z) + 0.5f) * inv};
+                if (density(p) > threshold)
+                    ++hits;
+            }
+        }
+    }
+    const double cells = static_cast<double>(res) * res * res;
+    return static_cast<double>(hits) / cells;
+}
+
+} // namespace fusion3d::scenes

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytic density/color fields standing in for the photographed scenes
+ * of NeRF-Synthetic and NeRF-360 (which we cannot ship). Each scene is a
+ * composition of soft-boundary primitives; the reference renderer turns
+ * them into ground-truth posed images, and their occupancy geometry
+ * drives every accelerator-relevant workload statistic (see DESIGN.md
+ * substitution table).
+ */
+
+#ifndef FUSION3D_SCENES_SCENE_H_
+#define FUSION3D_SCENES_SCENE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aabb.h"
+#include "common/vec.h"
+
+namespace fusion3d::scenes
+{
+
+/** A soft-boundary volumetric primitive. */
+struct Primitive
+{
+    enum class Type { Sphere, Box, Torus, CylinderY };
+
+    Type type = Type::Sphere;
+    /** Center (Sphere/Torus/CylinderY) or box lower corner. */
+    Vec3f a;
+    /** Radius vector (Sphere: x=r; Torus: x=major,y=minor;
+     *  CylinderY: x=radius, y=half-height) or box upper corner. */
+    Vec3f b;
+    /** Peak volumetric density inside the primitive. */
+    float density = 300.0f;
+    /** Albedo color. */
+    Vec3f color{0.8f, 0.8f, 0.8f};
+    /** Boundary softness (distance units of the falloff). */
+    float softness = 0.01f;
+
+    /** Signed distance to the primitive surface (negative inside). */
+    float signedDistance(const Vec3f &p) const;
+
+    /** Density contribution at @p p (smooth step across the surface). */
+    float densityAt(const Vec3f &p) const;
+};
+
+/** An analytic scene over the normalized unit cube. */
+class Scene
+{
+  public:
+    Scene(std::string name, std::vector<Primitive> prims);
+    virtual ~Scene() = default;
+
+    const std::string &name() const { return name_; }
+    const std::vector<Primitive> &primitives() const { return prims_; }
+
+    /** Volumetric density at @p p (normalized coordinates). */
+    virtual float density(const Vec3f &p) const;
+
+    /** Albedo at @p p, contribution-weighted over primitives. */
+    virtual Vec3f albedo(const Vec3f &p) const;
+
+    /**
+     * Fraction of the unit cube with density above @p threshold, probed
+     * on a res^3 lattice. This is the scene's occupancy "fill factor",
+     * the statistic the sampling-ablation speedups track.
+     */
+    double occupiedFraction(int res = 32, float threshold = 0.01f) const;
+
+  private:
+    std::string name_;
+    std::vector<Primitive> prims_;
+};
+
+} // namespace fusion3d::scenes
+
+#endif // FUSION3D_SCENES_SCENE_H_

@@ -1,0 +1,43 @@
+#include "sim/channel.h"
+
+#include "common/logging.h"
+
+namespace fusion3d::sim
+{
+
+BandwidthChannel::BandwidthChannel(const std::string &name, double bytes_per_second,
+                                   double latency_seconds)
+    : bytes_per_second_(bytes_per_second),
+      latency_seconds_(latency_seconds),
+      stats_(name),
+      total_bytes_(stats_.addCounter("bytes")),
+      transfers_(stats_.addCounter("transfers"))
+{
+    if (bytes_per_second <= 0.0)
+        fatal("BandwidthChannel bandwidth must be positive");
+}
+
+double
+BandwidthChannel::secondsFor(Bytes bytes) const
+{
+    return latency_seconds_ + static_cast<double>(bytes) / bytes_per_second_;
+}
+
+double
+BandwidthChannel::transfer(Bytes bytes)
+{
+    const double t = secondsFor(bytes);
+    total_bytes_.inc(bytes);
+    transfers_.inc();
+    busy_seconds_ += t;
+    return t;
+}
+
+void
+BandwidthChannel::resetStats()
+{
+    stats_.resetAll();
+    busy_seconds_ = 0.0;
+}
+
+} // namespace fusion3d::sim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bandwidth-limited transfer channels. Model both the off-chip USB-class
+ * link (0.625 GB/s, the paper's hard constraint) and the PCB chip-to-chip
+ * links of the multi-chip system (Sec. VI-B: 0.6 GB/s off-chip plus
+ * 2.4 GB/s intra-system).
+ */
+
+#ifndef FUSION3D_SIM_CHANNEL_H_
+#define FUSION3D_SIM_CHANNEL_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "sim/stats.h"
+
+namespace fusion3d::sim
+{
+
+/** A half-duplex bandwidth-limited byte channel. */
+class BandwidthChannel
+{
+  public:
+    /**
+     * @param name            Stat-group name.
+     * @param bytes_per_second Sustained bandwidth.
+     * @param latency_seconds Fixed per-transfer latency (protocol overhead).
+     */
+    BandwidthChannel(const std::string &name, double bytes_per_second,
+                     double latency_seconds = 0.0);
+
+    /**
+     * Account a transfer of @p bytes.
+     * @return Time the transfer occupies the channel, in seconds.
+     */
+    double transfer(Bytes bytes);
+
+    double bandwidth() const { return bytes_per_second_; }
+    Bytes totalBytes() const { return total_bytes_.value(); }
+    std::uint64_t totalTransfers() const { return transfers_.value(); }
+    /** Total busy time accumulated over all transfers, seconds. */
+    double busySeconds() const { return busy_seconds_; }
+
+    /** Minimum seconds needed to move @p bytes over this channel. */
+    double secondsFor(Bytes bytes) const;
+
+    void resetStats();
+    StatGroup &stats() { return stats_; }
+
+  private:
+    double bytes_per_second_;
+    double latency_seconds_;
+    double busy_seconds_ = 0.0;
+    StatGroup stats_;
+    Counter &total_bytes_;
+    Counter &transfers_;
+};
+
+} // namespace fusion3d::sim
+
+#endif // FUSION3D_SIM_CHANNEL_H_

@@ -1,0 +1,44 @@
+#include "sim/clocked.h"
+
+#include "common/logging.h"
+
+namespace fusion3d::sim
+{
+
+bool
+Simulator::allDone() const
+{
+    for (const Clocked *m : modules_) {
+        if (!m->done())
+            return false;
+    }
+    return true;
+}
+
+Cycles
+Simulator::run(Cycles max_cycles)
+{
+    const Cycles start = now_;
+    while (!allDone()) {
+        if (now_ - start >= max_cycles) {
+            panic("Simulator::run exceeded %llu cycles without draining",
+                  static_cast<unsigned long long>(max_cycles));
+        }
+        for (Clocked *m : modules_)
+            m->tick(now_);
+        ++now_;
+    }
+    return now_ - start;
+}
+
+void
+Simulator::runFor(Cycles n)
+{
+    for (Cycles i = 0; i < n; ++i) {
+        for (Clocked *m : modules_)
+            m->tick(now_);
+        ++now_;
+    }
+}
+
+} // namespace fusion3d::sim

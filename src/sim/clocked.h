@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal cycle-driven simulation kernel. Modules derive from Clocked
+ * and are advanced in registration order once per cycle by a Simulator.
+ * Fusion-3D's hardware models are trace-driven pipelines, so a simple
+ * synchronous tick loop (rather than a full discrete-event queue) is
+ * sufficient and keeps single-core simulation fast.
+ */
+
+#ifndef FUSION3D_SIM_CLOCKED_H_
+#define FUSION3D_SIM_CLOCKED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fusion3d::sim
+{
+
+class Simulator;
+
+/** Base class for anything advanced by the clock. */
+class Clocked
+{
+  public:
+    explicit Clocked(std::string name) : name_(std::move(name)) {}
+    virtual ~Clocked() = default;
+
+    Clocked(const Clocked &) = delete;
+    Clocked &operator=(const Clocked &) = delete;
+
+    /** Advance one cycle. @p now is the cycle number being executed. */
+    virtual void tick(Cycles now) = 0;
+
+    /** @return true once the module has drained all outstanding work. */
+    virtual bool done() const = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * Synchronous simulator: ticks every registered module each cycle until
+ * all modules report done() or a cycle limit is hit.
+ */
+class Simulator
+{
+  public:
+    /** Register a module; the caller retains ownership. */
+    void add(Clocked *m) { modules_.push_back(m); }
+
+    /**
+     * Run until every module is done.
+     * @param max_cycles Safety limit; exceeding it aborts the run.
+     * @return Number of cycles executed.
+     */
+    Cycles run(Cycles max_cycles = 1'000'000'000ULL);
+
+    /** Run exactly @p n cycles regardless of done() status. */
+    void runFor(Cycles n);
+
+    Cycles now() const { return now_; }
+
+  private:
+    bool allDone() const;
+
+    std::vector<Clocked *> modules_;
+    Cycles now_ = 0;
+};
+
+} // namespace fusion3d::sim
+
+#endif // FUSION3D_SIM_CLOCKED_H_

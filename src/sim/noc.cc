@@ -1,0 +1,96 @@
+#include "sim/noc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fusion3d::sim
+{
+
+namespace
+{
+
+/**
+ * Unit-gate area of an N x B crossbar: B N-input multiplexers for the
+ * data path plus an N-requester arbiter per bank. Mux area scales with
+ * the number of inputs; arbitration adds a per-bank fixed-priority tree.
+ */
+double
+crossbarArea(std::uint32_t ports, std::uint32_t banks, std::uint32_t width_bits = 32)
+{
+    // Mux trees (ports-1 mux2 cells per bit per bank, ~3 gates each)
+    // and per-bank arbiters, doubled for the global routing congestion
+    // a full crossbar's wiring imposes at this width.
+    const double mux_gates =
+        static_cast<double>(banks) * (ports - 1) * width_bits * 3.0;
+    const double arb_gates = static_cast<double>(banks) * ports * 4.0;
+    return (mux_gates + arb_gates) * 2.0;
+}
+
+} // namespace
+
+Crossbar::Crossbar(std::uint32_t ports, std::uint32_t banks, const std::string &name)
+    : ports_(ports), banks_(banks), stats_(name),
+      groups_(stats_.addCounter("groups")),
+      scratch_(banks, 0)
+{
+    if (ports == 0 || banks == 0)
+        fatal("Crossbar requires at least one port and one bank");
+}
+
+Cycles
+Crossbar::routeGroup(std::span<const std::uint32_t> banks)
+{
+    std::fill(scratch_.begin(), scratch_.end(), 0u);
+    std::uint32_t worst = 0;
+    for (std::uint32_t b : banks) {
+        if (b >= banks_)
+            panic("Crossbar bank id %u out of range (%u banks)", b, banks_);
+        worst = std::max(worst, ++scratch_[b]);
+    }
+    groups_.inc();
+    return profile().traversalLatency + std::max<std::uint32_t>(worst, 1);
+}
+
+InterconnectProfile
+Crossbar::profile() const
+{
+    InterconnectProfile p;
+    // A switched fabric with arbitration adds a pipeline stage.
+    p.traversalLatency = 1;
+    p.areaUnits = crossbarArea(ports_, banks_);
+    return p;
+}
+
+DirectConnect::DirectConnect(std::uint32_t ports, const std::string &name)
+    : ports_(ports), stats_(name), groups_(stats_.addCounter("groups"))
+{
+    if (ports == 0)
+        fatal("DirectConnect requires at least one port");
+}
+
+Cycles
+DirectConnect::routeGroup(std::span<const std::uint32_t> banks)
+{
+    for (std::size_t i = 0; i < banks.size(); ++i) {
+        if (banks[i] != i) {
+            panic("DirectConnect: port %zu targeted bank %u; the tiled "
+                  "mapping must be one-to-one", i, banks[i]);
+        }
+    }
+    groups_.inc();
+    return 1;
+}
+
+InterconnectProfile
+DirectConnect::profile() const
+{
+    InterconnectProfile p;
+    p.traversalLatency = 0;
+    // Point-to-point wires only: a driver/repeater per bit per port,
+    // no multiplexing or arbitration logic at all.
+    p.areaUnits = static_cast<double>(ports_) * 32.0 * 0.5;
+    return p;
+}
+
+} // namespace fusion3d::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * On-chip interconnect models for Stage-II feature routing:
+ *
+ *  - Crossbar: any of N requesters can reach any of B banks; correct for
+ *    arbitrary (hash-random) bank mappings but expensive in wiring area
+ *    and arbitration latency.
+ *  - DirectConnect: a fixed one-to-one requester->bank wiring, valid only
+ *    when the mapping guarantees bank-uniqueness per group — which the
+ *    Level-2/3 hash tiling of Technique T4 provides. This is the
+ *    crossbar-elimination saving of Fig. 12(b)/(c).
+ */
+
+#ifndef FUSION3D_SIM_NOC_H_
+#define FUSION3D_SIM_NOC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+#include "sim/stats.h"
+
+namespace fusion3d::sim
+{
+
+/** Cost/latency summary of an interconnect configuration. */
+struct InterconnectProfile
+{
+    /** Extra pipeline latency (cycles) a request pays to traverse. */
+    Cycles traversalLatency = 0;
+    /** Relative wiring+arbiter area in unit-gate equivalents. */
+    double areaUnits = 0.0;
+};
+
+/** Full N-to-B crossbar with per-cycle arbitration. */
+class Crossbar
+{
+  public:
+    Crossbar(std::uint32_t ports, std::uint32_t banks, const std::string &name = "xbar");
+
+    /**
+     * Route one group of requests (one per port, bank id each).
+     * @return cycles consumed: arbitration serializes same-bank requests,
+     * plus the traversal latency of the switch fabric.
+     */
+    Cycles routeGroup(std::span<const std::uint32_t> banks);
+
+    /** Area/latency of this crossbar instance. */
+    InterconnectProfile profile() const;
+
+    std::uint32_t ports() const { return ports_; }
+    std::uint32_t banks() const { return banks_; }
+    std::uint64_t groupsRouted() const { return groups_.value(); }
+
+  private:
+    std::uint32_t ports_;
+    std::uint32_t banks_;
+    StatGroup stats_;
+    Counter &groups_;
+    std::vector<std::uint32_t> scratch_;
+};
+
+/** Fixed one-to-one wiring; requires bank-unique groups. */
+class DirectConnect
+{
+  public:
+    explicit DirectConnect(std::uint32_t ports, const std::string &name = "direct");
+
+    /**
+     * Route one group; port i must target bank i (the tiled mapping
+     * guarantees this). A violating request panics: it would be a
+     * functional bug in the tiler, not a performance event.
+     */
+    Cycles routeGroup(std::span<const std::uint32_t> banks);
+
+    InterconnectProfile profile() const;
+
+    std::uint32_t ports() const { return ports_; }
+    std::uint64_t groupsRouted() const { return groups_.value(); }
+
+  private:
+    std::uint32_t ports_;
+    StatGroup stats_;
+    Counter &groups_;
+};
+
+} // namespace fusion3d::sim
+
+#endif // FUSION3D_SIM_NOC_H_

@@ -1,0 +1,65 @@
+#include "sim/sram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fusion3d::sim
+{
+
+Sram::Sram(const SramConfig &cfg, const std::string &name)
+    : cfg_(cfg),
+      stats_(name),
+      group_accesses_(stats_.addCounter("group_accesses")),
+      requests_(stats_.addCounter("requests")),
+      conflicts_(stats_.addCounter("conflicts")),
+      latency_(stats_.addDistribution("latency")),
+      latency_hist_(stats_.addHistogram("latency_hist")),
+      bank_load_(cfg.numBanks, 0),
+      scratch_(cfg.numBanks, 0)
+{
+    if (cfg.numBanks == 0)
+        fatal("Sram requires at least one bank");
+}
+
+Bytes
+Sram::capacityBytes() const
+{
+    return static_cast<Bytes>(cfg_.numBanks) * cfg_.wordsPerBank * cfg_.bytesPerWord;
+}
+
+SramAccessResult
+Sram::accessGroup(std::span<const std::uint32_t> banks)
+{
+    std::fill(scratch_.begin(), scratch_.end(), 0u);
+    for (std::uint32_t b : banks) {
+        if (b >= cfg_.numBanks)
+            panic("Sram bank id %u out of range (%u banks)", b, cfg_.numBanks);
+        ++scratch_[b];
+        ++bank_load_[b];
+    }
+    std::uint32_t worst = 0;
+    std::uint32_t extra = 0;
+    for (std::uint32_t c : scratch_) {
+        worst = std::max(worst, c);
+        if (c > 1)
+            extra += c - 1;
+    }
+    const Cycles cycles = std::max<std::uint32_t>(worst, 1);
+
+    group_accesses_.inc();
+    requests_.inc(banks.size());
+    conflicts_.inc(extra);
+    latency_.sample(static_cast<double>(cycles));
+    latency_hist_.sample(cycles);
+    return {cycles, extra};
+}
+
+void
+Sram::resetStats()
+{
+    stats_.resetAll();
+    std::fill(bank_load_.begin(), bank_load_.end(), 0);
+}
+
+} // namespace fusion3d::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Banked SRAM timing model. The unit of simulation is a *group access*:
+ * the eight vertex-feature reads a sampled point issues in Stage II.
+ * Each bank serves one request per cycle, so a group access takes as
+ * many cycles as the most-loaded bank receives requests — between 1
+ * (conflict free) and 8 (all requests on one bank), exactly the range
+ * the paper describes in Sec. V-B.
+ */
+
+#ifndef FUSION3D_SIM_SRAM_H_
+#define FUSION3D_SIM_SRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/stats.h"
+
+namespace fusion3d::sim
+{
+
+/** Configuration of a banked SRAM array. */
+struct SramConfig
+{
+    /** Number of independently addressable banks. */
+    std::uint32_t numBanks = 8;
+    /** Words per bank (capacity accounting only). */
+    std::uint32_t wordsPerBank = 8192;
+    /** Bytes per word (capacity accounting only). */
+    std::uint32_t bytesPerWord = 4;
+};
+
+/** Result of one group access. */
+struct SramAccessResult
+{
+    /** Cycles to serve the whole group (= max per-bank load). */
+    Cycles cycles = 0;
+    /** Number of requests beyond the first on their bank. */
+    std::uint32_t conflicts = 0;
+};
+
+/** A banked SRAM with per-group conflict accounting. */
+class Sram
+{
+  public:
+    explicit Sram(const SramConfig &cfg, const std::string &name = "sram");
+
+    /**
+     * Serve a group of simultaneous requests given the bank id of each
+     * request. Bank ids must be < numBanks.
+     */
+    SramAccessResult accessGroup(std::span<const std::uint32_t> banks);
+
+    const SramConfig &config() const { return cfg_; }
+    Bytes capacityBytes() const;
+
+    /** Total group accesses served. */
+    std::uint64_t groupAccesses() const { return group_accesses_.value(); }
+    /** Total individual requests served. */
+    std::uint64_t requests() const { return requests_.value(); }
+    /** Total conflict cycles (requests serialized behind another). */
+    std::uint64_t conflictCount() const { return conflicts_.value(); }
+    /** Distribution of group-access latencies in cycles. */
+    const Distribution &latency() const { return latency_; }
+    /** Histogram of group-access latencies. */
+    const Histogram &latencyHistogram() const { return latency_hist_; }
+    /** Per-bank request totals (workload balance). */
+    const std::vector<std::uint64_t> &bankLoad() const { return bank_load_; }
+
+    void resetStats();
+    StatGroup &stats() { return stats_; }
+
+  private:
+    SramConfig cfg_;
+    StatGroup stats_;
+    Counter &group_accesses_;
+    Counter &requests_;
+    Counter &conflicts_;
+    Distribution &latency_;
+    Histogram &latency_hist_;
+    std::vector<std::uint64_t> bank_load_;
+    std::vector<std::uint32_t> scratch_; // per-bank counts for one group
+};
+
+} // namespace fusion3d::sim
+
+#endif // FUSION3D_SIM_SRAM_H_

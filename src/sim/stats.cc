@@ -1,0 +1,112 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fusion3d::sim
+{
+
+void
+Distribution::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+    if (count_ == 1) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    mean_ = m2_ = sum_ = min_ = max_ = 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t weight)
+{
+    buckets_[v] += weight;
+    count_ += weight;
+}
+
+void
+Histogram::reset()
+{
+    buckets_.clear();
+    count_ = 0;
+}
+
+double
+Histogram::fraction(std::uint64_t v) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const auto it = buckets_.find(v);
+    if (it == buckets_.end())
+        return 0.0;
+    return static_cast<double>(it->second) / static_cast<double>(count_);
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name)
+{
+    counters_.push_back(std::make_unique<Counter>(name));
+    return *counters_.back();
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &name)
+{
+    distributions_.push_back(std::make_unique<Distribution>(name));
+    return *distributions_.back();
+}
+
+Histogram &
+StatGroup::addHistogram(const std::string &name)
+{
+    histograms_.push_back(std::make_unique<Histogram>(name));
+    return *histograms_.back();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &c : counters_)
+        c->reset();
+    for (auto &d : distributions_)
+        d->reset();
+    for (auto &h : histograms_)
+        h->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &c : counters_)
+        os << name_ << '.' << c->name() << ' ' << c->value() << '\n';
+    for (const auto &d : distributions_) {
+        os << name_ << '.' << d->name() << ".mean " << d->mean() << '\n';
+        os << name_ << '.' << d->name() << ".stddev " << d->stddev() << '\n';
+        os << name_ << '.' << d->name() << ".min " << d->min() << '\n';
+        os << name_ << '.' << d->name() << ".max " << d->max() << '\n';
+    }
+    for (const auto &h : histograms_) {
+        for (const auto &[bucket, n] : h->buckets())
+            os << name_ << '.' << h->name() << '[' << bucket << "] " << n << '\n';
+    }
+}
+
+} // namespace fusion3d::sim

@@ -1,0 +1,159 @@
+/** @file Tests for ray/box intersection: generic vs normalized fast path. */
+
+#include <gtest/gtest.h>
+
+#include "common/aabb.h"
+#include "common/rng.h"
+
+namespace fusion3d
+{
+namespace
+{
+
+TEST(Aabb, ContainsAndGeometry)
+{
+    const Aabb box({0.0f, 0.0f, 0.0f}, {2.0f, 4.0f, 8.0f});
+    EXPECT_TRUE(box.contains({1.0f, 1.0f, 1.0f}));
+    EXPECT_FALSE(box.contains({3.0f, 1.0f, 1.0f}));
+    EXPECT_EQ(box.extent(), Vec3f(2.0f, 4.0f, 8.0f));
+    EXPECT_EQ(box.center(), Vec3f(1.0f, 2.0f, 4.0f));
+    EXPECT_FLOAT_EQ(box.volume(), 64.0f);
+}
+
+TEST(Aabb, ExpandGrowsToCover)
+{
+    Aabb box({0.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 1.0f});
+    box.expand({2.0f, -1.0f, 0.5f});
+    EXPECT_TRUE(box.contains({2.0f, -1.0f, 0.5f}));
+    EXPECT_EQ(box.lo, Vec3f(0.0f, -1.0f, 0.0f));
+    EXPECT_EQ(box.hi, Vec3f(2.0f, 1.0f, 1.0f));
+}
+
+TEST(Aabb, NormalizeRoundTrip)
+{
+    const Aabb box({-2.0f, 1.0f, 4.0f}, {6.0f, 5.0f, 8.0f});
+    Pcg32 rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const Vec3f p{rng.nextRange(-2, 6), rng.nextRange(1, 5), rng.nextRange(4, 8)};
+        const Vec3f u = box.normalizePoint(p);
+        EXPECT_GE(u.x, 0.0f);
+        EXPECT_LE(u.x, 1.0f);
+        const Vec3f back = box.denormalizePoint(u);
+        EXPECT_NEAR(back.x, p.x, 1e-4f);
+        EXPECT_NEAR(back.y, p.y, 1e-4f);
+        EXPECT_NEAR(back.z, p.z, 1e-4f);
+    }
+}
+
+TEST(Aabb, UnitCubeHitThroughCenter)
+{
+    const Ray ray({0.5f, 0.5f, -1.0f}, {0.0f, 0.0f, 1.0f});
+    const auto span = Aabb::intersectUnitCube(ray);
+    ASSERT_TRUE(span.has_value());
+    EXPECT_NEAR(span->t0, 1.0f, 1e-5f);
+    EXPECT_NEAR(span->t1, 2.0f, 1e-5f);
+}
+
+TEST(Aabb, UnitCubeMiss)
+{
+    const Ray ray({2.0f, 2.0f, -1.0f}, {0.0f, 0.0f, 1.0f});
+    EXPECT_FALSE(Aabb::intersectUnitCube(ray).has_value());
+}
+
+TEST(Aabb, ParallelRayInsideSlab)
+{
+    // Ray parallel to x slabs, passing inside the cube.
+    const Ray ray({-1.0f, 0.5f, 0.5f}, {1.0f, 0.0f, 0.0f});
+    const auto span = Aabb::intersectUnitCube(ray);
+    ASSERT_TRUE(span.has_value());
+    EXPECT_NEAR(span->t0, 1.0f, 1e-5f);
+}
+
+TEST(Aabb, ParallelRayOutsideSlab)
+{
+    const Ray ray({-1.0f, 2.0f, 0.5f}, {1.0f, 0.0f, 0.0f});
+    EXPECT_FALSE(Aabb::intersectUnitCube(ray).has_value());
+}
+
+/** Property: the fast unit-cube path agrees with the generic slab path. */
+TEST(Aabb, FastPathMatchesGenericProperty)
+{
+    Pcg32 rng(11);
+    const Aabb unit = Aabb::unitCube();
+    int hits = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Vec3f o{rng.nextRange(-2, 3), rng.nextRange(-2, 3), rng.nextRange(-2, 3)};
+        const Ray ray(o, rng.nextUnitVector());
+        const auto fast = Aabb::intersectUnitCube(ray);
+        const auto slow = unit.intersectGeneric(ray);
+        ASSERT_EQ(fast.has_value(), slow.has_value()) << "iteration " << i;
+        if (fast) {
+            ++hits;
+            EXPECT_NEAR(fast->t0, slow->t0, 1e-4f);
+            EXPECT_NEAR(fast->t1, slow->t1, 1e-4f);
+        }
+    }
+    EXPECT_GT(hits, 50); // the sweep actually exercised hits
+}
+
+/** Property: octant spans partition the unit-cube span. */
+TEST(Aabb, OctantSpansCoverCubeSpan)
+{
+    Pcg32 rng(13);
+    for (int i = 0; i < 500; ++i) {
+        const Vec3f o{rng.nextRange(-1.5f, 2.5f), rng.nextRange(-1.5f, 2.5f),
+                      rng.nextRange(-1.5f, 2.5f)};
+        const Ray ray(o, rng.nextUnitVector());
+        const auto cube = Aabb::intersectUnitCube(ray);
+        if (!cube || cube->t1 <= std::max(cube->t0, 0.0f))
+            continue;
+        double covered = 0.0;
+        for (int oct = 0; oct < 8; ++oct) {
+            const auto s = Aabb::intersectOctant(ray, oct);
+            if (s)
+                covered += std::max(0.0f, s->t1 - std::max(s->t0, cube->t0));
+        }
+        const double full = cube->t1 - std::max(cube->t0, 0.0f);
+        // Octants tile the cube, so their spans sum to the cube span
+        // (entry points clip to >= the cube entry).
+        EXPECT_NEAR(covered, full, 1e-3) << "iteration " << i;
+    }
+}
+
+TEST(Aabb, OpCountsMatchPaperFigure5a)
+{
+    const Ray ray({0.5f, 0.5f, -1.0f}, {0.0f, 0.0f, 1.0f});
+    OpCounter generic_ops;
+    OpCounter fast_ops;
+    (void)Aabb::unitCube().intersectGeneric(ray, &generic_ops);
+    (void)Aabb::intersectUnitCube(ray, &fast_ops);
+
+    // Generic path: 18 DIV + 54 MUL + 54 ADD (Sec. IV-A).
+    EXPECT_EQ(generic_ops.divs, 18u);
+    EXPECT_EQ(generic_ops.muls, 54u);
+    EXPECT_EQ(generic_ops.adds, 54u);
+
+    // Normalized path: 3 MUL + 3 MAC.
+    EXPECT_EQ(fast_ops.divs, 0u);
+    EXPECT_EQ(fast_ops.muls, 3u);
+    EXPECT_EQ(fast_ops.macs, 3u);
+
+    // The weighted datapath cost collapses by more than 10x.
+    EXPECT_GT(generic_ops.weightedCost(),
+              10 * fast_ops.weightedCost());
+}
+
+TEST(Aabb, OctantIndexingConvention)
+{
+    // A +z ray at (x, y) = (0.75, 0.25) crosses exactly the two octants
+    // in the +x/-y column: bit0 = +x, bit1 = +y, bit2 = +z.
+    const Ray ray({0.75f, 0.25f, -1.0f}, {0.0f, 0.0f, 1.0f});
+    for (int oct = 0; oct < 8; ++oct) {
+        const bool expect_hit = (oct == 1) || (oct == 5);
+        EXPECT_EQ(Aabb::intersectOctant(ray, oct).has_value(), expect_hit)
+            << "octant " << oct;
+    }
+}
+
+} // namespace
+} // namespace fusion3d

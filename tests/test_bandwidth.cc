@@ -1,0 +1,125 @@
+/** @file Parameterized sweeps of the bandwidth/data-volume model (the
+ *  Fig. 3 / Table I / Fig. 13(b) machinery). */
+
+#include <gtest/gtest.h>
+
+#include "chip/perf_model.h"
+
+namespace fusion3d::chip
+{
+namespace
+{
+
+class BoundaryOrdering : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BoundaryOrdering, CoverageStrictlyReducesBandwidth)
+{
+    const double table_kb = GetParam();
+    const double bytes = table_kb * 1024.0;
+    BandwidthModel bm;
+    const double e2e = bm.requiredBandwidthGBs(CoverageBoundary::EndToEnd, bytes);
+    const double s23 = bm.requiredBandwidthGBs(CoverageBoundary::Stage23, bytes);
+    const double s2 = bm.requiredBandwidthGBs(CoverageBoundary::Stage2Only, bytes);
+    // More coverage -> strictly less off-chip traffic, at every size.
+    EXPECT_LT(e2e, s23);
+    EXPECT_LT(s23, s2);
+    EXPECT_GT(e2e, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, BoundaryOrdering,
+                         ::testing::Values(128.0, 256.0, 640.0, 1024.0, 4096.0,
+                                           16384.0, 65536.0));
+
+TEST(BandwidthModel, MonotoneInModelSize)
+{
+    BandwidthModel bm;
+    double prev = 0.0;
+    for (double kb = 64.0; kb <= 65536.0; kb *= 2.0) {
+        const double need =
+            bm.requiredBandwidthGBs(CoverageBoundary::EndToEnd, kb * 1024.0);
+        EXPECT_GE(need, prev - 1e-12);
+        prev = need;
+    }
+}
+
+TEST(BandwidthModel, ScalesWithThroughput)
+{
+    BandwidthModel slow;
+    slow.samplesPerSec = 1e8;
+    BandwidthModel fast;
+    fast.samplesPerSec = 4e8;
+    EXPECT_NEAR(fast.interStageGBs(), 4.0 * slow.interStageGBs(), 1e-9);
+    EXPECT_NEAR(fast.intraStageGBs(), 4.0 * slow.intraStageGBs(), 1e-9);
+}
+
+TEST(BandwidthModel, VolumeScalesWithModelWidth)
+{
+    BandwidthModel narrow;
+    narrow.levels = 8;
+    BandwidthModel wide;
+    wide.levels = 16;
+    EXPECT_GT(wide.totalIntermediateGb(), narrow.totalIntermediateGb());
+}
+
+TEST(BandwidthModel, OnchipTablesNeedOnlyIo)
+{
+    BandwidthModel bm;
+    const double fits =
+        bm.requiredBandwidthGBs(CoverageBoundary::EndToEnd, bm.onchipTableBytes);
+    EXPECT_NEAR(fits, bm.ioGb() / bm.trainSeconds * 1.7, 1e-9);
+}
+
+TEST(BandwidthModel, SpillFractionApproachesFullTraffic)
+{
+    BandwidthModel bm;
+    const double huge = bm.spillGBs(1e12);
+    const double access_traffic =
+        bm.samplesPerSec * 8.0 * bm.levels * bm.featuresPerLevel * 2.0 / 1e9;
+    // With a vanishing on-chip share, spill tends to traffic x locality.
+    EXPECT_NEAR(huge, access_traffic * 0.14, access_traffic * 0.01);
+}
+
+class StageRatio : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StageRatio, TrainingToInferenceStaysNearThree)
+{
+    // The Stage-II three-slot update fixes the ratio regardless of the
+    // workload's level count.
+    const int levels = GetParam();
+    const ChipConfig cfg = ChipConfig::scaledUp();
+    const TechModel tech(cfg);
+    const PerfModel pm(cfg, tech);
+
+    WorkloadProfile wl;
+    wl.rays = 100000;
+    wl.candidates = wl.rays * 40;
+    wl.validPoints = wl.rays * 16;
+    wl.compositedPoints = wl.rays * 12;
+    wl.levels = levels;
+    wl.macsPerPoint = 2400;
+    wl.avgGroupCycles = 1.0;
+
+    SamplingRunStats s1;
+    s1.raysProcessed = wl.rays;
+    s1.totalCycles = wl.candidates / 13;
+
+    const ChipRunResult inf = pm.inference(wl, s1);
+    const ChipRunResult trn = pm.training(wl, s1);
+    // Stage II dominates at high level counts -> ratio -> 3; at low
+    // level counts other stages cap it from below 3.
+    const double ratio = static_cast<double>(trn.totalCycles) / inf.totalCycles;
+    EXPECT_GE(ratio, 1.4);
+    EXPECT_LE(ratio, 3.2);
+    if (levels >= 8) {
+        EXPECT_NEAR(ratio, 3.0, 0.4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, StageRatio, ::testing::Values(2, 4, 8, 12, 16));
+
+} // namespace
+} // namespace fusion3d::chip

@@ -1,0 +1,90 @@
+/** @file Tests of the pinhole camera model. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nerf/camera.h"
+
+namespace fusion3d::nerf
+{
+namespace
+{
+
+TEST(Camera, CenterPixelLooksAtTarget)
+{
+    const Vec3f eye{0.5f, 0.5f, -2.0f};
+    const Vec3f target{0.5f, 0.5f, 0.5f};
+    const Camera cam(eye, target, {0.0f, 1.0f, 0.0f}, 45.0f, 64, 64);
+    const Ray r = cam.rayForPixel(32, 32, 0.0f, 0.0f); // exact center
+    const Vec3f expect = normalize(target - eye);
+    EXPECT_NEAR(r.dir.x, expect.x, 1e-5f);
+    EXPECT_NEAR(r.dir.y, expect.y, 1e-5f);
+    EXPECT_NEAR(r.dir.z, expect.z, 1e-5f);
+    EXPECT_EQ(r.origin, eye);
+}
+
+TEST(Camera, RaysAreUnitLength)
+{
+    const Camera cam({0.0f, 1.0f, -1.5f}, {0.5f, 0.5f, 0.5f}, {0.0f, 1.0f, 0.0f},
+                     60.0f, 17, 13);
+    for (int y = 0; y < 13; ++y) {
+        for (int x = 0; x < 17; ++x)
+            EXPECT_NEAR(length(cam.rayForPixel(x, y).dir), 1.0f, 1e-5f);
+    }
+}
+
+TEST(Camera, FovControlsSpread)
+{
+    const Vec3f eye{0.5f, 0.5f, -2.0f};
+    const Vec3f target{0.5f, 0.5f, 0.5f};
+    const Camera narrow(eye, target, {0, 1, 0}, 20.0f, 32, 32);
+    const Camera wide(eye, target, {0, 1, 0}, 90.0f, 32, 32);
+    const float d_narrow = dot(narrow.rayForPixel(0, 0).dir,
+                               narrow.rayForPixel(31, 31).dir);
+    const float d_wide = dot(wide.rayForPixel(0, 0).dir, wide.rayForPixel(31, 31).dir);
+    // Wider FOV -> corner rays diverge more -> smaller dot product.
+    EXPECT_LT(d_wide, d_narrow);
+}
+
+TEST(Camera, ImageYAxisPointsDown)
+{
+    const Camera cam({0.5f, 0.5f, -2.0f}, {0.5f, 0.5f, 0.5f}, {0, 1, 0}, 45.0f, 32, 32);
+    // Top row rays point up relative to bottom row rays.
+    EXPECT_GT(cam.rayForPixel(16, 0).dir.y, cam.rayForPixel(16, 31).dir.y);
+}
+
+TEST(Camera, OrbitGeometry)
+{
+    const Vec3f center{0.5f, 0.5f, 0.5f};
+    for (float azim : {0.0f, 90.0f, 180.0f, 270.0f}) {
+        const Camera cam = Camera::orbit(center, 1.3f, azim, 25.0f, 45.0f, 16, 16);
+        EXPECT_NEAR(length(cam.position() - center), 1.3f, 1e-4f);
+        // Center ray points back at the orbit center.
+        const Ray r = cam.rayForPixel(8, 8, 0.0f, 0.0f);
+        const float along = dot(r.dir, normalize(center - cam.position()));
+        EXPECT_NEAR(along, 1.0f, 1e-4f);
+    }
+}
+
+TEST(Camera, OrbitElevationRaisesEye)
+{
+    const Vec3f center{0.5f, 0.5f, 0.5f};
+    const Camera low = Camera::orbit(center, 1.0f, 30.0f, 5.0f, 45.0f, 8, 8);
+    const Camera high = Camera::orbit(center, 1.0f, 30.0f, 60.0f, 45.0f, 8, 8);
+    EXPECT_GT(high.position().y, low.position().y);
+}
+
+TEST(Camera, JitterStaysInsidePixel)
+{
+    const Camera cam({0.5f, 0.5f, -2.0f}, {0.5f, 0.5f, 0.5f}, {0, 1, 0}, 45.0f, 8, 8);
+    const Ray lo = cam.rayForPixel(4, 4, 0.0f, 0.0f);
+    const Ray hi = cam.rayForPixel(4, 4, 0.999f, 0.999f);
+    const Ray next = cam.rayForPixel(5, 5, 0.0f, 0.0f);
+    // Jittered extremes bracket the pixel but do not reach the next one.
+    EXPECT_LT(std::fabs(hi.dir.x - lo.dir.x) + 1e-7f,
+              std::fabs(next.dir.x - lo.dir.x) + 1e-4f);
+}
+
+} // namespace
+} // namespace fusion3d::nerf

@@ -1,0 +1,326 @@
+/** @file Tests of the chip's cycle-level modules: hash tiler, sampling
+ *  scheduler, interpolation memory system, post-processing and the
+ *  technology model. */
+
+#include <array>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "chip/hash_tiler.h"
+#include "chip/interp_module.h"
+#include "chip/postproc_module.h"
+#include "chip/sampling_module.h"
+#include "chip/tech_model.h"
+#include "common/rng.h"
+#include "nerf/hash_encoding.h"
+
+namespace fusion3d::chip
+{
+namespace
+{
+
+/**
+ * THE Technique-T4 property: for any query point, the tiled mapping
+ * sends the eight corner accesses to eight distinct banks.
+ */
+TEST(HashTiler, TiledMappingIsBijectivePerGroup)
+{
+    const HashTiler tiler(BankPolicy::TwoLevelTiling, 8);
+    const std::uint32_t mask = (1u << 14) - 1;
+    Pcg32 rng(1);
+    for (int trial = 0; trial < 5000; ++trial) {
+        const Vec3i base{static_cast<int>(rng.nextBounded(1 << 16)),
+                         static_cast<int>(rng.nextBounded(1 << 16)),
+                         static_cast<int>(rng.nextBounded(1 << 16))};
+        std::set<std::uint32_t> banks;
+        for (int c = 0; c < 8; ++c) {
+            const Vec3i v{base.x + (c & 1), base.y + ((c >> 1) & 1),
+                          base.z + ((c >> 2) & 1)};
+            const std::uint32_t addr = nerf::HashGridEncoding::hashCoords(v, mask);
+            banks.insert(tiler.bankOf(v, addr));
+        }
+        ASSERT_EQ(banks.size(), 8u)
+            << "collision at base " << base.x << "," << base.y << "," << base.z;
+    }
+}
+
+TEST(HashTiler, BankIsDeterministicPerVertex)
+{
+    // Storage consistency: a vertex's bank does not depend on which
+    // corner role it is accessed through.
+    const HashTiler tiler(BankPolicy::TwoLevelTiling, 8);
+    const std::uint32_t mask = (1u << 12) - 1;
+    Pcg32 rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const Vec3i v{static_cast<int>(rng.nextBounded(4096)),
+                      static_cast<int>(rng.nextBounded(4096)),
+                      static_cast<int>(rng.nextBounded(4096))};
+        const std::uint32_t addr = nerf::HashGridEncoding::hashCoords(v, mask);
+        const std::uint32_t b1 = tiler.bankOf(v, addr);
+        const std::uint32_t b2 = tiler.bankOf(v, addr);
+        EXPECT_EQ(b1, b2);
+        EXPECT_LT(b1, 8u);
+    }
+}
+
+TEST(HashTiler, ModuloMappingCollides)
+{
+    const HashTiler tiler(BankPolicy::ModuloInterleave, 8);
+    const std::uint32_t mask = (1u << 14) - 1;
+    Pcg32 rng(3);
+    int collisions = 0;
+    const int trials = 2000;
+    for (int trial = 0; trial < trials; ++trial) {
+        const Vec3i base{static_cast<int>(rng.nextBounded(1 << 16)),
+                         static_cast<int>(rng.nextBounded(1 << 16)),
+                         static_cast<int>(rng.nextBounded(1 << 16))};
+        std::set<std::uint32_t> banks;
+        for (int c = 0; c < 8; ++c) {
+            const Vec3i v{base.x + (c & 1), base.y + ((c >> 1) & 1),
+                          base.z + ((c >> 2) & 1)};
+            banks.insert(tiler.bankOf(v, nerf::HashGridEncoding::hashCoords(v, mask)));
+        }
+        if (banks.size() < 8)
+            ++collisions;
+    }
+    // Random 8-into-8 placement almost always collides somewhere.
+    EXPECT_GT(collisions, trials / 2);
+}
+
+nerf::RayWorkload
+makeRay(std::initializer_list<std::pair<int, int>> pairs)
+{
+    nerf::RayWorkload wl;
+    for (const auto &[oct, cand] : pairs) {
+        nerf::RayCubePair p;
+        p.octant = oct;
+        p.candidates = cand;
+        p.valid = cand;
+        wl.pairs.push_back(p);
+        wl.totalCandidates += cand;
+        wl.totalValid += cand;
+    }
+    return wl;
+}
+
+TEST(SamplingModule, DynamicBeatsRaySerialUtilization)
+{
+    ChipConfig cfg = ChipConfig::scaledUp();
+    std::vector<nerf::RayWorkload> rays;
+    Pcg32 rng(4);
+    for (int i = 0; i < 400; ++i) {
+        const int pairs = 1 + static_cast<int>(rng.nextBounded(3));
+        nerf::RayWorkload wl;
+        for (int p = 0; p < pairs; ++p) {
+            nerf::RayCubePair pair;
+            pair.octant = p;
+            pair.candidates = 3 + static_cast<int>(rng.nextBounded(60));
+            pair.valid = pair.candidates / 2;
+            wl.pairs.push_back(pair);
+            wl.totalCandidates += pair.candidates;
+            wl.totalValid += pair.valid;
+        }
+        rays.push_back(wl);
+    }
+
+    const SamplingModule dynamic(cfg, SamplingSchedule::Dynamic);
+    const SamplingModule serial(cfg, SamplingSchedule::RaySerial);
+    const SamplingRunStats d = dynamic.run(rays);
+    const SamplingRunStats s = serial.run(rays);
+
+    EXPECT_LT(d.totalCycles, s.totalCycles);
+    EXPECT_GT(d.utilization(cfg.samplingCores), s.utilization(cfg.samplingCores));
+    // Identical work content either way.
+    EXPECT_EQ(d.candidatesMarched, s.candidatesMarched);
+    EXPECT_EQ(d.validPoints, s.validPoints);
+}
+
+TEST(SamplingModule, SingleRayTiming)
+{
+    ChipConfig cfg = ChipConfig::scaledUp();
+    const SamplingModule mod(cfg, SamplingSchedule::Dynamic);
+    const std::vector<nerf::RayWorkload> rays{makeRay({{0, 10}, {7, 20}})};
+    const SamplingRunStats s = mod.run(rays);
+    // Ready at cycle 1, both pairs run in parallel; each pair costs
+    // candidates + 2 x valid cycles (all candidates valid here), so the
+    // 20-candidate pair finishes at 1 + 60.
+    EXPECT_EQ(s.totalCycles, 61u);
+    EXPECT_EQ(s.busyCoreCycles, 90u);
+    EXPECT_EQ(s.pairsProcessed, 2u);
+}
+
+TEST(SamplingModule, GenericPreprocSlowsPipeline)
+{
+    ChipConfig cfg = ChipConfig::scaledUp();
+    std::vector<nerf::RayWorkload> rays(200, makeRay({{0, 4}}));
+    const SamplingModule fast(cfg, SamplingSchedule::Dynamic, true);
+    const SamplingModule slow(cfg, SamplingSchedule::Dynamic, false);
+    // With tiny per-ray sampling work the pre-processing path dominates:
+    // 24 cycles/ray vs 1 ray/cycle.
+    EXPECT_GT(slow.run(rays).totalCycles, 10 * fast.run(rays).totalCycles);
+}
+
+TEST(SamplingModule, EmptyRaysOnlyCostPreprocessing)
+{
+    ChipConfig cfg = ChipConfig::scaledUp();
+    std::vector<nerf::RayWorkload> rays(100); // all miss the model
+    const SamplingModule mod(cfg, SamplingSchedule::Dynamic);
+    const SamplingRunStats s = mod.run(rays);
+    EXPECT_EQ(s.totalCycles, 100u);
+    EXPECT_EQ(s.busyCoreCycles, 0u);
+}
+
+/** Replay real encoding traces: tiling makes Stage II conflict-free. */
+TEST(InterpModule, TilingEliminatesConflictsOnRealTraces)
+{
+    nerf::HashGridConfig gc;
+    gc.levels = 6;
+    gc.log2TableSize = 12;
+    gc.baseResolution = 8;
+    gc.maxResolution = 64;
+    const nerf::HashGridEncoding enc(gc);
+    std::vector<float> out(static_cast<std::size_t>(gc.encodedDims()));
+
+    const ChipConfig cfg = ChipConfig::scaledUp();
+    InterpModule tiled(cfg, BankPolicy::TwoLevelTiling);
+    InterpModule baseline(cfg, BankPolicy::ModuloInterleave);
+
+    Pcg32 rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const Vec3f p = rng.nextVec3();
+        enc.encode(p, out, &tiled);
+        enc.encode(p, out, &baseline);
+    }
+
+    const InterpRunStats t = tiled.stats();
+    const InterpRunStats b = baseline.stats();
+    ASSERT_EQ(t.groups, b.groups);
+
+    // Fig. 12(d): latency variance collapses to zero with tiling.
+    EXPECT_EQ(t.conflicts, 0u);
+    EXPECT_DOUBLE_EQ(t.latencyVariance, 0.0);
+    EXPECT_DOUBLE_EQ(t.meanGroupLatency, 1.0);
+
+    // The baseline suffers 1..8-cycle accesses (Sec. V-B).
+    EXPECT_GT(b.conflicts, 0u);
+    EXPECT_GT(b.latencyVariance, 0.0);
+    EXPECT_GT(b.meanGroupLatency, 1.5);
+    EXPECT_LE(b.maxGroupLatency, 8.0 + 1.0); // 8 + crossbar latency
+
+    // Fig. 12(b): the one-to-one wiring is far smaller than a crossbar.
+    EXPECT_GT(baseline.interconnectProfile().areaUnits,
+              10.0 * tiled.interconnectProfile().areaUnits);
+}
+
+TEST(TdmCoSchedule, AbsorbsInferenceIntoIdleSlots)
+{
+    // Fig. 6(c): with fewer inference groups than training updates,
+    // the render stream rides entirely in the idle compute slots.
+    const TdmResult r = tdmCoSchedule(1000, 600, 10);
+    EXPECT_EQ(r.trainingCycles, 300u);
+    EXPECT_EQ(r.inferenceAloneCycles, 60u);
+    EXPECT_EQ(r.inferenceAbsorbed, 600u);
+    EXPECT_EQ(r.tdmCycles, r.trainingCycles); // inference is free
+    EXPECT_EQ(r.savedCycles(), 60u);
+}
+
+TEST(TdmCoSchedule, LeftoverInferenceRunsAfterwards)
+{
+    const TdmResult r = tdmCoSchedule(100, 500, 10);
+    EXPECT_EQ(r.inferenceAbsorbed, 100u);
+    // 400 leftover groups at one slot each over 10 cores.
+    EXPECT_EQ(r.tdmCycles, 30u + 40u);
+    EXPECT_EQ(r.savedCycles(), 10u);
+}
+
+TEST(TdmCoSchedule, NoTrainingMeansNoSaving)
+{
+    const TdmResult r = tdmCoSchedule(0, 500, 10);
+    EXPECT_EQ(r.inferenceAbsorbed, 0u);
+    EXPECT_EQ(r.tdmCycles, r.inferenceAloneCycles);
+    EXPECT_EQ(r.savedCycles(), 0u);
+}
+
+TEST(PostprocModule, CycleAccounting)
+{
+    ChipConfig cfg = ChipConfig::scaledUp();
+    const PostprocModule post(cfg, 2400);
+    const PostprocRunStats inf = post.inference(1000, 800);
+    EXPECT_EQ(inf.macs, 2400u * 1000u);
+    EXPECT_EQ(inf.mlpCycles,
+              (2400u * 1000u + cfg.mlpMacsPerCycle - 1) / cfg.mlpMacsPerCycle);
+    EXPECT_EQ(inf.renderCycles, static_cast<Cycles>(800 / cfg.renderSamplesPerCycle));
+    EXPECT_EQ(inf.totalCycles, std::max(inf.mlpCycles, inf.renderCycles));
+
+    const PostprocRunStats tr = post.training(1000, 800);
+    EXPECT_EQ(tr.macs, 3u * inf.macs);
+    EXPECT_GE(tr.totalCycles, 2 * inf.totalCycles);
+}
+
+TEST(TechModel, NominalPointOnCurve)
+{
+    const TechModel tech(ChipConfig::scaledUp());
+    EXPECT_NEAR(tech.frequencyAtVoltage(0.95), 600e6, 1e3);
+    EXPECT_NEAR(tech.voltageForFrequency(600e6), 0.95, 1e-3);
+}
+
+TEST(TechModel, FrequencyMonotonicInVoltage)
+{
+    const TechModel tech(ChipConfig::scaledUp());
+    double prev = 0.0;
+    for (double v = 0.6; v <= 1.2; v += 0.05) {
+        const double f = tech.frequencyAtVoltage(v);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+    EXPECT_EQ(tech.frequencyAtVoltage(0.4), 0.0); // below threshold
+}
+
+TEST(TechModel, PowerScalesWithVoltageAndFrequency)
+{
+    const ChipConfig cfg = ChipConfig::scaledUp();
+    const TechModel tech(cfg);
+    EXPECT_NEAR(tech.powerAt(cfg.coreVoltage, cfg.clockHz), cfg.typicalPowerW, 1e-9);
+    EXPECT_LT(tech.powerAt(0.8, 300e6), cfg.typicalPowerW);
+    EXPECT_GT(tech.powerAt(1.05, 750e6), cfg.typicalPowerW);
+}
+
+TEST(TechModel, BreakdownSumsToWhole)
+{
+    const TechModel tech(ChipConfig::prototype());
+    double area = 0.0, power = 0.0;
+    for (const ModuleShare &m : tech.breakdown()) {
+        area += m.areaFraction;
+        power += m.powerFraction;
+    }
+    EXPECT_NEAR(area, 1.0, 1e-9);
+    EXPECT_NEAR(power, 1.0, 1e-9);
+    EXPECT_GT(tech.moduleAreaMm2("interp"), tech.moduleAreaMm2("sampling"));
+}
+
+TEST(TechModel, EnergyForCycles)
+{
+    const ChipConfig cfg = ChipConfig::scaledUp();
+    const TechModel tech(cfg);
+    // One second of cycles at nominal = typical power in joules.
+    EXPECT_NEAR(tech.energyJ(cfg.clockHz), cfg.typicalPowerW, 1e-9);
+}
+
+TEST(ChipConfig, SramBudgetsMatchPaper)
+{
+    const ChipConfig scaled = ChipConfig::scaledUp();
+    // Table III: 1,099 KB total SRAM on the scaled-up chip.
+    EXPECT_NEAR(scaled.totalSramKb(), 1099, 15);
+    EXPECT_EQ(scaled.interpCores, 10);
+    EXPECT_EQ(scaled.memoryClusters, 5);
+    EXPECT_NEAR(scaled.dieAreaMm2, 8.7, 1e-9);
+
+    const ChipConfig proto = ChipConfig::prototype();
+    EXPECT_EQ(proto.interpCores, 5);
+    EXPECT_EQ(proto.memoryClusters, 2);
+    EXPECT_LT(proto.totalSramKb(), scaled.totalSramKb());
+}
+
+} // namespace
+} // namespace fusion3d::chip

@@ -1,0 +1,97 @@
+/** @file Tests of the chiplet temporal-reuse model (Fig. 14) and the
+ *  Sec. VI-D host-link streaming plan. */
+
+#include <gtest/gtest.h>
+
+#include "multichip/chiplet.h"
+#include "multichip/host_link.h"
+
+namespace fusion3d::multichip
+{
+namespace
+{
+
+TEST(Chiplet, ResidentModelIsSinglePass)
+{
+    ChipletConfig cfg;
+    const auto r = chipletFrame(cfg.residentTableBytes * 0.9, 0.01, cfg);
+    EXPECT_EQ(r.passes, 1);
+    EXPECT_DOUBLE_EQ(r.seconds, 0.01);
+    EXPECT_DOUBLE_EQ(r.reloadSeconds, 0.0);
+    EXPECT_FALSE(r.offPackageBound);
+}
+
+TEST(Chiplet, PassesScaleWithModelSize)
+{
+    ChipletConfig cfg;
+    cfg.bufferBytes = 1e9; // large buffer: in-package reloads only
+    const auto r2 = chipletFrame(cfg.residentTableBytes * 2.0, 0.01, cfg);
+    const auto r4 = chipletFrame(cfg.residentTableBytes * 4.0, 0.01, cfg);
+    EXPECT_EQ(r2.passes, 2);
+    EXPECT_EQ(r4.passes, 4);
+    EXPECT_GT(r4.seconds, r2.seconds);
+    // Compute-bound: the in-package link is far faster than compute.
+    EXPECT_NEAR(r2.seconds, 0.02, 1e-9);
+    EXPECT_FALSE(r4.offPackageBound);
+}
+
+TEST(Chiplet, OverflowingBufferHitsOffPackageWall)
+{
+    ChipletConfig cfg;
+    cfg.bufferBytes = 4.0 * 1024.0 * 1024.0;
+    // 64 MB model, 4 MB buffer: ~60 MB crawls over 0.6 GB/s, far
+    // slower than the fast per-chunk compute.
+    const auto r = chipletFrame(64.0 * 1024.0 * 1024.0, 0.0005, cfg);
+    EXPECT_TRUE(r.offPackageBound);
+    EXPECT_GT(r.seconds, 0.05); // >= 60 MB / 0.6 GB/s = 0.1 s
+    EXPECT_LT(r.fps(), 30.0);   // real-time is lost
+}
+
+TEST(Chiplet, FpsMonotoneInModelSize)
+{
+    ChipletConfig cfg;
+    cfg.bufferBytes = 128.0 * 1024.0 * 1024.0;
+    double prev = 1e9;
+    for (double mb = 1.0; mb <= 128.0; mb *= 2.0) {
+        const auto r = chipletFrame(mb * 1024.0 * 1024.0, 0.007, cfg);
+        EXPECT_LE(r.fps(), prev + 1e-9);
+        prev = r.fps();
+    }
+}
+
+TEST(HostLink, PaperWorkloadFitsUsb)
+{
+    // 0.65 GB dataset, 50 MB model, 2 s training (the Fig. 3 workload).
+    const auto plan = planTrainingSession(0.65e9, 0.05e9, 2.0);
+    EXPECT_TRUE(plan.linkKeepsUp);
+    EXPECT_LT(plan.totalSeconds, 2.5);
+    EXPECT_NEAR(plan.datasetInSeconds, 0.65e9 / (0.625e9 * 0.9), 1e-6);
+}
+
+TEST(HostLink, OversizedDatasetStallsTraining)
+{
+    // A 5 GB capture cannot stream in within 2 s of training.
+    const auto plan = planTrainingSession(5e9, 0.05e9, 2.0);
+    EXPECT_FALSE(plan.linkKeepsUp);
+    EXPECT_GT(plan.totalSeconds, 5.0);
+}
+
+TEST(HostLink, FasterLinkShortensSession)
+{
+    HostLinkConfig usb2x;
+    usb2x.linkBytesPerSec = 1.25e9;
+    const auto slow = planTrainingSession(0.65e9, 0.05e9, 0.5);
+    const auto fast = planTrainingSession(0.65e9, 0.05e9, 0.5, usb2x);
+    EXPECT_LT(fast.totalSeconds, slow.totalSeconds);
+}
+
+TEST(HostLink, InvalidConfigIsFatal)
+{
+    HostLinkConfig bad;
+    bad.linkBytesPerSec = 0.0;
+    EXPECT_DEATH({ (void)planTrainingSession(1e9, 1e8, 2.0, bad); },
+                 "invalid link");
+}
+
+} // namespace
+} // namespace fusion3d::multichip

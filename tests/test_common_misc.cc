@@ -1,0 +1,193 @@
+/** @file Tests for RNG, image/PSNR, quantization, op counting, logging. */
+
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/image.h"
+#include "common/logging.h"
+#include "common/op_counter.h"
+#include "common/quant.h"
+#include "common/rng.h"
+
+namespace fusion3d
+{
+namespace
+{
+
+TEST(Pcg32, Deterministic)
+{
+    Pcg32 a(42, 1);
+    Pcg32 b(42, 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextUint(), b.nextUint());
+}
+
+TEST(Pcg32, StreamsDiffer)
+{
+    Pcg32 a(42, 1);
+    Pcg32 b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.nextUint() == b.nextUint()) ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, FloatRange)
+{
+    Pcg32 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Pcg32, BoundedStaysInBound)
+{
+    Pcg32 rng(2);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Pcg32, UniformMeanRoughlyHalf)
+{
+    Pcg32 rng(3);
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.nextFloat();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, GaussianMoments)
+{
+    Pcg32 rng(4);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Pcg32, UnitVectorsOnSphere)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_NEAR(length(rng.nextUnitVector()), 1.0f, 1e-5f);
+}
+
+TEST(Image, FillAndAccess)
+{
+    Image img(4, 3, Vec3f(0.25f));
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_EQ(img.pixelCount(), 12);
+    EXPECT_EQ(img.at(3, 2), Vec3f(0.25f));
+    img.at(1, 1) = Vec3f(1.0f, 0.0f, 0.0f);
+    EXPECT_EQ(img.at(1, 1), Vec3f(1.0f, 0.0f, 0.0f));
+}
+
+TEST(Image, PsnrIdenticalIsInfinite)
+{
+    Image a(8, 8, Vec3f(0.5f));
+    EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Image, PsnrKnownValue)
+{
+    Image a(10, 10, Vec3f(0.0f));
+    Image b(10, 10, Vec3f(0.1f));
+    // MSE = 0.01 -> PSNR = 20 dB.
+    EXPECT_NEAR(psnr(a, b), 20.0, 1e-6);
+    EXPECT_NEAR(mse(a, b), 0.01, 1e-8);
+}
+
+TEST(Image, PsnrSymmetric)
+{
+    Image a(6, 6, Vec3f(0.2f));
+    Image b(6, 6, Vec3f(0.7f));
+    EXPECT_DOUBLE_EQ(psnr(a, b), psnr(b, a));
+}
+
+TEST(Image, WritePpmProducesFile)
+{
+    Image img(4, 4, Vec3f(0.5f, 0.25f, 1.0f));
+    const std::string path = ::testing::TempDir() + "/f3d_test.ppm";
+    ASSERT_TRUE(img.writePpm(path));
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[2] = {};
+    ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '6');
+    std::fclose(f);
+}
+
+TEST(Quant, RoundTripBounds)
+{
+    const std::array<float, 5> vals{-1.0f, -0.5f, 0.0f, 0.5f, 1.0f};
+    const QuantScale qs = computeScale(vals);
+    const auto q = quantize(vals, qs);
+    const auto back = dequantize(q, qs);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        EXPECT_NEAR(back[i], vals[i], qs.scale);
+}
+
+TEST(Quant, ScaleMapsMaxTo127)
+{
+    const std::array<float, 3> vals{0.1f, -2.54f, 1.0f};
+    const QuantScale qs = computeScale(vals);
+    const auto q = quantize(vals, qs);
+    EXPECT_EQ(q[1], -127);
+}
+
+TEST(Quant, FakeQuantizeIdempotent)
+{
+    std::vector<float> vals{0.3f, -0.7f, 0.9f, -0.1f, 0.0f};
+    fakeQuantizeInPlace(vals);
+    std::vector<float> once = vals;
+    fakeQuantizeInPlace(vals);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        EXPECT_NEAR(vals[i], once[i], 1e-6f);
+}
+
+TEST(Quant, RmseSmallForSmoothTensor)
+{
+    std::vector<float> vals;
+    for (int i = 0; i < 1000; ++i)
+        vals.push_back(std::sin(0.01f * static_cast<float>(i)));
+    const double rmse = quantizationRmse(vals);
+    EXPECT_GT(rmse, 0.0);
+    EXPECT_LT(rmse, 1.0 / 127.0);
+}
+
+TEST(OpCounter, AccumulationAndCost)
+{
+    OpCounter a;
+    a.divs = 2;
+    a.muls = 3;
+    OpCounter b;
+    b.adds = 4;
+    b.macs = 5;
+    const OpCounter c = a + b;
+    EXPECT_EQ(c.total(), 14u);
+    EXPECT_EQ(c.weightedCost(), 2 * 12u + 3 * 3u + 4u + 5 * 4u);
+    OpCounter d = c;
+    d.reset();
+    EXPECT_EQ(d.total(), 0u);
+}
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%.1f %s", 3, 2.5, "z"), "x=3 y=2.5 z");
+    EXPECT_EQ(strprintf("no args"), "no args");
+}
+
+} // namespace
+} // namespace fusion3d

@@ -1,0 +1,133 @@
+/** @file Tests of the controller's macro-pipeline schedule: the analytic
+ *  recurrence must agree cycle-exactly with the event-driven machine,
+ *  and the memory clusters must size ray batches correctly. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chip/controller.h"
+#include "chip/memory_cluster.h"
+#include "common/rng.h"
+#include "sim/clocked.h"
+
+namespace fusion3d::chip
+{
+namespace
+{
+
+TEST(PipelineCycles, EmptyAndSingle)
+{
+    EXPECT_EQ(pipelineCycles({}), 0u);
+    const std::vector<BatchCost> one{{5, 7, 3}};
+    // Serial through three stages: 5 + 7 + 3.
+    EXPECT_EQ(pipelineCycles(one), 15u);
+}
+
+TEST(PipelineCycles, SteadyStateBoundBySlowestStage)
+{
+    // Many equal batches: total -> fill + n * slowest.
+    std::vector<BatchCost> batches(50, BatchCost{2, 10, 3});
+    const Cycles total = pipelineCycles(batches);
+    // Fill = 2 + 10 + 3 = 15 for batch 0, then ~10/batch.
+    EXPECT_EQ(total, 15u + 49u * 10u);
+}
+
+TEST(PipelineCycles, BackpressureFromDownstream)
+{
+    // Stage 3 is the bottleneck: stage 1/2 must stall on the ping-pong
+    // buffer rather than run ahead unboundedly.
+    std::vector<BatchCost> batches(20, BatchCost{1, 1, 50});
+    const Cycles total = pipelineCycles(batches);
+    EXPECT_EQ(total, 1u + 1u + 20u * 50u);
+}
+
+TEST(PipelinedMachine, MatchesRecurrenceOnFixedCase)
+{
+    const std::vector<BatchCost> batches{{3, 5, 2}, {4, 1, 6}, {2, 8, 1}, {5, 5, 5}};
+    PipelinedMachine machine(batches);
+    sim::Simulator sim;
+    sim.add(&machine);
+    sim.run();
+    EXPECT_EQ(machine.finishCycle(), pipelineCycles(batches));
+}
+
+/** Property: event-driven and analytic models agree on random inputs. */
+TEST(PipelinedMachine, MatchesRecurrenceProperty)
+{
+    Pcg32 rng(99);
+    for (int trial = 0; trial < 60; ++trial) {
+        const int n = 1 + static_cast<int>(rng.nextBounded(30));
+        std::vector<BatchCost> batches;
+        for (int b = 0; b < n; ++b) {
+            batches.push_back({1 + rng.nextBounded(40), 1 + rng.nextBounded(40),
+                               1 + rng.nextBounded(40)});
+        }
+        PipelinedMachine machine(batches);
+        sim::Simulator sim;
+        sim.add(&machine);
+        sim.run();
+        ASSERT_EQ(machine.finishCycle(), pipelineCycles(batches))
+            << "trial " << trial << " with " << n << " batches";
+    }
+}
+
+TEST(PipelinedMachine, BusyCyclesMatchWork)
+{
+    const std::vector<BatchCost> batches{{3, 5, 2}, {4, 1, 6}};
+    PipelinedMachine machine(batches);
+    sim::Simulator sim;
+    sim.add(&machine);
+    sim.run();
+    EXPECT_EQ(machine.busyCycles(0), 7u);
+    EXPECT_EQ(machine.busyCycles(1), 6u);
+    EXPECT_EQ(machine.busyCycles(2), 8u);
+}
+
+TEST(PipelineCycles, RejectsZeroCostStages)
+{
+    const std::vector<BatchCost> bad{{0, 1, 1}};
+    EXPECT_DEATH({ (void)pipelineCycles(bad); }, "stage costs");
+}
+
+TEST(MemoryCluster, CapacityAndPlan)
+{
+    ChipConfig cfg = ChipConfig::scaledUp(); // 92 KB per cluster
+    const MemoryCluster cluster(cfg, /*boundaries=*/2);
+    EXPECT_EQ(cluster.capacityBytes(), 92u * 1024u);
+    EXPECT_EQ(cluster.halfCapacity(), 92u * 1024u / 4u);
+
+    // A Stage-I -> II hand-off of 16-byte samples.
+    const BufferPlan fits = cluster.plan(1000, 16);
+    EXPECT_TRUE(fits.fits);
+    EXPECT_EQ(fits.spillBytes, 0u);
+
+    const BufferPlan spills = cluster.plan(4096, 16);
+    EXPECT_FALSE(spills.fits);
+    EXPECT_EQ(spills.spillBytes, 4096u * 16u - cluster.halfCapacity());
+}
+
+TEST(MemoryCluster, MaxBatchSizing)
+{
+    const MemoryCluster cluster(ChipConfig::scaledUp(), 2);
+    const std::uint64_t max_pts = cluster.maxBatchPoints(16);
+    EXPECT_TRUE(cluster.plan(max_pts, 16).fits);
+    EXPECT_FALSE(cluster.plan(max_pts + 1, 16).fits);
+    EXPECT_EQ(cluster.maxBatchPoints(0), 0u);
+}
+
+TEST(MemoryCluster, ClusterCountCoversBatch)
+{
+    // The scaled-up chip's five clusters must hold a realistic Stage
+    // II -> III batch: 64-byte per-point features for a 4096-point
+    // batch needs several clusters, but fits the chip total.
+    const ChipConfig cfg = ChipConfig::scaledUp();
+    const MemoryCluster cluster(cfg, 2);
+    const Bytes per_cluster = cluster.halfCapacity();
+    const Bytes batch = 2048ull * 64ull;
+    const int needed = static_cast<int>((batch + per_cluster - 1) / per_cluster);
+    EXPECT_LE(needed, cfg.memoryClusters * 2);
+}
+
+} // namespace
+} // namespace fusion3d::chip

@@ -1,0 +1,149 @@
+/** @file Tests of the bottom-up energy model and the DDA sampling mode. */
+
+#include <gtest/gtest.h>
+
+#include "chip/energy_model.h"
+#include "chip/tech_model.h"
+#include "nerf/sampler.h"
+
+namespace fusion3d
+{
+namespace
+{
+
+chip::WorkloadProfile
+frameWorkload()
+{
+    chip::WorkloadProfile wl;
+    wl.rays = 800 * 800;
+    wl.candidates = wl.rays * 40;
+    wl.validPoints = wl.rays * 16;
+    wl.compositedPoints = wl.rays * 10;
+    wl.levels = 8;
+    wl.macsPerPoint = 2400;
+    wl.avgGroupCycles = 1.0;
+    return wl;
+}
+
+TEST(EnergyModel, BottomUpAgreesWithTopDownWithinFactor)
+{
+    const chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    const chip::TechModel tech(cfg);
+    const chip::PerfModel pm(cfg, tech);
+    const chip::WorkloadProfile wl = frameWorkload();
+    chip::SamplingRunStats s1;
+    s1.raysProcessed = wl.rays;
+    s1.totalCycles = wl.candidates / 13;
+
+    const chip::ChipRunResult inf = pm.inference(wl, s1);
+    const chip::EnergyBreakdown bottom =
+        chip::estimateEnergy(wl, inf, /*training=*/false);
+
+    // Two independent estimates of the same frame's energy: they must
+    // land within a factor of 3 of each other.
+    EXPECT_GT(bottom.totalJ(), inf.energyJ / 3.0);
+    EXPECT_LT(bottom.totalJ(), inf.energyJ * 3.0);
+}
+
+TEST(EnergyModel, TrainingCostsMoreThanInference)
+{
+    const chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    const chip::TechModel tech(cfg);
+    const chip::PerfModel pm(cfg, tech);
+    const chip::WorkloadProfile wl = frameWorkload();
+    chip::SamplingRunStats s1;
+    s1.raysProcessed = wl.rays;
+    s1.totalCycles = wl.candidates / 13;
+
+    const chip::ChipRunResult inf = pm.inference(wl, s1);
+    const chip::ChipRunResult trn = pm.training(wl, s1);
+    const double e_inf = chip::estimateEnergy(wl, inf, false).totalJ();
+    const double e_trn = chip::estimateEnergy(wl, trn, true).totalJ();
+    EXPECT_GT(e_trn, 2.0 * e_inf);
+}
+
+TEST(EnergyModel, BreakdownComponentsAllPositive)
+{
+    const chip::WorkloadProfile wl = frameWorkload();
+    chip::ChipRunResult run;
+    run.totalCycles = 10'000'000;
+    const chip::EnergyBreakdown e = chip::estimateEnergy(wl, run, false);
+    EXPECT_GT(e.mlpJ, 0.0);
+    EXPECT_GT(e.sramJ, 0.0);
+    EXPECT_GT(e.nocJ, 0.0);
+    EXPECT_GT(e.staticJ, 0.0);
+    EXPECT_NEAR(e.totalJ(), e.mlpJ + e.sramJ + e.nocJ + e.staticJ, 1e-15);
+}
+
+TEST(DdaSampling, SameValidSamplesAsProbing)
+{
+    nerf::OccupancyGrid grid(16);
+    Pcg32 grid_rng(2);
+    grid.update(
+        [](const Vec3f &p) {
+            return length(p - Vec3f(0.5f, 0.5f, 0.5f)) < 0.3f ? 10.0f : 0.0f;
+        },
+        grid_rng);
+
+    nerf::SamplerConfig probe_cfg;
+    probe_cfg.jitter = false;
+    nerf::SamplerConfig dda_cfg = probe_cfg;
+    dda_cfg.ddaSkip = true;
+
+    const nerf::RaySampler probe(probe_cfg);
+    const nerf::RaySampler dda(dda_cfg);
+
+    Pcg32 rng_a(3), rng_b(3);
+    std::vector<nerf::RaySample> out_a, out_b;
+    nerf::RayWorkload wl_a, wl_b;
+    int compared = 0;
+    Pcg32 gen(4);
+    for (int i = 0; i < 100; ++i) {
+        const Vec3f o{gen.nextRange(-0.3f, 1.3f), gen.nextRange(-0.3f, 1.3f), -1.0f};
+        const Ray ray(o, normalize(Vec3f{gen.nextRange(-0.3f, 0.3f),
+                                         gen.nextRange(-0.3f, 0.3f), 1.0f}));
+        const int na = probe.sample(ray, &grid, rng_a, out_a, &wl_a);
+        const int nb = dda.sample(ray, &grid, rng_b, out_b, &wl_b);
+        // The DDA intervals cover every occupied cell, so the valid
+        // sample sets agree (up to the interval-boundary epsilon).
+        EXPECT_NEAR(na, nb, 2) << "ray " << i;
+        // DDA mode never marches more candidates than probing.
+        EXPECT_LE(wl_b.totalCandidates, wl_a.totalCandidates + 2);
+        if (na > 0) {
+            ++compared;
+            // DDA pays cell steps instead of empty-lattice probes.
+            EXPECT_GT(wl_b.ddaSteps, 0);
+        }
+    }
+    EXPECT_GT(compared, 10);
+}
+
+TEST(DdaSampling, SkipsFarMoreInSparseScenes)
+{
+    nerf::OccupancyGrid grid(16);
+    Pcg32 grid_rng(5);
+    grid.update(
+        [](const Vec3f &p) {
+            return length(p - Vec3f(0.5f, 0.5f, 0.5f)) < 0.08f ? 10.0f : 0.0f;
+        },
+        grid_rng);
+
+    nerf::SamplerConfig dda_cfg;
+    dda_cfg.jitter = false;
+    dda_cfg.ddaSkip = true;
+    nerf::SamplerConfig probe_cfg = dda_cfg;
+    probe_cfg.ddaSkip = false;
+
+    Pcg32 rng_a(6), rng_b(6);
+    std::vector<nerf::RaySample> out;
+    nerf::RayWorkload wl_probe, wl_dda;
+    const Ray ray({0.5f, 0.5f, -1.0f}, {0.0f, 0.0f, 1.0f});
+    nerf::RaySampler(probe_cfg).sample(ray, &grid, rng_a, out, &wl_probe);
+    nerf::RaySampler(dda_cfg).sample(ray, &grid, rng_b, out, &wl_dda);
+
+    // Probing marches the whole cube span; DDA only the tiny blob.
+    EXPECT_LT(wl_dda.totalCandidates, wl_probe.totalCandidates / 3);
+}
+
+} // namespace
+} // namespace fusion3d

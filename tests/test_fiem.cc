@@ -1,0 +1,194 @@
+/** @file Bit-exactness tests of the FIEM multiplier and the
+ *  reconfigurable interpolation array, plus the gate-cost ablation. */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "chip/fiem.h"
+#include "chip/hw_cost.h"
+#include "chip/interp_array.h"
+#include "common/rng.h"
+
+namespace fusion3d::chip
+{
+namespace
+{
+
+/** FIEM must equal the IEEE float reference exactly: an 11-bit
+ *  significand times an 8-bit integer is exact in single precision. */
+TEST(Fiem, ExactAgainstFloatReferenceExhaustiveWeights)
+{
+    Pcg32 rng(1);
+    for (int trial = 0; trial < 400; ++trial) {
+        const std::uint16_t bits = static_cast<std::uint16_t>(rng.nextUint() & 0x7fff);
+        const Half h = Half::fromBits(bits);
+        if (h.isNan() || h.isInf())
+            continue;
+        for (int w = -255; w <= 255; ++w) {
+            const float expect = h.toFloat() * static_cast<float>(w);
+            const float got = fiemMultiply(h, w);
+            EXPECT_EQ(got, expect)
+                << "half bits 0x" << std::hex << bits << " weight " << std::dec << w;
+        }
+    }
+}
+
+TEST(Fiem, SubnormalInputsExact)
+{
+    for (std::uint16_t bits = 1; bits < 0x0400; bits += 7) {
+        const Half h = Half::fromBits(bits); // positive subnormals
+        for (int w : {0, 1, 3, 127, 255, -255}) {
+            EXPECT_EQ(fiemMultiply(h, w), h.toFloat() * static_cast<float>(w));
+        }
+    }
+}
+
+TEST(Fiem, SpecialValues)
+{
+    const Half inf = Half::fromBits(0x7c00);
+    const Half nan = Half::fromBits(0x7e00);
+    const Half zero = Half::fromFloat(0.0f);
+
+    EXPECT_TRUE(std::isinf(fiemMultiply(inf, 2)));
+    EXPECT_TRUE(std::isinf(fiemMultiply(inf, -2)));
+    EXPECT_LT(fiemMultiply(inf, -2), 0.0f);
+    EXPECT_TRUE(std::isnan(fiemMultiply(inf, 0)));
+    EXPECT_TRUE(std::isnan(fiemMultiply(nan, 5)));
+    EXPECT_EQ(fiemMultiply(zero, 100), 0.0f);
+    EXPECT_EQ(fiemMultiply(Half::fromFloat(3.0f), 0), 0.0f);
+}
+
+TEST(Fiem, SignHandling)
+{
+    const Half h = Half::fromFloat(-1.5f);
+    EXPECT_FLOAT_EQ(fiemMultiply(h, 2), -3.0f);
+    EXPECT_FLOAT_EQ(fiemMultiply(h, -2), 3.0f);
+    EXPECT_FLOAT_EQ(fiemMultiply(Half::fromFloat(1.5f), -2), -3.0f);
+}
+
+TEST(Fiem, HalfOutputRoundsToNearestEven)
+{
+    Pcg32 rng(2);
+    for (int trial = 0; trial < 3000; ++trial) {
+        const Half h =
+            Half::fromBits(static_cast<std::uint16_t>(rng.nextUint() & 0x7fff));
+        if (h.isNan() || h.isInf())
+            continue;
+        const int w = static_cast<int>(rng.nextBounded(511)) - 255;
+        const Half got = fiemMultiplyHalf(h, w);
+        const Half expect = Half::fromFloat(h.toFloat() * static_cast<float>(w));
+        EXPECT_EQ(got.bits(), expect.bits());
+    }
+}
+
+TEST(InterpArray, WeightQuantization)
+{
+    const QuantizedWeights q =
+        quantizeWeights({0.0f, 1.0f, 0.5f, 0.25f, 2.0f, -1.0f, 0.1f, 0.9f});
+    EXPECT_EQ(q.w[0], 0);
+    EXPECT_EQ(q.w[1], 255);
+    EXPECT_EQ(q.w[2], 128); // round(127.5) away from zero = 128
+    EXPECT_EQ(q.w[4], 255); // clamped
+    EXPECT_EQ(q.w[5], 0);   // clamped
+}
+
+TEST(InterpArray, ForwardMatchesFloatReference)
+{
+    Pcg32 rng(3);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::array<Half, 8> feats;
+        std::array<float, 8> weights;
+        float wsum = 0.0f;
+        for (int i = 0; i < 8; ++i) {
+            feats[static_cast<std::size_t>(i)] =
+                Half::fromFloat(rng.nextRange(-2.0f, 2.0f));
+            weights[static_cast<std::size_t>(i)] = rng.nextFloat();
+            wsum += weights[static_cast<std::size_t>(i)];
+        }
+        // Normalize like trilinear weights.
+        for (float &w : weights)
+            w /= wsum;
+        const QuantizedWeights q = quantizeWeights(weights);
+
+        float reference = 0.0f;
+        for (int i = 0; i < 8; ++i) {
+            reference += feats[static_cast<std::size_t>(i)].toFloat() *
+                         (static_cast<float>(q.w[static_cast<std::size_t>(i)]) *
+                          QuantizedWeights::kScale);
+        }
+        const float got = InterpArray::forwardMacTree(feats, q);
+        EXPECT_NEAR(got, reference, 1e-5f);
+    }
+}
+
+TEST(InterpArray, BackwardIsTransposeOfForward)
+{
+    // <backward(d), f> == d * forward(f): the two modes implement the
+    // same bilinear form with inverted edges (Fig. 6(a)).
+    Pcg32 rng(4);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::array<Half, 8> feats;
+        std::array<float, 8> weights;
+        for (int i = 0; i < 8; ++i) {
+            feats[static_cast<std::size_t>(i)] =
+                Half::fromFloat(rng.nextRange(-1.0f, 1.0f));
+            weights[static_cast<std::size_t>(i)] = rng.nextFloat();
+        }
+        const QuantizedWeights q = quantizeWeights(weights);
+        const Half dout = Half::fromFloat(rng.nextRange(-1.0f, 1.0f));
+
+        const std::array<float, 8> grads = InterpArray::backwardScatter(dout, q);
+        float lhs = 0.0f;
+        for (int i = 0; i < 8; ++i)
+            lhs += grads[static_cast<std::size_t>(i)] *
+                   feats[static_cast<std::size_t>(i)].toFloat();
+        const float rhs = dout.toFloat() * InterpArray::forwardMacTree(feats, q);
+        EXPECT_NEAR(lhs, rhs, 1e-4f);
+    }
+}
+
+TEST(HwCost, FiemSavesAreaAndPower)
+{
+    const HwCost trad = fiem_cost::int2fpPlusFpmul(8);
+    const HwCost fiem = fiem_cost::fiem(8);
+    const double area_saving = 1.0 - fiem.areaUnits / trad.areaUnits;
+    const double power_saving = 1.0 - fiem.energyUnits / trad.energyUnits;
+    // Paper (Fig. 6(d)): 55% area, 65% power. The unit-gate model must
+    // land in the same regime.
+    EXPECT_GT(area_saving, 0.45);
+    EXPECT_LT(area_saving, 0.75);
+    EXPECT_GT(power_saving, 0.45);
+    EXPECT_LT(power_saving, 0.80);
+}
+
+TEST(HwCost, FiemSavingGrowsWithNarrowerInt)
+{
+    const double s8 = 1.0 - fiem_cost::fiem(8).areaUnits /
+                                fiem_cost::int2fpPlusFpmul(8).areaUnits;
+    const double s4 = 1.0 - fiem_cost::fiem(4).areaUnits /
+                                fiem_cost::int2fpPlusFpmul(4).areaUnits;
+    EXPECT_GT(s4, s8);
+}
+
+TEST(HwCost, StageTwoSharingMatchesPaperSplit)
+{
+    const StageTwoSharing s = stageTwoSharing();
+    // Paper: 87.4% directly shared, 12.6% reused via reconfiguration.
+    EXPECT_GT(s.sharedFraction(), 0.80);
+    EXPECT_LT(s.sharedFraction(), 0.95);
+    EXPECT_NEAR(s.sharedFraction() + s.reconfiguredFraction(), 1.0, 1e-9);
+    // Reconfiguration avoids duplicating the array once per mode.
+    EXPECT_GT(s.duplicatedSavingUnits, 0.0);
+}
+
+TEST(HwCost, BasicBlocksScale)
+{
+    EXPECT_GT(hw::multiplier(24, 24).areaUnits, hw::multiplier(11, 11).areaUnits);
+    EXPECT_GT(hw::adder(32).areaUnits, hw::adder(8).areaUnits);
+    EXPECT_GT(hw::barrelShifter(32).areaUnits, hw::barrelShifter(8).areaUnits);
+}
+
+} // namespace
+} // namespace fusion3d::chip

@@ -1,0 +1,174 @@
+/** @file Bit-level tests of the software binary16 implementation. */
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/half.h"
+#include "common/rng.h"
+
+namespace fusion3d
+{
+namespace
+{
+
+TEST(Half, SpecialValues)
+{
+    EXPECT_TRUE(Half::fromBits(0x0000).isZero());
+    EXPECT_TRUE(Half::fromBits(0x8000).isZero());
+    EXPECT_TRUE(Half::fromBits(0x7c00).isInf());
+    EXPECT_TRUE(Half::fromBits(0xfc00).isInf());
+    EXPECT_TRUE(Half::fromBits(0x7c01).isNan());
+    EXPECT_TRUE(Half::fromBits(0x0001).isSubnormal());
+    EXPECT_FALSE(Half::fromBits(0x3c00).isSubnormal()); // 1.0
+}
+
+TEST(Half, KnownEncodings)
+{
+    EXPECT_EQ(Half::fromFloat(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(Half::fromFloat(-2.0f).bits(), 0xc000);
+    EXPECT_EQ(Half::fromFloat(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Half::fromFloat(65504.0f).bits(), 0x7bff); // max normal
+    EXPECT_EQ(Half::fromFloat(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Half::fromFloat(-0.0f).bits(), 0x8000);
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_TRUE(Half::fromFloat(1e6f).isInf());
+    EXPECT_TRUE(Half::fromFloat(-1e6f).isInf());
+    EXPECT_EQ(Half::fromFloat(65520.0f).bits(), 0x7c00); // rounds up to inf
+}
+
+TEST(Half, UnderflowToZeroAndSubnormals)
+{
+    // Smallest subnormal is 2^-24.
+    EXPECT_EQ(Half::fromFloat(std::ldexp(1.0f, -24)).bits(), 0x0001);
+    // Half of that rounds to zero (ties-to-even).
+    EXPECT_EQ(Half::fromFloat(std::ldexp(1.0f, -25)).bits(), 0x0000);
+    // 1.5x rounds up to the smallest subnormal... (0x0001 is odd; tie
+    // goes to even = 0x0002 for exactly 1.5 * 2^-24? No: 1.5*2^-24 =
+    // 0x0001 + half an ulp -> ties-to-even rounds to 0x0002.)
+    EXPECT_EQ(Half::fromFloat(1.5f * std::ldexp(1.0f, -24)).bits(), 0x0002);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: ties to even (1.0).
+    EXPECT_EQ(Half::fromFloat(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00);
+    // 1 + 3*2^-11 ties between 0x3c01 and 0x3c02: rounds to 0x3c02.
+    EXPECT_EQ(Half::fromFloat(1.0f + 3.0f * std::ldexp(1.0f, -11)).bits(), 0x3c02);
+    // Slightly above the tie rounds up.
+    EXPECT_EQ(Half::fromFloat(1.0f + std::ldexp(1.0f, -11) + 1e-7f).bits(), 0x3c01);
+}
+
+/** Property: toFloat -> fromFloat is the identity on every bit pattern. */
+TEST(Half, RoundTripExhaustive)
+{
+    for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+        const Half h = Half::fromBits(static_cast<std::uint16_t>(b));
+        if (h.isNan()) {
+            EXPECT_TRUE(Half::fromFloat(h.toFloat()).isNan());
+            continue;
+        }
+        const Half back = Half::fromFloat(h.toFloat());
+        EXPECT_EQ(back.bits(), h.bits()) << "pattern 0x" << std::hex << b;
+    }
+}
+
+/** Property: conversion is monotonic over positive halves. */
+TEST(Half, ToFloatMonotonic)
+{
+    float prev = Half::fromBits(0).toFloat();
+    for (std::uint16_t b = 1; b < 0x7c00; ++b) {
+        const float cur = Half::fromBits(b).toFloat();
+        EXPECT_GT(cur, prev) << "pattern 0x" << std::hex << b;
+        prev = cur;
+    }
+}
+
+TEST(Half, SignificandDecomposition)
+{
+    const Half one = Half::fromFloat(1.0f);
+    EXPECT_EQ(one.significand(), 0x400u); // implicit bit only
+    EXPECT_EQ(one.unbiasedExponent(), 0);
+
+    const Half h = Half::fromFloat(1.5f);
+    EXPECT_EQ(h.significand(), 0x600u);
+
+    // Value reconstruction: sig * 2^(e-10).
+    for (std::uint16_t b = 0x0001; b < 0x7c00; b += 37) {
+        const Half x = Half::fromBits(b);
+        const float recon =
+            std::ldexp(static_cast<float>(x.significand()), x.unbiasedExponent() - 10);
+        EXPECT_FLOAT_EQ(recon, x.toFloat()) << "pattern 0x" << std::hex << b;
+    }
+}
+
+TEST(Half, RoundToHalfQuantizes)
+{
+    EXPECT_FLOAT_EQ(roundToHalf(1.0f), 1.0f);
+    const float q = roundToHalf(1.0001f);
+    EXPECT_NE(q, 1.0001f);
+    EXPECT_NEAR(q, 1.0001f, 1e-3f);
+}
+
+/** fromDouble agrees with fromFloat wherever the float is exact. */
+TEST(Half, FromDoubleMatchesFromFloatOnExactInputs)
+{
+    for (std::uint32_t b = 0; b < 0x7c00; b += 3) {
+        const Half h = Half::fromBits(static_cast<std::uint16_t>(b));
+        const double d = static_cast<double>(h.toFloat());
+        EXPECT_EQ(Half::fromDouble(d).bits(), h.bits());
+        EXPECT_EQ(Half::fromDouble(-d).bits(), h.bits() | 0x8000);
+    }
+    EXPECT_TRUE(Half::fromDouble(1e10).isInf());
+    EXPECT_TRUE(Half::fromDouble(std::nan("")).isNan());
+    EXPECT_EQ(Half::fromDouble(1e-12).bits(), 0x0000);
+}
+
+TEST(Half, FromDoubleRoundsTiesToEven)
+{
+    // Exactly between 1.0 (0x3c00) and 1+2^-10 (0x3c01): ties to even.
+    EXPECT_EQ(Half::fromDouble(1.0 + std::ldexp(1.0, -11)).bits(), 0x3c00);
+    EXPECT_EQ(Half::fromDouble(1.0 + 3.0 * std::ldexp(1.0, -11)).bits(), 0x3c02);
+    // Just above the tie rounds up.
+    EXPECT_EQ(Half::fromDouble(1.0 + std::ldexp(1.0, -11) + 1e-12).bits(), 0x3c01);
+}
+
+/** Property: the arithmetic helpers are correctly rounded — the double
+ *  intermediate is exact, so one RNE from double is the IEEE result. */
+TEST(Half, ArithmeticCorrectlyRounded)
+{
+    Pcg32 rng(41);
+    for (int trial = 0; trial < 20000; ++trial) {
+        const Half a =
+            Half::fromBits(static_cast<std::uint16_t>(rng.nextUint() & 0x7bff));
+        const Half b =
+            Half::fromBits(static_cast<std::uint16_t>(rng.nextUint() & 0x7bff));
+        const double da = a.toFloat(), db = b.toFloat();
+        EXPECT_EQ(halfAdd(a, b).bits(), Half::fromDouble(da + db).bits());
+        EXPECT_EQ(halfMul(a, b).bits(), Half::fromDouble(da * db).bits());
+        // FMA fuses: single rounding of the exact a*b + c.
+        const Half c = b;
+        EXPECT_EQ(halfFma(a, b, c).bits(), Half::fromDouble(da * db + db).bits());
+    }
+}
+
+TEST(Half, ArithmeticIdentities)
+{
+    const Half one = Half::fromFloat(1.0f);
+    const Half zero = Half::fromFloat(0.0f);
+    Pcg32 rng(43);
+    for (int i = 0; i < 500; ++i) {
+        const Half x =
+            Half::fromBits(static_cast<std::uint16_t>(rng.nextUint() & 0x7bff));
+        EXPECT_EQ(halfMul(x, one).bits(), x.bits());
+        EXPECT_EQ(halfAdd(x, zero).bits(), x.bits());
+        EXPECT_EQ(halfAdd(x, x).bits(), halfMul(x, Half::fromFloat(2.0f)).bits());
+    }
+}
+
+} // namespace
+} // namespace fusion3d

@@ -1,0 +1,143 @@
+/** @file Parameterized multi-chip system tests: invariants across chip
+ *  counts, plus I/O and communication model properties. */
+
+#include <gtest/gtest.h>
+
+#include "multichip/system.h"
+#include "nerf/moe.h"
+#include "scenes/dataset_gen.h"
+#include "scenes/factory.h"
+
+namespace fusion3d::multichip
+{
+namespace
+{
+
+nerf::MoeConfig
+moeFor(int experts)
+{
+    nerf::MoeConfig mc;
+    mc.numExperts = experts;
+    mc.expert.model.grid.levels = 4;
+    mc.expert.model.grid.log2TableSize = 11;
+    mc.expert.model.grid.baseResolution = 8;
+    mc.expert.model.grid.maxResolution = 32;
+    mc.expert.model.densityHidden = 16;
+    mc.expert.model.colorHidden = 16;
+    mc.expert.model.geoFeatures = 7;
+    mc.expert.model.shDegree = 2;
+    mc.expert.sampler.maxSamplesPerRay = 16;
+    mc.expert.occupancyResolution = 16;
+    return mc;
+}
+
+void
+bootstrap(nerf::MoeNerf &moe, const scenes::Scene &scene)
+{
+    Pcg32 rng(1, 1);
+    for (int k = 0; k < moe.numExperts(); ++k) {
+        moe.expert(k).grid().update(
+            [&scene](const Vec3f &p) { return scene.density(p); }, rng, 0.0f);
+        moe.expert(k).grid().maskRegion(
+            [&moe, k](const Vec3f &p) { return moe.regionOf(p) == k; });
+    }
+}
+
+class SystemScaling : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SystemScaling, InvariantsHoldAtEveryChipCount)
+{
+    const int chips = GetParam();
+    const auto scene = scenes::makeNerf360Scene("room");
+    nerf::MoeNerf moe(moeFor(chips));
+    bootstrap(moe, *scene);
+
+    SystemConfig sc;
+    sc.numChips = chips;
+    const MultiChipSystem sys(sc);
+
+    const nerf::Camera cam = nerf::Camera::orbit({0.5f, 0.4f, 0.5f}, 0.38f, 20.0f,
+                                                 10.0f, 70.0f, 64, 64);
+    const auto r = sys.evaluateInference(moe, cam, 128);
+
+    ASSERT_EQ(r.chips.size(), static_cast<std::size_t>(chips));
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GE(r.computeSeconds, 0.0);
+    EXPECT_GE(r.imbalance, 1.0);
+    EXPECT_GT(r.totalPoints, 0u);
+    EXPECT_GT(r.energyJ, 0.0);
+    // MoE communication always beats layer-split.
+    EXPECT_LT(r.moeCommBytes, r.layerSplitCommBytes);
+    EXPECT_GT(r.commSavingFraction(), 0.5);
+    // Physical budgets scale with chip count.
+    EXPECT_NEAR(sys.totalPowerW(), chips * 1.5 * 1.01, 0.05 * chips);
+    EXPECT_GT(sys.totalAreaMm2(), chips * 8.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipCounts, SystemScaling, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(System, MismatchedExpertCountIsFatal)
+{
+    const auto scene = scenes::makeNerf360Scene("room");
+    nerf::MoeNerf moe(moeFor(2));
+    bootstrap(moe, *scene);
+    SystemConfig sc;
+    sc.numChips = 4;
+    const MultiChipSystem sys(sc);
+    const nerf::Camera cam = nerf::Camera::orbit({0.5f, 0.4f, 0.5f}, 0.38f, 20.0f,
+                                                 10.0f, 70.0f, 16, 16);
+    EXPECT_DEATH({ (void)sys.evaluateInference(moe, cam, 8); }, "experts");
+}
+
+TEST(System, TrainingCostsMoreThanInference)
+{
+    const auto scene = scenes::makeNerf360Scene("garden");
+    nerf::MoeNerf moe(moeFor(4));
+    bootstrap(moe, *scene);
+    const MultiChipSystem sys((SystemConfig()));
+
+    const nerf::Camera cam = nerf::Camera::orbit({0.5f, 0.4f, 0.5f}, 0.38f, 20.0f,
+                                                 10.0f, 70.0f, 64, 64);
+    const auto inf = sys.evaluateInference(moe, cam, 256);
+
+    // Same ray population as a training batch of equal size.
+    scenes::DatasetConfig dc = scenes::nerf360Rig(16);
+    dc.trainViews = 2;
+    dc.testViews = 1;
+    dc.reference.steps = 48;
+    const nerf::Dataset ds = scenes::makeDataset(*scene, dc);
+    const auto trn = sys.evaluateTraining(moe, ds, 256);
+
+    // Per-point training throughput must be ~3x lower than inference
+    // (the three-slot Stage-II update).
+    const double inf_rate = inf.throughputPointsPerSec();
+    const double trn_rate = trn.throughputPointsPerSec();
+    EXPECT_GT(inf_rate, 1.5 * trn_rate);
+}
+
+TEST(ChipletIoModel, MonotoneInModelSize)
+{
+    ChipletIoModel model;
+    double prev = 0.0;
+    for (double mb = 1.0; mb <= 256.0; mb *= 2.0) {
+        const double a = model.areaMm2(mb * 1024.0 * 1024.0);
+        EXPECT_GE(a, prev);
+        prev = a;
+    }
+}
+
+TEST(IoModule, OverheadsScaleWithChips)
+{
+    const IoModule io;
+    const chip::ChipConfig c = chip::ChipConfig::scaledUp();
+    EXPECT_LT(io.areaMm2(c, 2), io.areaMm2(c, 8));
+    EXPECT_LT(io.powerW(c, 2), io.powerW(c, 8));
+    // The published overheads are small: < 1% area, < 3% SRAM.
+    EXPECT_LT(io.areaMm2(c, 4) / (4 * c.dieAreaMm2), 0.01);
+    EXPECT_LT(io.sramKb(c, 4) / (4.0 * c.totalSramKb()), 0.03);
+}
+
+} // namespace
+} // namespace fusion3d::multichip

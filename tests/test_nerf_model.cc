@@ -1,0 +1,173 @@
+/** @file Tests of the full point-wise radiance model, including an
+ *  end-to-end gradient check through encoding, MLPs and activations. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nerf/nerf_model.h"
+
+namespace fusion3d::nerf
+{
+namespace
+{
+
+NerfModelConfig
+tinyConfig()
+{
+    NerfModelConfig cfg;
+    cfg.grid.levels = 4;
+    cfg.grid.featuresPerLevel = 2;
+    cfg.grid.log2TableSize = 10;
+    cfg.grid.baseResolution = 4;
+    cfg.grid.maxResolution = 32;
+    cfg.geoFeatures = 7;
+    cfg.densityHidden = 16;
+    cfg.colorHidden = 16;
+    cfg.shDegree = 2;
+    return cfg;
+}
+
+TEST(NerfModel, OutputRanges)
+{
+    NerfModel model(tinyConfig());
+    PointWorkspace ws = model.makeWorkspace();
+    Pcg32 rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const PointEval pe =
+            model.forwardPoint(rng.nextVec3(), rng.nextUnitVector(), ws);
+        EXPECT_GT(pe.sigma, 0.0f);           // exp activation
+        EXPECT_TRUE(std::isfinite(pe.sigma));
+        for (int c = 0; c < 3; ++c) {
+            EXPECT_GE(pe.rgb[c], 0.0f);      // sigmoid
+            EXPECT_LE(pe.rgb[c], 1.0f);
+        }
+    }
+}
+
+TEST(NerfModel, DensityActivationAndGrad)
+{
+    EXPECT_FLOAT_EQ(NerfModel::densityActivation(0.0f), 1.0f);
+    EXPECT_NEAR(NerfModel::densityActivation(1.0f), std::exp(1.0f), 1e-5f);
+    // Clamped below.
+    EXPECT_FLOAT_EQ(NerfModel::densityActivation(-100.0f), std::exp(-15.0f));
+    EXPECT_FLOAT_EQ(NerfModel::densityActivationGrad(-100.0f, 1.0f), 0.0f);
+    const float s = NerfModel::densityActivation(0.5f);
+    EXPECT_FLOAT_EQ(NerfModel::densityActivationGrad(0.5f, s), s);
+}
+
+TEST(NerfModel, QueryDensityMatchesForwardPoint)
+{
+    NerfModel model(tinyConfig());
+    PointWorkspace ws = model.makeWorkspace();
+    const Vec3f p{0.3f, 0.6f, 0.2f};
+    const float d = model.queryDensity(p, ws);
+    const PointEval pe = model.forwardPoint(p, {0.0f, 0.0f, 1.0f}, ws);
+    EXPECT_FLOAT_EQ(d, pe.sigma);
+}
+
+TEST(NerfModel, ViewDependenceFlowsThroughColor)
+{
+    NerfModel model(tinyConfig());
+    // Randomize color-net weights enough that SH inputs matter.
+    Pcg32 rng(2);
+    for (float &w : model.colorNet().params())
+        w = rng.nextRange(-0.5f, 0.5f);
+    PointWorkspace ws = model.makeWorkspace();
+    const Vec3f p{0.5f, 0.5f, 0.5f};
+    const PointEval a = model.forwardPoint(p, {0.0f, 0.0f, 1.0f}, ws);
+    const PointEval b = model.forwardPoint(p, {1.0f, 0.0f, 0.0f}, ws);
+    EXPECT_FLOAT_EQ(a.sigma, b.sigma); // density is view-independent
+    EXPECT_NE(a.rgb, b.rgb);           // color is view-dependent
+}
+
+/** Full-model gradient check: d(loss)/d(params) via backwardPoint vs
+ *  central finite differences, for a loss touching sigma and rgb. */
+TEST(NerfModel, EndToEndGradientCheck)
+{
+    NerfModel model(tinyConfig(), 99);
+    Pcg32 rng(3);
+    // Non-trivial weights everywhere.
+    for (float &w : model.encoding().params())
+        w = rng.nextRange(-0.3f, 0.3f);
+
+    PointWorkspace ws = model.makeWorkspace();
+    const Vec3f pos{0.41f, 0.33f, 0.77f};
+    const Vec3f dir = normalize(Vec3f{0.3f, -0.5f, 0.8f});
+    const float dsigma = 0.7f;
+    const Vec3f drgb{0.5f, -0.25f, 1.0f};
+
+    const auto loss = [&]() {
+        const PointEval pe = model.forwardPoint(pos, dir, ws);
+        return pe.sigma * dsigma + dot(pe.rgb, drgb);
+    };
+
+    model.zeroGrads();
+    model.backwardPoint(pos, dir, dsigma, drgb, ws);
+
+    // Check encoding gradients (a sparse sample of touched entries).
+    int checked = 0;
+    for (std::size_t i = 0; i < model.encoding().paramCount() && checked < 20; ++i) {
+        const float g = model.encoding().grads()[i];
+        if (g == 0.0f)
+            continue;
+        const float eps = 1e-3f;
+        float &p = model.encoding().params()[i];
+        const float orig = p;
+        p = orig + eps;
+        const float lp = loss();
+        p = orig - eps;
+        const float lm = loss();
+        p = orig;
+        EXPECT_NEAR(g, (lp - lm) / (2 * eps), 0.05f * (1.0f + std::fabs(g)))
+            << "encoding param " << i;
+        ++checked;
+    }
+    EXPECT_GT(checked, 5);
+
+    // Check density-net weight gradients.
+    for (std::size_t i = 0; i < model.densityNet().paramCount(); i += 61) {
+        const float g = model.densityNet().grads()[i];
+        const float eps = 1e-3f;
+        float &p = model.densityNet().params()[i];
+        const float orig = p;
+        p = orig + eps;
+        const float lp = loss();
+        p = orig - eps;
+        const float lm = loss();
+        p = orig;
+        EXPECT_NEAR(g, (lp - lm) / (2 * eps), 0.05f * (1.0f + std::fabs(g)))
+            << "density param " << i;
+    }
+
+    // Check color-net weight gradients.
+    for (std::size_t i = 0; i < model.colorNet().paramCount(); i += 37) {
+        const float g = model.colorNet().grads()[i];
+        const float eps = 1e-3f;
+        float &p = model.colorNet().params()[i];
+        const float orig = p;
+        p = orig + eps;
+        const float lp = loss();
+        p = orig - eps;
+        const float lm = loss();
+        p = orig;
+        EXPECT_NEAR(g, (lp - lm) / (2 * eps), 0.05f * (1.0f + std::fabs(g)))
+            << "color param " << i;
+    }
+}
+
+TEST(NerfModel, ParamAndMacCounts)
+{
+    NerfModel model(tinyConfig());
+    EXPECT_EQ(model.paramCount(),
+              model.encoding().paramCount() + model.densityNet().paramCount() +
+                  model.colorNet().paramCount());
+    // density: 8 -> 16 -> 8; color: (7+4)=11 -> 16 -> 3.
+    EXPECT_EQ(model.macsPerPoint(),
+              model.densityNet().forwardMacs() + model.colorNet().forwardMacs());
+    EXPECT_GT(model.macsPerPoint(), 100u);
+}
+
+} // namespace
+} // namespace fusion3d::nerf

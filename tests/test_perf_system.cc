@@ -1,0 +1,285 @@
+/** @file Tests of the chip performance/bandwidth models, the top-level
+ *  Chip evaluator, the multi-chip system and the baseline table. */
+
+#include <gtest/gtest.h>
+
+#include "baselines/platforms.h"
+#include "chip/chip.h"
+#include "chip/perf_model.h"
+#include "multichip/io_module.h"
+#include "multichip/system.h"
+#include "nerf/moe.h"
+#include "nerf/trainer.h"
+#include "scenes/dataset_gen.h"
+#include "scenes/factory.h"
+
+namespace fusion3d
+{
+namespace
+{
+
+chip::WorkloadProfile
+sampleWorkload()
+{
+    chip::WorkloadProfile wl;
+    wl.rays = 640 * 480;
+    wl.candidates = wl.rays * 40;
+    wl.validPoints = wl.rays * 16;
+    wl.compositedPoints = wl.rays * 10;
+    wl.levels = 8;
+    wl.macsPerPoint = 2400;
+    wl.avgGroupCycles = 1.0;
+    return wl;
+}
+
+chip::SamplingRunStats
+sampleStage1(const chip::WorkloadProfile &wl)
+{
+    chip::SamplingRunStats s;
+    s.raysProcessed = wl.rays;
+    s.candidatesMarched = wl.candidates;
+    s.validPoints = wl.validPoints;
+    // 16 cores at ~80% utilization over the candidates.
+    s.totalCycles = wl.candidates / 13;
+    s.busyCoreCycles = wl.candidates;
+    return s;
+}
+
+TEST(PerfModel, TrainingIsRoughlyThreeTimesInference)
+{
+    const chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    const chip::TechModel tech(cfg);
+    const chip::PerfModel pm(cfg, tech);
+    const chip::WorkloadProfile wl = sampleWorkload();
+    const chip::SamplingRunStats s1 = sampleStage1(wl);
+
+    const chip::ChipRunResult inf = pm.inference(wl, s1);
+    const chip::ChipRunResult tr = pm.training(wl, s1);
+    const double ratio = inf.throughputPointsPerSec / tr.throughputPointsPerSec;
+    // Table III: 591 / 199 = 2.97.
+    EXPECT_NEAR(ratio, 3.0, 0.35);
+}
+
+TEST(PerfModel, ThroughputInPaperRegime)
+{
+    const chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    const chip::TechModel tech(cfg);
+    const chip::PerfModel pm(cfg, tech);
+    const chip::WorkloadProfile wl = sampleWorkload();
+    const chip::ChipRunResult inf = pm.inference(wl, sampleStage1(wl));
+
+    // Paper: 591 M samples/s inference on the scaled-up chip. The
+    // simulated design must land in the same regime (hundreds of M/s).
+    EXPECT_GT(inf.throughputPointsPerSec, 300e6);
+    EXPECT_LT(inf.throughputPointsPerSec, 1200e6);
+
+    // Energy/point: paper reports 2.5 nJ (inference).
+    EXPECT_GT(inf.energyPerPointNj, 1.0);
+    EXPECT_LT(inf.energyPerPointNj, 6.0);
+}
+
+TEST(PerfModel, StagesAreBalancedByDesign)
+{
+    // Sec. VI-C: cores are provisioned so stage speeds match.
+    const chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    const chip::TechModel tech(cfg);
+    const chip::PerfModel pm(cfg, tech);
+    const chip::WorkloadProfile wl = sampleWorkload();
+    const chip::ChipRunResult inf = pm.inference(wl, sampleStage1(wl));
+    const double s1 = static_cast<double>(inf.stage1Cycles);
+    const double s2 = static_cast<double>(inf.stage2Cycles);
+    const double s3 = static_cast<double>(inf.stage3Cycles);
+    EXPECT_LT(std::max({s1, s2, s3}) / std::min({s1, s2, s3}), 6.0);
+}
+
+TEST(BandwidthModel, EndToEndFitsUsbBudget)
+{
+    chip::BandwidthModel bm;
+    // Our configuration: all tables on-chip -> only dataset streaming.
+    const double ours = bm.requiredBandwidthGBs(chip::CoverageBoundary::EndToEnd,
+                                                640.0 * 1024.0);
+    EXPECT_GT(ours, 0.3);
+    EXPECT_LE(ours, 0.625); // the 5 Gbps USB budget (Table I)
+}
+
+TEST(BandwidthModel, PartialCoverageNeedsTwoOrdersMore)
+{
+    chip::BandwidthModel bm;
+    const double table = (65536.0 + 262144.0) * 2.0 * 2.0; // 2^16+2^18 model
+    const double ours = bm.requiredBandwidthGBs(chip::CoverageBoundary::EndToEnd, table);
+    const double split = bm.requiredBandwidthGBs(chip::CoverageBoundary::Stage23, table);
+    const double s2only =
+        bm.requiredBandwidthGBs(chip::CoverageBoundary::Stage2Only, table);
+    EXPECT_GT(split, 10.0 * ours / 3.0);
+    EXPECT_GT(s2only, split);
+
+    // Fig. 13(b): ~76% (44 GB/s) of the SOTA trainer's bandwidth demand
+    // is removed by the end-to-end pipeline alone.
+    const double saving = (split - ours) / 59.7;
+    EXPECT_GT(saving, 0.55);
+    EXPECT_LT(saving, 0.95);
+}
+
+TEST(BandwidthModel, TotalVolumeMatchesFig3)
+{
+    chip::BandwidthModel bm;
+    // Fig. 3: ~155 GB of intermediate data, ~0.7 GB of true I/O.
+    EXPECT_GT(bm.totalIntermediateGb(), 120.0);
+    EXPECT_LT(bm.totalIntermediateGb(), 200.0);
+    EXPECT_NEAR(bm.ioGb(), 0.7, 0.1);
+    // Inter-stage band of Fig. 3: ~12.5 GB/s.
+    EXPECT_GT(bm.interStageGBs(), 8.0);
+    EXPECT_LT(bm.interStageGBs(), 20.0);
+}
+
+TEST(BandwidthModel, SpillGrowsWithModelSize)
+{
+    chip::BandwidthModel bm;
+    double prev = -1.0;
+    for (double size_kb : {256.0, 640.0, 1024.0, 2048.0, 8192.0}) {
+        const double s = bm.spillGBs(size_kb * 1024.0);
+        EXPECT_GE(s, prev);
+        prev = s;
+    }
+    EXPECT_EQ(bm.spillGBs(100.0 * 1024.0), 0.0); // fits on-chip
+}
+
+TEST(Chip, InferenceEvaluationOnRealPipeline)
+{
+    nerf::PipelineConfig pc;
+    pc.model.grid.levels = 8;
+    pc.model.grid.log2TableSize = 13;
+    pc.sampler.maxSamplesPerRay = 32;
+    nerf::NerfPipeline pipeline(pc);
+
+    const nerf::Camera cam =
+        nerf::Camera::orbit({0.5f, 0.5f, 0.5f}, 1.4f, 30.0f, 20.0f, 45.0f, 320, 240);
+    const chip::Chip chip_model(chip::ChipConfig::scaledUp());
+    const chip::InferenceReport rep = chip_model.evaluateInference(pipeline, cam, 512);
+
+    EXPECT_EQ(rep.workload.rays, 320u * 240u);
+    EXPECT_GT(rep.workload.validPoints, 0u);
+    EXPECT_GT(rep.fps, 0.0);
+    EXPECT_GT(rep.perf.throughputPointsPerSec, 0.0);
+    // Tiled mapping: conflict-free Stage II on real traces.
+    EXPECT_EQ(rep.stage2.conflicts, 0u);
+    EXPECT_DOUBLE_EQ(rep.stage2.meanGroupLatency, 1.0);
+}
+
+TEST(Chip, BaselinePolicyIsSlower)
+{
+    nerf::PipelineConfig pc;
+    pc.model.grid.levels = 6;
+    pc.model.grid.log2TableSize = 12;
+    nerf::NerfPipeline pipeline(pc);
+    const nerf::Camera cam =
+        nerf::Camera::orbit({0.5f, 0.5f, 0.5f}, 1.4f, 10.0f, 25.0f, 45.0f, 160, 120);
+
+    const chip::Chip tiled(chip::ChipConfig::scaledUp(), chip::BankPolicy::TwoLevelTiling);
+    const chip::Chip modulo(chip::ChipConfig::scaledUp(),
+                            chip::BankPolicy::ModuloInterleave);
+    const auto rt = tiled.evaluateInference(pipeline, cam, 256);
+    const auto rm = modulo.evaluateInference(pipeline, cam, 256);
+    EXPECT_GT(rm.perf.stage2Cycles, rt.perf.stage2Cycles);
+    EXPECT_GT(rm.stage2.meanGroupLatency, rt.stage2.meanGroupLatency);
+}
+
+TEST(MultiChip, SystemBudgetsMatchTableIV)
+{
+    multichip::SystemConfig sc;
+    const multichip::MultiChipSystem sys(sc);
+    // Table IV: 35 mm^2, ~4,500 KB SRAM, 6.0 W.
+    EXPECT_NEAR(sys.totalAreaMm2(), 35.0, 1.0);
+    EXPECT_NEAR(sys.totalSramKb(), 4500.0, 120.0);
+    EXPECT_NEAR(sys.totalPowerW(), 6.0, 0.15);
+}
+
+TEST(MultiChip, MoeCommunicationSavingMatchesFig12a)
+{
+    multichip::SystemConfig sc;
+    const multichip::MultiChipSystem sys(sc);
+
+    nerf::MoeConfig mc;
+    mc.numExperts = 4;
+    mc.expert.model.grid.levels = 6;
+    mc.expert.model.grid.log2TableSize = 12;
+    mc.expert.sampler.maxSamplesPerRay = 32;
+    nerf::MoeNerf moe(mc);
+
+    const nerf::Camera cam =
+        nerf::Camera::orbit({0.5f, 0.5f, 0.5f}, 1.3f, 45.0f, 20.0f, 50.0f, 160, 120);
+    const auto result = sys.evaluateInference(moe, cam, 256);
+
+    ASSERT_EQ(result.chips.size(), 4u);
+    EXPECT_GT(result.totalPoints, 0u);
+    EXPECT_GT(result.moeCommBytes, 0u);
+    EXPECT_GT(result.layerSplitCommBytes, result.moeCommBytes);
+    // Fig. 12(a): ~94% communication saving.
+    EXPECT_GT(result.commSavingFraction(), 0.85);
+    EXPECT_GT(result.seconds, 0.0);
+    EXPECT_GE(result.imbalance, 1.0);
+}
+
+TEST(MultiChip, TrainingRunProducesBalancedChips)
+{
+    multichip::SystemConfig sc;
+    const multichip::MultiChipSystem sys(sc);
+
+    nerf::MoeConfig mc;
+    mc.numExperts = 4;
+    mc.expert.model.grid.levels = 6;
+    mc.expert.model.grid.log2TableSize = 12;
+    nerf::MoeNerf moe(mc);
+
+    const auto scene = scenes::makeNerf360Scene("room");
+    scenes::DatasetConfig dc = scenes::nerf360Rig(24);
+    dc.trainViews = 4;
+    dc.testViews = 1;
+    dc.reference.steps = 64;
+    const nerf::Dataset ds = scenes::makeDataset(*scene, dc);
+
+    const auto result = sys.evaluateTraining(moe, ds, 512);
+    EXPECT_GT(result.totalPoints, 0u);
+    // Freshly initialized gates are region-masked wedges: workloads
+    // should be within a small factor of each other.
+    EXPECT_LT(result.imbalance, 3.0);
+    EXPECT_GT(result.commSavingFraction(), 0.8);
+}
+
+TEST(IoModule, OverheadsMatchPaper)
+{
+    const multichip::IoModule io;
+    const chip::ChipConfig c = chip::ChipConfig::scaledUp();
+    EXPECT_NEAR(io.areaMm2(c, 4), 4 * 8.7 * 0.005, 1e-9);
+    EXPECT_NEAR(io.sramKb(c, 4), 4.0 * c.totalSramKb() * 0.023, 1e-6);
+}
+
+TEST(ChipletIoModel, AreaGrowsWithModelSize)
+{
+    const multichip::ChipletIoModel model;
+    const double small = model.areaMm2(1.0 * 1024 * 1024);
+    const double large = model.areaMm2(64.0 * 1024 * 1024);
+    EXPECT_NEAR(small, model.baseLogicMm2, 1e-6); // fits on compute chips
+    EXPECT_GT(large, 20.0 * small);               // Fig. 14(b) blow-up
+}
+
+TEST(Baselines, TableLookupsAndScaling)
+{
+    const auto &edge = baselines::edgeBaselines();
+    EXPECT_EQ(edge.size(), 6u);
+    const auto &i3d = baselines::platform("Instant-3D");
+    EXPECT_TRUE(i3d.instantTraining);
+    ASSERT_TRUE(i3d.trainingMpts.has_value());
+    EXPECT_DOUBLE_EQ(*i3d.trainingSeconds(32e6), 1.0);
+    EXPECT_FALSE(i3d.inferenceSeconds(1e6).has_value()); // N/R in Table III
+
+    const auto &gpu = baselines::platform("Nvidia 2080Ti");
+    ASSERT_TRUE(gpu.typicalPowerW.has_value());
+    EXPECT_DOUBLE_EQ(*gpu.typicalPowerW, 250.0);
+
+    EXPECT_EQ(baselines::bandwidthTableRows().size(), 7u);
+    EXPECT_DEATH(baselines::platform("nonexistent"), "unknown platform");
+}
+
+} // namespace
+} // namespace fusion3d

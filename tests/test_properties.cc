@@ -1,0 +1,202 @@
+/** @file Parameterized property sweeps (TEST_P) across configuration
+ *  spaces: tiling bijection for every table size, scheduler dominance
+ *  for every core count, encoding partition-of-unity for every level
+ *  count, and compositing invariants across densities. */
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "chip/hash_tiler.h"
+#include "chip/sampling_module.h"
+#include "common/rng.h"
+#include "nerf/hash_encoding.h"
+#include "nerf/renderer.h"
+
+namespace fusion3d
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Tiling bijection holds for every power-of-two table size.
+// ---------------------------------------------------------------------------
+
+class TilerBijection : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TilerBijection, EightCornersHitEightBanks)
+{
+    const int log2_size = GetParam();
+    const std::uint32_t mask = (1u << log2_size) - 1;
+    const chip::HashTiler tiler(chip::BankPolicy::TwoLevelTiling, 8);
+    Pcg32 rng(static_cast<std::uint64_t>(log2_size));
+    for (int trial = 0; trial < 800; ++trial) {
+        const Vec3i base{static_cast<int>(rng.nextBounded(1 << 18)),
+                         static_cast<int>(rng.nextBounded(1 << 18)),
+                         static_cast<int>(rng.nextBounded(1 << 18))};
+        std::set<std::uint32_t> banks;
+        for (int c = 0; c < 8; ++c) {
+            const Vec3i v{base.x + (c & 1), base.y + ((c >> 1) & 1),
+                          base.z + ((c >> 2) & 1)};
+            banks.insert(
+                tiler.bankOf(v, nerf::HashGridEncoding::hashCoords(v, mask)));
+        }
+        ASSERT_EQ(banks.size(), 8u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableSizes, TilerBijection,
+                         ::testing::Values(10, 11, 12, 13, 14, 15, 16, 18, 20));
+
+// ---------------------------------------------------------------------------
+// Dynamic scheduling never loses to ray-serial, for any core count.
+// ---------------------------------------------------------------------------
+
+class SchedulerDominance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SchedulerDominance, DynamicNeverSlower)
+{
+    const int cores = GetParam();
+    chip::ChipConfig cfg = chip::ChipConfig::scaledUp();
+    cfg.samplingCores = cores;
+
+    Pcg32 rng(static_cast<std::uint64_t>(cores) * 7919);
+    std::vector<nerf::RayWorkload> rays;
+    for (int i = 0; i < 300; ++i) {
+        nerf::RayWorkload wl;
+        const int pairs = 1 + static_cast<int>(rng.nextBounded(3));
+        for (int p = 0; p < pairs && p < cores; ++p) {
+            nerf::RayCubePair pair;
+            pair.octant = p;
+            pair.candidates = 1 + static_cast<int>(rng.nextBounded(80));
+            pair.valid = pair.candidates;
+            wl.pairs.push_back(pair);
+            wl.totalCandidates += pair.candidates;
+            wl.totalValid += pair.valid;
+        }
+        rays.push_back(wl);
+    }
+
+    const auto dyn =
+        chip::SamplingModule(cfg, chip::SamplingSchedule::Dynamic).run(rays);
+    const auto ser =
+        chip::SamplingModule(cfg, chip::SamplingSchedule::RaySerial).run(rays);
+    EXPECT_LE(dyn.totalCycles, ser.totalCycles);
+    EXPECT_EQ(dyn.candidatesMarched, ser.candidatesMarched);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SchedulerDominance,
+                         ::testing::Values(4, 8, 12, 16, 24, 32));
+
+// ---------------------------------------------------------------------------
+// Hash-grid interpolation weights form a partition of unity at every
+// level count: encoding a constant field returns the constant.
+// ---------------------------------------------------------------------------
+
+class EncodingPartition : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EncodingPartition, ConstantFieldReproduced)
+{
+    nerf::HashGridConfig cfg;
+    cfg.levels = GetParam();
+    cfg.featuresPerLevel = 1;
+    cfg.log2TableSize = 14;
+    cfg.baseResolution = 4;
+    cfg.maxResolution = 4 << (cfg.levels - 1) > 256 ? 256 : 4 << (cfg.levels - 1);
+    nerf::HashGridEncoding enc(cfg);
+    for (float &p : enc.params())
+        p = 0.625f;
+
+    std::vector<float> out(static_cast<std::size_t>(cfg.encodedDims()));
+    Pcg32 rng(static_cast<std::uint64_t>(cfg.levels));
+    for (int i = 0; i < 200; ++i) {
+        enc.encode(rng.nextVec3(), out);
+        for (int l = 0; l < cfg.levels; ++l)
+            ASSERT_NEAR(out[static_cast<std::size_t>(l)], 0.625f, 1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LevelCounts, EncodingPartition,
+                         ::testing::Values(1, 2, 4, 6, 8, 12, 16));
+
+// ---------------------------------------------------------------------------
+// Compositing invariants across density magnitudes.
+// ---------------------------------------------------------------------------
+
+class CompositeInvariant : public ::testing::TestWithParam<float>
+{
+};
+
+TEST_P(CompositeInvariant, ColorBoundedAndTransmittanceDecreases)
+{
+    const float sigma = GetParam();
+    nerf::RenderParams params;
+    Pcg32 rng(31);
+    std::vector<float> sigmas(24, sigma);
+    std::vector<float> dts(24, 0.03f);
+    std::vector<Vec3f> rgbs;
+    for (int i = 0; i < 24; ++i)
+        rgbs.push_back(rng.nextVec3());
+
+    const auto r = nerf::composite(sigmas, rgbs, dts, params);
+    EXPECT_GE(r.transmittance, 0.0f);
+    EXPECT_LE(r.transmittance, 1.0f + 1e-6f);
+    EXPECT_GE(minComp(r.color), 0.0f);
+    EXPECT_LE(maxComp(r.color), 1.0f + 1e-5f); // convex combination
+    EXPECT_GE(r.used, 1);
+    EXPECT_LE(r.used, 24);
+    // Higher density composites fewer samples before termination.
+    if (sigma > 1000.0f) {
+        EXPECT_LT(r.used, 24);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CompositeInvariant,
+                         ::testing::Values(0.0f, 0.5f, 2.0f, 10.0f, 50.0f, 200.0f,
+                                           2000.0f, 50000.0f));
+
+// ---------------------------------------------------------------------------
+// X-parity flip holds for every table size and both dense/hashed modes.
+// ---------------------------------------------------------------------------
+
+class ParityProperty : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ParityProperty, XNeighborFlipsParity)
+{
+    const auto [log2_size, resolution] = GetParam();
+    nerf::HashGridConfig cfg;
+    cfg.levels = 1;
+    cfg.featuresPerLevel = 1;
+    cfg.log2TableSize = log2_size;
+    cfg.baseResolution = resolution;
+    cfg.maxResolution = resolution;
+    nerf::HashGridEncoding enc(cfg);
+
+    Pcg32 rng(static_cast<std::uint64_t>(log2_size * 131 + resolution));
+    for (int i = 0; i < 500; ++i) {
+        const int max_c = resolution; // vertices go to resolution (incl.)
+        const Vec3i v{static_cast<int>(rng.nextBounded(max_c)),
+                      static_cast<int>(rng.nextBounded(max_c + 1)),
+                      static_cast<int>(rng.nextBounded(max_c + 1))};
+        const std::uint32_t a0 = enc.vertexIndex(0, v);
+        const std::uint32_t a1 = enc.vertexIndex(0, {v.x + 1, v.y, v.z});
+        ASSERT_NE(a0 & 1u, a1 & 1u)
+            << (enc.isDense(0) ? "dense" : "hashed") << " level, res " << resolution;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndResolutions, ParityProperty,
+                         ::testing::Combine(::testing::Values(10, 12, 14, 16),
+                                            ::testing::Values(4, 8, 16, 32, 64, 128)));
+
+} // namespace
+} // namespace fusion3d

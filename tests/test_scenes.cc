@@ -1,0 +1,153 @@
+/** @file Tests of the procedural scenes and the reference renderer. */
+
+#include <gtest/gtest.h>
+
+#include "scenes/dataset_gen.h"
+#include "scenes/factory.h"
+#include "scenes/reference_renderer.h"
+
+namespace fusion3d::scenes
+{
+namespace
+{
+
+TEST(Primitives, SphereSignedDistance)
+{
+    Primitive s;
+    s.type = Primitive::Type::Sphere;
+    s.a = {0.5f, 0.5f, 0.5f};
+    s.b = {0.2f, 0.0f, 0.0f};
+    EXPECT_NEAR(s.signedDistance({0.5f, 0.5f, 0.5f}), -0.2f, 1e-6f);
+    EXPECT_NEAR(s.signedDistance({0.7f, 0.5f, 0.5f}), 0.0f, 1e-6f);
+    EXPECT_NEAR(s.signedDistance({0.9f, 0.5f, 0.5f}), 0.2f, 1e-6f);
+}
+
+TEST(Primitives, BoxSignedDistance)
+{
+    Primitive b;
+    b.type = Primitive::Type::Box;
+    b.a = {0.0f, 0.0f, 0.0f};
+    b.b = {1.0f, 1.0f, 1.0f};
+    EXPECT_LT(b.signedDistance({0.5f, 0.5f, 0.5f}), 0.0f);
+    EXPECT_NEAR(b.signedDistance({1.5f, 0.5f, 0.5f}), 0.5f, 1e-5f);
+}
+
+TEST(Primitives, DensityFalloff)
+{
+    Primitive s;
+    s.type = Primitive::Type::Sphere;
+    s.a = {0.5f, 0.5f, 0.5f};
+    s.b = {0.2f, 0.0f, 0.0f};
+    s.density = 100.0f;
+    s.softness = 0.01f;
+    EXPECT_NEAR(s.densityAt({0.5f, 0.5f, 0.5f}), 100.0f, 1e-3f);
+    EXPECT_NEAR(s.densityAt({0.9f, 0.9f, 0.9f}), 0.0f, 1e-3f);
+    // At the surface: half density.
+    EXPECT_NEAR(s.densityAt({0.7f, 0.5f, 0.5f}), 50.0f, 1.0f);
+}
+
+TEST(Scenes, AllSyntheticNamesBuild)
+{
+    for (const std::string &name : syntheticSceneNames()) {
+        const auto scene = makeSyntheticScene(name);
+        EXPECT_EQ(scene->name(), name);
+        EXPECT_FALSE(scene->primitives().empty());
+        const double fill = scene->occupiedFraction(16);
+        EXPECT_GT(fill, 0.0) << name;
+        EXPECT_LT(fill, 0.6) << name;
+    }
+}
+
+TEST(Scenes, All360NamesBuild)
+{
+    for (const std::string &name : nerf360SceneNames()) {
+        const auto scene = makeNerf360Scene(name);
+        EXPECT_EQ(scene->name(), name);
+        EXPECT_GT(scene->occupiedFraction(16), 0.0) << name;
+    }
+}
+
+TEST(Scenes, FillFactorOrderingMatchesTableVI)
+{
+    // Table VI's sampling speedups are inversely tied to occupancy
+    // fill: mic (20.2x, sparsest) ... ship (5.4x, densest).
+    const double mic = makeSyntheticScene("mic")->occupiedFraction();
+    const double ficus = makeSyntheticScene("ficus")->occupiedFraction();
+    const double ship = makeSyntheticScene("ship")->occupiedFraction();
+    EXPECT_LT(mic, ficus);
+    EXPECT_LT(ficus, ship);
+    EXPECT_LT(mic, 0.03);
+    EXPECT_GT(ship, 0.10);
+}
+
+TEST(Scenes, AlbedoIsBlendedColor)
+{
+    const auto scene = makeSyntheticScene("chair");
+    const Vec3f a = scene->albedo({0.5f, 0.46f, 0.5f}); // seat cushion
+    EXPECT_GE(minComp(a), 0.0f);
+    EXPECT_LE(maxComp(a), 1.0f);
+}
+
+TEST(ReferenceRenderer, BackgroundWhereNoGeometry)
+{
+    const auto scene = makeSyntheticScene("mic");
+    ReferenceConfig rc;
+    rc.render.background = {0.1f, 0.2f, 0.3f};
+    // A ray that misses the cube entirely.
+    const Ray miss({5.0f, 5.0f, 5.0f}, {0.0f, 1.0f, 0.0f});
+    EXPECT_EQ(referenceTrace(*scene, miss, rc), rc.render.background);
+}
+
+TEST(ReferenceRenderer, ObjectOccludesBackground)
+{
+    const auto scene = makeSyntheticScene("lego");
+    ReferenceConfig rc;
+    rc.render.background = {1.0f, 1.0f, 1.0f};
+    // Straight through the model center.
+    const Ray hit({0.5f, 0.45f, -1.0f}, {0.0f, 0.0f, 1.0f});
+    const Vec3f c = referenceTrace(*scene, hit, rc);
+    EXPECT_LT(c.x + c.y + c.z, 2.9f); // not the pure-white background
+}
+
+TEST(ReferenceRenderer, ImageHasContrast)
+{
+    const auto scene = makeSyntheticScene("chair");
+    const nerf::Camera cam = nerf::Camera::orbit({0.5f, 0.45f, 0.5f}, 1.4f, 30.0f,
+                                                 20.0f, 45.0f, 32, 32);
+    ReferenceConfig rc;
+    const Image img = referenceRender(*scene, cam, rc);
+    float lo = 1e9f, hi = -1e9f;
+    for (const Vec3f &p : img.pixels()) {
+        lo = std::min(lo, p.x + p.y + p.z);
+        hi = std::max(hi, p.x + p.y + p.z);
+    }
+    EXPECT_GT(hi - lo, 0.2f);
+}
+
+TEST(DatasetGen, SplitsAndShapes)
+{
+    const auto scene = makeSyntheticScene("mic");
+    DatasetConfig dc = syntheticRig(16);
+    dc.trainViews = 5;
+    dc.testViews = 2;
+    dc.reference.steps = 64;
+    const nerf::Dataset ds = makeDataset(*scene, dc);
+    EXPECT_EQ(ds.sceneName, "mic");
+    EXPECT_EQ(ds.train.size() + ds.test.size(), 7u);
+    EXPECT_EQ(static_cast<int>(ds.test.size()), 2);
+    for (const auto &v : ds.train) {
+        EXPECT_EQ(v.image.width(), 16);
+        EXPECT_EQ(v.image.height(), 16);
+    }
+    EXPECT_EQ(ds.trainPixelCount(), ds.train.size() * 16 * 16);
+}
+
+TEST(DatasetGen, Nerf360RigIsInsideScene)
+{
+    const DatasetConfig dc = nerf360Rig(16);
+    EXPECT_LT(dc.orbitRadius, 0.5f);
+    EXPECT_GT(dc.vfovDegrees, 60.0f);
+}
+
+} // namespace
+} // namespace fusion3d::scenes

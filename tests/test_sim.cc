@@ -1,0 +1,190 @@
+/** @file Tests for the simulation kernel: stats, SRAM, channels, NoC. */
+
+#include <array>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/channel.h"
+#include "sim/clocked.h"
+#include "sim/noc.h"
+#include "sim/sram.h"
+#include "sim/stats.h"
+
+namespace fusion3d::sim
+{
+namespace
+{
+
+TEST(Distribution, WelfordMoments)
+{
+    Distribution d("d");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_DOUBLE_EQ(d.total(), 40.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d("d");
+    d.sample(3.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndFractions)
+{
+    Histogram h("h");
+    h.sample(1, 3);
+    h.sample(2, 1);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(9), 0.0);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("grp");
+    Counter &c = g.addCounter("hits");
+    c.inc(5);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.hits 5"), std::string::npos);
+}
+
+TEST(Sram, ConflictFreeGroupTakesOneCycle)
+{
+    Sram sram({8, 1024, 4}, "s");
+    const std::array<std::uint32_t, 8> banks{0, 1, 2, 3, 4, 5, 6, 7};
+    const auto r = sram.accessGroup(banks);
+    EXPECT_EQ(r.cycles, 1u);
+    EXPECT_EQ(r.conflicts, 0u);
+}
+
+TEST(Sram, FullConflictTakesEightCycles)
+{
+    Sram sram({8, 1024, 4}, "s");
+    const std::array<std::uint32_t, 8> banks{3, 3, 3, 3, 3, 3, 3, 3};
+    const auto r = sram.accessGroup(banks);
+    EXPECT_EQ(r.cycles, 8u);
+    EXPECT_EQ(r.conflicts, 7u);
+}
+
+TEST(Sram, PartialConflict)
+{
+    Sram sram({8, 1024, 4}, "s");
+    const std::array<std::uint32_t, 8> banks{0, 0, 1, 2, 3, 4, 5, 6};
+    const auto r = sram.accessGroup(banks);
+    EXPECT_EQ(r.cycles, 2u);
+    EXPECT_EQ(r.conflicts, 1u);
+}
+
+TEST(Sram, StatsAccumulate)
+{
+    Sram sram({4, 64, 4}, "s");
+    const std::array<std::uint32_t, 4> a{0, 1, 2, 3};
+    const std::array<std::uint32_t, 4> b{0, 0, 0, 0};
+    sram.accessGroup(a);
+    sram.accessGroup(b);
+    EXPECT_EQ(sram.groupAccesses(), 2u);
+    EXPECT_EQ(sram.requests(), 8u);
+    EXPECT_EQ(sram.conflictCount(), 3u);
+    EXPECT_DOUBLE_EQ(sram.latency().mean(), 2.5);
+    EXPECT_EQ(sram.bankLoad()[0], 5u);
+    sram.resetStats();
+    EXPECT_EQ(sram.groupAccesses(), 0u);
+}
+
+TEST(Sram, CapacityBytes)
+{
+    Sram sram({8, 2048, 4}, "s");
+    EXPECT_EQ(sram.capacityBytes(), 8u * 2048u * 4u);
+}
+
+TEST(BandwidthChannel, TransferTiming)
+{
+    BandwidthChannel ch("usb", 0.625e9);
+    EXPECT_NEAR(ch.transfer(625'000'000ull), 1.0, 1e-9);
+    EXPECT_EQ(ch.totalBytes(), 625'000'000ull);
+    EXPECT_EQ(ch.totalTransfers(), 1u);
+    EXPECT_NEAR(ch.busySeconds(), 1.0, 1e-9);
+}
+
+TEST(BandwidthChannel, LatencyAdds)
+{
+    BandwidthChannel ch("link", 1e9, 1e-6);
+    EXPECT_NEAR(ch.secondsFor(1000), 1e-6 + 1e-6, 1e-12);
+}
+
+TEST(Crossbar, SerializesSameBank)
+{
+    Crossbar xbar(8, 8, "x");
+    const std::array<std::uint32_t, 8> conflict{1, 1, 1, 2, 3, 4, 5, 6};
+    const std::array<std::uint32_t, 8> clean{0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(xbar.routeGroup(conflict), 3u + xbar.profile().traversalLatency);
+    EXPECT_EQ(xbar.routeGroup(clean), 1u + xbar.profile().traversalLatency);
+}
+
+TEST(DirectConnect, OneCyclePerGroup)
+{
+    DirectConnect dc(8, "d");
+    const std::array<std::uint32_t, 8> banks{0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(dc.routeGroup(banks), 1u);
+}
+
+TEST(Interconnect, DirectIsMuchSmallerThanCrossbar)
+{
+    Crossbar xbar(8, 8, "x");
+    DirectConnect dc(8, "d");
+    // Fig. 12(b): eliminating the crossbar saves interconnect area.
+    EXPECT_GT(xbar.profile().areaUnits, 10.0 * dc.profile().areaUnits);
+    EXPECT_GT(xbar.profile().traversalLatency, dc.profile().traversalLatency);
+}
+
+/** A module that counts down N cycles. */
+class Countdown : public Clocked
+{
+  public:
+    explicit Countdown(Cycles n) : Clocked("cd"), remaining_(n) {}
+    void
+    tick(Cycles) override
+    {
+        if (remaining_ > 0)
+            --remaining_;
+    }
+    bool done() const override { return remaining_ == 0; }
+
+  private:
+    Cycles remaining_;
+};
+
+TEST(Simulator, RunsUntilDrained)
+{
+    Countdown a(5), b(9);
+    Simulator sim;
+    sim.add(&a);
+    sim.add(&b);
+    EXPECT_EQ(sim.run(), 9u);
+    EXPECT_EQ(sim.now(), 9u);
+}
+
+TEST(Simulator, RunForAdvancesClock)
+{
+    Countdown a(100);
+    Simulator sim;
+    sim.add(&a);
+    sim.runFor(10);
+    EXPECT_EQ(sim.now(), 10u);
+    EXPECT_FALSE(a.done());
+}
+
+} // namespace
+} // namespace fusion3d::sim

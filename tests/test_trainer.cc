@@ -1,0 +1,163 @@
+/** @file Tests of the training loop's bookkeeping and scheduling hooks. */
+
+#include <gtest/gtest.h>
+
+#include "nerf/pipeline.h"
+#include "nerf/trainer.h"
+#include "scenes/dataset_gen.h"
+#include "scenes/factory.h"
+
+namespace fusion3d::nerf
+{
+namespace
+{
+
+PipelineConfig
+tinyPipeline()
+{
+    PipelineConfig pc;
+    pc.model.grid.levels = 4;
+    pc.model.grid.log2TableSize = 10;
+    pc.model.grid.baseResolution = 4;
+    pc.model.grid.maxResolution = 32;
+    pc.model.densityHidden = 16;
+    pc.model.colorHidden = 16;
+    pc.model.geoFeatures = 7;
+    pc.model.shDegree = 2;
+    pc.sampler.maxSamplesPerRay = 16;
+    pc.occupancyResolution = 12;
+    return pc;
+}
+
+Dataset
+tinyDataset()
+{
+    const auto scene = scenes::makeSyntheticScene("mic");
+    scenes::DatasetConfig dc = scenes::syntheticRig(12);
+    dc.trainViews = 4;
+    dc.testViews = 1;
+    dc.reference.steps = 48;
+    return scenes::makeDataset(*scene, dc);
+}
+
+TEST(Trainer, CountsRaysAndIterations)
+{
+    const Dataset data = tinyDataset();
+    NerfPipeline pipe(tinyPipeline());
+    TrainerConfig tc;
+    tc.iterations = 9;
+    tc.raysPerBatch = 13;
+    Trainer trainer(pipe, data, tc);
+    const TrainResult r = trainer.run();
+    EXPECT_EQ(r.iterationsRun, 9);
+    EXPECT_EQ(r.totalRays, 9u * 13u);
+    EXPECT_EQ(trainer.iteration(), 9);
+    EXPECT_GE(r.totalCandidates, r.totalSamples);
+}
+
+TEST(Trainer, EvalHistorySchedule)
+{
+    const Dataset data = tinyDataset();
+    NerfPipeline pipe(tinyPipeline());
+    TrainerConfig tc;
+    tc.iterations = 30;
+    tc.raysPerBatch = 8;
+    tc.evalEvery = 10;
+    Trainer trainer(pipe, data, tc);
+    const TrainResult r = trainer.run();
+    // Evaluations at 10, 20, 30 plus the final entry.
+    ASSERT_EQ(r.history.size(), 4u);
+    EXPECT_EQ(r.history[0].first, 10);
+    EXPECT_EQ(r.history[1].first, 20);
+    EXPECT_EQ(r.history[2].first, 30);
+    EXPECT_EQ(r.history[3].first, 30);
+}
+
+TEST(Trainer, ItersTo25NeverWhenUntrained)
+{
+    const Dataset data = tinyDataset();
+    NerfPipeline pipe(tinyPipeline());
+    TrainerConfig tc;
+    tc.iterations = 2;
+    tc.raysPerBatch = 4;
+    Trainer trainer(pipe, data, tc);
+    const TrainResult r = trainer.run();
+    // Two iterations of a tiny model will not reach 25 dB on mic.
+    EXPECT_EQ(r.itersTo25Psnr, -1);
+}
+
+TEST(Trainer, RenderViewDimensions)
+{
+    const Dataset data = tinyDataset();
+    NerfPipeline pipe(tinyPipeline());
+    Trainer trainer(pipe, data, TrainerConfig{});
+    const Camera cam = Camera::orbit({0.5f, 0.5f, 0.5f}, 1.2f, 10.0f, 10.0f, 45.0f,
+                                     7, 5);
+    const Image img = trainer.renderView(cam);
+    EXPECT_EQ(img.width(), 7);
+    EXPECT_EQ(img.height(), 5);
+    for (const Vec3f &p : img.pixels()) {
+        EXPECT_GE(minComp(p), 0.0f);
+        EXPECT_LE(maxComp(p), 1.0f);
+    }
+}
+
+TEST(Trainer, QuantizeHookChangesParams)
+{
+    const Dataset data = tinyDataset();
+    NerfPipeline pipe(tinyPipeline());
+
+    // Train a few steps so weights leave their tiny init.
+    TrainerConfig warm;
+    warm.iterations = 10;
+    warm.raysPerBatch = 16;
+    Trainer(pipe, data, warm).run();
+
+    const std::vector<float> before(pipe.model().densityNet().params().begin(),
+                                    pipe.model().densityNet().params().end());
+    pipe.quantizeWeights();
+    int changed = 0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        if (pipe.model().densityNet().params()[i] != before[i])
+            ++changed;
+    }
+    EXPECT_GT(changed, 0);
+}
+
+TEST(Trainer, LossDecreasesOverTraining)
+{
+    const Dataset data = tinyDataset();
+    NerfPipeline pipe(tinyPipeline());
+    TrainerConfig tc;
+    tc.iterations = 60;
+    tc.raysPerBatch = 48;
+    Trainer trainer(pipe, data, tc);
+    const double before = trainer.evalPsnr();
+    trainer.run();
+    EXPECT_GT(trainer.evalPsnr(), before);
+}
+
+TEST(Trainer, EmptyDatasetIsFatal)
+{
+    NerfPipeline pipe(tinyPipeline());
+    const Dataset empty;
+    EXPECT_DEATH({ Trainer t(pipe, empty, TrainerConfig{}); }, "no training views");
+}
+
+TEST(Trainer, DeterministicWithSameSeed)
+{
+    const Dataset data = tinyDataset();
+    TrainerConfig tc;
+    tc.iterations = 15;
+    tc.raysPerBatch = 16;
+    tc.seed = 777;
+
+    NerfPipeline a(tinyPipeline());
+    NerfPipeline b(tinyPipeline());
+    const double pa = Trainer(a, data, tc).run().finalPsnr;
+    const double pb = Trainer(b, data, tc).run().finalPsnr;
+    EXPECT_DOUBLE_EQ(pa, pb);
+}
+
+} // namespace
+} // namespace fusion3d::nerf

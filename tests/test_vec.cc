@@ -1,0 +1,124 @@
+/** @file Unit tests for the Vec3f/Vec3i math types. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace fusion3d
+{
+namespace
+{
+
+TEST(Vec3f, BasicArithmetic)
+{
+    const Vec3f a{1.0f, 2.0f, 3.0f};
+    const Vec3f b{4.0f, -5.0f, 6.0f};
+    EXPECT_EQ(a + b, Vec3f(5.0f, -3.0f, 9.0f));
+    EXPECT_EQ(a - b, Vec3f(-3.0f, 7.0f, -3.0f));
+    EXPECT_EQ(a * 2.0f, Vec3f(2.0f, 4.0f, 6.0f));
+    EXPECT_EQ(2.0f * a, a * 2.0f);
+    EXPECT_EQ(a / 2.0f, Vec3f(0.5f, 1.0f, 1.5f));
+    EXPECT_EQ(-a, Vec3f(-1.0f, -2.0f, -3.0f));
+}
+
+TEST(Vec3f, CompoundAssignment)
+{
+    Vec3f v{1.0f, 1.0f, 1.0f};
+    v += Vec3f{1.0f, 2.0f, 3.0f};
+    EXPECT_EQ(v, Vec3f(2.0f, 3.0f, 4.0f));
+    v -= Vec3f{1.0f, 1.0f, 1.0f};
+    EXPECT_EQ(v, Vec3f(1.0f, 2.0f, 3.0f));
+    v *= 3.0f;
+    EXPECT_EQ(v, Vec3f(3.0f, 6.0f, 9.0f));
+}
+
+TEST(Vec3f, HadamardOps)
+{
+    const Vec3f a{2.0f, 3.0f, 4.0f};
+    const Vec3f b{5.0f, 6.0f, 7.0f};
+    EXPECT_EQ(a * b, Vec3f(10.0f, 18.0f, 28.0f));
+    EXPECT_EQ((a * b) / b, a);
+}
+
+TEST(Vec3f, DotAndCross)
+{
+    const Vec3f x{1.0f, 0.0f, 0.0f};
+    const Vec3f y{0.0f, 1.0f, 0.0f};
+    const Vec3f z{0.0f, 0.0f, 1.0f};
+    EXPECT_FLOAT_EQ(dot(x, y), 0.0f);
+    EXPECT_EQ(cross(x, y), z);
+    EXPECT_EQ(cross(y, z), x);
+    EXPECT_EQ(cross(z, x), y);
+    EXPECT_FLOAT_EQ(dot(Vec3f(1, 2, 3), Vec3f(4, 5, 6)), 32.0f);
+}
+
+TEST(Vec3f, LengthAndNormalize)
+{
+    EXPECT_FLOAT_EQ(length(Vec3f(3.0f, 4.0f, 0.0f)), 5.0f);
+    const Vec3f n = normalize(Vec3f(10.0f, 0.0f, 0.0f));
+    EXPECT_FLOAT_EQ(n.x, 1.0f);
+    // Zero vector passes through unchanged.
+    EXPECT_EQ(normalize(Vec3f(0.0f)), Vec3f(0.0f));
+}
+
+TEST(Vec3f, NormalizeIsUnitLength)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const Vec3f v{rng.nextRange(-5, 5), rng.nextRange(-5, 5), rng.nextRange(-5, 5)};
+        if (length(v) < 1e-3f)
+            continue;
+        EXPECT_NEAR(length(normalize(v)), 1.0f, 1e-5f);
+    }
+}
+
+TEST(Vec3f, MinMaxComponents)
+{
+    const Vec3f a{1.0f, 5.0f, 3.0f};
+    const Vec3f b{2.0f, 4.0f, 9.0f};
+    EXPECT_EQ(compMin(a, b), Vec3f(1.0f, 4.0f, 3.0f));
+    EXPECT_EQ(compMax(a, b), Vec3f(2.0f, 5.0f, 9.0f));
+    EXPECT_FLOAT_EQ(minComp(a), 1.0f);
+    EXPECT_FLOAT_EQ(maxComp(a), 5.0f);
+}
+
+TEST(Vec3f, LerpEndpointsAndMidpoint)
+{
+    const Vec3f a{0.0f, 0.0f, 0.0f};
+    const Vec3f b{2.0f, 4.0f, 8.0f};
+    EXPECT_EQ(lerp(a, b, 0.0f), a);
+    EXPECT_EQ(lerp(a, b, 1.0f), b);
+    EXPECT_EQ(lerp(a, b, 0.5f), Vec3f(1.0f, 2.0f, 4.0f));
+}
+
+TEST(Vec3f, ClampBounds)
+{
+    EXPECT_EQ(clamp(Vec3f(-1.0f, 0.5f, 2.0f), 0.0f, 1.0f), Vec3f(0.0f, 0.5f, 1.0f));
+}
+
+TEST(Vec3f, IndexingMatchesMembers)
+{
+    const Vec3f v{7.0f, 8.0f, 9.0f};
+    EXPECT_FLOAT_EQ(v[0], 7.0f);
+    EXPECT_FLOAT_EQ(v[1], 8.0f);
+    EXPECT_FLOAT_EQ(v[2], 9.0f);
+    Vec3f m;
+    m.at(0) = 1.0f;
+    m.at(1) = 2.0f;
+    m.at(2) = 3.0f;
+    EXPECT_EQ(m, Vec3f(1.0f, 2.0f, 3.0f));
+}
+
+TEST(Vec3i, ArithmeticAndFloor)
+{
+    const Vec3i a{1, 2, 3};
+    const Vec3i b{4, 5, 6};
+    EXPECT_EQ(a + b, Vec3i(5, 7, 9));
+    EXPECT_EQ(b - a, Vec3i(3, 3, 3));
+    EXPECT_EQ(floorToInt(Vec3f(1.9f, -0.1f, 2.0f)), Vec3i(1, -1, 2));
+    EXPECT_EQ(toFloat(Vec3i(1, 2, 3)), Vec3f(1.0f, 2.0f, 3.0f));
+}
+
+} // namespace
+} // namespace fusion3d
