@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Serving-layer throughput bench: closed-loop frame throughput of the
+ * RenderServer across render-thread counts, on the Sec. VI-D style
+ * deployment path (deserialized model -> registry -> tiled render).
+ * Prints the usual table plus one machine-readable JSON summary line
+ * (prefixed "JSON:") for scripted harvesting.
+ *
+ * Usage: bench_serve_throughput [frames_per_config] [resolution]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "nerf/nerf_model.h"
+#include "serve/model_registry.h"
+#include "serve/scheduler.h"
+
+using namespace fusion3d;
+
+namespace
+{
+
+struct ThroughputPoint
+{
+    int threads;
+    double fps;
+    double meanLatencyMs;
+    double meanBatchSize;
+};
+
+nerf::Camera
+orbitFrame(int i, int size)
+{
+    return nerf::Camera::orbit({0.5f, 0.5f, 0.5f}, 1.4f, 35.0f, 20.0f,
+                               static_cast<float>(i * 7 % 360), size, size);
+}
+
+ThroughputPoint
+measure(const serve::ModelRegistry &registry, int threads, int frames, int size)
+{
+    serve::ServeConfig sc;
+    sc.renderThreads = threads;
+    sc.render.sampler.maxSamplesPerRay = 24;
+    serve::RenderServer server(registry, sc);
+
+    // Closed loop: four clients, each submitting its next frame only
+    // after the previous one returned.
+    std::atomic<int> next{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&server, &next, frames, size]() {
+            for (int i = next.fetch_add(1); i < frames; i = next.fetch_add(1)) {
+                serve::RenderRequest req;
+                req.model = "bench";
+                req.camera = orbitFrame(i, size);
+                if (serve::isRejected(server.submit(req).get().outcome))
+                    fatal("unloaded server rejected frame %d", i);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    server.shutdown();
+
+    return {threads, static_cast<double>(frames) / seconds,
+            server.stats().meanLatencyMs(), server.stats().meanBatchSize()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int frames = argc > 1 ? std::atoi(argv[1]) : 24;
+    const int size = argc > 2 ? std::atoi(argv[2]) : 48;
+
+    nerf::NerfModelConfig mc;
+    mc.grid.levels = 6;
+    mc.grid.featuresPerLevel = 2;
+    mc.grid.log2TableSize = 12;
+    mc.grid.baseResolution = 8;
+    mc.grid.maxResolution = 64;
+    mc.geoFeatures = 7;
+    mc.densityHidden = 16;
+    mc.colorHidden = 16;
+    mc.shDegree = 2;
+
+    serve::ModelRegistry registry(/*occupancy_resolution=*/16);
+    registry.add("bench", std::make_unique<nerf::NerfModel>(mc, 2024));
+
+    bench::banner("Serving throughput: closed-loop frames/s vs render threads");
+    std::printf("%-16s %12s %18s %16s\n", "render threads", "frames/s",
+                "mean latency (ms)", "mean batch size");
+
+    std::vector<ThroughputPoint> points;
+    for (const int threads : {1, 2, 4}) {
+        points.push_back(measure(registry, threads, frames, size));
+        const ThroughputPoint &p = points.back();
+        std::printf("%-16d %12.2f %18.2f %16.2f\n", p.threads, p.fps,
+                    p.meanLatencyMs, p.meanBatchSize);
+    }
+    bench::rule();
+
+    std::string json = "{\"bench\":\"serve_throughput\",\"resolution\":" +
+                       std::to_string(size) +
+                       ",\"frames\":" + std::to_string(frames) + ",\"points\":[";
+    char buf[160];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"threads\":%d,\"fps\":%.3f,\"mean_latency_ms\":%.3f}",
+                      i ? "," : "", points[i].threads, points[i].fps,
+                      points[i].meanLatencyMs);
+        json += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "],\"speedup_4v1\":%.3f}",
+                  points.back().fps / points.front().fps);
+    json += buf;
+    std::printf("JSON: %s\n", json.c_str());
+    return 0;
+}

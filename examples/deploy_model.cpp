@@ -68,12 +68,8 @@ main(int argc, char **argv)
     // Rebuild a pipeline around the loaded weights: copy them in and
     // refresh the occupancy gate from the loaded field.
     nerf::NerfPipeline receiver(pc);
-    std::copy(loaded->encoding().params().begin(), loaded->encoding().params().end(),
-              receiver.model().encoding().params().begin());
-    std::copy(loaded->densityNet().params().begin(), loaded->densityNet().params().end(),
-              receiver.model().densityNet().params().begin());
-    std::copy(loaded->colorNet().params().begin(), loaded->colorNet().params().end(),
-              receiver.model().colorNet().params().begin());
+    if (!nerf::loadInto(receiver.model(), *loaded))
+        fatal("loaded model does not fit the receiver pipeline");
     Pcg32 rng(77, 3);
     receiver.updateOccupancy(rng);
 

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Example: a closed-loop load generator against the render-serving
+ * subsystem (`fusion3d::serve`). Two phases:
+ *
+ *  1. Scaling — the same frame stream served with 1, 2, and 4 render
+ *     threads; closed-loop clients keep the queue primed so the
+ *     work-sharing pool is the bottleneck. On a machine with >= 4
+ *     hardware threads, 4 workers must deliver >= 2x the frame rate
+ *     of 1 worker.
+ *  2. Overload — tight deadlines and a deliberately undersized queue
+ *     push the server down its degrade ladder (half-resolution, then
+ *     warp reprojection) and into admission-control shedding. The run
+ *     must terminate cleanly with nonzero degrade/shed counters.
+ *
+ * Usage: serve_loadgen [frames_per_config] [resolution]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "nerf/nerf_model.h"
+#include "serve/model_registry.h"
+#include "serve/scheduler.h"
+
+using namespace fusion3d;
+
+namespace
+{
+
+nerf::NerfModelConfig
+demoModelConfig()
+{
+    nerf::NerfModelConfig cfg;
+    cfg.grid.levels = 6;
+    cfg.grid.featuresPerLevel = 2;
+    cfg.grid.log2TableSize = 12;
+    cfg.grid.baseResolution = 8;
+    cfg.grid.maxResolution = 64;
+    cfg.geoFeatures = 7;
+    cfg.densityHidden = 16;
+    cfg.colorHidden = 16;
+    cfg.shDegree = 2;
+    return cfg;
+}
+
+serve::ServeConfig
+baseConfig(int threads)
+{
+    serve::ServeConfig sc;
+    sc.renderThreads = threads;
+    sc.render.sampler.maxSamplesPerRay = 24;
+    return sc;
+}
+
+/** Orbit camera for frame @p i of the stream. */
+nerf::Camera
+orbitFrame(int i, int size)
+{
+    return nerf::Camera::orbit({0.5f, 0.5f, 0.5f}, 1.4f, 35.0f, 20.0f,
+                               static_cast<float>(i * 7 % 360), size, size);
+}
+
+/**
+ * Closed-loop throughput: @p clients client threads, each submitting
+ * its next frame only after the previous one completed. Returns frames
+ * per second over @p frames total rendered frames.
+ */
+double
+closedLoopFps(serve::RenderServer &server, int frames, int clients, int size)
+{
+    std::atomic<int> next{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&server, &next, frames, size]() {
+            for (int i = next.fetch_add(1); i < frames; i = next.fetch_add(1)) {
+                serve::RenderRequest req;
+                req.model = "demo";
+                req.camera = orbitFrame(i, size);
+                const serve::RenderResponse r = server.submit(req).get();
+                if (serve::isRejected(r.outcome))
+                    fatal("unloaded server rejected frame %d (%s)", i,
+                          serve::outcomeName(r.outcome));
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return static_cast<double>(frames) / seconds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int frames = std::max(argc > 1 ? std::atoi(argv[1]) : 24, 1);
+    const int size = std::max(argc > 2 ? std::atoi(argv[2]) : 48, 8);
+
+    serve::ModelRegistry registry(/*occupancy_resolution=*/16);
+    registry.add("demo",
+                 std::make_unique<nerf::NerfModel>(demoModelConfig(), 2024));
+
+    // --- Phase 1: throughput scaling across render threads ---
+    inform("phase 1: closed-loop throughput, %d frames of %dx%d per config",
+           frames, size, size);
+    double fps1 = 0.0, fps4 = 0.0;
+    for (const int threads : {1, 2, 4}) {
+        serve::RenderServer server(registry, baseConfig(threads));
+        const double fps = closedLoopFps(server, frames, /*clients=*/4, size);
+        server.shutdown();
+        inform("  %d render thread(s): %6.2f frames/s", threads, fps);
+        if (threads == 1)
+            fps1 = fps;
+        if (threads == 4)
+            fps4 = fps;
+    }
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    bool scaling_ok = true;
+    if (hw >= 4) {
+        scaling_ok = fps4 >= 2.0 * fps1;
+        inform("  speedup 4 vs 1 threads: %.2fx (%s)", fps4 / fps1,
+               scaling_ok ? "ok, >= 2x" : "FAILED, expected >= 2x");
+    } else {
+        inform("  speedup 4 vs 1 threads: %.2fx (not asserted: only %u "
+               "hardware thread(s))",
+               fps4 / fps1, hw);
+    }
+
+    // --- Phase 2: overload — degrade ladder and admission shedding ---
+    inform("phase 2: overload (queue capacity 4, deadline pressure)");
+    serve::ServeConfig sc = baseConfig(2);
+    sc.queueCapacity = 4;
+    sc.maxInFlight = 1;
+    serve::RenderServer server(registry, sc);
+
+    // Warm up: one unconstrained frame seeds the cost model and the
+    // warp cache.
+    {
+        serve::RenderRequest req;
+        req.model = "demo";
+        req.camera = orbitFrame(0, size);
+        server.submit(req).get();
+    }
+    const double est_full = server.estimatedSecondsPerPixel() * size * size *
+                            sc.estimateHeadroom;
+
+    // Tight-deadline frames, submitted serially so the queue wait does
+    // not eat the budget: half the full-frame estimate forces the
+    // half-resolution step, a tenth forces warp reprojection (or a
+    // shed once even that is too slow).
+    for (int i = 1; i <= 8; ++i) {
+        serve::RenderRequest req;
+        req.model = "demo";
+        req.camera = orbitFrame(i, size);
+        const double budget = (i % 2 != 0) ? est_full * 0.5 : est_full * 0.1;
+        req.deadline = serve::Clock::now() +
+                       std::chrono::duration_cast<serve::Clock::duration>(
+                           std::chrono::duration<double>(budget));
+        const serve::RenderResponse r = server.submit(req).get();
+        inform("  frame %2d, budget %5.1f ms -> %s", i, budget * 1e3,
+               serve::outcomeName(r.outcome));
+    }
+
+    // Open-loop burst into the 4-deep queue: admission control must
+    // shed the overflow instead of blocking.
+    std::vector<std::future<serve::RenderResponse>> burst;
+    for (int i = 0; i < 24; ++i) {
+        serve::RenderRequest req;
+        req.model = "demo";
+        req.camera = orbitFrame(i, size);
+        burst.push_back(server.submit(req));
+    }
+    for (auto &f : burst)
+        f.get();
+
+    server.drainAndPrintStats(std::cout);
+    server.shutdown();
+
+    const auto &stats = server.stats();
+    inform("overload summary: %llu submitted, %llu degraded, %llu shed",
+           static_cast<unsigned long long>(stats.submitted()),
+           static_cast<unsigned long long>(stats.degraded()),
+           static_cast<unsigned long long>(stats.shed()));
+
+    bool ok = scaling_ok;
+    if (stats.degraded() == 0) {
+        warn("expected nonzero degraded count under deadline pressure");
+        ok = false;
+    }
+    if (stats.count(serve::Outcome::rejectedQueueFull) == 0) {
+        warn("expected admission-control shedding under the burst");
+        ok = false;
+    }
+    if (stats.completed() != stats.submitted()) {
+        warn("drain left %llu requests unaccounted",
+             static_cast<unsigned long long>(stats.submitted() -
+                                             stats.completed()));
+        ok = false;
+    }
+    inform(ok ? "serve_loadgen: all checks passed"
+              : "serve_loadgen: CHECKS FAILED");
+    return ok ? 0 : 1;
+}

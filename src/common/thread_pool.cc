@@ -1,0 +1,147 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace fusion3d
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 0)
+        fatal("ThreadPool: negative thread count %d", threads);
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+    // Workers drained the queue before exiting; finish any remainder
+    // (possible only on a zero-thread pool) inline.
+    while (runOne()) {
+    }
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+bool
+ThreadPool::runOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(int begin, int end,
+                        const std::function<void(int, int)> &body, int grain)
+{
+    if (begin >= end)
+        return;
+    grain = std::max(grain, 1);
+
+    // Shared chunk cursor + completion accounting. Heap-allocated so
+    // helper tasks outliving an exceptional unwind stay valid.
+    struct State
+    {
+        std::atomic<int> next;
+        std::atomic<int> live_chunks;
+        int end;
+        int grain;
+        const std::function<void(int, int)> *body;
+        std::mutex mutex;
+        std::exception_ptr error;
+        std::condition_variable done;
+    };
+    auto st = std::make_shared<State>();
+    st->next.store(begin);
+    const int chunks = (end - begin + grain - 1) / grain;
+    st->live_chunks.store(chunks);
+    st->end = end;
+    st->grain = grain;
+    st->body = &body;
+
+    const auto run_chunks = [st]() {
+        for (;;) {
+            const int b = st->next.fetch_add(st->grain);
+            if (b >= st->end)
+                return;
+            const int e = std::min(b + st->grain, st->end);
+            try {
+                (*st->body)(b, e);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(st->mutex);
+                if (!st->error)
+                    st->error = std::current_exception();
+            }
+            if (st->live_chunks.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(st->mutex);
+                st->done.notify_all();
+            }
+        }
+    };
+
+    // One helper task per worker is enough: each loops over chunks.
+    const int helpers =
+        std::min(static_cast<int>(workers_.size()), chunks - 1);
+    for (int i = 0; i < helpers; ++i)
+        enqueue(run_chunks);
+
+    run_chunks(); // the caller participates (work sharing)
+
+    // Help with unrelated queued work while late helpers finish their
+    // final chunk, then wait for the completion signal.
+    while (st->live_chunks.load() > 0) {
+        if (!runOne()) {
+            std::unique_lock<std::mutex> lock(st->mutex);
+            st->done.wait_for(lock, std::chrono::microseconds(100),
+                              [&st]() { return st->live_chunks.load() == 0; });
+        }
+    }
+    if (st->error)
+        std::rethrow_exception(st->error);
+}
+
+} // namespace fusion3d

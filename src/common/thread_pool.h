@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A fixed-size work-sharing thread pool, the repo's first real
+ * concurrency primitive. The serving layer (src/serve) uses it to
+ * render frames as parallel row-tiles; anything CPU-bound can reuse it.
+ *
+ * Design points:
+ *  - one shared FIFO task queue, no work stealing: contention on the
+ *    queue is negligible at tile granularity and FIFO keeps request
+ *    ordering predictable;
+ *  - *work sharing*: a thread that blocks waiting for other tasks
+ *    (parallelFor(), waitHelping()) executes pending queue tasks while
+ *    it waits, so nested parallelism cannot deadlock a fixed pool;
+ *  - exceptions thrown by tasks propagate: through the future for
+ *    submit(), rethrown on the calling thread for parallelFor().
+ */
+
+#ifndef FUSION3D_COMMON_THREAD_POOL_H_
+#define FUSION3D_COMMON_THREAD_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fusion3d
+{
+
+/** Fixed-size pool of worker threads sharing one task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker-thread count; 0 makes every operation run
+     *        inline on the calling thread (useful to switch parallelism
+     *        off without changing call sites).
+     */
+    explicit ThreadPool(int threads);
+
+    /** Joins all workers; pending tasks are still executed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue @p fn for execution and return a future for its result.
+     * Safe to call from inside a pool task (the queue is unbounded);
+     * waiting on the future from inside a task should go through
+     * waitHelping() to stay deadlock-free.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run one pending task on the calling thread, if any.
+     * @return true if a task was executed.
+     */
+    bool runOne();
+
+    /**
+     * Block until @p future is ready, executing pending pool tasks on
+     * this thread while waiting. This is the deadlock-free way for a
+     * pool task to wait on work it submitted itself.
+     */
+    template <typename R>
+    R
+    waitHelping(std::future<R> &future)
+    {
+        while (future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!runOne())
+                future.wait_for(std::chrono::microseconds(50));
+        }
+        return future.get();
+    }
+
+    /**
+     * Apply @p body to [begin, end) split into chunks of up to
+     * @p grain indices, body(chunk_begin, chunk_end). The calling
+     * thread participates, so this works (serially) even on a pool
+     * with zero threads and nests safely inside pool tasks. The first
+     * exception thrown by any chunk is rethrown here once all chunks
+     * finished.
+     */
+    void parallelFor(int begin, int end, const std::function<void(int, int)> &body,
+                     int grain = 1);
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace fusion3d
+
+#endif // FUSION3D_COMMON_THREAD_POOL_H_

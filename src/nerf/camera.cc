@@ -57,6 +57,17 @@ Camera::project(const Vec3f &world, float &px, float &py, float &depth) const
 }
 
 Camera
+Camera::withResolution(int width, int height) const
+{
+    if (width < 1 || height < 1)
+        fatal("Camera image size must be positive (%d x %d)", width, height);
+    Camera c(*this);
+    c.width_ = width;
+    c.height_ = height;
+    return c;
+}
+
+Camera
 Camera::orbit(const Vec3f &center, float radius, float azim_deg, float elev_deg,
               float vfov_degrees, int width, int height)
 {

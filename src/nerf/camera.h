@@ -52,6 +52,13 @@ class Camera
     bool project(const Vec3f &world, float &px, float &py, float &depth) const;
 
     /**
+     * Copy of this camera rendering at a different resolution (same
+     * pose and vertical field of view). The serving layer's degrade
+     * ladder uses this to halve resolution under deadline pressure.
+     */
+    Camera withResolution(int width, int height) const;
+
+    /**
      * A camera orbiting the point @p center at distance @p radius,
      * elevation @p elev_deg, azimuth @p azim_deg — the standard rig the
      * synthetic datasets use.

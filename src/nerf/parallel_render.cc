@@ -1,0 +1,102 @@
+#include "nerf/parallel_render.h"
+
+#include <vector>
+
+namespace fusion3d::nerf
+{
+
+namespace
+{
+
+/** Stream id of the per-row jitter generators. */
+constexpr std::uint64_t kRowStream = 0x9e3779b97f4a7c15ULL;
+
+/**
+ * Render rows [y0, y1) into @p color (and @p depth when non-null).
+ * Replicates NerfPipeline::traceRay's evaluation order exactly —
+ * sample, forward each point, composite, clamp — so the output matches
+ * the single-threaded path bit for bit.
+ */
+void
+renderRows(const NerfModel &model, const OccupancyGrid *grid, const Camera &camera,
+           const TiledRenderConfig &cfg, int y0, int y1, Image &color, float *depth)
+{
+    const RaySampler sampler(cfg.sampler);
+    PointWorkspace ws = model.makeWorkspace();
+    std::vector<RaySample> samples;
+    std::vector<Vec3f> rgbs;
+    std::vector<float> sigmas, dts, ts;
+
+    for (int y = y0; y < y1; ++y) {
+        Pcg32 rng(cfg.seed + static_cast<std::uint64_t>(y), kRowStream);
+        for (int x = 0; x < camera.width(); ++x) {
+            const Ray ray = camera.rayForPixel(x, y);
+            sampler.sample(ray, grid, rng, samples);
+
+            sigmas.resize(samples.size());
+            rgbs.resize(samples.size());
+            dts.resize(samples.size());
+            const Vec3f dir = normalize(ray.dir);
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                const PointEval pe = model.forwardPoint(samples[i].pos, dir, ws);
+                sigmas[i] = pe.sigma;
+                rgbs[i] = pe.rgb;
+                dts[i] = samples[i].dt;
+            }
+
+            const CompositeResult cr = composite(sigmas, rgbs, dts, cfg.render);
+            color.at(x, y) = clamp(cr.color, 0.0f, 1.0f);
+
+            if (depth) {
+                ts.resize(samples.size());
+                for (std::size_t i = 0; i < samples.size(); ++i)
+                    ts[i] = samples[i].t;
+                depth[static_cast<std::size_t>(y) * camera.width() + x] =
+                    compositeDepth(sigmas, dts, ts, cfg.render, cfg.farDepth);
+            }
+        }
+    }
+}
+
+void
+renderTiled(const NerfModel &model, const OccupancyGrid *grid, const Camera &camera,
+            const TiledRenderConfig &cfg, ThreadPool *pool, Image &color,
+            float *depth)
+{
+    const auto body = [&](int y0, int y1) {
+        renderRows(model, grid, camera, cfg, y0, y1, color, depth);
+    };
+    if (pool) {
+        pool->parallelFor(0, camera.height(), body, cfg.rowsPerTile);
+    } else {
+        body(0, camera.height());
+    }
+}
+
+} // namespace
+
+Image
+renderImageTiled(const NerfModel &model, const OccupancyGrid *grid,
+                 const Camera &camera, const TiledRenderConfig &cfg,
+                 ThreadPool *pool)
+{
+    Image out(camera.width(), camera.height());
+    renderTiled(model, grid, camera, cfg, pool, out, nullptr);
+    return out;
+}
+
+DepthFrame
+renderDepthFrameTiled(const NerfModel &model, const OccupancyGrid *grid,
+                      const Camera &camera, const TiledRenderConfig &cfg,
+                      ThreadPool *pool)
+{
+    DepthFrame frame;
+    frame.camera = camera;
+    frame.color = Image(camera.width(), camera.height());
+    frame.depth.assign(
+        static_cast<std::size_t>(camera.width()) * camera.height(), 0.0f);
+    renderTiled(model, grid, camera, cfg, pool, frame.color, frame.depth.data());
+    return frame;
+}
+
+} // namespace fusion3d::nerf

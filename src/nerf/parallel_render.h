@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Const-correct, thread-parallel frame rendering. Unlike
+ * Trainer::renderView — which routes through the mutable training tape
+ * of a RadianceField — these entry points take a `const NerfModel&`
+ * plus an occupancy gate and render whole frames by splitting them
+ * into row-tiles executed on a ThreadPool. This is the render path the
+ * serving subsystem (src/serve) uses.
+ *
+ * Determinism: every image row re-seeds its own Pcg32 from
+ * (cfg.seed, row), so the rendered frame is bit-identical regardless
+ * of tiling, thread count, or execution order — and, with jitter
+ * disabled, bit-identical to the single-threaded Trainer::renderView
+ * of the same model/grid/camera (proved in tests/test_serve.cc).
+ */
+
+#ifndef FUSION3D_NERF_PARALLEL_RENDER_H_
+#define FUSION3D_NERF_PARALLEL_RENDER_H_
+
+#include <cstdint>
+
+#include "common/image.h"
+#include "common/thread_pool.h"
+#include "nerf/camera.h"
+#include "nerf/image_warp.h"
+#include "nerf/nerf_model.h"
+#include "nerf/occupancy_grid.h"
+#include "nerf/renderer.h"
+#include "nerf/sampler.h"
+
+namespace fusion3d::nerf
+{
+
+/** Configuration of one tiled render. */
+struct TiledRenderConfig
+{
+    TiledRenderConfig() { sampler.jitter = false; } // inference default
+
+    SamplerConfig sampler;
+    RenderParams render;
+    /** Rows per work unit handed to the pool. */
+    int rowsPerTile = 4;
+    /** Base seed of the per-row jitter streams (unused when !jitter). */
+    std::uint64_t seed = 0;
+    /** Depth assigned to fully transparent rays (compositeDepth t_far). */
+    float farDepth = 2.5f;
+};
+
+/**
+ * Render @p camera's view of @p model, gated by @p grid (nullptr keeps
+ * every candidate sample), as parallel row-tiles on @p pool.
+ * @param pool nullptr renders single-threaded on the calling thread.
+ */
+Image renderImageTiled(const NerfModel &model, const OccupancyGrid *grid,
+                       const Camera &camera, const TiledRenderConfig &cfg,
+                       ThreadPool *pool = nullptr);
+
+/**
+ * Like renderImageTiled() but also fills the per-pixel composited
+ * depth map, producing the DepthFrame the image-warp degrade path
+ * (frame reuse a la MetaVRain) reprojects from.
+ */
+DepthFrame renderDepthFrameTiled(const NerfModel &model, const OccupancyGrid *grid,
+                                 const Camera &camera, const TiledRenderConfig &cfg,
+                                 ThreadPool *pool = nullptr);
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_PARALLEL_RENDER_H_

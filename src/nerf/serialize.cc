@@ -1,8 +1,10 @@
 #include "nerf/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -79,18 +81,86 @@ saveModel(const NerfModel &model, const std::string &path)
     return ok;
 }
 
-std::unique_ptr<NerfModel>
-loadModel(const std::string &path)
+const char *
+loadStatusName(LoadStatus status)
+{
+    switch (status) {
+      case LoadStatus::ok:
+        return "ok";
+      case LoadStatus::ioError:
+        return "I/O error";
+      case LoadStatus::badMagic:
+        return "bad magic";
+      case LoadStatus::badVersion:
+        return "bad version";
+      case LoadStatus::headerMismatch:
+        return "header mismatch";
+      case LoadStatus::truncated:
+        return "truncated";
+    }
+    return "?";
+}
+
+namespace
+{
+
+LoadResult
+loadFailure(LoadStatus status, std::string message)
+{
+    LoadResult r;
+    r.status = status;
+    r.message = std::move(message);
+    return r;
+}
+
+/** Reject headers whose dimensions could not have come from saveModel()
+ *  before they reach the NerfModel constructor (and its allocations). */
+bool
+headerDimensionsSane(const Header &h)
+{
+    return h.levels >= 1 && h.levels <= 64 && h.featuresPerLevel >= 1 &&
+           h.featuresPerLevel <= 16 && h.log2TableSize >= 1 &&
+           h.log2TableSize <= 28 && h.baseResolution >= 1 &&
+           h.baseResolution <= h.maxResolution && h.maxResolution <= 65536 &&
+           h.geoFeatures >= 1 && h.geoFeatures <= 256 && h.densityHidden >= 1 &&
+           h.densityHidden <= 4096 && h.colorHidden >= 1 &&
+           h.colorHidden <= 4096 && h.shDegree >= 1 && h.shDegree <= 4;
+}
+
+} // namespace
+
+LoadResult
+loadModelVerbose(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        return nullptr;
+        return loadFailure(LoadStatus::ioError,
+                           strprintf("cannot open '%s'", path.c_str()));
 
     Header h{};
-    if (std::fread(&h, sizeof(h), 1, f) != 1 || std::memcmp(h.magic, kMagic, 4) != 0 ||
-        h.version != kVersion) {
+    if (std::fread(&h, sizeof(h), 1, f) != 1) {
         std::fclose(f);
-        return nullptr;
+        return loadFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' is shorter than the %zu-byte header", path.c_str(),
+                      sizeof(Header)));
+    }
+    if (std::memcmp(h.magic, kMagic, 4) != 0) {
+        std::fclose(f);
+        return loadFailure(LoadStatus::badMagic,
+                           strprintf("'%s' is not an F3DM artifact", path.c_str()));
+    }
+    if (h.version != kVersion) {
+        std::fclose(f);
+        return loadFailure(LoadStatus::badVersion,
+                           strprintf("'%s' has format version %u, expected %u",
+                                     path.c_str(), h.version, kVersion));
+    }
+    if (!headerDimensionsSane(h)) {
+        std::fclose(f);
+        return loadFailure(
+            LoadStatus::headerMismatch,
+            strprintf("'%s' declares out-of-range model dimensions", path.c_str()));
     }
 
     NerfModelConfig cfg;
@@ -108,10 +178,12 @@ loadModel(const std::string &path)
     if (model->encoding().paramCount() != h.encodingParams ||
         model->densityNet().paramCount() != h.densityParams ||
         model->colorNet().paramCount() != h.colorParams) {
-        warn("loadModel: parameter counts in '%s' do not match its header",
-             path.c_str());
         std::fclose(f);
-        return nullptr;
+        return loadFailure(
+            LoadStatus::headerMismatch,
+            strprintf("parameter counts in '%s' do not match its declared "
+                      "architecture",
+                      path.c_str()));
     }
 
     bool ok = readBlock(f, model->encoding().params());
@@ -119,8 +191,42 @@ loadModel(const std::string &path)
     ok = ok && readBlock(f, model->colorNet().params());
     std::fclose(f);
     if (!ok)
-        return nullptr;
-    return model;
+        return loadFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends before its parameter blocks do", path.c_str()));
+
+    LoadResult r;
+    r.model = std::move(model);
+    r.status = LoadStatus::ok;
+    return r;
+}
+
+std::unique_ptr<NerfModel>
+loadModel(const std::string &path)
+{
+    LoadResult r = loadModelVerbose(path);
+    if (!r)
+        warn("loadModel: %s: %s", loadStatusName(r.status), r.message.c_str());
+    return std::move(r.model);
+}
+
+bool
+loadInto(NerfModel &dst, const NerfModel &src)
+{
+    if (dst.encoding().paramCount() != src.encoding().paramCount() ||
+        dst.densityNet().paramCount() != src.densityNet().paramCount() ||
+        dst.colorNet().paramCount() != src.colorNet().paramCount()) {
+        warn("loadInto: parameter-block sizes differ (dst %zu params, src %zu)",
+             dst.paramCount(), src.paramCount());
+        return false;
+    }
+    const auto copy_block = [](std::span<const float> from, std::span<float> to) {
+        std::copy(from.begin(), from.end(), to.begin());
+    };
+    copy_block(src.encoding().params(), dst.encoding().params());
+    copy_block(src.densityNet().params(), dst.densityNet().params());
+    copy_block(src.colorNet().params(), dst.colorNet().params());
+    return true;
 }
 
 std::size_t

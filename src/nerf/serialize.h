@@ -22,12 +22,58 @@ namespace fusion3d::nerf
 /** Serialize @p model to @p path. @return true on success. */
 bool saveModel(const NerfModel &model, const std::string &path);
 
+/** Why a load failed (LoadStatus::ok means it did not). */
+enum class LoadStatus
+{
+    ok,
+    /** The file could not be opened. */
+    ioError,
+    /** The magic bytes are not "F3DM". */
+    badMagic,
+    /** The format version is not one this build reads. */
+    badVersion,
+    /** The header is self-inconsistent (bad dimensions, or stored
+     *  parameter counts that do not match the declared architecture). */
+    headerMismatch,
+    /** The file ends before the parameter blocks do. */
+    truncated,
+};
+
+/** Human-readable name of @p status. */
+const char *loadStatusName(LoadStatus status);
+
+/** Outcome of loadModelVerbose(): a model, or a diagnosable failure. */
+struct LoadResult
+{
+    std::unique_ptr<NerfModel> model;
+    LoadStatus status = LoadStatus::ioError;
+    /** One-line diagnosis, empty on success. */
+    std::string message;
+
+    explicit operator bool() const { return status == LoadStatus::ok; }
+};
+
+/**
+ * Load a model saved by saveModel(), reporting *why* a failure
+ * happened — I/O error, bad magic, unsupported version, inconsistent
+ * header, or a truncated parameter payload.
+ */
+LoadResult loadModelVerbose(const std::string &path);
+
 /**
  * Load a model saved by saveModel().
- * @return nullptr on I/O error, bad magic/version, or config mismatch
- *         between the header and the stored parameter counts.
+ * @return nullptr on any failure (the reason is logged via warn();
+ *         use loadModelVerbose() to inspect it programmatically).
  */
 std::unique_ptr<NerfModel> loadModel(const std::string &path);
+
+/**
+ * Copy all parameters of @p src into @p dst (encoding and both MLPs).
+ * The serving ModelRegistry and the deployment example use this to
+ * install deserialized weights into a live pipeline.
+ * @return false (and copy nothing) if any parameter-block size differs.
+ */
+bool loadInto(NerfModel &dst, const NerfModel &src);
 
 /** On-disk footprint of a model at the given parameter width. */
 std::size_t modelFootprintBytes(const NerfModel &model, int bytes_per_param = 4);

@@ -1,0 +1,88 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fusion3d::serve
+{
+
+ModelRegistry::ModelRegistry(int occupancy_resolution, float occupancy_threshold)
+    : grid_resolution_(occupancy_resolution), grid_threshold_(occupancy_threshold)
+{
+    if (occupancy_resolution < 1)
+        fatal("ModelRegistry: occupancy resolution must be positive, got %d",
+              occupancy_resolution);
+}
+
+const ModelEntry *
+ModelRegistry::add(const std::string &name, std::unique_ptr<nerf::NerfModel> model)
+{
+    if (!model)
+        fatal("ModelRegistry::add('%s'): null model", name.c_str());
+
+    auto entry = std::make_unique<ModelEntry>(name, std::move(model),
+                                              grid_resolution_, grid_threshold_);
+
+    // Rebuild the inference gate from the deployed weights; decay 0
+    // makes it exactly the current field's occupancy, like the benches'
+    // scene bootstrap.
+    nerf::PointWorkspace ws = entry->model->makeWorkspace();
+    Pcg32 rng(0x5eedf00dULL, 41);
+    const nerf::NerfModel *m = entry->model.get();
+    entry->grid.update(
+        [m, &ws](const Vec3f &p) { return m->queryDensity(p, ws); }, rng,
+        /*decay=*/0.0f);
+
+    const ModelEntry *raw = entry.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<ModelEntry> &slot = entries_[name];
+    if (slot)
+        retired_.push_back(std::move(slot));
+    slot = std::move(entry);
+    return raw;
+}
+
+nerf::LoadStatus
+ModelRegistry::addFromFile(const std::string &name, const std::string &path)
+{
+    nerf::LoadResult r = nerf::loadModelVerbose(path);
+    if (!r) {
+        warn("ModelRegistry: cannot deploy '%s' from '%s': %s (%s)", name.c_str(),
+             path.c_str(), nerf::loadStatusName(r.status), r.message.c_str());
+        return r.status;
+    }
+    add(name, std::move(r.model));
+    inform("ModelRegistry: deployed '%s' from '%s' (%zu params)", name.c_str(),
+           path.c_str(), find(name)->model->paramCount());
+    return nerf::LoadStatus::ok;
+}
+
+const ModelEntry *
+ModelRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::size_t
+ModelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<std::string>
+ModelRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace fusion3d::serve

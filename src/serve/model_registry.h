@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Registry of deployed models. Owns the deserialized `.f3dm` NeRF
+ * models keyed by name, each paired with an occupancy gate rebuilt
+ * from its own density field at registration time — after which an
+ * entry is immutable, so render workers share it without locks.
+ */
+
+#ifndef FUSION3D_SERVE_MODEL_REGISTRY_H_
+#define FUSION3D_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nerf/nerf_model.h"
+#include "nerf/occupancy_grid.h"
+#include "nerf/serialize.h"
+
+namespace fusion3d::serve
+{
+
+/** One deployed model: weights plus its inference occupancy gate. */
+struct ModelEntry
+{
+    std::string name;
+    std::unique_ptr<nerf::NerfModel> model;
+    nerf::OccupancyGrid grid;
+
+    ModelEntry(std::string n, std::unique_ptr<nerf::NerfModel> m, int grid_res,
+               float grid_threshold)
+        : name(std::move(n)), model(std::move(m)), grid(grid_res, grid_threshold)
+    {
+    }
+};
+
+/** Thread-safe name → model map; entries are immutable once added. */
+class ModelRegistry
+{
+  public:
+    /**
+     * @param occupancy_resolution Gate resolution of registered models.
+     * @param occupancy_threshold  Density above which a cell is live.
+     */
+    explicit ModelRegistry(int occupancy_resolution = 48,
+                           float occupancy_threshold = 0.01f);
+
+    /**
+     * Register @p model under @p name, building its occupancy gate
+     * from the model's density field. Replaces an existing entry of
+     * the same name.
+     * @return the registered (immutable) entry.
+     */
+    const ModelEntry *add(const std::string &name,
+                          std::unique_ptr<nerf::NerfModel> model);
+
+    /**
+     * Deserialize a `.f3dm` artifact and register it. Failures are
+     * logged with their reason (satellite of the diagnosable-load
+     * work: I/O vs magic vs version vs header mismatch vs truncation).
+     * @return LoadStatus::ok on success.
+     */
+    nerf::LoadStatus addFromFile(const std::string &name, const std::string &path);
+
+    /** @return the entry named @p name, or nullptr. */
+    const ModelEntry *find(const std::string &name) const;
+
+    /** Registered model count. */
+    std::size_t size() const;
+
+    /** Names of all registered models, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    mutable std::mutex mutex_;
+    int grid_resolution_;
+    float grid_threshold_;
+    std::map<std::string, std::unique_ptr<ModelEntry>> entries_;
+    /** Replaced entries are retired, not destroyed, so workers still
+     *  rendering from them never hold a dangling pointer. */
+    std::vector<std::unique_ptr<ModelEntry>> retired_;
+};
+
+} // namespace fusion3d::serve
+
+#endif // FUSION3D_SERVE_MODEL_REGISTRY_H_

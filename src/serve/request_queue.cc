@@ -1,0 +1,106 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fusion3d::serve
+{
+
+namespace
+{
+
+/** Strict queue order: priority desc, deadline asc. Arrival order is
+ *  preserved by inserting *after* all equivalent entries. */
+bool
+before(const QueuedRequest &a, const QueuedRequest &b)
+{
+    if (a.request.priority != b.request.priority)
+        return a.request.priority > b.request.priority;
+    return a.request.deadline < b.request.deadline;
+}
+
+} // namespace
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("RequestQueue: capacity must be positive");
+}
+
+bool
+RequestQueue::push(QueuedRequest &&qr)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        // Insertion sort from the back: typical traffic is same-priority
+        // FIFO, where this is O(1).
+        auto it = items_.end();
+        while (it != items_.begin()) {
+            auto prev = std::prev(it);
+            if (!before(qr, *prev))
+                break;
+            it = prev;
+        }
+        items_.insert(it, std::move(qr));
+    }
+    nonempty_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::popBatch(std::vector<QueuedRequest> &out, int max_batch)
+{
+    out.clear();
+    max_batch = std::max(max_batch, 1);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    nonempty_.wait(lock, [this]() { return closed_ || !items_.empty(); });
+    if (items_.empty())
+        return false; // closed and drained
+
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+
+    // Batch compatible (same-model) requests, preserving queue order.
+    // (By value: growing `out` would invalidate a reference into it.)
+    const std::string model = out.front().request.model;
+    for (auto it = items_.begin();
+         it != items_.end() && static_cast<int>(out.size()) < max_batch;) {
+        if (it->request.model == model) {
+            out.push_back(std::move(*it));
+            it = items_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return true;
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    nonempty_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+} // namespace fusion3d::serve

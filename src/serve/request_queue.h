@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bounded MPMC request queue with admission control. Producers (any
+ * thread calling RenderServer::submit) push without blocking — a full
+ * queue rejects instead, which is the first stage of the server's load
+ * shedding. The consumer side pops *batches*: the highest-priority
+ * request plus queued requests for the same model, so one dispatch
+ * shares a model lookup and keeps its tiles hot.
+ *
+ * Ordering: priority desc, then deadline asc, then FIFO.
+ */
+
+#ifndef FUSION3D_SERVE_REQUEST_QUEUE_H_
+#define FUSION3D_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <mutex>
+#include <vector>
+
+#include "serve/serve.h"
+
+namespace fusion3d::serve
+{
+
+/** A request riding through the queue with its completion promise. */
+struct QueuedRequest
+{
+    RenderRequest request;
+    std::promise<RenderResponse> promise;
+    Clock::time_point enqueued{};
+    std::uint64_t id = 0;
+};
+
+/** Bounded multi-producer / multi-consumer priority queue. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity);
+
+    /**
+     * Admit @p qr. Never blocks.
+     * @return false if the queue is full or closed (@p qr is left
+     *         intact so the caller can reject it properly).
+     */
+    bool push(QueuedRequest &&qr);
+
+    /**
+     * Pop a batch: block until a request is available, take the front
+     * (highest priority), then take up to @p max_batch - 1 further
+     * queued requests for the same model, preserving queue order.
+     * @return false when the queue is closed and drained.
+     */
+    bool popBatch(std::vector<QueuedRequest> &out, int max_batch);
+
+    /** Current queued-request count. */
+    std::size_t depth() const;
+
+    /** Close the queue: pushes fail, popBatch drains then returns false. */
+    void close();
+
+    bool closed() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable nonempty_;
+    /** Kept sorted by (priority desc, deadline asc, arrival). */
+    std::list<QueuedRequest> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace fusion3d::serve
+
+#endif // FUSION3D_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,283 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "nerf/parallel_render.h"
+
+namespace fusion3d::serve
+{
+
+namespace
+{
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double
+secondsUntil(Clock::time_point deadline)
+{
+    if (deadline == Clock::time_point::max())
+        return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+/** Nearest-neighbour upsample of a degraded render back to the
+ *  requested resolution, so clients always receive w x h frames. */
+Image
+upsample(const Image &src, int w, int h)
+{
+    Image out(w, h);
+    for (int y = 0; y < h; ++y) {
+        const int sy = std::min(y * src.height() / h, src.height() - 1);
+        for (int x = 0; x < w; ++x) {
+            const int sx = std::min(x * src.width() / w, src.width() - 1);
+            out.at(x, y) = src.at(sx, sy);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+RenderServer::RenderServer(const ModelRegistry &registry, const ServeConfig &cfg)
+    : registry_(registry),
+      cfg_(cfg),
+      queue_(static_cast<std::size_t>(std::max(cfg.queueCapacity, 1))),
+      pool_(std::max(cfg.renderThreads, 1))
+{
+    if (cfg_.maxInFlight <= 0)
+        cfg_.maxInFlight = 2 * std::max(cfg.renderThreads, 1);
+    dispatcher_ = std::thread([this]() { dispatchLoop(); });
+}
+
+RenderServer::~RenderServer()
+{
+    shutdown();
+}
+
+std::future<RenderResponse>
+RenderServer::submit(RenderRequest request)
+{
+    QueuedRequest qr;
+    qr.request = std::move(request);
+    qr.enqueued = Clock::now();
+    qr.id = next_id_.fetch_add(1);
+    std::future<RenderResponse> future = qr.promise.get_future();
+
+    stats_.recordSubmitted(queue_.depth());
+
+    {
+        // Count the request as pending *before* the push so drain()
+        // never misses it, then roll back if admission failed.
+        std::lock_guard<std::mutex> lock(flight_mutex_);
+        ++pending_;
+    }
+    if (!queue_.push(std::move(qr))) {
+        // NB: push leaves qr intact on failure.
+        RenderResponse response;
+        response.outcome = Outcome::rejectedQueueFull;
+        response.id = qr.id;
+        response.latencyMs = msSince(qr.enqueued);
+        finish(qr, std::move(response));
+    }
+    return future;
+}
+
+void
+RenderServer::dispatchLoop()
+{
+    std::vector<QueuedRequest> batch;
+    while (queue_.popBatch(batch, cfg_.maxBatch)) {
+        stats_.recordBatch(static_cast<int>(batch.size()));
+
+        const ModelEntry *entry = registry_.find(batch.front().request.model);
+
+        for (QueuedRequest &qr : batch) {
+            if (!entry) {
+                RenderResponse response;
+                response.outcome = Outcome::rejectedUnknownModel;
+                finish(qr, std::move(response));
+                continue;
+            }
+
+            // Backpressure: keep at most maxInFlight requests in the
+            // pool so overload accumulates in the bounded queue.
+            {
+                std::unique_lock<std::mutex> lock(flight_mutex_);
+                flight_cv_.wait(lock,
+                                [this]() { return in_flight_ < cfg_.maxInFlight; });
+                ++in_flight_;
+            }
+            auto task = std::make_shared<QueuedRequest>(std::move(qr));
+            pool_.submit([this, task, entry]() {
+                executeRequest(std::move(*task), entry);
+                // Notify under the lock: a drain()ing thread may destroy
+                // this condition variable as soon as it observes the
+                // decrement, so the broadcast must be ordered before it.
+                std::lock_guard<std::mutex> lock(flight_mutex_);
+                --in_flight_;
+                flight_cv_.notify_all();
+            });
+        }
+        batch.clear();
+    }
+}
+
+void
+RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
+{
+    const nerf::Camera &camera = qr.request.camera;
+    const std::uint64_t pixels =
+        static_cast<std::uint64_t>(camera.width()) * camera.height();
+
+    RenderResponse response;
+    response.id = qr.id;
+
+    const double budget = secondsUntil(qr.request.deadline);
+    if (budget <= 0.0) {
+        response.outcome = Outcome::rejectedDeadline;
+        finish(qr, std::move(response));
+        return;
+    }
+
+    const double est_full = estimatedSecondsPerPixel() *
+                            static_cast<double>(pixels) * cfg_.estimateHeadroom;
+
+    const auto t0 = Clock::now();
+    if (est_full <= budget) {
+        // Full-resolution render; this frame also refreshes the
+        // model's warp source.
+        nerf::DepthFrame frame = nerf::renderDepthFrameTiled(
+            *entry->model, &entry->grid, camera, cfg_.render, &pool_);
+        noteRenderCost(std::chrono::duration<double>(Clock::now() - t0).count(),
+                       pixels);
+        response.image = frame.color;
+        response.outcome = Outcome::renderedFull;
+        cacheFrame(entry->name, std::move(frame));
+        finish(qr, std::move(response));
+        return;
+    }
+
+    if (est_full / 4.0 <= budget) {
+        // Degrade step 1: drop resolution 2x per axis and upsample.
+        const nerf::Camera half = camera.withResolution(
+            std::max(camera.width() / 2, 1), std::max(camera.height() / 2, 1));
+        const Image small = nerf::renderImageTiled(*entry->model, &entry->grid,
+                                                   half, cfg_.render, &pool_);
+        noteRenderCost(std::chrono::duration<double>(Clock::now() - t0).count(),
+                       static_cast<std::uint64_t>(half.width()) * half.height());
+        response.image = upsample(small, camera.width(), camera.height());
+        response.outcome = Outcome::renderedHalf;
+        finish(qr, std::move(response));
+        return;
+    }
+
+    if (const auto prev = cachedFrame(entry->name)) {
+        // Degrade step 2: reproject the model's last rendered frame
+        // (frame reuse a la MetaVRain); uncovered pixels keep the
+        // background colour rather than costing a re-render.
+        nerf::WarpResult warped = nerf::forwardWarp(*prev, camera);
+        for (int y = 0; y < camera.height(); ++y) {
+            for (int x = 0; x < camera.width(); ++x) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(y) * camera.width() + x;
+                if (!warped.covered[idx])
+                    warped.image.at(x, y) = cfg_.render.render.background;
+            }
+        }
+        response.image = std::move(warped.image);
+        response.outcome = Outcome::renderedWarp;
+        finish(qr, std::move(response));
+        return;
+    }
+
+    // Out of degrade steps: shed explicitly instead of blocking.
+    response.outcome = Outcome::rejectedDeadline;
+    finish(qr, std::move(response));
+}
+
+void
+RenderServer::finish(QueuedRequest &qr, RenderResponse &&response)
+{
+    response.id = qr.id;
+    response.latencyMs = msSince(qr.enqueued);
+    stats_.recordOutcome(response.outcome, response.latencyMs);
+    qr.promise.set_value(std::move(response));
+    // Notify under the lock (see dispatchLoop): keeps the broadcast
+    // ordered before any waiter that goes on to destroy the server.
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    --pending_;
+    flight_cv_.notify_all();
+}
+
+void
+RenderServer::noteRenderCost(double seconds, std::uint64_t pixels)
+{
+    if (pixels == 0)
+        return;
+    const double per_pixel = seconds / static_cast<double>(pixels);
+    std::lock_guard<std::mutex> lock(estimate_mutex_);
+    est_seconds_per_pixel_ = est_seconds_per_pixel_ == 0.0
+                                 ? per_pixel
+                                 : 0.7 * est_seconds_per_pixel_ + 0.3 * per_pixel;
+}
+
+double
+RenderServer::estimatedSecondsPerPixel() const
+{
+    std::lock_guard<std::mutex> lock(estimate_mutex_);
+    return est_seconds_per_pixel_;
+}
+
+void
+RenderServer::cacheFrame(const std::string &model, nerf::DepthFrame &&frame)
+{
+    auto shared = std::make_shared<const nerf::DepthFrame>(std::move(frame));
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    last_frames_[model] = std::move(shared);
+}
+
+std::shared_ptr<const nerf::DepthFrame>
+RenderServer::cachedFrame(const std::string &model) const
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = last_frames_.find(model);
+    return it == last_frames_.end() ? nullptr : it->second;
+}
+
+void
+RenderServer::drain()
+{
+    // in_flight_ drops after the request's promise is set; waiting for
+    // both means no worker still has its hands on server state when
+    // drain() returns (the destructor relies on this).
+    std::unique_lock<std::mutex> lock(flight_mutex_);
+    flight_cv_.wait(lock, [this]() { return pending_ == 0 && in_flight_ == 0; });
+}
+
+void
+RenderServer::drainAndPrintStats(std::ostream &os)
+{
+    drain();
+    stats_.dump(os);
+}
+
+void
+RenderServer::shutdown()
+{
+    if (!queue_.closed())
+        queue_.close();
+    drain();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+} // namespace fusion3d::serve

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The render server proper: admission control → priority queue →
+ * batching dispatcher → work-sharing thread pool, with deadline
+ * enforcement and graceful degradation.
+ *
+ * A request's life:
+ *  1. submit() assigns an id and pushes it into the bounded queue; a
+ *     full queue sheds it immediately (Outcome::rejectedQueueFull).
+ *  2. The dispatcher thread pops batches of same-model requests,
+ *     honouring a max-in-flight bound so overload backs up into the
+ *     bounded queue (where admission control can see it) instead of
+ *     into an unbounded pool backlog.
+ *  3. Each request runs as a pool task that splits its frame into
+ *     row-tiles on the same pool — idle workers help finish a
+ *     neighbour's frame, so a single big frame still uses all cores.
+ *  4. At render start the scheduler compares the time left until the
+ *     deadline with an online cost estimate (EWMA of measured
+ *     per-pixel seconds) and walks the degrade ladder:
+ *       full render → half-resolution render (upsampled) → reprojection
+ *     of the model's last frame via image_warp → shed
+ *     (Outcome::rejectedDeadline). Expired deadlines shed outright.
+ *
+ * Every outcome is counted in ServerStats; drain() blocks until all
+ * admitted requests completed, so the stats block is consistent when
+ * printed.
+ */
+
+#ifndef FUSION3D_SERVE_SCHEDULER_H_
+#define FUSION3D_SERVE_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "nerf/image_warp.h"
+#include "serve/model_registry.h"
+#include "serve/request_queue.h"
+#include "serve/serve.h"
+#include "serve/server_stats.h"
+
+namespace fusion3d::serve
+{
+
+/** A running render service over a ModelRegistry. */
+class RenderServer
+{
+  public:
+    /**
+     * @param registry Deployed models; must outlive the server.
+     * @param cfg      Queueing / threading / degrade parameters.
+     */
+    RenderServer(const ModelRegistry &registry, const ServeConfig &cfg);
+
+    /** Shuts down: rejects new work, completes admitted work, joins. */
+    ~RenderServer();
+
+    RenderServer(const RenderServer &) = delete;
+    RenderServer &operator=(const RenderServer &) = delete;
+
+    /**
+     * Submit a render request. Never blocks: a full queue or a closed
+     * server resolves the future immediately with a rejection.
+     */
+    std::future<RenderResponse> submit(RenderRequest request);
+
+    /** Block until every admitted request has completed. */
+    void drain();
+
+    /** drain(), then print the ServerStats block to @p os. */
+    void drainAndPrintStats(std::ostream &os);
+
+    /** Stop admitting, drain, and join all serving threads. */
+    void shutdown();
+
+    const ServeConfig &config() const { return cfg_; }
+    const ServerStats &stats() const { return stats_; }
+    std::size_t queueDepth() const { return queue_.depth(); }
+
+    /** Current EWMA of measured render seconds per pixel (0 until the
+     *  first frame completes). Exposed for tests and the load bench. */
+    double estimatedSecondsPerPixel() const;
+
+  private:
+    void dispatchLoop();
+    void executeRequest(QueuedRequest qr, const ModelEntry *entry);
+    void finish(QueuedRequest &qr, RenderResponse &&response);
+    void noteRenderCost(double seconds, std::uint64_t pixels);
+    void cacheFrame(const std::string &model, nerf::DepthFrame &&frame);
+    std::shared_ptr<const nerf::DepthFrame> cachedFrame(const std::string &model) const;
+
+    const ModelRegistry &registry_;
+    ServeConfig cfg_;
+    ServerStats stats_;
+    RequestQueue queue_;
+    ThreadPool pool_;
+
+    std::atomic<std::uint64_t> next_id_{1};
+
+    // Admitted-but-unfinished accounting (drain + dispatcher backpressure).
+    mutable std::mutex flight_mutex_;
+    std::condition_variable flight_cv_;
+    std::uint64_t pending_ = 0;   ///< admitted, promise not yet set
+    int in_flight_ = 0;           ///< handed to the pool, still running
+
+    // Online cost model: EWMA of seconds per rendered pixel.
+    mutable std::mutex estimate_mutex_;
+    double est_seconds_per_pixel_ = 0.0;
+
+    // Last full-resolution frame per model, the warp-degrade source.
+    mutable std::mutex cache_mutex_;
+    std::map<std::string, std::shared_ptr<const nerf::DepthFrame>> last_frames_;
+
+    std::thread dispatcher_;
+};
+
+} // namespace fusion3d::serve
+
+#endif // FUSION3D_SERVE_SCHEDULER_H_

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Core vocabulary of the render-serving subsystem: requests, outcomes,
+ * responses, and the server configuration. `fusion3d::serve` turns a
+ * deserialized `.f3dm` model (the paper's ~10 MB deployment artifact,
+ * Sec. VI-D) into a render *service*: requests are admitted into a
+ * bounded queue, batched by model, rendered as parallel row-tiles on a
+ * work-sharing thread pool, and degraded or shed under deadline
+ * pressure instead of blocking.
+ */
+
+#ifndef FUSION3D_SERVE_SERVE_H_
+#define FUSION3D_SERVE_SERVE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/image.h"
+#include "nerf/camera.h"
+#include "nerf/parallel_render.h"
+
+namespace fusion3d::serve
+{
+
+/** Clock all deadlines are expressed in. */
+using Clock = std::chrono::steady_clock;
+
+/** How the server disposed of a request. */
+enum class Outcome
+{
+    /** Rendered at the requested resolution. */
+    renderedFull,
+    /** Degrade step 1: rendered at half resolution, upsampled. */
+    renderedHalf,
+    /** Degrade step 2: reprojected from the model's last rendered
+     *  frame via the image-warp path (frame reuse a la MetaVRain). */
+    renderedWarp,
+    /** Shed at admission: the bounded queue was full. */
+    rejectedQueueFull,
+    /** Shed at dispatch: the deadline had passed, or no degrade step
+     *  could meet it. */
+    rejectedDeadline,
+    /** The named model is not in the registry. */
+    rejectedUnknownModel,
+};
+
+/** Human-readable name of @p outcome. */
+const char *outcomeName(Outcome outcome);
+
+/** True for the shed (non-image-producing) outcomes. */
+bool isRejected(Outcome outcome);
+
+/** One render request. */
+struct RenderRequest
+{
+    /** Registry name of the model to render. */
+    std::string model;
+    /** View to render; its width/height set the requested resolution. */
+    nerf::Camera camera;
+    /** Completion deadline; max() means "no deadline". */
+    Clock::time_point deadline = Clock::time_point::max();
+    /** Higher priority is dequeued first. */
+    int priority = 0;
+};
+
+/** What the server returns for one request. */
+struct RenderResponse
+{
+    Outcome outcome = Outcome::rejectedDeadline;
+    /** Rendered (or warped) frame at the requested resolution; empty
+     *  when the request was rejected. */
+    Image image;
+    /** Submit-to-completion latency. */
+    double latencyMs = 0.0;
+    /** Server-assigned request id (submission order). */
+    std::uint64_t id = 0;
+};
+
+/** Server configuration. */
+struct ServeConfig
+{
+    /** Worker threads of the render pool. Requests run as pool tasks
+     *  and split their frames into row-tiles on the same pool, so idle
+     *  workers help finish a neighbour's frame (work sharing). */
+    int renderThreads = 2;
+    /** Bounded request-queue capacity (admission control). */
+    int queueCapacity = 64;
+    /** Max same-model requests dispatched as one batch. */
+    int maxBatch = 8;
+    /** Requests in flight before the dispatcher stops pulling from the
+     *  queue; 0 = 2 * renderThreads. Backpressure makes overload land
+     *  in the bounded queue, where admission control can see it. */
+    int maxInFlight = 0;
+    /** Tiled-render parameters (sampler, compositing, tile height). */
+    nerf::TiledRenderConfig render;
+    /** Safety factor on the cost estimate used by the degrade ladder:
+     *  a request is degraded when estimated cost * headroom exceeds
+     *  the time remaining until its deadline. */
+    double estimateHeadroom = 1.2;
+};
+
+} // namespace fusion3d::serve
+
+#endif // FUSION3D_SERVE_SERVE_H_

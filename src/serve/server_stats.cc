@@ -1,0 +1,149 @@
+#include "serve/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fusion3d::serve
+{
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::renderedFull:
+        return "rendered_full";
+      case Outcome::renderedHalf:
+        return "rendered_half";
+      case Outcome::renderedWarp:
+        return "rendered_warp";
+      case Outcome::rejectedQueueFull:
+        return "rejected_queue_full";
+      case Outcome::rejectedDeadline:
+        return "rejected_deadline";
+      case Outcome::rejectedUnknownModel:
+        return "rejected_unknown_model";
+    }
+    return "?";
+}
+
+bool
+isRejected(Outcome outcome)
+{
+    return outcome == Outcome::rejectedQueueFull ||
+           outcome == Outcome::rejectedDeadline ||
+           outcome == Outcome::rejectedUnknownModel;
+}
+
+ServerStats::ServerStats()
+    : group_("serve"),
+      submitted_(group_.addCounter("submitted")),
+      latency_ms_(group_.addDistribution("latency_ms")),
+      queue_depth_(group_.addDistribution("queue_depth_at_submit")),
+      batch_size_(group_.addDistribution("batch_size")),
+      latency_log2us_(group_.addHistogram("latency_log2_us"))
+{
+    for (int i = 0; i < kOutcomes; ++i)
+        outcomes_[i] = &group_.addCounter(outcomeName(static_cast<Outcome>(i)));
+}
+
+void
+ServerStats::recordSubmitted(std::size_t queue_depth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    submitted_.inc();
+    queue_depth_.sample(static_cast<double>(queue_depth));
+}
+
+void
+ServerStats::recordOutcome(Outcome outcome, double latency_ms)
+{
+    const int idx = static_cast<int>(outcome);
+    if (idx < 0 || idx >= kOutcomes)
+        panic("ServerStats: outcome %d out of range", idx);
+    std::lock_guard<std::mutex> lock(mutex_);
+    outcomes_[idx]->inc();
+    latency_ms_.sample(latency_ms);
+    const double us = std::max(latency_ms * 1000.0, 1.0);
+    latency_log2us_.sample(
+        static_cast<std::uint64_t>(std::floor(std::log2(us))));
+}
+
+void
+ServerStats::recordBatch(int size)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_size_.sample(static_cast<double>(size));
+}
+
+std::uint64_t
+ServerStats::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_.value();
+}
+
+std::uint64_t
+ServerStats::count(Outcome outcome) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outcomes_[static_cast<int>(outcome)]->value();
+}
+
+std::uint64_t
+ServerStats::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = 0;
+    for (int i = 0; i < kOutcomes; ++i)
+        n += outcomes_[i]->value();
+    return n;
+}
+
+std::uint64_t
+ServerStats::degraded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outcomes_[static_cast<int>(Outcome::renderedHalf)]->value() +
+           outcomes_[static_cast<int>(Outcome::renderedWarp)]->value();
+}
+
+std::uint64_t
+ServerStats::shed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outcomes_[static_cast<int>(Outcome::rejectedQueueFull)]->value() +
+           outcomes_[static_cast<int>(Outcome::rejectedDeadline)]->value() +
+           outcomes_[static_cast<int>(Outcome::rejectedUnknownModel)]->value();
+}
+
+double
+ServerStats::meanLatencyMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return latency_ms_.mean();
+}
+
+double
+ServerStats::maxLatencyMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return latency_ms_.max();
+}
+
+double
+ServerStats::meanBatchSize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batch_size_.mean();
+}
+
+void
+ServerStats::dump(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    group_.dump(os);
+}
+
+} // namespace fusion3d::serve

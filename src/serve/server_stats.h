@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Serving metrics, built on the sim::Stats package the cycle-level
+ * models already use: per-outcome counters, a submit-to-completion
+ * latency distribution plus a log2-microsecond histogram, queue-depth
+ * and batch-size distributions. All recording methods are thread-safe;
+ * RenderServer::drain() leaves the block consistent for printing.
+ */
+
+#ifndef FUSION3D_SERVE_SERVER_STATS_H_
+#define FUSION3D_SERVE_SERVER_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+
+#include "serve/serve.h"
+#include "sim/stats.h"
+
+namespace fusion3d::serve
+{
+
+/** Thread-safe statistics block of one RenderServer. */
+class ServerStats
+{
+  public:
+    ServerStats();
+
+    /** Record a request entering submit(), and the queue depth it saw. */
+    void recordSubmitted(std::size_t queue_depth);
+
+    /** Record a request leaving the server. */
+    void recordOutcome(Outcome outcome, double latency_ms);
+
+    /** Record one dispatched batch of @p size same-model requests. */
+    void recordBatch(int size);
+
+    /** Requests that entered submit(). */
+    std::uint64_t submitted() const;
+
+    /** Requests that finished with @p outcome. */
+    std::uint64_t count(Outcome outcome) const;
+
+    /** Completed = all outcomes, rejected or rendered. */
+    std::uint64_t completed() const;
+
+    /** Requests served degraded (half resolution or warped). */
+    std::uint64_t degraded() const;
+
+    /** Requests shed (queue full, deadline, unknown model). */
+    std::uint64_t shed() const;
+
+    double meanLatencyMs() const;
+    double maxLatencyMs() const;
+    double meanBatchSize() const;
+
+    /** Dump every stat in the StatGroup text format. */
+    void dump(std::ostream &os) const;
+
+  private:
+    static constexpr int kOutcomes = 6;
+
+    mutable std::mutex mutex_;
+    sim::StatGroup group_;
+    sim::Counter &submitted_;
+    sim::Counter *outcomes_[kOutcomes];
+    sim::Distribution &latency_ms_;
+    sim::Distribution &queue_depth_;
+    sim::Distribution &batch_size_;
+    sim::Histogram &latency_log2us_;
+};
+
+} // namespace fusion3d::serve
+
+#endif // FUSION3D_SERVE_SERVER_STATS_H_

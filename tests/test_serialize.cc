@@ -1,0 +1,213 @@
+/** @file Robustness tests of the .f3dm model artifact reader/writer:
+ *  round-trip equality, and clean diagnosable failures on truncated,
+ *  magic-corrupted, and wrong-version files. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nerf/nerf_model.h"
+#include "nerf/serialize.h"
+
+namespace fusion3d::nerf
+{
+namespace
+{
+
+NerfModelConfig
+tinyConfig()
+{
+    NerfModelConfig cfg;
+    cfg.grid.levels = 4;
+    cfg.grid.featuresPerLevel = 2;
+    cfg.grid.log2TableSize = 9;
+    cfg.grid.baseResolution = 4;
+    cfg.grid.maxResolution = 32;
+    cfg.geoFeatures = 7;
+    cfg.densityHidden = 16;
+    cfg.colorHidden = 16;
+    cfg.shDegree = 2;
+    return cfg;
+}
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+std::vector<unsigned char>
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<unsigned char> bytes;
+    unsigned char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeAll(const std::string &path, const std::vector<unsigned char> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+}
+
+void
+expectSpansEqual(std::span<const float> a, std::span<const float> b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "param " << i;
+}
+
+TEST(Serialize, RoundTripIsBitExact)
+{
+    const NerfModel model(tinyConfig(), /*seed=*/99);
+    const std::string path = tmpPath("roundtrip.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    const LoadResult r = loadModelVerbose(path);
+    ASSERT_TRUE(static_cast<bool>(r)) << r.message;
+    EXPECT_EQ(r.status, LoadStatus::ok);
+    ASSERT_NE(r.model, nullptr);
+    expectSpansEqual(model.encoding().params(), r.model->encoding().params());
+    expectSpansEqual(model.densityNet().params(), r.model->densityNet().params());
+    expectSpansEqual(model.colorNet().params(), r.model->colorNet().params());
+}
+
+TEST(Serialize, MissingFileIsIoError)
+{
+    const LoadResult r = loadModelVerbose(tmpPath("does_not_exist.f3dm"));
+    EXPECT_EQ(r.status, LoadStatus::ioError);
+    EXPECT_EQ(r.model, nullptr);
+    EXPECT_FALSE(r.message.empty());
+    EXPECT_EQ(loadModel(tmpPath("does_not_exist.f3dm")), nullptr);
+}
+
+TEST(Serialize, CorruptedMagicIsDiagnosed)
+{
+    const NerfModel model(tinyConfig());
+    const std::string path = tmpPath("badmagic.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    std::vector<unsigned char> bytes = readAll(path);
+    bytes[0] = 'X';
+    writeAll(path, bytes);
+
+    const LoadResult r = loadModelVerbose(path);
+    EXPECT_EQ(r.status, LoadStatus::badMagic);
+    EXPECT_EQ(r.model, nullptr);
+}
+
+TEST(Serialize, WrongVersionIsDiagnosed)
+{
+    const NerfModel model(tinyConfig());
+    const std::string path = tmpPath("badversion.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    // The u32 format version sits directly after the 4 magic bytes.
+    std::vector<unsigned char> bytes = readAll(path);
+    bytes[4] = 0xfe;
+    bytes[5] = 0xff;
+    writeAll(path, bytes);
+
+    const LoadResult r = loadModelVerbose(path);
+    EXPECT_EQ(r.status, LoadStatus::badVersion);
+    EXPECT_EQ(r.model, nullptr);
+}
+
+TEST(Serialize, TruncatedPayloadIsDiagnosed)
+{
+    const NerfModel model(tinyConfig());
+    const std::string path = tmpPath("truncated.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    std::vector<unsigned char> bytes = readAll(path);
+    ASSERT_GT(bytes.size(), 200u);
+    bytes.resize(bytes.size() / 2); // header intact, payload cut short
+    writeAll(path, bytes);
+
+    const LoadResult r = loadModelVerbose(path);
+    EXPECT_EQ(r.status, LoadStatus::truncated);
+    EXPECT_EQ(r.model, nullptr);
+}
+
+TEST(Serialize, TruncatedHeaderIsDiagnosed)
+{
+    const NerfModel model(tinyConfig());
+    const std::string path = tmpPath("shortheader.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    std::vector<unsigned char> bytes = readAll(path);
+    bytes.resize(10); // shorter than the header itself
+    writeAll(path, bytes);
+
+    const LoadResult r = loadModelVerbose(path);
+    EXPECT_EQ(r.status, LoadStatus::truncated);
+    EXPECT_EQ(r.model, nullptr);
+}
+
+TEST(Serialize, InsaneHeaderDimensionsAreRejected)
+{
+    const NerfModel model(tinyConfig());
+    const std::string path = tmpPath("badheader.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    // Stomp the levels field (first i32 after magic+version) with a
+    // value saveModel could never have written.
+    std::vector<unsigned char> bytes = readAll(path);
+    bytes[8] = 0xff;
+    bytes[9] = 0xff;
+    bytes[10] = 0xff;
+    bytes[11] = 0x7f;
+    writeAll(path, bytes);
+
+    const LoadResult r = loadModelVerbose(path);
+    EXPECT_EQ(r.status, LoadStatus::headerMismatch);
+    EXPECT_EQ(r.model, nullptr);
+}
+
+TEST(Serialize, LoadStatusNamesAreStable)
+{
+    EXPECT_STREQ(loadStatusName(LoadStatus::ok), "ok");
+    EXPECT_STREQ(loadStatusName(LoadStatus::badMagic), "bad magic");
+    EXPECT_STREQ(loadStatusName(LoadStatus::truncated), "truncated");
+}
+
+TEST(LoadInto, CopiesAllParameterBlocks)
+{
+    const NerfModel src(tinyConfig(), /*seed=*/7);
+    NerfModel dst(tinyConfig(), /*seed=*/8);
+    ASSERT_NE(src.encoding().params()[0], dst.encoding().params()[0]);
+
+    ASSERT_TRUE(loadInto(dst, src));
+    expectSpansEqual(src.encoding().params(), dst.encoding().params());
+    expectSpansEqual(src.densityNet().params(), dst.densityNet().params());
+    expectSpansEqual(src.colorNet().params(), dst.colorNet().params());
+}
+
+TEST(LoadInto, RejectsMismatchedArchitectures)
+{
+    const NerfModel src(tinyConfig());
+    NerfModelConfig other = tinyConfig();
+    other.densityHidden = 24;
+    NerfModel dst(other, /*seed=*/3);
+    const float before = dst.densityNet().params()[0];
+
+    EXPECT_FALSE(loadInto(dst, src));
+    EXPECT_EQ(dst.densityNet().params()[0], before); // nothing copied
+}
+
+} // namespace
+} // namespace fusion3d::nerf

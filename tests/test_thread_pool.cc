@@ -1,0 +1,138 @@
+/** @file Tests of the work-sharing ThreadPool: task completion,
+ *  exception propagation, nested submission without deadlock, and the
+ *  caller-participating parallelFor. Expected to pass under
+ *  -DFUSION3D_SANITIZE=thread. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fusion3d
+{
+namespace
+{
+
+TEST(ThreadPool, CompletesAllSubmittedTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&done]() { done.fetch_add(1); }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, SubmitReturnsValues)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([]() { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The pool must survive a throwing task.
+    EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (const int grain : {1, 3, 16, 1000}) {
+        std::vector<std::atomic<int>> hits(257);
+        pool.parallelFor(
+            0, 257,
+            [&hits](int b, int e) {
+                for (int i = b; i < e; ++i)
+                    hits[static_cast<std::size_t>(i)].fetch_add(1);
+            },
+            grain);
+        for (const auto &h : hits)
+            ASSERT_EQ(h.load(), 1) << "grain " << grain;
+    }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsANoop)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(5, 5, [&ran](int, int) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    EXPECT_THROW(pool.parallelFor(0, 64,
+                                  [&done](int b, int) {
+                                      if (b == 7)
+                                          throw std::runtime_error("chunk 7");
+                                      done.fetch_add(1);
+                                  }),
+                 std::runtime_error);
+    // All non-throwing chunks still ran (no chunk is abandoned).
+    EXPECT_EQ(done.load(), 63);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(2); // fewer threads than outer chunks
+    std::atomic<int> done{0};
+    pool.parallelFor(0, 8, [&pool, &done](int, int) {
+        pool.parallelFor(0, 8, [&done](int, int) { done.fetch_add(1); });
+    });
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, NestedSubmitWithWaitHelpingDoesNotDeadlock)
+{
+    // One worker: a task that blocked on its children would deadlock.
+    ThreadPool pool(1);
+    auto outer = pool.submit([&pool]() {
+        int sum = 0;
+        std::vector<std::future<int>> children;
+        for (int i = 0; i < 8; ++i)
+            children.push_back(pool.submit([i]() { return i; }));
+        for (auto &c : children)
+            sum += pool.waitHelping(c);
+        return sum;
+    });
+    EXPECT_EQ(pool.waitHelping(outer), 28);
+}
+
+TEST(ThreadPool, ZeroThreadPoolRunsOnCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 0);
+
+    std::atomic<int> done{0};
+    pool.parallelFor(0, 10, [&done](int b, int e) { done.fetch_add(e - b); });
+    EXPECT_EQ(done.load(), 10);
+
+    auto f = pool.submit([]() { return 5; });
+    EXPECT_EQ(pool.waitHelping(f), 5);
+}
+
+TEST(ThreadPool, DestructorRunsPendingTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&done]() { done.fetch_add(1); });
+    }
+    EXPECT_EQ(done.load(), 50);
+}
+
+} // namespace
+} // namespace fusion3d
