@@ -4,16 +4,29 @@
  * RenderServer across render-thread counts, on the Sec. VI-D style
  * deployment path (deserialized model -> registry -> tiled render).
  * Prints the usual table plus one machine-readable JSON summary line
- * (prefixed "JSON:") for scripted harvesting.
+ * (prefixed "JSON:") for scripted harvesting, now including tail
+ * latency (p50/p95/p99 from the log2-bucket quantile estimator) and
+ * per-outcome counts.
  *
  * Usage: bench_serve_throughput [frames_per_config] [resolution]
+ *            [--trace FILE] [--metrics FILE]
+ *
+ *  --trace FILE    enable the span tracer and write a Chrome
+ *                  trace-event JSON (Perfetto / chrome://tracing) with
+ *                  spans from the serve, thread_pool and
+ *                  parallel_render layers;
+ *  --metrics FILE  write a Prometheus text-exposition snapshot of the
+ *                  obs::MetricsRegistry after the run.
  */
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +34,8 @@
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "nerf/nerf_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/scheduler.h"
 
@@ -35,6 +50,10 @@ struct ThroughputPoint
     double fps;
     double meanLatencyMs;
     double meanBatchSize;
+    double p50Ms;
+    double p95Ms;
+    double p99Ms;
+    std::uint64_t outcomes[6];
 };
 
 nerf::Camera
@@ -44,8 +63,14 @@ orbitFrame(int i, int size)
                                static_cast<float>(i * 7 % 360), size, size);
 }
 
+/**
+ * Measure one thread-count configuration. When @p metrics_out is
+ * non-null it receives a Prometheus snapshot taken before the server
+ * (whose ServerStats unregisters on destruction) goes away.
+ */
 ThroughputPoint
-measure(const serve::ModelRegistry &registry, int threads, int frames, int size)
+measure(const serve::ModelRegistry &registry, int threads, int frames, int size,
+        std::string *metrics_out = nullptr)
 {
     serve::ServeConfig sc;
     sc.renderThreads = threads;
@@ -75,8 +100,23 @@ measure(const serve::ModelRegistry &registry, int threads, int frames, int size)
             .count();
     server.shutdown();
 
-    return {threads, static_cast<double>(frames) / seconds,
-            server.stats().meanLatencyMs(), server.stats().meanBatchSize()};
+    ThroughputPoint p{};
+    p.threads = threads;
+    p.fps = static_cast<double>(frames) / seconds;
+    p.meanLatencyMs = server.stats().meanLatencyMs();
+    p.meanBatchSize = server.stats().meanBatchSize();
+    p.p50Ms = server.stats().p50LatencyMs();
+    p.p95Ms = server.stats().p95LatencyMs();
+    p.p99Ms = server.stats().p99LatencyMs();
+    for (int i = 0; i < 6; ++i)
+        p.outcomes[i] =
+            server.stats().count(static_cast<serve::Outcome>(i));
+    if (metrics_out) {
+        std::ostringstream os;
+        obs::MetricsRegistry::global().exportPrometheus(os);
+        *metrics_out = os.str();
+    }
+    return p;
 }
 
 } // namespace
@@ -84,8 +124,31 @@ measure(const serve::ModelRegistry &registry, int threads, int frames, int size)
 int
 main(int argc, char **argv)
 {
-    const int frames = argc > 1 ? std::atoi(argv[1]) : 24;
-    const int size = argc > 2 ? std::atoi(argv[2]) : 48;
+    int frames = 24;
+    int size = 48;
+    std::string trace_path;
+    std::string metrics_path;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (positional == 0) {
+            frames = std::atoi(argv[i]);
+            ++positional;
+        } else if (positional == 1) {
+            size = std::atoi(argv[i]);
+            ++positional;
+        } else {
+            fatal("usage: %s [frames] [resolution] [--trace FILE] "
+                  "[--metrics FILE]",
+                  argv[0]);
+        }
+    }
+
+    if (!trace_path.empty())
+        obs::Tracer::instance().setEnabled(true);
 
     nerf::NerfModelConfig mc;
     mc.grid.levels = 6;
@@ -102,32 +165,66 @@ main(int argc, char **argv)
     registry.add("bench", std::make_unique<nerf::NerfModel>(mc, 2024));
 
     bench::banner("Serving throughput: closed-loop frames/s vs render threads");
-    std::printf("%-16s %12s %18s %16s\n", "render threads", "frames/s",
-                "mean latency (ms)", "mean batch size");
+    std::printf("%-16s %12s %15s %11s %11s %11s %12s\n", "render threads",
+                "frames/s", "mean lat (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                "mean batch");
 
+    std::string metrics_text;
     std::vector<ThroughputPoint> points;
     for (const int threads : {1, 2, 4}) {
-        points.push_back(measure(registry, threads, frames, size));
+        points.push_back(measure(registry, threads, frames, size,
+                                 threads == 4 && !metrics_path.empty()
+                                     ? &metrics_text
+                                     : nullptr));
         const ThroughputPoint &p = points.back();
-        std::printf("%-16d %12.2f %18.2f %16.2f\n", p.threads, p.fps,
-                    p.meanLatencyMs, p.meanBatchSize);
+        std::printf("%-16d %12.2f %15.2f %11.2f %11.2f %11.2f %12.2f\n",
+                    p.threads, p.fps, p.meanLatencyMs, p.p50Ms, p.p95Ms,
+                    p.p99Ms, p.meanBatchSize);
     }
     bench::rule();
 
     std::string json = "{\"bench\":\"serve_throughput\",\"resolution\":" +
                        std::to_string(size) +
                        ",\"frames\":" + std::to_string(frames) + ",\"points\":[";
-    char buf[160];
+    char buf[256];
     for (std::size_t i = 0; i < points.size(); ++i) {
+        const ThroughputPoint &p = points[i];
         std::snprintf(buf, sizeof(buf),
-                      "%s{\"threads\":%d,\"fps\":%.3f,\"mean_latency_ms\":%.3f}",
-                      i ? "," : "", points[i].threads, points[i].fps,
-                      points[i].meanLatencyMs);
+                      "%s{\"threads\":%d,\"fps\":%.3f,\"mean_latency_ms\":%.3f,"
+                      "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,"
+                      "\"outcomes\":{",
+                      i ? "," : "", p.threads, p.fps, p.meanLatencyMs, p.p50Ms,
+                      p.p95Ms, p.p99Ms);
         json += buf;
+        for (int o = 0; o < 6; ++o) {
+            std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", o ? "," : "",
+                          serve::outcomeName(static_cast<serve::Outcome>(o)),
+                          static_cast<unsigned long long>(p.outcomes[o]));
+            json += buf;
+        }
+        json += "}}";
     }
     std::snprintf(buf, sizeof(buf), "],\"speedup_4v1\":%.3f}",
                   points.back().fps / points.front().fps);
     json += buf;
     std::printf("JSON: %s\n", json.c_str());
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out)
+            fatal("cannot open trace file '%s'", trace_path.c_str());
+        obs::Tracer::instance().writeChromeTrace(out);
+        inform("wrote %zu trace spans to %s (%llu dropped)",
+               obs::Tracer::instance().eventCount(), trace_path.c_str(),
+               static_cast<unsigned long long>(
+                   obs::Tracer::instance().dropped()));
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out)
+            fatal("cannot open metrics file '%s'", metrics_path.c_str());
+        out << metrics_text;
+        inform("wrote metrics snapshot to %s", metrics_path.c_str());
+    }
     return 0;
 }

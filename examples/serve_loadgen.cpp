@@ -14,12 +14,20 @@
  *     must terminate cleanly with nonzero degrade/shed counters.
  *
  * Usage: serve_loadgen [frames_per_config] [resolution]
+ *            [--trace FILE] [--metrics FILE]
+ *
+ *  --trace FILE    enable the span tracer and write a Chrome
+ *                  trace-event JSON (load in Perfetto) of the run;
+ *  --metrics FILE  write a Prometheus text snapshot of the overload
+ *                  phase's metrics.
  */
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -28,6 +36,8 @@
 
 #include "common/logging.h"
 #include "nerf/nerf_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/scheduler.h"
 
@@ -107,8 +117,31 @@ closedLoopFps(serve::RenderServer &server, int frames, int clients, int size)
 int
 main(int argc, char **argv)
 {
-    const int frames = std::max(argc > 1 ? std::atoi(argv[1]) : 24, 1);
-    const int size = std::max(argc > 2 ? std::atoi(argv[2]) : 48, 8);
+    int frames = 24;
+    int size = 48;
+    std::string trace_path;
+    std::string metrics_path;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (positional == 0) {
+            frames = std::max(std::atoi(argv[i]), 1);
+            ++positional;
+        } else if (positional == 1) {
+            size = std::max(std::atoi(argv[i]), 8);
+            ++positional;
+        } else {
+            fatal("usage: %s [frames] [resolution] [--trace FILE] "
+                  "[--metrics FILE]",
+                  argv[0]);
+        }
+    }
+
+    if (!trace_path.empty())
+        obs::Tracer::instance().setEnabled(true);
 
     serve::ModelRegistry registry(/*occupancy_resolution=*/16);
     registry.add("demo",
@@ -192,10 +225,32 @@ main(int argc, char **argv)
     server.shutdown();
 
     const auto &stats = server.stats();
-    inform("overload summary: %llu submitted, %llu degraded, %llu shed",
+    inform("overload summary: %llu submitted, %llu degraded, %llu shed; "
+           "latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms",
            static_cast<unsigned long long>(stats.submitted()),
            static_cast<unsigned long long>(stats.degraded()),
-           static_cast<unsigned long long>(stats.shed()));
+           static_cast<unsigned long long>(stats.shed()),
+           stats.p50LatencyMs(), stats.p95LatencyMs(), stats.p99LatencyMs());
+
+    // Export while `server` is alive: its ServerStats unregisters from
+    // the global registry on destruction.
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out)
+            fatal("cannot open metrics file '%s'", metrics_path.c_str());
+        obs::MetricsRegistry::global().exportPrometheus(out);
+        inform("wrote metrics snapshot to %s", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out)
+            fatal("cannot open trace file '%s'", trace_path.c_str());
+        obs::Tracer::instance().writeChromeTrace(out);
+        inform("wrote %zu trace spans to %s (%llu dropped)",
+               obs::Tracer::instance().eventCount(), trace_path.c_str(),
+               static_cast<unsigned long long>(
+                   obs::Tracer::instance().dropped()));
+    }
 
     bool ok = scaling_ok;
     if (stats.degraded() == 0) {

@@ -2,11 +2,71 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "sim/stats.h"
 
 namespace fusion3d::chip
 {
+
+namespace
+{
+
+/**
+ * Process-wide accounting of every PerfModel run's per-module cycles,
+ * exported through obs::MetricsRegistry ("chip.perf" collector) so a
+ * metrics snapshot attributes modeled time to Stage I/II/III the same
+ * way a trace attributes wall-clock to serving stages.
+ */
+class PerfModelStats
+{
+  public:
+    static PerfModelStats &
+    instance()
+    {
+        static PerfModelStats stats;
+        return stats;
+    }
+
+    void
+    recordRun(const ChipRunResult &r)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        runs_.inc();
+        stage1_.sample(static_cast<double>(r.stage1Cycles));
+        stage2_.sample(static_cast<double>(r.stage2Cycles));
+        stage3_.sample(static_cast<double>(r.stage3Cycles));
+        total_.sample(static_cast<double>(r.totalCycles));
+    }
+
+  private:
+    PerfModelStats()
+        : group_("chip.perf"),
+          runs_(group_.addCounter("runs")),
+          stage1_(group_.addDistribution("stage1_cycles")),
+          stage2_(group_.addDistribution("stage2_cycles")),
+          stage3_(group_.addDistribution("stage3_cycles")),
+          total_(group_.addDistribution("total_cycles"))
+    {
+        obs::MetricsRegistry::global().registerCollector(
+            "chip.perf", [this](obs::MetricSink &sink) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                group_.collect(sink);
+            });
+    }
+
+    std::mutex mutex_;
+    sim::StatGroup group_;
+    sim::Counter &runs_;
+    sim::Distribution &stage1_;
+    sim::Distribution &stage2_;
+    sim::Distribution &stage3_;
+    sim::Distribution &total_;
+};
+
+} // namespace
 
 ChipRunResult
 PerfModel::combine(const WorkloadProfile &wl, Cycles s1, Cycles s2, Cycles s3) const
@@ -27,6 +87,7 @@ PerfModel::combine(const WorkloadProfile &wl, Cycles s1, Cycles s2, Cycles s3) c
     }
     if (wl.validPoints > 0)
         r.energyPerPointNj = r.energyJ * 1e9 / static_cast<double>(wl.validPoints);
+    PerfModelStats::instance().recordRun(r);
     return r;
 }
 

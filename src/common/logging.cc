@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <vector>
 
 namespace fusion3d
@@ -24,7 +28,84 @@ vformat(const char *fmt, std::va_list args)
     return std::string(buf.data(), static_cast<std::size_t>(needed));
 }
 
+/** Serializes every emitted line; warn()/inform() no longer interleave
+ *  under the ThreadPool. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("FUSION3D_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::info;
+    if (std::strcmp(env, "silent") == 0 || std::strcmp(env, "none") == 0 ||
+        std::strcmp(env, "error") == 0)
+        return LogLevel::silent;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "warning") == 0)
+        return LogLevel::warning;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::info;
+    std::fprintf(stderr,
+                 "warn: FUSION3D_LOG_LEVEL '%s' not one of "
+                 "silent|warn|info; using info\n",
+                 env);
+    return LogLevel::info;
+}
+
+std::atomic<LogLevel> &
+levelHolder()
+{
+    static std::atomic<LogLevel> level{levelFromEnv()};
+    return level;
+}
+
+bool
+timestampsEnabled()
+{
+    static const bool enabled = []() {
+        const char *env = std::getenv("FUSION3D_LOG_TIMESTAMPS");
+        return env && *env && std::strcmp(env, "0") != 0;
+    }();
+    return enabled;
+}
+
+/** Write "prefix: message\n" to @p out under the log mutex, optionally
+ *  timestamped with seconds since logging start. */
+void
+emit(std::FILE *out, const char *prefix, const std::string &message)
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (timestampsEnabled()) {
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          epoch)
+                .count();
+        std::fprintf(out, "[%9.3f] %s: %s\n", seconds, prefix, message.c_str());
+    } else {
+        std::fprintf(out, "%s: %s\n", prefix, message.c_str());
+    }
+    std::fflush(out);
+}
+
 } // namespace
+
+LogLevel
+logLevel()
+{
+    return levelHolder().load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelHolder().store(level, std::memory_order_relaxed);
+}
 
 std::string
 strprintf(const char *fmt, ...)
@@ -43,7 +124,7 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    emit(stderr, "panic", s);
     std::abort();
 }
 
@@ -54,28 +135,32 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    emit(stderr, "fatal", s);
     std::exit(1);
 }
 
 void
 warn(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::warning)
+        return;
     std::va_list args;
     va_start(args, fmt);
     std::string s = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    emit(stderr, "warn", s);
 }
 
 void
 inform(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::info)
+        return;
     std::va_list args;
     va_start(args, fmt);
     std::string s = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stdout, "info: %s\n", s.c_str());
+    emit(stdout, "info", s);
 }
 
 } // namespace fusion3d

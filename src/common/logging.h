@@ -6,6 +6,15 @@
  * fatal()  - the user supplied an impossible configuration; exits cleanly.
  * warn()   - something is suspicious but the run can continue.
  * inform() - plain status output.
+ *
+ * All writers serialize on one mutex, so lines from concurrent pool
+ * workers never interleave. Environment knobs (read once, at first use):
+ *
+ *  - FUSION3D_LOG_LEVEL = silent | warn | info (default info): "warn"
+ *    suppresses inform(), "silent" also suppresses warn(). panic() and
+ *    fatal() always print.
+ *  - FUSION3D_LOG_TIMESTAMPS = 1 prefixes each line with seconds since
+ *    process logging start, e.g. "[  12.345]".
  */
 
 #ifndef FUSION3D_COMMON_LOGGING_H_
@@ -16,6 +25,20 @@
 
 namespace fusion3d
 {
+
+/** Verbosity threshold of warn()/inform(). */
+enum class LogLevel
+{
+    silent = 0, ///< only panic/fatal
+    warning = 1,
+    info = 2,
+};
+
+/** Current threshold (from FUSION3D_LOG_LEVEL unless overridden). */
+LogLevel logLevel();
+
+/** Override the threshold programmatically (wins over the env var). */
+void setLogLevel(LogLevel level);
 
 /** Printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

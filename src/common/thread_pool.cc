@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace fusion3d
 {
@@ -53,7 +54,10 @@ ThreadPool::runOne()
         task = std::move(queue_.front());
         queue_.pop_front();
     }
-    task();
+    {
+        F3D_TRACE_SPAN("thread_pool", "task");
+        task();
+    }
     return true;
 }
 
@@ -70,6 +74,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        F3D_TRACE_SPAN("thread_pool", "task");
         task();
     }
 }

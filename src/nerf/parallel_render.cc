@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace fusion3d::nerf
 {
 
@@ -21,6 +23,7 @@ void
 renderRows(const NerfModel &model, const OccupancyGrid *grid, const Camera &camera,
            const TiledRenderConfig &cfg, int y0, int y1, Image &color, float *depth)
 {
+    F3D_TRACE_SPAN_ARG("parallel_render", "row_tile", y0);
     const RaySampler sampler(cfg.sampler);
     PointWorkspace ws = model.makeWorkspace();
     std::vector<RaySample> samples;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "nerf/sampler.h"
+#include "obs/trace.h"
 
 namespace fusion3d::nerf
 {
@@ -18,43 +19,55 @@ Trainer::Trainer(RadianceField &field, const Dataset &data, const TrainerConfig 
 void
 Trainer::trainIteration()
 {
+    F3D_TRACE_SPAN_ARG("train", "iteration", iter_);
     field_.zeroGrads();
 
     RayWorkload workload;
-    for (int r = 0; r < cfg_.raysPerBatch; ++r) {
-        const TrainView &view =
-            data_.train[rng_.nextBounded(static_cast<std::uint32_t>(data_.train.size()))];
-        const int px = static_cast<int>(rng_.nextBounded(
-            static_cast<std::uint32_t>(view.image.width())));
-        const int py = static_cast<int>(rng_.nextBounded(
-            static_cast<std::uint32_t>(view.image.height())));
-        const Ray ray = view.camera.rayForPixel(px, py, rng_.nextFloat(), rng_.nextFloat());
+    {
+        F3D_TRACE_SPAN("train", "ray_batch");
+        for (int r = 0; r < cfg_.raysPerBatch; ++r) {
+            const TrainView &view = data_.train[rng_.nextBounded(
+                static_cast<std::uint32_t>(data_.train.size()))];
+            const int px = static_cast<int>(rng_.nextBounded(
+                static_cast<std::uint32_t>(view.image.width())));
+            const int py = static_cast<int>(rng_.nextBounded(
+                static_cast<std::uint32_t>(view.image.height())));
+            const Ray ray =
+                view.camera.rayForPixel(px, py, rng_.nextFloat(), rng_.nextFloat());
 
-        const RayEval ev = field_.traceRay(ray, rng_, /*record=*/true, &workload);
-        ++total_rays_;
-        total_samples_ += static_cast<std::uint64_t>(ev.samples);
-        total_candidates_ += static_cast<std::uint64_t>(ev.candidates);
+            const RayEval ev = field_.traceRay(ray, rng_, /*record=*/true, &workload);
+            ++total_rays_;
+            total_samples_ += static_cast<std::uint64_t>(ev.samples);
+            total_candidates_ += static_cast<std::uint64_t>(ev.candidates);
 
-        const Vec3f gt = view.image.at(px, py);
-        const Vec3f dcolor = ev.color - gt; // d/dC of 0.5*|C-gt|^2
-        field_.backwardLastRay(dcolor);
+            const Vec3f gt = view.image.at(px, py);
+            const Vec3f dcolor = ev.color - gt; // d/dC of 0.5*|C-gt|^2
+            field_.backwardLastRay(dcolor);
+        }
     }
 
-    field_.optimizerStep();
+    {
+        F3D_TRACE_SPAN("train", "optimizer_step");
+        field_.optimizerStep();
+    }
     ++iter_;
 
     if (cfg_.occupancyUpdateEvery > 0 && iter_ >= cfg_.occupancyWarmup &&
         (iter_ - cfg_.occupancyWarmup) % cfg_.occupancyUpdateEvery == 0) {
+        F3D_TRACE_SPAN("train", "occupancy_update");
         field_.updateOccupancy(rng_);
     }
 
-    if (cfg_.quantizeEvery > 0 && iter_ % cfg_.quantizeEvery == 0)
+    if (cfg_.quantizeEvery > 0 && iter_ % cfg_.quantizeEvery == 0) {
+        F3D_TRACE_SPAN("train", "quantize_weights");
         field_.quantizeWeights();
+    }
 }
 
 Image
 Trainer::renderView(const Camera &camera)
 {
+    F3D_TRACE_SPAN("train", "render_view");
     Image out(camera.width(), camera.height());
     for (int y = 0; y < camera.height(); ++y) {
         for (int x = 0; x < camera.width(); ++x) {
@@ -69,6 +82,7 @@ Trainer::renderView(const Camera &camera)
 double
 Trainer::evalPsnr(int max_views)
 {
+    F3D_TRACE_SPAN("train", "eval_psnr");
     if (data_.test.empty())
         fatal("Trainer::evalPsnr: dataset has no test views");
     const int views = std::min<int>(max_views, static_cast<int>(data_.test.size()));

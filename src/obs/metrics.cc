@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace fusion3d::obs
+{
+
+void
+MetricsRegistry::registerCollector(const std::string &name, Collector collector)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[existing, fn] : collectors_) {
+        if (existing == name) {
+            fn = std::move(collector);
+            return;
+        }
+    }
+    collectors_.emplace_back(name, std::move(collector));
+}
+
+void
+MetricsRegistry::unregisterCollector(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors_.erase(
+        std::remove_if(collectors_.begin(), collectors_.end(),
+                       [&name](const auto &entry) { return entry.first == name; }),
+        collectors_.end());
+}
+
+std::size_t
+MetricsRegistry::collectorCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return collectors_.size();
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSample> samples;
+    MetricSink sink(samples);
+    for (const auto &[name, fn] : collectors_)
+        fn(sink);
+    return samples;
+}
+
+std::string
+MetricsRegistry::prometheusName(const std::string &name)
+{
+    std::string out = "fusion3d_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Format a double the way both exporters expect (no trailing zeros
+ *  surprises, NaN/inf spelled out for Prometheus). */
+std::string
+formatValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Escape a string into a JSON key (names are tame, but be safe). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::exportPrometheus(std::ostream &os) const
+{
+    const std::vector<MetricSample> samples = snapshot();
+    std::set<std::string> typed;
+    for (const MetricSample &s : samples) {
+        const std::string name = prometheusName(s.name);
+        if (typed.insert(name).second) {
+            os << "# TYPE " << name << ' '
+               << (s.kind == MetricKind::counter ? "counter" : "gauge") << '\n';
+        }
+        os << name;
+        if (!s.labels.empty())
+            os << '{' << s.labels << '}';
+        os << ' ' << formatValue(s.value) << '\n';
+    }
+}
+
+void
+MetricsRegistry::exportJsonLine(std::ostream &os) const
+{
+    const std::vector<MetricSample> samples = snapshot();
+    os << '{';
+    bool first = true;
+    for (const MetricSample &s : samples) {
+        if (!first)
+            os << ',';
+        first = false;
+        std::string key = s.name;
+        if (!s.labels.empty())
+            key += '[' + s.labels + ']';
+        const double v = s.value;
+        os << '"' << jsonEscape(key) << "\":";
+        // JSON has no NaN/Infinity literals; emit null for them.
+        if (std::isnan(v) || std::isinf(v))
+            os << "null";
+        else
+            os << formatValue(v);
+    }
+    os << "}\n";
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace fusion3d::obs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Process-wide metrics registry. Subsystems register named *collectors*
+ * — callbacks that append flat (name, value) samples when a snapshot is
+ * taken — so the registry never needs to know about `sim::StatGroup`,
+ * `serve::ServerStats`, or any other stats holder, and each holder can
+ * snapshot under its own lock. Two export formats:
+ *
+ *  - Prometheus text exposition (`exportPrometheus`): names sanitized
+ *    to [a-zA-Z0-9_:], prefixed `fusion3d_`, with `# TYPE` lines;
+ *  - a one-line JSON object (`exportJsonLine`) for scripted harvesting,
+ *    keyed by the raw dotted metric names.
+ *
+ * Like the tracer, this layer depends only on the standard library.
+ */
+
+#ifndef FUSION3D_OBS_METRICS_H_
+#define FUSION3D_OBS_METRICS_H_
+
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fusion3d::obs
+{
+
+/** Prometheus-style metric kind. */
+enum class MetricKind
+{
+    counter, ///< monotonically increasing
+    gauge,   ///< instantaneous value
+};
+
+/** One flat sample of a snapshot. */
+struct MetricSample
+{
+    /** Dotted hierarchical name, e.g. "serve.latency_ms.p99". */
+    std::string name;
+    /**
+     * Optional pre-formatted Prometheus label body (without braces),
+     * e.g. `le="7"`; appended as `[...]` to the JSON key.
+     */
+    std::string labels;
+    double value = 0.0;
+    MetricKind kind = MetricKind::gauge;
+};
+
+/** Append helper used by collectors. */
+class MetricSink
+{
+  public:
+    explicit MetricSink(std::vector<MetricSample> &out) : out_(out) {}
+
+    void
+    counter(std::string name, double value)
+    {
+        out_.push_back({std::move(name), {}, value, MetricKind::counter});
+    }
+
+    void
+    gauge(std::string name, double value)
+    {
+        out_.push_back({std::move(name), {}, value, MetricKind::gauge});
+    }
+
+    void
+    bucket(std::string name, std::string labels, double value)
+    {
+        out_.push_back(
+            {std::move(name), std::move(labels), value, MetricKind::counter});
+    }
+
+  private:
+    std::vector<MetricSample> &out_;
+};
+
+/**
+ * A registry of metric collectors. Thread-safe; collectors run in
+ * registration order under the registry mutex, so snapshots have a
+ * stable sample order.
+ */
+class MetricsRegistry
+{
+  public:
+    using Collector = std::function<void(MetricSink &)>;
+
+    MetricsRegistry() = default;
+
+    /**
+     * Register @p collector under @p name (used only for
+     * unregistration; sample names come from the collector itself).
+     * Re-registering a live name replaces the previous collector.
+     */
+    void registerCollector(const std::string &name, Collector collector);
+
+    /** Remove the collector registered as @p name (no-op if absent). */
+    void unregisterCollector(const std::string &name);
+
+    /** Number of registered collectors. */
+    std::size_t collectorCount() const;
+
+    /** Run every collector and return the flattened samples. */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Prometheus text exposition format. */
+    void exportPrometheus(std::ostream &os) const;
+
+    /** One-line JSON object keyed by raw dotted names. */
+    void exportJsonLine(std::ostream &os) const;
+
+    /** The process-wide registry. */
+    static MetricsRegistry &global();
+
+    /** Sanitize a dotted name into a Prometheus metric name. */
+    static std::string prometheusName(const std::string &name);
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, Collector>> collectors_;
+};
+
+} // namespace fusion3d::obs
+
+#endif // FUSION3D_OBS_METRICS_H_

@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace fusion3d::obs
+{
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+std::uint64_t
+Tracer::nowNs() const
+{
+    return toNs(std::chrono::steady_clock::now());
+}
+
+std::uint64_t
+Tracer::toNs(std::chrono::steady_clock::time_point tp) const
+{
+    if (tp <= epoch_)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+            .count());
+}
+
+Tracer::ThreadBuffer &
+Tracer::localBuffer()
+{
+    // The registry owns every buffer for the process lifetime, so the
+    // raw thread_local pointer stays valid even after its thread exits
+    // and writeChromeTrace() can walk buffers of joined threads.
+    thread_local ThreadBuffer *buffer = nullptr;
+    if (!buffer) {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        buffers_.push_back(std::make_unique<ThreadBuffer>(
+            static_cast<std::uint32_t>(buffers_.size())));
+        buffer = buffers_.back().get();
+    }
+    return *buffer;
+}
+
+void
+Tracer::record(const char *category, const char *name, std::uint64_t t0_ns,
+               std::uint64_t t1_ns)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer &buf = localBuffer();
+    const std::size_t n = buf.size.load(std::memory_order_relaxed);
+    if (n >= kThreadCapacity) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    TraceEvent &ev = buf.events[n];
+    ev.category = category;
+    ev.name = name;
+    ev.t0Ns = t0_ns;
+    ev.t1Ns = t1_ns;
+    ev.hasArg = false;
+    // Publish: readers acquire `size` and may then read slots < n+1.
+    buf.size.store(n + 1, std::memory_order_release);
+}
+
+void
+Tracer::recordArg(const char *category, const char *name, std::uint64_t t0_ns,
+                  std::uint64_t t1_ns, std::uint64_t arg)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer &buf = localBuffer();
+    const std::size_t n = buf.size.load(std::memory_order_relaxed);
+    if (n >= kThreadCapacity) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    TraceEvent &ev = buf.events[n];
+    ev.category = category;
+    ev.name = name;
+    ev.t0Ns = t0_ns;
+    ev.t1Ns = t1_ns;
+    ev.arg = arg;
+    ev.hasArg = true;
+    buf.size.store(n + 1, std::memory_order_release);
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    std::size_t n = 0;
+    for (const auto &buf : buffers_)
+        n += buf->size.load(std::memory_order_acquire);
+    return n;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    return dropped_.load(std::memory_order_relaxed);
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char line[256];
+    bool first = true;
+    for (const auto &buf : buffers_) {
+        const std::size_t n = buf->size.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceEvent &ev = buf->events[i];
+            // Complete ("X") events; ts/dur are microseconds (double).
+            std::snprintf(line, sizeof(line),
+                          "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                          "\"cat\":\"%s\",\"name\":\"%s\","
+                          "\"ts\":%.3f,\"dur\":%.3f",
+                          first ? "" : ",", buf->tid, ev.category, ev.name,
+                          static_cast<double>(ev.t0Ns) / 1e3,
+                          static_cast<double>(ev.t1Ns - ev.t0Ns) / 1e3);
+            os << line;
+            if (ev.hasArg) {
+                std::snprintf(line, sizeof(line),
+                              ",\"args\":{\"value\":%" PRIu64 "}", ev.arg);
+                os << line;
+            }
+            os << '}';
+            first = false;
+        }
+    }
+    os << "]}\n";
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    // Buffers stay registered (thread_local pointers reference them);
+    // only the published sizes are rewound. The caller guarantees no
+    // thread is concurrently recording.
+    for (auto &buf : buffers_)
+        buf->size.store(0, std::memory_order_release);
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace fusion3d::obs

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "nerf/parallel_render.h"
+#include "obs/trace.h"
 
 namespace fusion3d::serve
 {
@@ -55,6 +56,14 @@ RenderServer::RenderServer(const ModelRegistry &registry, const ServeConfig &cfg
 {
     if (cfg_.maxInFlight <= 0)
         cfg_.maxInFlight = 2 * std::max(cfg.renderThreads, 1);
+    // Expose this server's stats process-wide; the collector name only
+    // keys unregistration (~ServerStats), so a counter keeps servers
+    // that coexist (benches sweep thread counts) from colliding.
+    static std::atomic<std::uint64_t> server_seq{0};
+    stats_.registerWith(obs::MetricsRegistry::global(),
+                        strprintf("serve.server%llu",
+                                  static_cast<unsigned long long>(
+                                      server_seq.fetch_add(1))));
     dispatcher_ = std::thread([this]() { dispatchLoop(); });
 }
 
@@ -66,6 +75,7 @@ RenderServer::~RenderServer()
 std::future<RenderResponse>
 RenderServer::submit(RenderRequest request)
 {
+    F3D_TRACE_SPAN("serve", "submit");
     QueuedRequest qr;
     qr.request = std::move(request);
     qr.enqueued = Clock::now();
@@ -96,7 +106,21 @@ RenderServer::dispatchLoop()
 {
     std::vector<QueuedRequest> batch;
     while (queue_.popBatch(batch, cfg_.maxBatch)) {
+        F3D_TRACE_SPAN_ARG("serve", "dispatch_batch", batch.size());
         stats_.recordBatch(static_cast<int>(batch.size()));
+
+        // One queue-wait span per request, backdated to its enqueue
+        // time: in a Perfetto view the wait sits directly before the
+        // render span of the same request id.
+        {
+            obs::Tracer &tracer = obs::Tracer::instance();
+            if (tracer.enabled()) {
+                const std::uint64_t now = tracer.nowNs();
+                for (const QueuedRequest &qr : batch)
+                    tracer.recordArg("serve", "queue_wait",
+                                     tracer.toNs(qr.enqueued), now, qr.id);
+            }
+        }
 
         const ModelEntry *entry = registry_.find(batch.front().request.model);
 
@@ -143,6 +167,7 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
 
     const double budget = secondsUntil(qr.request.deadline);
     if (budget <= 0.0) {
+        F3D_TRACE_SPAN_ARG("serve", "shed_deadline_expired", qr.id);
         response.outcome = Outcome::rejectedDeadline;
         finish(qr, std::move(response));
         return;
@@ -155,6 +180,7 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
     if (est_full <= budget) {
         // Full-resolution render; this frame also refreshes the
         // model's warp source.
+        F3D_TRACE_SPAN_ARG("serve", "render_full", qr.id);
         nerf::DepthFrame frame = nerf::renderDepthFrameTiled(
             *entry->model, &entry->grid, camera, cfg_.render, &pool_);
         noteRenderCost(std::chrono::duration<double>(Clock::now() - t0).count(),
@@ -168,6 +194,7 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
 
     if (est_full / 4.0 <= budget) {
         // Degrade step 1: drop resolution 2x per axis and upsample.
+        F3D_TRACE_SPAN_ARG("serve", "render_half", qr.id);
         const nerf::Camera half = camera.withResolution(
             std::max(camera.width() / 2, 1), std::max(camera.height() / 2, 1));
         const Image small = nerf::renderImageTiled(*entry->model, &entry->grid,
@@ -184,6 +211,7 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
         // Degrade step 2: reproject the model's last rendered frame
         // (frame reuse a la MetaVRain); uncovered pixels keep the
         // background colour rather than costing a re-render.
+        F3D_TRACE_SPAN_ARG("serve", "render_warp", qr.id);
         nerf::WarpResult warped = nerf::forwardWarp(*prev, camera);
         for (int y = 0; y < camera.height(); ++y) {
             for (int x = 0; x < camera.width(); ++x) {
@@ -200,6 +228,7 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
     }
 
     // Out of degrade steps: shed explicitly instead of blocking.
+    F3D_TRACE_SPAN_ARG("serve", "shed_no_degrade_left", qr.id);
     response.outcome = Outcome::rejectedDeadline;
     finish(qr, std::move(response));
 }

@@ -42,10 +42,17 @@ ServerStats::ServerStats()
       latency_ms_(group_.addDistribution("latency_ms")),
       queue_depth_(group_.addDistribution("queue_depth_at_submit")),
       batch_size_(group_.addDistribution("batch_size")),
-      latency_log2us_(group_.addHistogram("latency_log2_us"))
+      latency_log2us_(group_.addHistogram("latency_log2_us")),
+      latency_quantiles_(group_.addQuantiles("latency_ms"))
 {
     for (int i = 0; i < kOutcomes; ++i)
         outcomes_[i] = &group_.addCounter(outcomeName(static_cast<Outcome>(i)));
+}
+
+ServerStats::~ServerStats()
+{
+    if (registry_)
+        registry_->unregisterCollector(registered_name_);
 }
 
 void
@@ -65,6 +72,7 @@ ServerStats::recordOutcome(Outcome outcome, double latency_ms)
     std::lock_guard<std::mutex> lock(mutex_);
     outcomes_[idx]->inc();
     latency_ms_.sample(latency_ms);
+    latency_quantiles_.sample(latency_ms);
     const double us = std::max(latency_ms * 1000.0, 1.0);
     latency_log2us_.sample(
         static_cast<std::uint64_t>(std::floor(std::log2(us))));
@@ -139,11 +147,36 @@ ServerStats::meanBatchSize() const
     return batch_size_.mean();
 }
 
+double
+ServerStats::latencyQuantileMs(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return latency_quantiles_.quantile(q);
+}
+
 void
 ServerStats::dump(std::ostream &os) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     group_.dump(os);
+}
+
+void
+ServerStats::collect(obs::MetricSink &sink) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    group_.collect(sink);
+}
+
+void
+ServerStats::registerWith(obs::MetricsRegistry &registry, const std::string &name)
+{
+    if (registry_)
+        registry_->unregisterCollector(registered_name_);
+    registry_ = &registry;
+    registered_name_ = name;
+    registry.registerCollector(
+        name, [this](obs::MetricSink &sink) { collect(sink); });
 }
 
 } // namespace fusion3d::serve

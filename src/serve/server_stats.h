@@ -2,9 +2,12 @@
  * @file
  * Serving metrics, built on the sim::Stats package the cycle-level
  * models already use: per-outcome counters, a submit-to-completion
- * latency distribution plus a log2-microsecond histogram, queue-depth
- * and batch-size distributions. All recording methods are thread-safe;
+ * latency distribution plus a log2-microsecond histogram and a
+ * log2-bucket quantile estimator (p50/p95/p99), queue-depth and
+ * batch-size distributions. All recording methods are thread-safe;
  * RenderServer::drain() leaves the block consistent for printing.
+ * registerWith() exposes the whole block through an
+ * obs::MetricsRegistry for Prometheus/JSON export.
  */
 
 #ifndef FUSION3D_SERVE_SERVER_STATS_H_
@@ -13,7 +16,9 @@
 #include <cstdint>
 #include <mutex>
 #include <ostream>
+#include <string>
 
+#include "obs/metrics.h"
 #include "serve/serve.h"
 #include "sim/stats.h"
 
@@ -25,6 +30,7 @@ class ServerStats
 {
   public:
     ServerStats();
+    ~ServerStats();
 
     /** Record a request entering submit(), and the queue depth it saw. */
     void recordSubmitted(std::size_t queue_depth);
@@ -54,8 +60,29 @@ class ServerStats
     double maxLatencyMs() const;
     double meanBatchSize() const;
 
+    /**
+     * Submit-to-completion latency at quantile @p q in [0, 1], from
+     * the log2-bucket estimator (relative error <= 6.25 %).
+     */
+    double latencyQuantileMs(double q) const;
+
+    double p50LatencyMs() const { return latencyQuantileMs(0.50); }
+    double p95LatencyMs() const { return latencyQuantileMs(0.95); }
+    double p99LatencyMs() const { return latencyQuantileMs(0.99); }
+
     /** Dump every stat in the StatGroup text format. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Register this block with @p registry as collector @p name;
+     * samples are taken under the block's own lock. Unregisters any
+     * previous registration of this block; the destructor unregisters
+     * automatically.
+     */
+    void registerWith(obs::MetricsRegistry &registry, const std::string &name);
+
+    /** Append every stat as metric samples (thread-safe). */
+    void collect(obs::MetricSink &sink) const;
 
   private:
     static constexpr int kOutcomes = 6;
@@ -68,6 +95,11 @@ class ServerStats
     sim::Distribution &queue_depth_;
     sim::Distribution &batch_size_;
     sim::Histogram &latency_log2us_;
+    sim::Quantiles &latency_quantiles_;
+
+    // Where (if anywhere) this block is registered, for unregistration.
+    obs::MetricsRegistry *registry_ = nullptr;
+    std::string registered_name_;
 };
 
 } // namespace fusion3d::serve

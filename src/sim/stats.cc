@@ -60,6 +60,67 @@ Histogram::fraction(std::uint64_t v) const
     return static_cast<double>(it->second) / static_cast<double>(count_);
 }
 
+int
+Quantiles::bucketIndex(double v)
+{
+    if (!(v > 0.0)) // also catches NaN
+        return 0;
+    int exp = 0;
+    const double frac2 = std::frexp(v, &exp); // v = frac2 * 2^exp, frac2 in [0.5, 1)
+    const int octave = exp - 1;               // v in [2^octave, 2^(octave+1))
+    if (octave < kMinOctave)
+        return 0;
+    if (octave >= kMaxOctave)
+        return kBuckets - 1;
+    // frac2*2 is in [1, 2): linear position inside the octave.
+    int sub = static_cast<int>((frac2 * 2.0 - 1.0) * kSubBuckets);
+    sub = std::min(std::max(sub, 0), kSubBuckets - 1);
+    return (octave - kMinOctave) * kSubBuckets + sub;
+}
+
+double
+Quantiles::bucketMidpoint(int index)
+{
+    const int octave = kMinOctave + index / kSubBuckets;
+    const int sub = index % kSubBuckets;
+    const double lo = 1.0 + static_cast<double>(sub) / kSubBuckets;
+    const double width = 1.0 / kSubBuckets;
+    return std::ldexp(lo + width / 2.0, octave);
+}
+
+void
+Quantiles::sample(double v, std::uint64_t weight)
+{
+    buckets_[static_cast<std::size_t>(bucketIndex(v))] += weight;
+    count_ += weight;
+}
+
+void
+Quantiles::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+}
+
+double
+Quantiles::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Rank of the order statistic we report, 1-based.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[static_cast<std::size_t>(i)];
+        if (seen >= rank)
+            return bucketMidpoint(i);
+    }
+    return bucketMidpoint(kBuckets - 1);
+}
+
 Counter &
 StatGroup::addCounter(const std::string &name)
 {
@@ -81,6 +142,13 @@ StatGroup::addHistogram(const std::string &name)
     return *histograms_.back();
 }
 
+Quantiles &
+StatGroup::addQuantiles(const std::string &name)
+{
+    quantiles_.push_back(std::make_unique<Quantiles>(name));
+    return *quantiles_.back();
+}
+
 void
 StatGroup::resetAll()
 {
@@ -90,6 +158,8 @@ StatGroup::resetAll()
         d->reset();
     for (auto &h : histograms_)
         h->reset();
+    for (auto &q : quantiles_)
+        q->reset();
 }
 
 void
@@ -106,6 +176,45 @@ StatGroup::dump(std::ostream &os) const
     for (const auto &h : histograms_) {
         for (const auto &[bucket, n] : h->buckets())
             os << name_ << '.' << h->name() << '[' << bucket << "] " << n << '\n';
+    }
+    for (const auto &q : quantiles_) {
+        os << name_ << '.' << q->name() << ".p50 " << q->quantile(0.50) << '\n';
+        os << name_ << '.' << q->name() << ".p95 " << q->quantile(0.95) << '\n';
+        os << name_ << '.' << q->name() << ".p99 " << q->quantile(0.99) << '\n';
+    }
+}
+
+void
+StatGroup::collect(obs::MetricSink &sink) const
+{
+    const std::string prefix = name_ + '.';
+    for (const auto &c : counters_)
+        sink.counter(prefix + c->name(),
+                     static_cast<double>(c->value()));
+    for (const auto &d : distributions_) {
+        const std::string base = prefix + d->name();
+        sink.counter(base + ".count", static_cast<double>(d->count()));
+        sink.gauge(base + ".mean", d->mean());
+        sink.gauge(base + ".stddev", d->stddev());
+        sink.gauge(base + ".min", d->min());
+        sink.gauge(base + ".max", d->max());
+        sink.counter(base + ".sum", d->total());
+    }
+    for (const auto &h : histograms_) {
+        const std::string base = prefix + h->name();
+        for (const auto &[bucket, n] : h->buckets())
+            sink.bucket(base, "bucket=\"" + std::to_string(bucket) + "\"",
+                        static_cast<double>(n));
+        sink.counter(base + ".count", static_cast<double>(h->count()));
+    }
+    // No ".count" for quantiles: a Quantiles stat typically shares its
+    // name with the Distribution over the same samples (ServerStats'
+    // latency_ms), which already exports the count.
+    for (const auto &q : quantiles_) {
+        const std::string base = prefix + q->name();
+        sink.gauge(base + ".p50", q->quantile(0.50));
+        sink.gauge(base + ".p95", q->quantile(0.95));
+        sink.gauge(base + ".p99", q->quantile(0.99));
     }
 }
 

@@ -9,12 +9,15 @@
 #ifndef FUSION3D_SIM_STATS_H_
 #define FUSION3D_SIM_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace fusion3d::sim
 {
@@ -89,6 +92,54 @@ class Histogram
 };
 
 /**
+ * Streaming quantile estimator over log2-spaced buckets, for the
+ * tail-latency percentiles (p50/p95/p99) the serving layer reports.
+ *
+ * Each octave [2^k, 2^(k+1)) is split into kSubBuckets linear
+ * sub-buckets (HdrHistogram-style log-linear layout), so a reported
+ * quantile is off from the exact order statistic by at most one
+ * sub-bucket width: a relative error bound of 1/kSubBuckets = 6.25 %
+ * (the estimator returns bucket midpoints, halving the typical error).
+ * Values are clamped to [2^kMinOctave, 2^kMaxOctave). Memory is a
+ * fixed ~8 KB table; sample() is O(1) with no allocation.
+ */
+class Quantiles
+{
+  public:
+    static constexpr int kSubBuckets = 16;
+    static constexpr int kMinOctave = -32;
+    static constexpr int kMaxOctave = 32;
+
+    Quantiles() = default;
+    explicit Quantiles(std::string name) : name_(std::move(name)) {}
+
+    void sample(double v, std::uint64_t weight = 1);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Value at quantile @p q in [0, 1] (q=0.5 is the median), i.e. the
+     * midpoint of the bucket holding the ceil(q*count)-th smallest
+     * sample; 0 when empty.
+     */
+    double quantile(double q) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    static constexpr int kBuckets =
+        (kMaxOctave - kMinOctave) * kSubBuckets;
+
+    static int bucketIndex(double v);
+    static double bucketMidpoint(int index);
+
+    std::string name_;
+    std::uint64_t count_ = 0;
+    std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/**
  * A registry of stats that dumps them in a stable text format. Models
  * register their stats at construction; benches call dump().
  */
@@ -100,12 +151,22 @@ class StatGroup
     Counter &addCounter(const std::string &name);
     Distribution &addDistribution(const std::string &name);
     Histogram &addHistogram(const std::string &name);
+    Quantiles &addQuantiles(const std::string &name);
 
     /** Reset every registered stat. */
     void resetAll();
 
     /** Write "<group>.<stat> <value>" lines. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Append every stat as flat "<group>.<stat>" metric samples
+     * (counters as counters; distribution moments, quantiles and
+     * histogram buckets as gauges/labelled counters). Not synchronized:
+     * thread-safe wrappers (serve::ServerStats) call this under their
+     * own lock from a registered obs::MetricsRegistry collector.
+     */
+    void collect(obs::MetricSink &sink) const;
 
     const std::string &name() const { return name_; }
 
@@ -115,6 +176,7 @@ class StatGroup
     std::vector<std::unique_ptr<Counter>> counters_;
     std::vector<std::unique_ptr<Distribution>> distributions_;
     std::vector<std::unique_ptr<Histogram>> histograms_;
+    std::vector<std::unique_ptr<Quantiles>> quantiles_;
 };
 
 } // namespace fusion3d::sim
