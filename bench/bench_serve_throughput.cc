@@ -53,7 +53,7 @@ struct ThroughputPoint
     double p50Ms;
     double p95Ms;
     double p99Ms;
-    std::uint64_t outcomes[6];
+    std::uint64_t outcomes[serve::kOutcomeCount];
 };
 
 nerf::Camera
@@ -108,7 +108,7 @@ measure(const serve::ModelRegistry &registry, int threads, int frames, int size,
     p.p50Ms = server.stats().p50LatencyMs();
     p.p95Ms = server.stats().p95LatencyMs();
     p.p99Ms = server.stats().p99LatencyMs();
-    for (int i = 0; i < 6; ++i)
+    for (int i = 0; i < serve::kOutcomeCount; ++i)
         p.outcomes[i] =
             server.stats().count(static_cast<serve::Outcome>(i));
     if (metrics_out) {
@@ -196,7 +196,7 @@ main(int argc, char **argv)
                       i ? "," : "", p.threads, p.fps, p.meanLatencyMs, p.p50Ms,
                       p.p95Ms, p.p99Ms);
         json += buf;
-        for (int o = 0; o < 6; ++o) {
+        for (int o = 0; o < serve::kOutcomeCount; ++o) {
             std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", o ? "," : "",
                           serve::outcomeName(static_cast<serve::Outcome>(o)),
                           static_cast<unsigned long long>(p.outcomes[o]));

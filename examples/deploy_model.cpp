@@ -46,9 +46,10 @@ main(int argc, char **argv)
     const double trained_psnr = trainer.run().finalPsnr;
     inform("trained to %.2f dB", trained_psnr);
 
-    // --- Serialize ---
+    // --- Serialize (atomically: write-to-temp, fsync, rename, so an
+    // interrupted deploy never clobbers a previous artifact) ---
     const std::string path = "deployed_model.f3dm";
-    if (!nerf::saveModel(pipeline.model(), path))
+    if (!nerf::saveModelAtomic(pipeline.model(), path))
         fatal("could not write %s", path.c_str());
     const std::size_t bytes = nerf::modelFootprintBytes(pipeline.model());
     inform("saved %s: %.2f MB (paper: ~10 MB NeRF payloads)", path.c_str(),

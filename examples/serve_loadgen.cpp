@@ -14,12 +14,18 @@
  *     must terminate cleanly with nonzero degrade/shed counters.
  *
  * Usage: serve_loadgen [frames_per_config] [resolution]
- *            [--trace FILE] [--metrics FILE]
+ *            [--trace FILE] [--metrics FILE] [--faults SPEC]
  *
  *  --trace FILE    enable the span tracer and write a Chrome
  *                  trace-event JSON (load in Perfetto) of the run;
  *  --metrics FILE  write a Prometheus text snapshot of the overload
- *                  phase's metrics.
+ *                  phase's metrics;
+ *  --faults SPEC   arm the fault injector with a FaultPlan spec (e.g.
+ *                  "serve.dispatch.slow=p0.2;serve.dispatch.throw=p0.05;
+ *                  seed=7") and run both phases under it. With faults
+ *                  armed, worker failures are tolerated (counted, not
+ *                  fatal); the every-request-terminates and
+ *                  stats-reconciliation checks still apply.
  */
 
 #include <algorithm>
@@ -34,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "nerf/nerf_model.h"
 #include "obs/metrics.h"
@@ -98,7 +105,10 @@ closedLoopFps(serve::RenderServer &server, int frames, int clients, int size)
                 req.model = "demo";
                 req.camera = orbitFrame(i, size);
                 const serve::RenderResponse r = server.submit(req).get();
-                if (serve::isRejected(r.outcome))
+                // Under an armed fault plan rejections are the point of
+                // the exercise; unloaded and fault-free they are a bug.
+                if (serve::isRejected(r.outcome) &&
+                    !FaultInjector::instance().active())
                     fatal("unloaded server rejected frame %d (%s)", i,
                           serve::outcomeName(r.outcome));
             }
@@ -121,12 +131,15 @@ main(int argc, char **argv)
     int size = 48;
     std::string trace_path;
     std::string metrics_path;
+    std::string fault_spec;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+            fault_spec = argv[++i];
         } else if (positional == 0) {
             frames = std::max(std::atoi(argv[i]), 1);
             ++positional;
@@ -135,13 +148,20 @@ main(int argc, char **argv)
             ++positional;
         } else {
             fatal("usage: %s [frames] [resolution] [--trace FILE] "
-                  "[--metrics FILE]",
+                  "[--metrics FILE] [--faults SPEC]",
                   argv[0]);
         }
     }
 
     if (!trace_path.empty())
         obs::Tracer::instance().setEnabled(true);
+
+    if (!fault_spec.empty()) {
+        std::string why;
+        if (!FaultInjector::instance().configureFromSpec(fault_spec, &why))
+            fatal("bad --faults spec: %s", why.c_str());
+        inform("fault plan armed: %s", fault_spec.c_str());
+    }
 
     serve::ModelRegistry registry(/*occupancy_resolution=*/16);
     registry.add("demo",
@@ -252,14 +272,32 @@ main(int argc, char **argv)
                    obs::Tracer::instance().dropped()));
     }
 
-    bool ok = scaling_ok;
-    if (stats.degraded() == 0) {
-        warn("expected nonzero degraded count under deadline pressure");
-        ok = false;
+    FaultInjector &faults = FaultInjector::instance();
+    if (faults.active()) {
+        inform("fault summary: %llu total fires",
+               static_cast<unsigned long long>(faults.totalFires()));
+        for (const std::string &point : faults.activePoints())
+            inform("  %-28s %6llu fires / %6llu checks", point.c_str(),
+                   static_cast<unsigned long long>(faults.fires(point)),
+                   static_cast<unsigned long long>(faults.checks(point)));
+        inform("  worker failures served as terminal outcomes: %llu",
+               static_cast<unsigned long long>(stats.failed()));
     }
-    if (stats.count(serve::Outcome::rejectedQueueFull) == 0) {
-        warn("expected admission-control shedding under the burst");
-        ok = false;
+
+    bool ok = scaling_ok;
+    // With faults armed the degrade/shed mix is whatever the plan made
+    // of it; the invariant that must always hold is that every request
+    // was accounted for. Fault-free, the overload phase must also have
+    // exercised the ladder and admission control.
+    if (!faults.active()) {
+        if (stats.degraded() == 0) {
+            warn("expected nonzero degraded count under deadline pressure");
+            ok = false;
+        }
+        if (stats.count(serve::Outcome::rejectedQueueFull) == 0) {
+            warn("expected admission-control shedding under the burst");
+            ok = false;
+        }
     }
     if (stats.completed() != stats.submitted()) {
         warn("drain left %llu requests unaccounted",

@@ -1,0 +1,298 @@
+#include "common/fault.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fusion3d
+{
+
+namespace
+{
+
+/** FNV-1a over the point name: a stable per-point PCG stream id. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+/** Parse one trigger value ("p0.1", "every5", "once", ...). */
+bool
+parseTrigger(std::string_view value, FaultRule &rule, std::string &error)
+{
+    if (value == "off" || value == "never") {
+        rule.trigger = FaultTrigger::off;
+        return true;
+    }
+    if (value == "always") {
+        rule.trigger = FaultTrigger::always;
+        return true;
+    }
+    if (value == "once") {
+        rule.trigger = FaultTrigger::once;
+        return true;
+    }
+    if (value.size() > 1 && value.front() == 'p') {
+        const std::string num(value.substr(1));
+        char *end = nullptr;
+        errno = 0;
+        const double p = std::strtod(num.c_str(), &end);
+        if (errno != 0 || end != num.c_str() + num.size()) {
+            error = strprintf("bad probability '%s'", std::string(value).c_str());
+            return false;
+        }
+        if (p < 0.0 || p > 1.0) {
+            error = strprintf("probability %g outside [0, 1]", p);
+            return false;
+        }
+        rule.trigger = FaultTrigger::probability;
+        rule.probability = p;
+        return true;
+    }
+    constexpr std::string_view kEvery = "every";
+    if (value.size() > kEvery.size() && value.substr(0, kEvery.size()) == kEvery) {
+        const std::string num(value.substr(kEvery.size()));
+        char *end = nullptr;
+        errno = 0;
+        // NB: strtoull wraps negative input instead of failing.
+        const unsigned long long n =
+            num.front() == '-' ? 0 : std::strtoull(num.c_str(), &end, 10);
+        if (errno != 0 || end != num.c_str() + num.size() || n == 0) {
+            error = strprintf("bad period '%s' (want every<N>, N >= 1)",
+                              std::string(value).c_str());
+            return false;
+        }
+        rule.trigger = FaultTrigger::everyNth;
+        rule.n = n;
+        return true;
+    }
+    error = strprintf("unknown trigger '%s' (want p<float>, every<N>, once, "
+                      "always, or off)",
+                      std::string(value).c_str());
+    return false;
+}
+
+} // namespace
+
+bool
+FaultPlan::parse(const std::string &spec, FaultPlan &out, std::string &error)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t sep = spec.find(';', pos);
+        if (sep == std::string::npos)
+            sep = spec.size();
+        const std::string_view entry =
+            trim(std::string_view(spec).substr(pos, sep - pos));
+        pos = sep + 1;
+        if (entry.empty())
+            continue; // tolerate empty segments ("a=once;;b=off;")
+
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string_view::npos) {
+            error = strprintf("entry '%s' has no '='", std::string(entry).c_str());
+            return false;
+        }
+        const std::string_view name = trim(entry.substr(0, eq));
+        const std::string_view value = trim(entry.substr(eq + 1));
+        if (name.empty()) {
+            error = strprintf("entry '%s' has an empty point name",
+                              std::string(entry).c_str());
+            return false;
+        }
+        if (value.empty()) {
+            error = strprintf("entry '%s' has an empty trigger",
+                              std::string(entry).c_str());
+            return false;
+        }
+
+        if (name == "seed") {
+            const std::string num(value);
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long seed = std::strtoull(num.c_str(), &end, 10);
+            if (errno != 0 || num.front() == '-' ||
+                end != num.c_str() + num.size()) {
+                error = strprintf("bad seed '%s'", num.c_str());
+                return false;
+            }
+            plan.seed = seed;
+            continue;
+        }
+
+        FaultRule rule;
+        if (!parseTrigger(value, rule, error))
+            return false;
+        plan.rules[std::string(name)] = rule; // later entries win
+    }
+    out = std::move(plan);
+    error.clear();
+    return true;
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(const FaultPlan &plan)
+{
+    bool register_metrics = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        points_.clear();
+        for (const auto &[name, rule] : plan.rules) {
+            PointState ps;
+            ps.rule = rule;
+            ps.rng = Pcg32(plan.seed, fnv1a(name));
+            points_.emplace(name, ps);
+        }
+        active_.store(!points_.empty(), std::memory_order_relaxed);
+        if (!metrics_registered_) {
+            metrics_registered_ = true;
+            register_metrics = true;
+        }
+    }
+    // Register outside mutex_: the collector locks mutex_ under the
+    // registry's own mutex, so taking them here in the opposite order
+    // would be a lock-order inversion.
+    if (register_metrics) {
+        obs::MetricsRegistry::global().registerCollector(
+            "fault", [this](obs::MetricSink &sink) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                sink.gauge("fault.active_points",
+                           static_cast<double>(points_.size()));
+                for (const auto &[name, ps] : points_) {
+                    sink.counter("fault." + name + ".checks",
+                                 static_cast<double>(ps.checks));
+                    sink.counter("fault." + name + ".fires",
+                                 static_cast<double>(ps.fires));
+                }
+            });
+    }
+}
+
+bool
+FaultInjector::configureFromSpec(const std::string &spec, std::string *error)
+{
+    FaultPlan plan;
+    std::string why;
+    if (!FaultPlan::parse(spec, plan, why)) {
+        if (error)
+            *error = why;
+        return false;
+    }
+    configure(plan);
+    return true;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    points_.clear();
+    active_.store(false, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldFail(const char *point)
+{
+    if (!active_.load(std::memory_order_relaxed))
+        return false;
+
+    bool fired = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = points_.find(std::string_view(point));
+        if (it == points_.end())
+            return false;
+        PointState &ps = it->second;
+        ++ps.checks;
+        switch (ps.rule.trigger) {
+          case FaultTrigger::off:
+            break;
+          case FaultTrigger::always:
+            fired = true;
+            break;
+          case FaultTrigger::once:
+            fired = ps.fires == 0;
+            break;
+          case FaultTrigger::everyNth:
+            fired = ps.checks % ps.rule.n == 0;
+            break;
+          case FaultTrigger::probability:
+            fired = ps.rng.nextFloat() <
+                    static_cast<float>(ps.rule.probability);
+            break;
+        }
+        if (fired)
+            ++ps.fires;
+    }
+    if (fired)
+        obs::Tracer::instance().recordInstant("fault", point);
+    return fired;
+}
+
+std::uint64_t
+FaultInjector::checks(const std::string &point) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(point);
+    return it == points_.end() ? 0 : it->second.checks;
+}
+
+std::uint64_t
+FaultInjector::fires(const std::string &point) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(point);
+    return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t
+FaultInjector::totalFires() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &[name, ps] : points_)
+        n += ps.fires;
+    return n;
+}
+
+std::vector<std::string>
+FaultInjector::activePoints() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(points_.size());
+    for (const auto &[name, ps] : points_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace fusion3d

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Seed-deterministic fault injection. Production code marks its failure
+ * seams with F3D_FAULT_POINT("dotted.point.name"); a test (or a chaos
+ * run of serve_loadgen) arms a FaultPlan — parsed from a spec string
+ * like "serve.load.io=p0.1;trainer.ckpt.write=once;seed=42" — and the
+ * marked seams start failing on a schedule that is a pure function of
+ * the plan's seed and each point's check sequence. Replaying the same
+ * plan against the same check sequence reproduces the same failures,
+ * which is what lets the chaos suites assert exact outcomes in CI.
+ *
+ * Triggers per point:
+ *  - "pX"     fire each check with probability X in [0, 1] (per-point
+ *             PCG32 stream seeded from plan seed + point name, so the
+ *             decision sequence is independent of other points);
+ *  - "everyN" fire on every Nth check of this point (N >= 1);
+ *  - "once"   fire on the first check only;
+ *  - "always" fire on every check;
+ *  - "off"    register the point (its checks are counted) but never fire.
+ *
+ * The checker is cheap when disarmed — one relaxed atomic load — and
+ * compiles to a constant `false` under -DFUSION3D_FAULTS_DISABLED, so
+ * release serving builds pay nothing. Checks and fires are counted per
+ * point and exported through obs::MetricsRegistry ("fault.<point>.*");
+ * each fire also drops a zero-duration "fault" span into the tracer, so
+ * a chaos run is inspectable in Perfetto next to the serve spans.
+ */
+
+#ifndef FUSION3D_COMMON_FAULT_H_
+#define FUSION3D_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fusion3d
+{
+
+/** When an armed fault point fires. */
+enum class FaultTrigger
+{
+    off,         ///< never fires (checks still counted)
+    always,      ///< every check
+    once,        ///< first check only
+    everyNth,    ///< every Nth check (n below)
+    probability, ///< each check with the probability below
+};
+
+/** One point's firing schedule. */
+struct FaultRule
+{
+    FaultTrigger trigger = FaultTrigger::off;
+    /** Fire probability for FaultTrigger::probability, in [0, 1]. */
+    double probability = 0.0;
+    /** Period for FaultTrigger::everyNth (>= 1). */
+    std::uint64_t n = 1;
+};
+
+/** A full injection configuration: seed plus per-point rules. */
+struct FaultPlan
+{
+    /** Seeds every point's probability stream (with the point name). */
+    std::uint64_t seed = 1;
+    std::map<std::string, FaultRule> rules;
+
+    /**
+     * Parse a spec string: ';'-separated "point=trigger" entries, where
+     * trigger is p<float> | every<int> | once | always | off, plus the
+     * reserved entry "seed=<uint>". Later entries for the same point
+     * win. An empty spec is a valid empty plan.
+     * @return false (and set @p error) on a malformed spec; @p out is
+     *         only written on success.
+     */
+    static bool parse(const std::string &spec, FaultPlan &out, std::string &error);
+};
+
+/**
+ * The process-wide injector. All methods are thread-safe; concurrent
+ * shouldFail() calls on one point serialize, so each check consumes
+ * exactly one slot of the point's deterministic decision sequence.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /** Arm @p plan, replacing any previous one and zeroing counters. */
+    void configure(const FaultPlan &plan);
+
+    /**
+     * Parse @p spec and configure(). On a malformed spec nothing is
+     * armed; the diagnosis goes to *@p error when non-null.
+     */
+    bool configureFromSpec(const std::string &spec, std::string *error = nullptr);
+
+    /** Disarm every point (checks return false again). */
+    void reset();
+
+    /** True when any rule is armed. */
+    bool
+    active() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The check behind F3D_FAULT_POINT: true when the armed rule for
+     * @p point says this check fails. Unarmed points return false after
+     * one relaxed load. @p point must be a string literal (fires record
+     * it as a trace-span name, which requires static storage duration).
+     */
+    bool shouldFail(const char *point);
+
+    /** Checks seen by @p point since it was armed. */
+    std::uint64_t checks(const std::string &point) const;
+
+    /** Fires of @p point since it was armed. */
+    std::uint64_t fires(const std::string &point) const;
+
+    /** Total fires across all points. */
+    std::uint64_t totalFires() const;
+
+    /** Names of armed points, sorted. */
+    std::vector<std::string> activePoints() const;
+
+  private:
+    FaultInjector() = default;
+
+    struct PointState
+    {
+        FaultRule rule;
+        Pcg32 rng;
+        std::uint64_t checks = 0;
+        std::uint64_t fires = 0;
+    };
+
+    std::atomic<bool> active_{false};
+    mutable std::mutex mutex_;
+    /** Transparent compare: shouldFail() looks up by const char *. */
+    std::map<std::string, PointState, std::less<>> points_;
+    bool metrics_registered_ = false; ///< guarded by mutex_
+};
+
+} // namespace fusion3d
+
+#ifdef FUSION3D_FAULTS_DISABLED
+/** Compiled out: a constant no-op the optimizer erases entirely. */
+#define F3D_FAULT_POINT(point) (false)
+#else
+/** True when the armed fault plan fails the named seam on this check. */
+#define F3D_FAULT_POINT(point)                                                 \
+    (::fusion3d::FaultInjector::instance().shouldFail(point))
+#endif
+
+#endif // FUSION3D_COMMON_FAULT_H_

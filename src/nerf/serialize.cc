@@ -1,11 +1,15 @@
 #include "nerf/serialize.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include <unistd.h>
+
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace fusion3d::nerf
@@ -15,7 +19,8 @@ namespace
 {
 
 constexpr char kMagic[4] = {'F', '3', 'D', 'M'};
-constexpr std::uint32_t kVersion = 1;
+// v2: the header carries a CRC32 of the parameter payload.
+constexpr std::uint32_t kVersion = 2;
 
 struct Header
 {
@@ -30,32 +35,47 @@ struct Header
     std::int32_t densityHidden;
     std::int32_t colorHidden;
     std::int32_t shDegree;
+    std::uint32_t paramCrc;
     std::uint64_t encodingParams;
     std::uint64_t densityParams;
     std::uint64_t colorParams;
 };
 
-bool
-writeBlock(std::FILE *f, std::span<const float> data)
+/** CRC-32 (IEEE 802.3, reflected 0xEDB88320), incremental. */
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t size)
 {
-    return std::fwrite(data.data(), sizeof(float), data.size(), f) == data.size();
+    static const auto table = []() {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return ~crc;
 }
 
-bool
-readBlock(std::FILE *f, std::span<float> data)
+std::uint32_t
+paramCrc(const NerfModel &model)
 {
-    return std::fread(data.data(), sizeof(float), data.size(), f) == data.size();
+    std::uint32_t crc = 0;
+    for (const auto block : {model.encoding().params(),
+                             model.densityNet().params(),
+                             model.colorNet().params()})
+        crc = crc32Update(crc, block.data(), block.size_bytes());
+    return crc;
 }
 
-} // namespace
-
-bool
-saveModel(const NerfModel &model, const std::string &path)
+Header
+makeHeader(const NerfModel &model)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-
     const NerfModelConfig &cfg = model.config();
     Header h{};
     std::memcpy(h.magic, kMagic, 4);
@@ -69,16 +89,93 @@ saveModel(const NerfModel &model, const std::string &path)
     h.densityHidden = cfg.densityHidden;
     h.colorHidden = cfg.colorHidden;
     h.shDegree = cfg.shDegree;
+    h.paramCrc = paramCrc(model);
     h.encodingParams = model.encoding().paramCount();
     h.densityParams = model.densityNet().paramCount();
     h.colorParams = model.colorNet().paramCount();
+    return h;
+}
 
+bool
+writeBlock(std::FILE *f, std::span<const float> data)
+{
+    return std::fwrite(data.data(), sizeof(float), data.size(), f) == data.size();
+}
+
+bool
+readBlock(std::FILE *f, std::span<float> data)
+{
+    return std::fread(data.data(), sizeof(float), data.size(), f) == data.size();
+}
+
+/** Header + all three parameter blocks to an open stream. */
+bool
+writeModelTo(std::FILE *f, const NerfModel &model)
+{
+    const Header h = makeHeader(model);
     bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
+    ok = ok && !F3D_FAULT_POINT("nerf.save.write");
     ok = ok && writeBlock(f, model.encoding().params());
     ok = ok && writeBlock(f, model.densityNet().params());
     ok = ok && writeBlock(f, model.colorNet().params());
+    return ok;
+}
+
+} // namespace
+
+bool
+saveModel(const NerfModel &model, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok = writeModelTo(f, model);
     std::fclose(f);
     return ok;
+}
+
+bool
+saveModelAtomic(const NerfModel &model, const std::string &path)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f =
+        F3D_FAULT_POINT("trainer.ckpt.open") ? nullptr : std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        warn("saveModelAtomic: cannot open '%s'", tmp.c_str());
+        return false;
+    }
+
+    if (F3D_FAULT_POINT("trainer.ckpt.write")) {
+        // Simulated crash mid-write: the header and half of the first
+        // parameter block land in the temp file, nothing is renamed,
+        // and the destination keeps whatever it held before.
+        const Header h = makeHeader(model);
+        const auto enc = model.encoding().params();
+        (void)std::fwrite(&h, sizeof(h), 1, f);
+        (void)std::fwrite(enc.data(), sizeof(float), enc.size() / 2, f);
+        std::fclose(f);
+        warn("saveModelAtomic: injected crash while writing '%s'", tmp.c_str());
+        return false;
+    }
+
+    bool ok = writeModelTo(f, model);
+    ok = ok && std::fflush(f) == 0;
+    // fsync before the rename: otherwise a real crash could leave the
+    // new name pointing at not-yet-durable data.
+    ok = ok && fsync(fileno(f)) == 0;
+    std::fclose(f);
+    if (!ok) {
+        std::remove(tmp.c_str());
+        warn("saveModelAtomic: write to '%s' failed", tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        warn("saveModelAtomic: cannot rename '%s' to '%s'", tmp.c_str(),
+             path.c_str());
+        return false;
+    }
+    return true;
 }
 
 const char *
@@ -97,6 +194,8 @@ loadStatusName(LoadStatus status)
         return "header mismatch";
       case LoadStatus::truncated:
         return "truncated";
+      case LoadStatus::badChecksum:
+        return "checksum mismatch";
     }
     return "?";
 }
@@ -132,7 +231,8 @@ headerDimensionsSane(const Header &h)
 LoadResult
 loadModelVerbose(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::FILE *f =
+        F3D_FAULT_POINT("nerf.load.open") ? nullptr : std::fopen(path.c_str(), "rb");
     if (!f)
         return loadFailure(LoadStatus::ioError,
                            strprintf("cannot open '%s'", path.c_str()));
@@ -186,7 +286,8 @@ loadModelVerbose(const std::string &path)
                       path.c_str()));
     }
 
-    bool ok = readBlock(f, model->encoding().params());
+    bool ok = !F3D_FAULT_POINT("nerf.load.read");
+    ok = ok && readBlock(f, model->encoding().params());
     ok = ok && readBlock(f, model->densityNet().params());
     ok = ok && readBlock(f, model->colorNet().params());
     std::fclose(f);
@@ -194,6 +295,12 @@ loadModelVerbose(const std::string &path)
         return loadFailure(
             LoadStatus::truncated,
             strprintf("'%s' ends before its parameter blocks do", path.c_str()));
+
+    // The payload arrived whole; now prove it arrived *intact*.
+    if (paramCrc(*model) != h.paramCrc || F3D_FAULT_POINT("nerf.load.crc"))
+        return loadFailure(
+            LoadStatus::badChecksum,
+            strprintf("parameter payload of '%s' fails its CRC32", path.c_str()));
 
     LoadResult r;
     r.model = std::move(model);
@@ -213,6 +320,10 @@ loadModel(const std::string &path)
 bool
 loadInto(NerfModel &dst, const NerfModel &src)
 {
+    if (F3D_FAULT_POINT("nerf.loadinto")) {
+        warn("loadInto: injected fault (nerf.loadinto)");
+        return false;
+    }
     if (dst.encoding().paramCount() != src.encoding().paramCount() ||
         dst.densityNet().paramCount() != src.densityNet().paramCount() ||
         dst.colorNet().paramCount() != src.colorNet().paramCount()) {

@@ -4,8 +4,17 @@
  * small NeRF footprint (~10 MB) for transmission over the bandwidth-
  * constrained edge link; this is the writer/reader for that artifact.
  *
- * Format (little-endian): magic "F3DM", u32 version, the HashGridConfig
- * and MLP dimensions, then the three parameter blocks as raw float32.
+ * Format v2 (little-endian): magic "F3DM", u32 version, the
+ * HashGridConfig and MLP dimensions, a CRC32 of the parameter payload,
+ * then the three parameter blocks as raw float32. The CRC catches the
+ * corruption truncation checks cannot (bit flips inside a full-length
+ * payload), which matters once artifacts cross the paper's bandwidth-
+ * constrained edge link.
+ *
+ * Checkpointing uses saveModelAtomic(): write to "<path>.tmp", fsync,
+ * then rename over the destination — a crash mid-write (exercised by
+ * the "trainer.ckpt.write" fault point) can orphan a temp file but can
+ * never leave a partial artifact at the final path.
  */
 
 #ifndef FUSION3D_NERF_SERIALIZE_H_
@@ -22,6 +31,15 @@ namespace fusion3d::nerf
 /** Serialize @p model to @p path. @return true on success. */
 bool saveModel(const NerfModel &model, const std::string &path);
 
+/**
+ * Crash-safe save: write to "<path>.tmp", flush + fsync, then atomically
+ * rename onto @p path. On any failure (including an injected crash via
+ * the "trainer.ckpt.write" fault point) the destination is untouched:
+ * it either keeps its previous complete artifact or stays absent.
+ * @return true when @p path holds the new artifact.
+ */
+bool saveModelAtomic(const NerfModel &model, const std::string &path);
+
 /** Why a load failed (LoadStatus::ok means it did not). */
 enum class LoadStatus
 {
@@ -37,6 +55,8 @@ enum class LoadStatus
     headerMismatch,
     /** The file ends before the parameter blocks do. */
     truncated,
+    /** The parameter payload does not match the header's CRC32. */
+    badChecksum,
 };
 
 /** Human-readable name of @p status. */

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "nerf/sampler.h"
+#include "nerf/serialize.h"
 #include "obs/trace.h"
 
 namespace fusion3d::nerf
@@ -61,6 +62,20 @@ Trainer::trainIteration()
     if (cfg_.quantizeEvery > 0 && iter_ % cfg_.quantizeEvery == 0) {
         F3D_TRACE_SPAN("train", "quantize_weights");
         field_.quantizeWeights();
+    }
+
+    if (cfg_.checkpointEvery > 0 && ckpt_model_ &&
+        iter_ % cfg_.checkpointEvery == 0) {
+        F3D_TRACE_SPAN("train", "checkpoint");
+        if (saveModelAtomic(*ckpt_model_, cfg_.checkpointPath)) {
+            ++ckpts_written_;
+        } else {
+            // The previous checkpoint (if any) is still intact at
+            // checkpointPath; training continues.
+            ++ckpts_failed_;
+            warn("Trainer: checkpoint to '%s' failed at iteration %d",
+                 cfg_.checkpointPath.c_str(), iter_);
+        }
     }
 }
 

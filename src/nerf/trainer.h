@@ -11,6 +11,7 @@
 #define FUSION3D_NERF_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -20,6 +21,8 @@
 
 namespace fusion3d::nerf
 {
+
+class NerfModel;
 
 /** Training-loop configuration. */
 struct TrainerConfig
@@ -36,6 +39,14 @@ struct TrainerConfig
     int evalEvery = 0;
     /** Test views used per evaluation (capped by the dataset). */
     int evalViews = 1;
+    /**
+     * Write an atomic checkpoint (saveModelAtomic) every N iterations
+     * (0 = never). Requires setCheckpointModel(); a crash mid-write
+     * never corrupts the artifact at checkpointPath.
+     */
+    int checkpointEvery = 0;
+    /** Destination of periodic checkpoints. */
+    std::string checkpointPath = "checkpoint.f3dm";
     std::uint64_t seed = 1234;
 };
 
@@ -82,20 +93,34 @@ class Trainer
     /** Render an arbitrary camera with the current model. */
     Image renderView(const Camera &camera);
 
+    /**
+     * Point periodic checkpointing (TrainerConfig::checkpointEvery) at
+     * the model to serialize; the RadianceField interface is checkpoint-
+     * agnostic, so the caller names the weights explicitly (e.g.
+     * &pipeline.model()). Pass nullptr to detach. @p model must outlive
+     * the trainer.
+     */
+    void setCheckpointModel(const NerfModel *model) { ckpt_model_ = model; }
+
     int iteration() const { return iter_; }
     std::uint64_t totalRays() const { return total_rays_; }
     std::uint64_t totalSamples() const { return total_samples_; }
     std::uint64_t totalCandidates() const { return total_candidates_; }
+    std::uint64_t checkpointsWritten() const { return ckpts_written_; }
+    std::uint64_t checkpointsFailed() const { return ckpts_failed_; }
 
   private:
     RadianceField &field_;
     const Dataset &data_;
     TrainerConfig cfg_;
     Pcg32 rng_;
+    const NerfModel *ckpt_model_ = nullptr;
     int iter_ = 0;
     std::uint64_t total_rays_ = 0;
     std::uint64_t total_samples_ = 0;
     std::uint64_t total_candidates_ = 0;
+    std::uint64_t ckpts_written_ = 0;
+    std::uint64_t ckpts_failed_ = 0;
 };
 
 } // namespace fusion3d::nerf

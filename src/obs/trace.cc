@@ -91,6 +91,15 @@ Tracer::recordArg(const char *category, const char *name, std::uint64_t t0_ns,
     buf.size.store(n + 1, std::memory_order_release);
 }
 
+void
+Tracer::recordInstant(const char *category, const char *name)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t now = nowNs();
+    record(category, name, now, now);
+}
+
 std::size_t
 Tracer::eventCount() const
 {

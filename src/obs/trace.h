@@ -82,6 +82,12 @@ class Tracer
     void recordArg(const char *category, const char *name, std::uint64_t t0_ns,
                    std::uint64_t t1_ns, std::uint64_t arg);
 
+    /**
+     * Record a zero-duration marker span at "now" (e.g. a fault fire or
+     * a breaker trip). One enabled() check when tracing is off.
+     */
+    void recordInstant(const char *category, const char *name);
+
     /** Spans currently buffered across all threads. */
     std::size_t eventCount() const;
 

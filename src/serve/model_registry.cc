@@ -1,19 +1,86 @@
 #include "serve/model_registry.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace fusion3d::serve
 {
 
-ModelRegistry::ModelRegistry(int occupancy_resolution, float occupancy_threshold)
-    : grid_resolution_(occupancy_resolution), grid_threshold_(occupancy_threshold)
+const char *
+breakerStateName(BreakerState state)
 {
-    if (occupancy_resolution < 1)
+    switch (state) {
+      case BreakerState::closed:
+        return "closed";
+      case BreakerState::open:
+        return "open";
+      case BreakerState::halfOpen:
+        return "half_open";
+    }
+    return "?";
+}
+
+ModelRegistry::ModelRegistry(int occupancy_resolution, float occupancy_threshold)
+    : ModelRegistry([&] {
+          RegistryConfig cfg;
+          cfg.occupancyResolution = occupancy_resolution;
+          cfg.occupancyThreshold = occupancy_threshold;
+          return cfg;
+      }())
+{
+}
+
+ModelRegistry::ModelRegistry(const RegistryConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.occupancyResolution < 1)
         fatal("ModelRegistry: occupancy resolution must be positive, got %d",
-              occupancy_resolution);
+              cfg_.occupancyResolution);
+    if (cfg_.loadMaxAttempts < 1)
+        fatal("ModelRegistry: loadMaxAttempts must be >= 1, got %d",
+              cfg_.loadMaxAttempts);
+    if (cfg_.breakerThreshold < 1)
+        fatal("ModelRegistry: breakerThreshold must be >= 1, got %d",
+              cfg_.breakerThreshold);
+
+    // Distinct collector name per registry instance, as ServerStats does
+    // for servers.
+    static std::atomic<std::uint64_t> seq{0};
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "serve.registry%llu",
+                  static_cast<unsigned long long>(seq.fetch_add(1)));
+    collector_name_ = buf;
+    obs::MetricsRegistry::global().registerCollector(
+        collector_name_, [this](obs::MetricSink &sink) { collect(sink); });
+}
+
+ModelRegistry::~ModelRegistry()
+{
+    obs::MetricsRegistry::global().unregisterCollector(collector_name_);
+}
+
+void
+ModelRegistry::collect(obs::MetricSink &sink) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink.gauge("serve.registry.models", static_cast<double>(entries_.size()));
+    sink.counter("serve.registry.loads_ok", loads_ok_);
+    sink.counter("serve.registry.loads_failed", loads_failed_);
+    sink.counter("serve.registry.load_retries", load_retries_);
+    sink.counter("serve.registry.breaker_trips", breaker_trips_);
+    sink.counter("serve.registry.breaker_open_rejects", breaker_rejects_);
+    std::uint64_t open = 0;
+    for (const auto &[name, b] : breakers_)
+        if (b.state == BreakerState::open)
+            ++open;
+    sink.gauge("serve.registry.breakers_open", static_cast<double>(open));
 }
 
 const ModelEntry *
@@ -22,8 +89,8 @@ ModelRegistry::add(const std::string &name, std::unique_ptr<nerf::NerfModel> mod
     if (!model)
         fatal("ModelRegistry::add('%s'): null model", name.c_str());
 
-    auto entry = std::make_unique<ModelEntry>(name, std::move(model),
-                                              grid_resolution_, grid_threshold_);
+    auto entry = std::make_unique<ModelEntry>(
+        name, std::move(model), cfg_.occupancyResolution, cfg_.occupancyThreshold);
 
     // Rebuild the inference gate from the deployed weights; decay 0
     // makes it exactly the current field's occupancy, like the benches'
@@ -47,13 +114,89 @@ ModelRegistry::add(const std::string &name, std::unique_ptr<nerf::NerfModel> mod
 nerf::LoadStatus
 ModelRegistry::addFromFile(const std::string &name, const std::string &path)
 {
-    nerf::LoadResult r = nerf::loadModelVerbose(path);
+    F3D_TRACE_SPAN("serve", "registry_load");
+
+    // Breaker check. An open breaker rejects until its cooldown
+    // elapses, then half-opens: exactly one probe attempt, no retries.
+    bool half_open = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Breaker &b = breakers_[name];
+        if (b.state == BreakerState::open) {
+            const auto elapsed = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - b.openedAt);
+            if (elapsed.count() < cfg_.breakerCooldownMs) {
+                ++breaker_rejects_;
+                warn("ModelRegistry: deploy of '%s' rejected, breaker open "
+                     "(%.1f of %.1f ms cooldown elapsed)",
+                     name.c_str(), elapsed.count(), cfg_.breakerCooldownMs);
+                return nerf::LoadStatus::ioError;
+            }
+            b.state = BreakerState::halfOpen;
+            inform("ModelRegistry: breaker for '%s' half-open, probing '%s'",
+                   name.c_str(), path.c_str());
+        }
+        half_open = b.state == BreakerState::halfOpen;
+    }
+
+    const int attempts = half_open ? 1 : cfg_.loadMaxAttempts;
+    double delay_ms = cfg_.backoffInitialMs;
+    nerf::LoadResult r;
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+        if (attempt > 1) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++load_retries_;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay_ms));
+            delay_ms = std::min(delay_ms * cfg_.backoffMultiplier,
+                                cfg_.backoffMaxMs);
+        }
+        if (F3D_FAULT_POINT("serve.load.io")) {
+            r = nerf::LoadResult{};
+            r.status = nerf::LoadStatus::ioError;
+            r.message = "injected fault (serve.load.io)";
+        } else {
+            r = nerf::loadModelVerbose(path);
+        }
+        if (r)
+            break;
+        warn("ModelRegistry: deploy of '%s' from '%s' failed (attempt %d/%d): "
+             "%s (%s)",
+             name.c_str(), path.c_str(), attempt, attempts,
+             nerf::loadStatusName(r.status), r.message.c_str());
+    }
+
     if (!r) {
-        warn("ModelRegistry: cannot deploy '%s' from '%s': %s (%s)", name.c_str(),
-             path.c_str(), nerf::loadStatusName(r.status), r.message.c_str());
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++loads_failed_;
+        Breaker &b = breakers_[name];
+        ++b.consecutiveFailures;
+        if (b.state == BreakerState::halfOpen ||
+            b.consecutiveFailures >= cfg_.breakerThreshold) {
+            b.state = BreakerState::open;
+            b.openedAt = std::chrono::steady_clock::now();
+            ++b.trips;
+            ++breaker_trips_;
+            obs::Tracer::instance().recordInstant("serve", "breaker_open");
+            warn("ModelRegistry: breaker for '%s' open after %d consecutive "
+                 "failures (cooldown %.1f ms)",
+                 name.c_str(), b.consecutiveFailures, cfg_.breakerCooldownMs);
+        }
         return r.status;
     }
+
     add(name, std::move(r.model));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++loads_ok_;
+        Breaker &b = breakers_[name];
+        if (b.state != BreakerState::closed)
+            inform("ModelRegistry: breaker for '%s' closed", name.c_str());
+        b.state = BreakerState::closed;
+        b.consecutiveFailures = 0;
+    }
     inform("ModelRegistry: deployed '%s' from '%s' (%zu params)", name.c_str(),
            path.c_str(), find(name)->model->paramCount());
     return nerf::LoadStatus::ok;
@@ -83,6 +226,49 @@ ModelRegistry::names() const
     for (const auto &[name, entry] : entries_)
         out.push_back(name);
     return out;
+}
+
+BreakerState
+ModelRegistry::breakerState(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = breakers_.find(name);
+    return it == breakers_.end() ? BreakerState::closed : it->second.state;
+}
+
+std::uint64_t
+ModelRegistry::loadsSucceeded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return loads_ok_;
+}
+
+std::uint64_t
+ModelRegistry::loadsFailed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return loads_failed_;
+}
+
+std::uint64_t
+ModelRegistry::loadRetries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return load_retries_;
+}
+
+std::uint64_t
+ModelRegistry::breakerTrips() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breaker_trips_;
+}
+
+std::uint64_t
+ModelRegistry::breakerOpenRejects() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breaker_rejects_;
 }
 
 } // namespace fusion3d::serve

@@ -4,11 +4,21 @@
  * models keyed by name, each paired with an occupancy gate rebuilt
  * from its own density field at registration time — after which an
  * entry is immutable, so render workers share it without locks.
+ *
+ * Deploy-from-file is hardened for lossy storage: addFromFile retries
+ * failed loads with capped exponential backoff, and a per-model circuit
+ * breaker stops hammering a broken artifact after K consecutive
+ * failures, half-opening for a single probe once its cooldown elapses.
+ * Deploy attempts, retries, and breaker transitions are counted and
+ * exported through obs::MetricsRegistry ("serve.registry.*"). The
+ * "serve.load.io" fault point injects load failures for chaos testing.
  */
 
 #ifndef FUSION3D_SERVE_MODEL_REGISTRY_H_
 #define FUSION3D_SERVE_MODEL_REGISTRY_H_
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -18,6 +28,7 @@
 #include "nerf/nerf_model.h"
 #include "nerf/occupancy_grid.h"
 #include "nerf/serialize.h"
+#include "obs/metrics.h"
 
 namespace fusion3d::serve
 {
@@ -36,16 +47,52 @@ struct ModelEntry
     }
 };
 
+/** Per-model deploy circuit-breaker state. */
+enum class BreakerState
+{
+    closed,   ///< deploys flow normally
+    open,     ///< deploys are rejected until the cooldown elapses
+    halfOpen, ///< one probe deploy is allowed through
+};
+
+/** Human-readable name of @p state. */
+const char *breakerStateName(BreakerState state);
+
+/** Registry configuration: gate parameters plus deploy hardening. */
+struct RegistryConfig
+{
+    /** Gate resolution of registered models. */
+    int occupancyResolution = 48;
+    /** Density above which a gate cell is live. */
+    float occupancyThreshold = 0.01f;
+    /** Load attempts per addFromFile call (>= 1). */
+    int loadMaxAttempts = 3;
+    /** Delay before the first retry; doubles (multiplier) per retry. */
+    double backoffInitialMs = 1.0;
+    double backoffMultiplier = 2.0;
+    /** Backoff cap. */
+    double backoffMaxMs = 50.0;
+    /** Consecutive failed addFromFile calls (per model) that trip the
+     *  breaker open. */
+    int breakerThreshold = 3;
+    /** Open time before the breaker half-opens for one probe. */
+    double breakerCooldownMs = 250.0;
+};
+
 /** Thread-safe name → model map; entries are immutable once added. */
 class ModelRegistry
 {
   public:
-    /**
-     * @param occupancy_resolution Gate resolution of registered models.
-     * @param occupancy_threshold  Density above which a cell is live.
-     */
+    /** Gate-parameter shorthand for RegistryConfig defaults. */
     explicit ModelRegistry(int occupancy_resolution = 48,
                            float occupancy_threshold = 0.01f);
+
+    explicit ModelRegistry(const RegistryConfig &cfg);
+
+    ~ModelRegistry();
+
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
 
     /**
      * Register @p model under @p name, building its occupancy gate
@@ -57,10 +104,12 @@ class ModelRegistry
                           std::unique_ptr<nerf::NerfModel> model);
 
     /**
-     * Deserialize a `.f3dm` artifact and register it. Failures are
-     * logged with their reason (satellite of the diagnosable-load
-     * work: I/O vs magic vs version vs header mismatch vs truncation).
-     * @return LoadStatus::ok on success.
+     * Deserialize a `.f3dm` artifact and register it, retrying with
+     * capped exponential backoff. Repeated failures trip the model's
+     * circuit breaker; while it is open, calls return the failure
+     * immediately without touching storage.
+     * @return LoadStatus::ok on success (for a breaker-open reject,
+     *         LoadStatus::ioError; breakerState() tells the two apart).
      */
     nerf::LoadStatus addFromFile(const std::string &name, const std::string &path);
 
@@ -73,14 +122,44 @@ class ModelRegistry
     /** Names of all registered models, sorted. */
     std::vector<std::string> names() const;
 
+    /** Deploy-breaker state of @p name (closed if never deployed). */
+    BreakerState breakerState(const std::string &name) const;
+
+    const RegistryConfig &config() const { return cfg_; }
+
+    // Deploy statistics (also exported as serve.registry.* metrics).
+    std::uint64_t loadsSucceeded() const;
+    std::uint64_t loadsFailed() const;
+    std::uint64_t loadRetries() const;
+    std::uint64_t breakerTrips() const;
+    std::uint64_t breakerOpenRejects() const;
+
   private:
+    struct Breaker
+    {
+        BreakerState state = BreakerState::closed;
+        int consecutiveFailures = 0;
+        std::uint64_t trips = 0;
+        std::chrono::steady_clock::time_point openedAt{};
+    };
+
+    void collect(obs::MetricSink &sink) const;
+
     mutable std::mutex mutex_;
-    int grid_resolution_;
-    float grid_threshold_;
+    RegistryConfig cfg_;
     std::map<std::string, std::unique_ptr<ModelEntry>> entries_;
     /** Replaced entries are retired, not destroyed, so workers still
      *  rendering from them never hold a dangling pointer. */
     std::vector<std::unique_ptr<ModelEntry>> retired_;
+    std::map<std::string, Breaker> breakers_;
+
+    std::uint64_t loads_ok_ = 0;
+    std::uint64_t loads_failed_ = 0;
+    std::uint64_t load_retries_ = 0;
+    std::uint64_t breaker_trips_ = 0;
+    std::uint64_t breaker_rejects_ = 0;
+
+    std::string collector_name_;
 };
 
 } // namespace fusion3d::serve

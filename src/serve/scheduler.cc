@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "nerf/parallel_render.h"
 #include "obs/trace.h"
@@ -93,7 +95,8 @@ RenderServer::submit(RenderRequest request)
     if (!queue_.push(std::move(qr))) {
         // NB: push leaves qr intact on failure.
         RenderResponse response;
-        response.outcome = Outcome::rejectedQueueFull;
+        response.outcome = queue_.closed() ? Outcome::rejectedShutdown
+                                           : Outcome::rejectedQueueFull;
         response.id = qr.id;
         response.latencyMs = msSince(qr.enqueued);
         finish(qr, std::move(response));
@@ -125,6 +128,14 @@ RenderServer::dispatchLoop()
         const ModelEntry *entry = registry_.find(batch.front().request.model);
 
         for (QueuedRequest &qr : batch) {
+            if (shed_on_close_.load(std::memory_order_relaxed)) {
+                // stop() is shedding the backlog: terminal outcome,
+                // no render.
+                RenderResponse response;
+                response.outcome = Outcome::rejectedShutdown;
+                finish(qr, std::move(response));
+                continue;
+            }
             if (!entry) {
                 RenderResponse response;
                 response.outcome = Outcome::rejectedUnknownModel;
@@ -158,6 +169,36 @@ RenderServer::dispatchLoop()
 void
 RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
 {
+    RenderResponse response;
+    try {
+        response = runLadder(qr, entry);
+    } catch (const std::exception &e) {
+        // A worker exception must still resolve the promise: without
+        // this, the waiter blocks forever and in_flight_ never drops
+        // (the packaged_task inside ThreadPool::submit would swallow
+        // the exception into a future nobody reads).
+        F3D_TRACE_SPAN_ARG("serve", "worker_exception", qr.id);
+        warn("RenderServer: request %llu failed in worker: %s",
+             static_cast<unsigned long long>(qr.id), e.what());
+        response = RenderResponse{};
+        response.outcome = Outcome::failedInternal;
+    }
+    finish(qr, std::move(response));
+}
+
+RenderResponse
+RenderServer::runLadder(QueuedRequest &qr, const ModelEntry *entry)
+{
+    if (F3D_FAULT_POINT("serve.dispatch.slow")) {
+        // Chaos: pretend this worker stalled (page fault, thermal
+        // throttle, noisy neighbour) for faultSlowRenderMs.
+        F3D_TRACE_SPAN_ARG("serve", "fault_slow", qr.id);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(cfg_.faultSlowRenderMs));
+    }
+    if (F3D_FAULT_POINT("serve.dispatch.throw"))
+        throw std::runtime_error("injected worker fault (serve.dispatch.throw)");
+
     const nerf::Camera &camera = qr.request.camera;
     const std::uint64_t pixels =
         static_cast<std::uint64_t>(camera.width()) * camera.height();
@@ -169,8 +210,7 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
     if (budget <= 0.0) {
         F3D_TRACE_SPAN_ARG("serve", "shed_deadline_expired", qr.id);
         response.outcome = Outcome::rejectedDeadline;
-        finish(qr, std::move(response));
-        return;
+        return response;
     }
 
     const double est_full = estimatedSecondsPerPixel() *
@@ -188,8 +228,7 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
         response.image = frame.color;
         response.outcome = Outcome::renderedFull;
         cacheFrame(entry->name, std::move(frame));
-        finish(qr, std::move(response));
-        return;
+        return response;
     }
 
     if (est_full / 4.0 <= budget) {
@@ -203,8 +242,7 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
                        static_cast<std::uint64_t>(half.width()) * half.height());
         response.image = upsample(small, camera.width(), camera.height());
         response.outcome = Outcome::renderedHalf;
-        finish(qr, std::move(response));
-        return;
+        return response;
     }
 
     if (const auto prev = cachedFrame(entry->name)) {
@@ -223,14 +261,13 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
         }
         response.image = std::move(warped.image);
         response.outcome = Outcome::renderedWarp;
-        finish(qr, std::move(response));
-        return;
+        return response;
     }
 
     // Out of degrade steps: shed explicitly instead of blocking.
     F3D_TRACE_SPAN_ARG("serve", "shed_no_degrade_left", qr.id);
     response.outcome = Outcome::rejectedDeadline;
-    finish(qr, std::move(response));
+    return response;
 }
 
 void
@@ -307,6 +344,15 @@ RenderServer::shutdown()
     drain();
     if (dispatcher_.joinable())
         dispatcher_.join();
+}
+
+void
+RenderServer::stop()
+{
+    // Order matters: flag first, so anything the dispatcher pops after
+    // the close() drains as rejectedShutdown instead of rendering.
+    shed_on_close_.store(true, std::memory_order_relaxed);
+    shutdown();
 }
 
 } // namespace fusion3d::serve

@@ -80,6 +80,15 @@ class RenderServer
     /** Stop admitting, drain, and join all serving threads. */
     void shutdown();
 
+    /**
+     * Fast shutdown: stop admitting and *shed* the queued backlog
+     * (Outcome::rejectedShutdown) instead of rendering it, so every
+     * submitted request still reaches a terminal outcome but no waiter
+     * blocks on work the server will never do. In-flight renders are
+     * completed. Idempotent, like shutdown().
+     */
+    void stop();
+
     const ServeConfig &config() const { return cfg_; }
     const ServerStats &stats() const { return stats_; }
     std::size_t queueDepth() const { return queue_.depth(); }
@@ -91,6 +100,7 @@ class RenderServer
   private:
     void dispatchLoop();
     void executeRequest(QueuedRequest qr, const ModelEntry *entry);
+    RenderResponse runLadder(QueuedRequest &qr, const ModelEntry *entry);
     void finish(QueuedRequest &qr, RenderResponse &&response);
     void noteRenderCost(double seconds, std::uint64_t pixels);
     void cacheFrame(const std::string &model, nerf::DepthFrame &&frame);
@@ -103,6 +113,9 @@ class RenderServer
     ThreadPool pool_;
 
     std::atomic<std::uint64_t> next_id_{1};
+    /** Set by stop(): the dispatcher sheds queued requests instead of
+     *  rendering them. */
+    std::atomic<bool> shed_on_close_{false};
 
     // Admitted-but-unfinished accounting (drain + dispatcher backpressure).
     mutable std::mutex flight_mutex_;

@@ -43,7 +43,17 @@ enum class Outcome
     rejectedDeadline,
     /** The named model is not in the registry. */
     rejectedUnknownModel,
+    /** Shed because the server stopped: submitted after stop()/
+     *  shutdown(), or still queued when stop() shed the backlog. */
+    rejectedShutdown,
+    /** The render worker failed (an exception, possibly injected via
+     *  the "serve.dispatch.throw" fault point). Terminal: the waiter
+     *  gets this response instead of hanging on a dead promise. */
+    failedInternal,
 };
+
+/** Number of Outcome values (counters, per-outcome tables). */
+inline constexpr int kOutcomeCount = 8;
 
 /** Human-readable name of @p outcome. */
 const char *outcomeName(Outcome outcome);
@@ -98,6 +108,9 @@ struct ServeConfig
      *  a request is degraded when estimated cost * headroom exceeds
      *  the time remaining until its deadline. */
     double estimateHeadroom = 1.2;
+    /** Injected render delay when the "serve.dispatch.slow" fault point
+     *  fires (chaos testing only; the point never fires unarmed). */
+    double faultSlowRenderMs = 5.0;
 };
 
 } // namespace fusion3d::serve

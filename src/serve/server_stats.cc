@@ -24,6 +24,10 @@ outcomeName(Outcome outcome)
         return "rejected_deadline";
       case Outcome::rejectedUnknownModel:
         return "rejected_unknown_model";
+      case Outcome::rejectedShutdown:
+        return "rejected_shutdown";
+      case Outcome::failedInternal:
+        return "failed_internal";
     }
     return "?";
 }
@@ -33,7 +37,9 @@ isRejected(Outcome outcome)
 {
     return outcome == Outcome::rejectedQueueFull ||
            outcome == Outcome::rejectedDeadline ||
-           outcome == Outcome::rejectedUnknownModel;
+           outcome == Outcome::rejectedUnknownModel ||
+           outcome == Outcome::rejectedShutdown ||
+           outcome == Outcome::failedInternal;
 }
 
 ServerStats::ServerStats()
@@ -123,7 +129,15 @@ ServerStats::shed() const
     std::lock_guard<std::mutex> lock(mutex_);
     return outcomes_[static_cast<int>(Outcome::rejectedQueueFull)]->value() +
            outcomes_[static_cast<int>(Outcome::rejectedDeadline)]->value() +
-           outcomes_[static_cast<int>(Outcome::rejectedUnknownModel)]->value();
+           outcomes_[static_cast<int>(Outcome::rejectedUnknownModel)]->value() +
+           outcomes_[static_cast<int>(Outcome::rejectedShutdown)]->value();
+}
+
+std::uint64_t
+ServerStats::failed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outcomes_[static_cast<int>(Outcome::failedInternal)]->value();
 }
 
 double

@@ -53,8 +53,11 @@ class ServerStats
     /** Requests served degraded (half resolution or warped). */
     std::uint64_t degraded() const;
 
-    /** Requests shed (queue full, deadline, unknown model). */
+    /** Requests shed (queue full, deadline, unknown model, shutdown). */
     std::uint64_t shed() const;
+
+    /** Requests whose worker failed (Outcome::failedInternal). */
+    std::uint64_t failed() const;
 
     double meanLatencyMs() const;
     double maxLatencyMs() const;
@@ -85,7 +88,7 @@ class ServerStats
     void collect(obs::MetricSink &sink) const;
 
   private:
-    static constexpr int kOutcomes = 6;
+    static constexpr int kOutcomes = kOutcomeCount;
 
     mutable std::mutex mutex_;
     sim::StatGroup group_;

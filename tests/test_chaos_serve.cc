@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Chaos tests of the hardened serving path, driven by the fault
+ * injector: deploy retries with backoff, the per-model circuit breaker
+ * (trip, fast-reject, half-open recovery), worker exceptions as
+ * terminal outcomes, a mixed slow/throw chaos run where every submitted
+ * request must still reach a terminal outcome (replayable per seed),
+ * and stop() shedding the queued backlog instead of stranding waiters.
+ * Expected to pass under -DFUSION3D_SANITIZE=thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "nerf/nerf_model.h"
+#include "nerf/serialize.h"
+#include "obs/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/scheduler.h"
+
+namespace fusion3d::serve
+{
+namespace
+{
+
+nerf::NerfModelConfig
+tinyModelConfig()
+{
+    nerf::NerfModelConfig cfg;
+    cfg.grid.levels = 4;
+    cfg.grid.featuresPerLevel = 2;
+    cfg.grid.log2TableSize = 9;
+    cfg.grid.baseResolution = 4;
+    cfg.grid.maxResolution = 32;
+    cfg.geoFeatures = 7;
+    cfg.densityHidden = 16;
+    cfg.colorHidden = 16;
+    cfg.shDegree = 2;
+    return cfg;
+}
+
+nerf::Camera
+testCamera(int size = 16)
+{
+    return nerf::Camera::orbit({0.5f, 0.5f, 0.5f}, 1.4f, 35.0f, 20.0f, 45.0f,
+                               size, size);
+}
+
+/** Every test starts and ends with the process-wide injector disarmed. */
+class ChaosServeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+
+    /** A registry config with test-speed backoff/cooldown timings. */
+    static RegistryConfig
+    fastRegistryConfig()
+    {
+        RegistryConfig rc;
+        rc.occupancyResolution = 8;
+        rc.backoffInitialMs = 0.1;
+        rc.backoffMaxMs = 1.0;
+        return rc;
+    }
+
+    /** Save a tiny model artifact and return its path. */
+    static std::string
+    savedArtifact(const char *filename)
+    {
+        const nerf::NerfModel model(tinyModelConfig(), /*seed=*/31);
+        const std::string path = testing::TempDir() + filename;
+        EXPECT_TRUE(nerf::saveModel(model, path));
+        return path;
+    }
+};
+
+TEST_F(ChaosServeTest, DeployRetriesThroughTransientFault)
+{
+    const std::string path = savedArtifact("chaos_retry.f3dm");
+    ModelRegistry registry(fastRegistryConfig());
+
+    // First load attempt fails (injected), the retry succeeds.
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec("serve.load.io=once"));
+    EXPECT_EQ(registry.addFromFile("m", path), nerf::LoadStatus::ok);
+    EXPECT_NE(registry.find("m"), nullptr);
+    EXPECT_EQ(registry.loadsSucceeded(), 1u);
+    EXPECT_EQ(registry.loadsFailed(), 0u);
+    EXPECT_EQ(registry.loadRetries(), 1u);
+    EXPECT_EQ(registry.breakerTrips(), 0u);
+    EXPECT_EQ(registry.breakerState("m"), BreakerState::closed);
+}
+
+TEST_F(ChaosServeTest, BreakerTripsFastRejectsAndRecovers)
+{
+    const std::string path = savedArtifact("chaos_breaker.f3dm");
+    RegistryConfig rc = fastRegistryConfig();
+    rc.loadMaxAttempts = 1; // no retries: each call is one attempt
+    rc.breakerThreshold = 2;
+    rc.breakerCooldownMs = 60.0;
+    ModelRegistry registry(rc);
+
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("serve.load.io=always"));
+
+    // Two consecutive failures trip the breaker.
+    EXPECT_EQ(registry.addFromFile("m", path), nerf::LoadStatus::ioError);
+    EXPECT_EQ(registry.breakerState("m"), BreakerState::closed);
+    EXPECT_EQ(registry.addFromFile("m", path), nerf::LoadStatus::ioError);
+    EXPECT_EQ(registry.breakerState("m"), BreakerState::open);
+    EXPECT_EQ(registry.breakerTrips(), 1u);
+    EXPECT_EQ(registry.loadsFailed(), 2u);
+
+    // Open breaker: rejected before the load path runs at all (the
+    // fault point sees no new check).
+    const std::uint64_t checks_before =
+        FaultInjector::instance().checks("serve.load.io");
+    EXPECT_EQ(registry.addFromFile("m", path), nerf::LoadStatus::ioError);
+    EXPECT_EQ(FaultInjector::instance().checks("serve.load.io"), checks_before);
+    EXPECT_EQ(registry.breakerOpenRejects(), 1u);
+
+    // Cooldown elapses, storage heals: the half-open probe closes it.
+    FaultInjector::instance().reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_EQ(registry.addFromFile("m", path), nerf::LoadStatus::ok);
+    EXPECT_EQ(registry.breakerState("m"), BreakerState::closed);
+    EXPECT_EQ(registry.loadsSucceeded(), 1u);
+    EXPECT_NE(registry.find("m"), nullptr);
+
+    // The breaker is per-model: "m"'s history never affected others.
+    EXPECT_EQ(registry.breakerState("other"), BreakerState::closed);
+}
+
+TEST_F(ChaosServeTest, HalfOpenProbeFailureReopensBreaker)
+{
+    const std::string path = savedArtifact("chaos_reopen.f3dm");
+    RegistryConfig rc = fastRegistryConfig();
+    rc.loadMaxAttempts = 3;
+    rc.breakerThreshold = 1; // first failed call trips it
+    rc.breakerCooldownMs = 20.0;
+    ModelRegistry registry(rc);
+
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("serve.load.io=always"));
+    EXPECT_EQ(registry.addFromFile("m", path), nerf::LoadStatus::ioError);
+    EXPECT_EQ(registry.breakerState("m"), BreakerState::open);
+
+    // After the cooldown the probe gets exactly ONE attempt (no
+    // retries), fails, and the breaker re-opens.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    const std::uint64_t checks_before =
+        FaultInjector::instance().checks("serve.load.io");
+    EXPECT_EQ(registry.addFromFile("m", path), nerf::LoadStatus::ioError);
+    EXPECT_EQ(FaultInjector::instance().checks("serve.load.io"),
+              checks_before + 1);
+    EXPECT_EQ(registry.breakerState("m"), BreakerState::open);
+    EXPECT_EQ(registry.breakerTrips(), 2u);
+}
+
+TEST_F(ChaosServeTest, WorkerExceptionIsTerminalOutcome)
+{
+    ModelRegistry registry(8);
+    registry.add("m", std::make_unique<nerf::NerfModel>(tinyModelConfig(), 5));
+
+    ServeConfig sc;
+    sc.renderThreads = 1;
+    sc.render.sampler.maxSamplesPerRay = 8;
+    RenderServer server(registry, sc);
+
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("serve.dispatch.throw=once"));
+
+    RenderRequest req;
+    req.model = "m";
+    req.camera = testCamera();
+    const RenderResponse failed = server.submit(req).get();
+    EXPECT_EQ(failed.outcome, Outcome::failedInternal);
+    EXPECT_TRUE(failed.image.empty());
+    EXPECT_EQ(server.stats().failed(), 1u);
+
+    // The worker survived its exception: the next request renders.
+    const RenderResponse ok = server.submit(req).get();
+    EXPECT_EQ(ok.outcome, Outcome::renderedFull);
+
+    server.drain();
+    EXPECT_EQ(server.stats().completed(), server.stats().submitted());
+}
+
+TEST_F(ChaosServeTest, ChaosMixEveryRequestTerminatesReplayably)
+{
+    ModelRegistry registry(8);
+    registry.add("m", std::make_unique<nerf::NerfModel>(tinyModelConfig(), 5));
+
+    constexpr int kRequests = 40;
+    const auto runChaos = [&](std::uint64_t seed) {
+        ASSERT_TRUE(FaultInjector::instance().configureFromSpec(
+            strprintf("serve.dispatch.slow=p0.4;serve.dispatch.throw=p0.25;"
+                      "seed=%llu",
+                      static_cast<unsigned long long>(seed))));
+
+        ServeConfig sc;
+        sc.renderThreads = 2;
+        sc.queueCapacity = 64; // >= kRequests: every request is admitted
+        sc.render.sampler.maxSamplesPerRay = 8;
+        sc.faultSlowRenderMs = 1.0;
+        RenderServer server(registry, sc);
+
+        std::vector<std::future<RenderResponse>> futures;
+        futures.reserve(kRequests);
+        for (int i = 0; i < kRequests; ++i) {
+            RenderRequest req;
+            req.model = "m";
+            req.camera = testCamera();
+            if (i % 4 == 3) // every 4th request races a tight deadline
+                req.deadline = Clock::now() + std::chrono::milliseconds(3);
+            futures.push_back(server.submit(req));
+        }
+
+        // The core chaos invariant: every submitted request reaches a
+        // terminal outcome — no future hangs, whatever fired.
+        int failed = 0;
+        for (auto &f : futures) {
+            ASSERT_EQ(f.wait_for(std::chrono::seconds(60)),
+                      std::future_status::ready);
+            failed += f.get().outcome == Outcome::failedInternal ? 1 : 0;
+        }
+        server.drain();
+        EXPECT_EQ(server.stats().completed(), server.stats().submitted());
+        EXPECT_EQ(server.stats().submitted(),
+                  static_cast<std::uint64_t>(kRequests));
+        EXPECT_EQ(server.stats().failed(), static_cast<std::uint64_t>(failed));
+
+        // Every admitted request consumed exactly one decision per
+        // point, in sequence order — so the fire totals are a pure
+        // function of the seed.
+        EXPECT_EQ(FaultInjector::instance().checks("serve.dispatch.throw"),
+                  static_cast<std::uint64_t>(kRequests));
+    };
+
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        SCOPED_TRACE(seed);
+        runChaos(seed);
+        const std::uint64_t slow_fires =
+            FaultInjector::instance().fires("serve.dispatch.slow");
+        const std::uint64_t throw_fires =
+            FaultInjector::instance().fires("serve.dispatch.throw");
+
+        // Replay with the same seed: identical fault schedule.
+        runChaos(seed);
+        EXPECT_EQ(FaultInjector::instance().fires("serve.dispatch.slow"),
+                  slow_fires);
+        EXPECT_EQ(FaultInjector::instance().fires("serve.dispatch.throw"),
+                  throw_fires);
+    }
+}
+
+TEST_F(ChaosServeTest, StopShedsQueuedBacklogPromptly)
+{
+    ModelRegistry registry(8);
+    registry.add("m", std::make_unique<nerf::NerfModel>(tinyModelConfig(), 5));
+
+    // Every render stalls 20 ms and only one runs at a time, so the
+    // backlog is still queued when stop() lands.
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec(
+        "serve.dispatch.slow=always"));
+
+    ServeConfig sc;
+    sc.renderThreads = 1;
+    sc.maxInFlight = 1;
+    sc.queueCapacity = 64;
+    sc.render.sampler.maxSamplesPerRay = 8;
+    sc.faultSlowRenderMs = 20.0;
+    RenderServer server(registry, sc);
+
+    constexpr int kRequests = 12;
+    std::vector<std::future<RenderResponse>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+        RenderRequest req;
+        req.model = "m";
+        req.camera = testCamera();
+        futures.push_back(server.submit(req));
+    }
+
+    server.stop();
+
+    int shed_shutdown = 0;
+    for (auto &f : futures) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(60)),
+                  std::future_status::ready);
+        shed_shutdown +=
+            f.get().outcome == Outcome::rejectedShutdown ? 1 : 0;
+    }
+    EXPECT_GT(shed_shutdown, 0)
+        << "a 12-deep backlog behind 20 ms renders must shed on stop()";
+    EXPECT_EQ(server.stats().completed(), server.stats().submitted());
+    EXPECT_EQ(server.stats().count(Outcome::rejectedShutdown),
+              static_cast<std::uint64_t>(shed_shutdown));
+
+    // The server is stopped: later submissions resolve immediately.
+    RenderRequest late;
+    late.model = "m";
+    late.camera = testCamera();
+    EXPECT_EQ(server.submit(late).get().outcome, Outcome::rejectedShutdown);
+}
+
+TEST_F(ChaosServeTest, RegistryMetricsAreExported)
+{
+    const std::string path = savedArtifact("chaos_metrics.f3dm");
+    ModelRegistry registry(fastRegistryConfig());
+    EXPECT_EQ(registry.addFromFile("m", path), nerf::LoadStatus::ok);
+
+    std::ostringstream os;
+    obs::MetricsRegistry::global().exportJsonLine(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("serve.registry.models"), std::string::npos) << json;
+    EXPECT_NE(json.find("serve.registry.loads_ok"), std::string::npos) << json;
+    EXPECT_NE(json.find("serve.registry.breaker_trips"), std::string::npos)
+        << json;
+}
+
+} // namespace
+} // namespace fusion3d::serve

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests of the fault-injection layer (src/common/fault): FaultPlan spec
+ * parsing (valid and malformed), the trigger semantics (once / everyN /
+ * always / off / probability), seed-deterministic replay, per-point
+ * check/fire counters, thread safety of concurrent shouldFail() calls,
+ * and the fault.* metrics export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+using namespace fusion3d;
+
+namespace
+{
+
+/** Every test leaves the process-wide injector disarmed. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+/** Fire pattern of the first @p checks checks of @p point, as a 0/1
+ *  string — convenient to compare replays. */
+std::string
+firePattern(const char *point, int checks)
+{
+    std::string out;
+    out.reserve(static_cast<std::size_t>(checks));
+    for (int i = 0; i < checks; ++i)
+        out.push_back(FaultInjector::instance().shouldFail(point) ? '1' : '0');
+    return out;
+}
+
+TEST_F(FaultTest, EmptySpecIsValidEmptyPlan)
+{
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse("", plan, error)) << error;
+    EXPECT_TRUE(plan.rules.empty());
+    EXPECT_EQ(plan.seed, 1u);
+
+    // Stray separators are tolerated too.
+    ASSERT_TRUE(FaultPlan::parse(";;  ;", plan, error)) << error;
+    EXPECT_TRUE(plan.rules.empty());
+}
+
+TEST_F(FaultTest, ParsesEveryTriggerKind)
+{
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse(
+                    "a=p0.25; b=every3 ;c=once;d=always;e=off;seed=42", plan,
+                    error))
+        << error;
+    EXPECT_EQ(plan.seed, 42u);
+    ASSERT_EQ(plan.rules.size(), 5u);
+    EXPECT_EQ(plan.rules.at("a").trigger, FaultTrigger::probability);
+    EXPECT_DOUBLE_EQ(plan.rules.at("a").probability, 0.25);
+    EXPECT_EQ(plan.rules.at("b").trigger, FaultTrigger::everyNth);
+    EXPECT_EQ(plan.rules.at("b").n, 3u);
+    EXPECT_EQ(plan.rules.at("c").trigger, FaultTrigger::once);
+    EXPECT_EQ(plan.rules.at("d").trigger, FaultTrigger::always);
+    EXPECT_EQ(plan.rules.at("e").trigger, FaultTrigger::off);
+}
+
+TEST_F(FaultTest, LaterEntriesWin)
+{
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse("x=once;x=every5", plan, error)) << error;
+    ASSERT_EQ(plan.rules.size(), 1u);
+    EXPECT_EQ(plan.rules.at("x").trigger, FaultTrigger::everyNth);
+    EXPECT_EQ(plan.rules.at("x").n, 5u);
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejectedWithDiagnosis)
+{
+    const char *bad[] = {
+        "noequals",      // entry without '='
+        "=p0.5",         // empty point name
+        "x=",            // empty trigger
+        "x=p",           // probability without a number
+        "x=p1.5",        // probability out of [0, 1]
+        "x=p-0.1",       // negative probability
+        "x=pexpr",       // junk after 'p'
+        "x=every",       // period without a number
+        "x=every0",      // period < 1
+        "x=every2x",     // junk after the number
+        "x=sometimes",   // unknown trigger word
+        "seed=",         // empty seed
+        "seed=banana",   // non-numeric seed
+        "seed=-3",       // negative seed
+    };
+    for (const char *spec : bad) {
+        FaultPlan plan;
+        std::string error;
+        EXPECT_FALSE(FaultPlan::parse(spec, plan, error))
+            << "spec accepted: " << spec;
+        EXPECT_FALSE(error.empty()) << "no diagnosis for: " << spec;
+    }
+
+    // A malformed spec arms nothing.
+    std::string error;
+    EXPECT_FALSE(FaultInjector::instance().configureFromSpec("x=p2", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(FaultInjector::instance().active());
+}
+
+TEST_F(FaultTest, DisarmedInjectorNeverFires)
+{
+    EXPECT_FALSE(FaultInjector::instance().active());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(FaultInjector::instance().shouldFail("some.point"));
+    EXPECT_EQ(FaultInjector::instance().totalFires(), 0u);
+}
+
+TEST_F(FaultTest, UnarmedPointNeverFiresWhileOthersAreArmed)
+{
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec("armed=always"));
+    EXPECT_TRUE(FaultInjector::instance().shouldFail("armed"));
+    EXPECT_FALSE(FaultInjector::instance().shouldFail("not.armed"));
+    EXPECT_EQ(FaultInjector::instance().checks("not.armed"), 0u);
+}
+
+TEST_F(FaultTest, TriggerSemantics)
+{
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec(
+        "one=once;third=every3;all=always;none=off"));
+
+    EXPECT_EQ(firePattern("one", 6), "100000");
+    // everyN fires on checks N, 2N, 3N, ...
+    EXPECT_EQ(firePattern("third", 9), "001001001");
+    EXPECT_EQ(firePattern("all", 4), "1111");
+    EXPECT_EQ(firePattern("none", 4), "0000");
+
+    EXPECT_EQ(FaultInjector::instance().checks("third"), 9u);
+    EXPECT_EQ(FaultInjector::instance().fires("third"), 3u);
+    EXPECT_EQ(FaultInjector::instance().checks("none"), 4u);
+    EXPECT_EQ(FaultInjector::instance().fires("none"), 0u);
+    EXPECT_EQ(FaultInjector::instance().totalFires(), 1u + 3u + 4u);
+
+    const std::vector<std::string> points =
+        FaultInjector::instance().activePoints();
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0], "all"); // sorted
+}
+
+TEST_F(FaultTest, ProbabilityReplayIsDeterministic)
+{
+    const std::string spec = "p.a=p0.3;p.b=p0.3;seed=7";
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec(spec));
+    const std::string a1 = firePattern("p.a", 200);
+    const std::string b1 = firePattern("p.b", 200);
+
+    // Same plan, same check sequence -> identical decisions.
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec(spec));
+    EXPECT_EQ(firePattern("p.a", 200), a1);
+    EXPECT_EQ(firePattern("p.b", 200), b1);
+
+    // The two points draw from distinct streams.
+    EXPECT_NE(a1, b1);
+
+    // A different seed gives a different schedule.
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("p.a=p0.3;p.b=p0.3;seed=8"));
+    EXPECT_NE(firePattern("p.a", 200), a1);
+
+    // The empirical rate is in the right ballpark (200 draws at 0.3:
+    // +-0.2 is > 6 sigma, so this cannot flake).
+    const double rate =
+        static_cast<double>(FaultInjector::instance().fires("p.a")) /
+        static_cast<double>(FaultInjector::instance().checks("p.a"));
+    EXPECT_NEAR(rate, 0.3, 0.2);
+}
+
+TEST_F(FaultTest, ProbabilityEdgeValues)
+{
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec("z=p0;o=p1"));
+    EXPECT_EQ(firePattern("z", 50), std::string(50, '0'));
+    EXPECT_EQ(firePattern("o", 50), std::string(50, '1'));
+}
+
+TEST_F(FaultTest, ResetDisarmsAndClearsCounters)
+{
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec("r=always"));
+    EXPECT_TRUE(FaultInjector::instance().shouldFail("r"));
+    FaultInjector::instance().reset();
+    EXPECT_FALSE(FaultInjector::instance().active());
+    EXPECT_FALSE(FaultInjector::instance().shouldFail("r"));
+    EXPECT_EQ(FaultInjector::instance().checks("r"), 0u);
+    EXPECT_EQ(FaultInjector::instance().totalFires(), 0u);
+    EXPECT_TRUE(FaultInjector::instance().activePoints().empty());
+}
+
+TEST_F(FaultTest, ReconfigureZeroesCounters)
+{
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec("c=always"));
+    firePattern("c", 10);
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec("c=always"));
+    EXPECT_EQ(FaultInjector::instance().checks("c"), 0u);
+    EXPECT_EQ(FaultInjector::instance().fires("c"), 0u);
+}
+
+TEST_F(FaultTest, ConcurrentChecksAreSafeAndCounted)
+{
+    // Thread-safety: N threads hammer two points; every check must be
+    // counted exactly once and the every4 point must fire on exactly a
+    // quarter of its checks regardless of interleaving. Run under TSan
+    // in CI.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("t.q=every4;t.p=p0.5"));
+
+    std::atomic<std::uint64_t> observed_q{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&observed_q]() {
+            for (int i = 0; i < kPerThread; ++i) {
+                if (FaultInjector::instance().shouldFail("t.q"))
+                    observed_q.fetch_add(1);
+                FaultInjector::instance().shouldFail("t.p");
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    constexpr std::uint64_t kTotal =
+        static_cast<std::uint64_t>(kThreads) * kPerThread;
+    EXPECT_EQ(FaultInjector::instance().checks("t.q"), kTotal);
+    EXPECT_EQ(FaultInjector::instance().checks("t.p"), kTotal);
+    EXPECT_EQ(FaultInjector::instance().fires("t.q"), kTotal / 4);
+    EXPECT_EQ(observed_q.load(), kTotal / 4);
+    // 80k fair-coin draws: 0.5 +- 0.05 is > 25 sigma.
+    const double rate =
+        static_cast<double>(FaultInjector::instance().fires("t.p")) /
+        static_cast<double>(kTotal);
+    EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST_F(FaultTest, MetricsExportCarriesFaultCounters)
+{
+    ASSERT_TRUE(FaultInjector::instance().configureFromSpec("m.x=always"));
+    firePattern("m.x", 3);
+
+    std::ostringstream os;
+    obs::MetricsRegistry::global().exportJsonLine(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("fault.active_points"), std::string::npos) << json;
+    EXPECT_NE(json.find("fault.m.x.checks"), std::string::npos) << json;
+    EXPECT_NE(json.find("fault.m.x.fires"), std::string::npos) << json;
+}
+
+} // namespace

@@ -1,6 +1,8 @@
 /** @file Robustness tests of the .f3dm model artifact reader/writer:
- *  round-trip equality, and clean diagnosable failures on truncated,
- *  magic-corrupted, and wrong-version files. */
+ *  round-trip equality, clean diagnosable failures on truncated,
+ *  magic-corrupted, wrong-version, and checksum-corrupted files
+ *  (truncation probed at every section boundary), injected I/O faults,
+ *  and the crash-safety of the atomic checkpoint writer. */
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "nerf/nerf_model.h"
 #include "nerf/serialize.h"
 
@@ -183,6 +186,177 @@ TEST(Serialize, LoadStatusNamesAreStable)
     EXPECT_STREQ(loadStatusName(LoadStatus::ok), "ok");
     EXPECT_STREQ(loadStatusName(LoadStatus::badMagic), "bad magic");
     EXPECT_STREQ(loadStatusName(LoadStatus::truncated), "truncated");
+    EXPECT_STREQ(loadStatusName(LoadStatus::badChecksum), "checksum mismatch");
+}
+
+TEST(Serialize, TruncationAtEverySectionBoundaryIsDiagnosed)
+{
+    const NerfModel model(tinyConfig());
+    const std::string path = tmpPath("boundaries.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+    const std::vector<unsigned char> whole = readAll(path);
+
+    // Section boundaries of the v2 layout: empty file, mid-header,
+    // header only, header + encoding block, header + encoding +
+    // density block. Every cut must read as `truncated`, never crash.
+    const std::size_t header = 72; // sizeof the on-disk header
+    const std::size_t enc =
+        model.encoding().params().size() * sizeof(float);
+    const std::size_t dens =
+        model.densityNet().params().size() * sizeof(float);
+    const std::size_t cuts[] = {0, 10, header, header + enc,
+                                header + enc + dens};
+    for (const std::size_t cut : cuts) {
+        SCOPED_TRACE(cut);
+        ASSERT_LT(cut, whole.size());
+        std::vector<unsigned char> bytes = whole;
+        bytes.resize(cut);
+        writeAll(path, bytes);
+        const LoadResult r = loadModelVerbose(path);
+        EXPECT_EQ(r.status, LoadStatus::truncated);
+        EXPECT_EQ(r.model, nullptr);
+    }
+}
+
+TEST(Serialize, PayloadCorruptionFailsChecksum)
+{
+    const NerfModel model(tinyConfig(), /*seed=*/11);
+    const std::string path = tmpPath("bitflip.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    // Flip one bit in the last payload byte: header and sizes are
+    // intact, so only the CRC can catch it.
+    std::vector<unsigned char> bytes = readAll(path);
+    bytes.back() ^= 0x01;
+    writeAll(path, bytes);
+
+    const LoadResult r = loadModelVerbose(path);
+    EXPECT_EQ(r.status, LoadStatus::badChecksum);
+    EXPECT_EQ(r.model, nullptr);
+    EXPECT_FALSE(r.message.empty());
+}
+
+TEST(Serialize, CrcFieldCorruptionFailsChecksum)
+{
+    const NerfModel model(tinyConfig(), /*seed=*/12);
+    const std::string path = tmpPath("badcrc.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    // The u32 paramCrc sits after the nine i32 dimension fields
+    // (offset 4 + 4 + 9*4 = 44).
+    std::vector<unsigned char> bytes = readAll(path);
+    bytes[44] ^= 0xff;
+    writeAll(path, bytes);
+
+    EXPECT_EQ(loadModelVerbose(path).status, LoadStatus::badChecksum);
+}
+
+/** Injected-fault serialize tests leave the injector disarmed. */
+class SerializeFaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(SerializeFaultTest, InjectedLoadFaultsMapToTheirStatuses)
+{
+    const NerfModel model(tinyConfig(), /*seed=*/13);
+    const std::string path = tmpPath("loadfaults.f3dm");
+    ASSERT_TRUE(saveModel(model, path));
+
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("nerf.load.open=once"));
+    EXPECT_EQ(loadModelVerbose(path).status, LoadStatus::ioError);
+
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("nerf.load.read=once"));
+    EXPECT_EQ(loadModelVerbose(path).status, LoadStatus::truncated);
+
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("nerf.load.crc=once"));
+    EXPECT_EQ(loadModelVerbose(path).status, LoadStatus::badChecksum);
+
+    // Each was a one-shot: the same artifact now loads clean, armed
+    // or not.
+    EXPECT_EQ(loadModelVerbose(path).status, LoadStatus::ok);
+    FaultInjector::instance().reset();
+    EXPECT_EQ(loadModelVerbose(path).status, LoadStatus::ok);
+}
+
+TEST_F(SerializeFaultTest, InjectedLoadIntoFaultLeavesDstUntouched)
+{
+    const NerfModel src(tinyConfig(), /*seed=*/14);
+    NerfModel dst(tinyConfig(), /*seed=*/15);
+    const float before = dst.encoding().params()[0];
+
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("nerf.loadinto=once"));
+    EXPECT_FALSE(loadInto(dst, src));
+    EXPECT_EQ(dst.encoding().params()[0], before);
+    EXPECT_TRUE(loadInto(dst, src)); // one-shot: the retry works
+}
+
+TEST_F(SerializeFaultTest, InjectedSaveWriteFaultFailsCleanly)
+{
+    const NerfModel model(tinyConfig(), /*seed=*/16);
+    const std::string path = tmpPath("savefault.f3dm");
+
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("nerf.save.write=once"));
+    EXPECT_FALSE(saveModel(model, path));
+    FaultInjector::instance().reset();
+    EXPECT_TRUE(saveModel(model, path));
+    EXPECT_EQ(loadModelVerbose(path).status, LoadStatus::ok);
+}
+
+TEST_F(SerializeFaultTest, AtomicSaveRoundTripsAndLeavesNoTempFile)
+{
+    const NerfModel model(tinyConfig(), /*seed=*/17);
+    const std::string path = tmpPath("atomic.f3dm");
+    ASSERT_TRUE(saveModelAtomic(model, path));
+
+    const LoadResult r = loadModelVerbose(path);
+    ASSERT_EQ(r.status, LoadStatus::ok);
+    expectSpansEqual(model.encoding().params(), r.model->encoding().params());
+
+    // No temp debris after a clean save.
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+}
+
+TEST_F(SerializeFaultTest, CrashDuringCheckpointNeverYieldsALoadableFile)
+{
+    // First checkpoint lands; a crash during the second must leave the
+    // destination exactly as the first wrote it, and whatever partial
+    // temp file the crash left must never load.
+    const NerfModel good(tinyConfig(), /*seed=*/18);
+    const std::string path = tmpPath("crashsafe.f3dm");
+    ASSERT_TRUE(saveModelAtomic(good, path));
+
+    const NerfModel newer(tinyConfig(), /*seed=*/19);
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("trainer.ckpt.write=once"));
+    EXPECT_FALSE(saveModelAtomic(newer, path));
+
+    // Destination: still the *first* model, bit-exact.
+    const LoadResult r = loadModelVerbose(path);
+    ASSERT_EQ(r.status, LoadStatus::ok) << r.message;
+    expectSpansEqual(good.encoding().params(), r.model->encoding().params());
+    expectSpansEqual(good.densityNet().params(), r.model->densityNet().params());
+    expectSpansEqual(good.colorNet().params(), r.model->colorNet().params());
+
+    // The simulated crash cut the temp file mid-payload: loading it
+    // diagnoses truncation instead of accepting half a model.
+    EXPECT_EQ(loadModelVerbose(path + ".tmp").status, LoadStatus::truncated);
+
+    // An injected open failure also leaves the destination intact.
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("trainer.ckpt.open=once"));
+    EXPECT_FALSE(saveModelAtomic(newer, path));
+    EXPECT_EQ(loadModelVerbose(path).status, LoadStatus::ok);
 }
 
 TEST(LoadInto, CopiesAllParameterBlocks)

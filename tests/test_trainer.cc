@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "nerf/pipeline.h"
+#include "nerf/serialize.h"
 #include "nerf/trainer.h"
 #include "scenes/dataset_gen.h"
 #include "scenes/factory.h"
@@ -142,6 +143,27 @@ TEST(Trainer, EmptyDatasetIsFatal)
     NerfPipeline pipe(tinyPipeline());
     const Dataset empty;
     EXPECT_DEATH({ Trainer t(pipe, empty, TrainerConfig{}); }, "no training views");
+}
+
+TEST(Trainer, CheckpointScheduleWritesLoadableArtifacts)
+{
+    const Dataset data = tinyDataset();
+    NerfPipeline pipe(tinyPipeline());
+    TrainerConfig tc;
+    tc.iterations = 4;
+    tc.raysPerBatch = 4;
+    tc.checkpointEvery = 2;
+    tc.checkpointPath = testing::TempDir() + "trainer_ckpt.f3dm";
+    Trainer trainer(pipe, data, tc);
+    trainer.setCheckpointModel(&pipe.model());
+    trainer.run();
+
+    // Checkpoints at iterations 2 and 4, all atomic-renamed into place.
+    EXPECT_EQ(trainer.checkpointsWritten(), 2u);
+    EXPECT_EQ(trainer.checkpointsFailed(), 0u);
+    const LoadResult r = loadModelVerbose(tc.checkpointPath);
+    ASSERT_EQ(r.status, LoadStatus::ok) << r.message;
+    EXPECT_EQ(r.model->paramCount(), pipe.model().paramCount());
 }
 
 TEST(Trainer, DeterministicWithSameSeed)
