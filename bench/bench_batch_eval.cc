@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Batched-vs-scalar field-evaluation bench: samples/sec of the scalar
+ * forwardPoint loop against the SoA forwardBatch core at batch sizes
+ * 1/32/256/2048, on the default bench model. Prints the usual table
+ * plus one machine-readable JSON summary line (prefixed "JSON:") and
+ * exits non-zero if the batched path is slower than scalar at batch
+ * 256 — the CI smoke gate for the GEMM-shaped pipeline.
+ *
+ * Usage: bench_batch_eval [--quick] [samples_per_config]
+ *
+ *  --quick  reduce the per-configuration sample budget for CI smoke
+ *           runs (the speedup, not the absolute rate, is the gate).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nerf/nerf_model.h"
+
+using namespace fusion3d;
+
+namespace
+{
+
+struct EvalPoint
+{
+    std::size_t batch;
+    double scalarSps;
+    double batchedSps;
+    double speedup;
+};
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+EvalPoint
+measure(const nerf::NerfModel &model, std::size_t batch, std::size_t budget)
+{
+    Pcg32 rng(2026);
+    std::vector<Vec3f> pos(batch), dirs(batch);
+    for (std::size_t j = 0; j < batch; ++j) {
+        pos[j] = clamp(rng.nextVec3(), 0.01f, 0.99f);
+        dirs[j] = rng.nextUnitVector();
+    }
+
+    const std::size_t reps = std::max<std::size_t>(1, budget / batch);
+    std::vector<float> sigmas(batch);
+    std::vector<Vec3f> rgbs(batch);
+
+    // Checksum keeps the optimizer from discarding the work; the two
+    // paths are bit-exact, so it doubles as a cheap equivalence check.
+    double sum_scalar = 0.0, sum_batched = 0.0;
+
+    nerf::PointWorkspace pws = model.makeWorkspace();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep)
+        for (std::size_t j = 0; j < batch; ++j)
+            sum_scalar += model.forwardPoint(pos[j], dirs[j], pws).sigma;
+    const double scalar_s = secondsSince(t0);
+
+    nerf::NerfBatchWorkspace bws = model.makeBatchWorkspace(batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        model.forwardBatch(pos, dirs, bws, sigmas, rgbs);
+        sum_batched += sigmas[rep % batch];
+    }
+    const double batched_s = secondsSince(t1);
+    if (sum_scalar < 0.0 && sum_batched < 0.0) // sigmas are positive
+        fatal("impossible checksum");
+
+    EvalPoint p{};
+    p.batch = batch;
+    const double samples = static_cast<double>(reps * batch);
+    p.scalarSps = samples / scalar_s;
+    p.batchedSps = samples / batched_s;
+    p.speedup = p.batchedSps / p.scalarSps;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t budget = 1u << 19;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::atoll(argv[i]) > 0)
+            budget = static_cast<std::size_t>(std::atoll(argv[i]));
+        else
+            fatal("usage: %s [--quick] [samples_per_config]", argv[0]);
+    }
+    if (quick)
+        budget = std::min<std::size_t>(budget, 1u << 16);
+
+    const nerf::NerfModelConfig mc = bench::defaultPipeline().model;
+    const nerf::NerfModel model(mc, 2024);
+
+    bench::banner("Batched SoA field evaluation: samples/s vs batch size");
+    std::printf("%-12s %16s %16s %10s\n", "batch", "scalar (sm/s)",
+                "batched (sm/s)", "speedup");
+
+    std::vector<EvalPoint> points;
+    double speedup_256 = 0.0;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{32},
+                                    std::size_t{256}, std::size_t{2048}}) {
+        points.push_back(measure(model, batch, budget));
+        const EvalPoint &p = points.back();
+        if (p.batch == 256)
+            speedup_256 = p.speedup;
+        std::printf("%-12zu %16.0f %16.0f %9.2fx\n", p.batch, p.scalarSps,
+                    p.batchedSps, p.speedup);
+    }
+    bench::rule();
+
+    std::string json = "{\"bench\":\"batch_eval\",\"quick\":" +
+                       std::string(quick ? "true" : "false") +
+                       ",\"samples_per_config\":" + std::to_string(budget) +
+                       ",\"points\":[";
+    char buf[192];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const EvalPoint &p = points[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"batch\":%zu,\"scalar_sps\":%.0f,"
+                      "\"batched_sps\":%.0f,\"speedup\":%.3f}",
+                      i ? "," : "", p.batch, p.scalarSps, p.batchedSps,
+                      p.speedup);
+        json += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "],\"speedup_256\":%.3f}", speedup_256);
+    json += buf;
+    std::printf("JSON: %s\n", json.c_str());
+
+    if (speedup_256 < 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: batched path slower than scalar at batch 256 "
+                     "(speedup %.3fx < 1.0x)\n",
+                     speedup_256);
+        return 1;
+    }
+    return 0;
+}

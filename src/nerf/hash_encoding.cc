@@ -9,6 +9,55 @@
 namespace fusion3d::nerf
 {
 
+namespace
+{
+
+/** Corner indices and trilinear weights of one point at one level. */
+struct LevelCorners
+{
+    std::uint32_t indices[8];
+    float weights[8];
+};
+
+/**
+ * Corner gather with the level constants (resolution, dense flag,
+ * vertex-row stride, hash mask) hoisted by the caller. The arithmetic
+ * — and therefore every float result — is identical to
+ * HashGridEncoding::gatherCorners; this variant just drops the
+ * per-corner dense/hashed branch through vertexIndex and the coords
+ * bookkeeping the visitor path needs.
+ */
+inline void
+cornerIndicesWeights(const Vec3f &pos, float fres, bool dense, std::uint32_t n1,
+                     std::uint32_t mask, LevelCorners &lc)
+{
+    const Vec3f p = clamp(pos, 0.0f, 1.0f);
+    const Vec3f scaled{std::min(p.x * fres, fres - 1e-4f),
+                       std::min(p.y * fres, fres - 1e-4f),
+                       std::min(p.z * fres, fres - 1e-4f)};
+    const Vec3i base = floorToInt(scaled);
+    const Vec3f frac = scaled - toFloat(base);
+
+    for (int c = 0; c < 8; ++c) {
+        const int dx = c & 1;
+        const int dy = (c >> 1) & 1;
+        const int dz = (c >> 2) & 1;
+        const Vec3i v{base.x + dx, base.y + dy, base.z + dz};
+        lc.indices[c] =
+            dense ? (static_cast<std::uint32_t>(v.z) * n1 +
+                     static_cast<std::uint32_t>(v.y)) *
+                            n1 +
+                        static_cast<std::uint32_t>(v.x)
+                  : HashGridEncoding::hashCoords(v, mask);
+        const float wx = dx ? frac.x : 1.0f - frac.x;
+        const float wy = dy ? frac.y : 1.0f - frac.y;
+        const float wz = dz ? frac.z : 1.0f - frac.z;
+        lc.weights[c] = wx * wy * wz;
+    }
+}
+
+} // namespace
+
 HashGridEncoding::HashGridEncoding(const HashGridConfig &cfg, std::uint64_t seed)
     : cfg_(cfg)
 {
@@ -142,6 +191,113 @@ HashGridEncoding::backward(const Vec3f &pos, std::span<const float> dout)
             const float w = cs.weights[c];
             for (int f = 0; f < fpl; ++f)
                 grads_[at + f] += w * dout[static_cast<std::size_t>(l) * fpl + f];
+        }
+    }
+}
+
+void
+HashGridEncoding::encodeBatch(std::span<const Vec3f> pos, std::span<float> out,
+                              VertexVisitor *visitor) const
+{
+    const int fpl = cfg_.featuresPerLevel;
+    const std::size_t n = pos.size();
+    if (out.size() < static_cast<std::size_t>(cfg_.encodedDims()) * n)
+        panic("HashGridEncoding::encodeBatch output span too small (%zu < %zu)",
+              out.size(), static_cast<std::size_t>(cfg_.encodedDims()) * n);
+
+    CornerSet cs;
+    LevelCorners lc;
+    for (int l = 0; l < cfg_.levels; ++l) {
+        const std::size_t base = offsets_[l];
+        const std::size_t row = static_cast<std::size_t>(l) * fpl * n;
+        if (visitor) {
+            // Observed path: full gatherCorners so the visitor sees
+            // coords, in the same contiguous 8-corner groups.
+            for (std::size_t j = 0; j < n; ++j) {
+                gatherCorners(l, pos[j], cs);
+                float acc[8]; // featuresPerLevel <= 8 supported
+                for (int f = 0; f < fpl; ++f)
+                    acc[f] = 0.0f;
+                for (int c = 0; c < 8; ++c) {
+                    const std::size_t at =
+                        base + static_cast<std::size_t>(cs.indices[c]) * fpl;
+                    const float w = cs.weights[c];
+                    for (int f = 0; f < fpl; ++f)
+                        acc[f] += w * params_[at + f];
+                    visitor->visit(l, c, cs.coords[c], cs.indices[c], dense_[l]);
+                }
+                for (int f = 0; f < fpl; ++f)
+                    out[row + static_cast<std::size_t>(f) * n + j] = acc[f];
+            }
+            continue;
+        }
+
+        // Hot path: level constants hoisted out of the point loop,
+        // gather specialized for the common two-feature tables. Per
+        // point the accumulation order matches encode() exactly.
+        const float fres = static_cast<float>(resolutions_[l]);
+        const bool dense = dense_[l];
+        const std::uint32_t n1 = static_cast<std::uint32_t>(resolutions_[l] + 1);
+        const std::uint32_t mask = cfg_.tableSize() - 1;
+        const float *lp = params_.data() + base;
+        if (fpl == 2) {
+            for (std::size_t j = 0; j < n; ++j) {
+                cornerIndicesWeights(pos[j], fres, dense, n1, mask, lc);
+                float a0 = 0.0f, a1 = 0.0f;
+                for (int c = 0; c < 8; ++c) {
+                    const float *q = lp + static_cast<std::size_t>(lc.indices[c]) * 2;
+                    const float w = lc.weights[c];
+                    a0 += w * q[0];
+                    a1 += w * q[1];
+                }
+                out[row + j] = a0;
+                out[row + n + j] = a1;
+            }
+        } else {
+            for (std::size_t j = 0; j < n; ++j) {
+                cornerIndicesWeights(pos[j], fres, dense, n1, mask, lc);
+                float acc[8];
+                for (int f = 0; f < fpl; ++f)
+                    acc[f] = 0.0f;
+                for (int c = 0; c < 8; ++c) {
+                    const float *q =
+                        lp + static_cast<std::size_t>(lc.indices[c]) * fpl;
+                    const float w = lc.weights[c];
+                    for (int f = 0; f < fpl; ++f)
+                        acc[f] += w * q[f];
+                }
+                for (int f = 0; f < fpl; ++f)
+                    out[row + static_cast<std::size_t>(f) * n + j] = acc[f];
+            }
+        }
+    }
+}
+
+void
+HashGridEncoding::backwardBatch(std::span<const Vec3f> pos, std::span<const float> dout)
+{
+    const int fpl = cfg_.featuresPerLevel;
+    const std::size_t n = pos.size();
+    if (dout.size() < static_cast<std::size_t>(cfg_.encodedDims()) * n)
+        panic("HashGridEncoding::backwardBatch gradient span too small");
+
+    LevelCorners lc;
+    for (int l = 0; l < cfg_.levels; ++l) {
+        const std::size_t base = offsets_[l];
+        const std::size_t row = static_cast<std::size_t>(l) * fpl * n;
+        const float fres = static_cast<float>(resolutions_[l]);
+        const bool dense = dense_[l];
+        const std::uint32_t n1 = static_cast<std::uint32_t>(resolutions_[l] + 1);
+        const std::uint32_t mask = cfg_.tableSize() - 1;
+        float *lg = grads_.data() + base;
+        for (std::size_t j = 0; j < n; ++j) {
+            cornerIndicesWeights(pos[j], fres, dense, n1, mask, lc);
+            for (int c = 0; c < 8; ++c) {
+                float *g = lg + static_cast<std::size_t>(lc.indices[c]) * fpl;
+                const float w = lc.weights[c];
+                for (int f = 0; f < fpl; ++f)
+                    g[f] += w * dout[row + static_cast<std::size_t>(f) * n + j];
+            }
         }
     }
 }

@@ -116,6 +116,31 @@ class HashGridEncoding
      */
     void backward(const Vec3f &pos, std::span<const float> dout);
 
+    /**
+     * Encode a batch of points in level-major order: one pass over the
+     * whole batch per level, so every pass touches a single level's
+     * table (cache-friendly) instead of striding through all levels per
+     * point. Each point's interpolation accumulates corners in the same
+     * order as encode(), so every column is bit-exact with the scalar
+     * path.
+     *
+     * @param pos     Query positions, clamped into [0,1]^3.
+     * @param out     Feature-major [encodedDims][pos.size()] matrix:
+     *                feature d of point j lands at out[d*n + j].
+     * @param visitor Optional access-trace observer; visits arrive
+     *                level-major but each point's 8 corners stay
+     *                contiguous and in corner order.
+     */
+    void encodeBatch(std::span<const Vec3f> pos, std::span<float> out,
+                     VertexVisitor *visitor = nullptr) const;
+
+    /**
+     * Batched backward scatter, level-major like encodeBatch.
+     * @param pos  The batch previously encoded.
+     * @param dout Feature-major [encodedDims][pos.size()] gradients.
+     */
+    void backwardBatch(std::span<const Vec3f> pos, std::span<const float> dout);
+
     /** Flat parameter vector (levels concatenated, feature-major). */
     std::span<float> params() { return params_; }
     std::span<const float> params() const { return params_; }

@@ -47,6 +47,36 @@ Mlp::Mlp(std::vector<int> layer_sizes, std::uint64_t seed)
     }
 }
 
+namespace
+{
+
+/** Samples per GEMM tile: accumulators stay register/L1-resident while
+ *  each weight row is reused across the whole tile. */
+constexpr std::size_t kBatchBlock = 64;
+
+/** Grow @p ws to hold @p n samples; never shrinks. */
+void
+growBatchWorkspace(const std::vector<int> &sizes, MlpBatchWorkspace &ws, std::size_t n)
+{
+    if (n <= ws.capacity && !ws.activations.empty())
+        return;
+    const std::size_t layers = sizes.size() - 1;
+    const std::size_t cap = std::max(n, ws.capacity);
+    ws.activations.resize(sizes.size());
+    ws.preacts.resize(layers);
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        ws.activations[i].resize(static_cast<std::size_t>(sizes[i]) * cap);
+    for (std::size_t l = 0; l < layers; ++l)
+        ws.preacts[l].resize(static_cast<std::size_t>(sizes[l + 1]) * cap);
+    ws.dinput.resize(static_cast<std::size_t>(sizes.front()) * cap);
+    const int widest = *std::max_element(sizes.begin(), sizes.end());
+    ws.delta_a.resize(static_cast<std::size_t>(widest) * cap);
+    ws.delta_b.resize(static_cast<std::size_t>(widest) * cap);
+    ws.capacity = cap;
+}
+
+} // namespace
+
 MlpWorkspace
 Mlp::makeWorkspace() const
 {
@@ -62,6 +92,129 @@ Mlp::makeWorkspace() const
     ws.delta_a.resize(static_cast<std::size_t>(widest));
     ws.delta_b.resize(static_cast<std::size_t>(widest));
     return ws;
+}
+
+MlpBatchWorkspace
+Mlp::makeBatchWorkspace(std::size_t capacity) const
+{
+    MlpBatchWorkspace ws;
+    growBatchWorkspace(sizes_, ws, capacity);
+    return ws;
+}
+
+std::span<const float>
+Mlp::forwardBatch(std::span<const float> input, std::size_t n, MlpBatchWorkspace &ws) const
+{
+    if (n == 0) {
+        ws.count = 0;
+        return {};
+    }
+    if (input.size() < static_cast<std::size_t>(inputDim()) * n)
+        panic("Mlp::forwardBatch input too small (%zu < %zu)", input.size(),
+              static_cast<std::size_t>(inputDim()) * n);
+
+    growBatchWorkspace(sizes_, ws, n);
+    ws.count = n;
+    std::copy_n(input.begin(), static_cast<std::size_t>(inputDim()) * n,
+                ws.activations[0].begin());
+
+    // All matrices are feature-major with stride n for this call.
+    for (int l = 0; l < layerCount(); ++l) {
+        const int fan_in = sizes_[l];
+        const int fan_out = sizes_[l + 1];
+        const float *w = params_.data() + w_offsets_[l];
+        const float *b = params_.data() + b_offsets_[l];
+        const float *x = ws.activations[l].data();
+        float *z = ws.preacts[l].data();
+        float *a = ws.activations[l + 1].data();
+        const bool hidden = l != layerCount() - 1;
+
+        for (std::size_t n0 = 0; n0 < n; n0 += kBatchBlock) {
+            const std::size_t nb = std::min(kBatchBlock, n - n0);
+            for (int o = 0; o < fan_out; ++o) {
+                const float *wrow = w + static_cast<std::size_t>(o) * fan_in;
+                // Per sample this accumulates bias-first then fan-in
+                // ascending — the exact order of the scalar forward(),
+                // so each column is bit-identical to the scalar path.
+                float acc[kBatchBlock];
+                for (std::size_t j = 0; j < nb; ++j)
+                    acc[j] = b[o];
+                for (int i = 0; i < fan_in; ++i) {
+                    const float wv = wrow[i];
+                    const float *xrow = x + static_cast<std::size_t>(i) * n + n0;
+                    for (std::size_t j = 0; j < nb; ++j)
+                        acc[j] += wv * xrow[j];
+                }
+                float *zrow = z + static_cast<std::size_t>(o) * n + n0;
+                float *arow = a + static_cast<std::size_t>(o) * n + n0;
+                for (std::size_t j = 0; j < nb; ++j) {
+                    zrow[j] = acc[j];
+                    arow[j] = hidden ? std::max(acc[j], 0.0f) : acc[j];
+                }
+            }
+        }
+    }
+    return {ws.activations.back().data(), static_cast<std::size_t>(outputDim()) * n};
+}
+
+void
+Mlp::backwardBatch(std::span<const float> dout, std::size_t n, MlpBatchWorkspace &ws)
+{
+    if (n == 0)
+        return;
+    if (n != ws.count)
+        panic("Mlp::backwardBatch batch size mismatch (%zu != %zu)", n, ws.count);
+    if (dout.size() < static_cast<std::size_t>(outputDim()) * n)
+        panic("Mlp::backwardBatch gradient too small");
+
+    float *delta = ws.delta_a.data();
+    float *next_delta = ws.delta_b.data();
+    std::copy_n(dout.begin(), static_cast<std::size_t>(outputDim()) * n, delta);
+
+    for (int l = layerCount() - 1; l >= 0; --l) {
+        const int fan_in = sizes_[l];
+        const int fan_out = sizes_[l + 1];
+        const float *w = params_.data() + w_offsets_[l];
+        float *gw = grads_.data() + w_offsets_[l];
+        float *gb = grads_.data() + b_offsets_[l];
+        const float *x = ws.activations[l].data();
+        const float *z = ws.preacts[l].data();
+        const bool hidden = l != layerCount() - 1;
+
+        if (hidden) {
+            const std::size_t count = static_cast<std::size_t>(fan_out) * n;
+            for (std::size_t k = 0; k < count; ++k) {
+                if (z[k] <= 0.0f)
+                    delta[k] = 0.0f;
+            }
+        }
+
+        std::fill_n(next_delta, static_cast<std::size_t>(fan_in) * n, 0.0f);
+        for (int o = 0; o < fan_out; ++o) {
+            const float *drow = delta + static_cast<std::size_t>(o) * n;
+            float bias_acc = 0.0f;
+            for (std::size_t j = 0; j < n; ++j)
+                bias_acc += drow[j];
+            gb[o] += bias_acc;
+
+            const float *wrow = w + static_cast<std::size_t>(o) * fan_in;
+            float *gwrow = gw + static_cast<std::size_t>(o) * fan_in;
+            for (int i = 0; i < fan_in; ++i) {
+                const float *xrow = x + static_cast<std::size_t>(i) * n;
+                float *ndrow = next_delta + static_cast<std::size_t>(i) * n;
+                const float wv = wrow[i];
+                float gacc = 0.0f;
+                for (std::size_t j = 0; j < n; ++j) {
+                    gacc += drow[j] * xrow[j];
+                    ndrow[j] += drow[j] * wv;
+                }
+                gwrow[i] += gacc;
+            }
+        }
+        std::swap(delta, next_delta);
+    }
+
+    std::copy_n(delta, static_cast<std::size_t>(inputDim()) * n, ws.dinput.begin());
 }
 
 std::span<const float>

@@ -31,6 +31,31 @@ struct MlpWorkspace
 };
 
 /**
+ * Activation cache for a whole batch of N samples. All matrices are
+ * stored feature-major — value of feature i for sample n lives at
+ * [i * N + n] — so the GEMM inner loops stream contiguous samples while
+ * each weight is loaded once and reused across the batch. Buffers grow
+ * on demand and are never shrunk, so a reused workspace allocates only
+ * on its largest batch.
+ */
+struct MlpBatchWorkspace
+{
+    /** Allocated batch capacity (samples). */
+    std::size_t capacity = 0;
+    /** Batch size of the last forwardBatch() on this workspace. */
+    std::size_t count = 0;
+    /** Post-activations per layer, feature-major; [0] is the input copy. */
+    std::vector<std::vector<float>> activations;
+    /** Pre-activations (z) per non-input layer, feature-major. */
+    std::vector<std::vector<float>> preacts;
+    /** dL/d(input), feature-major [inputDim][N]; filled by backwardBatch(). */
+    std::vector<float> dinput;
+    /** Scratch delta matrices, [widest][N]. */
+    std::vector<float> delta_a;
+    std::vector<float> delta_b;
+};
+
+/**
  * Fully connected network. Layer sizes include input and output, e.g.
  * {32, 64, 16} is one hidden layer of 64. Hidden layers use ReLU, the
  * output layer is linear (callers apply their own output nonlinearity
@@ -52,6 +77,9 @@ class Mlp
     /** Allocate a workspace sized for this network. */
     MlpWorkspace makeWorkspace() const;
 
+    /** Allocate a batch workspace with room for @p capacity samples. */
+    MlpBatchWorkspace makeBatchWorkspace(std::size_t capacity = 0) const;
+
     /**
      * Forward one sample.
      * @param input Input vector (inputDim values).
@@ -67,6 +95,34 @@ class Mlp
      * @param dout dL/d(output), outputDim values.
      */
     void backward(std::span<const float> dout, MlpWorkspace &ws);
+
+    /**
+     * Forward a batch of @p n samples as a blocked GEMM: every weight
+     * row is loaded once and broadcast across the batch, the inner loop
+     * runs over contiguous samples. Per sample the accumulation order
+     * is identical to forward() (bias first, then fan-in ascending), so
+     * each column of the result is bit-exact with the scalar path and
+     * independent of the batch it rides in.
+     *
+     * @param input Feature-major [inputDim][n] input matrix.
+     * @param n     Batch size.
+     * @param ws    Batch workspace; grown as needed, cached for backward.
+     * @return View of the feature-major [outputDim][n] output matrix
+     *         (valid until the next forwardBatch on @p ws).
+     */
+    std::span<const float> forwardBatch(std::span<const float> input, std::size_t n,
+                                        MlpBatchWorkspace &ws) const;
+
+    /**
+     * Backward a batch; must follow a forwardBatch() on the same
+     * workspace. Weight/bias gradients accumulate the whole batch's
+     * outer products (summed sample-ascending) into the internal
+     * gradient vector; dL/d(input) is left feature-major in ws.dinput.
+     *
+     * @param dout Feature-major [outputDim][n] output gradients.
+     * @param n    Batch size; must equal ws.count.
+     */
+    void backwardBatch(std::span<const float> dout, std::size_t n, MlpBatchWorkspace &ws);
 
     /** Flat parameters: per layer, weights row-major [out][in] then biases. */
     std::span<float> params() { return params_; }

@@ -125,13 +125,36 @@ class MoeField : public RadianceField
      */
     const std::vector<float> &lastFusionWeights() const { return fusion_weights_; }
 
+    /** Scalar entry point; a batch of one through traceRays, so MoE
+     *  rays also ride the experts' batched SoA cores. */
     RayEval
     traceRay(const Ray &ray, Pcg32 &rng, bool record,
              RayWorkload *workload = nullptr) override
     {
-        RayEval total;
-        total.color = Vec3f(0.0f);
-        float trans_product = 1.0f;
+        RayEval ev;
+        traceRays({&ray, 1}, rng, record, {&ev, 1}, workload);
+        return ev;
+    }
+
+    void
+    backwardLastRay(const Vec3f &dcolor) override
+    {
+        backwardRays({&dcolor, 1});
+    }
+
+    /**
+     * Batch-native override: every expert traces the whole ray batch
+     * through its own batched pipeline (expert-major, so each expert's
+     * flattened SampleBatch spans all rays), then partials fuse per ray
+     * at the I/O module exactly as the scalar path did.
+     */
+    void
+    traceRays(std::span<const Ray> rays, Pcg32 &rng, bool record,
+              std::span<RayEval> out, RayWorkload *workload = nullptr) override
+    {
+        const std::size_t n = rays.size();
+        if (out.size() < n)
+            fatal("MoeField::traceRays: output span too small");
 
         if (workload) {
             workload->pairs.clear();
@@ -139,17 +162,16 @@ class MoeField : public RadianceField
             workload->totalValid = 0;
             workload->intersectionOps.reset();
         }
+        if (n == 0)
+            return;
 
+        expert_evals_.resize(static_cast<std::size_t>(numExperts()));
         for (int k = 0; k < numExperts(); ++k) {
+            auto &evals = expert_evals_[static_cast<std::size_t>(k)];
+            evals.resize(n);
             RayWorkload &wl = expert_workloads_[static_cast<std::size_t>(k)];
-            const RayEval ev =
-                experts_[static_cast<std::size_t>(k)]->traceRay(ray, rng, record, &wl);
-            last_partials_[static_cast<std::size_t>(k)] = ev;
-            total.samples += ev.samples;
-            total.candidates += ev.candidates;
-            total.composited += ev.composited;
-            total.firstHitT = std::min(total.firstHitT, ev.firstHitT);
-            trans_product *= ev.transmittance;
+            experts_[static_cast<std::size_t>(k)]->traceRays(rays, rng, record, evals,
+                                                             &wl);
             if (workload) {
                 workload->totalCandidates += wl.totalCandidates;
                 workload->totalValid += wl.totalValid;
@@ -157,42 +179,73 @@ class MoeField : public RadianceField
             }
         }
 
-        // The I/O module's fusion: expert partials are summed after each
-        // is attenuated by the transmittance of the experts the ray
-        // crossed earlier (the spatial regions are disjoint, so depth
-        // order is well defined per ray). Only per-expert scalars are
-        // used, preserving the Level-1 tiling's communication profile.
-        fusion_order_.resize(static_cast<std::size_t>(numExperts()));
-        for (int k = 0; k < numExperts(); ++k)
-            fusion_order_[static_cast<std::size_t>(k)] = k;
-        std::sort(fusion_order_.begin(), fusion_order_.end(), [this](int a, int b) {
-            return last_partials_[static_cast<std::size_t>(a)].firstHitT <
-                   last_partials_[static_cast<std::size_t>(b)].firstHitT;
-        });
-        float prefix = 1.0f;
-        for (int idx : fusion_order_) {
-            const RayEval &p = last_partials_[static_cast<std::size_t>(idx)];
-            fusion_weights_[static_cast<std::size_t>(idx)] = prefix;
-            total.color += p.color * prefix;
-            prefix *= p.transmittance;
-        }
+        // The I/O module's fusion, per ray: expert partials are summed
+        // after each is attenuated by the transmittance of the experts
+        // the ray crossed earlier (the spatial regions are disjoint, so
+        // depth order is well defined per ray). Only per-expert scalars
+        // are used, preserving the Level-1 tiling's communication
+        // profile.
+        fusion_weights_batch_.resize(n * static_cast<std::size_t>(numExperts()));
+        for (std::size_t r = 0; r < n; ++r) {
+            RayEval total;
+            total.color = Vec3f(0.0f);
+            float trans_product = 1.0f;
+            for (int k = 0; k < numExperts(); ++k) {
+                const RayEval &ev = expert_evals_[static_cast<std::size_t>(k)][r];
+                last_partials_[static_cast<std::size_t>(k)] = ev;
+                total.samples += ev.samples;
+                total.candidates += ev.candidates;
+                total.composited += ev.composited;
+                total.firstHitT = std::min(total.firstHitT, ev.firstHitT);
+                trans_product *= ev.transmittance;
+            }
 
-        // One background term behind the joint transmittance.
-        total.color += cfg_.background * trans_product;
-        total.transmittance = trans_product;
-        return total;
+            fusion_order_.resize(static_cast<std::size_t>(numExperts()));
+            for (int k = 0; k < numExperts(); ++k)
+                fusion_order_[static_cast<std::size_t>(k)] = k;
+            std::sort(fusion_order_.begin(), fusion_order_.end(),
+                      [this](int a, int b) {
+                          return last_partials_[static_cast<std::size_t>(a)].firstHitT <
+                                 last_partials_[static_cast<std::size_t>(b)].firstHitT;
+                      });
+            float prefix = 1.0f;
+            for (int idx : fusion_order_) {
+                const RayEval &p = last_partials_[static_cast<std::size_t>(idx)];
+                fusion_weights_[static_cast<std::size_t>(idx)] = prefix;
+                fusion_weights_batch_[r * static_cast<std::size_t>(numExperts()) +
+                                      static_cast<std::size_t>(idx)] = prefix;
+                total.color += p.color * prefix;
+                prefix *= p.transmittance;
+            }
+
+            // One background term behind the joint transmittance.
+            total.color += cfg_.background * trans_product;
+            total.transmittance = trans_product;
+            out[r] = total;
+        }
+        // last_partials_/fusion_weights_ now reflect the batch's final
+        // ray, which for a batch of one is exactly the scalar contract.
     }
 
+    /**
+     * Batched backward: d(total)/d(expert color) = that expert's fusion
+     * weight per ray. The weights' own dependence on earlier
+     * transmittances is treated as constant (stop-gradient), as is the
+     * background product term (MoE experiments composite on black).
+     */
     void
-    backwardLastRay(const Vec3f &dcolor) override
+    backwardRays(std::span<const Vec3f> dcolors) override
     {
-        // d(total)/d(expert color) = that expert's fusion weight. The
-        // weights' own dependence on earlier transmittances is treated
-        // as constant (stop-gradient), as is the background product
-        // term (MoE experiments composite on black).
-        for (int k = 0; k < numExperts(); ++k) {
-            experts_[static_cast<std::size_t>(k)]->backwardLastRay(
-                dcolor * fusion_weights_[static_cast<std::size_t>(k)]);
+        const std::size_t n = dcolors.size();
+        const std::size_t experts = static_cast<std::size_t>(numExperts());
+        if (fusion_weights_batch_.size() < n * experts)
+            fatal("MoeField::backwardRays without a recorded traceRays batch");
+
+        expert_dcolors_.resize(n);
+        for (std::size_t k = 0; k < experts; ++k) {
+            for (std::size_t r = 0; r < n; ++r)
+                expert_dcolors_[r] = dcolors[r] * fusion_weights_batch_[r * experts + k];
+            experts_[k]->backwardRays(expert_dcolors_);
         }
     }
 
@@ -252,6 +305,12 @@ class MoeField : public RadianceField
     std::vector<float> fusion_weights_;
     std::vector<int> fusion_order_;
     std::vector<RayWorkload> expert_workloads_;
+    /** Per-expert RayEvals of the current batch, [expert][ray]. */
+    std::vector<std::vector<RayEval>> expert_evals_;
+    /** Fusion weights of the recorded batch, [ray * numExperts + expert]. */
+    std::vector<float> fusion_weights_batch_;
+    /** Per-expert dL/d(color) scratch for backwardRays. */
+    std::vector<Vec3f> expert_dcolors_;
 };
 
 /** The paper's main MoE: Instant-NGP experts (the multi-chip system). */

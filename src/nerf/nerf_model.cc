@@ -1,12 +1,48 @@
 #include "nerf/nerf_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fusion3d::nerf
 {
+
+namespace
+{
+
+/** Process-wide batch-occupancy counters behind the nerf.batch.* metrics. */
+struct BatchStats
+{
+    std::atomic<std::uint64_t> samples{0};
+    std::atomic<std::uint64_t> calls{0};
+
+    BatchStats()
+    {
+        obs::MetricsRegistry::global().registerCollector(
+            "nerf.batch", [this](obs::MetricSink &sink) {
+                const double s =
+                    static_cast<double>(samples.load(std::memory_order_relaxed));
+                const double c =
+                    static_cast<double>(calls.load(std::memory_order_relaxed));
+                sink.counter("nerf.batch.samples", s);
+                sink.counter("nerf.batch.calls", c);
+                sink.gauge("nerf.batch.avg_batch", c > 0.0 ? s / c : 0.0);
+            });
+    }
+};
+
+BatchStats &
+batchStats()
+{
+    static BatchStats stats;
+    return stats;
+}
+
+} // namespace
 
 NerfModel::NerfModel(const NerfModelConfig &cfg, std::uint64_t seed)
     : cfg_(cfg)
@@ -33,6 +69,142 @@ NerfModel::makeWorkspace() const
     ws.densityWs = density_net_->makeWorkspace();
     ws.colorWs = color_net_->makeWorkspace();
     return ws;
+}
+
+NerfBatchWorkspace
+NerfModel::makeBatchWorkspace(std::size_t capacity) const
+{
+    NerfBatchWorkspace ws;
+    ws.sh.resize(static_cast<std::size_t>(cfg_.shDims()));
+    ws.densityWs = density_net_->makeBatchWorkspace(capacity);
+    ws.colorWs = color_net_->makeBatchWorkspace(capacity);
+    if (capacity > 0) {
+        ws.encoding.resize(static_cast<std::size_t>(cfg_.grid.encodedDims()) * capacity);
+        ws.colorIn.resize(
+            static_cast<std::size_t>(cfg_.geoFeatures + cfg_.shDims()) * capacity);
+        ws.rawSigma.resize(capacity);
+        ws.dDensityOut.resize(static_cast<std::size_t>(1 + cfg_.geoFeatures) * capacity);
+        ws.dColorOut.resize(3 * capacity);
+        ws.fwdSigmas.resize(capacity);
+        ws.fwdRgbs.resize(capacity);
+        ws.capacity = capacity;
+    }
+    return ws;
+}
+
+void
+NerfModel::forwardBatch(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                        NerfBatchWorkspace &ws, std::span<float> sigmas,
+                        std::span<Vec3f> rgbs, VertexVisitor *visitor) const
+{
+    const std::size_t n = pos.size();
+    if (n == 0)
+        return;
+    if (dirs.size() < n || sigmas.size() < n || rgbs.size() < n)
+        panic("NerfModel::forwardBatch span sizes inconsistent with batch %zu", n);
+
+    F3D_TRACE_SPAN_ARG("nerf", "forward_batch", n);
+    BatchStats &stats = batchStats();
+    stats.samples.fetch_add(n, std::memory_order_relaxed);
+    stats.calls.fetch_add(1, std::memory_order_relaxed);
+
+    if (n > ws.capacity) {
+        ws.encoding.resize(static_cast<std::size_t>(cfg_.grid.encodedDims()) * n);
+        ws.colorIn.resize(static_cast<std::size_t>(cfg_.geoFeatures + cfg_.shDims()) * n);
+        ws.rawSigma.resize(n);
+        ws.dDensityOut.resize(static_cast<std::size_t>(1 + cfg_.geoFeatures) * n);
+        ws.dColorOut.resize(3 * n);
+        ws.fwdSigmas.resize(n);
+        ws.fwdRgbs.resize(n);
+        ws.capacity = n;
+    }
+    ws.sh.resize(static_cast<std::size_t>(cfg_.shDims()));
+
+    // Stage II: level-major batched hash gather.
+    encoding_->encodeBatch(pos, ws.encoding, visitor);
+
+    // Stage III, density: one GEMM over the whole batch.
+    const std::span<const float> enc{ws.encoding.data(),
+                                     static_cast<std::size_t>(cfg_.grid.encodedDims()) * n};
+    const std::span<const float> dens_out =
+        density_net_->forwardBatch(enc, n, ws.densityWs);
+
+    for (std::size_t j = 0; j < n; ++j) {
+        ws.rawSigma[j] = dens_out[j];
+        sigmas[j] = densityActivation(dens_out[j]);
+    }
+
+    // Color-net input: geometry feature rows are contiguous in the
+    // feature-major density output (rows 1..geoFeatures), so they copy
+    // in one block; SH rows scatter per sample.
+    const std::size_t geo = static_cast<std::size_t>(cfg_.geoFeatures);
+    std::copy_n(dens_out.begin() + n, geo * n, ws.colorIn.begin());
+    const int sh_dims = cfg_.shDims();
+    for (std::size_t j = 0; j < n; ++j) {
+        shEncode(dirs[j], cfg_.shDegree, ws.sh);
+        for (int i = 0; i < sh_dims; ++i)
+            ws.colorIn[(geo + static_cast<std::size_t>(i)) * n + j] = ws.sh[i];
+    }
+
+    const std::span<const float> col_in{
+        ws.colorIn.data(), (geo + static_cast<std::size_t>(sh_dims)) * n};
+    const std::span<const float> col_out = color_net_->forwardBatch(col_in, n, ws.colorWs);
+
+    for (std::size_t j = 0; j < n; ++j) {
+        for (int i = 0; i < 3; ++i) {
+            const float r = col_out[static_cast<std::size_t>(i) * n + j];
+            // Numerically safe logistic sigmoid, as in forwardPoint.
+            rgbs[j].at(i) = r >= 0.0f ? 1.0f / (1.0f + std::exp(-r))
+                                      : std::exp(r) / (1.0f + std::exp(r));
+        }
+    }
+}
+
+void
+NerfModel::backwardBatch(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                         std::span<const float> dsigmas, std::span<const Vec3f> drgbs,
+                         NerfBatchWorkspace &ws)
+{
+    const std::size_t n = pos.size();
+    if (n == 0)
+        return;
+    if (dirs.size() < n || dsigmas.size() < n || drgbs.size() < n)
+        panic("NerfModel::backwardBatch span sizes inconsistent with batch %zu", n);
+
+    F3D_TRACE_SPAN_ARG("nerf", "backward_batch", n);
+
+    // Recompute the batched forward to refresh the activation caches.
+    // Size the recompute buffers before taking spans: forwardBatch's
+    // capacity growth would reallocate them under a live span.
+    if (ws.fwdSigmas.size() < n)
+        ws.fwdSigmas.resize(n);
+    if (ws.fwdRgbs.size() < n)
+        ws.fwdRgbs.resize(n);
+    forwardBatch(pos, dirs, ws, {ws.fwdSigmas.data(), n}, {ws.fwdRgbs.data(), n});
+
+    // Color net: dL/draw = drgb * sigmoid'(raw).
+    for (std::size_t j = 0; j < n; ++j) {
+        for (int i = 0; i < 3; ++i) {
+            const float s = ws.fwdRgbs[j][i];
+            ws.dColorOut[static_cast<std::size_t>(i) * n + j] = drgbs[j][i] * s * (1.0f - s);
+        }
+    }
+    color_net_->backwardBatch({ws.dColorOut.data(), 3 * n}, n, ws.colorWs);
+
+    // Density net: raw-sigma row fused with the activation gradient,
+    // geometry-feature rows come straight from the color net's input
+    // gradient (contiguous rows 0..geoFeatures-1 of colorWs.dinput).
+    for (std::size_t j = 0; j < n; ++j)
+        ws.dDensityOut[j] =
+            dsigmas[j] * densityActivationGrad(ws.rawSigma[j], ws.fwdSigmas[j]);
+    const std::size_t geo = static_cast<std::size_t>(cfg_.geoFeatures);
+    std::copy_n(ws.colorWs.dinput.begin(), geo * n, ws.dDensityOut.begin() + n);
+    density_net_->backwardBatch(
+        {ws.dDensityOut.data(), (1 + geo) * n}, n, ws.densityWs);
+
+    // Encoding backward: level-major batched scatter into the tables.
+    encoding_->backwardBatch(pos, {ws.densityWs.dinput.data(),
+                                   static_cast<std::size_t>(cfg_.grid.encodedDims()) * n});
 }
 
 float

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/vec.h"
@@ -60,6 +61,34 @@ struct PointWorkspace
     float rawRgb[3] = {0.0f, 0.0f, 0.0f};
 };
 
+/**
+ * Scratch buffers for batched evaluation; reuse across calls. All
+ * matrices are feature-major ([dim][N], sample index fastest) to match
+ * MlpBatchWorkspace; buffers grow on demand and never shrink.
+ */
+struct NerfBatchWorkspace
+{
+    /** Encoded positions, [encodedDims][N]. */
+    std::vector<float> encoding;
+    /** Per-point SH scratch (shDims values, reused point by point). */
+    std::vector<float> sh;
+    /** Color-net input, [geoFeatures + shDims][N]. */
+    std::vector<float> colorIn;
+    /** Raw (pre-activation) density outputs, [N]. */
+    std::vector<float> rawSigma;
+    /** dL/d(density-net output), [1 + geoFeatures][N]. */
+    std::vector<float> dDensityOut;
+    /** dL/d(color-net output), [3][N]. */
+    std::vector<float> dColorOut;
+    /** Recomputed activations used by backwardBatch. */
+    std::vector<float> fwdSigmas;
+    std::vector<Vec3f> fwdRgbs;
+    MlpBatchWorkspace densityWs;
+    MlpBatchWorkspace colorWs;
+    /** Allocated batch capacity (samples). */
+    std::size_t capacity = 0;
+};
+
 /** A trainable radiance field over the normalized unit cube. */
 class NerfModel
 {
@@ -75,6 +104,9 @@ class NerfModel
     const Mlp &colorNet() const { return *color_net_; }
 
     PointWorkspace makeWorkspace() const;
+
+    /** Allocate a batch workspace with room for @p capacity samples. */
+    NerfBatchWorkspace makeBatchWorkspace(std::size_t capacity = 0) const;
 
     /**
      * Evaluate density and view-dependent color of one point.
@@ -99,6 +131,38 @@ class NerfModel
      */
     void backwardPoint(const Vec3f &pos, const Vec3f &dir, float dsigma,
                        const Vec3f &drgb, PointWorkspace &ws);
+
+    /**
+     * Evaluate density and color for a whole batch through the batched
+     * encoding (level-major gather) and batched MLPs (blocked GEMM).
+     * Per sample the arithmetic matches forwardPoint() bit-exactly;
+     * forwardPoint stays as the reference oracle the equivalence tests
+     * compare against. Emits an "nerf/forward_batch" trace span and
+     * feeds the nerf.batch.* metrics.
+     *
+     * @param pos     Sample positions in [0,1]^3 (batch size = pos.size()).
+     * @param dirs    Unit view direction per sample (same length).
+     * @param ws      Batch workspace; grown as needed, cached for backward.
+     * @param sigmas  Receives pos.size() activated densities.
+     * @param rgbs    Receives pos.size() activated colors.
+     * @param visitor Optional Stage-II vertex-access observer.
+     */
+    void forwardBatch(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                      NerfBatchWorkspace &ws, std::span<float> sigmas,
+                      std::span<Vec3f> rgbs, VertexVisitor *visitor = nullptr) const;
+
+    /**
+     * Accumulate parameter gradients for a whole batch. Recomputes the
+     * batched forward internally (recompute-in-backward, like
+     * backwardPoint), so it does NOT require a prior forwardBatch on
+     * the same workspace.
+     *
+     * @param dsigmas dL/d(sigma) per sample.
+     * @param drgbs   dL/d(rgb) per sample.
+     */
+    void backwardBatch(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                       std::span<const float> dsigmas, std::span<const Vec3f> drgbs,
+                       NerfBatchWorkspace &ws);
 
     /** Zero all parameter gradients (encoding and both MLPs). */
     void zeroGrads();

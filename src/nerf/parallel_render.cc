@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "nerf/sample_batch.h"
 #include "obs/trace.h"
 
 namespace fusion3d::nerf
@@ -15,9 +16,13 @@ constexpr std::uint64_t kRowStream = 0x9e3779b97f4a7c15ULL;
 
 /**
  * Render rows [y0, y1) into @p color (and @p depth when non-null).
- * Replicates NerfPipeline::traceRay's evaluation order exactly —
- * sample, forward each point, composite, clamp — so the output matches
- * the single-threaded path bit for bit.
+ * The whole tile is one ray batch: Stage I samples every pixel's ray
+ * into a flat SampleBatch (jitter stays per-row, so tiling cannot
+ * change the streams), one NerfModel::forwardBatch evaluates the
+ * flattened samples, and each ray composites over its CSR range. Per
+ * sample the batched arithmetic matches the scalar path bit for bit,
+ * so the output is still bit-identical across tilings and thread
+ * counts, and to the scalar reference.
  */
 void
 renderRows(const NerfModel &model, const OccupancyGrid *grid, const Camera &camera,
@@ -25,35 +30,36 @@ renderRows(const NerfModel &model, const OccupancyGrid *grid, const Camera &came
 {
     F3D_TRACE_SPAN_ARG("parallel_render", "row_tile", y0);
     const RaySampler sampler(cfg.sampler);
-    PointWorkspace ws = model.makeWorkspace();
+    NerfBatchWorkspace ws = model.makeBatchWorkspace();
     std::vector<RaySample> samples;
-    std::vector<Vec3f> rgbs;
-    std::vector<float> sigmas, dts, ts;
+    SampleBatch batch;
 
     for (int y = y0; y < y1; ++y) {
         Pcg32 rng(cfg.seed + static_cast<std::uint64_t>(y), kRowStream);
         for (int x = 0; x < camera.width(); ++x) {
             const Ray ray = camera.rayForPixel(x, y);
             sampler.sample(ray, grid, rng, samples);
+            batch.appendRay(normalize(ray.dir), samples);
+        }
+    }
 
-            sigmas.resize(samples.size());
-            rgbs.resize(samples.size());
-            dts.resize(samples.size());
-            const Vec3f dir = normalize(ray.dir);
-            for (std::size_t i = 0; i < samples.size(); ++i) {
-                const PointEval pe = model.forwardPoint(samples[i].pos, dir, ws);
-                sigmas[i] = pe.sigma;
-                rgbs[i] = pe.rgb;
-                dts[i] = samples[i].dt;
-            }
+    batch.prepareOutputs();
+    model.forwardBatch(batch.positions, batch.dirs, ws, batch.sigmas, batch.rgbs);
+
+    int r = 0;
+    for (int y = y0; y < y1; ++y) {
+        for (int x = 0; x < camera.width(); ++x, ++r) {
+            const std::size_t begin = batch.rayBegin(r);
+            const std::size_t count = batch.raySampleCount(r);
+            const std::span<const float> sigmas{batch.sigmas.data() + begin, count};
+            const std::span<const Vec3f> rgbs{batch.rgbs.data() + begin, count};
+            const std::span<const float> dts{batch.dts.data() + begin, count};
 
             const CompositeResult cr = composite(sigmas, rgbs, dts, cfg.render);
             color.at(x, y) = clamp(cr.color, 0.0f, 1.0f);
 
             if (depth) {
-                ts.resize(samples.size());
-                for (std::size_t i = 0; i < samples.size(); ++i)
-                    ts[i] = samples[i].t;
+                const std::span<const float> ts{batch.ts.data() + begin, count};
                 depth[static_cast<std::size_t>(y) * camera.width() + x] =
                     compositeDepth(sigmas, dts, ts, cfg.render, cfg.farDepth);
             }

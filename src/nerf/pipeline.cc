@@ -38,59 +38,106 @@ NerfPipeline::NerfPipeline(const PipelineConfig &cfg)
 RayEval
 NerfPipeline::traceRay(const Ray &ray, Pcg32 &rng, bool record, RayWorkload *workload)
 {
-    std::vector<RaySample> &samples = record ? tape_samples_ : scratch_samples_;
-    sampler_.sample(ray, &grid_, rng, samples, workload);
-
     RayEval ev;
-    ev.samples = static_cast<int>(samples.size());
-    ev.candidates = workload ? workload->totalCandidates : ev.samples;
-
-    std::vector<float> &sigmas = tape_sigmas_;
-    std::vector<Vec3f> &rgbs = tape_rgbs_;
-    std::vector<float> &dts = tape_dts_;
-    sigmas.resize(samples.size());
-    rgbs.resize(samples.size());
-    dts.resize(samples.size());
-
-    const Vec3f dir = normalize(ray.dir);
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const PointEval pe = model_->forwardPoint(samples[i].pos, dir, ws_, visitor_);
-        sigmas[i] = pe.sigma;
-        rgbs[i] = pe.rgb;
-        dts[i] = samples[i].dt;
-    }
-
-    const CompositeResult cr = composite(sigmas, rgbs, dts, cfg_.render);
-    ev.color = cr.color;
-    ev.transmittance = cr.transmittance;
-    ev.composited = cr.used;
-    if (!samples.empty())
-        ev.firstHitT = samples.front().t;
-
-    if (record) {
-        tape_dir_ = dir;
-        tape_result_ = cr;
-        tape_valid_ = true;
-    }
+    traceRays({&ray, 1}, rng, record, {&ev, 1}, workload);
     return ev;
 }
 
 void
 NerfPipeline::backwardLastRay(const Vec3f &dcolor)
 {
-    if (!tape_valid_)
-        panic("backwardLastRay without a recorded traceRay");
+    backwardRays({&dcolor, 1});
+}
 
-    tape_dsigmas_.resize(tape_sigmas_.size());
-    tape_drgbs_.resize(tape_rgbs_.size());
-    compositeBackward(tape_sigmas_, tape_rgbs_, tape_dts_, cfg_.render, tape_result_,
-                      dcolor, tape_dsigmas_, tape_drgbs_);
-
-    for (int i = 0; i < tape_result_.used; ++i) {
-        model_->backwardPoint(tape_samples_[static_cast<std::size_t>(i)].pos, tape_dir_,
-                              tape_dsigmas_[static_cast<std::size_t>(i)],
-                              tape_drgbs_[static_cast<std::size_t>(i)], ws_);
+void
+NerfPipeline::traceRays(std::span<const Ray> rays, Pcg32 &rng, bool record,
+                        std::span<RayEval> out, RayWorkload *workload)
+{
+    if (out.size() < rays.size())
+        panic("NerfPipeline::traceRays: output span too small (%zu < %zu)",
+              out.size(), rays.size());
+    if (workload) {
+        workload->pairs.clear();
+        workload->totalCandidates = 0;
+        workload->totalValid = 0;
+        workload->ddaSteps = 0;
+        workload->intersectionOps.reset();
     }
+
+    SampleBatch &batch = record ? tape_batch_ : scratch_batch_;
+    batch.clear();
+
+    // Stage I: sample every ray, in order, into one flat SoA batch.
+    // The rng is consumed per ray exactly as the scalar loop did, so
+    // jitter streams are batch-size invariant.
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+        sampler_.sample(rays[r], &grid_, rng, scratch_samples_,
+                        workload ? &scratch_workload_ : nullptr);
+        batch.appendRay(normalize(rays[r].dir), scratch_samples_);
+        out[r] = RayEval{};
+        out[r].samples = static_cast<int>(scratch_samples_.size());
+        out[r].candidates =
+            workload ? scratch_workload_.totalCandidates : out[r].samples;
+        if (workload)
+            workload->mergeFrom(scratch_workload_);
+    }
+
+    // Stages II+III: one batched forward over the whole flattened batch.
+    batch.prepareOutputs();
+    model_->forwardBatch(batch.positions, batch.dirs, batch_ws_, batch.sigmas,
+                         batch.rgbs, visitor_);
+
+    // Composite per ray through its CSR range.
+    std::vector<CompositeResult> &results = record ? tape_results_ : scratch_results_;
+    results.resize(rays.size());
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+        const std::size_t begin = batch.rayBegin(static_cast<int>(r));
+        const std::size_t count = batch.raySampleCount(static_cast<int>(r));
+        const CompositeResult cr =
+            composite({batch.sigmas.data() + begin, count},
+                      {batch.rgbs.data() + begin, count},
+                      {batch.dts.data() + begin, count}, cfg_.render);
+        results[r] = cr;
+        out[r].color = cr.color;
+        out[r].transmittance = cr.transmittance;
+        out[r].composited = cr.used;
+        if (count > 0)
+            out[r].firstHitT = batch.ts[begin];
+    }
+
+    if (record)
+        tape_valid_ = true;
+}
+
+void
+NerfPipeline::backwardRays(std::span<const Vec3f> dcolors)
+{
+    if (!tape_valid_)
+        panic("NerfPipeline::backwardRays without a recorded traceRays");
+    const std::size_t num_rays = static_cast<std::size_t>(tape_batch_.numRays());
+    if (dcolors.size() < num_rays)
+        panic("NerfPipeline::backwardRays: gradient span too small (%zu < %zu)",
+              dcolors.size(), num_rays);
+
+    // Composite backward per ray into the batch-wide gradient arrays
+    // (entries past each ray's used count are zeroed, so the batched
+    // model backward is a no-op for them).
+    tape_dsigmas_.resize(tape_batch_.size());
+    tape_drgbs_.resize(tape_batch_.size());
+    for (std::size_t r = 0; r < num_rays; ++r) {
+        const std::size_t begin = tape_batch_.rayBegin(static_cast<int>(r));
+        const std::size_t count = tape_batch_.raySampleCount(static_cast<int>(r));
+        compositeBackward({tape_batch_.sigmas.data() + begin, count},
+                          {tape_batch_.rgbs.data() + begin, count},
+                          {tape_batch_.dts.data() + begin, count}, cfg_.render,
+                          tape_results_[r], dcolors[r],
+                          {tape_dsigmas_.data() + begin, count},
+                          {tape_drgbs_.data() + begin, count}, composite_scratch_);
+    }
+
+    // One batched backward through both MLPs and the hash encoding.
+    model_->backwardBatch(tape_batch_.positions, tape_batch_.dirs, tape_dsigmas_,
+                          tape_drgbs_, batch_ws_);
     tape_valid_ = false;
 }
 

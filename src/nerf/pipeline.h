@@ -17,6 +17,7 @@
 #include "nerf/occupancy_grid.h"
 #include "nerf/radiance_field.h"
 #include "nerf/renderer.h"
+#include "nerf/sample_batch.h"
 #include "nerf/sampler.h"
 
 namespace fusion3d::nerf
@@ -57,9 +58,24 @@ class NerfPipeline : public RadianceField
      */
     void setVertexVisitor(VertexVisitor *v) { visitor_ = v; }
 
+    /** Scalar entry point; delegates to traceRays with a batch of one,
+     *  so every evaluation rides the batched SoA core. */
     RayEval traceRay(const Ray &ray, Pcg32 &rng, bool record,
                      RayWorkload *workload = nullptr) override;
     void backwardLastRay(const Vec3f &dcolor) override;
+
+    /**
+     * Batch-native override: Stage I samples every ray into one
+     * SampleBatch (CSR per-ray ranges), one NerfModel::forwardBatch
+     * evaluates the flattened samples, and each ray composites over its
+     * offset range. record=true keeps the whole batch as the tape for
+     * backwardRays().
+     */
+    void traceRays(std::span<const Ray> rays, Pcg32 &rng, bool record,
+                   std::span<RayEval> out, RayWorkload *workload = nullptr) override;
+    /** Composite-backward per ray, then one batched model backward. */
+    void backwardRays(std::span<const Vec3f> dcolors) override;
+
     void zeroGrads() override;
     void optimizerStep() override;
     void updateOccupancy(Pcg32 &rng) override;
@@ -73,23 +89,25 @@ class NerfPipeline : public RadianceField
     OccupancyGrid grid_;
     RaySampler sampler_;
     PointWorkspace ws_;
+    NerfBatchWorkspace batch_ws_;
 
     Adam adam_encoding_;
     Adam adam_density_;
     Adam adam_color_;
 
-    // Tape of the last recorded ray.
-    std::vector<RaySample> tape_samples_;
-    std::vector<float> tape_sigmas_;
-    std::vector<Vec3f> tape_rgbs_;
-    std::vector<float> tape_dts_;
+    // Batch tape of the last recorded traceRays.
+    SampleBatch tape_batch_;
+    std::vector<CompositeResult> tape_results_;
     std::vector<float> tape_dsigmas_;
     std::vector<Vec3f> tape_drgbs_;
-    Vec3f tape_dir_;
-    CompositeResult tape_result_;
     bool tape_valid_ = false;
 
+    // record=false scratch, so inference never disturbs the tape.
+    SampleBatch scratch_batch_;
+    std::vector<CompositeResult> scratch_results_;
     std::vector<RaySample> scratch_samples_;
+    RayWorkload scratch_workload_;
+    CompositeBackwardScratch composite_scratch_;
 };
 
 } // namespace fusion3d::nerf

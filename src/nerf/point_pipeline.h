@@ -117,7 +117,8 @@ class PointPipeline : public RadianceField
         tape_dsigmas_.resize(tape_sigmas_.size());
         tape_drgbs_.resize(tape_rgbs_.size());
         compositeBackward(tape_sigmas_, tape_rgbs_, tape_dts_, cfg_.render,
-                          tape_result_, dcolor, tape_dsigmas_, tape_drgbs_);
+                          tape_result_, dcolor, tape_dsigmas_, tape_drgbs_,
+                          composite_scratch_);
 
         for (int i = 0; i < tape_result_.used; ++i) {
             model_->backwardPoint(tape_samples_[static_cast<std::size_t>(i)].pos,
@@ -158,6 +159,7 @@ class PointPipeline : public RadianceField
     CompositeResult tape_result_;
     bool tape_valid_ = false;
     std::vector<RaySample> scratch_samples_;
+    CompositeBackwardScratch composite_scratch_;
 };
 
 } // namespace fusion3d::nerf

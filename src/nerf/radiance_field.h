@@ -11,6 +11,8 @@
 
 #include <cstddef>
 #include <limits>
+#include <span>
+#include <vector>
 
 #include "common/ray.h"
 #include "common/rng.h"
@@ -56,6 +58,32 @@ class RadianceField
     /** Backpropagate dL/d(color) of the most recently recorded ray. */
     virtual void backwardLastRay(const Vec3f &dcolor) = 0;
 
+    /**
+     * Render a batch of rays. The base implementation loops traceRay()
+     * per ray in order (so jitter streams match the scalar path) and,
+     * when @p record is set, snapshots the rng per ray so the base
+     * backwardRays() can re-trace each ray. Batch-native fields
+     * (NerfPipeline, MoeField) override both with one flattened
+     * SoA evaluation — every consumer of this entry point rides the
+     * GEMM-shaped batch core.
+     *
+     * @param rays     Rays in normalized model coordinates.
+     * @param rng      Source of sampling jitter, consumed ray by ray.
+     * @param record   Keep the evaluation tape so backwardRays() works.
+     * @param out      Receives one RayEval per ray (size >= rays.size()).
+     * @param workload Optional aggregate Stage-I trace over the batch.
+     */
+    virtual void traceRays(std::span<const Ray> rays, Pcg32 &rng, bool record,
+                           std::span<RayEval> out, RayWorkload *workload = nullptr);
+
+    /**
+     * Backpropagate per-ray dL/d(color) for the batch recorded by the
+     * last traceRays(record=true). The base implementation re-traces
+     * each ray from its rng snapshot (recompute-in-backward) and calls
+     * backwardLastRay per ray.
+     */
+    virtual void backwardRays(std::span<const Vec3f> dcolors);
+
     /** Zero all accumulated parameter gradients. */
     virtual void zeroGrads() = 0;
 
@@ -70,6 +98,15 @@ class RadianceField
 
     /** Total trainable parameter count. */
     virtual std::size_t paramCount() const = 0;
+
+  private:
+    // Batch tape of the base traceRays()/backwardRays() fallback:
+    // the rays and a per-ray rng snapshot (Pcg32 is a trivially
+    // copyable value type), enough to re-trace each ray with identical
+    // jitter during the backward pass.
+    std::vector<Ray> fallback_rays_;
+    std::vector<Pcg32> fallback_rngs_;
+    bool fallback_valid_ = false;
 };
 
 } // namespace fusion3d::nerf

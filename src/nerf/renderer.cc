@@ -58,7 +58,8 @@ void
 compositeBackward(std::span<const float> sigmas, std::span<const Vec3f> rgbs,
                   std::span<const float> dts, const RenderParams &params,
                   const CompositeResult &fwd, const Vec3f &dcolor,
-                  std::span<float> dsigmas, std::span<Vec3f> drgbs)
+                  std::span<float> dsigmas, std::span<Vec3f> drgbs,
+                  CompositeBackwardScratch &scratch)
 {
     if (sigmas.size() != rgbs.size() || sigmas.size() != dts.size())
         panic("compositeBackward: span length mismatch");
@@ -73,9 +74,12 @@ compositeBackward(std::span<const float> sigmas, std::span<const Vec3f> rgbs,
     // trans_before[i] = T_i; after the loop trans == T_end.
     float trans = 1.0f;
     // Store T_{i+1} = T_i * (1 - alpha_i) per sample for the sweep below.
-    // n is small (<= maxSamplesPerRay), a stack-ish vector is fine.
-    std::vector<float> t_after(static_cast<std::size_t>(n));
-    std::vector<float> weight(static_cast<std::size_t>(n));
+    if (scratch.t_after.size() < static_cast<std::size_t>(n)) {
+        scratch.t_after.resize(static_cast<std::size_t>(n));
+        scratch.weight.resize(static_cast<std::size_t>(n));
+    }
+    std::span<float> t_after{scratch.t_after.data(), static_cast<std::size_t>(n)};
+    std::span<float> weight{scratch.weight.data(), static_cast<std::size_t>(n)};
     for (int i = 0; i < n; ++i) {
         const float alpha = 1.0f - std::exp(-sigmas[i] * dts[i]);
         weight[i] = trans * alpha;
@@ -92,6 +96,16 @@ compositeBackward(std::span<const float> sigmas, std::span<const Vec3f> rgbs,
         dsigmas[i] = dts[i] * dot(dcolor, dalpha_term);
         suffix += rgbs[i] * weight[i];
     }
+}
+
+void
+compositeBackward(std::span<const float> sigmas, std::span<const Vec3f> rgbs,
+                  std::span<const float> dts, const RenderParams &params,
+                  const CompositeResult &fwd, const Vec3f &dcolor,
+                  std::span<float> dsigmas, std::span<Vec3f> drgbs)
+{
+    CompositeBackwardScratch scratch;
+    compositeBackward(sigmas, rgbs, dts, params, fwd, dcolor, dsigmas, drgbs, scratch);
 }
 
 } // namespace fusion3d::nerf

@@ -10,6 +10,7 @@
 #define FUSION3D_NERF_RENDERER_H_
 
 #include <span>
+#include <vector>
 
 #include "common/vec.h"
 
@@ -57,6 +58,17 @@ float compositeDepth(std::span<const float> sigmas, std::span<const float> dts,
                      float t_far);
 
 /**
+ * Reusable scratch for compositeBackward(); keeps the per-ray prefix
+ * buffers out of the allocator on hot training paths. Grows to the
+ * longest ray seen and never shrinks.
+ */
+struct CompositeBackwardScratch
+{
+    std::vector<float> t_after;
+    std::vector<float> weight;
+};
+
+/**
  * Backward pass of composite(). Only the first @p fwd.used samples
  * receive gradients; later samples were never used.
  *
@@ -65,7 +77,15 @@ float compositeDepth(std::span<const float> sigmas, std::span<const float> dts,
  * @param dsigmas Receives dL/dsigma_i (first fwd.used entries written,
  *                the rest zeroed).
  * @param drgbs   Receives dL/dc_i, same convention.
+ * @param scratch Caller-owned scratch reused across rays.
  */
+void compositeBackward(std::span<const float> sigmas, std::span<const Vec3f> rgbs,
+                       std::span<const float> dts, const RenderParams &params,
+                       const CompositeResult &fwd, const Vec3f &dcolor,
+                       std::span<float> dsigmas, std::span<Vec3f> drgbs,
+                       CompositeBackwardScratch &scratch);
+
+/** Convenience overload that owns a transient scratch (cold paths only). */
 void compositeBackward(std::span<const float> sigmas, std::span<const Vec3f> rgbs,
                        std::span<const float> dts, const RenderParams &params,
                        const CompositeResult &fwd, const Vec3f &dcolor,

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structure-of-arrays sample batch: the flattened Stage I output of a
+ * whole *batch* of rays, ready for one pass through the batched
+ * encoding→MLP→composite core. Per-ray membership is kept CSR-style in
+ * `rayOffsets` (ray r owns samples [rayOffsets[r], rayOffsets[r+1])),
+ * which is exactly how the Fusion-3D chip streams ray samples through
+ * its shared SIMD pipeline: wide sample batches with per-ray ranges for
+ * the compositing stage.
+ */
+
+#ifndef FUSION3D_NERF_SAMPLE_BATCH_H_
+#define FUSION3D_NERF_SAMPLE_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec.h"
+#include "nerf/sampler.h"
+
+namespace fusion3d::nerf
+{
+
+/** SoA batch of ray samples with CSR per-ray ranges. */
+struct SampleBatch
+{
+    // One entry per sample, across all rays of the batch.
+    std::vector<Vec3f> positions;
+    std::vector<Vec3f> dirs; ///< normalized view direction of the owning ray
+    std::vector<float> ts;
+    std::vector<float> dts;
+    /** Filled by the batched forward pass. */
+    std::vector<float> sigmas;
+    std::vector<Vec3f> rgbs;
+
+    /** CSR ray ranges: size numRays()+1, rayOffsets[0] == 0. */
+    std::vector<std::uint32_t> rayOffsets{0};
+
+    std::size_t size() const { return positions.size(); }
+    int numRays() const { return static_cast<int>(rayOffsets.size()) - 1; }
+
+    std::size_t rayBegin(int r) const { return rayOffsets[static_cast<std::size_t>(r)]; }
+    std::size_t rayEnd(int r) const { return rayOffsets[static_cast<std::size_t>(r) + 1]; }
+    std::size_t raySampleCount(int r) const { return rayEnd(r) - rayBegin(r); }
+
+    void
+    clear()
+    {
+        positions.clear();
+        dirs.clear();
+        ts.clear();
+        dts.clear();
+        sigmas.clear();
+        rgbs.clear();
+        rayOffsets.assign(1, 0);
+    }
+
+    /** Append one ray's samples (all sharing @p dir) and close the ray. */
+    void
+    appendRay(const Vec3f &dir, std::span<const RaySample> samples)
+    {
+        for (const RaySample &s : samples) {
+            positions.push_back(s.pos);
+            dirs.push_back(dir);
+            ts.push_back(s.t);
+            dts.push_back(s.dt);
+        }
+        rayOffsets.push_back(static_cast<std::uint32_t>(positions.size()));
+    }
+
+    /** Size the forward-output arrays to match the sample count. */
+    void
+    prepareOutputs()
+    {
+        sigmas.resize(size());
+        rgbs.resize(size());
+    }
+};
+
+} // namespace fusion3d::nerf
+
+#endif // FUSION3D_NERF_SAMPLE_BATCH_H_

@@ -52,14 +52,16 @@ RaySampler::sample(const Ray &ray, const OccupancyGrid *grid, Pcg32 &rng,
         if (workload)
             workload->ddaSteps = steps;
     }
-    const auto in_dda = [&dda_intervals](float t) {
-        for (const OccupancyGrid::Interval &iv : dda_intervals) {
-            if (t < iv.t0)
-                return false; // intervals are sorted by t
-            if (t <= iv.t1)
-                return true;
-        }
-        return false;
+    // The march visits t in non-decreasing order (octant spans are
+    // disjoint and sorted by entry t), so a cursor into the sorted
+    // interval list replaces the front-to-back rescan per sample.
+    std::size_t dda_cursor = 0;
+    const auto in_dda = [&dda_intervals, &dda_cursor](float t) {
+        while (dda_cursor < dda_intervals.size() &&
+               t > dda_intervals[dda_cursor].t1)
+            ++dda_cursor;
+        return dda_cursor < dda_intervals.size() &&
+               t >= dda_intervals[dda_cursor].t0;
     };
 
     // Sampling spans, one per valid ray-cube pair when partitioning.

@@ -59,6 +59,17 @@ struct RayWorkload
     int ddaSteps = 0;
     /** Arithmetic spent on intersection tests for this ray. */
     OpCounter intersectionOps;
+
+    /** Accumulate another ray's workload (batch-trace aggregation). */
+    void
+    mergeFrom(const RayWorkload &o)
+    {
+        pairs.insert(pairs.end(), o.pairs.begin(), o.pairs.end());
+        totalCandidates += o.totalCandidates;
+        totalValid += o.totalValid;
+        ddaSteps += o.ddaSteps;
+        intersectionOps += o.intersectionOps;
+    }
 };
 
 /** Sampling configuration. */

@@ -26,6 +26,11 @@ Trainer::trainIteration()
     RayWorkload workload;
     {
         F3D_TRACE_SPAN("train", "ray_batch");
+        const std::size_t n = static_cast<std::size_t>(cfg_.raysPerBatch);
+        batch_rays_.clear();
+        batch_gts_.clear();
+        batch_rays_.reserve(n);
+        batch_gts_.reserve(n);
         for (int r = 0; r < cfg_.raysPerBatch; ++r) {
             const TrainView &view = data_.train[rng_.nextBounded(
                 static_cast<std::uint32_t>(data_.train.size()))];
@@ -33,18 +38,25 @@ Trainer::trainIteration()
                 static_cast<std::uint32_t>(view.image.width())));
             const int py = static_cast<int>(rng_.nextBounded(
                 static_cast<std::uint32_t>(view.image.height())));
-            const Ray ray =
-                view.camera.rayForPixel(px, py, rng_.nextFloat(), rng_.nextFloat());
+            batch_rays_.push_back(
+                view.camera.rayForPixel(px, py, rng_.nextFloat(), rng_.nextFloat()));
+            batch_gts_.push_back(view.image.at(px, py));
+        }
 
-            const RayEval ev = field_.traceRay(ray, rng_, /*record=*/true, &workload);
+        // The whole minibatch runs as ONE batched forward and ONE
+        // batched backward through the field's SoA core.
+        batch_evals_.resize(n);
+        field_.traceRays(batch_rays_, rng_, /*record=*/true, batch_evals_, &workload);
+
+        batch_dcolors_.resize(n);
+        for (std::size_t r = 0; r < n; ++r) {
+            const RayEval &ev = batch_evals_[r];
             ++total_rays_;
             total_samples_ += static_cast<std::uint64_t>(ev.samples);
             total_candidates_ += static_cast<std::uint64_t>(ev.candidates);
-
-            const Vec3f gt = view.image.at(px, py);
-            const Vec3f dcolor = ev.color - gt; // d/dC of 0.5*|C-gt|^2
-            field_.backwardLastRay(dcolor);
+            batch_dcolors_[r] = ev.color - batch_gts_[r]; // d/dC of 0.5*|C-gt|^2
         }
+        field_.backwardRays(batch_dcolors_);
     }
 
     {
@@ -84,12 +96,18 @@ Trainer::renderView(const Camera &camera)
 {
     F3D_TRACE_SPAN("train", "render_view");
     Image out(camera.width(), camera.height());
+    const std::size_t width = static_cast<std::size_t>(camera.width());
     for (int y = 0; y < camera.height(); ++y) {
-        for (int x = 0; x < camera.width(); ++x) {
-            const Ray ray = camera.rayForPixel(x, y);
-            const RayEval ev = field_.traceRay(ray, rng_, /*record=*/false);
-            out.at(x, y) = clamp(ev.color, 0.0f, 1.0f);
-        }
+        // One ray batch per image row through the batched core.
+        batch_rays_.clear();
+        batch_rays_.reserve(width);
+        for (int x = 0; x < camera.width(); ++x)
+            batch_rays_.push_back(camera.rayForPixel(x, y));
+        batch_evals_.resize(width);
+        field_.traceRays(batch_rays_, rng_, /*record=*/false, batch_evals_);
+        for (int x = 0; x < camera.width(); ++x)
+            out.at(x, y) = clamp(batch_evals_[static_cast<std::size_t>(x)].color,
+                                 0.0f, 1.0f);
     }
     return out;
 }

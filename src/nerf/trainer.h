@@ -121,6 +121,12 @@ class Trainer
     std::uint64_t total_candidates_ = 0;
     std::uint64_t ckpts_written_ = 0;
     std::uint64_t ckpts_failed_ = 0;
+
+    // Minibatch scratch reused across iterations (traceRays batches).
+    std::vector<Ray> batch_rays_;
+    std::vector<Vec3f> batch_gts_;
+    std::vector<RayEval> batch_evals_;
+    std::vector<Vec3f> batch_dcolors_;
 };
 
 } // namespace fusion3d::nerf

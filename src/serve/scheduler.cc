@@ -216,6 +216,12 @@ RenderServer::runLadder(QueuedRequest &qr, const ModelEntry *entry)
     const double est_full = estimatedSecondsPerPixel() *
                             static_cast<double>(pixels) * cfg_.estimateHeadroom;
 
+    // Every render below hands this request's rays to the batched SoA
+    // evaluation core (tiles submit ray batches through
+    // NerfModel::forwardBatch); the span records the ray count so batch
+    // occupancy is visible next to the ladder decisions.
+    F3D_TRACE_SPAN_ARG("serve", "dispatch_rays", pixels);
+
     const auto t0 = Clock::now();
     if (est_full <= budget) {
         // Full-resolution render; this frame also refreshes the

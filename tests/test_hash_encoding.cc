@@ -267,6 +267,117 @@ TEST(HashGrid, VisitorSeesEightCornersPerLevel)
     EXPECT_EQ(v.visits, 6 * 8);
 }
 
+/**
+ * Level-major batched gather is bit-exact with the scalar encode: per
+ * point, corners are visited and accumulated in the same order, only
+ * the loop nest is transposed (levels outer, points inner).
+ */
+TEST(HashGrid, EncodeBatchMatchesScalarBitExact)
+{
+    HashGridEncoding enc(smallConfig(), 33);
+    Pcg32 prng(34);
+    for (float &p : enc.params())
+        p = prng.nextRange(-1.0f, 1.0f);
+
+    const std::size_t n = 19;
+    const int dims = enc.config().encodedDims();
+    std::vector<Vec3f> pos(n);
+    Pcg32 rng(35);
+    for (Vec3f &p : pos)
+        p = clamp(rng.nextVec3(), 0.01f, 0.99f);
+
+    std::vector<float> batch(static_cast<std::size_t>(dims) * n);
+    enc.encodeBatch(pos, batch);
+
+    std::vector<float> ref(static_cast<std::size_t>(dims));
+    for (std::size_t j = 0; j < n; ++j) {
+        enc.encode(pos[j], ref);
+        for (int d = 0; d < dims; ++d)
+            EXPECT_EQ(batch[static_cast<std::size_t>(d) * n + j],
+                      ref[static_cast<std::size_t>(d)])
+                << "point " << j << " dim " << d;
+    }
+}
+
+/**
+ * Batched backward scatter accumulates the same per-parameter gradient
+ * as point-at-a-time backward; tolerance only covers the level-major
+ * reassociation when several points hit the same table slot.
+ */
+TEST(HashGrid, BackwardBatchMatchesScalarSum)
+{
+    HashGridConfig cfg = smallConfig();
+    HashGridEncoding enc(cfg, 43);
+    const std::size_t n = 13;
+    const int dims = cfg.encodedDims();
+
+    Pcg32 rng(44);
+    std::vector<Vec3f> pos(n);
+    for (Vec3f &p : pos)
+        p = clamp(rng.nextVec3(), 0.01f, 0.99f);
+    std::vector<float> dout(static_cast<std::size_t>(dims) * n);
+    for (float &v : dout)
+        v = rng.nextRange(-1.0f, 1.0f);
+
+    // Scalar reference accumulation.
+    enc.zeroGrads();
+    std::vector<float> dcol(static_cast<std::size_t>(dims));
+    for (std::size_t j = 0; j < n; ++j) {
+        for (int d = 0; d < dims; ++d)
+            dcol[static_cast<std::size_t>(d)] =
+                dout[static_cast<std::size_t>(d) * n + j];
+        enc.backward(pos[j], dcol);
+    }
+    std::vector<float> ref(enc.grads().begin(), enc.grads().end());
+
+    enc.zeroGrads();
+    enc.backwardBatch(pos, dout);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(enc.grads()[i], ref[i], 1e-5f + 1e-4f * std::fabs(ref[i]))
+            << "param " << i;
+}
+
+/**
+ * The batched gather keeps each point's 8-corner group contiguous and
+ * in corner order, with levels non-decreasing across the whole batch —
+ * the access pattern the Stage-II chip model (InterpModule) assumes
+ * when flushing independent corner groups.
+ */
+TEST(HashGrid, BatchVisitorGroupsEightCorners)
+{
+    struct GroupVisitor : VertexVisitor
+    {
+        int visits = 0;
+        int last_level = 0;
+        bool corners_ordered = true;
+        bool levels_monotone = true;
+        void
+        visit(int level, int corner, const Vec3i &, std::uint32_t, bool) override
+        {
+            if (corner != visits % 8)
+                corners_ordered = false;
+            if (visits % 8 == 0 && level < last_level)
+                levels_monotone = false;
+            last_level = level;
+            ++visits;
+        }
+    };
+
+    HashGridEncoding enc(smallConfig());
+    const std::size_t n = 5;
+    std::vector<Vec3f> pos(n);
+    Pcg32 rng(55);
+    for (Vec3f &p : pos)
+        p = clamp(rng.nextVec3(), 0.01f, 0.99f);
+    std::vector<float> out(static_cast<std::size_t>(enc.config().encodedDims()) * n);
+
+    GroupVisitor v;
+    enc.encodeBatch(pos, out, &v);
+    EXPECT_EQ(v.visits, 6 * 8 * static_cast<int>(n));
+    EXPECT_TRUE(v.corners_ordered);
+    EXPECT_TRUE(v.levels_monotone);
+}
+
 TEST(HashGrid, ParamBytesAccounting)
 {
     HashGridEncoding enc(smallConfig());

@@ -161,6 +161,110 @@ TEST(Mlp, GradsAccumulateAcrossSamples)
     EXPECT_NEAR(mlp.grads()[0], 2.0f * g1, 1e-5f);
 }
 
+/**
+ * Batched forward is bit-exact with the scalar path: per sample the
+ * accumulation order (bias first, fan-in ascending) is identical, so
+ * every column of the batch output equals the scalar result exactly.
+ * n = 70 crosses the internal 64-sample blocking boundary.
+ */
+TEST(Mlp, ForwardBatchMatchesScalarBitExact)
+{
+    Mlp mlp({5, 9, 4}, 51);
+    MlpWorkspace sws = mlp.makeWorkspace();
+    MlpBatchWorkspace bws = mlp.makeBatchWorkspace();
+    Pcg32 rng(52);
+
+    const std::size_t n = 70;
+    std::vector<float> input(5 * n);
+    for (float &v : input)
+        v = rng.nextRange(-1.0f, 1.0f);
+
+    const auto out = mlp.forwardBatch(input, n, bws);
+    ASSERT_EQ(out.size(), 4 * n);
+
+    std::vector<float> col(5);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < 5; ++i)
+            col[i] = input[i * n + j];
+        const auto ref = mlp.forward(col, sws);
+        for (std::size_t o = 0; o < 4; ++o)
+            EXPECT_EQ(out[o * n + j], ref[o]) << "sample " << j << " out " << o;
+    }
+}
+
+/**
+ * Batched backward: input gradients are bit-exact per column; weight
+ * and bias gradients equal the scalar per-sample accumulation (same
+ * pairwise additions, so in fact bit-exact here too — but tolerance
+ * guards against future reassociation of the batch reduction).
+ */
+TEST(Mlp, BackwardBatchMatchesScalarAccumulation)
+{
+    Mlp batched({4, 6, 2}, 61);
+    Mlp scalar({4, 6, 2}, 61); // identical weights (same seed)
+    Pcg32 rng(62);
+
+    const std::size_t n = 37;
+    std::vector<float> input(4 * n), dout(2 * n);
+    for (float &v : input)
+        v = rng.nextRange(-1.0f, 1.0f);
+    for (float &v : dout)
+        v = rng.nextRange(-1.0f, 1.0f);
+
+    // Scalar reference: per-sample forward/backward, grads accumulate.
+    MlpWorkspace sws = scalar.makeWorkspace();
+    scalar.zeroGrads();
+    std::vector<float> ref_dinput(4 * n);
+    std::vector<float> col(4), dcol(2);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < 4; ++i)
+            col[i] = input[i * n + j];
+        for (std::size_t o = 0; o < 2; ++o)
+            dcol[o] = dout[o * n + j];
+        scalar.forward(col, sws);
+        scalar.backward(dcol, sws);
+        for (std::size_t i = 0; i < 4; ++i)
+            ref_dinput[i * n + j] = sws.dinput[i];
+    }
+
+    MlpBatchWorkspace bws = batched.makeBatchWorkspace();
+    batched.zeroGrads();
+    batched.forwardBatch(input, n, bws);
+    batched.backwardBatch(dout, n, bws);
+
+    for (std::size_t i = 0; i < batched.paramCount(); ++i) {
+        const float ref = scalar.grads()[i];
+        EXPECT_NEAR(batched.grads()[i], ref, 1e-5f + 1e-4f * std::fabs(ref))
+            << "param " << i;
+    }
+    for (std::size_t i = 0; i < 4 * n; ++i)
+        EXPECT_FLOAT_EQ(bws.dinput[i], ref_dinput[i]) << "dinput " << i;
+}
+
+/** A reused batch workspace gives the same answers after growing. */
+TEST(Mlp, BatchWorkspaceReuseAcrossSizes)
+{
+    Mlp mlp({3, 5, 2}, 71);
+    MlpWorkspace sws = mlp.makeWorkspace();
+    MlpBatchWorkspace bws = mlp.makeBatchWorkspace();
+    Pcg32 rng(72);
+
+    for (const std::size_t n : {std::size_t{4}, std::size_t{129}, std::size_t{1}}) {
+        std::vector<float> input(3 * n);
+        for (float &v : input)
+            v = rng.nextRange(-1.0f, 1.0f);
+        const auto out = mlp.forwardBatch(input, n, bws);
+        std::vector<float> col(3);
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t i = 0; i < 3; ++i)
+                col[i] = input[i * n + j];
+            const auto ref = mlp.forward(col, sws);
+            for (std::size_t o = 0; o < 2; ++o)
+                EXPECT_EQ(out[o * n + j], ref[o]);
+        }
+    }
+}
+
 TEST(Adam, ConvergesOnQuadratic)
 {
     // Minimize (x-3)^2 + (y+1)^2.

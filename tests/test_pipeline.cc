@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nerf/freq_nerf.h"
 #include "nerf/moe.h"
 #include "nerf/pipeline.h"
 #include "nerf/trainer.h"
@@ -58,7 +59,130 @@ TEST(Pipeline, TraceRayDeterministicWithoutJitter)
 TEST(Pipeline, BackwardRequiresRecordedRay)
 {
     NerfPipeline pipe(tinyPipeline());
-    EXPECT_DEATH(pipe.backwardLastRay({1.0f, 0.0f, 0.0f}), "backwardLastRay");
+    EXPECT_DEATH(pipe.backwardLastRay({1.0f, 0.0f, 0.0f}), "without a recorded");
+}
+
+/**
+ * The batched entry point is bit-exact with per-ray tracing: sampling
+ * draws jitter in the same ray order, and the SoA forward evaluates
+ * every sample with scalar-identical arithmetic.
+ */
+TEST(Pipeline, TraceRaysMatchesPerRayLoop)
+{
+    const PipelineConfig pc = tinyPipeline();
+    NerfPipeline batched(pc);
+    NerfPipeline scalar(pc); // same seed -> identical weights
+
+    std::vector<Ray> rays;
+    for (int i = 0; i < 6; ++i)
+        rays.emplace_back(Vec3f{0.2f + 0.12f * static_cast<float>(i), 0.45f, -1.0f},
+                          Vec3f{0.0f, 0.05f, 1.0f});
+
+    Pcg32 rng_a(7), rng_b(7);
+    std::vector<RayEval> evals(rays.size());
+    RayWorkload wl_a;
+    batched.traceRays(rays, rng_a, false, evals, &wl_a);
+
+    RayWorkload wl_b;
+    std::uint64_t candidates_b = 0;
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+        RayWorkload wl;
+        const RayEval ref = scalar.traceRay(rays[r], rng_b, false, &wl);
+        candidates_b += static_cast<std::uint64_t>(wl.totalCandidates);
+        EXPECT_EQ(evals[r].color, ref.color) << "ray " << r;
+        EXPECT_EQ(evals[r].samples, ref.samples);
+        EXPECT_EQ(evals[r].composited, ref.composited);
+        EXPECT_EQ(evals[r].transmittance, ref.transmittance);
+        EXPECT_EQ(evals[r].firstHitT, ref.firstHitT);
+    }
+    EXPECT_EQ(static_cast<std::uint64_t>(wl_a.totalCandidates), candidates_b);
+}
+
+/**
+ * One recorded traceRays + backwardRays accumulates the same model
+ * gradients as tracing and backpropagating each ray individually (up
+ * to reassociation of the cross-ray gradient sums).
+ */
+TEST(Pipeline, BackwardRaysMatchesPerRayBackward)
+{
+    const PipelineConfig pc = tinyPipeline();
+    NerfPipeline batched(pc);
+    NerfPipeline scalar(pc);
+
+    std::vector<Ray> rays;
+    for (int i = 0; i < 4; ++i)
+        rays.emplace_back(Vec3f{0.3f + 0.1f * static_cast<float>(i), 0.5f, -1.0f},
+                          Vec3f{0.0f, 0.0f, 1.0f});
+    const std::vector<Vec3f> dcolors{{0.5f, -0.25f, 0.125f},
+                                     {-0.3f, 0.6f, 0.1f},
+                                     {0.2f, 0.2f, -0.4f},
+                                     {-0.1f, 0.05f, 0.3f}};
+
+    Pcg32 rng_a(9);
+    std::vector<RayEval> evals(rays.size());
+    batched.model().zeroGrads();
+    batched.traceRays(rays, rng_a, /*record=*/true, evals);
+    batched.backwardRays(dcolors);
+
+    Pcg32 rng_b(9);
+    scalar.model().zeroGrads();
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+        scalar.traceRay(rays[r], rng_b, /*record=*/true);
+        scalar.backwardLastRay(dcolors[r]);
+    }
+
+    const auto check = [](std::span<float> got, std::span<float> want,
+                          const char *what) {
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            ASSERT_NEAR(got[i], want[i], 1e-5f + 1e-4f * std::fabs(want[i]))
+                << what << " grad " << i;
+    };
+    check(batched.model().densityNet().grads(), scalar.model().densityNet().grads(),
+          "density");
+    check(batched.model().colorNet().grads(), scalar.model().colorNet().grads(),
+          "color");
+    check(batched.model().encoding().grads(), scalar.model().encoding().grads(),
+          "encoding");
+}
+
+/**
+ * Pipelines built on the base-class fallback (here the frequency-
+ * encoded NeRF) honor the same traceRays contract: identical results
+ * to a per-ray loop, and a working recorded backward.
+ */
+TEST(Pipeline, FallbackTraceRaysMatchesPerRayLoop)
+{
+    FreqPipelineConfig fc;
+    fc.model.posFrequencies = 4;
+    fc.model.hidden = 16;
+    fc.model.trunkLayers = 2;
+    fc.model.geoFeatures = 7;
+    fc.model.colorHidden = 16;
+    fc.model.shDegree = 2;
+    fc.occupancyResolution = 16;
+    FreqPipeline batched(fc);
+    FreqPipeline scalar(fc);
+
+    std::vector<Ray> rays;
+    for (int i = 0; i < 3; ++i)
+        rays.emplace_back(Vec3f{0.35f + 0.1f * static_cast<float>(i), 0.5f, -1.0f},
+                          Vec3f{0.0f, 0.0f, 1.0f});
+
+    Pcg32 rng_a(13), rng_b(13);
+    std::vector<RayEval> evals(rays.size());
+    batched.traceRays(rays, rng_a, /*record=*/true, evals);
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+        const RayEval ref = scalar.traceRay(rays[r], rng_b, false);
+        EXPECT_EQ(evals[r].color, ref.color) << "ray " << r;
+        EXPECT_EQ(evals[r].samples, ref.samples);
+    }
+
+    // The fallback's recorded backward re-traces from RNG snapshots;
+    // it must accept a matching gradient batch without dying.
+    const std::vector<Vec3f> dcolors(rays.size(), Vec3f{0.1f, 0.1f, 0.1f});
+    batched.backwardRays(dcolors);
+    batched.optimizerStep();
 }
 
 TEST(Pipeline, TrainingImprovesPsnr)
@@ -186,6 +310,36 @@ TEST(Moe, TraceFusesWeightedExpertPartials)
     // attenuated by the first's transmittance.
     const auto &w = moe.lastFusionWeights();
     EXPECT_FLOAT_EQ(std::max(w[0], w[1]), 1.0f);
+}
+
+/**
+ * MoE batches expert-major (each expert traces the whole ray batch),
+ * so with jitter disabled — no RNG consumption — the fused result
+ * matches the per-ray path exactly.
+ */
+TEST(Moe, TraceRaysMatchesPerRayWithoutJitter)
+{
+    MoeConfig mc;
+    mc.numExperts = 2;
+    mc.expert = tinyPipeline();
+    mc.expert.sampler.jitter = false;
+
+    MoeNerf batched(mc);
+    MoeNerf scalar(mc);
+    std::vector<Ray> rays;
+    for (int i = 0; i < 5; ++i)
+        rays.emplace_back(Vec3f{0.15f + 0.15f * static_cast<float>(i), 0.5f, -1.0f},
+                          Vec3f{0.0f, 0.0f, 1.0f});
+
+    Pcg32 rng_a(17), rng_b(17);
+    std::vector<RayEval> evals(rays.size());
+    batched.traceRays(rays, rng_a, false, evals);
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+        const RayEval ref = scalar.traceRay(rays[r], rng_b, false);
+        EXPECT_EQ(evals[r].color, ref.color) << "ray " << r;
+        EXPECT_EQ(evals[r].samples, ref.samples);
+        EXPECT_EQ(evals[r].firstHitT, ref.firstHitT);
+    }
 }
 
 TEST(Moe, TrainsOnToyScene)
