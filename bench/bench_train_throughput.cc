@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Parallel-training throughput bench: iterations/s and rays/s of the
+ * sharded Trainer (DESIGN.md §8) at 1, 2, 4, and hardware-concurrency
+ * threads on a synthetic scene. Every configuration trains a fresh
+ * same-seed pipeline, so the work per iteration is identical; "1
+ * thread" is the serial legacy path (no pool), and a t-thread
+ * configuration runs a ThreadPool of t-1 workers plus the caller.
+ * Prints the usual table plus one machine-readable JSON summary line
+ * (prefixed "JSON:", captured as the BENCH_train.json CI artifact) and
+ * exits non-zero if the best multi-threaded configuration is slower
+ * than single-threaded — the CI smoke gate for the parallel path.
+ *
+ * Usage: bench_train_throughput [--quick] [iterations_per_config]
+ *
+ *  --quick  reduce the per-configuration iteration budget for CI smoke
+ *           runs (the speedup, not the absolute rate, is the gate).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "nerf/trainer.h"
+#include "scenes/dataset_gen.h"
+
+using namespace fusion3d;
+
+namespace
+{
+
+constexpr int kRaysPerBatch = 1024;
+
+struct TrainPoint
+{
+    int threads;
+    double itersPerSec;
+    double raysPerSec;
+    double speedup; // vs the serial (1-thread) configuration
+};
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+nerf::Dataset
+benchDataset()
+{
+    const auto scene = scenes::makeSyntheticScene("mic");
+    scenes::DatasetConfig dc = scenes::syntheticRig(24);
+    dc.trainViews = 6;
+    dc.testViews = 1;
+    dc.reference.steps = 48;
+    return scenes::makeDataset(*scene, dc);
+}
+
+/** Train a fresh same-seed pipeline at @p threads and time it. */
+TrainPoint
+measure(const nerf::Dataset &data, int threads, int iters)
+{
+    nerf::PipelineConfig pc = bench::defaultPipeline();
+    pc.sampler.maxSamplesPerRay = 32;
+    nerf::NerfPipeline pipe(pc);
+
+    // threads == 1 is the serial legacy path; otherwise the caller
+    // participates in parallelFor, so t threads = pool of t-1 workers.
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<ThreadPool>(threads - 1);
+
+    nerf::TrainerConfig tc;
+    tc.iterations = iters;
+    tc.raysPerBatch = kRaysPerBatch;
+    tc.occupancyWarmup = 2;
+    tc.occupancyUpdateEvery = 4;
+    tc.pool = pool.get();
+    nerf::Trainer trainer(pipe, data, tc);
+
+    // Warmup: grow every arena so the timed loop is allocation-free.
+    trainer.trainIteration();
+    trainer.trainIteration();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        trainer.trainIteration();
+    const double s = secondsSince(t0);
+
+    TrainPoint p{};
+    p.threads = threads;
+    p.itersPerSec = static_cast<double>(iters) / s;
+    p.raysPerSec = static_cast<double>(iters) * kRaysPerBatch / s;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int iters = 30;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::atoi(argv[i]) > 0)
+            iters = std::atoi(argv[i]);
+        else
+            fatal("usage: %s [--quick] [iterations_per_config]", argv[0]);
+    }
+    if (quick)
+        iters = std::min(iters, 8);
+
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    std::vector<int> configs{1, 2, 4};
+    if (hw > 4)
+        configs.push_back(hw);
+
+    const nerf::Dataset data = benchDataset();
+
+    bench::banner("Parallel training throughput: sharded batches + "
+                  "deterministic reduction");
+    std::printf("%-10s %14s %16s %10s\n", "threads", "iters/s", "rays/s",
+                "speedup");
+
+    std::vector<TrainPoint> points;
+    double serial_ips = 0.0, best_multi_ips = 0.0, speedup_4t = 0.0;
+    for (const int threads : configs) {
+        points.push_back(measure(data, threads, iters));
+        TrainPoint &p = points.back();
+        if (p.threads == 1)
+            serial_ips = p.itersPerSec;
+        else
+            best_multi_ips = std::max(best_multi_ips, p.itersPerSec);
+        p.speedup = serial_ips > 0.0 ? p.itersPerSec / serial_ips : 0.0;
+        if (p.threads == 4)
+            speedup_4t = p.speedup;
+        std::printf("%-10d %14.2f %16.0f %9.2fx\n", p.threads, p.itersPerSec,
+                    p.raysPerSec, p.speedup);
+    }
+    bench::rule();
+
+    std::string json = "{\"bench\":\"train_throughput\",\"quick\":" +
+                       std::string(quick ? "true" : "false") +
+                       ",\"iterations\":" + std::to_string(iters) +
+                       ",\"rays_per_batch\":" + std::to_string(kRaysPerBatch) +
+                       ",\"points\":[";
+    char buf[192];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const TrainPoint &p = points[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"threads\":%d,\"iters_per_s\":%.3f,"
+                      "\"rays_per_s\":%.0f,\"speedup\":%.3f}",
+                      i ? "," : "", p.threads, p.itersPerSec, p.raysPerSec,
+                      p.speedup);
+        json += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "],\"speedup_4t\":%.3f}", speedup_4t);
+    json += buf;
+    std::printf("JSON: %s\n", json.c_str());
+
+    // The gate only means something when parallelism is physically
+    // possible; a single-core machine can at best tie (and pays the
+    // scheduling overhead), so it reports without failing.
+    if (hw < 2) {
+        std::printf("note: single hardware thread; speedup gate skipped\n");
+        return 0;
+    }
+    if (best_multi_ips < serial_ips) {
+        std::fprintf(stderr,
+                     "FAIL: every multi-threaded configuration is slower than "
+                     "single-threaded (%.2f < %.2f iters/s)\n",
+                     best_multi_ips, serial_ips);
+        return 1;
+    }
+    return 0;
+}

@@ -5,13 +5,20 @@
  * Fusion-3D chip executes. Prints the PSNR trajectory and writes the
  * reconstruction next to the ground truth as PPM images.
  *
- * Usage: quickstart [scene] [iterations] [image_size]
+ * Usage: quickstart [scene] [iterations] [image_size] [--threads N]
+ *
+ * With --threads N the trainer shards each batch across a pool of N
+ * threads (N-1 workers plus the caller); results are bit-identical to
+ * the serial run at any N (DESIGN.md §8).
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "nerf/pipeline.h"
 #include "nerf/trainer.h"
 #include "scenes/dataset_gen.h"
@@ -22,9 +29,20 @@ using namespace fusion3d;
 int
 main(int argc, char **argv)
 {
-    const std::string scene_name = argc > 1 ? argv[1] : "lego";
-    const int iterations = argc > 2 ? std::atoi(argv[2]) : 1000;
-    const int image_size = argc > 3 ? std::atoi(argv[3]) : 48;
+    int threads = 1;
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else
+            pos.push_back(argv[i]);
+    }
+    if (threads < 1)
+        fatal("--threads wants a positive thread count");
+
+    const std::string scene_name = pos.size() > 0 ? pos[0] : "lego";
+    const int iterations = pos.size() > 1 ? std::atoi(pos[1]) : 1000;
+    const int image_size = pos.size() > 2 ? std::atoi(pos[2]) : 48;
 
     inform("building scene '%s'", scene_name.c_str());
     const auto scene = scenes::makeSyntheticScene(scene_name);
@@ -44,13 +62,21 @@ main(int argc, char **argv)
     nerf::NerfPipeline pipeline(pc);
     inform("model parameters: %zu", pipeline.paramCount());
 
+    // threads threads total: a pool of threads-1 workers plus the
+    // caller, which participates in parallelFor (--threads 1 is a
+    // zero-worker pool running inline, so every N shares the sharded
+    // numeric path and produces the same weights).
+    ThreadPool pool(threads - 1);
+
     nerf::TrainerConfig tc;
     tc.iterations = iterations;
     tc.raysPerBatch = 256;
     tc.evalEvery = std::max(iterations / 8, 1);
+    tc.pool = &pool;
     nerf::Trainer trainer(pipeline, dataset, tc);
 
-    inform("training for %d iterations...", iterations);
+    inform("training for %d iterations on %d thread%s...", iterations, threads,
+           threads == 1 ? "" : "s");
     const nerf::TrainResult result = trainer.run();
     for (const auto &[iter, p] : result.history)
         inform("  iter %5d  PSNR %6.2f dB", iter, p);

@@ -149,4 +149,16 @@ ThreadPool::parallelFor(int begin, int end,
         std::rethrow_exception(st->error);
 }
 
+void
+ThreadPool::parallelForChunks(int begin, int end,
+                              const std::function<void(int, int, int)> &body,
+                              int grain)
+{
+    grain = std::max(grain, 1);
+    parallelFor(
+        begin, end,
+        [&body, begin, grain](int b, int e) { body((b - begin) / grain, b, e); },
+        grain);
+}
+
 } // namespace fusion3d

@@ -100,6 +100,18 @@ class ThreadPool
     void parallelFor(int begin, int end, const std::function<void(int, int)> &body,
                      int grain = 1);
 
+    /**
+     * parallelFor variant whose body also receives the chunk index:
+     * body(chunk, chunk_begin, chunk_end), where chunk k always covers
+     * [begin + k*grain, begin + (k+1)*grain) regardless of thread count
+     * or execution order. Callers bind per-chunk arenas (workspaces,
+     * gradient shards) to the index, so parallel work needs no shared
+     * mutable state and stays deterministic.
+     */
+    void parallelForChunks(int begin, int end,
+                           const std::function<void(int, int, int)> &body,
+                           int grain = 1);
+
   private:
     void enqueue(std::function<void()> task);
     void workerLoop();

@@ -1,11 +1,19 @@
 #include "nerf/adam.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace fusion3d::nerf
 {
+
+namespace
+{
+/** Parameters per parallelFor chunk; amortizes task dispatch. */
+constexpr int kAdamGrain = 16384;
+} // namespace
 
 Adam::Adam(std::size_t param_count, const AdamConfig &cfg)
     : cfg_(cfg), m_(param_count, 0.0f), v_(param_count, 0.0f)
@@ -15,6 +23,12 @@ Adam::Adam(std::size_t param_count, const AdamConfig &cfg)
 void
 Adam::step(std::span<float> params, std::span<const float> grads)
 {
+    step(params, grads, nullptr);
+}
+
+void
+Adam::step(std::span<float> params, std::span<const float> grads, ThreadPool *pool)
+{
     if (params.size() != m_.size() || grads.size() != m_.size())
         panic("Adam::step size mismatch (%zu params, %zu state)",
               params.size(), m_.size());
@@ -23,17 +37,30 @@ Adam::step(std::span<float> params, std::span<const float> grads)
     const float b1t = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
     const float b2t = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
 
-    for (std::size_t i = 0; i < params.size(); ++i) {
-        float g = grads[i];
-        if (cfg_.skipZeroGrad && g == 0.0f)
-            continue;
-        if (cfg_.weightDecay != 0.0f)
-            g += cfg_.weightDecay * params[i];
-        m_[i] = cfg_.beta1 * m_[i] + (1.0f - cfg_.beta1) * g;
-        v_[i] = cfg_.beta2 * v_[i] + (1.0f - cfg_.beta2) * g * g;
-        const float mhat = m_[i] / b1t;
-        const float vhat = v_[i] / b2t;
-        params[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.epsilon);
+    const auto update_range = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            float g = grads[i];
+            if (cfg_.skipZeroGrad && g == 0.0f)
+                continue;
+            if (cfg_.weightDecay != 0.0f)
+                g += cfg_.weightDecay * params[i];
+            m_[i] = cfg_.beta1 * m_[i] + (1.0f - cfg_.beta1) * g;
+            v_[i] = cfg_.beta2 * v_[i] + (1.0f - cfg_.beta2) * g * g;
+            const float mhat = m_[i] / b1t;
+            const float vhat = v_[i] / b2t;
+            params[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.epsilon);
+        }
+    };
+
+    if (pool && params.size() > static_cast<std::size_t>(kAdamGrain)) {
+        pool->parallelFor(
+            0, static_cast<int>(params.size()),
+            [&update_range](int b, int e) {
+                update_range(static_cast<std::size_t>(b), static_cast<std::size_t>(e));
+            },
+            kAdamGrain);
+    } else {
+        update_range(0, params.size());
     }
 }
 

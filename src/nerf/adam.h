@@ -12,6 +12,11 @@
 #include <span>
 #include <vector>
 
+namespace fusion3d
+{
+class ThreadPool;
+}
+
 namespace fusion3d::nerf
 {
 
@@ -44,6 +49,15 @@ class Adam
      * @param grads  Gradient of the loss w.r.t. params (same length).
      */
     void step(std::span<float> params, std::span<const float> grads);
+
+    /**
+     * step() with the parameter range split across @p pool (inline when
+     * null). Every parameter's update reads and writes only its own
+     * state, so any partition gives bit-identical results to the serial
+     * step at any thread count.
+     */
+    void step(std::span<float> params, std::span<const float> grads,
+              ThreadPool *pool);
 
     /** Override the learning rate (for schedules). */
     void setLearningRate(float lr) { cfg_.lr = lr; }

@@ -303,6 +303,86 @@ HashGridEncoding::backwardBatch(std::span<const Vec3f> pos, std::span<const floa
 }
 
 void
+HashGridEncoding::backwardBatchInto(std::span<const Vec3f> pos,
+                                    std::span<const float> dout,
+                                    HashGradAccumulator &acc) const
+{
+    const int fpl = cfg_.featuresPerLevel;
+    const std::size_t n = pos.size();
+    if (dout.size() < static_cast<std::size_t>(cfg_.encodedDims()) * n)
+        panic("HashGridEncoding::backwardBatchInto gradient span too small");
+
+    // Lazy one-time sizing; a reused accumulator never reallocates.
+    if (acc.acc_.size() != params_.size()) {
+        acc.acc_.assign(params_.size(), 0.0f);
+        acc.seen_.assign(params_.size() / static_cast<std::size_t>(fpl), 0);
+        acc.touched_.assign(static_cast<std::size_t>(cfg_.levels), {});
+        acc.total_touched_ = 0;
+    }
+
+    LevelCorners lc;
+    for (int l = 0; l < cfg_.levels; ++l) {
+        const std::size_t base = offsets_[l];
+        const std::size_t entry_base = base / static_cast<std::size_t>(fpl);
+        const std::size_t row = static_cast<std::size_t>(l) * fpl * n;
+        const float fres = static_cast<float>(resolutions_[l]);
+        const bool dense = dense_[l];
+        const std::uint32_t n1 = static_cast<std::uint32_t>(resolutions_[l] + 1);
+        const std::uint32_t mask = cfg_.tableSize() - 1;
+        float *lg = acc.acc_.data() + base;
+        std::uint8_t *seen = acc.seen_.data() + entry_base;
+        std::vector<std::uint32_t> &touched =
+            acc.touched_[static_cast<std::size_t>(l)];
+        for (std::size_t j = 0; j < n; ++j) {
+            cornerIndicesWeights(pos[j], fres, dense, n1, mask, lc);
+            for (int c = 0; c < 8; ++c) {
+                const std::uint32_t idx = lc.indices[c];
+                if (!seen[idx]) {
+                    seen[idx] = 1;
+                    touched.push_back(idx);
+                    ++acc.total_touched_;
+                }
+                float *g = lg + static_cast<std::size_t>(idx) * fpl;
+                const float w = lc.weights[c];
+                for (int f = 0; f < fpl; ++f)
+                    g[f] += w * dout[row + static_cast<std::size_t>(f) * n + j];
+            }
+        }
+    }
+}
+
+void
+HashGridEncoding::mergeGradShards(std::span<HashGradAccumulator *const> shards)
+{
+    const int fpl = cfg_.featuresPerLevel;
+    for (int l = 0; l < cfg_.levels; ++l) {
+        const std::size_t base = offsets_[l];
+        const std::size_t entry_base = base / static_cast<std::size_t>(fpl);
+        for (HashGradAccumulator *acc : shards) {
+            if (!acc || acc->empty() ||
+                acc->touched_.size() <= static_cast<std::size_t>(l))
+                continue;
+            for (const std::uint32_t idx :
+                 acc->touched_[static_cast<std::size_t>(l)]) {
+                const std::size_t at = base + static_cast<std::size_t>(idx) * fpl;
+                for (int f = 0; f < fpl; ++f) {
+                    grads_[at + f] += acc->acc_[at + f];
+                    acc->acc_[at + f] = 0.0f;
+                }
+                acc->seen_[entry_base + idx] = 0;
+            }
+        }
+    }
+    for (HashGradAccumulator *acc : shards) {
+        if (!acc)
+            continue;
+        for (std::vector<std::uint32_t> &t : acc->touched_)
+            t.clear();
+        acc->total_touched_ = 0;
+    }
+}
+
+void
 HashGridEncoding::zeroGrads()
 {
     std::fill(grads_.begin(), grads_.end(), 0.0f);

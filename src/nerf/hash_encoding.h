@@ -66,6 +66,38 @@ class VertexVisitor
                        std::uint32_t index, bool dense) = 0;
 };
 
+/**
+ * Per-shard sparse gradient accumulator for parallel training. Each
+ * worker scatters its shard's hash-grid gradients here instead of into
+ * the shared gradient vector: a dense zero-initialized scratch the size
+ * of the parameter vector plus, per level, the list of table entries the
+ * shard actually touched (in first-touch order). Shards are then merged
+ * into the real gradients in a fixed level-major, shard-ascending order
+ * (HashGridEncoding::mergeGradShards), which keeps training bitwise
+ * reproducible at any thread count — the property atomics cannot give,
+ * since atomic float adds commit in scheduling order. Buffers are
+ * allocated once and reused; merging re-zeroes only the touched entries.
+ */
+class HashGradAccumulator
+{
+  public:
+    /** True if nothing has been accumulated since the last merge. */
+    bool empty() const { return total_touched_ == 0; }
+
+    /** Entries touched since the last merge (across all levels). */
+    std::size_t touchedEntries() const { return total_touched_; }
+
+  private:
+    friend class HashGridEncoding;
+    /** Dense [paramCount] scratch; all-zero outside touched entries. */
+    std::vector<float> acc_;
+    /** One first-touch flag per table entry (all levels concatenated). */
+    std::vector<std::uint8_t> seen_;
+    /** Per level: touched entry indices, in first-touch order. */
+    std::vector<std::vector<std::uint32_t>> touched_;
+    std::size_t total_touched_ = 0;
+};
+
 /** Trainable multiresolution hash grid. */
 class HashGridEncoding
 {
@@ -140,6 +172,26 @@ class HashGridEncoding
      * @param dout Feature-major [encodedDims][pos.size()] gradients.
      */
     void backwardBatch(std::span<const Vec3f> pos, std::span<const float> dout);
+
+    /**
+     * backwardBatch variant scattering into a per-shard sparse
+     * accumulator instead of the shared gradient vector; const, so any
+     * number of shards can run concurrently against one encoding. The
+     * arithmetic per sample is identical to backwardBatch; only where
+     * the partial sums land differs.
+     */
+    void backwardBatchInto(std::span<const Vec3f> pos, std::span<const float> dout,
+                           HashGradAccumulator &acc) const;
+
+    /**
+     * Merge shard accumulators into grads() and reset them for reuse.
+     * The merge runs level-major (all shards' level-0 contributions,
+     * then level 1, ...) and shard-ascending within a level, with each
+     * shard's touched entries applied in first-touch order — an order
+     * that depends only on the shard partition, never on thread count
+     * or scheduling, so training stays bitwise reproducible.
+     */
+    void mergeGradShards(std::span<HashGradAccumulator *const> shards);
 
     /** Flat parameter vector (levels concatenated, feature-major). */
     std::span<float> params() { return params_; }

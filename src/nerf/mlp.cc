@@ -160,12 +160,22 @@ Mlp::forwardBatch(std::span<const float> input, std::size_t n, MlpBatchWorkspace
 void
 Mlp::backwardBatch(std::span<const float> dout, std::size_t n, MlpBatchWorkspace &ws)
 {
+    backwardBatchInto(dout, n, ws, grads_);
+}
+
+void
+Mlp::backwardBatchInto(std::span<const float> dout, std::size_t n,
+                       MlpBatchWorkspace &ws, std::span<float> grads) const
+{
     if (n == 0)
         return;
     if (n != ws.count)
         panic("Mlp::backwardBatch batch size mismatch (%zu != %zu)", n, ws.count);
     if (dout.size() < static_cast<std::size_t>(outputDim()) * n)
         panic("Mlp::backwardBatch gradient too small");
+    if (grads.size() != params_.size())
+        panic("Mlp::backwardBatchInto gradient vector mismatch (%zu != %zu)",
+              grads.size(), params_.size());
 
     float *delta = ws.delta_a.data();
     float *next_delta = ws.delta_b.data();
@@ -175,8 +185,8 @@ Mlp::backwardBatch(std::span<const float> dout, std::size_t n, MlpBatchWorkspace
         const int fan_in = sizes_[l];
         const int fan_out = sizes_[l + 1];
         const float *w = params_.data() + w_offsets_[l];
-        float *gw = grads_.data() + w_offsets_[l];
-        float *gb = grads_.data() + b_offsets_[l];
+        float *gw = grads.data() + w_offsets_[l];
+        float *gb = grads.data() + b_offsets_[l];
         const float *x = ws.activations[l].data();
         const float *z = ws.preacts[l].data();
         const bool hidden = l != layerCount() - 1;

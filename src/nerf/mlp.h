@@ -124,6 +124,18 @@ class Mlp
      */
     void backwardBatch(std::span<const float> dout, std::size_t n, MlpBatchWorkspace &ws);
 
+    /**
+     * backwardBatch variant that accumulates into a caller-provided
+     * gradient vector (same layout/length as grads()) instead of the
+     * internal one, leaving the network state untouched. This is the
+     * shard entry point of parallel training: each worker owns a
+     * private gradient buffer, and the shard buffers are merged in a
+     * fixed order afterwards, so no two threads ever write the same
+     * accumulator.
+     */
+    void backwardBatchInto(std::span<const float> dout, std::size_t n,
+                           MlpBatchWorkspace &ws, std::span<float> grads) const;
+
     /** Flat parameters: per layer, weights row-major [out][in] then biases. */
     std::span<float> params() { return params_; }
     std::span<const float> params() const { return params_; }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "nerf/pipeline.h"
 #include "nerf/radiance_field.h"
 
@@ -228,10 +229,29 @@ class MoeField : public RadianceField
     }
 
     /**
+     * Attach a pool to the MoE and every expert. Forward stays serial
+     * over experts (the jitter rng is consumed expert by expert) while
+     * each expert shards internally; backward runs expert-major in
+     * parallel, each expert accumulating into its own pipeline — so
+     * expert gradients stay thread-local by construction.
+     */
+    void
+    setThreadPool(ThreadPool *pool) override
+    {
+        RadianceField::setThreadPool(pool);
+        for (auto &e : experts_)
+            e->setThreadPool(pool);
+    }
+
+    /**
      * Batched backward: d(total)/d(expert color) = that expert's fusion
      * weight per ray. The weights' own dependence on earlier
      * transmittances is treated as constant (stop-gradient), as is the
      * background product term (MoE experiments composite on black).
+     * With a pool attached the experts run in parallel, expert-major:
+     * each expert writes only its own pipeline's gradient state and its
+     * own dcolor buffer, so no state is shared and the per-expert
+     * reductions stay deterministic.
      */
     void
     backwardRays(std::span<const Vec3f> dcolors) override
@@ -241,11 +261,25 @@ class MoeField : public RadianceField
         if (fusion_weights_batch_.size() < n * experts)
             fatal("MoeField::backwardRays without a recorded traceRays batch");
 
-        expert_dcolors_.resize(n);
-        for (std::size_t k = 0; k < experts; ++k) {
+        expert_dcolors_.resize(experts);
+        const auto backward_expert = [&](std::size_t k) {
+            std::vector<Vec3f> &dc = expert_dcolors_[k];
+            dc.resize(n);
             for (std::size_t r = 0; r < n; ++r)
-                expert_dcolors_[r] = dcolors[r] * fusion_weights_batch_[r * experts + k];
-            experts_[k]->backwardRays(expert_dcolors_);
+                dc[r] = dcolors[r] * fusion_weights_batch_[r * experts + k];
+            experts_[k]->backwardRays(dc);
+        };
+        if (pool_ && experts > 1) {
+            pool_->parallelFor(
+                0, static_cast<int>(experts),
+                [&](int b, int e) {
+                    for (int k = b; k < e; ++k)
+                        backward_expert(static_cast<std::size_t>(k));
+                },
+                1);
+        } else {
+            for (std::size_t k = 0; k < experts; ++k)
+                backward_expert(k);
         }
     }
 
@@ -309,8 +343,9 @@ class MoeField : public RadianceField
     std::vector<std::vector<RayEval>> expert_evals_;
     /** Fusion weights of the recorded batch, [ray * numExperts + expert]. */
     std::vector<float> fusion_weights_batch_;
-    /** Per-expert dL/d(color) scratch for backwardRays. */
-    std::vector<Vec3f> expert_dcolors_;
+    /** Per-expert dL/d(color) scratch for backwardRays (one buffer per
+     *  expert so the expert-major parallel backward shares nothing). */
+    std::vector<std::vector<Vec3f>> expert_dcolors_;
 };
 
 /** The paper's main MoE: Instant-NGP experts (the multi-chip system). */

@@ -19,6 +19,11 @@
 #include "nerf/mlp.h"
 #include "nerf/sh_encoding.h"
 
+namespace fusion3d
+{
+class ThreadPool;
+}
+
 namespace fusion3d::nerf
 {
 
@@ -87,6 +92,36 @@ struct NerfBatchWorkspace
     MlpBatchWorkspace colorWs;
     /** Allocated batch capacity (samples). */
     std::size_t capacity = 0;
+};
+
+/**
+ * Everything one training shard owns: a full batch workspace plus
+ * private gradient buffers for both MLPs and the hash grid. Shards
+ * share no mutable state, so any number can run concurrently; the
+ * trainer merges the buffers afterwards in a fixed order.
+ */
+struct NerfShardArena
+{
+    NerfBatchWorkspace ws;
+    /** Private density-net gradient buffer, layout of Mlp::grads(). */
+    std::vector<float> densityGrads;
+    /** Private color-net gradient buffer, layout of Mlp::grads(). */
+    std::vector<float> colorGrads;
+    /** Private sparse hash-grid gradient accumulator. */
+    HashGradAccumulator encodingGrads;
+};
+
+/**
+ * Reusable arena set for sharded batch evaluation. Grows to the shard
+ * count of the largest batch seen and then allocates nothing: buffers
+ * are reused across iterations, so the steady-state parallel training
+ * loop is allocation-free.
+ */
+struct NerfParallelWorkspace
+{
+    std::vector<NerfShardArena> shards;
+    /** Scratch pointer list handed to HashGridEncoding::mergeGradShards. */
+    std::vector<HashGradAccumulator *> accPtrs;
 };
 
 /** A trainable radiance field over the normalized unit cube. */
@@ -164,6 +199,55 @@ class NerfModel
                        std::span<const float> dsigmas, std::span<const Vec3f> drgbs,
                        NerfBatchWorkspace &ws);
 
+    /** Shard size the parallel paths aim for (samples per shard). */
+    static constexpr std::size_t kShardGrain = 256;
+    /** Upper bound on shards per batch (bounds arena memory). */
+    static constexpr std::size_t kMaxShards = 16;
+
+    /**
+     * Number of shards a batch of @p n samples splits into. Depends
+     * only on n — never on thread count or pool size — so the shard
+     * partition (and therefore the gradient reduction order) is fixed
+     * for a given training trajectory.
+     */
+    static std::size_t shardCount(std::size_t n);
+
+    /**
+     * forwardBatch split into shardCount(n) fixed shards executed via
+     * @p pool (inline when @p pool is null). forwardBatch is batch-size
+     * invariant per sample, so the result is bit-exact with the serial
+     * call at any thread count.
+     */
+    void forwardBatchParallel(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                              NerfParallelWorkspace &ws, std::span<float> sigmas,
+                              std::span<Vec3f> rgbs, ThreadPool *pool) const;
+
+    /**
+     * backwardBatch split into fixed shards: each shard recomputes its
+     * forward and accumulates gradients into its private arena buffers
+     * (backwardBatchInto), then a deterministic reduction merges them —
+     * a serial pairwise tree over the MLP shard buffers and a
+     * level-major sparse merge for the hash grid. For a given shard
+     * partition the summation order is fixed, so training with a pool
+     * reproduces bit-identical weights at any thread count.
+     */
+    void backwardBatchParallel(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                               std::span<const float> dsigmas,
+                               std::span<const Vec3f> drgbs, NerfParallelWorkspace &ws,
+                               ThreadPool *pool);
+
+    /**
+     * Density-only batched evaluation (occupancy-grid updates): batched
+     * encode + density GEMM + activation. Bit-exact per sample with
+     * queryDensity().
+     */
+    void queryDensityBatch(std::span<const Vec3f> pos, NerfBatchWorkspace &ws,
+                           std::span<float> sigmas) const;
+
+    /** queryDensityBatch over fixed shards executed via @p pool. */
+    void queryDensityBatchParallel(std::span<const Vec3f> pos, NerfParallelWorkspace &ws,
+                                   std::span<float> sigmas, ThreadPool *pool) const;
+
     /** Zero all parameter gradients (encoding and both MLPs). */
     void zeroGrads();
 
@@ -179,6 +263,11 @@ class NerfModel
     static float densityActivationGrad(float raw, float sigma);
 
   private:
+    /** Backward of one shard into its private arena buffers. */
+    void backwardShard(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                       std::span<const float> dsigmas, std::span<const Vec3f> drgbs,
+                       NerfShardArena &arena) const;
+
     NerfModelConfig cfg_;
     std::unique_ptr<HashGridEncoding> encoding_;
     std::unique_ptr<Mlp> density_net_;

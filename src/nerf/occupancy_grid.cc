@@ -63,6 +63,33 @@ OccupancyGrid::update(const std::function<float(const Vec3f &)> &density, Pcg32 
 }
 
 void
+OccupancyGrid::collectProbePositions(Pcg32 &rng, std::vector<Vec3f> &out) const
+{
+    out.resize(density_.size());
+    const float inv = 1.0f / static_cast<float>(res_);
+    for (std::size_t i = 0; i < density_.size(); ++i) {
+        Vec3f p = cellCenter(i);
+        // Exactly the three draws update() makes, in the same order.
+        p.x += (rng.nextFloat() - 0.5f) * inv;
+        p.y += (rng.nextFloat() - 0.5f) * inv;
+        p.z += (rng.nextFloat() - 0.5f) * inv;
+        out[i] = clamp(p, 0.0f, 1.0f);
+    }
+}
+
+void
+OccupancyGrid::applyDensities(std::span<const float> fresh, float decay)
+{
+    if (fresh.size() != density_.size())
+        fatal("OccupancyGrid::applyDensities expects %zu samples (got %zu)",
+              density_.size(), fresh.size());
+    for (std::size_t i = 0; i < density_.size(); ++i) {
+        density_[i] = std::max(density_[i] * decay, fresh[i]);
+        occupied_[i] = density_[i] > threshold_;
+    }
+}
+
+void
 OccupancyGrid::markAll()
 {
     std::fill(occupied_.begin(), occupied_.end(), true);

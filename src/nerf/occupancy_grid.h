@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/ray.h"
@@ -55,6 +56,26 @@ class OccupancyGrid
      */
     void update(const std::function<float(const Vec3f &)> &density, Pcg32 &rng,
                 float decay = 0.95f);
+
+    /**
+     * Phase one of a split update: the jittered probe position of every
+     * cell, in cell order. Consumes exactly the rng draws update() would
+     * (three per cell), so collect + applyDensities with a bit-exact
+     * density oracle reproduces update() exactly — this is what lets
+     * the trainer evaluate the probes as one parallel batch without
+     * perturbing the jitter stream.
+     *
+     * @param rng Jitter source (same stream position as update()).
+     * @param out Resized to cellCount(), clamped into [0,1]^3.
+     */
+    void collectProbePositions(Pcg32 &rng, std::vector<Vec3f> &out) const;
+
+    /**
+     * Phase two of a split update: fold per-cell fresh density samples
+     * (cell order, cellCount() values) into the EMA and refresh the
+     * occupancy bits.
+     */
+    void applyDensities(std::span<const float> fresh, float decay = 0.95f);
 
     /** Mark every cell occupied (the state before any update). */
     void markAll();

@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/quant.h"
+#include "common/thread_pool.h"
+#include "nerf/parallel_render.h"
 
 namespace fusion3d::nerf
 {
@@ -20,6 +22,9 @@ adamFor(float lr, bool sparse)
     cfg.skipZeroGrad = sparse;
     return cfg;
 }
+
+/** Rays per compositing chunk in the pool-parallel loops. */
+constexpr int kCompositeGrain = 64;
 
 } // namespace
 
@@ -82,15 +87,26 @@ NerfPipeline::traceRays(std::span<const Ray> rays, Pcg32 &rng, bool record,
             workload->mergeFrom(scratch_workload_);
     }
 
-    // Stages II+III: one batched forward over the whole flattened batch.
+    // Stages II+III: one batched forward over the whole flattened
+    // batch, sharded across the pool when one is attached. Sharding is
+    // bit-exact with the serial call (forwardBatch is batch-size
+    // invariant per sample); the visitor path stays serial so access
+    // traces keep their canonical order.
     batch.prepareOutputs();
-    model_->forwardBatch(batch.positions, batch.dirs, batch_ws_, batch.sigmas,
-                         batch.rgbs, visitor_);
+    if (pool_ && !visitor_) {
+        model_->forwardBatchParallel(batch.positions, batch.dirs, par_ws_,
+                                     batch.sigmas, batch.rgbs, pool_);
+    } else {
+        model_->forwardBatch(batch.positions, batch.dirs, batch_ws_, batch.sigmas,
+                             batch.rgbs, visitor_);
+    }
 
-    // Composite per ray through its CSR range.
+    // Composite per ray through its CSR range. Each ray reads and
+    // writes only its own range/slots, so the parallel split is
+    // bit-exact with the serial loop.
     std::vector<CompositeResult> &results = record ? tape_results_ : scratch_results_;
     results.resize(rays.size());
-    for (std::size_t r = 0; r < rays.size(); ++r) {
+    const auto composite_ray = [&](std::size_t r) {
         const std::size_t begin = batch.rayBegin(static_cast<int>(r));
         const std::size_t count = batch.raySampleCount(static_cast<int>(r));
         const CompositeResult cr =
@@ -103,6 +119,18 @@ NerfPipeline::traceRays(std::span<const Ray> rays, Pcg32 &rng, bool record,
         out[r].composited = cr.used;
         if (count > 0)
             out[r].firstHitT = batch.ts[begin];
+    };
+    if (pool_) {
+        pool_->parallelFor(
+            0, static_cast<int>(rays.size()),
+            [&](int b, int e) {
+                for (int r = b; r < e; ++r)
+                    composite_ray(static_cast<std::size_t>(r));
+            },
+            kCompositeGrain);
+    } else {
+        for (std::size_t r = 0; r < rays.size(); ++r)
+            composite_ray(r);
     }
 
     if (record)
@@ -121,10 +149,12 @@ NerfPipeline::backwardRays(std::span<const Vec3f> dcolors)
 
     // Composite backward per ray into the batch-wide gradient arrays
     // (entries past each ray's used count are zeroed, so the batched
-    // model backward is a no-op for them).
+    // model backward is a no-op for them). Rays write disjoint ranges;
+    // the only shared state is the scratch buffer, so the parallel
+    // split binds one scratch per chunk index.
     tape_dsigmas_.resize(tape_batch_.size());
     tape_drgbs_.resize(tape_batch_.size());
-    for (std::size_t r = 0; r < num_rays; ++r) {
+    const auto backward_ray = [&](std::size_t r, CompositeBackwardScratch &scratch) {
         const std::size_t begin = tape_batch_.rayBegin(static_cast<int>(r));
         const std::size_t count = tape_batch_.raySampleCount(static_cast<int>(r));
         compositeBackward({tape_batch_.sigmas.data() + begin, count},
@@ -132,12 +162,38 @@ NerfPipeline::backwardRays(std::span<const Vec3f> dcolors)
                           {tape_batch_.dts.data() + begin, count}, cfg_.render,
                           tape_results_[r], dcolors[r],
                           {tape_dsigmas_.data() + begin, count},
-                          {tape_drgbs_.data() + begin, count}, composite_scratch_);
+                          {tape_drgbs_.data() + begin, count}, scratch);
+    };
+    if (pool_) {
+        const std::size_t num_chunks =
+            (num_rays + static_cast<std::size_t>(kCompositeGrain) - 1) /
+            static_cast<std::size_t>(kCompositeGrain);
+        if (composite_scratches_.size() < num_chunks)
+            composite_scratches_.resize(num_chunks);
+        pool_->parallelForChunks(
+            0, static_cast<int>(num_rays),
+            [&](int chunk, int b, int e) {
+                CompositeBackwardScratch &scratch =
+                    composite_scratches_[static_cast<std::size_t>(chunk)];
+                for (int r = b; r < e; ++r)
+                    backward_ray(static_cast<std::size_t>(r), scratch);
+            },
+            kCompositeGrain);
+    } else {
+        for (std::size_t r = 0; r < num_rays; ++r)
+            backward_ray(r, composite_scratch_);
     }
 
-    // One batched backward through both MLPs and the hash encoding.
-    model_->backwardBatch(tape_batch_.positions, tape_batch_.dirs, tape_dsigmas_,
-                          tape_drgbs_, batch_ws_);
+    // One batched backward through both MLPs and the hash encoding,
+    // sharded with deterministic gradient reduction when a pool is
+    // attached.
+    if (pool_) {
+        model_->backwardBatchParallel(tape_batch_.positions, tape_batch_.dirs,
+                                      tape_dsigmas_, tape_drgbs_, par_ws_, pool_);
+    } else {
+        model_->backwardBatch(tape_batch_.positions, tape_batch_.dirs, tape_dsigmas_,
+                              tape_drgbs_, batch_ws_);
+    }
     tape_valid_ = false;
 }
 
@@ -150,14 +206,30 @@ NerfPipeline::zeroGrads()
 void
 NerfPipeline::optimizerStep()
 {
-    adam_encoding_.step(model_->encoding().params(), model_->encoding().grads());
-    adam_density_.step(model_->densityNet().params(), model_->densityNet().grads());
-    adam_color_.step(model_->colorNet().params(), model_->colorNet().grads());
+    // Each parameter's Adam update is independent, so the parameter-
+    // range split is bit-exact with the serial step.
+    adam_encoding_.step(model_->encoding().params(), model_->encoding().grads(), pool_);
+    adam_density_.step(model_->densityNet().params(), model_->densityNet().grads(),
+                       pool_);
+    adam_color_.step(model_->colorNet().params(), model_->colorNet().grads(), pool_);
 }
 
 void
 NerfPipeline::updateOccupancy(Pcg32 &rng)
 {
+    if (pool_) {
+        // Split update: the jitter draws happen serially in cell order
+        // (identical rng stream to grid_.update), then the probes run
+        // as one sharded density batch — bit-exact per sample with the
+        // scalar queryDensity path, so the refreshed grid is identical
+        // to the serial update's.
+        grid_.collectProbePositions(rng, occ_positions_);
+        occ_densities_.resize(occ_positions_.size());
+        model_->queryDensityBatchParallel(occ_positions_, par_ws_, occ_densities_,
+                                          pool_);
+        grid_.applyDensities(occ_densities_);
+        return;
+    }
     grid_.update([this](const Vec3f &p) { return model_->queryDensity(p, ws_); }, rng);
 }
 
@@ -173,6 +245,18 @@ std::size_t
 NerfPipeline::paramCount() const
 {
     return model_->paramCount();
+}
+
+bool
+NerfPipeline::renderViewTiled(const Camera &camera, ThreadPool &pool, Image &out)
+{
+    TiledRenderConfig tcfg;
+    tcfg.sampler = cfg_.sampler;
+    tcfg.sampler.jitter = false; // inference render
+    tcfg.render = cfg_.render;
+    tcfg.seed = cfg_.seed;
+    out = renderImageTiled(*model_, &grid_, camera, tcfg, &pool);
+    return true;
 }
 
 } // namespace fusion3d::nerf

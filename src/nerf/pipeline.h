@@ -82,6 +82,12 @@ class NerfPipeline : public RadianceField
     void quantizeWeights() override;
     std::size_t paramCount() const override;
 
+    /**
+     * Tiled inference render (parallel_render row tiling, jitter off);
+     * bit-identical at any thread count. Always available here.
+     */
+    bool renderViewTiled(const Camera &camera, ThreadPool &pool, Image &out) override;
+
   private:
     PipelineConfig cfg_;
     VertexVisitor *visitor_ = nullptr;
@@ -108,6 +114,13 @@ class NerfPipeline : public RadianceField
     std::vector<RaySample> scratch_samples_;
     RayWorkload scratch_workload_;
     CompositeBackwardScratch composite_scratch_;
+
+    // Parallel-training arenas (used only when a pool is attached);
+    // grown once, allocation-free in steady state.
+    NerfParallelWorkspace par_ws_;
+    std::vector<CompositeBackwardScratch> composite_scratches_;
+    std::vector<Vec3f> occ_positions_;
+    std::vector<float> occ_densities_;
 };
 
 } // namespace fusion3d::nerf

@@ -19,8 +19,16 @@
 #include "common/vec.h"
 #include "nerf/sampler.h"
 
+namespace fusion3d
+{
+class Image;
+class ThreadPool;
+}
+
 namespace fusion3d::nerf
 {
+
+class Camera;
 
 /** Result of tracing one ray through a radiance field. */
 struct RayEval
@@ -98,6 +106,35 @@ class RadianceField
 
     /** Total trainable parameter count. */
     virtual std::size_t paramCount() const = 0;
+
+    /**
+     * Attach a thread pool the field may use to parallelize batched
+     * work (traceRays/backwardRays sharding, optimizerStep,
+     * updateOccupancy). Null detaches; the pool must outlive the
+     * field's use of it. With a pool attached, results are reproducible
+     * for a given seed at ANY pool size — the shard partition and
+     * gradient reduction order are fixed by batch size alone.
+     */
+    virtual void setThreadPool(ThreadPool *pool) { pool_ = pool; }
+    ThreadPool *threadPool() const { return pool_; }
+
+    /**
+     * Render @p camera's view as parallel row-tiles on @p pool,
+     * bit-identical regardless of tiling or thread count. Returns false
+     * if this field has no tiled path (the base class doesn't); the
+     * caller then falls back to its serial render loop.
+     */
+    virtual bool renderViewTiled(const Camera &camera, ThreadPool &pool, Image &out)
+    {
+        (void)camera;
+        (void)pool;
+        (void)out;
+        return false;
+    }
+
+  protected:
+    /** Pool attached via setThreadPool (null = serial). */
+    ThreadPool *pool_ = nullptr;
 
   private:
     // Batch tape of the base traceRays()/backwardRays() fallback:

@@ -1,20 +1,58 @@
 #include "nerf/trainer.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "nerf/camera.h"
 #include "nerf/sampler.h"
 #include "nerf/serialize.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fusion3d::nerf
 {
+
+namespace
+{
+
+/** Process-wide training-loop counters behind nerf.train.iterations/rays. */
+struct TrainerStats
+{
+    std::atomic<std::uint64_t> iterations{0};
+    std::atomic<std::uint64_t> rays{0};
+
+    TrainerStats()
+    {
+        obs::MetricsRegistry::global().registerCollector(
+            "nerf.trainer", [this](obs::MetricSink &sink) {
+                sink.counter("nerf.train.iterations",
+                             static_cast<double>(
+                                 iterations.load(std::memory_order_relaxed)));
+                sink.counter("nerf.train.rays",
+                             static_cast<double>(
+                                 rays.load(std::memory_order_relaxed)));
+            });
+    }
+};
+
+TrainerStats &
+trainerStats()
+{
+    static TrainerStats stats;
+    return stats;
+}
+
+} // namespace
 
 Trainer::Trainer(RadianceField &field, const Dataset &data, const TrainerConfig &cfg)
     : field_(field), data_(data), cfg_(cfg), rng_(cfg.seed, 0x5851f42d4c957f2dULL)
 {
     if (data.train.empty())
         fatal("Trainer: dataset has no training views");
+    if (cfg_.pool)
+        field_.setThreadPool(cfg_.pool);
 }
 
 void
@@ -57,6 +95,10 @@ Trainer::trainIteration()
             batch_dcolors_[r] = ev.color - batch_gts_[r]; // d/dC of 0.5*|C-gt|^2
         }
         field_.backwardRays(batch_dcolors_);
+
+        TrainerStats &stats = trainerStats();
+        stats.iterations.fetch_add(1, std::memory_order_relaxed);
+        stats.rays.fetch_add(n, std::memory_order_relaxed);
     }
 
     {
@@ -96,15 +138,25 @@ Trainer::renderView(const Camera &camera)
 {
     F3D_TRACE_SPAN("train", "render_view");
     Image out(camera.width(), camera.height());
+    // With a pool configured, fields with a tiled path (NerfPipeline)
+    // render as parallel row-tiles — bit-identical at any thread count.
+    if (cfg_.pool && field_.renderViewTiled(camera, *cfg_.pool, out))
+        return out;
     const std::size_t width = static_cast<std::size_t>(camera.width());
     for (int y = 0; y < camera.height(); ++y) {
-        // One ray batch per image row through the batched core.
+        // One ray batch per image row through the batched core. Rows
+        // re-seed their own generator (the tiled renderer's scheme)
+        // rather than drawing from rng_: evaluation must not perturb
+        // the training stream, or interleaved evals would make weights
+        // depend on the eval schedule and the render path taken.
+        Pcg32 row_rng(cfg_.seed + static_cast<std::uint64_t>(y),
+                      0x9e3779b97f4a7c15ULL);
         batch_rays_.clear();
         batch_rays_.reserve(width);
         for (int x = 0; x < camera.width(); ++x)
             batch_rays_.push_back(camera.rayForPixel(x, y));
         batch_evals_.resize(width);
-        field_.traceRays(batch_rays_, rng_, /*record=*/false, batch_evals_);
+        field_.traceRays(batch_rays_, row_rng, /*record=*/false, batch_evals_);
         for (int x = 0; x < camera.width(); ++x)
             out.at(x, y) = clamp(batch_evals_[static_cast<std::size_t>(x)].color,
                                  0.0f, 1.0f);

@@ -19,6 +19,11 @@
 #include "nerf/dataset.h"
 #include "nerf/radiance_field.h"
 
+namespace fusion3d
+{
+class ThreadPool;
+}
+
 namespace fusion3d::nerf
 {
 
@@ -48,6 +53,15 @@ struct TrainerConfig
     /** Destination of periodic checkpoints. */
     std::string checkpointPath = "checkpoint.f3dm";
     std::uint64_t seed = 1234;
+    /**
+     * Thread pool for sharded forward/backward, the optimizer step, the
+     * occupancy refresh, and tiled eval renders (null = serial, the
+     * legacy path). Must outlive the trainer. With a pool attached, a
+     * given seed reproduces bit-identical weights at ANY pool size —
+     * the shard partition and gradient reduction order depend only on
+     * the batch, never on thread count or scheduling.
+     */
+    ThreadPool *pool = nullptr;
 };
 
 /** Aggregate statistics of one training run. */
