@@ -13,9 +13,23 @@
  *     warp reprojection) and into admission-control shedding. The run
  *     must terminate cleanly with nonzero degrade/shed counters.
  *
+ * A third mode replaces both phases with a *session trace*:
+ *
+ *  --orbit         N concurrent camera streams (default 4, see
+ *                  --sessions), each a client thread orbiting its own
+ *                  camera in small steps and tagging its requests with
+ *                  a session id — the workload the temporal
+ *                  reprojection cache accelerates. Prints per-stream
+ *                  outcomes plus one machine-readable "JSON:" summary
+ *                  line with the session cache hit rate and the mean
+ *                  rays actually marched per frame.
+ *
  * Usage: serve_loadgen [frames_per_config] [resolution]
+ *            [--orbit] [--sessions N]
  *            [--trace FILE] [--metrics FILE] [--faults SPEC]
  *
+ *  --orbit         run the session-trace mode described above;
+ *  --sessions N    number of concurrent streams in --orbit mode;
  *  --trace FILE    enable the span tracer and write a Chrome
  *                  trace-event JSON (load in Perfetto) of the run;
  *  --metrics FILE  write a Prometheus text snapshot of the overload
@@ -31,6 +45,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -86,6 +101,149 @@ orbitFrame(int i, int size)
                                static_cast<float>(i * 7 % 360), size, size);
 }
 
+/** Frame @p i of session @p s's smooth orbit (0.5 deg/frame — the
+ *  small-motion stream the reprojection cache accelerates). */
+nerf::Camera
+sessionFrame(int s, int i, int size)
+{
+    return nerf::Camera::orbit({0.5f, 0.5f, 0.5f}, 1.4f,
+                               35.0f + 90.0f * s + 0.5f * i, 20.0f, 45.0f,
+                               size, size);
+}
+
+/**
+ * Session-trace mode (--orbit): @p sessions concurrent streams of
+ * @p frames small-motion frames each, every request tagged with its
+ * stream's session id so the server can serve it by temporal
+ * reprojection. Returns the process exit code.
+ */
+int
+runOrbitTrace(serve::ModelRegistry &registry, int frames, int size,
+              int sessions, const std::string &metrics_path,
+              const std::string &trace_path)
+{
+    inform("orbit mode: %d session(s) x %d frames of %dx%d", sessions, frames,
+           size, size);
+    serve::ServeConfig sc = baseConfig(2);
+    serve::RenderServer server(registry, sc);
+
+    std::atomic<std::uint64_t> rejected{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(sessions));
+    for (int s = 0; s < sessions; ++s) {
+        threads.emplace_back([&server, &rejected, s, frames, size]() {
+            const std::string session = "orbit-" + std::to_string(s);
+            for (int i = 0; i < frames; ++i) {
+                serve::RenderRequest req;
+                req.model = "demo";
+                req.camera = sessionFrame(s, i, size);
+                req.session = session;
+                const serve::RenderResponse r = server.submit(req).get();
+                if (serve::isRejected(r.outcome)) {
+                    rejected.fetch_add(1);
+                    if (!FaultInjector::instance().active())
+                        fatal("unloaded server rejected frame %d of %s (%s)",
+                              i, session.c_str(),
+                              serve::outcomeName(r.outcome));
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    server.drainAndPrintStats(std::cout);
+
+    const auto &stats = server.stats();
+    const std::uint64_t total = static_cast<std::uint64_t>(sessions) * frames;
+    const std::uint64_t lookups = stats.sessionHits() + stats.sessionMisses();
+    const double hit_rate =
+        lookups ? static_cast<double>(stats.sessionHits()) / lookups : 0.0;
+    const std::uint64_t completed_frames =
+        std::max<std::uint64_t>(1, total - rejected.load());
+    const double rays_per_frame =
+        static_cast<double>(stats.raysMarched()) / completed_frames;
+    const double rays_saved_frac =
+        stats.raysMarched() + stats.raysSaved()
+            ? static_cast<double>(stats.raysSaved()) /
+                  (stats.raysMarched() + stats.raysSaved())
+            : 0.0;
+
+    inform("orbit summary: %.2f frames/s, session hit rate %.0f%%, "
+           "%llu reprojected / %llu full, mean %.0f rays/frame "
+           "(%.0f%% served from the warp), mean warp %.2f ms",
+           total / seconds, hit_rate * 100.0,
+           static_cast<unsigned long long>(
+               stats.count(serve::Outcome::renderedReproject)),
+           static_cast<unsigned long long>(
+               stats.count(serve::Outcome::renderedFull)),
+           rays_per_frame, rays_saved_frac * 100.0, stats.meanWarpMs());
+
+    char json[512];
+    std::snprintf(
+        json, sizeof(json),
+        "{\"bench\":\"serve_orbit\",\"sessions\":%d,\"frames_per_session\":%d,"
+        "\"size\":%d,\"fps\":%.3f,\"hit_rate\":%.4f,\"reproject_frames\":%llu,"
+        "\"full_frames\":%llu,\"reproject_fallbacks\":%llu,"
+        "\"rays_per_frame\":%.1f,\"rays_saved_fraction\":%.4f,"
+        "\"mean_warp_ms\":%.3f}",
+        sessions, frames, size, total / seconds, hit_rate,
+        static_cast<unsigned long long>(
+            stats.count(serve::Outcome::renderedReproject)),
+        static_cast<unsigned long long>(
+            stats.count(serve::Outcome::renderedFull)),
+        static_cast<unsigned long long>(stats.reprojectFallbacks()),
+        rays_per_frame, rays_saved_frac, stats.meanWarpMs());
+    std::printf("JSON: %s\n", json);
+
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out)
+            fatal("cannot open metrics file '%s'", metrics_path.c_str());
+        obs::MetricsRegistry::global().exportPrometheus(out);
+        inform("wrote metrics snapshot to %s", metrics_path.c_str());
+    }
+    server.shutdown();
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out)
+            fatal("cannot open trace file '%s'", trace_path.c_str());
+        obs::Tracer::instance().writeChromeTrace(out);
+        inform("wrote %zu trace spans to %s (%llu dropped)",
+               obs::Tracer::instance().eventCount(), trace_path.c_str(),
+               static_cast<unsigned long long>(
+                   obs::Tracer::instance().dropped()));
+    }
+
+    bool ok = stats.completed() == stats.submitted();
+    if (!ok)
+        warn("drain left %llu requests unaccounted",
+             static_cast<unsigned long long>(stats.submitted() -
+                                             stats.completed()));
+    // Fault-free, a warm small-motion stream must actually exercise the
+    // accelerate rung: every frame after each session's first is a
+    // cache hit, and most of them serve by reprojection.
+    if (!FaultInjector::instance().active()) {
+        if (stats.sessionHits() <
+            static_cast<std::uint64_t>(sessions) * (frames - 1)) {
+            warn("expected %d warm frames per session to hit the cache",
+                 frames - 1);
+            ok = false;
+        }
+        if (stats.count(serve::Outcome::renderedReproject) == 0) {
+            warn("expected reprojected frames on a small-motion stream");
+            ok = false;
+        }
+    }
+    inform(ok ? "serve_loadgen: all checks passed"
+              : "serve_loadgen: CHECKS FAILED");
+    return ok ? 0 : 1;
+}
+
 /**
  * Closed-loop throughput: @p clients client threads, each submitting
  * its next frame only after the previous one completed. Returns frames
@@ -129,6 +287,8 @@ main(int argc, char **argv)
 {
     int frames = 24;
     int size = 48;
+    bool orbit = false;
+    int sessions = 4;
     std::string trace_path;
     std::string metrics_path;
     std::string fault_spec;
@@ -140,6 +300,10 @@ main(int argc, char **argv)
             metrics_path = argv[++i];
         } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
             fault_spec = argv[++i];
+        } else if (std::strcmp(argv[i], "--orbit") == 0) {
+            orbit = true;
+        } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+            sessions = std::max(std::atoi(argv[++i]), 1);
         } else if (positional == 0) {
             frames = std::max(std::atoi(argv[i]), 1);
             ++positional;
@@ -147,8 +311,8 @@ main(int argc, char **argv)
             size = std::max(std::atoi(argv[i]), 8);
             ++positional;
         } else {
-            fatal("usage: %s [frames] [resolution] [--trace FILE] "
-                  "[--metrics FILE] [--faults SPEC]",
+            fatal("usage: %s [frames] [resolution] [--orbit] [--sessions N] "
+                  "[--trace FILE] [--metrics FILE] [--faults SPEC]",
                   argv[0]);
         }
     }
@@ -166,6 +330,10 @@ main(int argc, char **argv)
     serve::ModelRegistry registry(/*occupancy_resolution=*/16);
     registry.add("demo",
                  std::make_unique<nerf::NerfModel>(demoModelConfig(), 2024));
+
+    if (orbit)
+        return runOrbitTrace(registry, frames, size, sessions, metrics_path,
+                             trace_path);
 
     // --- Phase 1: throughput scaling across render threads ---
     inform("phase 1: closed-loop throughput, %d frames of %dx%d per config",

@@ -1,6 +1,7 @@
 #include "nerf/image_warp.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -9,18 +10,26 @@ namespace fusion3d::nerf
 {
 
 WarpResult
-forwardWarp(const DepthFrame &prev, const Camera &target_camera)
+forwardWarp(const DepthFrame &prev, const Camera &target_camera,
+            const WarpOptions &options)
 {
     if (static_cast<int>(prev.depth.size()) != prev.color.pixelCount())
         fatal("forwardWarp: depth map size does not match the color image");
 
     const int tw = target_camera.width();
     const int th = target_camera.height();
+    const std::size_t n_target = static_cast<std::size_t>(tw) * th;
     WarpResult result;
     result.image = Image(tw, th, Vec3f(0.0f));
-    result.covered.assign(static_cast<std::size_t>(tw) * th, false);
-    std::vector<float> zbuf(static_cast<std::size_t>(tw) * th,
-                            std::numeric_limits<float>::infinity());
+    result.covered.assign(n_target, false);
+    result.depth.assign(n_target, 0.0f);
+    result.depthConflict.assign(n_target, false);
+    std::vector<float> zbuf(n_target, std::numeric_limits<float>::infinity());
+    // World position of each pixel's winning splat, for the exact
+    // target-ray depth recovered in the final pass — and its source
+    // pixel, for the occlusion test below.
+    std::vector<Vec3f> world_pos(n_target);
+    std::vector<int> src_x(n_target), src_y(n_target);
 
     for (int y = 0; y < prev.color.height(); ++y) {
         for (int x = 0; x < prev.color.width(); ++x) {
@@ -46,22 +55,87 @@ forwardWarp(const DepthFrame &prev, const Camera &target_camera)
                         continue;
                     const std::size_t idx =
                         static_cast<std::size_t>(ty) * tw + tx;
+                    // A depth conflict marks a *fold*: splats from
+                    // non-adjacent source pixels landing on the same
+                    // target pixel at view depths further apart than
+                    // the tolerance. Adjacent source pixels collide on
+                    // every warp (their 2x2 footprints overlap), so a
+                    // depth gap between them is just the local surface
+                    // gradient, not an occlusion.
+                    if (result.covered[idx] &&
+                        std::abs(vdepth - zbuf[idx]) > options.depthTolerance &&
+                        (std::abs(x - src_x[idx]) > 1 ||
+                         std::abs(y - src_y[idx]) > 1))
+                        result.depthConflict[idx] = true;
                     if (vdepth < zbuf[idx]) {
                         zbuf[idx] = vdepth;
                         result.image.at(tx, ty) = prev.color.at(x, y);
                         result.covered[idx] = true;
+                        world_pos[idx] = world;
+                        src_x[idx] = x;
+                        src_y[idx] = y;
                     }
                 }
             }
         }
     }
 
+    // Recover ray-parameter depth in the target camera: rayForPixel
+    // directions are normalized, so the parameter is the euclidean
+    // distance from the eye to the splatted surface point.
     std::size_t n = 0;
-    for (const bool c : result.covered)
-        n += c ? 1 : 0;
+    const Vec3f eye = target_camera.position();
+    for (std::size_t idx = 0; idx < n_target; ++idx) {
+        if (!result.covered[idx])
+            continue;
+        ++n;
+        result.depth[idx] = length(world_pos[idx] - eye);
+    }
     result.coverage =
         static_cast<double>(n) / static_cast<double>(result.covered.size());
     return result;
+}
+
+WarpTileStats
+warpTileStats(const WarpResult &result, int tile_size)
+{
+    const int w = result.image.width();
+    const int h = result.image.height();
+    if (tile_size < 1)
+        fatal("warpTileStats: tile size must be positive, got %d", tile_size);
+    if (static_cast<int>(result.covered.size()) != w * h)
+        fatal("warpTileStats: coverage mask does not match the image");
+
+    WarpTileStats stats;
+    stats.tileSize = tile_size;
+    stats.tilesX = (w + tile_size - 1) / tile_size;
+    stats.tilesY = (h + tile_size - 1) / tile_size;
+    stats.coverage.assign(static_cast<std::size_t>(stats.tiles()), 0.0);
+    stats.conflict.assign(static_cast<std::size_t>(stats.tiles()), 0.0);
+
+    const bool has_conflict = !result.depthConflict.empty();
+    for (int ty = 0; ty < stats.tilesY; ++ty) {
+        for (int tx = 0; tx < stats.tilesX; ++tx) {
+            const int x0 = tx * tile_size;
+            const int y0 = ty * tile_size;
+            const int x1 = std::min(x0 + tile_size, w);
+            const int y1 = std::min(y0 + tile_size, h);
+            std::size_t covered = 0, conflicts = 0;
+            for (int y = y0; y < y1; ++y) {
+                for (int x = x0; x < x1; ++x) {
+                    const std::size_t idx = static_cast<std::size_t>(y) * w + x;
+                    covered += result.covered[idx] ? 1 : 0;
+                    if (has_conflict)
+                        conflicts += result.depthConflict[idx] ? 1 : 0;
+                }
+            }
+            const double pixels = static_cast<double>((x1 - x0) * (y1 - y0));
+            const std::size_t t = static_cast<std::size_t>(ty) * stats.tilesX + tx;
+            stats.coverage[t] = static_cast<double>(covered) / pixels;
+            stats.conflict[t] = static_cast<double>(conflicts) / pixels;
+        }
+    }
+    return stats;
 }
 
 double

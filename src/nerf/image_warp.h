@@ -2,13 +2,19 @@
  * @file
  * Image-warping frame reuse, the technique MetaVRain [13] relies on for
  * real-time rates (Table III footnote: real-time only when > 97% of
- * pixels overlap the previous frame). Implemented here as an extension
- * so the bench can quantify when warping suffices and when the
- * end-to-end accelerator's full re-render is required.
+ * pixels overlap the previous frame). Originally an extension so the
+ * bench could quantify when warping suffices; now also the first rung
+ * of the serving layer's *accelerate* ladder (src/serve/reproject):
+ * a session's previous frame is forward-warped into the new view and
+ * only the tiles the warp could not reconstruct are ray-marched.
  *
  * The previous frame's pixels are lifted to 3D with the composited
  * depth map and splatted into the new view (forward warping with a
- * z-buffer); uncovered pixels must be re-rendered.
+ * z-buffer); uncovered pixels must be re-rendered. The warp also
+ * reports a per-target-pixel depth map (so a warped frame can itself
+ * seed the next warp) and flags pixels where splats from meaningfully
+ * different depths collided — occlusion boundaries, the tell-tale of
+ * a disocclusion that nearest-surface splatting papered over.
  */
 
 #ifndef FUSION3D_NERF_IMAGE_WARP_H_
@@ -31,6 +37,22 @@ struct DepthFrame
     Camera camera;
 };
 
+/** Tunables of forwardWarp(). */
+struct WarpOptions
+{
+    /**
+     * Two splats from *non-adjacent* source pixels landing in the same
+     * target pixel whose view-space depths differ by more than this
+     * tolerance mark an occlusion boundary (a fold of the warp): the
+     * pixel is flagged in WarpResult::depthConflict so tile
+     * invalidation has a depth-consistency signal, not just a coverage
+     * one. Adjacent source pixels collide on every warp — their 2x2
+     * footprints overlap — so their depth gaps are surface gradient,
+     * not occlusion, and are never flagged.
+     */
+    float depthTolerance = 0.1f;
+};
+
 /** Result of warping a frame into a new view. */
 struct WarpResult
 {
@@ -39,6 +61,15 @@ struct WarpResult
     std::vector<bool> covered;
     /** Fraction of target pixels covered by the warp. */
     double coverage = 0.0;
+    /**
+     * Ray-parameter depth of each covered target pixel (0 where
+     * uncovered), making the warped frame reusable as the next warp's
+     * DepthFrame source.
+     */
+    std::vector<float> depth;
+    /** Per-pixel flag: splats from non-adjacent source pixels disagreed
+     *  by more than depthTolerance (see WarpOptions). */
+    std::vector<bool> depthConflict;
 };
 
 /**
@@ -46,12 +77,36 @@ struct WarpResult
  * Each source pixel is splatted into a 2x2 footprint so small motions
  * do not leave pinholes.
  */
-WarpResult forwardWarp(const DepthFrame &prev, const Camera &target_camera);
+WarpResult forwardWarp(const DepthFrame &prev, const Camera &target_camera,
+                       const WarpOptions &options = WarpOptions{});
+
+/** Per-tile warp statistics over a fixed square tiling of the target. */
+struct WarpTileStats
+{
+    int tileSize = 0;
+    int tilesX = 0;
+    int tilesY = 0;
+    /** Fraction of the tile's pixels the warp covered, per tile. */
+    std::vector<double> coverage;
+    /** Fraction of the tile's pixels flagged depth-conflict, per tile. */
+    std::vector<double> conflict;
+
+    int tiles() const { return tilesX * tilesY; }
+};
+
+/**
+ * Classify @p result into @p tile_size x @p tile_size tiles (edge tiles
+ * clipped to the image) and report per-tile coverage and depth-conflict
+ * fractions — the invalidation signal of the reprojection renderer.
+ */
+WarpTileStats warpTileStats(const WarpResult &result, int tile_size);
 
 /**
  * Effective speedup of warp-assisted rendering: only uncovered pixels
- * are re-rendered, plus a fixed @p warp_overhead fraction of a full
- * frame for the warp pass itself.
+ * are re-rendered, plus @p warp_overhead — the warp pass's cost as a
+ * fraction of a full render. The default is a modeling fallback only;
+ * benches measure the actual warp pass and pass the measured ratio
+ * (see bench_ablation_warp / bench_reproject).
  */
 double warpAssistSpeedup(double coverage, double warp_overhead = 0.05);
 

@@ -18,6 +18,7 @@
 #define FUSION3D_NERF_PARALLEL_RENDER_H_
 
 #include <cstdint>
+#include <span>
 
 #include "common/image.h"
 #include "common/thread_pool.h"
@@ -63,6 +64,42 @@ Image renderImageTiled(const NerfModel &model, const OccupancyGrid *grid,
 DepthFrame renderDepthFrameTiled(const NerfModel &model, const OccupancyGrid *grid,
                                  const Camera &camera, const TiledRenderConfig &cfg,
                                  ThreadPool *pool = nullptr);
+
+/** A pixel rectangle [x0, x1) x [y0, y1) of the target image. */
+struct TileRect
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = 0;
+    int y1 = 0;
+
+    std::uint64_t
+    pixels() const
+    {
+        return static_cast<std::uint64_t>(x1 - x0) *
+               static_cast<std::uint64_t>(y1 - y0);
+    }
+};
+
+/**
+ * Ray-march only @p tiles of @p camera's view, patching the results in
+ * place into the full-resolution @p color image (and @p depth map when
+ * non-null). Tiles run in parallel on @p pool, each as one ray batch
+ * through the batched evaluation core.
+ *
+ * With jitter disabled (the inference default) every patched pixel is
+ * bit-identical to the same pixel of a full renderImageTiled() /
+ * renderDepthFrameTiled() pass, so selective re-rendering composes
+ * losslessly with frame reuse. (With jitter enabled, a tile whose x0 is
+ * not 0 samples its row RNG stream at a different offset than the full
+ * render would — the serving layer never renders jittered.)
+ *
+ * @return the number of pixels rendered.
+ */
+std::uint64_t renderTilesInto(const NerfModel &model, const OccupancyGrid *grid,
+                              const Camera &camera, const TiledRenderConfig &cfg,
+                              std::span<const TileRect> tiles, ThreadPool *pool,
+                              Image &color, float *depth);
 
 } // namespace fusion3d::nerf
 

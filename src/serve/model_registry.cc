@@ -104,11 +104,20 @@ ModelRegistry::add(const std::string &name, std::unique_ptr<nerf::NerfModel> mod
 
     const ModelEntry *raw = entry.get();
     std::lock_guard<std::mutex> lock(mutex_);
+    entry->epoch = ++epochs_[name];
     std::unique_ptr<ModelEntry> &slot = entries_[name];
     if (slot)
         retired_.push_back(std::move(slot));
     slot = std::move(entry);
     return raw;
+}
+
+std::uint64_t
+ModelRegistry::epoch(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = epochs_.find(name);
+    return it == epochs_.end() ? 0 : it->second;
 }
 
 nerf::LoadStatus

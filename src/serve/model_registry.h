@@ -39,6 +39,11 @@ struct ModelEntry
     std::string name;
     std::unique_ptr<nerf::NerfModel> model;
     nerf::OccupancyGrid grid;
+    /** Deploy generation of this name: 1 on first add, bumped by every
+     *  replacement (hot-swap). Cached artifacts derived from a model —
+     *  session frames in the reprojection cache above all — carry the
+     *  epoch and go stale when it moves. */
+    std::uint64_t epoch = 0;
 
     ModelEntry(std::string n, std::unique_ptr<nerf::NerfModel> m, int grid_res,
                float grid_threshold)
@@ -125,6 +130,9 @@ class ModelRegistry
     /** Deploy-breaker state of @p name (closed if never deployed). */
     BreakerState breakerState(const std::string &name) const;
 
+    /** Current deploy epoch of @p name (0 if never registered). */
+    std::uint64_t epoch(const std::string &name) const;
+
     const RegistryConfig &config() const { return cfg_; }
 
     // Deploy statistics (also exported as serve.registry.* metrics).
@@ -152,6 +160,8 @@ class ModelRegistry
      *  rendering from them never hold a dangling pointer. */
     std::vector<std::unique_ptr<ModelEntry>> retired_;
     std::map<std::string, Breaker> breakers_;
+    /** Deploy generations per name (survives entry replacement). */
+    std::map<std::string, std::uint64_t> epochs_;
 
     std::uint64_t loads_ok_ = 0;
     std::uint64_t loads_failed_ = 0;

@@ -53,6 +53,7 @@ upsample(const Image &src, int w, int h)
 RenderServer::RenderServer(const ModelRegistry &registry, const ServeConfig &cfg)
     : registry_(registry),
       cfg_(cfg),
+      sessions_(cfg.sessionStore),
       queue_(static_cast<std::size_t>(std::max(cfg.queueCapacity, 1))),
       pool_(std::max(cfg.renderThreads, 1))
 {
@@ -62,10 +63,11 @@ RenderServer::RenderServer(const ModelRegistry &registry, const ServeConfig &cfg
     // keys unregistration (~ServerStats), so a counter keeps servers
     // that coexist (benches sweep thread counts) from colliding.
     static std::atomic<std::uint64_t> server_seq{0};
+    const unsigned long long seq = server_seq.fetch_add(1);
     stats_.registerWith(obs::MetricsRegistry::global(),
-                        strprintf("serve.server%llu",
-                                  static_cast<unsigned long long>(
-                                      server_seq.fetch_add(1))));
+                        strprintf("serve.server%llu", seq));
+    sessions_.registerWith(obs::MetricsRegistry::global(),
+                           strprintf("serve.sessions%llu", seq));
     dispatcher_ = std::thread([this]() { dispatchLoop(); });
 }
 
@@ -213,6 +215,13 @@ RenderServer::runLadder(QueuedRequest &qr, const ModelEntry *entry)
         return response;
     }
 
+    // Accelerate rung, above the degrade ladder: a session request
+    // whose previous frame is still valid (same model, same deploy
+    // epoch, within TTL) is served by temporal reprojection — warp the
+    // cached frame, ray-march only the invalidated tiles.
+    if (tryReproject(qr, entry, response))
+        return response;
+
     const double est_full = estimatedSecondsPerPixel() *
                             static_cast<double>(pixels) * cfg_.estimateHeadroom;
 
@@ -231,9 +240,10 @@ RenderServer::runLadder(QueuedRequest &qr, const ModelEntry *entry)
             *entry->model, &entry->grid, camera, cfg_.render, &pool_);
         noteRenderCost(std::chrono::duration<double>(Clock::now() - t0).count(),
                        pixels);
+        stats_.recordRaysMarched(pixels);
         response.image = frame.color;
         response.outcome = Outcome::renderedFull;
-        cacheFrame(entry->name, std::move(frame));
+        rememberFullFrame(qr, entry, std::move(frame));
         return response;
     }
 
@@ -246,6 +256,8 @@ RenderServer::runLadder(QueuedRequest &qr, const ModelEntry *entry)
                                                    half, cfg_.render, &pool_);
         noteRenderCost(std::chrono::duration<double>(Clock::now() - t0).count(),
                        static_cast<std::uint64_t>(half.width()) * half.height());
+        stats_.recordRaysMarched(static_cast<std::uint64_t>(half.width()) *
+                                 half.height());
         response.image = upsample(small, camera.width(), camera.height());
         response.outcome = Outcome::renderedHalf;
         return response;
@@ -309,12 +321,73 @@ RenderServer::estimatedSecondsPerPixel() const
     return est_seconds_per_pixel_;
 }
 
+bool
+RenderServer::tryReproject(QueuedRequest &qr, const ModelEntry *entry,
+                           RenderResponse &response)
+{
+    if (!cfg_.reproject.enabled || qr.request.session.empty())
+        return false;
+    auto prev = sessions_.get(qr.request.session, entry->name, entry->epoch);
+    stats_.recordSessionLookup(prev.has_value());
+    if (!prev)
+        return false;
+
+    F3D_TRACE_SPAN_ARG("serve", "render_reproject", qr.id);
+    ReprojectOutput out =
+        reprojectRender(*entry->model, &entry->grid, qr.request.camera, *prev,
+                        cfg_.render, cfg_.reproject, &pool_);
+    // Feed the cost model with the pixels that were actually marched —
+    // the estimate stays in per-ray-marched-pixel units either way.
+    if (out.stats.raysRendered > 0 && out.stats.renderSeconds > 0.0)
+        noteRenderCost(out.stats.renderSeconds, out.stats.raysRendered);
+    stats_.recordReproject(out.stats);
+
+    response.image = out.frame.color;
+    response.outcome = out.stats.reprojected ? Outcome::renderedReproject
+                                             : Outcome::renderedFull;
+
+    auto shared = std::make_shared<const nerf::DepthFrame>(std::move(out.frame));
+    SessionFrame sf;
+    sf.frame = shared;
+    sf.model = entry->name;
+    sf.epoch = entry->epoch;
+    sf.tileSize = cfg_.reproject.tileSize;
+    sf.tileAge = std::move(out.tileAge);
+    sessions_.put(qr.request.session, std::move(sf));
+    if (!out.stats.reprojected) {
+        // The fallback was a true full render: refresh the model-level
+        // warp-degrade source too.
+        cacheFrame(entry->name, std::move(shared));
+    }
+    return true;
+}
+
 void
-RenderServer::cacheFrame(const std::string &model, nerf::DepthFrame &&frame)
+RenderServer::rememberFullFrame(const QueuedRequest &qr, const ModelEntry *entry,
+                                nerf::DepthFrame &&frame)
 {
     auto shared = std::make_shared<const nerf::DepthFrame>(std::move(frame));
+    if (cfg_.reproject.enabled && !qr.request.session.empty()) {
+        // Seed the session cache: the next request on this stream can
+        // reproject instead of full-rendering.
+        SessionFrame sf;
+        sf.frame = shared;
+        sf.model = entry->name;
+        sf.epoch = entry->epoch;
+        sf.tileSize = cfg_.reproject.tileSize;
+        sf.tileAge = freshTileAges(qr.request.camera, cfg_.reproject.tileSize,
+                                   cfg_.reproject.maxTileAge);
+        sessions_.put(qr.request.session, std::move(sf));
+    }
+    cacheFrame(entry->name, std::move(shared));
+}
+
+void
+RenderServer::cacheFrame(const std::string &model,
+                         std::shared_ptr<const nerf::DepthFrame> frame)
+{
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    last_frames_[model] = std::move(shared);
+    last_frames_[model] = std::move(frame);
 }
 
 std::shared_ptr<const nerf::DepthFrame>

@@ -14,9 +14,14 @@
  *  3. Each request runs as a pool task that splits its frame into
  *     row-tiles on the same pool — idle workers help finish a
  *     neighbour's frame, so a single big frame still uses all cores.
- *  4. At render start the scheduler compares the time left until the
- *     deadline with an online cost estimate (EWMA of measured
- *     per-pixel seconds) and walks the degrade ladder:
+ *  4. At render start the scheduler first tries the *accelerate* rung:
+ *     a request carrying a session id whose previous frame is cached
+ *     (same model, same deploy epoch, within TTL) is served by temporal
+ *     reprojection — the cached frame is warped into the requested view
+ *     and only the invalidated tiles are ray-marched (serve/reproject).
+ *     Otherwise it compares the time left until the deadline with an
+ *     online cost estimate (EWMA of measured per-pixel seconds) and
+ *     walks the degrade ladder:
  *       full render → half-resolution render (upsampled) → reprojection
  *     of the model's last frame via image_warp → shed
  *     (Outcome::rejectedDeadline). Expired deadlines shed outright.
@@ -42,9 +47,11 @@
 #include "common/thread_pool.h"
 #include "nerf/image_warp.h"
 #include "serve/model_registry.h"
+#include "serve/reproject.h"
 #include "serve/request_queue.h"
 #include "serve/serve.h"
 #include "serve/server_stats.h"
+#include "serve/session.h"
 
 namespace fusion3d::serve
 {
@@ -91,6 +98,8 @@ class RenderServer
 
     const ServeConfig &config() const { return cfg_; }
     const ServerStats &stats() const { return stats_; }
+    /** The per-session frame cache behind temporal reprojection. */
+    const SessionStore &sessions() const { return sessions_; }
     std::size_t queueDepth() const { return queue_.depth(); }
 
     /** Current EWMA of measured render seconds per pixel (0 until the
@@ -103,12 +112,21 @@ class RenderServer
     RenderResponse runLadder(QueuedRequest &qr, const ModelEntry *entry);
     void finish(QueuedRequest &qr, RenderResponse &&response);
     void noteRenderCost(double seconds, std::uint64_t pixels);
-    void cacheFrame(const std::string &model, nerf::DepthFrame &&frame);
+    void cacheFrame(const std::string &model,
+                    std::shared_ptr<const nerf::DepthFrame> frame);
     std::shared_ptr<const nerf::DepthFrame> cachedFrame(const std::string &model) const;
+    /** Try the accelerate rung; true when @p response was produced. */
+    bool tryReproject(QueuedRequest &qr, const ModelEntry *entry,
+                      RenderResponse &response);
+    /** Cache @p frame for both the warp-degrade rung and (when the
+     *  request carries a session id) the session store. */
+    void rememberFullFrame(const QueuedRequest &qr, const ModelEntry *entry,
+                           nerf::DepthFrame &&frame);
 
     const ModelRegistry &registry_;
     ServeConfig cfg_;
     ServerStats stats_;
+    SessionStore sessions_;
     RequestQueue queue_;
     ThreadPool pool_;
 

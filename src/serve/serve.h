@@ -19,6 +19,8 @@
 #include "common/image.h"
 #include "nerf/camera.h"
 #include "nerf/parallel_render.h"
+#include "serve/reproject.h"
+#include "serve/session.h"
 
 namespace fusion3d::serve
 {
@@ -36,6 +38,11 @@ enum class Outcome
     /** Degrade step 2: reprojected from the model's last rendered
      *  frame via the image-warp path (frame reuse a la MetaVRain). */
     renderedWarp,
+    /** Accelerate rung: the session's previous frame was warped into
+     *  the requested view and only the invalidated tiles were
+     *  ray-marched (temporal reprojection cache). Full fidelity at a
+     *  fraction of the rays — not a degraded outcome. */
+    renderedReproject,
     /** Shed at admission: the bounded queue was full. */
     rejectedQueueFull,
     /** Shed at dispatch: the deadline had passed, or no degrade step
@@ -53,7 +60,7 @@ enum class Outcome
 };
 
 /** Number of Outcome values (counters, per-outcome tables). */
-inline constexpr int kOutcomeCount = 8;
+inline constexpr int kOutcomeCount = 9;
 
 /** Human-readable name of @p outcome. */
 const char *outcomeName(Outcome outcome);
@@ -72,6 +79,14 @@ struct RenderRequest
     Clock::time_point deadline = Clock::time_point::max();
     /** Higher priority is dequeued first. */
     int priority = 0;
+    /**
+     * Client/session id of a camera stream; empty = stateless request.
+     * Session requests cache their rendered frame in the server's
+     * SessionStore, and follow-up requests with the same id are served
+     * by temporal reprojection (warp + partial re-render) instead of a
+     * full render whenever the cached frame holds up.
+     */
+    std::string session;
 };
 
 /** What the server returns for one request. */
@@ -111,6 +126,11 @@ struct ServeConfig
     /** Injected render delay when the "serve.dispatch.slow" fault point
      *  fires (chaos testing only; the point never fires unarmed). */
     double faultSlowRenderMs = 5.0;
+    /** Temporal reprojection of session requests (the accelerate rung
+     *  above the degrade ladder). */
+    ReprojectConfig reproject;
+    /** Per-session frame cache behind the reprojection mode. */
+    SessionStoreConfig sessionStore;
 };
 
 } // namespace fusion3d::serve

@@ -18,6 +18,8 @@ outcomeName(Outcome outcome)
         return "rendered_half";
       case Outcome::renderedWarp:
         return "rendered_warp";
+      case Outcome::renderedReproject:
+        return "rendered_reproject";
       case Outcome::rejectedQueueFull:
         return "rejected_queue_full";
       case Outcome::rejectedDeadline:
@@ -49,7 +51,14 @@ ServerStats::ServerStats()
       queue_depth_(group_.addDistribution("queue_depth_at_submit")),
       batch_size_(group_.addDistribution("batch_size")),
       latency_log2us_(group_.addHistogram("latency_log2_us")),
-      latency_quantiles_(group_.addQuantiles("latency_ms"))
+      latency_quantiles_(group_.addQuantiles("latency_ms")),
+      session_hits_(group_.addCounter("session_hits")),
+      session_misses_(group_.addCounter("session_misses")),
+      reproject_fallbacks_(group_.addCounter("reproject_fallbacks")),
+      rays_marched_(group_.addCounter("rays_marched")),
+      rays_saved_(group_.addCounter("rays_saved")),
+      reproject_tiles_pct_(group_.addDistribution("reproject_tiles_pct")),
+      reproject_warp_ms_(group_.addDistribution("reproject_warp_ms"))
 {
     for (int i = 0; i < kOutcomes; ++i)
         outcomes_[i] = &group_.addCounter(outcomeName(static_cast<Outcome>(i)));
@@ -89,6 +98,35 @@ ServerStats::recordBatch(int size)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     batch_size_.sample(static_cast<double>(size));
+}
+
+void
+ServerStats::recordSessionLookup(bool hit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    (hit ? session_hits_ : session_misses_).inc();
+}
+
+void
+ServerStats::recordReproject(const ReprojectStats &rs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rays_marched_.inc(rs.raysRendered);
+    rays_saved_.inc(rs.raysSaved);
+    if (!rs.reprojected) {
+        reproject_fallbacks_.inc();
+        return;
+    }
+    if (rs.tilesTotal > 0)
+        reproject_tiles_pct_.sample(100.0 * rs.tilesRerendered / rs.tilesTotal);
+    reproject_warp_ms_.sample(rs.warpSeconds * 1e3);
+}
+
+void
+ServerStats::recordRaysMarched(std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rays_marched_.inc(n);
 }
 
 std::uint64_t
@@ -159,6 +197,48 @@ ServerStats::meanBatchSize() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return batch_size_.mean();
+}
+
+std::uint64_t
+ServerStats::sessionHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return session_hits_.value();
+}
+
+std::uint64_t
+ServerStats::sessionMisses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return session_misses_.value();
+}
+
+std::uint64_t
+ServerStats::reprojectFallbacks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reproject_fallbacks_.value();
+}
+
+std::uint64_t
+ServerStats::raysMarched() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rays_marched_.value();
+}
+
+std::uint64_t
+ServerStats::raysSaved() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rays_saved_.value();
+}
+
+double
+ServerStats::meanWarpMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reproject_warp_ms_.mean();
 }
 
 double

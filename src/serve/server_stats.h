@@ -41,6 +41,21 @@ class ServerStats
     /** Record one dispatched batch of @p size same-model requests. */
     void recordBatch(int size);
 
+    /** Record a session-cache lookup of a session request. */
+    void recordSessionLookup(bool hit);
+
+    /**
+     * Record one reprojection attempt (hit path): tiles re-rendered,
+     * rays marched vs saved, and the *measured* warp-pass cost — the
+     * serving layer reports measured savings, not the modeled
+     * warpAssistSpeedup() estimate.
+     */
+    void recordReproject(const ReprojectStats &rs);
+
+    /** Record @p n ray-marched pixels of a non-reproject render (full
+     *  or half resolution), so rays/frame is comparable across modes. */
+    void recordRaysMarched(std::uint64_t n);
+
     /** Requests that entered submit(). */
     std::uint64_t submitted() const;
 
@@ -62,6 +77,17 @@ class ServerStats
     double meanLatencyMs() const;
     double maxLatencyMs() const;
     double meanBatchSize() const;
+
+    // Session / reprojection accounting (serve.session_* metrics).
+    std::uint64_t sessionHits() const;
+    std::uint64_t sessionMisses() const;
+    std::uint64_t reprojectFallbacks() const;
+    /** Pixels ray-marched across all render modes. */
+    std::uint64_t raysMarched() const;
+    /** Pixels served from the warp instead of the ray-marcher. */
+    std::uint64_t raysSaved() const;
+    /** Mean measured warp-pass milliseconds per reprojection. */
+    double meanWarpMs() const;
 
     /**
      * Submit-to-completion latency at quantile @p q in [0, 1], from
@@ -99,6 +125,13 @@ class ServerStats
     sim::Distribution &batch_size_;
     sim::Histogram &latency_log2us_;
     sim::Quantiles &latency_quantiles_;
+    sim::Counter &session_hits_;
+    sim::Counter &session_misses_;
+    sim::Counter &reproject_fallbacks_;
+    sim::Counter &rays_marched_;
+    sim::Counter &rays_saved_;
+    sim::Distribution &reproject_tiles_pct_;
+    sim::Distribution &reproject_warp_ms_;
 
     // Where (if anywhere) this block is registered, for unregistration.
     obs::MetricsRegistry *registry_ = nullptr;

@@ -1,0 +1,224 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace fusion3d::serve
+{
+
+SessionStore::SessionStore(const SessionStoreConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.maxSessions < 1)
+        fatal("SessionStore: maxSessions must be >= 1, got %zu",
+              cfg_.maxSessions);
+}
+
+SessionStore::~SessionStore()
+{
+    if (registry_)
+        registry_->unregisterCollector(registered_name_);
+}
+
+std::size_t
+SessionStore::frameBytes(const SessionFrame &frame)
+{
+    std::size_t n = sizeof(Entry) + frame.model.size();
+    if (frame.frame) {
+        const std::size_t pixels =
+            static_cast<std::size_t>(frame.frame->color.pixelCount());
+        n += pixels * (sizeof(Vec3f) + sizeof(float));
+    }
+    n += frame.tileAge.size() * sizeof(std::uint16_t);
+    return n;
+}
+
+void
+SessionStore::put(const std::string &session, SessionFrame frame,
+                  Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t new_bytes = frameBytes(frame);
+
+    auto it = entries_.find(session);
+    if (it == entries_.end()) {
+        lru_.push_front(session);
+        Entry entry;
+        entry.frame = std::move(frame);
+        entry.bytes = new_bytes;
+        entry.lastAccess = now;
+        entry.lruPos = lru_.begin();
+        entries_.emplace(session, std::move(entry));
+    } else {
+        bytes_ -= it->second.bytes;
+        it->second.frame = std::move(frame);
+        it->second.bytes = new_bytes;
+        it->second.lastAccess = now;
+        lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+    }
+    bytes_ += new_bytes;
+    enforceLimitsLocked(now);
+}
+
+std::optional<SessionFrame>
+SessionStore::get(const std::string &session, const std::string &model,
+                  std::uint64_t epoch, Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(session);
+    if (it == entries_.end()) {
+        ++miss_absent_;
+        return std::nullopt;
+    }
+
+    const double idle =
+        std::chrono::duration<double>(now - it->second.lastAccess).count();
+    if (idle > cfg_.ttlSeconds) {
+        ++miss_expired_;
+        eraseLocked(it);
+        return std::nullopt;
+    }
+
+    const SessionFrame &cached = it->second.frame;
+    if (cached.model != model || cached.epoch != epoch) {
+        // Stale provenance (model replaced, or a hot-swap bumped the
+        // epoch): the frame shows a scene the registry no longer
+        // serves. Drop it; the caller full-renders and re-seeds.
+        ++miss_stale_;
+        eraseLocked(it);
+        return std::nullopt;
+    }
+
+    ++hits_;
+    it->second.lastAccess = now;
+    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+    return cached;
+}
+
+void
+SessionStore::erase(const std::string &session)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(session);
+    if (it != entries_.end())
+        eraseLocked(it);
+}
+
+void
+SessionStore::eraseLocked(std::map<std::string, Entry>::iterator it)
+{
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lruPos);
+    entries_.erase(it);
+}
+
+void
+SessionStore::enforceLimitsLocked(Clock::time_point now)
+{
+    // TTL sweep first: expired entries should not push live ones out.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        const double idle =
+            std::chrono::duration<double>(now - it->second.lastAccess).count();
+        if (idle > cfg_.ttlSeconds) {
+            auto doomed = it++;
+            ++miss_expired_;
+            eraseLocked(doomed);
+        } else {
+            ++it;
+        }
+    }
+    // LRU eviction to the byte budget and session cap. The newest entry
+    // is evicted last — a single frame larger than the whole budget
+    // still gets cached for exactly one round trip, then goes.
+    while ((bytes_ > cfg_.maxBytes || entries_.size() > cfg_.maxSessions) &&
+           !lru_.empty()) {
+        auto it = entries_.find(lru_.back());
+        if (it == entries_.end())
+            fatal("SessionStore: LRU list out of sync with the entry map");
+        ++evictions_;
+        eraseLocked(it);
+    }
+}
+
+std::size_t
+SessionStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t
+SessionStore::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+std::uint64_t
+SessionStore::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+SessionStore::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return miss_absent_ + miss_expired_ + miss_stale_;
+}
+
+std::uint64_t
+SessionStore::missesAbsent() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return miss_absent_;
+}
+
+std::uint64_t
+SessionStore::missesExpired() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return miss_expired_;
+}
+
+std::uint64_t
+SessionStore::missesStale() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return miss_stale_;
+}
+
+std::uint64_t
+SessionStore::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+void
+SessionStore::collect(obs::MetricSink &sink) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink.gauge("serve.session.sessions", static_cast<double>(entries_.size()));
+    sink.gauge("serve.session.bytes", static_cast<double>(bytes_));
+    sink.counter("serve.session.hits", hits_);
+    sink.counter("serve.session.misses_absent", miss_absent_);
+    sink.counter("serve.session.misses_expired", miss_expired_);
+    sink.counter("serve.session.misses_stale", miss_stale_);
+    sink.counter("serve.session.evictions", evictions_);
+}
+
+void
+SessionStore::registerWith(obs::MetricsRegistry &registry,
+                           const std::string &name)
+{
+    if (registry_)
+        registry_->unregisterCollector(registered_name_);
+    registry_ = &registry;
+    registered_name_ = name;
+    registry.registerCollector(
+        name, [this](obs::MetricSink &sink) { collect(sink); });
+}
+
+} // namespace fusion3d::serve

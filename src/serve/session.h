@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Per-session frame cache of the serving layer's temporal reprojection
+ * mode. A camera *stream* (the millions-of-users workload) sees nearly
+ * the same scene frame to frame, so the server keeps each session's
+ * last rendered DepthFrame and answers the next request by warping it,
+ * ray-marching only the tiles the warp could not reconstruct
+ * (src/serve/reproject).
+ *
+ * The store is a TTL'd, memory-budgeted LRU map keyed by client
+ * session id. Every entry remembers which model (and which *epoch* of
+ * that model — registry hot-swaps bump it) produced the frame, so a
+ * deploy never leaks a stale scene into a warp. All methods are
+ * thread-safe; frames are handed out as shared_ptr so eviction never
+ * invalidates a render in flight. Lookup/eviction statistics export
+ * through obs::MetricsRegistry as "serve.session.*".
+ */
+
+#ifndef FUSION3D_SERVE_SESSION_H_
+#define FUSION3D_SERVE_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nerf/image_warp.h"
+#include "obs/metrics.h"
+
+namespace fusion3d::serve
+{
+
+/** Session-store configuration. */
+struct SessionStoreConfig
+{
+    /** Memory budget over all cached frames; LRU entries are evicted
+     *  until the store fits. */
+    std::size_t maxBytes = 64ull << 20;
+    /** Entries idle longer than this are expired on next touch. */
+    double ttlSeconds = 30.0;
+    /** Hard cap on live sessions (second LRU trigger). */
+    std::size_t maxSessions = 4096;
+};
+
+/** What the store keeps per session: the frame plus its provenance. */
+struct SessionFrame
+{
+    std::shared_ptr<const nerf::DepthFrame> frame;
+    /** Model that rendered the frame. */
+    std::string model;
+    /** Registry epoch of that model when the frame was rendered; a
+     *  hot-swap bumps the registry's epoch and invalidates this. */
+    std::uint64_t epoch = 0;
+    /** Tile size the age grid below is expressed in. */
+    int tileSize = 0;
+    /** Frames since each tile was last truly ray-marched (row-major
+     *  tilesX x tilesY); the reprojection renderer refreshes old tiles
+     *  in a staggered fashion so error cannot accumulate unboundedly. */
+    std::vector<std::uint16_t> tileAge;
+};
+
+/** Thread-safe TTL + memory-budgeted LRU session-frame store. */
+class SessionStore
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit SessionStore(const SessionStoreConfig &cfg);
+    ~SessionStore();
+
+    SessionStore(const SessionStore &) = delete;
+    SessionStore &operator=(const SessionStore &) = delete;
+
+    /**
+     * Cache @p frame as @p session's latest state, then evict expired
+     * and over-budget entries (LRU first). @p now is injectable for
+     * tests; production callers use the default.
+     */
+    void put(const std::string &session, SessionFrame frame,
+             Clock::time_point now = Clock::now());
+
+    /**
+     * Look up @p session's frame for serving a request against
+     * @p model at @p epoch. Returns the frame only when the session is
+     * present, within TTL, and its provenance matches; every other
+     * case is a classified miss (absent / expired / stale model or
+     * epoch). A hit refreshes the entry's LRU position and idle clock.
+     */
+    std::optional<SessionFrame> get(const std::string &session,
+                                    const std::string &model,
+                                    std::uint64_t epoch,
+                                    Clock::time_point now = Clock::now());
+
+    /** Drop one session (no-op when absent). */
+    void erase(const std::string &session);
+
+    /** Live sessions. */
+    std::size_t size() const;
+
+    /** Bytes currently held by cached frames. */
+    std::size_t bytes() const;
+
+    // Lookup / eviction statistics.
+    std::uint64_t hits() const;
+    std::uint64_t misses() const; ///< all classified misses combined
+    std::uint64_t missesAbsent() const;
+    std::uint64_t missesExpired() const;
+    std::uint64_t missesStale() const;
+    std::uint64_t evictions() const; ///< budget/cap LRU evictions
+
+    const SessionStoreConfig &config() const { return cfg_; }
+
+    /** Approximate bytes a cached @p frame pins (color + depth + age). */
+    static std::size_t frameBytes(const SessionFrame &frame);
+
+    /**
+     * Register with @p registry as collector @p name (serve.session.*
+     * samples). Unregisters any previous registration; the destructor
+     * unregisters automatically.
+     */
+    void registerWith(obs::MetricsRegistry &registry, const std::string &name);
+
+  private:
+    struct Entry
+    {
+        SessionFrame frame;
+        Clock::time_point lastAccess{};
+        std::size_t bytes = 0;
+        /** Position in lru_ (front = most recent). */
+        std::list<std::string>::iterator lruPos;
+    };
+
+    /** Drop expired entries, then LRU-evict to budget. Caller holds
+     *  mutex_. */
+    void enforceLimitsLocked(Clock::time_point now);
+    void eraseLocked(std::map<std::string, Entry>::iterator it);
+    void collect(obs::MetricSink &sink) const;
+
+    mutable std::mutex mutex_;
+    SessionStoreConfig cfg_;
+    std::map<std::string, Entry> entries_;
+    /** Front = most recently used. */
+    std::list<std::string> lru_;
+    std::size_t bytes_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t miss_absent_ = 0;
+    std::uint64_t miss_expired_ = 0;
+    std::uint64_t miss_stale_ = 0;
+    std::uint64_t evictions_ = 0;
+
+    obs::MetricsRegistry *registry_ = nullptr;
+    std::string registered_name_;
+};
+
+} // namespace fusion3d::serve
+
+#endif // FUSION3D_SERVE_SESSION_H_
