@@ -9,14 +9,20 @@
  * per-outcome counts.
  *
  * Usage: bench_serve_throughput [frames_per_config] [resolution]
- *            [--trace FILE] [--metrics FILE]
+ *            [--trace FILE] [--metrics FILE] [--overhead-check]
  *
  *  --trace FILE    enable the span tracer and write a Chrome
  *                  trace-event JSON (Perfetto / chrome://tracing) with
  *                  spans from the serve, thread_pool and
  *                  parallel_render layers;
  *  --metrics FILE  write a Prometheus text-exposition snapshot of the
- *                  obs::MetricsRegistry after the run.
+ *                  obs::MetricsRegistry after the run;
+ *  --overhead-check
+ *                  replace the thread sweep with an instrumentation
+ *                  cost gate: best-of-3 closed-loop fps with tracing
+ *                  off vs fully on (same workload), printed as a JSON
+ *                  line; exits 1 if full tracing costs more than 5%
+ *                  throughput.
  */
 
 #include <atomic>
@@ -119,6 +125,50 @@ measure(const serve::ModelRegistry &registry, int threads, int frames, int size,
     return p;
 }
 
+/**
+ * The tracing-overhead gate (--overhead-check): best-of-3 fps with the
+ * tracer off vs fully on, identical workload. Returns the process exit
+ * code: 1 when full tracing costs more than @p max_overhead_pct.
+ */
+int
+runOverheadCheck(const serve::ModelRegistry &registry, int frames, int size,
+                 double max_overhead_pct)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    bench::banner("Tracing overhead: closed-loop fps, tracer off vs on");
+    auto best_of_3 = [&](bool traced) {
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            tracer.clear(); // keep span buffers from growing across reps
+            tracer.setEnabled(traced);
+            const ThroughputPoint p = measure(registry, 2, frames, size);
+            best = std::max(best, p.fps);
+        }
+        tracer.setEnabled(false);
+        return best;
+    };
+    // Warm-up run: touches every code path once so neither arm pays
+    // first-run costs (page faults, lazy statics).
+    measure(registry, 2, std::max(frames / 4, 4), size);
+    const double fps_off = best_of_3(false);
+    const double fps_on = best_of_3(true);
+    const double overhead_pct =
+        fps_on > 0.0 ? 100.0 * (fps_off - fps_on) / fps_off : 100.0;
+    const bool ok = overhead_pct <= max_overhead_pct;
+    std::printf("  tracer off: %8.2f frames/s (best of 3)\n", fps_off);
+    std::printf("  tracer on:  %8.2f frames/s (best of 3)\n", fps_on);
+    std::printf("  overhead:   %8.2f %% (max %.1f %%) -> %s\n", overhead_pct,
+                max_overhead_pct, ok ? "ok" : "FAILED");
+    bench::rule();
+    std::printf("JSON: {\"bench\":\"serve_trace_overhead\",\"resolution\":%d,"
+                "\"frames\":%d,\"fps_off\":%.3f,\"fps_on\":%.3f,"
+                "\"overhead_pct\":%.3f,\"max_overhead_pct\":%.1f,"
+                "\"ok\":%s}\n",
+                size, frames, fps_off, fps_on, overhead_pct, max_overhead_pct,
+                ok ? "true" : "false");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -128,12 +178,15 @@ main(int argc, char **argv)
     int size = 48;
     std::string trace_path;
     std::string metrics_path;
+    bool overhead_check = false;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--overhead-check") == 0) {
+            overhead_check = true;
         } else if (positional == 0) {
             frames = std::atoi(argv[i]);
             ++positional;
@@ -142,7 +195,7 @@ main(int argc, char **argv)
             ++positional;
         } else {
             fatal("usage: %s [frames] [resolution] [--trace FILE] "
-                  "[--metrics FILE]",
+                  "[--metrics FILE] [--overhead-check]",
                   argv[0]);
         }
     }
@@ -163,6 +216,10 @@ main(int argc, char **argv)
 
     serve::ModelRegistry registry(/*occupancy_resolution=*/16);
     registry.add("bench", std::make_unique<nerf::NerfModel>(mc, 2024));
+
+    if (overhead_check)
+        return runOverheadCheck(registry, frames, size,
+                                /*max_overhead_pct=*/5.0);
 
     bench::banner("Serving throughput: closed-loop frames/s vs render threads");
     std::printf("%-16s %12s %15s %11s %11s %11s %12s\n", "render threads",

@@ -27,6 +27,7 @@
  * Usage: serve_loadgen [frames_per_config] [resolution]
  *            [--orbit] [--sessions N]
  *            [--trace FILE] [--metrics FILE] [--faults SPEC]
+ *            [--slo TARGET_MS] [--flight-dump DIR] [--metrics-prefix P]
  *
  *  --orbit         run the session-trace mode described above;
  *  --sessions N    number of concurrent streams in --orbit mode;
@@ -39,7 +40,22 @@
  *                  seed=7") and run both phases under it. With faults
  *                  armed, worker failures are tolerated (counted, not
  *                  fatal); the every-request-terminates and
- *                  stats-reconciliation checks still apply.
+ *                  stats-reconciliation checks still apply;
+ *  --slo TARGET_MS enable the SLO watchdog with the given p99 latency
+ *                  target (1 s windows); a breaching window dumps the
+ *                  flight recorder;
+ *  --flight-dump DIR
+ *                  write flight-recorder dumps (SLO breaches, faults,
+ *                  worker throws) as JSON files under DIR, plus one
+ *                  unconditional snapshot at exit;
+ *  --metrics-prefix P
+ *                  prefix Prometheus metric names with P (default
+ *                  "fusion3d_").
+ *
+ * Besides the mode-specific "JSON:" line, every run prints one
+ * "LATENCY_JSON:" line: p50/p99/p99.9 latency, per-outcome latency
+ * quantiles, the worst request's id (feed it to f3d_trace --request),
+ * and SLO window/breach counts when --slo is on.
  */
 
 #include <algorithm>
@@ -55,10 +71,14 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "common/fault.h"
 #include "common/logging.h"
 #include "nerf/nerf_model.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/scheduler.h"
@@ -84,13 +104,72 @@ demoModelConfig()
     return cfg;
 }
 
+/** --slo TARGET_MS; 0 leaves the watchdog off. */
+double g_slo_target_ms = 0.0;
+
 serve::ServeConfig
 baseConfig(int threads)
 {
     serve::ServeConfig sc;
     sc.renderThreads = threads;
     sc.render.sampler.maxSamplesPerRay = 24;
+    if (g_slo_target_ms > 0.0) {
+        sc.slo.enabled = true;
+        sc.slo.targetP99Ms = g_slo_target_ms;
+        sc.slo.windowSeconds = 1.0;
+        sc.slo.minWindowRequests = 8;
+    }
     return sc;
+}
+
+/**
+ * The shared latency summary: overall p50/p99/p99.9, latency quantiles
+ * per outcome that actually occurred, the worst request's id (the one
+ * to look up with `f3d_trace --request`), and the SLO window/breach
+ * counts when the watchdog is on.
+ */
+std::string
+latencySummaryJson(const serve::ServerStats &stats,
+                   const obs::SloMonitor *slo)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"p999_ms\":%.3f,"
+                  "\"worst_latency_ms\":%.3f,\"worst_request_id\":%llu",
+                  stats.p50LatencyMs(), stats.p99LatencyMs(),
+                  stats.p999LatencyMs(), stats.worstLatencyMs(),
+                  static_cast<unsigned long long>(
+                      stats.worstLatencyRequestId()));
+    std::string json = buf;
+    json += ",\"outcomes\":{";
+    bool first = true;
+    for (int i = 0; i < serve::kOutcomeCount; ++i) {
+        const auto outcome = static_cast<serve::Outcome>(i);
+        const std::uint64_t n = stats.count(outcome);
+        if (n == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf),
+                      "%s\"%s\":{\"count\":%llu,\"p50_ms\":%.3f,"
+                      "\"p99_ms\":%.3f}",
+                      first ? "" : ",", serve::outcomeName(outcome),
+                      static_cast<unsigned long long>(n),
+                      stats.outcomeLatencyQuantileMs(outcome, 0.50),
+                      stats.outcomeLatencyQuantileMs(outcome, 0.99));
+        json += buf;
+        first = false;
+    }
+    json += "}";
+    if (slo) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"slo\":{\"target_p99_ms\":%.1f,\"windows\":%llu,"
+                      "\"breaches\":%llu}",
+                      slo->config().targetP99Ms,
+                      static_cast<unsigned long long>(slo->windowsClosed()),
+                      static_cast<unsigned long long>(slo->breaches()));
+        json += buf;
+    }
+    json += "}";
+    return json;
 }
 
 /** Orbit camera for frame @p i of the stream. */
@@ -208,6 +287,8 @@ runOrbitTrace(serve::ModelRegistry &registry, int frames, int size,
         inform("wrote metrics snapshot to %s", metrics_path.c_str());
     }
     server.shutdown();
+    std::printf("LATENCY_JSON: %s\n",
+                latencySummaryJson(stats, server.slo()).c_str());
     if (!trace_path.empty()) {
         std::ofstream out(trace_path);
         if (!out)
@@ -292,6 +373,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string metrics_path;
     std::string fault_spec;
+    std::string flight_dir;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -304,6 +386,14 @@ main(int argc, char **argv)
             orbit = true;
         } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
             sessions = std::max(std::atoi(argv[++i]), 1);
+        } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+            g_slo_target_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--flight-dump") == 0 &&
+                   i + 1 < argc) {
+            flight_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-prefix") == 0 &&
+                   i + 1 < argc) {
+            obs::MetricsRegistry::global().setPrometheusPrefix(argv[++i]);
         } else if (positional == 0) {
             frames = std::max(std::atoi(argv[i]), 1);
             ++positional;
@@ -312,13 +402,36 @@ main(int argc, char **argv)
             ++positional;
         } else {
             fatal("usage: %s [frames] [resolution] [--orbit] [--sessions N] "
-                  "[--trace FILE] [--metrics FILE] [--faults SPEC]",
+                  "[--trace FILE] [--metrics FILE] [--faults SPEC] "
+                  "[--slo TARGET_MS] [--flight-dump DIR] "
+                  "[--metrics-prefix P]",
                   argv[0]);
         }
     }
 
     if (!trace_path.empty())
         obs::Tracer::instance().setEnabled(true);
+    if (!flight_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(flight_dir, ec);
+        if (ec)
+            fatal("cannot create flight-dump dir '%s': %s", flight_dir.c_str(),
+                  ec.message().c_str());
+        obs::FlightRecorder::instance().setDumpDir(flight_dir);
+        inform("flight-recorder dumps -> %s", flight_dir.c_str());
+    }
+    // One unconditional snapshot on the way out (any return path), so a
+    // clean run still leaves a black-box file to inspect.
+    struct FlightExitDump
+    {
+        bool armed = false;
+        ~FlightExitDump()
+        {
+            if (armed)
+                obs::FlightRecorder::instance().triggerDump("loadgen_exit");
+        }
+    } flight_exit;
+    flight_exit.armed = !flight_dir.empty();
 
     if (!fault_spec.empty()) {
         std::string why;
@@ -413,6 +526,8 @@ main(int argc, char **argv)
     server.shutdown();
 
     const auto &stats = server.stats();
+    std::printf("LATENCY_JSON: %s\n",
+                latencySummaryJson(stats, server.slo()).c_str());
     inform("overload summary: %llu submitted, %llu degraded, %llu shed; "
            "latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms",
            static_cast<unsigned long long>(stats.submitted()),

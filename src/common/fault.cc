@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -253,8 +254,12 @@ FaultInjector::shouldFail(const char *point)
         if (fired)
             ++ps.fires;
     }
-    if (fired)
+    if (fired) {
         obs::Tracer::instance().recordInstant("fault", point);
+        // Preserve the history leading up to the injected failure: the
+        // black box is most valuable exactly when chaos fires.
+        obs::FlightRecorder::instance().triggerDump(point);
+    }
     return fired;
 }
 

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+
 namespace fusion3d
 {
 
@@ -80,6 +82,9 @@ void
 emit(std::FILE *out, const char *prefix, const std::string &message)
 {
     static const auto epoch = std::chrono::steady_clock::now();
+    // Every emitted line also lands in the flight recorder ring, so a
+    // black-box snapshot carries the log context around a failure.
+    obs::FlightRecorder::instance().recordLog(prefix, message.c_str());
     std::lock_guard<std::mutex> lock(logMutex());
     if (timestampsEnabled()) {
         const double seconds =
@@ -125,6 +130,9 @@ panic(const char *fmt, ...)
     std::string s = vformat(fmt, args);
     va_end(args);
     emit(stderr, "panic", s);
+    // Last act before aborting: preserve the recent-history ring (a
+    // file is only written when a dump directory is configured).
+    obs::FlightRecorder::instance().triggerDump("panic");
     std::abort();
 }
 

@@ -38,15 +38,28 @@ ThreadPool::enqueue(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        // Capture the submitter's trace context so the task's spans
+        // attribute to the request that caused the work.
+        queue_.push_back({std::move(task), obs::currentTraceContext()});
     }
     cv_.notify_one();
+}
+
+void
+ThreadPool::runTask(Task &task)
+{
+    // Restore the enqueue-time context even when this thread is merely
+    // helping (runOne() inside another request's wait): span ownership
+    // follows the work, not the executing thread.
+    obs::ScopedTraceContext ctx(task.ctx);
+    F3D_TRACE_SPAN("thread_pool", "task");
+    task.fn();
 }
 
 bool
 ThreadPool::runOne()
 {
-    std::function<void()> task;
+    Task task;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (queue_.empty())
@@ -54,10 +67,7 @@ ThreadPool::runOne()
         task = std::move(queue_.front());
         queue_.pop_front();
     }
-    {
-        F3D_TRACE_SPAN("thread_pool", "task");
-        task();
-    }
+    runTask(task);
     return true;
 }
 
@@ -65,7 +75,7 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        Task task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
@@ -74,8 +84,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        F3D_TRACE_SPAN("thread_pool", "task");
-        task();
+        runTask(task);
     }
 }
 

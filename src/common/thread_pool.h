@@ -12,7 +12,12 @@
  *    (parallelFor(), waitHelping()) executes pending queue tasks while
  *    it waits, so nested parallelism cannot deadlock a fixed pool;
  *  - exceptions thrown by tasks propagate: through the future for
- *    submit(), rethrown on the calling thread for parallelFor().
+ *    submit(), rethrown on the calling thread for parallelFor();
+ *  - *trace-context propagation*: the submitter's obs::TraceContext is
+ *    captured at enqueue and restored around each task run (including
+ *    tasks picked up by an unrelated thread helping via runOne()), so
+ *    spans emitted inside pool tasks attribute to the request that
+ *    caused the work, not to whichever thread happened to execute it.
  */
 
 #ifndef FUSION3D_COMMON_THREAD_POOL_H_
@@ -26,6 +31,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace fusion3d
 {
@@ -113,11 +120,19 @@ class ThreadPool
                            int grain = 1);
 
   private:
+    /** A queued task plus the trace context captured at enqueue. */
+    struct Task
+    {
+        std::function<void()> fn;
+        obs::TraceContext ctx;
+    };
+
     void enqueue(std::function<void()> task);
+    void runTask(Task &task);
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Task> queue_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;

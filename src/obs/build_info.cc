@@ -1,0 +1,93 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+#ifndef FUSION3D_GIT_DESCRIBE
+#define FUSION3D_GIT_DESCRIBE "unknown"
+#endif
+#ifndef FUSION3D_BUILD_TYPE
+#define FUSION3D_BUILD_TYPE "unknown"
+#endif
+#ifndef FUSION3D_SANITIZE_NAME
+#define FUSION3D_SANITIZE_NAME ""
+#endif
+
+namespace fusion3d::obs
+{
+
+namespace
+{
+
+/** Initialized at static-init time: close enough to process start. */
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+std::string
+compilerVersion()
+{
+#if defined(__clang__)
+    return std::string("clang ") + std::to_string(__clang_major__) + "." +
+           std::to_string(__clang_minor__) + "." +
+           std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+           std::to_string(__GNUC_MINOR__) + "." +
+           std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+/** Strip characters that would break a Prometheus label value. */
+std::string
+labelSafe(const std::string &s)
+{
+    std::string out;
+    for (const char c : s)
+        if (c != '"' && c != '\\' && c != '\n')
+            out += c;
+    return out;
+}
+
+} // namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = []() {
+        BuildInfo b;
+        b.git = FUSION3D_GIT_DESCRIBE;
+        b.compiler = compilerVersion();
+        b.sanitizer = *FUSION3D_SANITIZE_NAME ? FUSION3D_SANITIZE_NAME : "none";
+        b.buildType = FUSION3D_BUILD_TYPE;
+        return b;
+    }();
+    return info;
+}
+
+double
+processUptimeSeconds()
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         g_process_start)
+        .count();
+}
+
+void
+registerProcessMetrics(MetricsRegistry &registry)
+{
+    registry.registerCollector("process", [](MetricSink &sink) {
+        sink.gauge("process.uptime_seconds", processUptimeSeconds());
+        const BuildInfo &b = buildInfo();
+        sink.labeledGauge("process.build_info",
+                          "git=\"" + labelSafe(b.git) + "\",compiler=\"" +
+                              labelSafe(b.compiler) + "\",sanitizer=\"" +
+                              labelSafe(b.sanitizer) + "\",build=\"" +
+                              labelSafe(b.buildType) + "\"",
+                          1.0);
+    });
+}
+
+} // namespace fusion3d::obs

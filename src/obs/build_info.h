@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Build identity and process-level metrics. Exports
+ * `process.uptime_seconds` and a `process.build_info` gauge whose
+ * labels carry git describe / compiler / sanitizer / build type, so
+ * Prometheus dumps and JSON metric lines from different runs are
+ * distinguishable. Auto-registered on the global MetricsRegistry.
+ */
+
+#ifndef FUSION3D_OBS_BUILD_INFO_H_
+#define FUSION3D_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace fusion3d::obs
+{
+
+class MetricsRegistry;
+
+/** Compile-time identity of this binary. */
+struct BuildInfo
+{
+    std::string git;       ///< `git describe --always --dirty` at configure
+    std::string compiler;  ///< e.g. "gcc 13.2.0"
+    std::string sanitizer; ///< FUSION3D_SANITIZE value ("none" if off)
+    std::string buildType; ///< CMAKE_BUILD_TYPE
+};
+
+const BuildInfo &buildInfo();
+
+/** Seconds since process start (first obs initialization). */
+double processUptimeSeconds();
+
+/** Register the `process.*` collector (idempotent). */
+void registerProcessMetrics(MetricsRegistry &registry);
+
+} // namespace fusion3d::obs
+
+#endif // FUSION3D_OBS_BUILD_INFO_H_

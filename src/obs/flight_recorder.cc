@@ -1,0 +1,333 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace fusion3d::obs
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{true};
+
+/** Escape a log line for embedding in a JSON string literal. */
+std::string
+jsonEscape(const char *text)
+{
+    std::string out;
+    for (const char *p = text; *p; ++p) {
+        const unsigned char c = static_cast<unsigned char>(*p);
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Turn a dump reason into a filename-safe token. */
+std::string
+fileToken(const std::string &reason)
+{
+    std::string out;
+    for (const char c : reason)
+        out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+    if (out.empty())
+        out = "dump";
+    return out;
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    static const bool registered = []() {
+        MetricsRegistry::global().registerCollector(
+            "flight",
+            [](MetricSink &sink) { FlightRecorder::instance().collect(sink); });
+        return true;
+    }();
+    (void)registered;
+    return recorder;
+}
+
+void
+FlightRecorder::setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+    Tracer::instance().setFlightCapture(on);
+}
+
+bool
+FlightRecorder::enabled() const
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::setDumpDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(dump_mutex_);
+    dump_dir_ = std::move(dir);
+}
+
+void
+FlightRecorder::setMaxDumps(std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(dump_mutex_);
+    max_dumps_ = n;
+}
+
+FlightRecorder::Ring &
+FlightRecorder::localRing()
+{
+    // Rings are owned by the registry for the process lifetime, so the
+    // thread_local pointer stays valid after its thread exits and the
+    // joined thread's recent history still appears in snapshots.
+    thread_local Ring *ring = nullptr;
+    if (!ring) {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        rings_.push_back(
+            std::make_unique<Ring>(static_cast<std::uint32_t>(rings_.size())));
+        ring = rings_.back().get();
+    }
+    return *ring;
+}
+
+void
+FlightRecorder::append(const Entry &entry)
+{
+    Ring &ring = localRing();
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    ring.slots[ring.head % kRingCapacity] = entry;
+    ++ring.head;
+}
+
+void
+FlightRecorder::recordEvent(const TraceEvent &ev)
+{
+    Entry entry;
+    entry.category = ev.category;
+    entry.name = ev.name;
+    entry.t0Ns = ev.t0Ns;
+    entry.t1Ns = ev.t1Ns;
+    entry.requestId = ev.requestId;
+    entry.spanId = ev.spanId;
+    entry.parentId = ev.parentId;
+    entry.arg = ev.arg;
+    entry.hasArg = ev.hasArg;
+    append(entry);
+}
+
+void
+FlightRecorder::recordLog(const char *level, const char *text)
+{
+    if (!enabled())
+        return;
+    Entry entry;
+    entry.isLog = true;
+    entry.t0Ns = Tracer::instance().nowNs();
+    entry.t1Ns = entry.t0Ns;
+    std::snprintf(entry.level, sizeof(entry.level), "%s", level);
+    std::snprintf(entry.text, sizeof(entry.text), "%s", text);
+    append(entry);
+}
+
+void
+FlightRecorder::snapshotJson(std::ostream &os, const std::string &reason) const
+{
+    // Copy out the valid slots of every ring first (each under its own
+    // mutex, briefly), then serialize ordered by start time.
+    struct Tagged
+    {
+        Entry entry;
+        std::uint32_t tid;
+    };
+    std::vector<Tagged> entries;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (const auto &ring : rings_) {
+            std::lock_guard<std::mutex> ring_lock(ring->mutex);
+            const std::uint64_t n = std::min<std::uint64_t>(
+                ring->head, static_cast<std::uint64_t>(kRingCapacity));
+            const std::uint64_t begin = ring->head - n;
+            for (std::uint64_t i = 0; i < n; ++i)
+                entries.push_back(
+                    {ring->slots[(begin + i) % kRingCapacity], ring->tid});
+        }
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.entry.t0Ns < b.entry.t0Ns;
+                     });
+
+    os << "{\"reason\":\"" << jsonEscape(reason.c_str()) << "\"";
+    char line[384];
+    std::snprintf(line, sizeof(line),
+                  ",\"captured_ns\":%" PRIu64 ",\"recorded\":%" PRIu64,
+                  Tracer::instance().nowNs(), recorded());
+    os << line << ",\"events\":[";
+    bool first = true;
+    for (const Tagged &t : entries) {
+        if (t.entry.isLog)
+            continue;
+        std::snprintf(line, sizeof(line),
+                      "%s{\"tid\":%u,\"cat\":\"%s\",\"name\":\"%s\","
+                      "\"t0\":%" PRIu64 ",\"t1\":%" PRIu64 ",\"req\":%" PRIu64
+                      ",\"span\":%" PRIu64 ",\"parent\":%" PRIu64,
+                      first ? "" : ",", t.tid, t.entry.category, t.entry.name,
+                      t.entry.t0Ns, t.entry.t1Ns, t.entry.requestId,
+                      t.entry.spanId, t.entry.parentId);
+        os << line;
+        if (t.entry.hasArg) {
+            std::snprintf(line, sizeof(line), ",\"value\":%" PRIu64,
+                          t.entry.arg);
+            os << line;
+        }
+        os << '}';
+        first = false;
+    }
+    os << "],\"logs\":[";
+    first = true;
+    for (const Tagged &t : entries) {
+        if (!t.entry.isLog)
+            continue;
+        std::snprintf(line, sizeof(line),
+                      "%s{\"tid\":%u,\"t\":%" PRIu64 ",\"level\":\"%s\"",
+                      first ? "" : ",", t.tid, t.entry.t0Ns, t.entry.level);
+        os << line << ",\"msg\":\"" << jsonEscape(t.entry.text) << "\"}";
+        first = false;
+    }
+    os << "]}\n";
+}
+
+void
+FlightRecorder::triggerDump(const std::string &reason)
+{
+    {
+        std::lock_guard<std::mutex> lock(dump_mutex_);
+        if (dumps_ >= max_dumps_) {
+            ++suppressed_;
+            return;
+        }
+        ++dumps_;
+    }
+    std::ostringstream os;
+    snapshotJson(os, reason);
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(dump_mutex_);
+        last_snapshot_ = os.str();
+        last_reason_ = reason;
+        if (!dump_dir_.empty())
+            path = dump_dir_ + "/flight_" + std::to_string(dumps_) + "_" +
+                   fileToken(reason) + ".json";
+    }
+    if (!path.empty()) {
+        std::ofstream out(path);
+        if (out)
+            out << os.str();
+        else
+            std::fprintf(stderr, "warn: flight recorder could not write %s\n",
+                         path.c_str());
+    }
+}
+
+std::uint64_t
+FlightRecorder::dumps() const
+{
+    std::lock_guard<std::mutex> lock(dump_mutex_);
+    return dumps_;
+}
+
+std::uint64_t
+FlightRecorder::suppressedDumps() const
+{
+    std::lock_guard<std::mutex> lock(dump_mutex_);
+    return suppressed_;
+}
+
+std::string
+FlightRecorder::lastSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(dump_mutex_);
+    return last_snapshot_;
+}
+
+std::string
+FlightRecorder::lastReason() const
+{
+    std::lock_guard<std::mutex> lock(dump_mutex_);
+    return last_reason_;
+}
+
+std::uint64_t
+FlightRecorder::recorded() const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    std::uint64_t n = 0;
+    for (const auto &ring : rings_) {
+        std::lock_guard<std::mutex> ring_lock(ring->mutex);
+        n += ring->head;
+    }
+    return n;
+}
+
+void
+FlightRecorder::collect(MetricSink &sink) const
+{
+    sink.counter("flight.recorded", recorded());
+    std::lock_guard<std::mutex> lock(dump_mutex_);
+    sink.counter("flight.dumps", dumps_);
+    sink.counter("flight.suppressed_dumps", suppressed_);
+    sink.gauge("flight.enabled",
+               g_enabled.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+}
+
+void
+FlightRecorder::reset()
+{
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        for (auto &ring : rings_) {
+            std::lock_guard<std::mutex> ring_lock(ring->mutex);
+            ring->head = 0;
+        }
+    }
+    std::lock_guard<std::mutex> lock(dump_mutex_);
+    dumps_ = 0;
+    suppressed_ = 0;
+    last_snapshot_.clear();
+    last_reason_.clear();
+}
+
+} // namespace fusion3d::obs

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Black-box flight recorder: a bounded ring of the most recent spans,
+ * instants, and log lines, kept even when full tracing is disabled so
+ * that when something goes wrong the immediate history is still there.
+ *
+ * Design:
+ *  - each thread appends to its own fixed-size ring; a ring is guarded
+ *    by its own mutex that is only ever contended by a snapshot reader
+ *    (dump / test), so the hot path is an uncontended lock + a struct
+ *    copy — cheap enough to leave on in production and TSan-clean by
+ *    construction;
+ *  - rings are registered centrally and owned for the process
+ *    lifetime, so history from joined pool threads survives;
+ *  - `triggerDump(reason)` captures a JSON snapshot of every ring
+ *    (optionally writing `flight_<seq>_<reason>.json` under a dump
+ *    directory) and is wired to the three failure signals: a fault
+ *    point firing (common/fault), a serve worker throwing, and an SLO
+ *    window breaching (obs/slo). Dumps are capped by setMaxDumps so a
+ *    chaos storm cannot flood the disk.
+ *
+ * Entries reference the same static-string category/name literals as
+ * the tracer; log lines are truncated into a fixed in-entry buffer so
+ * recording never allocates.
+ */
+
+#ifndef FUSION3D_OBS_FLIGHT_RECORDER_H_
+#define FUSION3D_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fusion3d::obs
+{
+
+class MetricSink;
+
+/** Process-wide recent-history ring. All methods are thread-safe. */
+class FlightRecorder
+{
+  public:
+    /** Entries each thread ring holds before overwriting the oldest. */
+    static constexpr std::size_t kRingCapacity = 1024;
+    /** Log-line text is truncated to this many bytes (incl. NUL). */
+    static constexpr std::size_t kMaxLogText = 104;
+
+    static FlightRecorder &instance();
+
+    /** On by default. Disabling also clears the tracer's flight bit. */
+    void setEnabled(bool on);
+    bool enabled() const;
+
+    /** Directory for auto-dump files ("" = snapshot in memory only). */
+    void setDumpDir(std::string dir);
+
+    /** Cap on auto-dumps per process (further triggers are counted). */
+    void setMaxDumps(std::uint64_t n);
+
+    /** Append a completed span/instant (called by Tracer::recordSpan). */
+    void recordEvent(const TraceEvent &ev);
+
+    /** Append a log line (called by common/logging). */
+    void recordLog(const char *level, const char *text);
+
+    /**
+     * Capture a snapshot now and, when a dump dir is set, write it to
+     * `flight_<seq>_<reason>.json`. Rate-limited by setMaxDumps; the
+     * latest snapshot is retrievable via lastSnapshot().
+     */
+    void triggerDump(const std::string &reason);
+
+    /** Serialize the ring contents as JSON (newest kRingCapacity per
+     *  thread, ordered by start time). */
+    void snapshotJson(std::ostream &os, const std::string &reason) const;
+
+    std::uint64_t dumps() const;
+    std::uint64_t suppressedDumps() const;
+    std::string lastSnapshot() const;
+    std::string lastReason() const;
+
+    /** Total entries ever recorded (spans + instants + log lines). */
+    std::uint64_t recorded() const;
+
+    /** flight.* gauges/counters for a MetricsRegistry collector. */
+    void collect(MetricSink &sink) const;
+
+    /** Rewind rings and dump counters (tests; no concurrent writers). */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        const char *category = nullptr; ///< null for log entries
+        const char *name = nullptr;
+        std::uint64_t t0Ns = 0;
+        std::uint64_t t1Ns = 0;
+        std::uint64_t requestId = 0;
+        std::uint64_t spanId = 0;
+        std::uint64_t parentId = 0;
+        std::uint64_t arg = 0;
+        bool hasArg = false;
+        bool isLog = false;
+        char level[8] = {0};
+        char text[kMaxLogText] = {0};
+    };
+
+    struct Ring
+    {
+        explicit Ring(std::uint32_t tid_) : tid(tid_)
+        {
+            slots.resize(kRingCapacity);
+        }
+
+        mutable std::mutex mutex;
+        std::uint32_t tid;
+        std::vector<Entry> slots;
+        /** Total entries ever appended; valid slots = min(head, cap). */
+        std::uint64_t head = 0;
+    };
+
+    FlightRecorder() = default;
+
+    Ring &localRing();
+    void append(const Entry &entry);
+
+    mutable std::mutex registry_mutex_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+
+    mutable std::mutex dump_mutex_;
+    std::string dump_dir_;
+    std::uint64_t max_dumps_ = 8;
+    std::uint64_t dumps_ = 0;
+    std::uint64_t suppressed_ = 0;
+    std::string last_snapshot_;
+    std::string last_reason_;
+};
+
+} // namespace fusion3d::obs
+
+#endif // FUSION3D_OBS_FLIGHT_RECORDER_H_

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "obs/build_info.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -53,13 +55,34 @@ MetricsRegistry::snapshot() const
 std::string
 MetricsRegistry::prometheusName(const std::string &name)
 {
-    std::string out = "fusion3d_";
+    return prometheusName(name, "fusion3d_");
+}
+
+std::string
+MetricsRegistry::prometheusName(const std::string &name,
+                                const std::string &prefix)
+{
+    std::string out = prefix;
     for (const char c : name) {
         const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                         (c >= '0' && c <= '9') || c == '_' || c == ':';
         out.push_back(ok ? c : '_');
     }
     return out;
+}
+
+void
+MetricsRegistry::setPrometheusPrefix(std::string prefix)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    prometheus_prefix_ = std::move(prefix);
+}
+
+std::string
+MetricsRegistry::prometheusPrefix() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return prometheus_prefix_;
 }
 
 namespace
@@ -98,10 +121,11 @@ jsonEscape(const std::string &s)
 void
 MetricsRegistry::exportPrometheus(std::ostream &os) const
 {
+    const std::string prefix = prometheusPrefix();
     const std::vector<MetricSample> samples = snapshot();
     std::set<std::string> typed;
     for (const MetricSample &s : samples) {
-        const std::string name = prometheusName(s.name);
+        const std::string name = prometheusName(s.name, prefix);
         if (typed.insert(name).second) {
             os << "# TYPE " << name << ' '
                << (s.kind == MetricKind::counter ? "counter" : "gauge") << '\n';
@@ -141,6 +165,11 @@ MetricsRegistry &
 MetricsRegistry::global()
 {
     static MetricsRegistry registry;
+    static const bool process_registered = []() {
+        registerProcessMetrics(registry);
+        return true;
+    }();
+    (void)process_registered;
     return registry;
 }
 

@@ -72,6 +72,14 @@ class MetricSink
             {std::move(name), std::move(labels), value, MetricKind::counter});
     }
 
+    /** Gauge with a pre-formatted label body (e.g. build-info). */
+    void
+    labeledGauge(std::string name, std::string labels, double value)
+    {
+        out_.push_back(
+            {std::move(name), std::move(labels), value, MetricKind::gauge});
+    }
+
   private:
     std::vector<MetricSample> &out_;
 };
@@ -110,15 +118,32 @@ class MetricsRegistry
     /** One-line JSON object keyed by raw dotted names. */
     void exportJsonLine(std::ostream &os) const;
 
-    /** The process-wide registry. */
+    /**
+     * The process-wide registry. The `process.*` collector (uptime +
+     * build info, obs/build_info.h) is auto-registered on first use.
+     */
     static MetricsRegistry &global();
 
-    /** Sanitize a dotted name into a Prometheus metric name. */
+    /**
+     * Metric-name prefix used by exportPrometheus ("fusion3d_" by
+     * default; "" removes the prefix entirely). Lets dumps from
+     * different deployments of the same binary be distinguished.
+     */
+    void setPrometheusPrefix(std::string prefix);
+    std::string prometheusPrefix() const;
+
+    /** Sanitize a dotted name into a Prometheus metric name, using the
+     *  default "fusion3d_" prefix. */
     static std::string prometheusName(const std::string &name);
+
+    /** Same, with an explicit prefix. */
+    static std::string prometheusName(const std::string &name,
+                                      const std::string &prefix);
 
   private:
     mutable std::mutex mutex_;
     std::vector<std::pair<std::string, Collector>> collectors_;
+    std::string prometheus_prefix_ = "fusion3d_";
 };
 
 } // namespace fusion3d::obs

@@ -1,0 +1,180 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fusion3d::obs
+{
+
+namespace
+{
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+SloMonitor::SloMonitor(const SloConfig &config, BreachCallback on_breach)
+    : config_(config), on_breach_(std::move(on_breach))
+{
+}
+
+SloMonitor::~SloMonitor()
+{
+    if (registry_)
+        registry_->unregisterCollector(collector_name_);
+}
+
+void
+SloMonitor::record(double latency_ms, bool error, std::uint64_t request_id)
+{
+    recordAt(steadyNowNs(), latency_ms, error, request_id);
+}
+
+void
+SloMonitor::recordAt(std::uint64_t now_ns, double latency_ms, bool error,
+                     std::uint64_t request_id)
+{
+    SloWindowReport closed;
+    bool breached = false;
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        const std::uint64_t window_ns =
+            static_cast<std::uint64_t>(config_.windowSeconds * 1e9);
+        if (!window_open_) {
+            window_open_ = true;
+            window_end_ns_ = now_ns + window_ns;
+        } else if (now_ns >= window_end_ns_) {
+            breached = closeWindowLocked(closed);
+            window_open_ = true;
+            window_end_ns_ = now_ns + window_ns;
+        }
+        ++window_requests_;
+        ++total_requests_;
+        if (error) {
+            ++window_errors_;
+            ++total_errors_;
+        }
+        if (latency_ms > config_.targetP99Ms) {
+            ++window_over_target_;
+            ++total_over_target_;
+        }
+        window_latency_.sample(latency_ms);
+        if (latency_ms >= window_worst_ms_) {
+            window_worst_ms_ = latency_ms;
+            window_worst_id_ = request_id;
+        }
+    }
+    // Invoke outside the lock: the callback may dump the flight
+    // recorder or log, both of which take their own locks.
+    if (breached && on_breach_)
+        on_breach_(closed);
+}
+
+void
+SloMonitor::closeWindow()
+{
+    SloWindowReport closed;
+    bool breached = false;
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        if (!window_open_ || window_requests_ == 0)
+            return;
+        breached = closeWindowLocked(closed);
+        window_open_ = false;
+    }
+    if (breached && on_breach_)
+        on_breach_(closed);
+}
+
+bool
+SloMonitor::closeWindowLocked(SloWindowReport &report)
+{
+    report.requests = window_requests_;
+    report.errors = window_errors_;
+    report.overTarget = window_over_target_;
+    report.p99Ms = window_latency_.quantile(0.99);
+    report.worstRequestId = window_worst_id_;
+    report.worstLatencyMs = window_worst_ms_;
+    const double n = static_cast<double>(std::max<std::uint64_t>(
+        window_requests_, 1));
+    report.latencyBurn = config_.latencyBudget > 0.0
+                             ? (static_cast<double>(window_over_target_) / n) /
+                                   config_.latencyBudget
+                             : 0.0;
+    report.errorBurn = config_.errorBudget > 0.0
+                           ? (static_cast<double>(window_errors_) / n) /
+                                 config_.errorBudget
+                           : 0.0;
+    report.breached =
+        window_requests_ >= config_.minWindowRequests &&
+        (report.latencyBurn >= config_.burnThreshold ||
+         report.errorBurn >= config_.burnThreshold);
+    ++windows_;
+    if (report.breached)
+        ++breaches_;
+    last_ = report;
+    window_requests_ = 0;
+    window_errors_ = 0;
+    window_over_target_ = 0;
+    window_worst_id_ = 0;
+    window_worst_ms_ = 0.0;
+    window_latency_.reset();
+    return report.breached;
+}
+
+std::uint64_t
+SloMonitor::windowsClosed() const
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    return windows_;
+}
+
+std::uint64_t
+SloMonitor::breaches() const
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    return breaches_;
+}
+
+SloWindowReport
+SloMonitor::lastWindow() const
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    return last_;
+}
+
+void
+SloMonitor::registerWith(MetricsRegistry &registry, const std::string &name)
+{
+    registry_ = &registry;
+    collector_name_ = name;
+    registry.registerCollector(name,
+                               [this](MetricSink &sink) { collect(sink); });
+}
+
+void
+SloMonitor::collect(MetricSink &sink) const
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    sink.gauge("slo.target_p99_ms", config_.targetP99Ms);
+    sink.gauge("slo.budget.latency", config_.latencyBudget);
+    sink.gauge("slo.budget.error", config_.errorBudget);
+    sink.counter("slo.requests", static_cast<double>(total_requests_));
+    sink.counter("slo.errors", static_cast<double>(total_errors_));
+    sink.counter("slo.over_target", static_cast<double>(total_over_target_));
+    sink.counter("slo.windows", static_cast<double>(windows_));
+    sink.counter("slo.breaches", static_cast<double>(breaches_));
+    sink.gauge("slo.last.latency_burn_rate", last_.latencyBurn);
+    sink.gauge("slo.last.error_burn_rate", last_.errorBurn);
+    sink.gauge("slo.last.p99_ms", last_.p99Ms);
+    sink.gauge("slo.last.requests", static_cast<double>(last_.requests));
+}
+
+} // namespace fusion3d::obs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Windowed SLO burn-rate watchdog over the streaming quantile
+ * estimator. The serving layer feeds it one (latency, error) sample
+ * per finished request; the monitor closes fixed-duration windows and
+ * computes two burn rates against the configured budgets:
+ *
+ *  - *latency burn*: fraction of window requests slower than the
+ *    target p99, divided by the latency budget (0.01 = "1 % of
+ *    requests may be over target"). A burn rate of 1.0 means the
+ *    budget is being consumed exactly as provisioned; >= burnThreshold
+ *    (default 2x) trips a breach.
+ *  - *error burn*: window error rate divided by the error budget.
+ *
+ * A breach invokes the callback (outside the monitor lock) — the serve
+ * scheduler wires it to a FlightRecorder dump so the spans of the
+ * offending window are preserved — and everything is exported as
+ * `slo.*` metrics through a MetricsRegistry collector.
+ */
+
+#ifndef FUSION3D_OBS_SLO_H_
+#define FUSION3D_OBS_SLO_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/quantiles.h"
+
+namespace fusion3d::obs
+{
+
+/** Targets and budgets; carried in serve::ServeConfig. */
+struct SloConfig
+{
+    bool enabled = false;
+    /** Latency objective: p99 of completed requests <= this. */
+    double targetP99Ms = 50.0;
+    /** Fraction of requests allowed over target (1 - 0.99). */
+    double latencyBudget = 0.01;
+    /** Fraction of requests allowed to fail or be rejected. */
+    double errorBudget = 0.001;
+    /** Burn-rate evaluation window. */
+    double windowSeconds = 5.0;
+    /** Burn rate at or above which a window counts as a breach. */
+    double burnThreshold = 2.0;
+    /** Windows with fewer requests than this never breach (noise). */
+    std::uint64_t minWindowRequests = 20;
+};
+
+/** Summary of one closed window, passed to the breach callback. */
+struct SloWindowReport
+{
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t overTarget = 0;
+    double p99Ms = 0.0;
+    double latencyBurn = 0.0;
+    double errorBurn = 0.0;
+    bool breached = false;
+    /** Request id of the slowest request observed in the window. */
+    std::uint64_t worstRequestId = 0;
+    double worstLatencyMs = 0.0;
+};
+
+/** Thread-safe; one instance per RenderServer. */
+class SloMonitor
+{
+  public:
+    using BreachCallback = std::function<void(const SloWindowReport &)>;
+
+    explicit SloMonitor(const SloConfig &config,
+                        BreachCallback on_breach = nullptr);
+    ~SloMonitor();
+
+    /** Record one finished request (window timestamped "now"). */
+    void record(double latency_ms, bool error, std::uint64_t request_id = 0);
+
+    /** Deterministic-clock variant for tests: @p now_ns is an
+     *  arbitrary monotonic nanosecond timestamp. */
+    void recordAt(std::uint64_t now_ns, double latency_ms, bool error,
+                  std::uint64_t request_id = 0);
+
+    /** Force the current partial window closed (shutdown/tests). */
+    void closeWindow();
+
+    std::uint64_t windowsClosed() const;
+    std::uint64_t breaches() const;
+    SloWindowReport lastWindow() const;
+
+    /** Register/unregister a `slo.*` collector with @p registry. */
+    void registerWith(MetricsRegistry &registry, const std::string &name);
+    void collect(MetricSink &sink) const;
+
+    const SloConfig &config() const { return config_; }
+
+  private:
+    /** Close the window under lock_; returns true when it breached. */
+    bool closeWindowLocked(SloWindowReport &report);
+
+    const SloConfig config_;
+    BreachCallback on_breach_;
+
+    mutable std::mutex lock_;
+    // Current window.
+    bool window_open_ = false;
+    std::uint64_t window_end_ns_ = 0;
+    std::uint64_t window_requests_ = 0;
+    std::uint64_t window_errors_ = 0;
+    std::uint64_t window_over_target_ = 0;
+    std::uint64_t window_worst_id_ = 0;
+    double window_worst_ms_ = 0.0;
+    Quantiles window_latency_{"slo_window"};
+    // Lifetime totals.
+    std::uint64_t total_requests_ = 0;
+    std::uint64_t total_errors_ = 0;
+    std::uint64_t total_over_target_ = 0;
+    std::uint64_t windows_ = 0;
+    std::uint64_t breaches_ = 0;
+    SloWindowReport last_;
+
+    MetricsRegistry *registry_ = nullptr;
+    std::string collector_name_;
+};
+
+} // namespace fusion3d::obs
+
+#endif // FUSION3D_OBS_SLO_H_

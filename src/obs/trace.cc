@@ -3,8 +3,37 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
+
 namespace fusion3d::obs
 {
+
+namespace
+{
+
+thread_local TraceContext t_context;
+
+} // namespace
+
+const TraceContext &
+currentTraceContext()
+{
+    return t_context;
+}
+
+void
+setCurrentTraceContext(const TraceContext &ctx)
+{
+    t_context = ctx;
+}
+
+std::uint64_t
+traceExchangeParent(std::uint64_t parent_span_id)
+{
+    const std::uint64_t prev = t_context.parentSpanId;
+    t_context.parentSpanId = parent_span_id;
+    return prev;
+}
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -51,50 +80,59 @@ void
 Tracer::record(const char *category, const char *name, std::uint64_t t0_ns,
                std::uint64_t t1_ns)
 {
-    if (!enabled())
+    if (!capturing())
         return;
-    ThreadBuffer &buf = localBuffer();
-    const std::size_t n = buf.size.load(std::memory_order_relaxed);
-    if (n >= kThreadCapacity) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-        return;
-    }
-    TraceEvent &ev = buf.events[n];
-    ev.category = category;
-    ev.name = name;
-    ev.t0Ns = t0_ns;
-    ev.t1Ns = t1_ns;
-    ev.hasArg = false;
-    // Publish: readers acquire `size` and may then read slots < n+1.
-    buf.size.store(n + 1, std::memory_order_release);
+    recordSpan(category, name, t0_ns, t1_ns, nextSpanId(),
+               t_context.parentSpanId, 0, false);
 }
 
 void
 Tracer::recordArg(const char *category, const char *name, std::uint64_t t0_ns,
                   std::uint64_t t1_ns, std::uint64_t arg)
 {
-    if (!enabled())
+    if (!capturing())
         return;
-    ThreadBuffer &buf = localBuffer();
-    const std::size_t n = buf.size.load(std::memory_order_relaxed);
-    if (n >= kThreadCapacity) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+    recordSpan(category, name, t0_ns, t1_ns, nextSpanId(),
+               t_context.parentSpanId, arg, true);
+}
+
+void
+Tracer::recordSpan(const char *category, const char *name, std::uint64_t t0_ns,
+                   std::uint64_t t1_ns, std::uint64_t span_id,
+                   std::uint64_t parent_id, std::uint64_t arg, bool has_arg)
+{
+    const unsigned mask = capture_.load(std::memory_order_relaxed);
+    if (!mask)
         return;
-    }
-    TraceEvent &ev = buf.events[n];
+    TraceEvent ev;
     ev.category = category;
     ev.name = name;
     ev.t0Ns = t0_ns;
     ev.t1Ns = t1_ns;
     ev.arg = arg;
-    ev.hasArg = true;
-    buf.size.store(n + 1, std::memory_order_release);
+    ev.hasArg = has_arg;
+    ev.requestId = t_context.requestId;
+    ev.spanId = span_id;
+    ev.parentId = parent_id;
+    if (mask & kCaptureTrace) {
+        ThreadBuffer &buf = localBuffer();
+        const std::size_t n = buf.size.load(std::memory_order_relaxed);
+        if (n >= kThreadCapacity) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            buf.events[n] = ev;
+            // Publish: readers acquire `size`, then read slots < n+1.
+            buf.size.store(n + 1, std::memory_order_release);
+        }
+    }
+    if (mask & kCaptureFlight)
+        FlightRecorder::instance().recordEvent(ev);
 }
 
 void
 Tracer::recordInstant(const char *category, const char *name)
 {
-    if (!enabled())
+    if (!capturing())
         return;
     const std::uint64_t now = nowNs();
     record(category, name, now, now);
@@ -121,8 +159,9 @@ Tracer::writeChromeTrace(std::ostream &os) const
 {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-    char line[256];
+    char line[384];
     bool first = true;
+    std::uint64_t dropped_total = dropped_.load(std::memory_order_relaxed);
     for (const auto &buf : buffers_) {
         const std::size_t n = buf->size.load(std::memory_order_acquire);
         for (std::size_t i = 0; i < n; ++i) {
@@ -136,16 +175,46 @@ Tracer::writeChromeTrace(std::ostream &os) const
                           static_cast<double>(ev.t0Ns) / 1e3,
                           static_cast<double>(ev.t1Ns - ev.t0Ns) / 1e3);
             os << line;
-            if (ev.hasArg) {
-                std::snprintf(line, sizeof(line),
-                              ",\"args\":{\"value\":%" PRIu64 "}", ev.arg);
-                os << line;
+            if (ev.hasArg || ev.requestId != 0) {
+                os << ",\"args\":{";
+                bool first_arg = true;
+                if (ev.hasArg) {
+                    std::snprintf(line, sizeof(line), "\"value\":%" PRIu64,
+                                  ev.arg);
+                    os << line;
+                    first_arg = false;
+                }
+                if (ev.requestId != 0) {
+                    std::snprintf(line, sizeof(line),
+                                  "%s\"req\":%" PRIu64 ",\"span\":%" PRIu64
+                                  ",\"parent\":%" PRIu64,
+                                  first_arg ? "" : ",", ev.requestId, ev.spanId,
+                                  ev.parentId);
+                    os << line;
+                }
+                os << '}';
             }
             os << '}';
             first = false;
         }
     }
-    os << "]}\n";
+    // Trailing metadata (ignored by Perfetto, read by tools/f3d_trace).
+    std::snprintf(line, sizeof(line), "],\"f3dDroppedSpans\":%" PRIu64 "}\n",
+                  dropped_total);
+    os << line;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    std::vector<TraceEvent> out;
+    for (const auto &buf : buffers_) {
+        const std::size_t n = buf->size.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(buf->events[i]);
+    }
+    return out;
 }
 
 void

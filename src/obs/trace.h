@@ -9,11 +9,19 @@
  *    (writeChromeTrace) see a consistent prefix without ever blocking
  *    a recording thread;
  *  - *cheap when disabled*: every instrumentation site first checks a
- *    relaxed atomic flag — one load and a predictable branch;
+ *    relaxed atomic capture mask — one load and a predictable branch;
+ *  - *request-scoped*: a thread-local TraceContext carries the owning
+ *    request id and the innermost open span id, so every span lands in
+ *    one causal tree per request (reassembled by tools/f3d_trace);
  *  - *compiled out entirely* with -DFUSION3D_TRACE_DISABLED, turning
  *    the F3D_TRACE_* macros into no-ops;
  *  - span category/name are `const char *` with static storage
  *    duration (string literals), so recording never allocates.
+ *
+ * The capture mask has two independent consumers: bit 0 is the full
+ * tracer (thread buffers -> Chrome dump, off by default), bit 1 the
+ * always-on FlightRecorder ring of recent history (see
+ * obs/flight_recorder.h). A span is timed when either is on.
  *
  * `fusion3d::obs` is the bottom of the library dependency order: it
  * uses only the standard library, so even `common` (ThreadPool) can be
@@ -44,6 +52,52 @@ struct TraceEvent
     /** Optional numeric payload (batch size, row index, request id). */
     std::uint64_t arg = 0;
     bool hasArg = false;
+    /** Owning request (0 = not request-scoped). */
+    std::uint64_t requestId = 0;
+    /** This span's id (0 = anonymous) and its parent span (0 = root). */
+    std::uint64_t spanId = 0;
+    std::uint64_t parentId = 0;
+};
+
+/**
+ * Causal context of the current thread: which request the work belongs
+ * to and which open span is the innermost parent. Minted by
+ * RenderServer::submit, carried in RenderRequest, and captured /
+ * restored across ThreadPool task boundaries so spans on worker
+ * threads still attribute to the submitting request.
+ */
+struct TraceContext
+{
+    std::uint64_t requestId = 0;
+    std::uint64_t parentSpanId = 0;
+};
+
+/** The calling thread's current context ({0,0} outside any request). */
+const TraceContext &currentTraceContext();
+
+/** Overwrite the calling thread's context (prefer ScopedTraceContext). */
+void setCurrentTraceContext(const TraceContext &ctx);
+
+/** Swap the innermost-parent span id, returning the previous value. */
+std::uint64_t traceExchangeParent(std::uint64_t parent_span_id);
+
+/** RAII: install @p ctx on this thread, restore the old context on exit. */
+class ScopedTraceContext
+{
+  public:
+    explicit ScopedTraceContext(const TraceContext &ctx)
+        : prev_(currentTraceContext())
+    {
+        setCurrentTraceContext(ctx);
+    }
+
+    ~ScopedTraceContext() { setCurrentTraceContext(prev_); }
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) = delete;
+
+  private:
+    TraceContext prev_;
 };
 
 /** Process-wide span collector. All methods are thread-safe. */
@@ -53,15 +107,36 @@ class Tracer
     /** Events each thread can hold; further spans are dropped. */
     static constexpr std::size_t kThreadCapacity = 1 << 16;
 
+    /** Capture-mask bits (see file comment). */
+    static constexpr unsigned kCaptureTrace = 1u;
+    static constexpr unsigned kCaptureFlight = 2u;
+
     static Tracer &instance();
 
     /** Start/stop recording. Spans while disabled cost one atomic load. */
-    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    void setEnabled(bool on) { setCaptureBit(kCaptureTrace, on); }
 
     bool
     enabled() const
     {
-        return enabled_.load(std::memory_order_relaxed);
+        return (capture_.load(std::memory_order_relaxed) & kCaptureTrace) != 0;
+    }
+
+    /** FlightRecorder feed (on by default; FlightRecorder::setEnabled). */
+    void setFlightCapture(bool on) { setCaptureBit(kCaptureFlight, on); }
+
+    /** True when any consumer (tracer or flight recorder) wants spans. */
+    bool
+    capturing() const
+    {
+        return capture_.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** Fresh process-unique span id (never 0). */
+    std::uint64_t
+    nextSpanId()
+    {
+        return next_span_id_.fetch_add(1, std::memory_order_relaxed);
     }
 
     /** Nanoseconds since the tracer epoch (steady clock). */
@@ -74,6 +149,8 @@ class Tracer
      * Record one completed span on the calling thread's buffer.
      * @p category and @p name must have static storage duration.
      * No-op when disabled; drops (and counts) when the buffer is full.
+     * The span is tagged with the thread's current TraceContext and a
+     * fresh span id, parented to the innermost open scoped span.
      */
     void record(const char *category, const char *name, std::uint64_t t0_ns,
                 std::uint64_t t1_ns);
@@ -83,8 +160,18 @@ class Tracer
                    std::uint64_t t1_ns, std::uint64_t arg);
 
     /**
+     * Fully explicit variant: record a span with the given span/parent
+     * ids (0 parent = tree root). Used by the serve scheduler to emit
+     * the per-request root span with the id minted at submit time.
+     */
+    void recordSpan(const char *category, const char *name,
+                    std::uint64_t t0_ns, std::uint64_t t1_ns,
+                    std::uint64_t span_id, std::uint64_t parent_id,
+                    std::uint64_t arg, bool has_arg);
+
+    /**
      * Record a zero-duration marker span at "now" (e.g. a fault fire or
-     * a breaker trip). One enabled() check when tracing is off.
+     * a breaker trip). One capturing() check when tracing is off.
      */
     void recordInstant(const char *category, const char *name);
 
@@ -97,10 +184,17 @@ class Tracer
     /**
      * Serialize every buffered span as Chrome trace-event JSON
      * ({"traceEvents":[...]}, "X" complete events, ts/dur in us).
+     * Request-scoped spans carry "req"/"span"/"parent" in "args".
      * Safe to call while other threads record: each thread buffer's
      * published prefix is serialized.
      */
     void writeChromeTrace(std::ostream &os) const;
+
+    /**
+     * Copy of every published span (test/analysis hook; the in-process
+     * equivalent of parsing the Chrome dump).
+     */
+    std::vector<TraceEvent> snapshot() const;
 
     /**
      * Discard all buffered spans. Call only while no other thread is
@@ -124,9 +218,20 @@ class Tracer
 
     Tracer();
 
+    void
+    setCaptureBit(unsigned bit, bool on)
+    {
+        if (on)
+            capture_.fetch_or(bit, std::memory_order_relaxed);
+        else
+            capture_.fetch_and(~bit, std::memory_order_relaxed);
+    }
+
     ThreadBuffer &localBuffer();
 
-    std::atomic<bool> enabled_{false};
+    /** Flight recorder starts enabled: the black box is always on. */
+    std::atomic<unsigned> capture_{kCaptureFlight};
+    std::atomic<std::uint64_t> next_span_id_{1};
     std::atomic<std::uint64_t> dropped_{0};
     std::chrono::steady_clock::time_point epoch_;
 
@@ -142,9 +247,12 @@ class ScopedSpan
         : category_(category), name_(name)
     {
         Tracer &tracer = Tracer::instance();
-        if (tracer.enabled()) {
+        if (tracer.capturing()) {
             active_ = true;
             t0_ = tracer.nowNs();
+            span_id_ = tracer.nextSpanId();
+            // Become the innermost parent for spans opened inside us.
+            parent_id_ = traceExchangeParent(span_id_);
         }
     }
 
@@ -159,11 +267,10 @@ class ScopedSpan
     {
         if (!active_)
             return;
+        traceExchangeParent(parent_id_);
         Tracer &tracer = Tracer::instance();
-        if (has_arg_)
-            tracer.recordArg(category_, name_, t0_, tracer.nowNs(), arg_);
-        else
-            tracer.record(category_, name_, t0_, tracer.nowNs());
+        tracer.recordSpan(category_, name_, t0_, tracer.nowNs(), span_id_,
+                          parent_id_, arg_, has_arg_);
     }
 
     ScopedSpan(const ScopedSpan &) = delete;
@@ -173,6 +280,8 @@ class ScopedSpan
     const char *category_;
     const char *name_;
     std::uint64_t t0_ = 0;
+    std::uint64_t span_id_ = 0;
+    std::uint64_t parent_id_ = 0;
     std::uint64_t arg_ = 0;
     bool active_ = false;
     bool has_arg_ = false;

@@ -31,6 +31,9 @@ struct QueuedRequest
     RenderRequest request;
     std::promise<RenderResponse> promise;
     Clock::time_point enqueued{};
+    /** When the dispatcher popped it (set in dispatchLoop); the gap to
+     *  execution start is traced as the "dispatch_wait" span. */
+    Clock::time_point dispatched{};
     std::uint64_t id = 0;
 };
 

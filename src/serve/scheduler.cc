@@ -10,6 +10,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "nerf/parallel_render.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace fusion3d::serve
@@ -17,6 +18,17 @@ namespace fusion3d::serve
 
 namespace
 {
+
+/** Outcomes that consume the SLO error budget. Shutdown shedding is
+ *  excluded: draining a stopping server is not a service failure. */
+bool
+isSloError(Outcome outcome)
+{
+    return outcome == Outcome::failedInternal ||
+           outcome == Outcome::rejectedDeadline ||
+           outcome == Outcome::rejectedQueueFull ||
+           outcome == Outcome::rejectedUnknownModel;
+}
 
 double
 msSince(Clock::time_point t0)
@@ -68,6 +80,26 @@ RenderServer::RenderServer(const ModelRegistry &registry, const ServeConfig &cfg
                         strprintf("serve.server%llu", seq));
     sessions_.registerWith(obs::MetricsRegistry::global(),
                            strprintf("serve.sessions%llu", seq));
+    if (cfg_.slo.enabled) {
+        slo_ = std::make_unique<obs::SloMonitor>(
+            cfg_.slo, [](const obs::SloWindowReport &report) {
+                obs::Tracer::instance().recordInstant(
+                    "slo", report.errorBurn > report.latencyBurn
+                               ? "breach_error_budget"
+                               : "breach_latency_budget");
+                warn("SLO breach: %llu/%llu requests over target "
+                     "(burn latency %.2f error %.2f), worst id %llu "
+                     "(%.2f ms)",
+                     static_cast<unsigned long long>(report.overTarget),
+                     static_cast<unsigned long long>(report.requests),
+                     report.latencyBurn, report.errorBurn,
+                     static_cast<unsigned long long>(report.worstRequestId),
+                     report.worstLatencyMs);
+                obs::FlightRecorder::instance().triggerDump("slo_breach");
+            });
+        slo_->registerWith(obs::MetricsRegistry::global(),
+                           strprintf("serve.slo%llu", seq));
+    }
     dispatcher_ = std::thread([this]() { dispatchLoop(); });
 }
 
@@ -79,11 +111,20 @@ RenderServer::~RenderServer()
 std::future<RenderResponse>
 RenderServer::submit(RenderRequest request)
 {
-    F3D_TRACE_SPAN("serve", "submit");
     QueuedRequest qr;
     qr.request = std::move(request);
     qr.enqueued = Clock::now();
     qr.id = next_id_.fetch_add(1);
+    // Mint the request's causal trace context: the request id plus the
+    // id of the root "request" span finish() will emit. Every span from
+    // here to completion — including tile renders on pool workers —
+    // parents into this tree.
+    obs::Tracer &tracer = obs::Tracer::instance();
+    qr.request.trace.requestId = qr.id;
+    qr.request.trace.parentSpanId =
+        tracer.capturing() ? tracer.nextSpanId() : 0;
+    obs::ScopedTraceContext trace_ctx(qr.request.trace);
+    F3D_TRACE_SPAN("serve", "submit");
     std::future<RenderResponse> future = qr.promise.get_future();
 
     stats_.recordSubmitted(queue_.depth());
@@ -119,17 +160,25 @@ RenderServer::dispatchLoop()
         // render span of the same request id.
         {
             obs::Tracer &tracer = obs::Tracer::instance();
-            if (tracer.enabled()) {
-                const std::uint64_t now = tracer.nowNs();
-                for (const QueuedRequest &qr : batch)
+            const auto popped = Clock::now();
+            for (QueuedRequest &qr : batch)
+                qr.dispatched = popped;
+            if (tracer.capturing()) {
+                const std::uint64_t now = tracer.toNs(popped);
+                for (const QueuedRequest &qr : batch) {
+                    obs::ScopedTraceContext trace_ctx(qr.request.trace);
                     tracer.recordArg("serve", "queue_wait",
                                      tracer.toNs(qr.enqueued), now, qr.id);
+                }
             }
         }
 
         const ModelEntry *entry = registry_.find(batch.front().request.model);
 
         for (QueuedRequest &qr : batch) {
+            // Dispatcher-side work runs under the request's context so
+            // shed outcomes and the backpressure wait attribute to it.
+            obs::ScopedTraceContext trace_ctx(qr.request.trace);
             if (shed_on_close_.load(std::memory_order_relaxed)) {
                 // stop() is shedding the backlog: terminal outcome,
                 // no render.
@@ -154,6 +203,10 @@ RenderServer::dispatchLoop()
                 ++in_flight_;
             }
             auto task = std::make_shared<QueuedRequest>(std::move(qr));
+            // The pool captures the current (= this request's) context
+            // at enqueue and restores it around the task, so the
+            // executing worker inherits it even when stolen by a
+            // helping thread.
             pool_.submit([this, task, entry]() {
                 executeRequest(std::move(*task), entry);
                 // Notify under the lock: a drain()ing thread may destroy
@@ -171,6 +224,17 @@ RenderServer::dispatchLoop()
 void
 RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
 {
+    // Belt and braces: the pool already restored the enqueue context,
+    // but executeRequest must also be correct when called inline.
+    obs::ScopedTraceContext trace_ctx(qr.request.trace);
+    obs::Tracer &tracer = obs::Tracer::instance();
+    if (tracer.capturing() && qr.dispatched.time_since_epoch().count() != 0) {
+        // Backdated span for the pop-to-execution gap (backpressure
+        // wait plus pool queueing), so the causal tree accounts for it.
+        tracer.recordArg("serve", "dispatch_wait", tracer.toNs(qr.dispatched),
+                         tracer.nowNs(), qr.id);
+    }
+    F3D_TRACE_SPAN("serve", "execute");
     RenderResponse response;
     try {
         response = runLadder(qr, entry);
@@ -182,6 +246,8 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
         F3D_TRACE_SPAN_ARG("serve", "worker_exception", qr.id);
         warn("RenderServer: request %llu failed in worker: %s",
              static_cast<unsigned long long>(qr.id), e.what());
+        // Preserve the spans and log lines leading up to the failure.
+        obs::FlightRecorder::instance().triggerDump("worker_exception");
         response = RenderResponse{};
         response.outcome = Outcome::failedInternal;
     }
@@ -293,7 +359,21 @@ RenderServer::finish(QueuedRequest &qr, RenderResponse &&response)
 {
     response.id = qr.id;
     response.latencyMs = msSince(qr.enqueued);
-    stats_.recordOutcome(response.outcome, response.latencyMs);
+    obs::Tracer &tracer = obs::Tracer::instance();
+    if (tracer.capturing() && qr.request.trace.parentSpanId != 0) {
+        // The root span of this request's causal tree, backdated to
+        // submit time: its duration IS the measured latency, its span
+        // id was minted at submit so every other span parents into it,
+        // and its arg records the outcome.
+        obs::ScopedTraceContext trace_ctx(
+            obs::TraceContext{qr.id, 0});
+        tracer.recordSpan("serve", "request", tracer.toNs(qr.enqueued),
+                          tracer.nowNs(), qr.request.trace.parentSpanId, 0,
+                          static_cast<std::uint64_t>(response.outcome), true);
+    }
+    stats_.recordOutcome(response.outcome, response.latencyMs, qr.id);
+    if (slo_)
+        slo_->record(response.latencyMs, isSloError(response.outcome), qr.id);
     qr.promise.set_value(std::move(response));
     // Notify under the lock (see dispatchLoop): keeps the broadcast
     // ordered before any waiter that goes on to destroy the server.
@@ -423,6 +503,10 @@ RenderServer::shutdown()
     drain();
     if (dispatcher_.joinable())
         dispatcher_.join();
+    // Close the partial SLO window so short runs still report burn
+    // rates (and can still breach) before the server goes away.
+    if (slo_)
+        slo_->closeWindow();
 }
 
 void

@@ -46,6 +46,7 @@
 
 #include "common/thread_pool.h"
 #include "nerf/image_warp.h"
+#include "obs/slo.h"
 #include "serve/model_registry.h"
 #include "serve/reproject.h"
 #include "serve/request_queue.h"
@@ -98,6 +99,8 @@ class RenderServer
 
     const ServeConfig &config() const { return cfg_; }
     const ServerStats &stats() const { return stats_; }
+    /** SLO watchdog; null unless cfg.slo.enabled. */
+    const obs::SloMonitor *slo() const { return slo_.get(); }
     /** The per-session frame cache behind temporal reprojection. */
     const SessionStore &sessions() const { return sessions_; }
     std::size_t queueDepth() const { return queue_.depth(); }
@@ -126,6 +129,9 @@ class RenderServer
     const ModelRegistry &registry_;
     ServeConfig cfg_;
     ServerStats stats_;
+    /** Created (and registered as a metrics collector) when
+     *  cfg.slo.enabled; a breaching window dumps the flight recorder. */
+    std::unique_ptr<obs::SloMonitor> slo_;
     SessionStore sessions_;
     RequestQueue queue_;
     ThreadPool pool_;

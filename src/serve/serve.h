@@ -19,6 +19,8 @@
 #include "common/image.h"
 #include "nerf/camera.h"
 #include "nerf/parallel_render.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "serve/reproject.h"
 #include "serve/session.h"
 
@@ -87,6 +89,14 @@ struct RenderRequest
      * full render whenever the cached frame holds up.
      */
     std::string session;
+    /**
+     * Causal trace context, minted by RenderServer::submit (request id
+     * + root span id). Every span emitted on behalf of this request —
+     * on the dispatcher, on pool workers, inside nested tile renders —
+     * is tagged with it, so the Chrome/Perfetto dump reassembles into
+     * one tree per request (tools/f3d_trace). Callers leave it zero.
+     */
+    obs::TraceContext trace;
 };
 
 /** What the server returns for one request. */
@@ -131,6 +141,10 @@ struct ServeConfig
     ReprojectConfig reproject;
     /** Per-session frame cache behind the reprojection mode. */
     SessionStoreConfig sessionStore;
+    /** SLO watchdog (latency + error burn rates over the completed
+     *  requests; disabled by default). A breaching window trips a
+     *  flight-recorder dump so the offending spans are preserved. */
+    obs::SloConfig slo;
 };
 
 } // namespace fusion3d::serve

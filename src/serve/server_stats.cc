@@ -60,8 +60,12 @@ ServerStats::ServerStats()
       reproject_tiles_pct_(group_.addDistribution("reproject_tiles_pct")),
       reproject_warp_ms_(group_.addDistribution("reproject_warp_ms"))
 {
-    for (int i = 0; i < kOutcomes; ++i)
-        outcomes_[i] = &group_.addCounter(outcomeName(static_cast<Outcome>(i)));
+    for (int i = 0; i < kOutcomes; ++i) {
+        const char *name = outcomeName(static_cast<Outcome>(i));
+        outcomes_[i] = &group_.addCounter(name);
+        outcome_latency_[i] =
+            &group_.addQuantiles(std::string("latency_ms_") + name);
+    }
 }
 
 ServerStats::~ServerStats()
@@ -79,7 +83,7 @@ ServerStats::recordSubmitted(std::size_t queue_depth)
 }
 
 void
-ServerStats::recordOutcome(Outcome outcome, double latency_ms)
+ServerStats::recordOutcome(Outcome outcome, double latency_ms, std::uint64_t id)
 {
     const int idx = static_cast<int>(outcome);
     if (idx < 0 || idx >= kOutcomes)
@@ -88,6 +92,11 @@ ServerStats::recordOutcome(Outcome outcome, double latency_ms)
     outcomes_[idx]->inc();
     latency_ms_.sample(latency_ms);
     latency_quantiles_.sample(latency_ms);
+    outcome_latency_[idx]->sample(latency_ms);
+    if (latency_ms >= worst_ms_) {
+        worst_ms_ = latency_ms;
+        worst_id_ = id;
+    }
     const double us = std::max(latency_ms * 1000.0, 1.0);
     latency_log2us_.sample(
         static_cast<std::uint64_t>(std::floor(std::log2(us))));
@@ -248,6 +257,27 @@ ServerStats::latencyQuantileMs(double q) const
     return latency_quantiles_.quantile(q);
 }
 
+double
+ServerStats::outcomeLatencyQuantileMs(Outcome outcome, double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outcome_latency_[static_cast<int>(outcome)]->quantile(q);
+}
+
+std::uint64_t
+ServerStats::worstLatencyRequestId() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return worst_id_;
+}
+
+double
+ServerStats::worstLatencyMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return worst_ms_;
+}
+
 void
 ServerStats::dump(std::ostream &os) const
 {
@@ -260,6 +290,9 @@ ServerStats::collect(obs::MetricSink &sink) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     group_.collect(sink);
+    sink.gauge("serve.worst_latency_ms", worst_ms_);
+    sink.gauge("serve.worst_latency_request_id",
+               static_cast<double>(worst_id_));
 }
 
 void

@@ -35,8 +35,11 @@ class ServerStats
     /** Record a request entering submit(), and the queue depth it saw. */
     void recordSubmitted(std::size_t queue_depth);
 
-    /** Record a request leaving the server. */
-    void recordOutcome(Outcome outcome, double latency_ms);
+    /** Record a request leaving the server. @p id (when nonzero) feeds
+     *  the worst-latency-request tracker, so the slowest request can be
+     *  looked up by id in a trace dump. */
+    void recordOutcome(Outcome outcome, double latency_ms,
+                       std::uint64_t id = 0);
 
     /** Record one dispatched batch of @p size same-model requests. */
     void recordBatch(int size);
@@ -98,6 +101,14 @@ class ServerStats
     double p50LatencyMs() const { return latencyQuantileMs(0.50); }
     double p95LatencyMs() const { return latencyQuantileMs(0.95); }
     double p99LatencyMs() const { return latencyQuantileMs(0.99); }
+    double p999LatencyMs() const { return latencyQuantileMs(0.999); }
+
+    /** Latency quantile over requests that finished with @p outcome. */
+    double outcomeLatencyQuantileMs(Outcome outcome, double q) const;
+
+    /** Id / latency of the slowest completed request (0 when none). */
+    std::uint64_t worstLatencyRequestId() const;
+    double worstLatencyMs() const;
 
     /** Dump every stat in the StatGroup text format. */
     void dump(std::ostream &os) const;
@@ -125,6 +136,10 @@ class ServerStats
     sim::Distribution &batch_size_;
     sim::Histogram &latency_log2us_;
     sim::Quantiles &latency_quantiles_;
+    /** Per-outcome latency quantiles ("latency_ms_<outcome>"). */
+    sim::Quantiles *outcome_latency_[kOutcomes];
+    std::uint64_t worst_id_ = 0;
+    double worst_ms_ = 0.0;
     sim::Counter &session_hits_;
     sim::Counter &session_misses_;
     sim::Counter &reproject_fallbacks_;

@@ -60,67 +60,6 @@ Histogram::fraction(std::uint64_t v) const
     return static_cast<double>(it->second) / static_cast<double>(count_);
 }
 
-int
-Quantiles::bucketIndex(double v)
-{
-    if (!(v > 0.0)) // also catches NaN
-        return 0;
-    int exp = 0;
-    const double frac2 = std::frexp(v, &exp); // v = frac2 * 2^exp, frac2 in [0.5, 1)
-    const int octave = exp - 1;               // v in [2^octave, 2^(octave+1))
-    if (octave < kMinOctave)
-        return 0;
-    if (octave >= kMaxOctave)
-        return kBuckets - 1;
-    // frac2*2 is in [1, 2): linear position inside the octave.
-    int sub = static_cast<int>((frac2 * 2.0 - 1.0) * kSubBuckets);
-    sub = std::min(std::max(sub, 0), kSubBuckets - 1);
-    return (octave - kMinOctave) * kSubBuckets + sub;
-}
-
-double
-Quantiles::bucketMidpoint(int index)
-{
-    const int octave = kMinOctave + index / kSubBuckets;
-    const int sub = index % kSubBuckets;
-    const double lo = 1.0 + static_cast<double>(sub) / kSubBuckets;
-    const double width = 1.0 / kSubBuckets;
-    return std::ldexp(lo + width / 2.0, octave);
-}
-
-void
-Quantiles::sample(double v, std::uint64_t weight)
-{
-    buckets_[static_cast<std::size_t>(bucketIndex(v))] += weight;
-    count_ += weight;
-}
-
-void
-Quantiles::reset()
-{
-    buckets_.fill(0);
-    count_ = 0;
-}
-
-double
-Quantiles::quantile(double q) const
-{
-    if (count_ == 0)
-        return 0.0;
-    q = std::min(std::max(q, 0.0), 1.0);
-    // Rank of the order statistic we report, 1-based.
-    std::uint64_t rank = static_cast<std::uint64_t>(
-        std::ceil(q * static_cast<double>(count_)));
-    rank = std::max<std::uint64_t>(rank, 1);
-    std::uint64_t seen = 0;
-    for (int i = 0; i < kBuckets; ++i) {
-        seen += buckets_[static_cast<std::size_t>(i)];
-        if (seen >= rank)
-            return bucketMidpoint(i);
-    }
-    return bucketMidpoint(kBuckets - 1);
-}
-
 Counter &
 StatGroup::addCounter(const std::string &name)
 {
@@ -181,6 +120,8 @@ StatGroup::dump(std::ostream &os) const
         os << name_ << '.' << q->name() << ".p50 " << q->quantile(0.50) << '\n';
         os << name_ << '.' << q->name() << ".p95 " << q->quantile(0.95) << '\n';
         os << name_ << '.' << q->name() << ".p99 " << q->quantile(0.99) << '\n';
+        os << name_ << '.' << q->name() << ".p999 " << q->quantile(0.999)
+           << '\n';
     }
 }
 
@@ -215,6 +156,7 @@ StatGroup::collect(obs::MetricSink &sink) const
         sink.gauge(base + ".p50", q->quantile(0.50));
         sink.gauge(base + ".p95", q->quantile(0.95));
         sink.gauge(base + ".p99", q->quantile(0.99));
+        sink.gauge(base + ".p999", q->quantile(0.999));
     }
 }
 

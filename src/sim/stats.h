@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/quantiles.h"
 
 namespace fusion3d::sim
 {
@@ -92,52 +93,11 @@ class Histogram
 };
 
 /**
- * Streaming quantile estimator over log2-spaced buckets, for the
- * tail-latency percentiles (p50/p95/p99) the serving layer reports.
- *
- * Each octave [2^k, 2^(k+1)) is split into kSubBuckets linear
- * sub-buckets (HdrHistogram-style log-linear layout), so a reported
- * quantile is off from the exact order statistic by at most one
- * sub-bucket width: a relative error bound of 1/kSubBuckets = 6.25 %
- * (the estimator returns bucket midpoints, halving the typical error).
- * Values are clamped to [2^kMinOctave, 2^kMaxOctave). Memory is a
- * fixed ~8 KB table; sample() is O(1) with no allocation.
+ * Streaming quantile estimator for tail-latency percentiles. The
+ * implementation lives in obs (see obs/quantiles.h) so the SLO monitor
+ * can share it; the sim alias keeps every existing call site intact.
  */
-class Quantiles
-{
-  public:
-    static constexpr int kSubBuckets = 16;
-    static constexpr int kMinOctave = -32;
-    static constexpr int kMaxOctave = 32;
-
-    Quantiles() = default;
-    explicit Quantiles(std::string name) : name_(std::move(name)) {}
-
-    void sample(double v, std::uint64_t weight = 1);
-    void reset();
-
-    std::uint64_t count() const { return count_; }
-
-    /**
-     * Value at quantile @p q in [0, 1] (q=0.5 is the median), i.e. the
-     * midpoint of the bucket holding the ceil(q*count)-th smallest
-     * sample; 0 when empty.
-     */
-    double quantile(double q) const;
-
-    const std::string &name() const { return name_; }
-
-  private:
-    static constexpr int kBuckets =
-        (kMaxOctave - kMinOctave) * kSubBuckets;
-
-    static int bucketIndex(double v);
-    static double bucketMidpoint(int index);
-
-    std::string name_;
-    std::uint64_t count_ = 0;
-    std::array<std::uint64_t, kBuckets> buckets_{};
-};
+using Quantiles = obs::Quantiles;
 
 /**
  * A registry of stats that dumps them in a stable text format. Models

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Property tests for the log2-bucket quantile estimator
+ * (obs::Quantiles): on *any* positive-valued distribution, every
+ * reported quantile must sit within one sub-bucket of the true value —
+ * a relative error bound of 1/kSubBuckets. The distributions here are
+ * chosen to be adversarial for a log-bucketed sketch: bimodal with a
+ * 6-decade gap, heavy-tail Pareto, values clustered just around
+ * power-of-two bucket boundaries, and near-constant streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/quantiles.h"
+
+using namespace fusion3d;
+
+namespace
+{
+
+/** The estimator's documented relative error: half a bucket either
+ *  way, i.e. one part in kSubBuckets of the value. */
+constexpr double kBound = 1.0 / obs::Quantiles::kSubBuckets;
+
+/** Exact ceil-rank quantile over the sample set, matching the
+ *  estimator's rank convention. */
+double
+exactQuantile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    const auto n = static_cast<double>(values.size());
+    const std::size_t rank =
+        static_cast<std::size_t>(std::max(1.0, std::ceil(q * n)));
+    return values[std::min(rank, values.size()) - 1];
+}
+
+/**
+ * Feed @p values into a fresh estimator and assert every probed
+ * quantile is within the relative bound of the exact answer.
+ */
+void
+expectWithinBound(const std::vector<double> &values, const char *label)
+{
+    obs::Quantiles est;
+    for (const double v : values)
+        est.sample(v);
+    for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99,
+                           0.999}) {
+        const double exact = exactQuantile(values, q);
+        const double approx = est.quantile(q);
+        // Bucket midpoints can land on either side of the exact value;
+        // allow the full one-sub-bucket relative slack both ways.
+        EXPECT_NEAR(approx, exact, std::abs(exact) * kBound)
+            << label << " q=" << q << " exact=" << exact
+            << " approx=" << approx;
+    }
+}
+
+} // namespace
+
+TEST(QuantilesProperty, BimodalSixDecadeGap)
+{
+    // Fast path ~1 us, stall path ~1 s: the classic latency bimode. A
+    // linear-bucket histogram fails this; the log sketch must not.
+    Pcg32 rng(1234, 1);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) {
+        const bool slow = rng.nextFloat() < 0.05f;
+        const double base = slow ? 1e6 : 1.0;
+        values.push_back(base * (0.5 + static_cast<double>(rng.nextFloat())));
+    }
+    expectWithinBound(values, "bimodal");
+}
+
+TEST(QuantilesProperty, ParetoHeavyTail)
+{
+    // Pareto(alpha=1.2): infinite variance, the tail quantiles span
+    // decades. Inverse-CDF sampling from uniform.
+    Pcg32 rng(99, 7);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) {
+        double u = static_cast<double>(rng.nextFloat());
+        u = std::max(u, 1e-7); // avoid the infinite 1/0 tail sample
+        values.push_back(std::pow(u, -1.0 / 1.2));
+    }
+    expectWithinBound(values, "pareto");
+}
+
+TEST(QuantilesProperty, ClusteredAtBucketBoundaries)
+{
+    // Values jittered tightly around powers of two — each cluster
+    // straddles an octave boundary, the worst case for bucket-midpoint
+    // reconstruction.
+    Pcg32 rng(7, 3);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) {
+        const int octave = static_cast<int>(rng.nextBounded(12));
+        const double center = std::ldexp(1.0, octave);
+        const double jitter =
+            1.0 + 1e-3 * (static_cast<double>(rng.nextFloat()) - 0.5);
+        values.push_back(center * jitter);
+    }
+    expectWithinBound(values, "boundaries");
+}
+
+TEST(QuantilesProperty, NearConstantStream)
+{
+    Pcg32 rng(42, 42);
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i)
+        values.push_back(3.7 * (1.0 + 1e-6 * static_cast<double>(
+                                            rng.nextFloat())));
+    expectWithinBound(values, "constant");
+}
+
+TEST(QuantilesProperty, TinyAndHugeMagnitudes)
+{
+    // Exercise the octave clamp range without leaving it: 2^-30..2^30.
+    Pcg32 rng(5, 11);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) {
+        const int octave = static_cast<int>(rng.nextBounded(61)) - 30;
+        values.push_back(std::ldexp(1.0 + static_cast<double>(rng.nextFloat()),
+                                    octave));
+    }
+    expectWithinBound(values, "magnitudes");
+}
+
+TEST(QuantilesProperty, MedianOfSmallSets)
+{
+    // Exactness degenerates gracefully at tiny n: a single sample must
+    // be reported (within bound) at every quantile.
+    obs::Quantiles est;
+    est.sample(8.5);
+    for (const double q : {0.0, 0.5, 0.99})
+        EXPECT_NEAR(est.quantile(q), 8.5, 8.5 * kBound) << "q=" << q;
+}
+
+TEST(QuantilesProperty, ResetClears)
+{
+    obs::Quantiles est;
+    for (int i = 0; i < 100; ++i)
+        est.sample(1000.0);
+    est.reset();
+    EXPECT_EQ(est.count(), 0u);
+    est.sample(2.0);
+    EXPECT_NEAR(est.quantile(0.5), 2.0, 2.0 * kBound);
+}
