@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Model-fleet serving bench: a 64-model fleet under zipf(1.1) traffic,
+ * served twice through the RenderServer — once unconstrained (every
+ * model resident, the per-tenant latency baseline) and once under a
+ * registry memory budget that fits ~25 % of the fleet, where the tail
+ * of the popularity curve is LRU-evicted and reloaded on demand.
+ *
+ * Reports the eviction hit-rate (acquires answered by a resident entry
+ * vs reloads), reloads/s, eviction count, and per-tenant p99 latency
+ * for both phases, plus one machine-readable JSON summary line
+ * (prefixed "JSON:"). Exits non-zero when the fleet gates fail:
+ *
+ *  - hit-rate under the 25 % budget must stay >= 0.70 (zipf(1.1) puts
+ *    ~0.76 of the mass on the top quarter of 64 models, so LRU keeping
+ *    the head resident clears this with margin — a broken LRU or
+ *    accounting bug does not);
+ *  - no tenant's p99 may regress past 2x its unconstrained baseline
+ *    (plus a small absolute floor to absorb scheduler noise on small
+ *    CI runners): reload stalls must stay bounded and off the hot
+ *    path, not serialize the fleet.
+ *
+ * Traffic is fully deterministic (PCG32 per tenant, identical request
+ * sequences in both phases), so the two phases differ only in the
+ * registry budget.
+ *
+ * Usage: bench_fleet [--quick] [requests_per_tenant]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nerf/nerf_model.h"
+#include "nerf/serialize.h"
+#include "serve/model_registry.h"
+#include "serve/scheduler.h"
+
+using namespace fusion3d;
+
+namespace
+{
+
+constexpr int kModels = 64;
+constexpr int kBudgetModels = 16; // ~25 % of the fleet
+constexpr int kTenants = 4;
+constexpr double kZipfExponent = 1.1;
+constexpr double kHitRateGate = 0.70;
+constexpr double kP99Factor = 2.0;
+/** Absolute slack on the p99 gate: tiny CI frames render in single-
+ *  digit milliseconds, where one scheduler hiccup would otherwise
+ *  dominate the ratio. */
+constexpr double kP99FloorMs = 25.0;
+
+nerf::NerfModelConfig
+fleetModelConfig()
+{
+    nerf::NerfModelConfig mc;
+    mc.grid.levels = 4;
+    mc.grid.featuresPerLevel = 2;
+    mc.grid.log2TableSize = 9;
+    mc.grid.baseResolution = 4;
+    mc.grid.maxResolution = 32;
+    mc.geoFeatures = 7;
+    mc.densityHidden = 16;
+    mc.colorHidden = 16;
+    mc.shDegree = 2;
+    return mc;
+}
+
+std::string
+modelName(int i)
+{
+    return strprintf("fleet%02d", i);
+}
+
+/** Zipf(kZipfExponent) sampler over model ranks [0, kModels). */
+class ZipfSampler
+{
+  public:
+    ZipfSampler()
+    {
+        cdf_.resize(kModels);
+        double sum = 0.0;
+        for (int k = 0; k < kModels; ++k) {
+            sum += 1.0 / std::pow(static_cast<double>(k + 1), kZipfExponent);
+            cdf_[static_cast<std::size_t>(k)] = sum;
+        }
+        for (double &c : cdf_)
+            c /= sum;
+    }
+
+    int
+    pick(Pcg32 &rng) const
+    {
+        const double u = static_cast<double>(rng.nextFloat());
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<int>(it - cdf_.begin());
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+nerf::Camera
+orbitFrame(int i, int size)
+{
+    return nerf::Camera::orbit({0.5f, 0.5f, 0.5f}, 1.4f, 35.0f, 20.0f,
+                               static_cast<float>(i * 11 % 360), size, size);
+}
+
+serve::RegistryConfig
+fleetRegistryConfig(std::size_t budget_bytes)
+{
+    serve::RegistryConfig rc;
+    rc.occupancyResolution = 8;
+    rc.backoffInitialMs = 0.1;
+    rc.backoffMaxMs = 1.0;
+    rc.memoryBudgetBytes = budget_bytes;
+    return rc;
+}
+
+struct PhaseResult
+{
+    double seconds = 0.0;
+    double fps = 0.0;
+    double hitRate = 1.0;
+    double reloadsPerS = 0.0;
+    std::uint64_t reloads = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rendered = 0;
+    std::uint64_t failed = 0;
+    /** p99 latency per tenant id, from the server's log2-bucket
+     *  quantile estimator. */
+    std::map<std::string, double> tenantP99Ms;
+};
+
+/**
+ * Deploy the whole fleet from @p paths into a registry with
+ * @p budget_bytes (0 = unconstrained), then replay the deterministic
+ * zipf trace: kTenants closed-loop clients, @p per_tenant requests
+ * each, sequences keyed by (seed, tenant) so both phases see byte-
+ * identical traffic.
+ */
+PhaseResult
+runPhase(const std::vector<std::string> &paths, std::size_t budget_bytes,
+         int per_tenant, int size, std::uint64_t seed)
+{
+    serve::ModelRegistry registry(fleetRegistryConfig(budget_bytes));
+    for (int i = 0; i < kModels; ++i)
+        if (registry.addFromFile(modelName(i),
+                                 paths[static_cast<std::size_t>(i)]) !=
+            nerf::LoadStatus::ok)
+            fatal("failed to deploy fleet model %d", i);
+
+    serve::ServeConfig sc;
+    sc.renderThreads = 2;
+    sc.render.sampler.maxSamplesPerRay = 8;
+    serve::RenderServer server(registry, sc);
+
+    const ZipfSampler zipf;
+
+    // Warm-up: the preload leaves the *last* deployed models resident,
+    // not the zipf head, so a short unmeasured trace lets the LRU
+    // converge before the hit-rate window opens (the gate is about
+    // steady-state behaviour, not the one-off cold start).
+    {
+        Pcg32 rng(seed, 999);
+        for (int i = 0; i < 80; ++i) {
+            serve::RenderRequest req;
+            req.model = modelName(zipf.pick(rng));
+            req.tenant = "warmup";
+            req.camera = orbitFrame(i, size);
+            server.submit(req).get();
+        }
+    }
+
+    const std::uint64_t hits0 = registry.acquireHits();
+    const std::uint64_t reloads0 = registry.reloads();
+
+    std::vector<std::uint64_t> rendered(kTenants, 0), failed(kTenants, 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kTenants; ++t) {
+        clients.emplace_back([&, t]() {
+            Pcg32 rng(seed, 100 + static_cast<std::uint64_t>(t));
+            for (int i = 0; i < per_tenant; ++i) {
+                serve::RenderRequest req;
+                req.model = modelName(zipf.pick(rng));
+                req.tenant = strprintf("tenant%d", t);
+                req.camera = orbitFrame(i, size);
+                const serve::Outcome out = server.submit(req).get().outcome;
+                if (out == serve::Outcome::renderedFull ||
+                    out == serve::Outcome::renderedHalf)
+                    ++rendered[static_cast<std::size_t>(t)];
+                else
+                    ++failed[static_cast<std::size_t>(t)];
+            }
+        });
+    }
+    for (std::thread &c : clients)
+        c.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    server.shutdown();
+
+    PhaseResult r;
+    r.seconds = seconds;
+    r.fps = static_cast<double>(per_tenant * kTenants) / seconds;
+    const std::uint64_t hits = registry.acquireHits() - hits0;
+    r.reloads = registry.reloads() - reloads0;
+    r.evictions = registry.evictions();
+    r.hitRate = hits + r.reloads > 0
+                    ? static_cast<double>(hits) /
+                          static_cast<double>(hits + r.reloads)
+                    : 1.0;
+    r.reloadsPerS = static_cast<double>(r.reloads) / seconds;
+    for (int t = 0; t < kTenants; ++t) {
+        r.rendered += rendered[static_cast<std::size_t>(t)];
+        r.failed += failed[static_cast<std::size_t>(t)];
+        const std::string id = strprintf("tenant%d", t);
+        r.tenantP99Ms[id] = server.stats().tenantLatencyQuantileMs(id, 0.99);
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    int per_tenant = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::atoi(argv[i]) > 0)
+            per_tenant = std::atoi(argv[i]);
+        else
+            fatal("usage: %s [--quick] [requests_per_tenant]", argv[0]);
+    }
+    if (per_tenant == 0)
+        per_tenant = quick ? 60 : 200;
+    const int size = 16;
+    const std::uint64_t seed = 0xf1ee7ULL;
+
+    bench::banner("Model fleet: zipf(1.1) traffic, budgeted vs unconstrained");
+    std::printf("%d models, budget fits %d, %d tenants x %d requests, "
+                "%dx%d frames\n\n",
+                kModels, kBudgetModels, kTenants, per_tenant, size, size);
+
+    // Save the fleet's artifacts (tiny models, distinct weights).
+    std::vector<std::string> paths;
+    paths.reserve(kModels);
+    for (int i = 0; i < kModels; ++i) {
+        const nerf::NerfModel model(fleetModelConfig(),
+                                    1000 + static_cast<std::uint64_t>(i));
+        std::string path = strprintf("/tmp/f3d_bench_fleet_%02d.f3dm", i);
+        if (!nerf::saveModel(model, path))
+            fatal("cannot write fleet artifact %s", path.c_str());
+        paths.push_back(std::move(path));
+    }
+
+    // Budget: kBudgetModels entries plus slack for one in flight, so
+    // steady state keeps the zipf head resident.
+    serve::ModelRegistry probe(fleetRegistryConfig(0));
+    if (probe.addFromFile(modelName(0), paths[0]) != nerf::LoadStatus::ok)
+        fatal("probe deploy failed");
+    const std::size_t entry_bytes = probe.residentBytes();
+    const std::size_t budget =
+        static_cast<std::size_t>(kBudgetModels) * entry_bytes +
+        entry_bytes / 2;
+
+    const PhaseResult base = runPhase(paths, 0, per_tenant, size, seed);
+    const PhaseResult fleet = runPhase(paths, budget, per_tenant, size, seed);
+
+    std::printf("%-16s %12s %12s %10s %12s %10s\n", "phase", "frames/s",
+                "hit rate", "reloads", "reloads/s", "evictions");
+    bench::rule(78);
+    std::printf("%-16s %12.2f %12.3f %10llu %12.2f %10llu\n", "unconstrained",
+                base.fps, base.hitRate,
+                static_cast<unsigned long long>(base.reloads), base.reloadsPerS,
+                static_cast<unsigned long long>(base.evictions));
+    std::printf("%-16s %12.2f %12.3f %10llu %12.2f %10llu\n", "budgeted-25%",
+                fleet.fps, fleet.hitRate,
+                static_cast<unsigned long long>(fleet.reloads),
+                fleet.reloadsPerS,
+                static_cast<unsigned long long>(fleet.evictions));
+    std::printf("\n%-12s %18s %18s %10s\n", "tenant", "p99 base (ms)",
+                "p99 budget (ms)", "ratio");
+    bench::rule(62);
+
+    bool fail = false;
+    std::string tenants_json;
+    for (const auto &[id, p99_base] : base.tenantP99Ms) {
+        const double p99_fleet = fleet.tenantP99Ms.at(id);
+        const double limit =
+            std::max(kP99Factor * p99_base, p99_base + kP99FloorMs);
+        const double ratio = p99_base > 0.0 ? p99_fleet / p99_base : 1.0;
+        std::printf("%-12s %18.2f %18.2f %9.2fx%s\n", id.c_str(), p99_base,
+                    p99_fleet, ratio, p99_fleet > limit ? "  REGRESSED" : "");
+        if (p99_fleet > limit) {
+            std::fprintf(stderr,
+                         "FAIL: %s p99 %.2f ms vs baseline %.2f ms "
+                         "(gate: <= max(%.1fx, +%.0f ms))\n",
+                         id.c_str(), p99_fleet, p99_base, kP99Factor,
+                         kP99FloorMs);
+            fail = true;
+        }
+        tenants_json += strprintf(
+            "%s\"%s\":{\"p99_baseline_ms\":%.3f,\"p99_budgeted_ms\":%.3f}",
+            tenants_json.empty() ? "" : ",", id.c_str(), p99_base, p99_fleet);
+    }
+    bench::rule(62);
+
+    if (fleet.hitRate < kHitRateGate) {
+        std::fprintf(stderr, "FAIL: eviction hit-rate %.3f (gate: >= %.2f)\n",
+                     fleet.hitRate, kHitRateGate);
+        fail = true;
+    }
+    if (base.failed + fleet.failed > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu request(s) not rendered on an unloaded "
+                     "fleet\n",
+                     static_cast<unsigned long long>(base.failed +
+                                                     fleet.failed));
+        fail = true;
+    }
+
+    std::printf("\nhit rate %.3f (gate >= %.2f), %llu reloads at %.2f/s, "
+                "%llu evictions -> %s\n",
+                fleet.hitRate, kHitRateGate,
+                static_cast<unsigned long long>(fleet.reloads),
+                fleet.reloadsPerS,
+                static_cast<unsigned long long>(fleet.evictions),
+                fail ? "FAILED" : "ok");
+
+    std::printf(
+        "JSON: {\"bench\":\"fleet\",\"quick\":%s,\"models\":%d,"
+        "\"budget_models\":%d,\"budget_bytes\":%zu,\"tenants\":%d,"
+        "\"requests_per_tenant\":%d,\"fps_baseline\":%.3f,"
+        "\"fps_budgeted\":%.3f,\"hit_rate\":%.4f,\"hit_rate_gate\":%.2f,"
+        "\"reloads\":%llu,\"reloads_per_s\":%.3f,\"evictions\":%llu,"
+        "\"tenant_p99\":{%s},\"p99_factor_gate\":%.1f,\"ok\":%s}\n",
+        quick ? "true" : "false", kModels, kBudgetModels, budget, kTenants,
+        per_tenant, base.fps, fleet.fps, fleet.hitRate, kHitRateGate,
+        static_cast<unsigned long long>(fleet.reloads), fleet.reloadsPerS,
+        static_cast<unsigned long long>(fleet.evictions), tenants_json.c_str(),
+        kP99Factor, fail ? "false" : "true");
+
+    for (const std::string &p : paths)
+        std::remove(p.c_str());
+    return fail ? 1 : 0;
+}

@@ -75,7 +75,7 @@ orbitFrame(int i, int size)
  * (whose ServerStats unregisters on destruction) goes away.
  */
 ThroughputPoint
-measure(const serve::ModelRegistry &registry, int threads, int frames, int size,
+measure(serve::ModelRegistry &registry, int threads, int frames, int size,
         std::string *metrics_out = nullptr)
 {
     serve::ServeConfig sc;
@@ -131,7 +131,7 @@ measure(const serve::ModelRegistry &registry, int threads, int frames, int size,
  * code: 1 when full tracing costs more than @p max_overhead_pct.
  */
 int
-runOverheadCheck(const serve::ModelRegistry &registry, int frames, int size,
+runOverheadCheck(serve::ModelRegistry &registry, int frames, int size,
                  double max_overhead_pct)
 {
     obs::Tracer &tracer = obs::Tracer::instance();

@@ -24,13 +24,32 @@
  *                  line with the session cache hit rate and the mean
  *                  rays actually marched per frame.
  *
+ * A fourth mode exercises the *model fleet*:
+ *
+ *  --fleet N       deploy N distinct models from `.f3dm` artifacts and
+ *                  drive zipf-distributed traffic at them from
+ *                  concurrent tenants (closed loop, [frames] requests
+ *                  per tenant). With --budget M the registry only fits
+ *                  M models resident, so the popularity tail is LRU-
+ *                  evicted and reloaded on demand. Prints per-tenant
+ *                  outcome counts and latency quantiles plus a "JSON:"
+ *                  line with the eviction hit rate, reloads/s, and
+ *                  per-tenant p99.
+ *
  * Usage: serve_loadgen [frames_per_config] [resolution]
  *            [--orbit] [--sessions N]
+ *            [--fleet N] [--zipf S] [--tenants T] [--budget M]
  *            [--trace FILE] [--metrics FILE] [--faults SPEC]
  *            [--slo TARGET_MS] [--flight-dump DIR] [--metrics-prefix P]
  *
  *  --orbit         run the session-trace mode described above;
  *  --sessions N    number of concurrent streams in --orbit mode;
+ *  --fleet N       run the fleet mode described above with N models;
+ *  --zipf S        zipf exponent of the fleet's popularity curve
+ *                  (default 1.1);
+ *  --tenants T     concurrent tenants in --fleet mode (default 4);
+ *  --budget M      registry memory budget in models (--fleet mode);
+ *                  0 = unlimited, the default;
  *  --trace FILE    enable the span tracer and write a Chrome
  *                  trace-event JSON (load in Perfetto) of the run;
  *  --metrics FILE  write a Prometheus text snapshot of the overload
@@ -75,7 +94,9 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "nerf/nerf_model.h"
+#include "nerf/serialize.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
@@ -325,6 +346,191 @@ runOrbitTrace(serve::ModelRegistry &registry, int frames, int size,
     return ok ? 0 : 1;
 }
 
+/** Zipf(@p s) cumulative distribution over ranks [0, n). */
+std::vector<double>
+zipfCdf(int n, double s)
+{
+    std::vector<double> cdf(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (int k = 0; k < n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf[static_cast<std::size_t>(k)] = sum;
+    }
+    for (double &c : cdf)
+        c /= sum;
+    return cdf;
+}
+
+/**
+ * Fleet mode (--fleet): deploy @p fleet_n models from artifacts, give
+ * the registry a budget of @p budget_models resident models (0 =
+ * unlimited), and replay zipf(@p zipf_s) traffic from @p tenants_n
+ * closed-loop tenants, @p frames requests each. Returns the process
+ * exit code.
+ */
+int
+runFleetTrace(int frames, int size, int fleet_n, double zipf_s, int tenants_n,
+              int budget_models, const std::string &metrics_path,
+              const std::string &trace_path)
+{
+    inform("fleet mode: %d models, zipf(%.2f), %d tenant(s) x %d requests of "
+           "%dx%d, budget %s",
+           fleet_n, zipf_s, tenants_n, frames, size, size,
+           budget_models > 0
+               ? strprintf("%d model(s)", budget_models).c_str()
+               : "unlimited");
+
+    // Save the fleet's artifacts (distinct weights per model).
+    const std::string dir = std::filesystem::temp_directory_path().string();
+    std::vector<std::string> paths;
+    paths.reserve(static_cast<std::size_t>(fleet_n));
+    for (int i = 0; i < fleet_n; ++i) {
+        const nerf::NerfModel model(demoModelConfig(),
+                                    3000 + static_cast<std::uint64_t>(i));
+        std::string path = dir + strprintf("/f3d_loadgen_fleet_%03d.f3dm", i);
+        if (!nerf::saveModel(model, path))
+            fatal("cannot write fleet artifact %s", path.c_str());
+        paths.push_back(std::move(path));
+    }
+    const auto name = [](int i) { return strprintf("fleet%03d", i); };
+
+    serve::RegistryConfig rc;
+    rc.occupancyResolution = 16;
+    if (budget_models > 0) {
+        // Size the budget off one probe entry; all fleet models share a
+        // config, so every entry weighs the same.
+        serve::ModelRegistry probe(rc);
+        if (probe.addFromFile(name(0), paths[0]) != nerf::LoadStatus::ok)
+            fatal("probe deploy failed");
+        rc.memoryBudgetBytes =
+            static_cast<std::size_t>(budget_models) * probe.residentBytes() +
+            probe.residentBytes() / 2;
+    }
+    serve::ModelRegistry registry(rc);
+    for (int i = 0; i < fleet_n; ++i)
+        if (registry.addFromFile(name(i), paths[static_cast<std::size_t>(i)]) !=
+            nerf::LoadStatus::ok)
+            fatal("failed to deploy fleet model %d", i);
+
+    serve::RenderServer server(registry, baseConfig(2));
+    const std::vector<double> cdf = zipfCdf(fleet_n, zipf_s);
+    const std::uint64_t hits0 = registry.acquireHits();
+    const std::uint64_t reloads0 = registry.reloads();
+
+    std::atomic<std::uint64_t> failed{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(tenants_n));
+    for (int t = 0; t < tenants_n; ++t) {
+        threads.emplace_back([&, t]() {
+            Pcg32 rng(0xf1ee7ULL, 100 + static_cast<std::uint64_t>(t));
+            for (int i = 0; i < frames; ++i) {
+                serve::RenderRequest req;
+                const double u = static_cast<double>(rng.nextFloat());
+                const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+                req.model = name(static_cast<int>(it - cdf.begin()));
+                req.tenant = strprintf("tenant%d", t);
+                req.camera = orbitFrame(i, size);
+                const serve::RenderResponse r = server.submit(req).get();
+                if (r.outcome != serve::Outcome::renderedFull &&
+                    r.outcome != serve::Outcome::renderedHalf) {
+                    failed.fetch_add(1);
+                    if (!FaultInjector::instance().active())
+                        fatal("unloaded fleet rejected request %d of tenant%d "
+                              "(%s)",
+                              i, t, serve::outcomeName(r.outcome));
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    server.drainAndPrintStats(std::cout);
+    const auto &stats = server.stats();
+    const std::uint64_t hits = registry.acquireHits() - hits0;
+    const std::uint64_t reloads = registry.reloads() - reloads0;
+    const double hit_rate =
+        hits + reloads > 0
+            ? static_cast<double>(hits) / static_cast<double>(hits + reloads)
+            : 1.0;
+    const double fps =
+        static_cast<double>(tenants_n) * static_cast<double>(frames) / seconds;
+
+    std::printf("%-12s %10s %8s %10s %10s %10s\n", "tenant", "completed",
+                "shed", "quota rej", "p50 (ms)", "p99 (ms)");
+    std::string tenants_json;
+    for (const std::string &id : stats.tenantNames()) {
+        std::printf("%-12s %10llu %8llu %10llu %10.2f %10.2f\n", id.c_str(),
+                    static_cast<unsigned long long>(stats.tenantCompleted(id)),
+                    static_cast<unsigned long long>(stats.tenantShed(id)),
+                    static_cast<unsigned long long>(
+                        stats.tenantQuotaRejected(id)),
+                    stats.tenantLatencyQuantileMs(id, 0.50),
+                    stats.tenantLatencyQuantileMs(id, 0.99));
+        tenants_json += strprintf(
+            "%s\"%s\":{\"completed\":%llu,\"shed\":%llu,\"p99_ms\":%.3f}",
+            tenants_json.empty() ? "" : ",", id.c_str(),
+            static_cast<unsigned long long>(stats.tenantCompleted(id)),
+            static_cast<unsigned long long>(stats.tenantShed(id)),
+            stats.tenantLatencyQuantileMs(id, 0.99));
+    }
+    inform("fleet summary: %.2f frames/s, hit rate %.3f, %llu reloads "
+           "(%.2f/s), %llu evictions, %llu swaps",
+           fps, hit_rate, static_cast<unsigned long long>(reloads),
+           static_cast<double>(reloads) / seconds,
+           static_cast<unsigned long long>(registry.evictions()),
+           static_cast<unsigned long long>(registry.swaps()));
+
+    std::printf(
+        "JSON: {\"bench\":\"serve_fleet\",\"models\":%d,\"zipf\":%.2f,"
+        "\"tenants\":%d,\"requests_per_tenant\":%d,\"budget_models\":%d,"
+        "\"fps\":%.3f,\"hit_rate\":%.4f,\"reloads\":%llu,"
+        "\"reloads_per_s\":%.3f,\"evictions\":%llu,\"tenant_p99\":{%s}}\n",
+        fleet_n, zipf_s, tenants_n, frames, budget_models, fps, hit_rate,
+        static_cast<unsigned long long>(reloads),
+        static_cast<double>(reloads) / seconds,
+        static_cast<unsigned long long>(registry.evictions()),
+        tenants_json.c_str());
+
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out)
+            fatal("cannot open metrics file '%s'", metrics_path.c_str());
+        obs::MetricsRegistry::global().exportPrometheus(out);
+        inform("wrote metrics snapshot to %s", metrics_path.c_str());
+    }
+    server.shutdown();
+    std::printf("LATENCY_JSON: %s\n",
+                latencySummaryJson(stats, server.slo()).c_str());
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out)
+            fatal("cannot open trace file '%s'", trace_path.c_str());
+        obs::Tracer::instance().writeChromeTrace(out);
+        inform("wrote %zu trace spans to %s (%llu dropped)",
+               obs::Tracer::instance().eventCount(), trace_path.c_str(),
+               static_cast<unsigned long long>(
+                   obs::Tracer::instance().dropped()));
+    }
+    for (const std::string &p : paths)
+        std::remove(p.c_str());
+
+    bool ok = stats.completed() == stats.submitted();
+    if (!ok)
+        warn("drain left %llu requests unaccounted",
+             static_cast<unsigned long long>(stats.submitted() -
+                                             stats.completed()));
+    if (!FaultInjector::instance().active() && failed.load() > 0)
+        ok = false;
+    inform(ok ? "serve_loadgen: all checks passed"
+              : "serve_loadgen: CHECKS FAILED");
+    return ok ? 0 : 1;
+}
+
 /**
  * Closed-loop throughput: @p clients client threads, each submitting
  * its next frame only after the previous one completed. Returns frames
@@ -370,6 +576,10 @@ main(int argc, char **argv)
     int size = 48;
     bool orbit = false;
     int sessions = 4;
+    int fleet_n = 0;
+    double zipf_s = 1.1;
+    int tenants_n = 4;
+    int budget_models = 0;
     std::string trace_path;
     std::string metrics_path;
     std::string fault_spec;
@@ -386,6 +596,14 @@ main(int argc, char **argv)
             orbit = true;
         } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
             sessions = std::max(std::atoi(argv[++i]), 1);
+        } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+            fleet_n = std::max(std::atoi(argv[++i]), 1);
+        } else if (std::strcmp(argv[i], "--zipf") == 0 && i + 1 < argc) {
+            zipf_s = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+            tenants_n = std::max(std::atoi(argv[++i]), 1);
+        } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+            budget_models = std::max(std::atoi(argv[++i]), 0);
         } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
             g_slo_target_ms = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--flight-dump") == 0 &&
@@ -402,6 +620,7 @@ main(int argc, char **argv)
             ++positional;
         } else {
             fatal("usage: %s [frames] [resolution] [--orbit] [--sessions N] "
+                  "[--fleet N] [--zipf S] [--tenants T] [--budget M] "
                   "[--trace FILE] [--metrics FILE] [--faults SPEC] "
                   "[--slo TARGET_MS] [--flight-dump DIR] "
                   "[--metrics-prefix P]",
@@ -439,6 +658,10 @@ main(int argc, char **argv)
             fatal("bad --faults spec: %s", why.c_str());
         inform("fault plan armed: %s", fault_spec.c_str());
     }
+
+    if (fleet_n > 0)
+        return runFleetTrace(frames, size, fleet_n, zipf_s, tenants_n,
+                             budget_models, metrics_path, trace_path);
 
     serve::ModelRegistry registry(/*occupancy_resolution=*/16);
     registry.add("demo",

@@ -71,11 +71,19 @@ ModelRegistry::collect(obs::MetricSink &sink) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     sink.gauge("serve.registry.models", static_cast<double>(entries_.size()));
+    sink.gauge("serve.registry.resident_bytes",
+               static_cast<double>(resident_bytes_));
+    sink.gauge("serve.registry.budget_bytes",
+               static_cast<double>(cfg_.memoryBudgetBytes));
     sink.counter("serve.registry.loads_ok", loads_ok_);
     sink.counter("serve.registry.loads_failed", loads_failed_);
     sink.counter("serve.registry.load_retries", load_retries_);
     sink.counter("serve.registry.breaker_trips", breaker_trips_);
     sink.counter("serve.registry.breaker_open_rejects", breaker_rejects_);
+    sink.counter("serve.registry.evictions", evictions_);
+    sink.counter("serve.registry.reloads", reloads_);
+    sink.counter("serve.registry.swaps", swaps_);
+    sink.counter("serve.registry.acquire_hits", acquire_hits_);
     std::uint64_t open = 0;
     for (const auto &[name, b] : breakers_)
         if (b.state == BreakerState::open)
@@ -83,33 +91,123 @@ ModelRegistry::collect(obs::MetricSink &sink) const
     sink.gauge("serve.registry.breakers_open", static_cast<double>(open));
 }
 
+void
+ModelRegistry::touchLocked(Slot &slot, const std::string &name)
+{
+    (void)name;
+    lru_.splice(lru_.begin(), lru_, slot.lruPos);
+}
+
+void
+ModelRegistry::evictToBudgetLocked()
+{
+    if (cfg_.memoryBudgetBytes == 0)
+        return;
+    while (resident_bytes_ > cfg_.memoryBudgetBytes && lru_.size() > 1) {
+        // Walk from the least recently used end; the MRU entry (list
+        // front, typically the one just registered or acquired) is
+        // never evicted, so a model larger than the whole budget still
+        // serves. In-memory entries have nothing to reload from and
+        // pinned entries have renders in flight — both are skipped.
+        std::string victim;
+        for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+            if (*rit == lru_.front())
+                break;
+            const auto it = entries_.find(*rit);
+            if (it == entries_.end())
+                fatal("ModelRegistry: LRU list out of sync with entries");
+            if (it->second.entry->sourcePath.empty())
+                continue; // in-memory: not reloadable, not evictable
+            if (it->second.entry.use_count() > 1)
+                continue; // pinned by an in-flight render
+            victim = *rit;
+            break;
+        }
+        if (victim.empty())
+            break; // nothing evictable: pins/in-memory entries remain
+
+        const auto it = entries_.find(victim);
+        resident_bytes_ -= it->second.entry->bytes;
+        // The evicted model's derived caches (session frames) must
+        // stale-miss: the epoch moves even though the weights on disk
+        // are unchanged, because a reload rebuilds a distinct entry.
+        ++epochs_[victim];
+        ++evictions_;
+        obs::Tracer::instance().recordInstant("serve", "registry_evict");
+        inform("ModelRegistry: evicted '%s' (%zu bytes; resident %zu of "
+               "budget %zu)",
+               victim.c_str(), it->second.entry->bytes, resident_bytes_,
+               cfg_.memoryBudgetBytes);
+        lru_.erase(it->second.lruPos);
+        entries_.erase(it);
+    }
+}
+
 const ModelEntry *
-ModelRegistry::add(const std::string &name, std::unique_ptr<nerf::NerfModel> model)
+ModelRegistry::addInternal(const std::string &name,
+                           std::unique_ptr<nerf::NerfModel> model,
+                           const std::string &source_path)
 {
     if (!model)
         fatal("ModelRegistry::add('%s'): null model", name.c_str());
 
-    auto entry = std::make_unique<ModelEntry>(
+    auto entry = std::make_shared<ModelEntry>(
         name, std::move(model), cfg_.occupancyResolution, cfg_.occupancyThreshold);
 
     // Rebuild the inference gate from the deployed weights; decay 0
     // makes it exactly the current field's occupancy, like the benches'
-    // scene bootstrap.
+    // scene bootstrap. The fixed seed keeps the gate — and therefore a
+    // reloaded model's renders — bit-identical across reloads.
     nerf::PointWorkspace ws = entry->model->makeWorkspace();
     Pcg32 rng(0x5eedf00dULL, 41);
     const nerf::NerfModel *m = entry->model.get();
     entry->grid.update(
         [m, &ws](const Vec3f &p) { return m->queryDensity(p, ws); }, rng,
         /*decay=*/0.0f);
+    entry->sourcePath = source_path;
+    entry->bytes = sizeof(ModelEntry) + name.size() + source_path.size() +
+                   entry->model->paramCount() * sizeof(float) +
+                   entry->grid.cellCount() * sizeof(float) +
+                   entry->grid.bitfieldBytes();
 
     const ModelEntry *raw = entry.get();
-    std::lock_guard<std::mutex> lock(mutex_);
-    entry->epoch = ++epochs_[name];
-    std::unique_ptr<ModelEntry> &slot = entries_[name];
-    if (slot)
-        retired_.push_back(std::move(slot));
-    slot = std::move(entry);
+    std::shared_ptr<ModelEntry> replaced; // released outside the lock
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry->epoch = ++epochs_[name];
+        auto it = entries_.find(name);
+        if (it != entries_.end()) {
+            // Hot-swap publish: pointer swap under the lock. The old
+            // version keeps serving every render pinned to it and
+            // drains when the last pin drops.
+            resident_bytes_ -= it->second.entry->bytes;
+            replaced = std::move(it->second.entry);
+            it->second.entry = std::move(entry);
+            touchLocked(it->second, name);
+        } else {
+            lru_.push_front(name);
+            Slot slot;
+            slot.entry = std::move(entry);
+            slot.lruPos = lru_.begin();
+            entries_.emplace(name, std::move(slot));
+        }
+        resident_bytes_ += raw->bytes;
+        if (source_path.empty()) {
+            // An in-memory deploy supersedes any artifact this name had:
+            // evicting it could not bring these weights back.
+            source_paths_.erase(name);
+        } else {
+            source_paths_[name] = source_path;
+        }
+        evictToBudgetLocked();
+    }
     return raw;
+}
+
+const ModelEntry *
+ModelRegistry::add(const std::string &name, std::unique_ptr<nerf::NerfModel> model)
+{
+    return addInternal(name, std::move(model), /*source_path=*/"");
 }
 
 std::uint64_t
@@ -196,7 +294,7 @@ ModelRegistry::addFromFile(const std::string &name, const std::string &path)
         return r.status;
     }
 
-    add(name, std::move(r.model));
+    addInternal(name, std::move(r.model), path);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++loads_ok_;
@@ -206,9 +304,155 @@ ModelRegistry::addFromFile(const std::string &name, const std::string &path)
         b.state = BreakerState::closed;
         b.consecutiveFailures = 0;
     }
-    inform("ModelRegistry: deployed '%s' from '%s' (%zu params)", name.c_str(),
-           path.c_str(), find(name)->model->paramCount());
+    inform("ModelRegistry: deployed '%s' from '%s'", name.c_str(), path.c_str());
     return nerf::LoadStatus::ok;
+}
+
+nerf::LoadStatus
+ModelRegistry::swap(const std::string &name, const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Swappable = currently serving: resident, or evicted with an
+        // artifact to reload. Never-registered and removed names have
+        // nothing to swap.
+        if (entries_.find(name) == entries_.end() &&
+            source_paths_.find(name) == source_paths_.end()) {
+            warn("ModelRegistry: swap of '%s' rejected: not deployed",
+                 name.c_str());
+            return nerf::LoadStatus::ioError;
+        }
+    }
+    F3D_TRACE_SPAN("serve", "registry_swap");
+    // Load + CRC-verify off to the side (retry + breaker included);
+    // addInternal publishes with a pointer swap under the lock.
+    const nerf::LoadStatus status = addFromFile(name, path);
+    if (status != nerf::LoadStatus::ok) {
+        warn("ModelRegistry: hot-swap of '%s' from '%s' failed (%s); the old "
+             "version keeps serving",
+             name.c_str(), path.c_str(), nerf::loadStatusName(status));
+        return status;
+    }
+    std::uint64_t new_epoch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++swaps_;
+        new_epoch = epochs_[name];
+    }
+    // The instant lands in the Chrome trace and — via the always-on
+    // capture bit — in the flight recorder's black-box ring.
+    obs::Tracer::instance().recordInstant("serve", "hot_swap");
+    inform("ModelRegistry: hot-swapped '%s' to '%s' (epoch %llu); old version "
+           "drains with its in-flight pins",
+           name.c_str(), path.c_str(),
+           static_cast<unsigned long long>(new_epoch));
+    return nerf::LoadStatus::ok;
+}
+
+ModelHandle
+ModelRegistry::acquire(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return nullptr;
+    touchLocked(it->second, name);
+    ++acquire_hits_;
+    return it->second.entry;
+}
+
+AcquireResult
+ModelRegistry::acquireOrReload(const std::string &name)
+{
+    bool reloaded = false;
+    // Bounded loop: each pass either resolves, becomes the loader, or
+    // waits for a concurrent loader and re-checks.
+    for (int pass = 0; pass < 4; ++pass) {
+        std::string path;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            auto it = entries_.find(name);
+            if (it != entries_.end()) {
+                touchLocked(it->second, name);
+                ++acquire_hits_;
+                AcquireResult r;
+                r.entry = it->second.entry;
+                r.known = true;
+                r.reloaded = reloaded;
+                return r;
+            }
+            const auto pit = source_paths_.find(name);
+            if (pit == source_paths_.end()) {
+                // Not resident and nothing to reload from: never
+                // registered, or removed. Either way the name does not
+                // serve — an unknown model, not an internal failure.
+                AcquireResult r;
+                r.known = false;
+                r.status = nerf::LoadStatus::ioError;
+                return r;
+            }
+            if (loading_.count(name)) {
+                // Another worker is already reloading this model: stall
+                // on its result instead of thundering into storage.
+                loader_cv_.wait(lock,
+                                [&]() { return loading_.count(name) == 0; });
+                reloaded = true;
+                continue;
+            }
+            loading_.insert(name);
+            path = pit->second;
+        }
+
+        // Reload-on-demand outside the lock, riding the retry +
+        // circuit-breaker deploy path.
+        F3D_TRACE_SPAN("serve", "registry_reload");
+        const nerf::LoadStatus status = addFromFile(name, path);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            loading_.erase(name);
+            if (status == nerf::LoadStatus::ok)
+                ++reloads_;
+        }
+        loader_cv_.notify_all();
+        if (status != nerf::LoadStatus::ok) {
+            AcquireResult r;
+            r.known = true;
+            r.status = status;
+            return r;
+        }
+        reloaded = true; // loop re-acquires the freshly loaded entry
+    }
+    AcquireResult r;
+    r.known = true;
+    r.status = nerf::LoadStatus::ioError;
+    return r;
+}
+
+bool
+ModelRegistry::removeModel(const std::string &name)
+{
+    std::shared_ptr<ModelEntry> dropped; // released outside the lock
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (entries_.find(name) == entries_.end() &&
+            source_paths_.find(name) == source_paths_.end())
+            return false; // never registered, or already removed
+        auto it = entries_.find(name);
+        if (it != entries_.end()) {
+            resident_bytes_ -= it->second.entry->bytes;
+            dropped = std::move(it->second.entry);
+            lru_.erase(it->second.lruPos);
+            entries_.erase(it);
+        }
+        source_paths_.erase(name);
+        // Dependent caches must stale-miss even if the name returns.
+        ++epochs_[name];
+    }
+    inform("ModelRegistry: removed '%s'%s", name.c_str(),
+           dropped && dropped.use_count() > 1
+               ? " (in-flight pins drain the old entry)"
+               : "");
+    return true;
 }
 
 const ModelEntry *
@@ -216,7 +460,7 @@ ModelRegistry::find(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(name);
-    return it == entries_.end() ? nullptr : it->second.get();
+    return it == entries_.end() ? nullptr : it->second.entry.get();
 }
 
 std::size_t
@@ -226,13 +470,20 @@ ModelRegistry::size() const
     return entries_.size();
 }
 
+std::size_t
+ModelRegistry::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resident_bytes_;
+}
+
 std::vector<std::string>
 ModelRegistry::names() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
-    for (const auto &[name, entry] : entries_)
+    for (const auto &[name, slot] : entries_)
         out.push_back(name);
     return out;
 }
@@ -278,6 +529,34 @@ ModelRegistry::breakerOpenRejects() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return breaker_rejects_;
+}
+
+std::uint64_t
+ModelRegistry::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+std::uint64_t
+ModelRegistry::reloads() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reloads_;
+}
+
+std::uint64_t
+ModelRegistry::swaps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return swaps_;
+}
+
+std::uint64_t
+ModelRegistry::acquireHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acquire_hits_;
 }
 
 } // namespace fusion3d::serve

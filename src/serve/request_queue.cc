@@ -1,6 +1,7 @@
 #include "serve/request_queue.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -20,21 +21,84 @@ before(const QueuedRequest &a, const QueuedRequest &b)
     return a.request.deadline < b.request.deadline;
 }
 
+double
+effectivePriority(const QueuedRequest &qr, double aging_per_second,
+                  Clock::time_point now)
+{
+    const double waited =
+        std::chrono::duration<double>(now - qr.enqueued).count();
+    return static_cast<double>(qr.request.priority) +
+           aging_per_second * std::max(waited, 0.0);
+}
+
 } // namespace
 
-RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity)
+RequestQueue::RequestQueue(std::size_t capacity)
+    : RequestQueue([&] {
+          QueueConfig cfg;
+          cfg.capacity = capacity;
+          return cfg;
+      }())
 {
-    if (capacity == 0)
+}
+
+RequestQueue::RequestQueue(const QueueConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.capacity == 0)
         fatal("RequestQueue: capacity must be positive");
+    if (cfg_.qos.maxQueueShare <= 0.0 || cfg_.qos.maxQueueShare > 1.0)
+        fatal("RequestQueue: maxQueueShare must be in (0, 1], got %g",
+              cfg_.qos.maxQueueShare);
+    if (cfg_.qos.maxInFlightPerTenant < 0)
+        fatal("RequestQueue: maxInFlightPerTenant must be >= 0, got %d",
+              cfg_.qos.maxInFlightPerTenant);
+    if (cfg_.qos.agingPriorityPerSecond < 0.0)
+        fatal("RequestQueue: agingPriorityPerSecond must be >= 0, got %g",
+              cfg_.qos.agingPriorityPerSecond);
 }
 
 bool
+RequestQueue::tenantAtCapLocked(const std::string &tenant) const
+{
+    if (cfg_.qos.maxInFlightPerTenant <= 0)
+        return false;
+    const auto it = tenant_inflight_.find(tenant);
+    return it != tenant_inflight_.end() &&
+           it->second >=
+               static_cast<std::size_t>(cfg_.qos.maxInFlightPerTenant);
+}
+
+bool
+RequestQueue::dispatchableLocked() const
+{
+    if (cfg_.qos.maxInFlightPerTenant <= 0)
+        return !items_.empty();
+    for (const auto &qr : items_)
+        if (!tenantAtCapLocked(qr.request.tenant))
+            return true;
+    return false;
+}
+
+PushResult
 RequestQueue::push(QueuedRequest &&qr)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (closed_ || items_.size() >= capacity_)
-            return false;
+        if (closed_)
+            return PushResult::closed;
+        if (items_.size() >= cfg_.capacity)
+            return PushResult::queueFull;
+        if (cfg_.qos.maxQueueShare < 1.0) {
+            // Queue-share quota: one tenant may hold at most
+            // share * capacity slots (never below one, so a lone
+            // tenant always admits into an empty queue).
+            const auto limit = std::max<std::size_t>(
+                1, static_cast<std::size_t>(cfg_.qos.maxQueueShare *
+                                            static_cast<double>(cfg_.capacity)));
+            if (tenant_queued_[qr.request.tenant] >= limit)
+                return PushResult::tenantQuota;
+        }
+        ++tenant_queued_[qr.request.tenant];
         // Insertion sort from the back: typical traffic is same-priority
         // FIFO, where this is O(1).
         auto it = items_.end();
@@ -47,7 +111,7 @@ RequestQueue::push(QueuedRequest &&qr)
         items_.insert(it, std::move(qr));
     }
     nonempty_.notify_one();
-    return true;
+    return PushResult::ok;
 }
 
 bool
@@ -57,21 +121,68 @@ RequestQueue::popBatch(std::vector<QueuedRequest> &out, int max_batch)
     max_batch = std::max(max_batch, 1);
 
     std::unique_lock<std::mutex> lock(mutex_);
-    nonempty_.wait(lock, [this]() { return closed_ || !items_.empty(); });
+    nonempty_.wait(lock, [this]() { return closed_ || dispatchableLocked(); });
     if (items_.empty())
         return false; // closed and drained
 
-    out.push_back(std::move(items_.front()));
-    items_.pop_front();
+    // Closed while every queued tenant is at its cap (only way the
+    // wait predicate passes without a dispatchable item): drain in
+    // plain queue order — the scheduler is shedding, not rendering,
+    // so the caps no longer bound concurrency.
+    const bool draining = closed_ && !dispatchableLocked();
 
-    // Batch compatible (same-model) requests, preserving queue order.
-    // (By value: growing `out` would invalidate a reference into it.)
-    const std::string model = out.front().request.model;
+    // Select the head: the dispatchable request with the highest
+    // effective priority. Without aging that is simply the first
+    // under-cap item in (already sorted) queue order; with aging an
+    // O(n) scan applies the wait-time bonus, which is how a starved
+    // low-priority tenant eventually overtakes a fresh high-priority
+    // stream. Ties keep queue order (scan takes strictly-greater).
+    const double aging = cfg_.qos.agingPriorityPerSecond;
+    auto head = items_.end();
+    if (aging > 0.0) {
+        const Clock::time_point now = Clock::now();
+        double best = 0.0;
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (!draining && tenantAtCapLocked(it->request.tenant))
+                continue;
+            const double p = effectivePriority(*it, aging, now);
+            if (head == items_.end() || p > best) {
+                head = it;
+                best = p;
+            }
+        }
+    } else {
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (draining || !tenantAtCapLocked(it->request.tenant)) {
+                head = it;
+                break;
+            }
+        }
+    }
+    if (head == items_.end())
+        return false; // unreachable; defensive against predicate drift
+
+    auto take = [&](std::list<QueuedRequest>::iterator it) {
+        auto &queued = tenant_queued_[it->request.tenant];
+        if (queued > 0)
+            --queued;
+        ++tenant_inflight_[it->request.tenant];
+        out.push_back(std::move(*it));
+        out.back().tenantSlot = true;
+        return items_.erase(it);
+    };
+
+    const std::string model = head->request.model;
+    take(head);
+
+    // Batch compatible (same-model) requests, preserving queue order
+    // and charging tenant in-flight slots as they are taken, so one
+    // batch cannot blow through a tenant's cap either.
     for (auto it = items_.begin();
          it != items_.end() && static_cast<int>(out.size()) < max_batch;) {
-        if (it->request.model == model) {
-            out.push_back(std::move(*it));
-            it = items_.erase(it);
+        if (it->request.model == model &&
+            (draining || !tenantAtCapLocked(it->request.tenant))) {
+            it = take(it);
         } else {
             ++it;
         }
@@ -79,11 +190,41 @@ RequestQueue::popBatch(std::vector<QueuedRequest> &out, int max_batch)
     return true;
 }
 
+void
+RequestQueue::release(const std::string &tenant)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = tenant_inflight_.find(tenant);
+        if (it == tenant_inflight_.end() || it->second == 0)
+            return; // release without a matching pop: ignore
+        --it->second;
+    }
+    // A popBatch may be blocked precisely on this tenant's cap.
+    nonempty_.notify_all();
+}
+
 std::size_t
 RequestQueue::depth() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return items_.size();
+}
+
+std::size_t
+RequestQueue::tenantQueued(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenant_queued_.find(tenant);
+    return it == tenant_queued_.end() ? 0 : it->second;
+}
+
+std::size_t
+RequestQueue::tenantInFlight(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tenant_inflight_.find(tenant);
+    return it == tenant_inflight_.end() ? 0 : it->second;
 }
 
 void

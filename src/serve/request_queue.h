@@ -1,13 +1,26 @@
 /**
  * @file
- * Bounded MPMC request queue with admission control. Producers (any
- * thread calling RenderServer::submit) push without blocking — a full
- * queue rejects instead, which is the first stage of the server's load
- * shedding. The consumer side pops *batches*: the highest-priority
+ * Bounded MPMC request queue with admission control and per-tenant
+ * QoS. Producers (any thread calling RenderServer::submit) push
+ * without blocking — a full queue or an over-share tenant rejects
+ * instead, which is the first stage of the server's load shedding. The
+ * consumer side pops *batches*: the highest-priority dispatchable
  * request plus queued requests for the same model, so one dispatch
  * shares a model lookup and keeps its tiles hot.
  *
- * Ordering: priority desc, then deadline asc, then FIFO.
+ * Ordering: priority desc, then deadline asc, then FIFO — modulated by
+ * two tenant-fairness mechanisms when configured (TenantQosConfig):
+ *
+ *  - **In-flight caps.** A tenant at its maxInFlightPerTenant cap has
+ *    its queued requests *passed over* at dispatch (not rejected);
+ *    they become eligible again when the scheduler release()s a slot.
+ *  - **Priority aging.** Effective priority grows with time queued
+ *    (agingPriorityPerSecond), so a low-priority tenant behind a
+ *    heavy high-priority one is guaranteed eventual dispatch.
+ *
+ * Queue-share admission (maxQueueShare) bounds how much of the
+ * capacity one tenant may occupy; breaching it is the only QoS path
+ * that rejects (PushResult::tenantQuota → Outcome::rejectedTenantQuota).
  */
 
 #ifndef FUSION3D_SERVE_REQUEST_QUEUE_H_
@@ -17,7 +30,9 @@
 #include <cstdint>
 #include <future>
 #include <list>
+#include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "serve/serve.h"
@@ -35,31 +50,74 @@ struct QueuedRequest
      *  execution start is traced as the "dispatch_wait" span. */
     Clock::time_point dispatched{};
     std::uint64_t id = 0;
+    /** Set by popBatch: this request holds one of its tenant's
+     *  in-flight slots, which the scheduler must release() when the
+     *  request completes. False for requests rejected at admission. */
+    bool tenantSlot = false;
+};
+
+/** Why push() declined (or didn't). */
+enum class PushResult
+{
+    ok,
+    /** The bounded queue is at capacity. */
+    queueFull,
+    /** The submitting tenant already holds its configured share of the
+     *  queue (TenantQosConfig::maxQueueShare); other tenants admit. */
+    tenantQuota,
+    /** The queue was close()d. */
+    closed,
+};
+
+/** Queue configuration: capacity plus the tenant QoS policy. */
+struct QueueConfig
+{
+    std::size_t capacity = 64;
+    TenantQosConfig qos;
 };
 
 /** Bounded multi-producer / multi-consumer priority queue. */
 class RequestQueue
 {
   public:
+    /** Capacity-only shorthand (QoS disabled — single-tenant mode). */
     explicit RequestQueue(std::size_t capacity);
+
+    explicit RequestQueue(const QueueConfig &cfg);
 
     /**
      * Admit @p qr. Never blocks.
-     * @return false if the queue is full or closed (@p qr is left
+     * @return PushResult::ok, or the rejection reason (@p qr is left
      *         intact so the caller can reject it properly).
      */
-    bool push(QueuedRequest &&qr);
+    PushResult push(QueuedRequest &&qr);
 
     /**
-     * Pop a batch: block until a request is available, take the front
-     * (highest priority), then take up to @p max_batch - 1 further
-     * queued requests for the same model, preserving queue order.
+     * Pop a batch: block until a *dispatchable* request is available
+     * (one whose tenant is under its in-flight cap), take the one with
+     * the highest effective (aged) priority, then take up to
+     * @p max_batch - 1 further dispatchable queued requests for the
+     * same model, preserving queue order. Each popped request charges
+     * one in-flight slot to its tenant; the scheduler must release()
+     * the slot when the request completes (on every path).
      * @return false when the queue is closed and drained.
      */
     bool popBatch(std::vector<QueuedRequest> &out, int max_batch);
 
+    /**
+     * Return @p tenant's in-flight slot (one per popped request). Wakes
+     * blocked popBatch callers whose head tenant was at its cap.
+     */
+    void release(const std::string &tenant);
+
     /** Current queued-request count. */
     std::size_t depth() const;
+
+    /** Queued requests billed to @p tenant. */
+    std::size_t tenantQueued(const std::string &tenant) const;
+
+    /** Popped-but-not-released requests billed to @p tenant. */
+    std::size_t tenantInFlight(const std::string &tenant) const;
 
     /** Close the queue: pushes fail, popBatch drains then returns false. */
     void close();
@@ -67,11 +125,21 @@ class RequestQueue
     bool closed() const;
 
   private:
+    /** True if some queued request's tenant is under its in-flight
+     *  cap. Caller holds mutex_. */
+    bool dispatchableLocked() const;
+    bool tenantAtCapLocked(const std::string &tenant) const;
+
     mutable std::mutex mutex_;
     std::condition_variable nonempty_;
-    /** Kept sorted by (priority desc, deadline asc, arrival). */
+    /** Kept sorted by (static priority desc, deadline asc, arrival);
+     *  aging is applied at pop time by scanning effective priorities,
+     *  so the stored order never changes under it. */
     std::list<QueuedRequest> items_;
-    std::size_t capacity_;
+    QueueConfig cfg_;
+    /** Per-tenant queued / in-flight request counts (QoS accounting). */
+    std::map<std::string, std::size_t> tenant_queued_;
+    std::map<std::string, std::size_t> tenant_inflight_;
     bool closed_ = false;
 };
 

@@ -27,7 +27,8 @@ isSloError(Outcome outcome)
     return outcome == Outcome::failedInternal ||
            outcome == Outcome::rejectedDeadline ||
            outcome == Outcome::rejectedQueueFull ||
-           outcome == Outcome::rejectedUnknownModel;
+           outcome == Outcome::rejectedUnknownModel ||
+           outcome == Outcome::rejectedTenantQuota;
 }
 
 double
@@ -62,11 +63,16 @@ upsample(const Image &src, int w, int h)
 
 } // namespace
 
-RenderServer::RenderServer(const ModelRegistry &registry, const ServeConfig &cfg)
+RenderServer::RenderServer(ModelRegistry &registry, const ServeConfig &cfg)
     : registry_(registry),
       cfg_(cfg),
       sessions_(cfg.sessionStore),
-      queue_(static_cast<std::size_t>(std::max(cfg.queueCapacity, 1))),
+      queue_([&cfg] {
+          QueueConfig qc;
+          qc.capacity = static_cast<std::size_t>(std::max(cfg.queueCapacity, 1));
+          qc.qos = cfg.qos;
+          return qc;
+      }()),
       pool_(std::max(cfg.renderThreads, 1))
 {
     if (cfg_.maxInFlight <= 0)
@@ -135,11 +141,21 @@ RenderServer::submit(RenderRequest request)
         std::lock_guard<std::mutex> lock(flight_mutex_);
         ++pending_;
     }
-    if (!queue_.push(std::move(qr))) {
+    const PushResult admitted = queue_.push(std::move(qr));
+    if (admitted != PushResult::ok) {
         // NB: push leaves qr intact on failure.
         RenderResponse response;
-        response.outcome = queue_.closed() ? Outcome::rejectedShutdown
-                                           : Outcome::rejectedQueueFull;
+        switch (admitted) {
+          case PushResult::closed:
+            response.outcome = Outcome::rejectedShutdown;
+            break;
+          case PushResult::tenantQuota:
+            response.outcome = Outcome::rejectedTenantQuota;
+            break;
+          default:
+            response.outcome = Outcome::rejectedQueueFull;
+            break;
+        }
         response.id = qr.id;
         response.latencyMs = msSince(qr.enqueued);
         finish(qr, std::move(response));
@@ -173,8 +189,6 @@ RenderServer::dispatchLoop()
             }
         }
 
-        const ModelEntry *entry = registry_.find(batch.front().request.model);
-
         for (QueuedRequest &qr : batch) {
             // Dispatcher-side work runs under the request's context so
             // shed outcomes and the backpressure wait attribute to it.
@@ -187,12 +201,11 @@ RenderServer::dispatchLoop()
                 finish(qr, std::move(response));
                 continue;
             }
-            if (!entry) {
-                RenderResponse response;
-                response.outcome = Outcome::rejectedUnknownModel;
-                finish(qr, std::move(response));
-                continue;
-            }
+
+            // Model resolution happens on the pool worker
+            // (executeRequest), not here: resolving an evicted model
+            // can stall on a reload, and that stall must cost one
+            // worker, never the dispatcher serving the whole fleet.
 
             // Backpressure: keep at most maxInFlight requests in the
             // pool so overload accumulates in the bounded queue.
@@ -207,8 +220,8 @@ RenderServer::dispatchLoop()
             // at enqueue and restores it around the task, so the
             // executing worker inherits it even when stolen by a
             // helping thread.
-            pool_.submit([this, task, entry]() {
-                executeRequest(std::move(*task), entry);
+            pool_.submit([this, task]() {
+                executeRequest(std::move(*task));
                 // Notify under the lock: a drain()ing thread may destroy
                 // this condition variable as soon as it observes the
                 // decrement, so the broadcast must be ordered before it.
@@ -222,7 +235,7 @@ RenderServer::dispatchLoop()
 }
 
 void
-RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
+RenderServer::executeRequest(QueuedRequest qr)
 {
     // Belt and braces: the pool already restored the enqueue context,
     // but executeRequest must also be correct when called inline.
@@ -235,6 +248,31 @@ RenderServer::executeRequest(QueuedRequest qr, const ModelEntry *entry)
                          tracer.nowNs(), qr.id);
     }
     F3D_TRACE_SPAN("serve", "execute");
+
+    // Resolve-and-pin: the handle keeps this entry alive for the whole
+    // request even if it is evicted, swapped, or removed mid-render, so
+    // every tile of the request sees one model version (never a torn
+    // read). An evicted model transparently reloads here, riding the
+    // retry + breaker path — the request stalls bounded, the dispatcher
+    // keeps flowing.
+    const AcquireResult acq = registry_.acquireOrReload(qr.request.model);
+    if (!acq.entry) {
+        RenderResponse response;
+        // Unknown name → client error; known-but-unloadable (reload
+        // failed, breaker open) → server fault.
+        response.outcome = acq.known ? Outcome::failedInternal
+                                     : Outcome::rejectedUnknownModel;
+        if (acq.known)
+            warn("RenderServer: request %llu for '%s' failed to reload (%s)",
+                 static_cast<unsigned long long>(qr.id),
+                 qr.request.model.c_str(), nerf::loadStatusName(acq.status));
+        finish(qr, std::move(response));
+        return;
+    }
+    if (acq.reloaded)
+        F3D_TRACE_SPAN_ARG("serve", "reload_on_demand", qr.id);
+    const ModelEntry *entry = acq.entry.get();
+
     RenderResponse response;
     try {
         response = runLadder(qr, entry);
@@ -372,8 +410,18 @@ RenderServer::finish(QueuedRequest &qr, RenderResponse &&response)
                           static_cast<std::uint64_t>(response.outcome), true);
     }
     stats_.recordOutcome(response.outcome, response.latencyMs, qr.id);
+    stats_.recordTenant(qr.request.tenant, response.outcome,
+                        response.latencyMs);
     if (slo_)
         slo_->record(response.latencyMs, isSloError(response.outcome), qr.id);
+    if (qr.tenantSlot) {
+        // Give the tenant's in-flight slot back; a dispatcher blocked
+        // on this tenant's cap wakes here. Every popped request passes
+        // through finish() exactly once (render, shed, or throw), so
+        // slots cannot leak.
+        qr.tenantSlot = false;
+        queue_.release(qr.request.tenant);
+    }
     qr.promise.set_value(std::move(response));
     // Notify under the lock (see dispatchLoop): keeps the broadcast
     // ordered before any waiter that goes on to destroy the server.

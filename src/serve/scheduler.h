@@ -63,9 +63,11 @@ class RenderServer
   public:
     /**
      * @param registry Deployed models; must outlive the server.
+     *                 Non-const: serving an evicted model reloads it
+     *                 on demand (ModelRegistry::acquireOrReload).
      * @param cfg      Queueing / threading / degrade parameters.
      */
-    RenderServer(const ModelRegistry &registry, const ServeConfig &cfg);
+    RenderServer(ModelRegistry &registry, const ServeConfig &cfg);
 
     /** Shuts down: rejects new work, completes admitted work, joins. */
     ~RenderServer();
@@ -111,7 +113,10 @@ class RenderServer
 
   private:
     void dispatchLoop();
-    void executeRequest(QueuedRequest qr, const ModelEntry *entry);
+    /** Resolve the model (pinning it; reload-on-demand if evicted),
+     *  run the ladder, finish. Runs on a pool worker, so a reload
+     *  stalls one request, not the dispatcher. */
+    void executeRequest(QueuedRequest qr);
     RenderResponse runLadder(QueuedRequest &qr, const ModelEntry *entry);
     void finish(QueuedRequest &qr, RenderResponse &&response);
     void noteRenderCost(double seconds, std::uint64_t pixels);
@@ -126,7 +131,7 @@ class RenderServer
     void rememberFullFrame(const QueuedRequest &qr, const ModelEntry *entry,
                            nerf::DepthFrame &&frame);
 
-    const ModelRegistry &registry_;
+    ModelRegistry &registry_;
     ServeConfig cfg_;
     ServerStats stats_;
     /** Created (and registered as a metrics collector) when

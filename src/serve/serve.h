@@ -59,10 +59,14 @@ enum class Outcome
      *  the "serve.dispatch.throw" fault point). Terminal: the waiter
      *  gets this response instead of hanging on a dead promise. */
     failedInternal,
+    /** Shed at admission by per-tenant QoS: the submitting tenant
+     *  already holds its configured share of the queue. Other tenants
+     *  are unaffected — this is the isolation working, not overload. */
+    rejectedTenantQuota,
 };
 
 /** Number of Outcome values (counters, per-outcome tables). */
-inline constexpr int kOutcomeCount = 9;
+inline constexpr int kOutcomeCount = 10;
 
 /** Human-readable name of @p outcome. */
 const char *outcomeName(Outcome outcome);
@@ -81,6 +85,13 @@ struct RenderRequest
     Clock::time_point deadline = Clock::time_point::max();
     /** Higher priority is dequeued first. */
     int priority = 0;
+    /**
+     * Tenant this request bills to ("" = the anonymous default
+     * tenant). Per-tenant QoS — admission quotas, in-flight caps,
+     * priority aging, latency quantiles — keys on this id, so one
+     * zipf-heavy tenant cannot starve the tail of the fleet.
+     */
+    std::string tenant;
     /**
      * Client/session id of a camera stream; empty = stateless request.
      * Session requests cache their rendered frame in the server's
@@ -112,6 +123,35 @@ struct RenderResponse
     std::uint64_t id = 0;
 };
 
+/**
+ * Per-tenant quality-of-service policy, enforced in the request queue.
+ * Defaults disable every mechanism, preserving the single-tenant
+ * behaviour bit for bit.
+ */
+struct TenantQosConfig
+{
+    /**
+     * Requests of one tenant allowed in flight (popped but not yet
+     * completed) at once; 0 = unlimited. A tenant at its cap keeps its
+     * requests *queued* — they are passed over at dispatch, not
+     * rejected — so the cap throttles without dropping.
+     */
+    int maxInFlightPerTenant = 0;
+    /**
+     * Fraction of the queue capacity one tenant may occupy, in
+     * (0, 1]. A tenant over its share is shed at admission
+     * (Outcome::rejectedTenantQuota) while other tenants still admit.
+     */
+    double maxQueueShare = 1.0;
+    /**
+     * Priority aging: effective priority grows by this much per second
+     * a request has waited in the queue, so a low-priority tenant
+     * behind a zipf-heavy high-priority one is guaranteed eventual
+     * dispatch. 0 disables aging (strict static priority).
+     */
+    double agingPriorityPerSecond = 0.0;
+};
+
 /** Server configuration. */
 struct ServeConfig
 {
@@ -136,6 +176,9 @@ struct ServeConfig
     /** Injected render delay when the "serve.dispatch.slow" fault point
      *  fires (chaos testing only; the point never fires unarmed). */
     double faultSlowRenderMs = 5.0;
+    /** Per-tenant admission quotas, in-flight caps, and priority
+     *  aging (multi-tenant fleets). */
+    TenantQosConfig qos;
     /** Temporal reprojection of session requests (the accelerate rung
      *  above the degrade ladder). */
     ReprojectConfig reproject;

@@ -30,6 +30,8 @@ outcomeName(Outcome outcome)
         return "rejected_shutdown";
       case Outcome::failedInternal:
         return "failed_internal";
+      case Outcome::rejectedTenantQuota:
+        return "rejected_tenant_quota";
     }
     return "?";
 }
@@ -41,6 +43,7 @@ isRejected(Outcome outcome)
            outcome == Outcome::rejectedDeadline ||
            outcome == Outcome::rejectedUnknownModel ||
            outcome == Outcome::rejectedShutdown ||
+           outcome == Outcome::rejectedTenantQuota ||
            outcome == Outcome::failedInternal;
 }
 
@@ -138,6 +141,80 @@ ServerStats::recordRaysMarched(std::uint64_t n)
     rays_marched_.inc(n);
 }
 
+ServerStats::TenantStats &
+ServerStats::tenantSlotLocked(const std::string &tenant)
+{
+    const std::string &key = tenant.empty() ? std::string("default") : tenant;
+    auto it = tenants_.find(key);
+    if (it == tenants_.end())
+        it = tenants_.emplace(key, std::make_unique<TenantStats>(key)).first;
+    return *it->second;
+}
+
+void
+ServerStats::recordTenant(const std::string &tenant, Outcome outcome,
+                          double latency_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantStats &t = tenantSlotLocked(tenant);
+    ++t.completed;
+    if (isRejected(outcome)) {
+        ++t.shed;
+        if (outcome == Outcome::rejectedTenantQuota)
+            ++t.quotaRejected;
+    } else {
+        ++t.rendered;
+    }
+    t.latency.sample(latency_ms);
+}
+
+std::vector<std::string>
+ServerStats::tenantNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(tenants_.size());
+    for (const auto &[name, t] : tenants_)
+        out.push_back(name);
+    return out;
+}
+
+std::uint64_t
+ServerStats::tenantCompleted(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        tenants_.find(tenant.empty() ? std::string("default") : tenant);
+    return it == tenants_.end() ? 0 : it->second->completed;
+}
+
+std::uint64_t
+ServerStats::tenantShed(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        tenants_.find(tenant.empty() ? std::string("default") : tenant);
+    return it == tenants_.end() ? 0 : it->second->shed;
+}
+
+std::uint64_t
+ServerStats::tenantQuotaRejected(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        tenants_.find(tenant.empty() ? std::string("default") : tenant);
+    return it == tenants_.end() ? 0 : it->second->quotaRejected;
+}
+
+double
+ServerStats::tenantLatencyQuantileMs(const std::string &tenant, double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        tenants_.find(tenant.empty() ? std::string("default") : tenant);
+    return it == tenants_.end() ? 0.0 : it->second->latency.quantile(q);
+}
+
 std::uint64_t
 ServerStats::submitted() const
 {
@@ -177,7 +254,8 @@ ServerStats::shed() const
     return outcomes_[static_cast<int>(Outcome::rejectedQueueFull)]->value() +
            outcomes_[static_cast<int>(Outcome::rejectedDeadline)]->value() +
            outcomes_[static_cast<int>(Outcome::rejectedUnknownModel)]->value() +
-           outcomes_[static_cast<int>(Outcome::rejectedShutdown)]->value();
+           outcomes_[static_cast<int>(Outcome::rejectedShutdown)]->value() +
+           outcomes_[static_cast<int>(Outcome::rejectedTenantQuota)]->value();
 }
 
 std::uint64_t
@@ -293,6 +371,15 @@ ServerStats::collect(obs::MetricSink &sink) const
     sink.gauge("serve.worst_latency_ms", worst_ms_);
     sink.gauge("serve.worst_latency_request_id",
                static_cast<double>(worst_id_));
+    for (const auto &[name, t] : tenants_) {
+        const std::string prefix = "serve.tenant." + name + ".";
+        sink.counter(prefix + "completed", t->completed);
+        sink.counter(prefix + "rendered", t->rendered);
+        sink.counter(prefix + "shed", t->shed);
+        sink.counter(prefix + "quota_rejected", t->quotaRejected);
+        sink.gauge(prefix + "latency_p50_ms", t->latency.quantile(0.50));
+        sink.gauge(prefix + "latency_p99_ms", t->latency.quantile(0.99));
+    }
 }
 
 void

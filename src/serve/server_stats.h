@@ -14,11 +14,15 @@
 #define FUSION3D_SERVE_SERVER_STATS_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/quantiles.h"
 #include "serve/serve.h"
 #include "sim/stats.h"
 
@@ -58,6 +62,14 @@ class ServerStats
     /** Record @p n ray-marched pixels of a non-reproject render (full
      *  or half resolution), so rays/frame is comparable across modes. */
     void recordRaysMarched(std::uint64_t n);
+
+    /**
+     * Record a completed request against its tenant ("" bills to the
+     * "default" tenant): outcome class plus latency into the tenant's
+     * own quantile estimator, exported as serve.tenant.<t>.* metrics.
+     */
+    void recordTenant(const std::string &tenant, Outcome outcome,
+                      double latency_ms);
 
     /** Requests that entered submit(). */
     std::uint64_t submitted() const;
@@ -110,6 +122,19 @@ class ServerStats
     std::uint64_t worstLatencyRequestId() const;
     double worstLatencyMs() const;
 
+    // Per-tenant accounting ("" normalizes to "default").
+    /** Tenants seen by recordTenant, sorted. */
+    std::vector<std::string> tenantNames() const;
+    /** Requests of @p tenant that reached any terminal outcome. */
+    std::uint64_t tenantCompleted(const std::string &tenant) const;
+    /** Requests of @p tenant shed (any rejected/failed outcome). */
+    std::uint64_t tenantShed(const std::string &tenant) const;
+    /** Requests of @p tenant shed by its queue-share quota. */
+    std::uint64_t tenantQuotaRejected(const std::string &tenant) const;
+    /** Latency quantile over @p tenant's completed requests (0 when
+     *  the tenant is unknown). */
+    double tenantLatencyQuantileMs(const std::string &tenant, double q) const;
+
     /** Dump every stat in the StatGroup text format. */
     void dump(std::ostream &os) const;
 
@@ -127,6 +152,23 @@ class ServerStats
   private:
     static constexpr int kOutcomes = kOutcomeCount;
 
+    struct TenantStats
+    {
+        explicit TenantStats(const std::string &name)
+            : latency("serve.tenant." + name + ".latency_ms")
+        {
+        }
+        std::uint64_t completed = 0;
+        std::uint64_t rendered = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t quotaRejected = 0;
+        obs::Quantiles latency;
+    };
+
+    /** The tenant's stats slot, created on first touch. Caller holds
+     *  mutex_. */
+    TenantStats &tenantSlotLocked(const std::string &tenant);
+
     mutable std::mutex mutex_;
     sim::StatGroup group_;
     sim::Counter &submitted_;
@@ -140,6 +182,10 @@ class ServerStats
     sim::Quantiles *outcome_latency_[kOutcomes];
     std::uint64_t worst_id_ = 0;
     double worst_ms_ = 0.0;
+    /** Keyed by normalized tenant id ("" → "default"). unique_ptr:
+     *  obs::Quantiles is not movable across map rehashes we care to
+     *  reason about, and slots are handed out by reference. */
+    std::map<std::string, std::unique_ptr<TenantStats>> tenants_;
     sim::Counter &session_hits_;
     sim::Counter &session_misses_;
     sim::Counter &reproject_fallbacks_;

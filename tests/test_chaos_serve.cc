@@ -313,6 +313,197 @@ TEST_F(ChaosServeTest, StopShedsQueuedBacklogPromptly)
     EXPECT_EQ(server.submit(late).get().outcome, Outcome::rejectedShutdown);
 }
 
+TEST_F(ChaosServeTest, ReloadOnDemandUnderFaultFailsInternalTripsBreaker)
+{
+    // An evicted model whose artifact goes bad must fail requests
+    // *internally* (bounded, no crash, no hang), trip its breaker, and
+    // keep the rest of the fleet serving.
+    const std::string path = savedArtifact("chaos_evict_reload.f3dm");
+    const std::string filler = savedArtifact("chaos_evict_filler.f3dm");
+
+    RegistryConfig rc = fastRegistryConfig();
+    rc.loadMaxAttempts = 2;
+    rc.breakerThreshold = 2;
+    rc.breakerCooldownMs = 30.0;
+    ModelRegistry probe(rc);
+    ASSERT_EQ(probe.addFromFile("size0000", path), nerf::LoadStatus::ok);
+    rc.memoryBudgetBytes = probe.residentBytes() + 4096; // fits ONE model
+
+    ModelRegistry registry(rc);
+    ASSERT_EQ(registry.addFromFile("evicted0", path), nerf::LoadStatus::ok);
+    ASSERT_EQ(registry.addFromFile("resident", filler), nerf::LoadStatus::ok);
+    ASSERT_EQ(registry.find("evicted0"), nullptr)
+        << "a one-model budget must evict the idle first deploy";
+    ASSERT_EQ(registry.evictions(), 1u);
+
+    ServeConfig sc;
+    sc.renderThreads = 1;
+    sc.render.sampler.maxSamplesPerRay = 8;
+    RenderServer server(registry, sc);
+
+    // Storage breaks; every reload-on-demand attempt fails.
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("serve.load.io=always"));
+
+    RenderRequest req;
+    req.model = "evicted0";
+    req.camera = testCamera();
+    EXPECT_EQ(server.submit(req).get().outcome, Outcome::failedInternal);
+    EXPECT_EQ(server.submit(req).get().outcome, Outcome::failedInternal);
+    EXPECT_EQ(registry.breakerState("evicted0"), BreakerState::open);
+    EXPECT_GE(registry.breakerTrips(), 1u);
+    EXPECT_EQ(registry.reloads(), 0u);
+
+    // The resident model is unaffected by its neighbour's broken
+    // artifact (per-model breaker, per-request resolution).
+    RenderRequest ok;
+    ok.model = "resident";
+    ok.camera = testCamera();
+    EXPECT_EQ(server.submit(ok).get().outcome, Outcome::renderedFull);
+
+    // Storage heals, the cooldown elapses: the half-open probe reloads
+    // the evicted model and requests flow again.
+    FaultInjector::instance().reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_EQ(server.submit(req).get().outcome, Outcome::renderedFull);
+    EXPECT_EQ(registry.reloads(), 1u);
+    EXPECT_EQ(registry.breakerState("evicted0"), BreakerState::closed);
+
+    server.drain();
+    EXPECT_EQ(server.stats().completed(), server.stats().submitted());
+}
+
+TEST_F(ChaosServeTest, HotSwapUnderFaultKeepsOldVersionServing)
+{
+    const std::string path_old = savedArtifact("chaos_swap_old.f3dm");
+    // A different-weights artifact for the eventual successful swap.
+    const nerf::NerfModel v2(tinyModelConfig(), /*seed=*/77);
+    const std::string path_new = testing::TempDir() + "chaos_swap_new.f3dm";
+    ASSERT_TRUE(nerf::saveModel(v2, path_new));
+
+    RegistryConfig rc = fastRegistryConfig();
+    rc.loadMaxAttempts = 2;
+    ModelRegistry registry(rc);
+    ASSERT_EQ(registry.addFromFile("live", path_old), nerf::LoadStatus::ok);
+
+    ServeConfig sc;
+    sc.renderThreads = 1;
+    sc.render.sampler.maxSamplesPerRay = 8;
+    RenderServer server(registry, sc);
+
+    RenderRequest req;
+    req.model = "live";
+    req.camera = testCamera();
+    const Image before = server.submit(req).get().image;
+    ASSERT_FALSE(before.empty());
+
+    // The swap's load fails (injected): the live entry must be
+    // untouched and keep serving the exact old frames.
+    ASSERT_TRUE(
+        FaultInjector::instance().configureFromSpec("serve.load.io=always"));
+    EXPECT_EQ(registry.swap("live", path_new), nerf::LoadStatus::ioError);
+    EXPECT_EQ(registry.swaps(), 0u);
+
+    const RenderResponse resp = server.submit(req).get();
+    EXPECT_EQ(resp.outcome, Outcome::renderedFull);
+    ASSERT_EQ(resp.image.width(), before.width());
+    for (int y = 0; y < before.height(); ++y)
+        for (int x = 0; x < before.width(); ++x) {
+            ASSERT_EQ(resp.image.at(x, y).x, before.at(x, y).x);
+            ASSERT_EQ(resp.image.at(x, y).y, before.at(x, y).y);
+            ASSERT_EQ(resp.image.at(x, y).z, before.at(x, y).z);
+        }
+
+    // Storage heals: the swap lands and the served frame changes.
+    FaultInjector::instance().reset();
+    EXPECT_EQ(registry.swap("live", path_new), nerf::LoadStatus::ok);
+    EXPECT_EQ(registry.swaps(), 1u);
+    const Image after = server.submit(req).get().image;
+    bool identical = true;
+    for (int y = 0; identical && y < before.height(); ++y)
+        for (int x = 0; identical && x < before.width(); ++x)
+            identical = after.at(x, y).x == before.at(x, y).x &&
+                        after.at(x, y).y == before.at(x, y).y &&
+                        after.at(x, y).z == before.at(x, y).z;
+    EXPECT_FALSE(identical) << "a successful swap must change the weights";
+
+    server.drain();
+    EXPECT_EQ(server.stats().completed(), server.stats().submitted());
+}
+
+TEST_F(ChaosServeTest, EvictionReloadChaosReplaysExactlyPerSeed)
+{
+    // Two models sharing a one-model budget ping-pong evict each other,
+    // so nearly every request is a reload-on-demand — under a seeded
+    // probabilistic load fault. Outcomes must stay in {renderedFull,
+    // failedInternal}, and the whole fault schedule must replay
+    // exactly per seed.
+    const std::string paths[2] = {savedArtifact("chaos_pp_0.f3dm"),
+                                  savedArtifact("chaos_pp_1.f3dm")};
+
+    RegistryConfig rc = fastRegistryConfig();
+    rc.loadMaxAttempts = 2;
+    rc.breakerThreshold = 1000; // keep time-based cooldown out of replay
+    ModelRegistry probe(rc);
+    ASSERT_EQ(probe.addFromFile("size0000", paths[0]), nerf::LoadStatus::ok);
+    rc.memoryBudgetBytes = probe.residentBytes() + 4096;
+
+    constexpr int kRequests = 20;
+    const auto runChaos = [&](std::uint64_t seed, std::uint64_t *fires_out) {
+        ASSERT_TRUE(FaultInjector::instance().configureFromSpec(
+            strprintf("serve.load.io=p0.3;seed=%llu",
+                      static_cast<unsigned long long>(seed))));
+
+        ModelRegistry registry(rc);
+        // Load both once, faults off for the setup... the spec is
+        // already armed, so route the setup through the retry path and
+        // require eventual success (p0.3^2 per call can still fail —
+        // retry the deploy until it lands; checks stay seed-ordered).
+        for (int m = 0; m < 2; ++m) {
+            nerf::LoadStatus st = nerf::LoadStatus::ioError;
+            for (int tries = 0; st != nerf::LoadStatus::ok && tries < 16;
+                 ++tries)
+                st = registry.addFromFile(m == 0 ? "pp000000" : "pp000001",
+                                          paths[m]);
+            ASSERT_EQ(st, nerf::LoadStatus::ok);
+        }
+
+        ServeConfig sc;
+        sc.renderThreads = 1;
+        sc.maxInFlight = 1;
+        sc.render.sampler.maxSamplesPerRay = 8;
+        RenderServer server(registry, sc);
+
+        int failed = 0;
+        for (int i = 0; i < kRequests; ++i) {
+            RenderRequest req;
+            req.model = i % 2 == 0 ? "pp000000" : "pp000001";
+            req.camera = testCamera();
+            const RenderResponse r = server.submit(req).get();
+            ASSERT_TRUE(r.outcome == Outcome::renderedFull ||
+                        r.outcome == Outcome::failedInternal)
+                << outcomeName(r.outcome);
+            failed += r.outcome == Outcome::failedInternal ? 1 : 0;
+        }
+        server.drain();
+        EXPECT_EQ(server.stats().completed(), server.stats().submitted());
+        EXPECT_EQ(server.stats().failed(), static_cast<std::uint64_t>(failed));
+        EXPECT_GT(registry.reloads() + static_cast<std::uint64_t>(failed), 0u)
+            << "the ping-pong budget must force reload-on-demand traffic";
+        *fires_out = FaultInjector::instance().fires("serve.load.io");
+    };
+
+    for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+        SCOPED_TRACE(seed);
+        std::uint64_t fires_first = 0, fires_replay = 0;
+        runChaos(seed, &fires_first);
+        runChaos(seed, &fires_replay);
+        // Same seed, same sequential request schedule: the exact same
+        // faults fire at the exact same decision points.
+        EXPECT_EQ(fires_replay, fires_first);
+    }
+}
+
 TEST_F(ChaosServeTest, RegistryMetricsAreExported)
 {
     const std::string path = savedArtifact("chaos_metrics.f3dm");

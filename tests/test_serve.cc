@@ -247,6 +247,60 @@ TEST(RenderServer, OverloadShedsAtAdmissionAndDrainsClean)
     EXPECT_NE(os.str().find("serve.latency_ms"), std::string::npos);
 }
 
+TEST(RenderServer, RemoveDuringTrafficDrainsClean)
+{
+    // Unload-during-traffic lifecycle: a model is removed from the
+    // registry while a client is mid-burst. In-flight renders hold
+    // their pinned entry and complete; requests resolved after the
+    // removal come back rejectedUnknownModel; nothing crashes, hangs,
+    // or trips TSan.
+    ModelRegistry registry(8);
+    registry.add("doomed",
+                 std::make_unique<nerf::NerfModel>(tinyModelConfig(), 5));
+    registry.add("stays",
+                 std::make_unique<nerf::NerfModel>(tinyModelConfig(), 6));
+
+    ServeConfig sc;
+    sc.renderThreads = 2;
+    sc.render.sampler.maxSamplesPerRay = 8;
+    RenderServer server(registry, sc);
+
+    constexpr int kRequests = 16;
+    std::vector<std::future<RenderResponse>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+        RenderRequest req;
+        req.model = i % 2 == 0 ? "doomed" : "stays";
+        req.camera = testCamera(16);
+        futures.push_back(server.submit(req));
+        if (i == kRequests / 2)
+            EXPECT_TRUE(registry.removeModel("doomed"));
+    }
+
+    int rendered = 0, unknown = 0;
+    for (auto &f : futures) {
+        const RenderResponse r = f.get();
+        ASSERT_TRUE(!isRejected(r.outcome) ||
+                    r.outcome == Outcome::rejectedUnknownModel)
+            << outcomeName(r.outcome);
+        rendered += isRejected(r.outcome) ? 0 : 1;
+        unknown += r.outcome == Outcome::rejectedUnknownModel ? 1 : 0;
+    }
+    // The surviving model must have served its whole half.
+    EXPECT_GE(rendered, kRequests / 2);
+    EXPECT_EQ(rendered + unknown, kRequests);
+
+    // Removed for good: no artifact path remembered, so a new request
+    // is an unknown model, not a reload.
+    RenderRequest req;
+    req.model = "doomed";
+    req.camera = testCamera(16);
+    EXPECT_EQ(server.submit(req).get().outcome, Outcome::rejectedUnknownModel);
+
+    server.drain();
+    EXPECT_EQ(server.stats().completed(), server.stats().submitted());
+    EXPECT_FALSE(registry.removeModel("never-registered"));
+}
+
 TEST(RenderServer, PriorityOrdersTheQueue)
 {
     RequestQueue queue(8);
@@ -255,7 +309,7 @@ TEST(RenderServer, PriorityOrdersTheQueue)
         qr.request.model = "m";
         qr.request.priority = i; // ascending: later pushes more urgent
         qr.id = static_cast<std::uint64_t>(i);
-        ASSERT_TRUE(queue.push(std::move(qr)));
+        ASSERT_EQ(queue.push(std::move(qr)), PushResult::ok);
     }
     std::vector<QueuedRequest> batch;
     ASSERT_TRUE(queue.popBatch(batch, 8));
@@ -271,7 +325,7 @@ TEST(RenderServer, QueueBatchesOnlyCompatibleRequests)
     for (const char *m : models) {
         QueuedRequest qr;
         qr.request.model = m;
-        ASSERT_TRUE(queue.push(std::move(qr)));
+        ASSERT_EQ(queue.push(std::move(qr)), PushResult::ok);
     }
     std::vector<QueuedRequest> batch;
     ASSERT_TRUE(queue.popBatch(batch, 8));
