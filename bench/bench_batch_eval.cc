@@ -1,16 +1,21 @@
 /**
  * @file
- * Batched-vs-scalar field-evaluation bench: samples/sec of the scalar
- * forwardPoint loop against the SoA forwardBatch core at batch sizes
- * 1/32/256/2048, on the default bench model. Prints the usual table
- * plus one machine-readable JSON summary line (prefixed "JSON:") and
- * exits non-zero if the batched path is slower than scalar at batch
- * 256 — the CI smoke gate for the GEMM-shaped pipeline.
+ * Batched-vs-scalar field-evaluation bench across every backend:
+ * samples/sec of the scalar forwardPoint loop against the batched SoA
+ * core at batch sizes 1/32/256/2048. Covers the hash-grid NerfModel
+ * (forwardBatch), the frequency-encoded FreqNerfModel, and the
+ * CP-factorized TensorfModel (forwardPointBatch). Prints the usual
+ * table per backend plus one machine-readable JSON summary line
+ * (prefixed "JSON:", kept as the BENCH_backends.json CI artifact) and
+ * exits non-zero if any selected backend's batched path is slower than
+ * scalar at batch 256 — the CI smoke gate for the GEMM-shaped pipeline.
  *
- * Usage: bench_batch_eval [--quick] [samples_per_config]
+ * Usage: bench_batch_eval [--quick] [--backend nerf|freq|tensorf|all]
+ *                         [samples_per_config]
  *
- *  --quick  reduce the per-configuration sample budget for CI smoke
- *           runs (the speedup, not the absolute rate, is the gate).
+ *  --quick    reduce the per-configuration sample budget for CI smoke
+ *             runs (the speedup, not the absolute rate, is the gate).
+ *  --backend  which backend(s) to measure (default all).
  */
 
 #include <chrono>
@@ -23,7 +28,9 @@
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "nerf/freq_nerf.h"
 #include "nerf/nerf_model.h"
+#include "nerf/tensorf.h"
 
 using namespace fusion3d;
 
@@ -38,6 +45,13 @@ struct EvalPoint
     double speedup;
 };
 
+struct BackendResult
+{
+    const char *backend;
+    std::vector<EvalPoint> points;
+    double speedup256 = 0.0;
+};
+
 double
 secondsSince(const std::chrono::steady_clock::time_point &t0)
 {
@@ -45,16 +59,36 @@ secondsSince(const std::chrono::steady_clock::time_point &t0)
         .count();
 }
 
-EvalPoint
-measure(const nerf::NerfModel &model, std::size_t batch, std::size_t budget)
+void
+fillInputs(std::size_t batch, std::vector<Vec3f> &pos, std::vector<Vec3f> &dirs)
 {
     Pcg32 rng(2026);
-    std::vector<Vec3f> pos(batch), dirs(batch);
+    pos.resize(batch);
+    dirs.resize(batch);
     for (std::size_t j = 0; j < batch; ++j) {
         pos[j] = clamp(rng.nextVec3(), 0.01f, 0.99f);
         dirs[j] = rng.nextUnitVector();
     }
+}
 
+EvalPoint
+finishPoint(std::size_t batch, std::size_t reps, double scalar_s,
+            double batched_s)
+{
+    EvalPoint p{};
+    p.batch = batch;
+    const double samples = static_cast<double>(reps * batch);
+    p.scalarSps = samples / scalar_s;
+    p.batchedSps = samples / batched_s;
+    p.speedup = p.batchedSps / p.scalarSps;
+    return p;
+}
+
+EvalPoint
+measureNerf(const nerf::NerfModel &model, std::size_t batch, std::size_t budget)
+{
+    std::vector<Vec3f> pos, dirs;
+    fillInputs(batch, pos, dirs);
     const std::size_t reps = std::max<std::size_t>(1, budget / batch);
     std::vector<float> sigmas(batch);
     std::vector<Vec3f> rgbs(batch);
@@ -79,14 +113,65 @@ measure(const nerf::NerfModel &model, std::size_t batch, std::size_t budget)
     const double batched_s = secondsSince(t1);
     if (sum_scalar < 0.0 && sum_batched < 0.0) // sigmas are positive
         fatal("impossible checksum");
+    return finishPoint(batch, reps, scalar_s, batched_s);
+}
 
-    EvalPoint p{};
-    p.batch = batch;
-    const double samples = static_cast<double>(reps * batch);
-    p.scalarSps = samples / scalar_s;
-    p.batchedSps = samples / batched_s;
-    p.speedup = p.batchedSps / p.scalarSps;
-    return p;
+/** The point-model backends (FreqNeRF, TensoRF) share the batched
+ *  contract, so one template measures both. */
+template <class ModelT>
+EvalPoint
+measurePointModel(ModelT &model, std::size_t batch, std::size_t budget)
+{
+    std::vector<Vec3f> pos, dirs;
+    fillInputs(batch, pos, dirs);
+    const std::size_t reps = std::max<std::size_t>(1, budget / batch);
+    std::vector<float> sigmas(batch);
+    std::vector<Vec3f> rgbs(batch);
+
+    double sum_scalar = 0.0, sum_batched = 0.0;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep)
+        for (std::size_t j = 0; j < batch; ++j)
+            sum_scalar += model.forwardPoint(pos[j], dirs[j]).sigma;
+    const double scalar_s = secondsSince(t0);
+
+    typename ModelT::BatchWorkspace ws = model.makeBatchWorkspace();
+    const auto t1 = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        model.forwardPointBatch(pos, dirs, ws, sigmas, rgbs);
+        sum_batched += sigmas[rep % batch];
+    }
+    const double batched_s = secondsSince(t1);
+    if (sum_scalar < 0.0 && sum_batched < 0.0) // sigmas are positive
+        fatal("impossible checksum");
+    return finishPoint(batch, reps, scalar_s, batched_s);
+}
+
+constexpr std::size_t kBatches[] = {1, 32, 256, 2048};
+
+template <class MeasureFn>
+BackendResult
+runBackend(const char *backend, std::size_t budget, MeasureFn &&measure)
+{
+    bench::banner((std::string("Batched SoA field evaluation [") + backend +
+                   "]: samples/s vs batch size")
+                      .c_str());
+    std::printf("%-12s %16s %16s %10s\n", "batch", "scalar (sm/s)",
+                "batched (sm/s)", "speedup");
+
+    BackendResult r;
+    r.backend = backend;
+    for (const std::size_t batch : kBatches) {
+        r.points.push_back(measure(batch, budget));
+        const EvalPoint &p = r.points.back();
+        if (p.batch == 256)
+            r.speedup256 = p.speedup;
+        std::printf("%-12zu %16.0f %16.0f %9.2fx\n", p.batch, p.scalarSps,
+                    p.batchedSps, p.speedup);
+    }
+    bench::rule();
+    return r;
 }
 
 } // namespace
@@ -96,61 +181,83 @@ main(int argc, char **argv)
 {
     std::size_t budget = 1u << 19;
     bool quick = false;
+    std::string backend = "all";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc)
+            backend = argv[++i];
         else if (std::atoll(argv[i]) > 0)
             budget = static_cast<std::size_t>(std::atoll(argv[i]));
         else
-            fatal("usage: %s [--quick] [samples_per_config]", argv[0]);
+            fatal("usage: %s [--quick] [--backend nerf|freq|tensorf|all] "
+                  "[samples_per_config]",
+                  argv[0]);
     }
+    if (backend != "all" && backend != "nerf" && backend != "freq" &&
+        backend != "tensorf")
+        fatal("unknown --backend '%s' (want nerf|freq|tensorf|all)",
+              backend.c_str());
     if (quick)
         budget = std::min<std::size_t>(budget, 1u << 16);
 
-    const nerf::NerfModelConfig mc = bench::defaultPipeline().model;
-    const nerf::NerfModel model(mc, 2024);
-
-    bench::banner("Batched SoA field evaluation: samples/s vs batch size");
-    std::printf("%-12s %16s %16s %10s\n", "batch", "scalar (sm/s)",
-                "batched (sm/s)", "speedup");
-
-    std::vector<EvalPoint> points;
-    double speedup_256 = 0.0;
-    for (const std::size_t batch : {std::size_t{1}, std::size_t{32},
-                                    std::size_t{256}, std::size_t{2048}}) {
-        points.push_back(measure(model, batch, budget));
-        const EvalPoint &p = points.back();
-        if (p.batch == 256)
-            speedup_256 = p.speedup;
-        std::printf("%-12zu %16.0f %16.0f %9.2fx\n", p.batch, p.scalarSps,
-                    p.batchedSps, p.speedup);
+    std::vector<BackendResult> results;
+    if (backend == "all" || backend == "nerf") {
+        const nerf::NerfModelConfig mc = bench::defaultPipeline().model;
+        const nerf::NerfModel model(mc, 2024);
+        results.push_back(runBackend(
+            "hash_grid", budget, [&](std::size_t batch, std::size_t bgt) {
+                return measureNerf(model, batch, bgt);
+            }));
     }
-    bench::rule();
+    if (backend == "all" || backend == "freq") {
+        nerf::FreqNerfModel model(nerf::FreqNerfConfig{}, 2024);
+        results.push_back(runBackend(
+            "freq_nerf", budget, [&](std::size_t batch, std::size_t bgt) {
+                return measurePointModel(model, batch, bgt);
+            }));
+    }
+    if (backend == "all" || backend == "tensorf") {
+        nerf::TensorfModel model(nerf::TensorfModelConfig{}, 2024);
+        results.push_back(runBackend(
+            "tensorf", budget, [&](std::size_t batch, std::size_t bgt) {
+                return measurePointModel(model, batch, bgt);
+            }));
+    }
 
     std::string json = "{\"bench\":\"batch_eval\",\"quick\":" +
                        std::string(quick ? "true" : "false") +
                        ",\"samples_per_config\":" + std::to_string(budget) +
-                       ",\"points\":[";
+                       ",\"backends\":[";
     char buf[192];
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const EvalPoint &p = points[i];
-        std::snprintf(buf, sizeof(buf),
-                      "%s{\"batch\":%zu,\"scalar_sps\":%.0f,"
-                      "\"batched_sps\":%.0f,\"speedup\":%.3f}",
-                      i ? "," : "", p.batch, p.scalarSps, p.batchedSps,
-                      p.speedup);
+    for (std::size_t b = 0; b < results.size(); ++b) {
+        const BackendResult &r = results[b];
+        json += std::string(b ? "," : "") + "{\"backend\":\"" + r.backend +
+                "\",\"points\":[";
+        for (std::size_t i = 0; i < r.points.size(); ++i) {
+            const EvalPoint &p = r.points[i];
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"batch\":%zu,\"scalar_sps\":%.0f,"
+                          "\"batched_sps\":%.0f,\"speedup\":%.3f}",
+                          i ? "," : "", p.batch, p.scalarSps, p.batchedSps,
+                          p.speedup);
+            json += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "],\"speedup_256\":%.3f}", r.speedup256);
         json += buf;
     }
-    std::snprintf(buf, sizeof(buf), "],\"speedup_256\":%.3f}", speedup_256);
-    json += buf;
+    json += "]}";
     std::printf("JSON: %s\n", json.c_str());
 
-    if (speedup_256 < 1.0) {
-        std::fprintf(stderr,
-                     "FAIL: batched path slower than scalar at batch 256 "
-                     "(speedup %.3fx < 1.0x)\n",
-                     speedup_256);
-        return 1;
+    bool failed = false;
+    for (const BackendResult &r : results) {
+        if (r.speedup256 < 1.0) {
+            std::fprintf(stderr,
+                         "FAIL: [%s] batched path slower than scalar at batch "
+                         "256 (speedup %.3fx < 1.0x)\n",
+                         r.backend, r.speedup256);
+            failed = true;
+        }
     }
-    return 0;
+    return failed ? 1 : 0;
 }

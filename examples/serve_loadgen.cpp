@@ -37,12 +37,17 @@
  *                  per-tenant p99.
  *
  * Usage: serve_loadgen [frames_per_config] [resolution]
- *            [--orbit] [--sessions N]
+ *            [--orbit] [--sessions N] [--tensorf]
  *            [--fleet N] [--zipf S] [--tenants T] [--budget M]
  *            [--trace FILE] [--metrics FILE] [--faults SPEC]
  *            [--slo TARGET_MS] [--flight-dump DIR] [--metrics-prefix P]
  *
  *  --orbit         run the session-trace mode described above;
+ *  --tensorf       deploy the demo model as a TensoRF (CP-factorized)
+ *                  backend from a `.f3dm` v3 artifact instead of the
+ *                  in-memory hash-grid model; the serve path is
+ *                  backend-polymorphic, so the scaling/overload/orbit
+ *                  phases run unchanged against it;
  *  --sessions N    number of concurrent streams in --orbit mode;
  *  --fleet N       run the fleet mode described above with N models;
  *  --zipf S        zipf exponent of the fleet's popularity curve
@@ -97,6 +102,7 @@
 #include "common/rng.h"
 #include "nerf/nerf_model.h"
 #include "nerf/serialize.h"
+#include "nerf/tensorf.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
@@ -122,6 +128,20 @@ demoModelConfig()
     cfg.densityHidden = 16;
     cfg.colorHidden = 16;
     cfg.shDegree = 2;
+    return cfg;
+}
+
+/** The demo scene as a TensoRF backend (--tensorf), serve-sized like
+ *  demoModelConfig(). */
+nerf::TensorfModelConfig
+demoTensorfConfig()
+{
+    nerf::TensorfModelConfig cfg;
+    cfg.densityRank = 6;
+    cfg.appearanceRank = 8;
+    cfg.lineResolution = 48;
+    cfg.appearanceDim = 8;
+    cfg.colorHidden = 16;
     return cfg;
 }
 
@@ -575,6 +595,7 @@ main(int argc, char **argv)
     int frames = 24;
     int size = 48;
     bool orbit = false;
+    bool tensorf = false;
     int sessions = 4;
     int fleet_n = 0;
     double zipf_s = 1.1;
@@ -594,6 +615,8 @@ main(int argc, char **argv)
             fault_spec = argv[++i];
         } else if (std::strcmp(argv[i], "--orbit") == 0) {
             orbit = true;
+        } else if (std::strcmp(argv[i], "--tensorf") == 0) {
+            tensorf = true;
         } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
             sessions = std::max(std::atoi(argv[++i]), 1);
         } else if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
@@ -620,6 +643,7 @@ main(int argc, char **argv)
             ++positional;
         } else {
             fatal("usage: %s [frames] [resolution] [--orbit] [--sessions N] "
+                  "[--tensorf] "
                   "[--fleet N] [--zipf S] [--tenants T] [--budget M] "
                   "[--trace FILE] [--metrics FILE] [--faults SPEC] "
                   "[--slo TARGET_MS] [--flight-dump DIR] "
@@ -664,8 +688,40 @@ main(int argc, char **argv)
                              budget_models, metrics_path, trace_path);
 
     serve::ModelRegistry registry(/*occupancy_resolution=*/16);
-    registry.add("demo",
-                 std::make_unique<nerf::NerfModel>(demoModelConfig(), 2024));
+    std::string tensorf_path;
+    if (tensorf) {
+        // Deploy through the real artifact path: write a `.f3dm` v3
+        // TensoRF artifact, then addFromFile() — exactly what a
+        // production deploy does. Everything downstream (batching,
+        // degrade ladder, sessions) is backend-agnostic.
+        const nerf::TensorfModel model(demoTensorfConfig(), 2024);
+        const nerf::TensorfServeField field(model);
+        tensorf_path = (std::filesystem::temp_directory_path() /
+                        "serve_loadgen_tensorf.f3dm")
+                           .string();
+        if (!nerf::saveFieldAtomic(field, tensorf_path))
+            fatal("cannot write TensoRF artifact %s", tensorf_path.c_str());
+        if (registry.addFromFile("demo", tensorf_path) !=
+            nerf::LoadStatus::ok)
+            fatal("failed to deploy TensoRF artifact %s",
+                  tensorf_path.c_str());
+        inform("demo model: TensoRF backend from v3 artifact %s",
+               tensorf_path.c_str());
+    } else {
+        registry.add("demo", std::make_unique<nerf::NerfModel>(
+                                 demoModelConfig(), 2024));
+    }
+    // Keep the artifact until exit: the registry remembers its path
+    // for reload-on-demand.
+    struct ArtifactCleanup
+    {
+        std::string path;
+        ~ArtifactCleanup()
+        {
+            if (!path.empty())
+                std::remove(path.c_str());
+        }
+    } artifact_cleanup{tensorf_path};
 
     if (orbit)
         return runOrbitTrace(registry, frames, size, sessions, metrics_path,

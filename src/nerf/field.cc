@@ -1,0 +1,54 @@
+#include "nerf/field.h"
+
+#include "nerf/nerf_model.h"
+
+namespace fusion3d::nerf
+{
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+    case BackendKind::hashGrid:
+        return "hash_grid";
+    case BackendKind::freqNerf:
+        return "freq_nerf";
+    case BackendKind::tensorf:
+        return "tensorf";
+    }
+    return "unknown";
+}
+
+HashGridServeField::HashGridServeField(std::unique_ptr<NerfModel> model)
+    : owned_(std::move(model))
+{
+}
+
+HashGridServeField::HashGridServeField(const NerfModel &model) : borrowed_(&model) {}
+
+HashGridServeField::~HashGridServeField() = default;
+
+std::size_t
+HashGridServeField::paramCount() const
+{
+    return model().paramCount();
+}
+
+void
+HashGridServeField::evalBatch(std::span<const Vec3f> positions,
+                              std::span<const Vec3f> dirs, std::span<float> sigmas,
+                              std::span<Vec3f> rgbs) const
+{
+    NerfBatchWorkspace ws = model().makeBatchWorkspace();
+    model().forwardBatch(positions, dirs, ws, sigmas, rgbs);
+}
+
+void
+HashGridServeField::evalDensityBatch(std::span<const Vec3f> positions,
+                                     std::span<float> sigmas) const
+{
+    NerfBatchWorkspace ws = model().makeBatchWorkspace();
+    model().queryDensityBatch(positions, ws, sigmas);
+}
+
+} // namespace fusion3d::nerf

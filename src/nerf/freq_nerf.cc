@@ -133,6 +133,179 @@ FreqNerfModel::backwardPoint(const Vec3f &pos, const Vec3f &dir, float dsigma,
 }
 
 void
+FreqNerfModel::queryDensityBatch(std::span<const Vec3f> pos, BatchWorkspace &ws,
+                                 std::span<float> sigmas) const
+{
+    const std::size_t n = pos.size();
+    if (sigmas.size() < n)
+        panic("FreqNerfModel::queryDensityBatch: output span too small");
+    const std::size_t pd = static_cast<std::size_t>(cfg_.posDims());
+
+    // Feature-major frequency encode: same per-value arithmetic as
+    // freqEncode(), laid out [posDims][N] for the batched GEMM.
+    if (ws.encoded.size() < pd * n)
+        ws.encoded.resize(pd * n);
+    for (std::size_t s = 0; s < n; ++s) {
+        ws.encoded[0 * n + s] = pos[s].x;
+        ws.encoded[1 * n + s] = pos[s].y;
+        ws.encoded[2 * n + s] = pos[s].z;
+        std::size_t f = 3;
+        float scale = kPi;
+        for (int k = 0; k < cfg_.posFrequencies; ++k) {
+            for (int axis = 0; axis < 3; ++axis) {
+                const float v = pos[s][axis] * scale;
+                ws.encoded[f++ * n + s] = std::sin(v);
+                ws.encoded[f++ * n + s] = std::cos(v);
+            }
+            scale *= 2.0f;
+        }
+    }
+
+    const std::span<const float> out =
+        trunk_->forwardBatch({ws.encoded.data(), pd * n}, n, ws.trunkWs);
+    if (ws.rawSigma.size() < n)
+        ws.rawSigma.resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        ws.rawSigma[s] = out[s]; // trunk output row 0
+        sigmas[s] = NerfModel::densityActivation(ws.rawSigma[s]);
+    }
+}
+
+void
+FreqNerfModel::forwardPointBatch(std::span<const Vec3f> pos,
+                                 std::span<const Vec3f> dirs, BatchWorkspace &ws,
+                                 std::span<float> sigmas, std::span<Vec3f> rgbs) const
+{
+    const std::size_t n = pos.size();
+    if (dirs.size() < n || sigmas.size() < n || rgbs.size() < n)
+        panic("FreqNerfModel::forwardPointBatch: span size mismatch");
+
+    queryDensityBatch(pos, ws, sigmas);
+    const std::span<const float> trunk_out = ws.trunkWs.activations.back();
+
+    const std::size_t geo = static_cast<std::size_t>(cfg_.geoFeatures);
+    const std::size_t shd = static_cast<std::size_t>(cfg_.shDims());
+    if (ws.colorIn.size() < (geo + shd) * n)
+        ws.colorIn.resize((geo + shd) * n);
+    if (ws.sh.size() < shd)
+        ws.sh.resize(shd);
+    for (std::size_t i = 0; i < geo; ++i)
+        for (std::size_t s = 0; s < n; ++s)
+            ws.colorIn[i * n + s] = trunk_out[(i + 1) * n + s];
+    for (std::size_t s = 0; s < n; ++s) {
+        shEncode(dirs[s], cfg_.shDegree, ws.sh);
+        for (std::size_t i = 0; i < shd; ++i)
+            ws.colorIn[(geo + i) * n + s] = ws.sh[i];
+    }
+
+    const std::span<const float> out = color_net_->forwardBatch(
+        {ws.colorIn.data(), (geo + shd) * n}, n, ws.colorWs);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (int i = 0; i < 3; ++i) {
+            const float r = out[static_cast<std::size_t>(i) * n + s];
+            rgbs[s].at(i) = r >= 0.0f ? 1.0f / (1.0f + std::exp(-r))
+                                      : std::exp(r) / (1.0f + std::exp(r));
+        }
+    }
+}
+
+namespace
+{
+
+/** Fill the two batched output-gradient matrices from the recomputed
+ *  forward activations (shared by both batched backward variants). */
+void
+freqBackwardDeltas(const FreqNerfConfig &cfg, std::span<const float> dsigmas,
+                   std::span<const Vec3f> drgbs, std::size_t n,
+                   FreqNerfBatchWorkspace &ws)
+{
+    if (ws.dColorOut.size() < 3 * n)
+        ws.dColorOut.resize(3 * n);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (int i = 0; i < 3; ++i) {
+            const float sv = ws.fwdRgbs[s][i];
+            ws.dColorOut[static_cast<std::size_t>(i) * n + s] =
+                drgbs[s][i] * sv * (1.0f - sv);
+        }
+    }
+    const std::size_t geo = static_cast<std::size_t>(cfg.geoFeatures);
+    if (ws.dTrunkOut.size() < (1 + geo) * n)
+        ws.dTrunkOut.resize((1 + geo) * n);
+    for (std::size_t s = 0; s < n; ++s)
+        ws.dTrunkOut[s] = dsigmas[s] * NerfModel::densityActivationGrad(
+                                           ws.rawSigma[s], ws.fwdSigmas[s]);
+    // Rows 1.. come from the color net's input gradient (filled by the
+    // caller after its color backward pass).
+}
+
+} // namespace
+
+void
+FreqNerfModel::backwardPointBatch(std::span<const Vec3f> pos,
+                                  std::span<const Vec3f> dirs,
+                                  std::span<const float> dsigmas,
+                                  std::span<const Vec3f> drgbs, BatchWorkspace &ws)
+{
+    const std::size_t n = pos.size();
+    if (ws.fwdSigmas.size() < n)
+        ws.fwdSigmas.resize(n);
+    if (ws.fwdRgbs.size() < n)
+        ws.fwdRgbs.resize(n);
+    forwardPointBatch(pos, dirs, ws, ws.fwdSigmas, ws.fwdRgbs);
+    freqBackwardDeltas(cfg_, dsigmas, drgbs, n, ws);
+
+    color_net_->backwardBatch({ws.dColorOut.data(), 3 * n}, n, ws.colorWs);
+    const std::size_t geo = static_cast<std::size_t>(cfg_.geoFeatures);
+    for (std::size_t i = 0; i < geo; ++i)
+        for (std::size_t s = 0; s < n; ++s)
+            ws.dTrunkOut[(i + 1) * n + s] = ws.colorWs.dinput[i * n + s];
+    trunk_->backwardBatch({ws.dTrunkOut.data(), (1 + geo) * n}, n, ws.trunkWs);
+}
+
+void
+FreqNerfModel::backwardPointBatchInto(std::span<const Vec3f> pos,
+                                      std::span<const Vec3f> dirs,
+                                      std::span<const float> dsigmas,
+                                      std::span<const Vec3f> drgbs,
+                                      BatchWorkspace &ws,
+                                      std::span<float> grads) const
+{
+    const std::size_t n = pos.size();
+    if (grads.size() < gradCount())
+        panic("FreqNerfModel::backwardPointBatchInto: gradient span too small");
+    if (ws.fwdSigmas.size() < n)
+        ws.fwdSigmas.resize(n);
+    if (ws.fwdRgbs.size() < n)
+        ws.fwdRgbs.resize(n);
+    forwardPointBatch(pos, dirs, ws, ws.fwdSigmas, ws.fwdRgbs);
+    freqBackwardDeltas(cfg_, dsigmas, drgbs, n, ws);
+
+    const std::size_t trunk_params = trunk_->paramCount();
+    color_net_->backwardBatchInto({ws.dColorOut.data(), 3 * n}, n, ws.colorWs,
+                                  grads.subspan(trunk_params));
+    const std::size_t geo = static_cast<std::size_t>(cfg_.geoFeatures);
+    for (std::size_t i = 0; i < geo; ++i)
+        for (std::size_t s = 0; s < n; ++s)
+            ws.dTrunkOut[(i + 1) * n + s] = ws.colorWs.dinput[i * n + s];
+    trunk_->backwardBatchInto({ws.dTrunkOut.data(), (1 + geo) * n}, n, ws.trunkWs,
+                              grads.first(trunk_params));
+}
+
+void
+FreqNerfModel::accumulateGradients(std::span<const float> grads)
+{
+    if (grads.size() < gradCount())
+        panic("FreqNerfModel::accumulateGradients: gradient span too small");
+    const std::span<float> tg = trunk_->grads();
+    for (std::size_t i = 0; i < tg.size(); ++i)
+        tg[i] += grads[i];
+    const std::span<float> cg = color_net_->grads();
+    const std::size_t off = tg.size();
+    for (std::size_t i = 0; i < cg.size(); ++i)
+        cg[i] += grads[off + i];
+}
+
+void
 FreqNerfModel::zeroGrads()
 {
     trunk_->zeroGrads();

@@ -18,6 +18,7 @@
 
 #include "common/vec.h"
 #include "nerf/adam.h"
+#include "nerf/field.h"
 #include "nerf/mlp.h"
 #include "nerf/nerf_model.h"
 #include "nerf/point_pipeline.h"
@@ -52,11 +53,39 @@ struct FreqNerfConfig
  */
 void freqEncode(const Vec3f &p, int frequencies, std::span<float> out);
 
+/**
+ * Batched-evaluation scratch of FreqNerfModel; reuse across calls. All
+ * matrices are feature-major ([dim][N], sample index fastest) to match
+ * MlpBatchWorkspace; buffers grow on demand and never shrink.
+ */
+struct FreqNerfBatchWorkspace
+{
+    /** Encoded positions, [posDims][N]. */
+    std::vector<float> encoded;
+    /** Per-point SH scratch (shDims values, reused point by point). */
+    std::vector<float> sh;
+    /** Color-net input, [geoFeatures + shDims][N]. */
+    std::vector<float> colorIn;
+    /** Raw (pre-activation) trunk density outputs, [N]. */
+    std::vector<float> rawSigma;
+    /** dL/d(trunk output), [1 + geoFeatures][N]. */
+    std::vector<float> dTrunkOut;
+    /** dL/d(color-net output), [3][N]. */
+    std::vector<float> dColorOut;
+    /** Recomputed activations used by the batched backward. */
+    std::vector<float> fwdSigmas;
+    std::vector<Vec3f> fwdRgbs;
+    MlpBatchWorkspace trunkWs;
+    MlpBatchWorkspace colorWs;
+};
+
 /** The pure-MLP radiance model (PointPipeline-compatible). */
 class FreqNerfModel
 {
   public:
     using Config = FreqNerfConfig;
+    using BatchWorkspace = FreqNerfBatchWorkspace;
+    static constexpr BackendKind kBackendKind = BackendKind::freqNerf;
 
     explicit FreqNerfModel(const FreqNerfConfig &cfg, std::uint64_t seed = 41);
 
@@ -71,8 +100,60 @@ class FreqNerfModel
     void quantizeWeights();
     std::size_t paramCount() const;
 
+    /** Allocate a batch workspace for the batched entry points. */
+    BatchWorkspace makeBatchWorkspace() const { return BatchWorkspace{}; }
+
+    /**
+     * Batched forward: vectorizable frequency encode into a
+     * feature-major matrix, one trunk Mlp::forwardBatch, SH encode +
+     * feature gather, one color-net forwardBatch. Per sample the
+     * arithmetic matches forwardPoint() bit-exactly; const and
+     * workspace-local, so shards may run concurrently.
+     */
+    void forwardPointBatch(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                           BatchWorkspace &ws, std::span<float> sigmas,
+                           std::span<Vec3f> rgbs) const;
+
+    /** Batched density-only forward; bit-exact with queryDensity(). */
+    void queryDensityBatch(std::span<const Vec3f> pos, BatchWorkspace &ws,
+                           std::span<float> sigmas) const;
+
+    /**
+     * Batched backward into the internal gradient accumulators.
+     * Recomputes the forward internally (recompute-in-backward); weight
+     * gradients are summed sample-ascending.
+     */
+    void backwardPointBatch(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                            std::span<const float> dsigmas,
+                            std::span<const Vec3f> drgbs, BatchWorkspace &ws);
+
+    /** Length of the flat gradient vector backwardPointBatchInto fills:
+     *  trunk grads first, then color-net grads. */
+    std::size_t gradCount() const { return paramCount(); }
+
+    /**
+     * Shard entry point of parallel training: like backwardPointBatch
+     * but const, accumulating into a caller-provided flat buffer
+     * (gradCount() floats, trunk block then color block) instead of the
+     * model. Shards own private buffers; accumulateGradients() merges
+     * them in fixed shard order.
+     */
+    void backwardPointBatchInto(std::span<const Vec3f> pos,
+                                std::span<const Vec3f> dirs,
+                                std::span<const float> dsigmas,
+                                std::span<const Vec3f> drgbs, BatchWorkspace &ws,
+                                std::span<float> grads) const;
+
+    /** Add one shard's flat gradient buffer into the internal grads. */
+    void accumulateGradients(std::span<const float> grads);
+
     /** MLP MACs per point — the compute-cost gap vs hash-grid NeRF. */
     std::uint64_t macsPerPoint() const;
+
+    const Mlp &trunk() const { return *trunk_; }
+    Mlp &trunk() { return *trunk_; }
+    const Mlp &colorNet() const { return *color_net_; }
+    Mlp &colorNet() { return *color_net_; }
 
   private:
     FreqNerfConfig cfg_;
@@ -94,6 +175,9 @@ class FreqNerfModel
 /** Vanilla-NeRF pipeline: generic point pipeline over the MLP model. */
 using FreqPipelineConfig = PointPipelineConfig<FreqNerfConfig>;
 using FreqPipeline = PointPipeline<FreqNerfModel>;
+
+/** Serveable-field wrapper over the MLP model. */
+using FreqServeField = PointServeField<FreqNerfModel>;
 
 } // namespace fusion3d::nerf
 

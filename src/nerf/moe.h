@@ -284,20 +284,6 @@ class MoeField : public RadianceField
     }
 
     void
-    zeroGrads() override
-    {
-        for (auto &e : experts_)
-            e->zeroGrads();
-    }
-
-    void
-    optimizerStep() override
-    {
-        for (auto &e : experts_)
-            e->optimizerStep();
-    }
-
-    void
     updateOccupancy(Pcg32 &rng) override
     {
         for (auto &e : experts_)
@@ -319,6 +305,30 @@ class MoeField : public RadianceField
         for (const auto &e : experts_)
             n += e->paramCount();
         return n;
+    }
+
+  protected:
+    void
+    zeroGradsImpl() override
+    {
+        // Each expert's public zeroGrads() runs the template method, so
+        // expert tapes invalidate alongside the MoE batch tape.
+        for (auto &e : experts_)
+            e->zeroGrads();
+    }
+
+    void
+    optimizerStepImpl() override
+    {
+        for (auto &e : experts_)
+            e->optimizerStep();
+    }
+
+    void
+    invalidateTapes() override
+    {
+        RadianceField::invalidateTapes();
+        fusion_weights_batch_.clear();
     }
 
   private:

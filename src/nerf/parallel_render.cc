@@ -20,22 +20,22 @@ constexpr std::uint64_t kRowStream = 0x9e3779b97f4a7c15ULL;
  * @p depth when non-null). The whole rect is one ray batch: Stage I
  * samples every pixel's ray into a flat SampleBatch (jitter stays
  * per-row, so tiling cannot change the streams), one
- * NerfModel::forwardBatch evaluates the flattened samples, and each
- * ray composites over its CSR range. Per sample the batched arithmetic
- * matches the scalar path bit for bit, so the output is still
- * bit-identical across tilings and thread counts, and to the scalar
- * reference. (A rect with x0 > 0 starts its per-row jitter stream at a
- * different offset than a full-width render — only jitterless renders
- * are sub-rect-invariant, which is the inference default.)
+ * ServeableField::evalBatch evaluates the flattened samples through the
+ * backend's batched kernels, and each ray composites over its CSR
+ * range. Per sample the batched arithmetic matches the scalar path bit
+ * for bit, so the output is still bit-identical across tilings and
+ * thread counts, and to the scalar reference. (A rect with x0 > 0
+ * starts its per-row jitter stream at a different offset than a
+ * full-width render — only jitterless renders are sub-rect-invariant,
+ * which is the inference default.)
  */
 void
-renderRect(const NerfModel &model, const OccupancyGrid *grid, const Camera &camera,
-           const TiledRenderConfig &cfg, int x0, int x1, int y0, int y1,
-           Image &color, float *depth)
+renderRect(const ServeableField &field, const OccupancyGrid *grid,
+           const Camera &camera, const TiledRenderConfig &cfg, int x0, int x1,
+           int y0, int y1, Image &color, float *depth)
 {
     F3D_TRACE_SPAN_ARG("parallel_render", "row_tile", y0);
     const RaySampler sampler(cfg.sampler);
-    NerfBatchWorkspace ws = model.makeBatchWorkspace();
     std::vector<RaySample> samples;
     SampleBatch batch;
 
@@ -49,7 +49,7 @@ renderRect(const NerfModel &model, const OccupancyGrid *grid, const Camera &came
     }
 
     batch.prepareOutputs();
-    model.forwardBatch(batch.positions, batch.dirs, ws, batch.sigmas, batch.rgbs);
+    field.evalBatch(batch.positions, batch.dirs, batch.sigmas, batch.rgbs);
 
     int r = 0;
     for (int y = y0; y < y1; ++y) {
@@ -73,12 +73,12 @@ renderRect(const NerfModel &model, const OccupancyGrid *grid, const Camera &came
 }
 
 void
-renderTiled(const NerfModel &model, const OccupancyGrid *grid, const Camera &camera,
-            const TiledRenderConfig &cfg, ThreadPool *pool, Image &color,
-            float *depth)
+renderTiled(const ServeableField &field, const OccupancyGrid *grid,
+            const Camera &camera, const TiledRenderConfig &cfg, ThreadPool *pool,
+            Image &color, float *depth)
 {
     const auto body = [&](int y0, int y1) {
-        renderRect(model, grid, camera, cfg, 0, camera.width(), y0, y1, color,
+        renderRect(field, grid, camera, cfg, 0, camera.width(), y0, y1, color,
                    depth);
     };
     if (pool) {
@@ -91,17 +91,17 @@ renderTiled(const NerfModel &model, const OccupancyGrid *grid, const Camera &cam
 } // namespace
 
 Image
-renderImageTiled(const NerfModel &model, const OccupancyGrid *grid,
+renderImageTiled(const ServeableField &field, const OccupancyGrid *grid,
                  const Camera &camera, const TiledRenderConfig &cfg,
                  ThreadPool *pool)
 {
     Image out(camera.width(), camera.height());
-    renderTiled(model, grid, camera, cfg, pool, out, nullptr);
+    renderTiled(field, grid, camera, cfg, pool, out, nullptr);
     return out;
 }
 
 DepthFrame
-renderDepthFrameTiled(const NerfModel &model, const OccupancyGrid *grid,
+renderDepthFrameTiled(const ServeableField &field, const OccupancyGrid *grid,
                       const Camera &camera, const TiledRenderConfig &cfg,
                       ThreadPool *pool)
 {
@@ -110,12 +110,30 @@ renderDepthFrameTiled(const NerfModel &model, const OccupancyGrid *grid,
     frame.color = Image(camera.width(), camera.height());
     frame.depth.assign(
         static_cast<std::size_t>(camera.width()) * camera.height(), 0.0f);
-    renderTiled(model, grid, camera, cfg, pool, frame.color, frame.depth.data());
+    renderTiled(field, grid, camera, cfg, pool, frame.color, frame.depth.data());
     return frame;
 }
 
+Image
+renderImageTiled(const NerfModel &model, const OccupancyGrid *grid,
+                 const Camera &camera, const TiledRenderConfig &cfg,
+                 ThreadPool *pool)
+{
+    const HashGridServeField field(model);
+    return renderImageTiled(field, grid, camera, cfg, pool);
+}
+
+DepthFrame
+renderDepthFrameTiled(const NerfModel &model, const OccupancyGrid *grid,
+                      const Camera &camera, const TiledRenderConfig &cfg,
+                      ThreadPool *pool)
+{
+    const HashGridServeField field(model);
+    return renderDepthFrameTiled(field, grid, camera, cfg, pool);
+}
+
 std::uint64_t
-renderTilesInto(const NerfModel &model, const OccupancyGrid *grid,
+renderTilesInto(const ServeableField &field, const OccupancyGrid *grid,
                 const Camera &camera, const TiledRenderConfig &cfg,
                 std::span<const TileRect> tiles, ThreadPool *pool, Image &color,
                 float *depth)
@@ -132,7 +150,7 @@ renderTilesInto(const NerfModel &model, const OccupancyGrid *grid,
     const auto body = [&](int i0, int i1) {
         for (int i = i0; i < i1; ++i) {
             const TileRect &t = tiles[static_cast<std::size_t>(i)];
-            renderRect(model, grid, camera, cfg, t.x0, t.x1, t.y0, t.y1, color,
+            renderRect(field, grid, camera, cfg, t.x0, t.x1, t.y0, t.y1, color,
                        depth);
         }
     };
@@ -142,6 +160,16 @@ renderTilesInto(const NerfModel &model, const OccupancyGrid *grid,
         body(0, static_cast<int>(tiles.size()));
     }
     return pixels;
+}
+
+std::uint64_t
+renderTilesInto(const NerfModel &model, const OccupancyGrid *grid,
+                const Camera &camera, const TiledRenderConfig &cfg,
+                std::span<const TileRect> tiles, ThreadPool *pool, Image &color,
+                float *depth)
+{
+    const HashGridServeField field(model);
+    return renderTilesInto(field, grid, camera, cfg, tiles, pool, color, depth);
 }
 
 } // namespace fusion3d::nerf

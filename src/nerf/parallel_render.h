@@ -2,10 +2,12 @@
  * @file
  * Const-correct, thread-parallel frame rendering. Unlike
  * Trainer::renderView — which routes through the mutable training tape
- * of a RadianceField — these entry points take a `const NerfModel&`
- * plus an occupancy gate and render whole frames by splitting them
- * into row-tiles executed on a ThreadPool. This is the render path the
- * serving subsystem (src/serve) uses.
+ * of a RadianceField — these entry points take a `const ServeableField&`
+ * (any backend: hash-grid, FreqNeRF, TensoRF) plus an occupancy gate
+ * and render whole frames by splitting them into row-tiles executed on
+ * a ThreadPool. This is the render path the serving subsystem
+ * (src/serve) uses; `const NerfModel&` convenience overloads keep the
+ * historical hash-grid call sites source-compatible.
  *
  * Determinism: every image row re-seeds its own Pcg32 from
  * (cfg.seed, row), so the rendered frame is bit-identical regardless
@@ -23,6 +25,7 @@
 #include "common/image.h"
 #include "common/thread_pool.h"
 #include "nerf/camera.h"
+#include "nerf/field.h"
 #include "nerf/image_warp.h"
 #include "nerf/nerf_model.h"
 #include "nerf/occupancy_grid.h"
@@ -48,11 +51,11 @@ struct TiledRenderConfig
 };
 
 /**
- * Render @p camera's view of @p model, gated by @p grid (nullptr keeps
+ * Render @p camera's view of @p field, gated by @p grid (nullptr keeps
  * every candidate sample), as parallel row-tiles on @p pool.
  * @param pool nullptr renders single-threaded on the calling thread.
  */
-Image renderImageTiled(const NerfModel &model, const OccupancyGrid *grid,
+Image renderImageTiled(const ServeableField &field, const OccupancyGrid *grid,
                        const Camera &camera, const TiledRenderConfig &cfg,
                        ThreadPool *pool = nullptr);
 
@@ -61,6 +64,16 @@ Image renderImageTiled(const NerfModel &model, const OccupancyGrid *grid,
  * depth map, producing the DepthFrame the image-warp degrade path
  * (frame reuse a la MetaVRain) reprojects from.
  */
+DepthFrame renderDepthFrameTiled(const ServeableField &field,
+                                 const OccupancyGrid *grid, const Camera &camera,
+                                 const TiledRenderConfig &cfg,
+                                 ThreadPool *pool = nullptr);
+
+/** Hash-grid convenience overloads: wrap @p model in a borrowing
+ *  HashGridServeField and render through the polymorphic path. */
+Image renderImageTiled(const NerfModel &model, const OccupancyGrid *grid,
+                       const Camera &camera, const TiledRenderConfig &cfg,
+                       ThreadPool *pool = nullptr);
 DepthFrame renderDepthFrameTiled(const NerfModel &model, const OccupancyGrid *grid,
                                  const Camera &camera, const TiledRenderConfig &cfg,
                                  ThreadPool *pool = nullptr);
@@ -96,6 +109,12 @@ struct TileRect
  *
  * @return the number of pixels rendered.
  */
+std::uint64_t renderTilesInto(const ServeableField &field, const OccupancyGrid *grid,
+                              const Camera &camera, const TiledRenderConfig &cfg,
+                              std::span<const TileRect> tiles, ThreadPool *pool,
+                              Image &color, float *depth);
+
+/** Hash-grid convenience overload of renderTilesInto(). */
 std::uint64_t renderTilesInto(const NerfModel &model, const OccupancyGrid *grid,
                               const Camera &camera, const TiledRenderConfig &cfg,
                               std::span<const TileRect> tiles, ThreadPool *pool,

@@ -23,9 +23,6 @@ adamFor(float lr, bool sparse)
     return cfg;
 }
 
-/** Rays per compositing chunk in the pool-parallel loops. */
-constexpr int kCompositeGrain = 64;
-
 } // namespace
 
 NerfPipeline::NerfPipeline(const PipelineConfig &cfg)
@@ -58,153 +55,59 @@ void
 NerfPipeline::traceRays(std::span<const Ray> rays, Pcg32 &rng, bool record,
                         std::span<RayEval> out, RayWorkload *workload)
 {
-    if (out.size() < rays.size())
-        panic("NerfPipeline::traceRays: output span too small (%zu < %zu)",
-              out.size(), rays.size());
-    if (workload) {
-        workload->pairs.clear();
-        workload->totalCandidates = 0;
-        workload->totalValid = 0;
-        workload->ddaSteps = 0;
-        workload->intersectionOps.reset();
-    }
-
-    SampleBatch &batch = record ? tape_batch_ : scratch_batch_;
-    batch.clear();
-
-    // Stage I: sample every ray, in order, into one flat SoA batch.
-    // The rng is consumed per ray exactly as the scalar loop did, so
-    // jitter streams are batch-size invariant.
-    for (std::size_t r = 0; r < rays.size(); ++r) {
-        sampler_.sample(rays[r], &grid_, rng, scratch_samples_,
-                        workload ? &scratch_workload_ : nullptr);
-        batch.appendRay(normalize(rays[r].dir), scratch_samples_);
-        out[r] = RayEval{};
-        out[r].samples = static_cast<int>(scratch_samples_.size());
-        out[r].candidates =
-            workload ? scratch_workload_.totalCandidates : out[r].samples;
-        if (workload)
-            workload->mergeFrom(scratch_workload_);
-    }
-
-    // Stages II+III: one batched forward over the whole flattened
-    // batch, sharded across the pool when one is attached. Sharding is
-    // bit-exact with the serial call (forwardBatch is batch-size
-    // invariant per sample); the visitor path stays serial so access
-    // traces keep their canonical order.
-    batch.prepareOutputs();
-    if (pool_ && !visitor_) {
-        model_->forwardBatchParallel(batch.positions, batch.dirs, par_ws_,
-                                     batch.sigmas, batch.rgbs, pool_);
-    } else {
-        model_->forwardBatch(batch.positions, batch.dirs, batch_ws_, batch.sigmas,
-                             batch.rgbs, visitor_);
-    }
-
-    // Composite per ray through its CSR range. Each ray reads and
-    // writes only its own range/slots, so the parallel split is
-    // bit-exact with the serial loop.
-    std::vector<CompositeResult> &results = record ? tape_results_ : scratch_results_;
-    results.resize(rays.size());
-    const auto composite_ray = [&](std::size_t r) {
-        const std::size_t begin = batch.rayBegin(static_cast<int>(r));
-        const std::size_t count = batch.raySampleCount(static_cast<int>(r));
-        const CompositeResult cr =
-            composite({batch.sigmas.data() + begin, count},
-                      {batch.rgbs.data() + begin, count},
-                      {batch.dts.data() + begin, count}, cfg_.render);
-        results[r] = cr;
-        out[r].color = cr.color;
-        out[r].transmittance = cr.transmittance;
-        out[r].composited = cr.used;
-        if (count > 0)
-            out[r].firstHitT = batch.ts[begin];
-    };
-    if (pool_) {
-        pool_->parallelFor(
-            0, static_cast<int>(rays.size()),
-            [&](int b, int e) {
-                for (int r = b; r < e; ++r)
-                    composite_ray(static_cast<std::size_t>(r));
-            },
-            kCompositeGrain);
-    } else {
-        for (std::size_t r = 0; r < rays.size(); ++r)
-            composite_ray(r);
-    }
-
-    if (record)
-        tape_valid_ = true;
+    // Model evaluation is sharded across the pool when one is attached.
+    // Sharding is bit-exact with the serial call (forwardBatch is
+    // batch-size invariant per sample); the visitor path stays serial
+    // so access traces keep their canonical order.
+    eval_.traceRays(sampler_, &grid_, cfg_.render, rays, rng, record, out, workload,
+                    pool_, [&](SampleBatch &batch) {
+                        if (pool_ && !visitor_) {
+                            model_->forwardBatchParallel(batch.positions, batch.dirs,
+                                                         par_ws_, batch.sigmas,
+                                                         batch.rgbs, pool_);
+                        } else {
+                            model_->forwardBatch(batch.positions, batch.dirs,
+                                                 batch_ws_, batch.sigmas, batch.rgbs,
+                                                 visitor_);
+                        }
+                    });
 }
 
 void
 NerfPipeline::backwardRays(std::span<const Vec3f> dcolors)
 {
-    if (!tape_valid_)
-        panic("NerfPipeline::backwardRays without a recorded traceRays");
-    const std::size_t num_rays = static_cast<std::size_t>(tape_batch_.numRays());
-    if (dcolors.size() < num_rays)
-        panic("NerfPipeline::backwardRays: gradient span too small (%zu < %zu)",
-              dcolors.size(), num_rays);
-
-    // Composite backward per ray into the batch-wide gradient arrays
-    // (entries past each ray's used count are zeroed, so the batched
-    // model backward is a no-op for them). Rays write disjoint ranges;
-    // the only shared state is the scratch buffer, so the parallel
-    // split binds one scratch per chunk index.
-    tape_dsigmas_.resize(tape_batch_.size());
-    tape_drgbs_.resize(tape_batch_.size());
-    const auto backward_ray = [&](std::size_t r, CompositeBackwardScratch &scratch) {
-        const std::size_t begin = tape_batch_.rayBegin(static_cast<int>(r));
-        const std::size_t count = tape_batch_.raySampleCount(static_cast<int>(r));
-        compositeBackward({tape_batch_.sigmas.data() + begin, count},
-                          {tape_batch_.rgbs.data() + begin, count},
-                          {tape_batch_.dts.data() + begin, count}, cfg_.render,
-                          tape_results_[r], dcolors[r],
-                          {tape_dsigmas_.data() + begin, count},
-                          {tape_drgbs_.data() + begin, count}, scratch);
-    };
-    if (pool_) {
-        const std::size_t num_chunks =
-            (num_rays + static_cast<std::size_t>(kCompositeGrain) - 1) /
-            static_cast<std::size_t>(kCompositeGrain);
-        if (composite_scratches_.size() < num_chunks)
-            composite_scratches_.resize(num_chunks);
-        pool_->parallelForChunks(
-            0, static_cast<int>(num_rays),
-            [&](int chunk, int b, int e) {
-                CompositeBackwardScratch &scratch =
-                    composite_scratches_[static_cast<std::size_t>(chunk)];
-                for (int r = b; r < e; ++r)
-                    backward_ray(static_cast<std::size_t>(r), scratch);
-            },
-            kCompositeGrain);
-    } else {
-        for (std::size_t r = 0; r < num_rays; ++r)
-            backward_ray(r, composite_scratch_);
-    }
-
     // One batched backward through both MLPs and the hash encoding,
     // sharded with deterministic gradient reduction when a pool is
     // attached.
-    if (pool_) {
-        model_->backwardBatchParallel(tape_batch_.positions, tape_batch_.dirs,
-                                      tape_dsigmas_, tape_drgbs_, par_ws_, pool_);
-    } else {
-        model_->backwardBatch(tape_batch_.positions, tape_batch_.dirs, tape_dsigmas_,
-                              tape_drgbs_, batch_ws_);
-    }
-    tape_valid_ = false;
+    eval_.backwardRays(cfg_.render, dcolors, pool_,
+                       [&](const SampleBatch &batch, std::span<const float> dsigmas,
+                           std::span<const Vec3f> drgbs) {
+                           if (pool_) {
+                               model_->backwardBatchParallel(batch.positions,
+                                                             batch.dirs, dsigmas,
+                                                             drgbs, par_ws_, pool_);
+                           } else {
+                               model_->backwardBatch(batch.positions, batch.dirs,
+                                                     dsigmas, drgbs, batch_ws_);
+                           }
+                       });
 }
 
 void
-NerfPipeline::zeroGrads()
+NerfPipeline::zeroGradsImpl()
 {
     model_->zeroGrads();
 }
 
 void
-NerfPipeline::optimizerStep()
+NerfPipeline::invalidateTapes()
+{
+    RadianceField::invalidateTapes();
+    eval_.invalidateTape();
+}
+
+void
+NerfPipeline::optimizerStepImpl()
 {
     // Each parameter's Adam update is independent, so the parameter-
     // range split is bit-exact with the serial step.

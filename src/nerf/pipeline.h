@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nerf/adam.h"
+#include "nerf/batch_evaluator.h"
 #include "nerf/nerf_model.h"
 #include "nerf/occupancy_grid.h"
 #include "nerf/radiance_field.h"
@@ -76,8 +77,6 @@ class NerfPipeline : public RadianceField
     /** Composite-backward per ray, then one batched model backward. */
     void backwardRays(std::span<const Vec3f> dcolors) override;
 
-    void zeroGrads() override;
-    void optimizerStep() override;
     void updateOccupancy(Pcg32 &rng) override;
     void quantizeWeights() override;
     std::size_t paramCount() const override;
@@ -87,6 +86,11 @@ class NerfPipeline : public RadianceField
      * bit-identical at any thread count. Always available here.
      */
     bool renderViewTiled(const Camera &camera, ThreadPool &pool, Image &out) override;
+
+  protected:
+    void zeroGradsImpl() override;
+    void optimizerStepImpl() override;
+    void invalidateTapes() override;
 
   private:
     PipelineConfig cfg_;
@@ -101,24 +105,13 @@ class NerfPipeline : public RadianceField
     Adam adam_density_;
     Adam adam_color_;
 
-    // Batch tape of the last recorded traceRays.
-    SampleBatch tape_batch_;
-    std::vector<CompositeResult> tape_results_;
-    std::vector<float> tape_dsigmas_;
-    std::vector<Vec3f> tape_drgbs_;
-    bool tape_valid_ = false;
-
-    // record=false scratch, so inference never disturbs the tape.
-    SampleBatch scratch_batch_;
-    std::vector<CompositeResult> scratch_results_;
-    std::vector<RaySample> scratch_samples_;
-    RayWorkload scratch_workload_;
-    CompositeBackwardScratch composite_scratch_;
+    /** Shared Stage I/III machinery: CSR batch build, compositing,
+     *  composite tape (the hoisted former pipeline internals). */
+    RayBatchEvaluator eval_{"NerfPipeline"};
 
     // Parallel-training arenas (used only when a pool is attached);
     // grown once, allocation-free in steady state.
     NerfParallelWorkspace par_ws_;
-    std::vector<CompositeBackwardScratch> composite_scratches_;
     std::vector<Vec3f> occ_positions_;
     std::vector<float> occ_densities_;
 };

@@ -1,19 +1,32 @@
 /**
  * @file
  * Generic end-to-end pipeline over a self-contained point model: Stage
- * I sampling through the occupancy gate, per-point model evaluation,
+ * I sampling through the occupancy gate, batched model evaluation,
  * Stage III compositing, and the training tape. TensoRF and the
  * frequency-encoded (vanilla/MetaVRain-style) NeRF instantiate this;
  * the hash-grid pipeline keeps its dedicated class (NerfPipeline)
  * because it additionally exposes the Stage-II vertex-trace hooks the
- * chip model consumes.
+ * chip model consumes. Both share the same hoisted RayBatchEvaluator,
+ * so every backend rides the identical CSR-batch/composite machinery.
  *
- * A ModelT must provide:
+ * A ModelT must provide (the "batched point model" contract):
  *   using Config = ...;
+ *   using BatchWorkspace = ...;                       // batched scratch
+ *   static constexpr BackendKind kBackendKind = ...;
  *   ModelT(const Config &, std::uint64_t seed);
+ *   // Scalar oracle (bit-exactness reference):
  *   PointEval forwardPoint(const Vec3f &pos, const Vec3f &dir);
  *   float queryDensity(const Vec3f &pos);
  *   void backwardPoint(const Vec3f &, const Vec3f &, float, const Vec3f &);
+ *   // Batched kernels (const => shard-concurrent with private ws):
+ *   BatchWorkspace makeBatchWorkspace() const;
+ *   void forwardPointBatch(pos, dirs, ws, sigmas, rgbs) const;  // bit-exact/sample
+ *   void queryDensityBatch(pos, ws, sigmas) const;              // bit-exact/sample
+ *   void backwardPointBatch(pos, dirs, dsigmas, drgbs, ws);     // into model grads
+ *   std::size_t gradCount() const;
+ *   void backwardPointBatchInto(pos, dirs, dsigmas, drgbs, ws, grads) const;
+ *   void accumulateGradients(std::span<const float> grads);     // shard merge
+ *   // Training plumbing:
  *   void zeroGrads();
  *   void optimizerStep(float lr_a, float lr_b);
  *   void quantizeWeights();
@@ -23,11 +36,16 @@
 #ifndef FUSION3D_NERF_POINT_PIPELINE_H_
 #define FUSION3D_NERF_POINT_PIPELINE_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "nerf/batch_evaluator.h"
+#include "nerf/field.h"
 #include "nerf/occupancy_grid.h"
+#include "nerf/parallel_render.h"
 #include "nerf/radiance_field.h"
 #include "nerf/renderer.h"
 #include "nerf/sampler.h"
@@ -51,12 +69,18 @@ struct PointPipelineConfig
     std::uint64_t seed = 31;
 };
 
-/** The generic pipeline. */
+/** The generic batch-native pipeline. */
 template <class ModelT>
 class PointPipeline : public RadianceField
 {
   public:
     using Config = PointPipelineConfig<typename ModelT::Config>;
+
+    /** Samples per shard / shard cap of the pooled batch paths — the
+     *  same partition policy as NerfModel, fixed by batch size alone so
+     *  results are identical at any pool size. */
+    static constexpr std::size_t kShardGrain = 256;
+    static constexpr std::size_t kMaxShards = 16;
 
     explicit PointPipeline(const Config &cfg)
         : cfg_(cfg),
@@ -67,9 +91,16 @@ class PointPipeline : public RadianceField
 
     const Config &config() const { return cfg_; }
     ModelT &model() { return *model_; }
+    const ModelT &model() const { return *model_; }
     OccupancyGrid &grid() { return grid_; }
     const OccupancyGrid &grid() const { return grid_; }
 
+    /**
+     * Scalar reference path: per-point forwardPoint loop with its own
+     * scalar tape. Kept (rather than delegating to a batch of one) as
+     * the independent oracle the batch-vs-scalar bit-exactness tests
+     * compare traceRays against.
+     */
     RayEval
     traceRay(const Ray &ray, Pcg32 &rng, bool record,
              RayWorkload *workload = nullptr) override
@@ -129,13 +160,55 @@ class PointPipeline : public RadianceField
         tape_valid_ = false;
     }
 
-    void zeroGrads() override { model_->zeroGrads(); }
+    /**
+     * Batch-native override: Stage I samples every ray into one CSR
+     * SampleBatch, the model's batched forward evaluates the flattened
+     * samples (pool-sharded over a fixed partition when a pool is
+     * attached — bit-exact at any pool size because every sample's
+     * arithmetic is batch-invariant), and each ray composites over its
+     * offset range. record=true keeps the batch as the backwardRays
+     * tape.
+     */
+    void
+    traceRays(std::span<const Ray> rays, Pcg32 &rng, bool record,
+              std::span<RayEval> out, RayWorkload *workload = nullptr) override
+    {
+        eval_.traceRays(sampler_, &grid_, cfg_.render, rays, rng, record, out,
+                        workload, pool_,
+                        [&](SampleBatch &batch) { forwardSharded(batch); });
+    }
 
-    void optimizerStep() override { model_->optimizerStep(cfg_.lrFactors, cfg_.lrNet); }
+    /**
+     * Composite-backward per ray, then one batched model backward —
+     * per-shard private gradient buffers merged in fixed shard order
+     * when a pool is attached, so trained weights are bit-identical at
+     * any pool size.
+     */
+    void
+    backwardRays(std::span<const Vec3f> dcolors) override
+    {
+        eval_.backwardRays(cfg_.render, dcolors, pool_,
+                           [&](const SampleBatch &batch,
+                               std::span<const float> dsigmas,
+                               std::span<const Vec3f> drgbs) {
+                               backwardSharded(batch, dsigmas, drgbs);
+                           });
+    }
 
     void
     updateOccupancy(Pcg32 &rng) override
     {
+        if (pool_) {
+            // Split update: the jitter draws happen serially in cell
+            // order (identical rng stream to grid_.update), then the
+            // probes run as one sharded density batch — bit-exact per
+            // sample with the scalar queryDensity path.
+            grid_.collectProbePositions(rng, occ_positions_);
+            occ_densities_.resize(occ_positions_.size());
+            queryDensitySharded(occ_positions_, occ_densities_);
+            grid_.applyDensities(occ_densities_);
+            return;
+        }
         grid_.update([this](const Vec3f &p) { return model_->queryDensity(p); }, rng);
     }
 
@@ -143,12 +216,183 @@ class PointPipeline : public RadianceField
 
     std::size_t paramCount() const override { return model_->paramCount(); }
 
+    /**
+     * Tiled inference render through the backend's ServeableField
+     * wrapper (parallel_render row tiling, jitter off); bit-identical
+     * at any thread count. Always available here.
+     */
+    bool
+    renderViewTiled(const Camera &camera, ThreadPool &pool, Image &out) override
+    {
+        TiledRenderConfig tcfg;
+        tcfg.sampler = cfg_.sampler;
+        tcfg.sampler.jitter = false; // inference render
+        tcfg.render = cfg_.render;
+        tcfg.seed = cfg_.seed;
+        const PointServeField<ModelT> field(*model_);
+        out = renderImageTiled(field, &grid_, camera, tcfg, &pool);
+        return true;
+    }
+
+  protected:
+    void zeroGradsImpl() override { model_->zeroGrads(); }
+
+    void
+    optimizerStepImpl() override
+    {
+        model_->optimizerStep(cfg_.lrFactors, cfg_.lrNet);
+    }
+
+    void
+    invalidateTapes() override
+    {
+        RadianceField::invalidateTapes();
+        eval_.invalidateTape();
+        tape_valid_ = false;
+    }
+
   private:
+    /** Fixed shard partition: shard s of S covers [s*n/S, (s+1)*n/S). */
+    static std::size_t
+    shardBegin(std::size_t n, std::size_t shards, std::size_t s)
+    {
+        return s * n / shards;
+    }
+
+    static std::size_t
+    shardCount(std::size_t n)
+    {
+        return std::min(kMaxShards, (n + kShardGrain - 1) / kShardGrain);
+    }
+
+    /** Grow the per-shard workspace set to at least @p shards. */
+    void
+    growShardWorkspaces(std::size_t shards)
+    {
+        while (shard_ws_.size() < shards)
+            shard_ws_.push_back(model_->makeBatchWorkspace());
+    }
+
+    void
+    forwardSharded(SampleBatch &batch)
+    {
+        const std::size_t n = batch.size();
+        if (n == 0)
+            return;
+        const std::size_t shards = shardCount(n);
+        if (!pool_ || shards <= 1) {
+            model_->forwardPointBatch(batch.positions, batch.dirs, batch_ws_,
+                                      batch.sigmas, batch.rgbs);
+            return;
+        }
+        growShardWorkspaces(shards);
+        const ModelT &model = *model_;
+        pool_->parallelFor(
+            0, static_cast<int>(shards),
+            [&](int b, int e) {
+                for (int s = b; s < e; ++s) {
+                    const std::size_t lo =
+                        shardBegin(n, shards, static_cast<std::size_t>(s));
+                    const std::size_t hi =
+                        shardBegin(n, shards, static_cast<std::size_t>(s) + 1);
+                    if (lo == hi)
+                        continue;
+                    model.forwardPointBatch(
+                        std::span<const Vec3f>(batch.positions).subspan(lo, hi - lo),
+                        std::span<const Vec3f>(batch.dirs).subspan(lo, hi - lo),
+                        shard_ws_[static_cast<std::size_t>(s)],
+                        std::span<float>(batch.sigmas).subspan(lo, hi - lo),
+                        std::span<Vec3f>(batch.rgbs).subspan(lo, hi - lo));
+                }
+            },
+            /*grain=*/1);
+    }
+
+    void
+    backwardSharded(const SampleBatch &batch, std::span<const float> dsigmas,
+                    std::span<const Vec3f> drgbs)
+    {
+        const std::size_t n = batch.size();
+        if (n == 0)
+            return;
+        const std::size_t shards = shardCount(n);
+        if (!pool_ || shards <= 1) {
+            model_->backwardPointBatch(batch.positions, batch.dirs, dsigmas, drgbs,
+                                       batch_ws_);
+            return;
+        }
+        growShardWorkspaces(shards);
+        if (shard_grads_.size() < shards)
+            shard_grads_.resize(shards);
+        const ModelT &model = *model_;
+        pool_->parallelFor(
+            0, static_cast<int>(shards),
+            [&](int b, int e) {
+                for (int s = b; s < e; ++s) {
+                    const std::size_t lo =
+                        shardBegin(n, shards, static_cast<std::size_t>(s));
+                    const std::size_t hi =
+                        shardBegin(n, shards, static_cast<std::size_t>(s) + 1);
+                    std::vector<float> &grads =
+                        shard_grads_[static_cast<std::size_t>(s)];
+                    grads.assign(model.gradCount(), 0.0f);
+                    if (lo == hi)
+                        continue;
+                    model.backwardPointBatchInto(
+                        std::span<const Vec3f>(batch.positions).subspan(lo, hi - lo),
+                        std::span<const Vec3f>(batch.dirs).subspan(lo, hi - lo),
+                        dsigmas.subspan(lo, hi - lo), drgbs.subspan(lo, hi - lo),
+                        shard_ws_[static_cast<std::size_t>(s)], grads);
+                }
+            },
+            /*grain=*/1);
+        // Deterministic reduction: shard-ascending merge into the model
+        // accumulators — the order depends only on the partition, never
+        // on pool size or completion order.
+        for (std::size_t s = 0; s < shards; ++s)
+            model_->accumulateGradients(shard_grads_[s]);
+    }
+
+    void
+    queryDensitySharded(std::span<const Vec3f> pos, std::span<float> sigmas)
+    {
+        const std::size_t n = pos.size();
+        if (n == 0)
+            return;
+        const std::size_t shards = shardCount(n);
+        if (!pool_ || shards <= 1) {
+            model_->queryDensityBatch(pos, batch_ws_, sigmas);
+            return;
+        }
+        growShardWorkspaces(shards);
+        const ModelT &model = *model_;
+        pool_->parallelFor(
+            0, static_cast<int>(shards),
+            [&](int b, int e) {
+                for (int s = b; s < e; ++s) {
+                    const std::size_t lo =
+                        shardBegin(n, shards, static_cast<std::size_t>(s));
+                    const std::size_t hi =
+                        shardBegin(n, shards, static_cast<std::size_t>(s) + 1);
+                    if (lo == hi)
+                        continue;
+                    model.queryDensityBatch(pos.subspan(lo, hi - lo),
+                                            shard_ws_[static_cast<std::size_t>(s)],
+                                            sigmas.subspan(lo, hi - lo));
+                }
+            },
+            /*grain=*/1);
+    }
+
     Config cfg_;
     std::unique_ptr<ModelT> model_;
     OccupancyGrid grid_;
     RaySampler sampler_;
 
+    /** Shared Stage I/III machinery (hoisted from NerfPipeline). */
+    RayBatchEvaluator eval_{"PointPipeline"};
+
+    // Scalar-oracle tape (traceRay/backwardLastRay).
     std::vector<RaySample> tape_samples_;
     std::vector<float> tape_sigmas_;
     std::vector<Vec3f> tape_rgbs_;
@@ -160,6 +404,15 @@ class PointPipeline : public RadianceField
     bool tape_valid_ = false;
     std::vector<RaySample> scratch_samples_;
     CompositeBackwardScratch composite_scratch_;
+
+    // Batched-evaluation scratch: the serial workspace plus per-shard
+    // workspaces and private gradient buffers for the pooled paths.
+    // Grown once, allocation-free in steady state.
+    typename ModelT::BatchWorkspace batch_ws_;
+    std::vector<typename ModelT::BatchWorkspace> shard_ws_;
+    std::vector<std::vector<float>> shard_grads_;
+    std::vector<Vec3f> occ_positions_;
+    std::vector<float> occ_densities_;
 };
 
 } // namespace fusion3d::nerf

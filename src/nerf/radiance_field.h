@@ -92,11 +92,31 @@ class RadianceField
      */
     virtual void backwardRays(std::span<const Vec3f> dcolors);
 
-    /** Zero all accumulated parameter gradients. */
-    virtual void zeroGrads() = 0;
+    /**
+     * Zero all accumulated parameter gradients. Non-virtual template
+     * method: first invalidates every recorded evaluation tape (a tape
+     * recorded against the pre-step weights must not silently replay),
+     * then dispatches to zeroGradsImpl().
+     */
+    void
+    zeroGrads()
+    {
+        invalidateTapes();
+        zeroGradsImpl();
+    }
 
-    /** Apply one optimizer step using the accumulated gradients. */
-    virtual void optimizerStep() = 0;
+    /**
+     * Apply one optimizer step using the accumulated gradients. Also
+     * invalidates recorded tapes: a backwardRays() after the weights
+     * moved would re-trace against the updated model and produce
+     * silently wrong gradients, so it fails loudly instead.
+     */
+    void
+    optimizerStep()
+    {
+        invalidateTapes();
+        optimizerStepImpl();
+    }
 
     /** Refresh the occupancy gate(s) from the current density field. */
     virtual void updateOccupancy(Pcg32 &rng) = 0;
@@ -133,6 +153,20 @@ class RadianceField
     }
 
   protected:
+    /** Zero all accumulated parameter gradients. */
+    virtual void zeroGradsImpl() = 0;
+
+    /** Apply one optimizer step using the accumulated gradients. */
+    virtual void optimizerStepImpl() = 0;
+
+    /**
+     * Drop every recorded evaluation tape so a stale backwardRays() /
+     * backwardLastRay() panics instead of re-tracing against updated
+     * weights. Derived fields with native tapes extend this (calling
+     * the base version) to clear theirs too.
+     */
+    virtual void invalidateTapes() { fallback_valid_ = false; }
+
     /** Pool attached via setThreadPool (null = serial). */
     ThreadPool *pool_ = nullptr;
 

@@ -11,6 +11,8 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "nerf/freq_nerf.h"
+#include "nerf/tensorf.h"
 
 namespace fusion3d::nerf
 {
@@ -196,6 +198,8 @@ loadStatusName(LoadStatus status)
         return "truncated";
       case LoadStatus::badChecksum:
         return "checksum mismatch";
+      case LoadStatus::badBackend:
+        return "unknown backend";
     }
     return "?";
 }
@@ -345,6 +349,433 @@ modelFootprintBytes(const NerfModel &model, int bytes_per_param)
 {
     return sizeof(Header) +
            model.paramCount() * static_cast<std::size_t>(bytes_per_param);
+}
+
+// ---------------------------------------------------------------------------
+// v3: backend-polymorphic artifacts.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+constexpr std::uint32_t kVersionV3 = 3;
+
+// Field-by-field I/O (no struct padding ambiguity in the v3 sections).
+bool
+writeU32(std::FILE *f, std::uint32_t v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+writeI32(std::FILE *f, std::int32_t v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+writeF32(std::FILE *f, float v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+writeU64(std::FILE *f, std::uint64_t v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readU32(std::FILE *f, std::uint32_t &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readI32(std::FILE *f, std::int32_t &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readF32(std::FILE *f, float &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+bool
+readU64(std::FILE *f, std::uint64_t &v)
+{
+    return std::fread(&v, sizeof(v), 1, f) == 1;
+}
+
+std::uint32_t
+blocksCrc(std::initializer_list<std::span<const float>> blocks)
+{
+    std::uint32_t crc = 0;
+    for (const auto block : blocks)
+        crc = crc32Update(crc, block.data(), block.size_bytes());
+    return crc;
+}
+
+/** "F3DM", version 3, backend tag. */
+bool
+writeV3Prefix(std::FILE *f, BackendKind kind)
+{
+    return std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1 &&
+           writeU32(f, kVersionV3) &&
+           writeU32(f, static_cast<std::uint32_t>(kind));
+}
+
+/** Freq section: 6 i32 dims, CRC32, 2 u64 counts, 2 payload blocks. */
+bool
+writeFreqSection(std::FILE *f, const FreqNerfModel &model)
+{
+    const FreqNerfConfig &cfg = model.config();
+    bool ok = writeI32(f, cfg.posFrequencies) && writeI32(f, cfg.hidden) &&
+              writeI32(f, cfg.trunkLayers) && writeI32(f, cfg.geoFeatures) &&
+              writeI32(f, cfg.colorHidden) && writeI32(f, cfg.shDegree);
+    ok = ok && writeU32(f, blocksCrc({model.trunk().params(),
+                                      model.colorNet().params()}));
+    ok = ok && writeU64(f, model.trunk().paramCount()) &&
+         writeU64(f, model.colorNet().paramCount());
+    ok = ok && !F3D_FAULT_POINT("nerf.save.write");
+    ok = ok && writeBlock(f, model.trunk().params());
+    ok = ok && writeBlock(f, model.colorNet().params());
+    return ok;
+}
+
+/** TensoRF section: 6 i32 + 2 f32 dims, CRC32, 2 u64 counts, 2 blocks. */
+bool
+writeTensorfSection(std::FILE *f, const TensorfModel &model)
+{
+    const TensorfModelConfig &cfg = model.config();
+    bool ok = writeI32(f, cfg.densityRank) && writeI32(f, cfg.appearanceRank) &&
+              writeI32(f, cfg.lineResolution) && writeI32(f, cfg.appearanceDim) &&
+              writeI32(f, cfg.colorHidden) && writeI32(f, cfg.shDegree);
+    ok = ok && writeF32(f, cfg.densityShift) && writeF32(f, cfg.densityScale);
+    ok = ok && writeU32(f, blocksCrc({model.factorParams(),
+                                      model.colorNet().params()}));
+    ok = ok && writeU64(f, model.factorParams().size()) &&
+         writeU64(f, model.colorNet().paramCount());
+    ok = ok && !F3D_FAULT_POINT("nerf.save.write");
+    ok = ok && writeBlock(f, model.factorParams());
+    ok = ok && writeBlock(f, model.colorNet().params());
+    return ok;
+}
+
+/** Serialize @p field to an open stream in its backend's format. */
+bool
+writeFieldTo(std::FILE *f, const ServeableField &field)
+{
+    switch (field.kind()) {
+      case BackendKind::hashGrid: {
+        const auto *hg = dynamic_cast<const HashGridServeField *>(&field);
+        if (!hg)
+            return false;
+        return writeModelTo(f, hg->model()); // v2 layout
+      }
+      case BackendKind::freqNerf: {
+        const auto *pf = dynamic_cast<const FreqServeField *>(&field);
+        if (!pf)
+            return false;
+        return writeV3Prefix(f, BackendKind::freqNerf) &&
+               writeFreqSection(f, pf->model());
+      }
+      case BackendKind::tensorf: {
+        const auto *pf = dynamic_cast<const TensorfServeField *>(&field);
+        if (!pf)
+            return false;
+        return writeV3Prefix(f, BackendKind::tensorf) &&
+               writeTensorfSection(f, pf->model());
+      }
+    }
+    return false;
+}
+
+FieldLoadResult
+fieldFailure(LoadStatus status, std::string message)
+{
+    FieldLoadResult r;
+    r.status = status;
+    r.message = std::move(message);
+    return r;
+}
+
+bool
+freqDimensionsSane(const FreqNerfConfig &cfg)
+{
+    return cfg.posFrequencies >= 1 && cfg.posFrequencies <= 16 &&
+           cfg.hidden >= 1 && cfg.hidden <= 4096 && cfg.trunkLayers >= 1 &&
+           cfg.trunkLayers <= 16 && cfg.geoFeatures >= 1 &&
+           cfg.geoFeatures <= 256 && cfg.colorHidden >= 1 &&
+           cfg.colorHidden <= 4096 && cfg.shDegree >= 1 && cfg.shDegree <= 4;
+}
+
+bool
+tensorfDimensionsSane(const TensorfModelConfig &cfg)
+{
+    return cfg.densityRank >= 1 && cfg.densityRank <= 256 &&
+           cfg.appearanceRank >= 1 && cfg.appearanceRank <= 256 &&
+           cfg.lineResolution >= 2 && cfg.lineResolution <= 4096 &&
+           cfg.appearanceDim >= 1 && cfg.appearanceDim <= 256 &&
+           cfg.colorHidden >= 1 && cfg.colorHidden <= 4096 && cfg.shDegree >= 1 &&
+           cfg.shDegree <= 4 && cfg.densityShift >= -100.0f &&
+           cfg.densityShift <= 100.0f && cfg.densityScale > 0.0f &&
+           cfg.densityScale <= 1e6f;
+}
+
+FieldLoadResult
+loadFreqSection(std::FILE *f, const std::string &path)
+{
+    FreqNerfConfig cfg;
+    std::uint32_t crc = 0;
+    std::uint64_t trunk_params = 0;
+    std::uint64_t color_params = 0;
+    if (!(readI32(f, cfg.posFrequencies) && readI32(f, cfg.hidden) &&
+          readI32(f, cfg.trunkLayers) && readI32(f, cfg.geoFeatures) &&
+          readI32(f, cfg.colorHidden) && readI32(f, cfg.shDegree) &&
+          readU32(f, crc) && readU64(f, trunk_params) &&
+          readU64(f, color_params)))
+        return fieldFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends inside its freq_nerf section header",
+                      path.c_str()));
+    if (!freqDimensionsSane(cfg))
+        return fieldFailure(
+            LoadStatus::headerMismatch,
+            strprintf("'%s' declares out-of-range freq_nerf dimensions",
+                      path.c_str()));
+
+    auto model = std::make_unique<FreqNerfModel>(cfg);
+    if (model->trunk().paramCount() != trunk_params ||
+        model->colorNet().paramCount() != color_params)
+        return fieldFailure(
+            LoadStatus::headerMismatch,
+            strprintf("parameter counts in '%s' do not match its declared "
+                      "freq_nerf architecture",
+                      path.c_str()));
+
+    bool ok = !F3D_FAULT_POINT("nerf.load.read");
+    ok = ok && readBlock(f, model->trunk().params());
+    ok = ok && readBlock(f, model->colorNet().params());
+    if (!ok)
+        return fieldFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends before its parameter blocks do", path.c_str()));
+
+    if (blocksCrc({model->trunk().params(), model->colorNet().params()}) != crc ||
+        F3D_FAULT_POINT("nerf.load.crc"))
+        return fieldFailure(
+            LoadStatus::badChecksum,
+            strprintf("parameter payload of '%s' fails its CRC32", path.c_str()));
+
+    FieldLoadResult r;
+    r.field = std::make_unique<FreqServeField>(std::move(model));
+    r.status = LoadStatus::ok;
+    return r;
+}
+
+FieldLoadResult
+loadTensorfSection(std::FILE *f, const std::string &path)
+{
+    TensorfModelConfig cfg;
+    std::uint32_t crc = 0;
+    std::uint64_t factor_params = 0;
+    std::uint64_t net_params = 0;
+    if (!(readI32(f, cfg.densityRank) && readI32(f, cfg.appearanceRank) &&
+          readI32(f, cfg.lineResolution) && readI32(f, cfg.appearanceDim) &&
+          readI32(f, cfg.colorHidden) && readI32(f, cfg.shDegree) &&
+          readF32(f, cfg.densityShift) && readF32(f, cfg.densityScale) &&
+          readU32(f, crc) && readU64(f, factor_params) && readU64(f, net_params)))
+        return fieldFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends inside its tensorf section header",
+                      path.c_str()));
+    if (!tensorfDimensionsSane(cfg))
+        return fieldFailure(
+            LoadStatus::headerMismatch,
+            strprintf("'%s' declares out-of-range tensorf dimensions",
+                      path.c_str()));
+
+    auto model = std::make_unique<TensorfModel>(cfg);
+    if (model->factorParams().size() != factor_params ||
+        model->colorNet().paramCount() != net_params)
+        return fieldFailure(
+            LoadStatus::headerMismatch,
+            strprintf("parameter counts in '%s' do not match its declared "
+                      "tensorf architecture",
+                      path.c_str()));
+
+    bool ok = !F3D_FAULT_POINT("nerf.load.read");
+    ok = ok && readBlock(f, model->factorParams());
+    ok = ok && readBlock(f, model->colorNet().params());
+    if (!ok)
+        return fieldFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends before its parameter blocks do", path.c_str()));
+
+    if (blocksCrc({model->factorParams(), model->colorNet().params()}) != crc ||
+        F3D_FAULT_POINT("nerf.load.crc"))
+        return fieldFailure(
+            LoadStatus::badChecksum,
+            strprintf("parameter payload of '%s' fails its CRC32", path.c_str()));
+
+    FieldLoadResult r;
+    r.field = std::make_unique<TensorfServeField>(std::move(model));
+    r.status = LoadStatus::ok;
+    return r;
+}
+
+} // namespace
+
+bool
+saveField(const ServeableField &field, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok = writeFieldTo(f, field);
+    std::fclose(f);
+    return ok;
+}
+
+bool
+saveFieldAtomic(const ServeableField &field, const std::string &path)
+{
+    if (field.kind() == BackendKind::hashGrid) {
+        const auto *hg = dynamic_cast<const HashGridServeField *>(&field);
+        return hg && saveModelAtomic(hg->model(), path);
+    }
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f =
+        F3D_FAULT_POINT("trainer.ckpt.open") ? nullptr : std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        warn("saveFieldAtomic: cannot open '%s'", tmp.c_str());
+        return false;
+    }
+    bool ok = writeFieldTo(f, field);
+    ok = ok && std::fflush(f) == 0;
+    ok = ok && fsync(fileno(f)) == 0;
+    std::fclose(f);
+    if (!ok) {
+        std::remove(tmp.c_str());
+        warn("saveFieldAtomic: write to '%s' failed", tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        warn("saveFieldAtomic: cannot rename '%s' to '%s'", tmp.c_str(),
+             path.c_str());
+        return false;
+    }
+    return true;
+}
+
+FieldLoadResult
+loadFieldVerbose(const std::string &path)
+{
+    std::FILE *f =
+        F3D_FAULT_POINT("nerf.load.open") ? nullptr : std::fopen(path.c_str(), "rb");
+    if (!f)
+        return fieldFailure(LoadStatus::ioError,
+                            strprintf("cannot open '%s'", path.c_str()));
+
+    char magic[4] = {};
+    std::uint32_t version = 0;
+    if (std::fread(magic, sizeof(magic), 1, f) != 1 || !readU32(f, version)) {
+        std::fclose(f);
+        return fieldFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' is shorter than the 8-byte prefix", path.c_str()));
+    }
+    if (std::memcmp(magic, kMagic, 4) != 0) {
+        std::fclose(f);
+        return fieldFailure(LoadStatus::badMagic,
+                            strprintf("'%s' is not an F3DM artifact", path.c_str()));
+    }
+
+    if (version == kVersion) {
+        // Legacy hash-grid artifact: reuse the v2 reader end to end so
+        // its diagnostics stay byte-for-byte identical.
+        std::fclose(f);
+        LoadResult legacy = loadModelVerbose(path);
+        FieldLoadResult r;
+        r.status = legacy.status;
+        r.message = std::move(legacy.message);
+        if (legacy.model)
+            r.field = std::make_unique<HashGridServeField>(std::move(legacy.model));
+        return r;
+    }
+    if (version != kVersionV3) {
+        std::fclose(f);
+        return fieldFailure(LoadStatus::badVersion,
+                            strprintf("'%s' has format version %u, expected %u "
+                                      "or %u",
+                                      path.c_str(), version, kVersion,
+                                      kVersionV3));
+    }
+
+    std::uint32_t kind = 0;
+    if (!readU32(f, kind)) {
+        std::fclose(f);
+        return fieldFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends before its backend tag", path.c_str()));
+    }
+
+    FieldLoadResult r;
+    switch (static_cast<BackendKind>(kind)) {
+      case BackendKind::hashGrid:
+        // v3 never carries a hash-grid section (those stay v2).
+        r = fieldFailure(
+            LoadStatus::badBackend,
+            strprintf("'%s' tags a hash_grid section in a v3 container",
+                      path.c_str()));
+        break;
+      case BackendKind::freqNerf:
+        r = loadFreqSection(f, path);
+        break;
+      case BackendKind::tensorf:
+        r = loadTensorfSection(f, path);
+        break;
+      default:
+        r = fieldFailure(
+            LoadStatus::badBackend,
+            strprintf("'%s' declares unknown backend kind %u", path.c_str(),
+                      kind));
+        break;
+    }
+    std::fclose(f);
+    return r;
+}
+
+std::unique_ptr<ServeableField>
+loadField(const std::string &path)
+{
+    FieldLoadResult r = loadFieldVerbose(path);
+    if (!r)
+        warn("loadField: %s: %s", loadStatusName(r.status), r.message.c_str());
+    return std::move(r.field);
+}
+
+std::size_t
+fieldFootprintBytes(const ServeableField &field, int bytes_per_param)
+{
+    const std::size_t params =
+        field.paramCount() * static_cast<std::size_t>(bytes_per_param);
+    switch (field.kind()) {
+      case BackendKind::hashGrid:
+        return sizeof(Header) + params;
+      case BackendKind::freqNerf:
+        // prefix (12) + 6 i32 + crc + 2 u64.
+        return 12 + 6 * 4 + 4 + 2 * 8 + params;
+      case BackendKind::tensorf:
+        // prefix (12) + 6 i32 + 2 f32 + crc + 2 u64.
+        return 12 + 6 * 4 + 2 * 4 + 4 + 2 * 8 + params;
+    }
+    return params;
 }
 
 } // namespace fusion3d::nerf

@@ -11,6 +11,15 @@
  * payload), which matters once artifacts cross the paper's bandwidth-
  * constrained edge link.
  *
+ * Format v3 (little-endian) makes the artifact backend-polymorphic:
+ * magic "F3DM", u32 version = 3, u32 BackendKind tag, then one
+ * per-backend section — architecture dimensions, a CRC32 of the
+ * parameter payload, the stored per-block parameter counts, and the
+ * raw float32 parameter blocks. saveField()/loadFieldVerbose() are the
+ * backend-polymorphic entry points; hash-grid fields keep writing v2
+ * (so every historical reader still loads them) and v2 artifacts load
+ * through loadFieldVerbose() as hash-grid fields unchanged.
+ *
  * Checkpointing uses saveModelAtomic(): write to "<path>.tmp", fsync,
  * then rename over the destination — a crash mid-write (exercised by
  * the "trainer.ckpt.write" fault point) can orphan a temp file but can
@@ -23,6 +32,7 @@
 #include <memory>
 #include <string>
 
+#include "nerf/field.h"
 #include "nerf/nerf_model.h"
 
 namespace fusion3d::nerf
@@ -57,6 +67,8 @@ enum class LoadStatus
     truncated,
     /** The parameter payload does not match the header's CRC32. */
     badChecksum,
+    /** A v3 artifact declares a backend kind this build does not know. */
+    badBackend,
 };
 
 /** Human-readable name of @p status. */
@@ -97,6 +109,49 @@ bool loadInto(NerfModel &dst, const NerfModel &src);
 
 /** On-disk footprint of a model at the given parameter width. */
 std::size_t modelFootprintBytes(const NerfModel &model, int bytes_per_param = 4);
+
+/**
+ * Serialize @p field to @p path, choosing the format by backend kind:
+ * hash-grid fields write the v2 layout (readable by every historical
+ * loadModel build), FreqNeRF and TensoRF fields write v3 sections.
+ * @return true on success.
+ */
+bool saveField(const ServeableField &field, const std::string &path);
+
+/** Crash-safe saveField(): temp file + fsync + atomic rename, like
+ *  saveModelAtomic(). @return true when @p path holds the artifact. */
+bool saveFieldAtomic(const ServeableField &field, const std::string &path);
+
+/** Outcome of loadFieldVerbose(): a field, or a diagnosable failure. */
+struct FieldLoadResult
+{
+    std::unique_ptr<ServeableField> field;
+    LoadStatus status = LoadStatus::ioError;
+    /** One-line diagnosis, empty on success. */
+    std::string message;
+
+    explicit operator bool() const { return status == LoadStatus::ok; }
+};
+
+/**
+ * Load any .f3dm artifact as a ServeableField: v2 files come back as
+ * hash-grid fields (via the legacy loadModelVerbose() path, identical
+ * diagnostics), v3 files dispatch on their BackendKind tag — an
+ * unknown tag yields LoadStatus::badBackend, and the per-backend
+ * sections get the same truncation/CRC scrutiny as v2.
+ */
+FieldLoadResult loadFieldVerbose(const std::string &path);
+
+/**
+ * Load any .f3dm artifact as a ServeableField.
+ * @return nullptr on any failure (the reason is logged via warn();
+ *         use loadFieldVerbose() to inspect it programmatically).
+ */
+std::unique_ptr<ServeableField> loadField(const std::string &path);
+
+/** On-disk footprint of @p field's artifact at the given width. */
+std::size_t fieldFootprintBytes(const ServeableField &field,
+                                int bytes_per_param = 4);
 
 } // namespace fusion3d::nerf
 

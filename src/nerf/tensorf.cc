@@ -14,6 +14,12 @@ namespace fusion3d::nerf
 namespace
 {
 
+/** Samples per cache block of the batched factor gathers/reductions:
+ *  bounds one block's gathered-row working set to a few KB so the
+ *  rank reduction re-reads hot lines. Fixed, so results are identical
+ *  at every batch size. */
+constexpr std::size_t kFactorBlock = 64;
+
 /** Numerically safe softplus and its derivative. */
 float
 softplus(float x)
@@ -247,6 +253,256 @@ TensorfModel::backwardPoint(const Vec3f &pos, const Vec3f &dir, float dsigma,
         lineBackward(densityOffset(1), r, pos.y, draw * axis_val[0] * axis_val[2]);
         lineBackward(densityOffset(2), r, pos.z, draw * axis_val[0] * axis_val[1]);
     }
+}
+
+void
+TensorfModel::queryDensityBatch(std::span<const Vec3f> pos, BatchWorkspace &ws,
+                                std::span<float> sigmas) const
+{
+    const std::size_t n = pos.size();
+    if (sigmas.size() < n)
+        panic("TensorfModel::queryDensityBatch: output span too small");
+    const int res = cfg_.lineResolution;
+    const std::size_t dr = static_cast<std::size_t>(cfg_.densityRank);
+
+    // Level-major gathers, blocked over samples so the gathered rows of
+    // one block stay cache-resident through the rank reduction (the
+    // rows live dr*3 cache-line strides apart at full batch width; a
+    // 64-sample block's working set is a few KB). Each sample's
+    // arithmetic is unchanged, so the blocking affects neither
+    // bit-exactness nor batch-size invariance.
+    if (ws.denLines.size() < dr * 3 * n)
+        ws.denLines.resize(dr * 3 * n);
+    if (ws.rawSigma.size() < n)
+        ws.rawSigma.resize(n);
+    for (std::size_t b0 = 0; b0 < n; b0 += kFactorBlock) {
+        const std::size_t b1 = std::min(n, b0 + kFactorBlock);
+        for (std::size_t r = 0; r < dr; ++r) {
+            for (int axis = 0; axis < 3; ++axis) {
+                const float *line = params_.data() + densityOffset(axis) +
+                                    r * static_cast<std::size_t>(res);
+                float *out = ws.denLines.data() +
+                             (r * 3 + static_cast<std::size_t>(axis)) * n;
+                for (std::size_t s = b0; s < b1; ++s)
+                    out[s] = sampleLine(line, res, pos[s][axis]);
+            }
+        }
+
+        // Per-sample reduction in the scalar accumulation order (rank
+        // ascending, axes multiplied x*y*z), so each sigma is bit-exact
+        // with queryDensity().
+        for (std::size_t s = b0; s < b1; ++s) {
+            float raw = 0.0f;
+            for (std::size_t r = 0; r < dr; ++r) {
+                float prod = 1.0f;
+                for (int axis = 0; axis < 3; ++axis)
+                    prod *=
+                        ws.denLines[(r * 3 + static_cast<std::size_t>(axis)) * n + s];
+                raw += prod;
+            }
+            ws.rawSigma[s] = raw - cfg_.densityShift;
+            sigmas[s] = softplus(ws.rawSigma[s]) * cfg_.densityScale;
+        }
+    }
+}
+
+void
+TensorfModel::forwardPointBatch(std::span<const Vec3f> pos,
+                                std::span<const Vec3f> dirs, BatchWorkspace &ws,
+                                std::span<float> sigmas, std::span<Vec3f> rgbs) const
+{
+    const std::size_t n = pos.size();
+    if (dirs.size() < n || sigmas.size() < n || rgbs.size() < n)
+        panic("TensorfModel::forwardPointBatch: span size mismatch");
+
+    queryDensityBatch(pos, ws, sigmas);
+
+    const int res = cfg_.lineResolution;
+    const std::size_t ar = static_cast<std::size_t>(cfg_.appearanceRank);
+    const std::size_t ad = static_cast<std::size_t>(cfg_.appearanceDim);
+    const std::size_t shd = static_cast<std::size_t>(cfg_.shDims());
+    if (ws.appLines.size() < ar * 3 * n)
+        ws.appLines.resize(ar * 3 * n);
+    if (ws.colorIn.size() < (ad + shd) * n)
+        ws.colorIn.resize((ad + shd) * n);
+    if (ws.sh.size() < shd)
+        ws.sh.resize(shd);
+    if (ws.appProd.size() < ar)
+        ws.appProd.resize(ar);
+    const float *basis = params_.data() + basisOffset();
+
+    // Appearance gathers + basis reduction, blocked like the density
+    // path so each block's gathered rows stay cache-resident.
+    for (std::size_t b0 = 0; b0 < n; b0 += kFactorBlock) {
+        const std::size_t b1 = std::min(n, b0 + kFactorBlock);
+        for (std::size_t r = 0; r < ar; ++r) {
+            for (int axis = 0; axis < 3; ++axis) {
+                const float *line = params_.data() + appearanceOffset(axis) +
+                                    r * static_cast<std::size_t>(res);
+                float *out = ws.appLines.data() +
+                             (r * 3 + static_cast<std::size_t>(axis)) * n;
+                for (std::size_t s = b0; s < b1; ++s)
+                    out[s] = sampleLine(line, res, pos[s][axis]);
+            }
+        }
+
+        for (std::size_t s = b0; s < b1; ++s) {
+            // The rank products are the same multiply chain at every
+            // feature; hoisting them out of the c-loop keeps the
+            // reduction reading a hot appearanceRank-float cache (as
+            // the scalar path does) without changing any value.
+            for (std::size_t r = 0; r < ar; ++r)
+                ws.appProd[r] = ws.appLines[(r * 3) * n + s] *
+                                ws.appLines[(r * 3 + 1) * n + s] *
+                                ws.appLines[(r * 3 + 2) * n + s];
+            for (std::size_t c = 0; c < ad; ++c) {
+                float acc = 0.0f;
+                for (std::size_t r = 0; r < ar; ++r)
+                    acc += basis[c * ar + r] * ws.appProd[r];
+                ws.colorIn[c * n + s] = acc;
+            }
+            shEncode(dirs[s], cfg_.shDegree, ws.sh);
+            for (std::size_t i = 0; i < shd; ++i)
+                ws.colorIn[(ad + i) * n + s] = ws.sh[i];
+        }
+    }
+
+    const std::span<const float> out =
+        color_net_->forwardBatch({ws.colorIn.data(), (ad + shd) * n}, n, ws.colorWs);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (int i = 0; i < 3; ++i) {
+            const float r = out[static_cast<std::size_t>(i) * n + s];
+            rgbs[s].at(i) = r >= 0.0f ? 1.0f / (1.0f + std::exp(-r))
+                                      : std::exp(r) / (1.0f + std::exp(r));
+        }
+    }
+}
+
+void
+TensorfModel::scatterFactorGradients(std::span<const Vec3f> pos,
+                                     std::span<const float> dsigmas,
+                                     const BatchWorkspace &ws,
+                                     std::span<float> factor_grads) const
+{
+    const std::size_t n = pos.size();
+    const int res = cfg_.lineResolution;
+    const std::size_t ar = static_cast<std::size_t>(cfg_.appearanceRank);
+    const std::size_t ad = static_cast<std::size_t>(cfg_.appearanceDim);
+    const float *basis = params_.data() + basisOffset();
+    float *gbasis = factor_grads.data() + basisOffset();
+
+    for (std::size_t s = 0; s < n; ++s) {
+        // --- Color path (scalar backwardPoint order) ---
+        for (std::size_t r = 0; r < ar; ++r) {
+            const float px = ws.appLines[(r * 3) * n + s];
+            const float py = ws.appLines[(r * 3 + 1) * n + s];
+            const float pz = ws.appLines[(r * 3 + 2) * n + s];
+            const float prod = px * py * pz;
+            float dprod = 0.0f;
+            for (std::size_t c = 0; c < ad; ++c) {
+                const float dfeat = ws.colorWs.dinput[c * n + s];
+                gbasis[c * ar + r] += dfeat * prod;
+                dprod += dfeat * basis[c * ar + r];
+            }
+            scatterLine(factor_grads.data() + appearanceOffset(0) +
+                            r * static_cast<std::size_t>(res),
+                        res, pos[s].x, dprod * py * pz);
+            scatterLine(factor_grads.data() + appearanceOffset(1) +
+                            r * static_cast<std::size_t>(res),
+                        res, pos[s].y, dprod * px * pz);
+            scatterLine(factor_grads.data() + appearanceOffset(2) +
+                            r * static_cast<std::size_t>(res),
+                        res, pos[s].z, dprod * px * py);
+        }
+
+        // --- Density path ---
+        const float draw =
+            dsigmas[s] * cfg_.densityScale * softplusGrad(ws.rawSigma[s]);
+        const std::size_t dr = static_cast<std::size_t>(cfg_.densityRank);
+        for (std::size_t r = 0; r < dr; ++r) {
+            const float vx = ws.denLines[(r * 3) * n + s];
+            const float vy = ws.denLines[(r * 3 + 1) * n + s];
+            const float vz = ws.denLines[(r * 3 + 2) * n + s];
+            scatterLine(factor_grads.data() + densityOffset(0) +
+                            r * static_cast<std::size_t>(res),
+                        res, pos[s].x, draw * vy * vz);
+            scatterLine(factor_grads.data() + densityOffset(1) +
+                            r * static_cast<std::size_t>(res),
+                        res, pos[s].y, draw * vx * vz);
+            scatterLine(factor_grads.data() + densityOffset(2) +
+                            r * static_cast<std::size_t>(res),
+                        res, pos[s].z, draw * vx * vy);
+        }
+    }
+}
+
+void
+TensorfModel::backwardPointBatch(std::span<const Vec3f> pos,
+                                 std::span<const Vec3f> dirs,
+                                 std::span<const float> dsigmas,
+                                 std::span<const Vec3f> drgbs, BatchWorkspace &ws)
+{
+    const std::size_t n = pos.size();
+    if (ws.fwdSigmas.size() < n)
+        ws.fwdSigmas.resize(n);
+    if (ws.fwdRgbs.size() < n)
+        ws.fwdRgbs.resize(n);
+    forwardPointBatch(pos, dirs, ws, ws.fwdSigmas, ws.fwdRgbs);
+
+    if (ws.dColorOut.size() < 3 * n)
+        ws.dColorOut.resize(3 * n);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (int i = 0; i < 3; ++i) {
+            const float sv = ws.fwdRgbs[s][i];
+            ws.dColorOut[static_cast<std::size_t>(i) * n + s] =
+                drgbs[s][i] * sv * (1.0f - sv);
+        }
+    }
+    color_net_->backwardBatch({ws.dColorOut.data(), 3 * n}, n, ws.colorWs);
+    scatterFactorGradients(pos, dsigmas, ws, grads_);
+}
+
+void
+TensorfModel::backwardPointBatchInto(std::span<const Vec3f> pos,
+                                     std::span<const Vec3f> dirs,
+                                     std::span<const float> dsigmas,
+                                     std::span<const Vec3f> drgbs, BatchWorkspace &ws,
+                                     std::span<float> grads) const
+{
+    const std::size_t n = pos.size();
+    if (grads.size() < gradCount())
+        panic("TensorfModel::backwardPointBatchInto: gradient span too small");
+    if (ws.fwdSigmas.size() < n)
+        ws.fwdSigmas.resize(n);
+    if (ws.fwdRgbs.size() < n)
+        ws.fwdRgbs.resize(n);
+    forwardPointBatch(pos, dirs, ws, ws.fwdSigmas, ws.fwdRgbs);
+
+    if (ws.dColorOut.size() < 3 * n)
+        ws.dColorOut.resize(3 * n);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (int i = 0; i < 3; ++i) {
+            const float sv = ws.fwdRgbs[s][i];
+            ws.dColorOut[static_cast<std::size_t>(i) * n + s] =
+                drgbs[s][i] * sv * (1.0f - sv);
+        }
+    }
+    color_net_->backwardBatchInto({ws.dColorOut.data(), 3 * n}, n, ws.colorWs,
+                                  grads.subspan(params_.size()));
+    scatterFactorGradients(pos, dsigmas, ws, grads.first(params_.size()));
+}
+
+void
+TensorfModel::accumulateGradients(std::span<const float> grads)
+{
+    if (grads.size() < gradCount())
+        panic("TensorfModel::accumulateGradients: gradient span too small");
+    for (std::size_t i = 0; i < grads_.size(); ++i)
+        grads_[i] += grads[i];
+    const std::span<float> cg = color_net_->grads();
+    const std::size_t off = grads_.size();
+    for (std::size_t i = 0; i < cg.size(); ++i)
+        cg[i] += grads[off + i];
 }
 
 void

@@ -23,6 +23,7 @@
 
 #include "common/vec.h"
 #include "nerf/adam.h"
+#include "nerf/field.h"
 #include "nerf/mlp.h"
 #include "nerf/nerf_model.h"
 #include "nerf/point_pipeline.h"
@@ -54,11 +55,44 @@ struct TensorfModelConfig
     int shDims() const { return shCoefficientCount(shDegree); }
 };
 
+/**
+ * Batched-evaluation scratch of TensorfModel; reuse across calls. The
+ * line-factor gathers are staged level-major — every (rank, axis) line
+ * is sampled across the whole batch before the per-sample rank
+ * reduction — so each line's support is streamed once per batch. All
+ * matrices are feature-major ([dim][N]); buffers grow on demand and
+ * never shrink.
+ */
+struct TensorfBatchWorkspace
+{
+    /** Density line gathers, [densityRank * 3][N]. */
+    std::vector<float> denLines;
+    /** Appearance line gathers, [appearanceRank * 3][N]. */
+    std::vector<float> appLines;
+    /** Per-point appearance rank products (appearanceRank values,
+     *  reused point by point through the basis reduction). */
+    std::vector<float> appProd;
+    /** Per-point SH scratch (shDims values, reused point by point). */
+    std::vector<float> sh;
+    /** Color-net input, [appearanceDim + shDims][N]. */
+    std::vector<float> colorIn;
+    /** Raw (pre-shift-activation) densities, [N]. */
+    std::vector<float> rawSigma;
+    /** dL/d(color-net output), [3][N]. */
+    std::vector<float> dColorOut;
+    /** Recomputed activations used by the batched backward. */
+    std::vector<float> fwdSigmas;
+    std::vector<Vec3f> fwdRgbs;
+    MlpBatchWorkspace colorWs;
+};
+
 /** The CP-factorized point model. */
 class TensorfModel
 {
   public:
     using Config = TensorfModelConfig;
+    using BatchWorkspace = TensorfBatchWorkspace;
+    static constexpr BackendKind kBackendKind = BackendKind::tensorf;
 
     explicit TensorfModel(const TensorfModelConfig &cfg, std::uint64_t seed = 31);
 
@@ -82,15 +116,75 @@ class TensorfModel
 
     std::size_t paramCount() const;
 
+    /** Allocate a batch workspace for the batched entry points. */
+    BatchWorkspace makeBatchWorkspace() const { return BatchWorkspace{}; }
+
+    /**
+     * Batched forward: level-major line-factor gathers, per-sample
+     * rank reduction in the scalar accumulation order, one color-net
+     * forwardBatch. Per sample the arithmetic matches forwardPoint()
+     * bit-exactly; const and workspace-local, so shards may run
+     * concurrently.
+     */
+    void forwardPointBatch(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                           BatchWorkspace &ws, std::span<float> sigmas,
+                           std::span<Vec3f> rgbs) const;
+
+    /** Batched density-only forward; bit-exact with queryDensity(). */
+    void queryDensityBatch(std::span<const Vec3f> pos, BatchWorkspace &ws,
+                           std::span<float> sigmas) const;
+
+    /**
+     * Batched backward into the internal gradient accumulators.
+     * Recomputes the forward internally; factor scatters run
+     * sample-ascending in the scalar per-sample order.
+     */
+    void backwardPointBatch(std::span<const Vec3f> pos, std::span<const Vec3f> dirs,
+                            std::span<const float> dsigmas,
+                            std::span<const Vec3f> drgbs, BatchWorkspace &ws);
+
+    /** Length of the flat gradient vector backwardPointBatchInto fills:
+     *  factor/basis grads first, then color-net grads. */
+    std::size_t gradCount() const { return paramCount(); }
+
+    /**
+     * Shard entry point of parallel training: like backwardPointBatch
+     * but const, accumulating into a caller-provided flat buffer
+     * (gradCount() floats, factor block then color-net block). Shards
+     * own private buffers; accumulateGradients() merges them in fixed
+     * shard order.
+     */
+    void backwardPointBatchInto(std::span<const Vec3f> pos,
+                                std::span<const Vec3f> dirs,
+                                std::span<const float> dsigmas,
+                                std::span<const Vec3f> drgbs, BatchWorkspace &ws,
+                                std::span<float> grads) const;
+
+    /** Add one shard's flat gradient buffer into the internal grads. */
+    void accumulateGradients(std::span<const float> grads);
+
     /** All factor/basis parameters (for quantization experiments). */
     std::span<float> factorParams() { return params_; }
+    std::span<const float> factorParams() const { return params_; }
     /** Gradient vector matching factorParams(). */
     std::span<const float> factorGrads() const { return grads_; }
     Mlp &colorNet() { return *color_net_; }
+    const Mlp &colorNet() const { return *color_net_; }
 
   private:
     /** Scatter @p g into the two supports of line factor @p r at u. */
     void lineBackward(std::size_t block_offset, int r, float u, float g);
+
+    /**
+     * Shared tail of the batched backward variants: walk the recomputed
+     * caches in @p ws sample-ascending and scatter basis / line /
+     * density gradients into @p factor_grads (params_ layout), exactly
+     * in the scalar backwardPoint() per-sample order.
+     */
+    void scatterFactorGradients(std::span<const Vec3f> pos,
+                                std::span<const float> dsigmas,
+                                const BatchWorkspace &ws,
+                                std::span<float> factor_grads) const;
 
     /** Offsets of the parameter blocks inside params_. */
     std::size_t densityOffset(int axis) const;
@@ -119,6 +213,9 @@ class TensorfModel
  *  CP-factorized model. */
 using TensorfPipelineConfig = PointPipelineConfig<TensorfModelConfig>;
 using TensorfPipeline = PointPipeline<TensorfModel>;
+
+/** Serveable-field wrapper over the CP-factorized model. */
+using TensorfServeField = PointServeField<TensorfModel>;
 
 } // namespace fusion3d::nerf
 

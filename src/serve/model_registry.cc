@@ -145,25 +145,29 @@ ModelRegistry::evictToBudgetLocked()
 
 const ModelEntry *
 ModelRegistry::addInternal(const std::string &name,
-                           std::unique_ptr<nerf::NerfModel> model,
+                           std::unique_ptr<nerf::ServeableField> field,
                            const std::string &source_path)
 {
-    if (!model)
+    if (!field)
         fatal("ModelRegistry::add('%s'): null model", name.c_str());
 
     auto entry = std::make_shared<ModelEntry>(
-        name, std::move(model), cfg_.occupancyResolution, cfg_.occupancyThreshold);
+        name, std::move(field), cfg_.occupancyResolution, cfg_.occupancyThreshold);
 
     // Rebuild the inference gate from the deployed weights; decay 0
     // makes it exactly the current field's occupancy, like the benches'
     // scene bootstrap. The fixed seed keeps the gate — and therefore a
-    // reloaded model's renders — bit-identical across reloads.
-    nerf::PointWorkspace ws = entry->model->makeWorkspace();
+    // reloaded model's renders — bit-identical across reloads. The
+    // probe jitters draw serially in cell order (the same rng stream
+    // the scalar grid.update consumed), then one backend-polymorphic
+    // density batch evaluates them: per probe bit-exact with the
+    // backend's scalar density query.
     Pcg32 rng(0x5eedf00dULL, 41);
-    const nerf::NerfModel *m = entry->model.get();
-    entry->grid.update(
-        [m, &ws](const Vec3f &p) { return m->queryDensity(p, ws); }, rng,
-        /*decay=*/0.0f);
+    std::vector<Vec3f> probes;
+    entry->grid.collectProbePositions(rng, probes);
+    std::vector<float> densities(probes.size());
+    entry->model->evalDensityBatch(probes, densities);
+    entry->grid.applyDensities(densities, /*decay=*/0.0f);
     entry->sourcePath = source_path;
     entry->bytes = sizeof(ModelEntry) + name.size() + source_path.size() +
                    entry->model->paramCount() * sizeof(float) +
@@ -207,7 +211,18 @@ ModelRegistry::addInternal(const std::string &name,
 const ModelEntry *
 ModelRegistry::add(const std::string &name, std::unique_ptr<nerf::NerfModel> model)
 {
-    return addInternal(name, std::move(model), /*source_path=*/"");
+    if (!model)
+        fatal("ModelRegistry::add('%s'): null model", name.c_str());
+    return addInternal(name,
+                       std::make_unique<nerf::HashGridServeField>(std::move(model)),
+                       /*source_path=*/"");
+}
+
+const ModelEntry *
+ModelRegistry::add(const std::string &name,
+                   std::unique_ptr<nerf::ServeableField> field)
+{
+    return addInternal(name, std::move(field), /*source_path=*/"");
 }
 
 std::uint64_t
@@ -248,7 +263,7 @@ ModelRegistry::addFromFile(const std::string &name, const std::string &path)
 
     const int attempts = half_open ? 1 : cfg_.loadMaxAttempts;
     double delay_ms = cfg_.backoffInitialMs;
-    nerf::LoadResult r;
+    nerf::FieldLoadResult r;
     for (int attempt = 1; attempt <= attempts; ++attempt) {
         if (attempt > 1) {
             {
@@ -261,11 +276,11 @@ ModelRegistry::addFromFile(const std::string &name, const std::string &path)
                                 cfg_.backoffMaxMs);
         }
         if (F3D_FAULT_POINT("serve.load.io")) {
-            r = nerf::LoadResult{};
+            r = nerf::FieldLoadResult{};
             r.status = nerf::LoadStatus::ioError;
             r.message = "injected fault (serve.load.io)";
         } else {
-            r = nerf::loadModelVerbose(path);
+            r = nerf::loadFieldVerbose(path);
         }
         if (r)
             break;
@@ -294,7 +309,7 @@ ModelRegistry::addFromFile(const std::string &name, const std::string &path)
         return r.status;
     }
 
-    addInternal(name, std::move(r.model), path);
+    addInternal(name, std::move(r.field), path);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++loads_ok_;

@@ -1,10 +1,13 @@
 /**
  * @file
  * Registry of deployed models, scaled to a *fleet*. Owns the
- * deserialized `.f3dm` NeRF models keyed by name, each paired with an
- * occupancy gate rebuilt from its own density field at registration
- * time — after which an entry is immutable, so render workers share it
- * without locks.
+ * deserialized `.f3dm` radiance fields keyed by name — any backend
+ * behind the ServeableField interface: hash-grid, FreqNeRF, TensoRF —
+ * each paired with an occupancy gate rebuilt from its own density
+ * field at registration time, after which an entry is immutable, so
+ * render workers share it without locks. Every fleet mechanism below
+ * (eviction, reload, breaker, hot-swap) is backend-agnostic: it sees
+ * only the field interface and the artifact path.
  *
  * Fleet mechanics on top of the original always-resident map:
  *
@@ -60,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "nerf/field.h"
 #include "nerf/nerf_model.h"
 #include "nerf/occupancy_grid.h"
 #include "nerf/serialize.h"
@@ -68,11 +72,14 @@
 namespace fusion3d::serve
 {
 
-/** One deployed model: weights plus its inference occupancy gate. */
+/** One deployed model: a backend-polymorphic serveable field plus its
+ *  inference occupancy gate. The member keeps its historical name
+ *  (`model`) — render call sites pass `*entry->model` to the tiled
+ *  renderer either way. */
 struct ModelEntry
 {
     std::string name;
-    std::unique_ptr<nerf::NerfModel> model;
+    std::unique_ptr<nerf::ServeableField> model;
     nerf::OccupancyGrid grid;
     /** Deploy generation of this name: 1 on first add, bumped by every
      *  replacement (hot-swap), eviction, and removal. Cached artifacts
@@ -87,8 +94,8 @@ struct ModelEntry
      *  only they can be reloaded on demand. */
     std::string sourcePath;
 
-    ModelEntry(std::string n, std::unique_ptr<nerf::NerfModel> m, int grid_res,
-               float grid_threshold)
+    ModelEntry(std::string n, std::unique_ptr<nerf::ServeableField> m,
+               int grid_res, float grid_threshold)
         : name(std::move(n)), model(std::move(m)), grid(grid_res, grid_threshold)
     {
     }
@@ -185,6 +192,11 @@ class ModelRegistry
      */
     const ModelEntry *add(const std::string &name,
                           std::unique_ptr<nerf::NerfModel> model);
+
+    /** Backend-polymorphic add(): register any serveable field (e.g. a
+     *  TensorfServeField or FreqServeField) under @p name. */
+    const ModelEntry *add(const std::string &name,
+                          std::unique_ptr<nerf::ServeableField> field);
 
     /**
      * Deserialize a `.f3dm` artifact and register it, retrying with
@@ -293,7 +305,7 @@ class ModelRegistry
      *  then evict to budget. Empty @p source_path = in-memory deploy
      *  (forgets any remembered artifact for the name). */
     const ModelEntry *addInternal(const std::string &name,
-                                  std::unique_ptr<nerf::NerfModel> model,
+                                  std::unique_ptr<nerf::ServeableField> field,
                                   const std::string &source_path);
 
     /** Evict idle artifact-backed LRU entries until resident bytes fit

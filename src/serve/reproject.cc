@@ -26,7 +26,7 @@ secondsSince(SteadyClock::time_point t0)
 
 /** Full-render fallback shared by every bail-out path. */
 ReprojectOutput
-fullRender(const nerf::NerfModel &model, const nerf::OccupancyGrid *grid,
+fullRender(const nerf::ServeableField &model, const nerf::OccupancyGrid *grid,
            const nerf::Camera &camera, const nerf::TiledRenderConfig &render_cfg,
            const ReprojectConfig &cfg, ThreadPool *pool, const char *why,
            ReprojectStats partial)
@@ -71,7 +71,7 @@ freshTileAges(const nerf::Camera &camera, int tile_size, int max_tile_age)
 }
 
 ReprojectOutput
-reprojectRender(const nerf::NerfModel &model, const nerf::OccupancyGrid *grid,
+reprojectRender(const nerf::ServeableField &model, const nerf::OccupancyGrid *grid,
                 const nerf::Camera &camera, const SessionFrame &prev,
                 const nerf::TiledRenderConfig &render_cfg,
                 const ReprojectConfig &cfg, ThreadPool *pool)

@@ -119,7 +119,7 @@ std::vector<std::uint16_t> freshTileAges(const nerf::Camera &camera,
  * The "serve.reproject.tiles" fault point (chaos testing) fails the
  * tile pass and exercises the full-render fallback.
  */
-ReprojectOutput reprojectRender(const nerf::NerfModel &model,
+ReprojectOutput reprojectRender(const nerf::ServeableField &model,
                                 const nerf::OccupancyGrid *grid,
                                 const nerf::Camera &camera,
                                 const SessionFrame &prev,

@@ -27,6 +27,7 @@
 #include "nerf/nerf_model.h"
 #include "nerf/parallel_render.h"
 #include "nerf/serialize.h"
+#include "nerf/tensorf.h"
 #include "obs/metrics.h"
 #include "serve/model_registry.h"
 #include "serve/request_queue.h"
@@ -258,6 +259,81 @@ TEST(FleetBudget, EvictedThenReloadedModelRendersBitIdentically)
         << "reload-from-artifact must reproduce the original render bit "
            "for bit (weights CRC-checked, occupancy gate rebuilt with a "
            "fixed seed)";
+}
+
+/** Save a tiny TensoRF v3 artifact (weights from @p seed). */
+std::string
+savedTensorfArtifact(const std::string &filename, std::uint64_t seed)
+{
+    nerf::TensorfModelConfig mc;
+    mc.densityRank = 6;
+    mc.appearanceRank = 8;
+    mc.lineResolution = 48;
+    mc.appearanceDim = 8;
+    mc.colorHidden = 16;
+    const nerf::TensorfModel model(mc, seed);
+    const nerf::TensorfServeField field(model);
+    const std::string path = testing::TempDir() + filename;
+    EXPECT_TRUE(nerf::saveField(field, path));
+    return path;
+}
+
+TEST(FleetBudget, TensorfSurvivesEvictReloadAndHotSwapInAMixedFleet)
+{
+    // The full backend-polymorphic lifecycle: a TensoRF v3 artifact
+    // deploys next to hash-grid entries, hot-swaps onto a second
+    // TensoRF version, is evicted by hash-grid fillers under budget
+    // pressure, and reloads bit-identically.
+    const std::string path_t1 = savedTensorfArtifact("fleet_t1.f3dm", 71);
+    const std::string path_t2 = savedTensorfArtifact("fleet_t2.f3dm", 72);
+    const std::string filler1 = savedArtifact("fleet_mix1.f3dm", 73);
+    const std::string filler2 = savedArtifact("fleet_mix2.f3dm", 74);
+
+    nerf::TiledRenderConfig rc;
+    rc.sampler.maxSamplesPerRay = 8;
+    const nerf::Camera cam = testCamera();
+
+    // Budget sized to the *hash-grid* entry: the tiny TensoRF model is
+    // far smaller, so two hash-grid fillers still evict it once idle.
+    const std::size_t entry_bytes = measuredEntryBytes(filler1);
+    ModelRegistry registry(fleetRegistryConfig(2 * entry_bytes + 4096));
+
+    ASSERT_EQ(registry.addFromFile("tensorf0", path_t1), nerf::LoadStatus::ok);
+    const ModelEntry *entry = registry.find("tensorf0");
+    ASSERT_NE(entry, nullptr);
+    ASSERT_EQ(entry->model->kind(), nerf::BackendKind::tensorf);
+    const Image v1 =
+        nerf::renderImageTiled(*entry->model, &entry->grid, cam, rc, nullptr);
+
+    // Hot-swap onto the second version, then back: frames must track
+    // the artifact exactly.
+    ASSERT_EQ(registry.swap("tensorf0", path_t2), nerf::LoadStatus::ok);
+    entry = registry.find("tensorf0");
+    const Image v2 =
+        nerf::renderImageTiled(*entry->model, &entry->grid, cam, rc, nullptr);
+    ASSERT_FALSE(imagesIdentical(v1, v2));
+    ASSERT_EQ(registry.swap("tensorf0", path_t1), nerf::LoadStatus::ok);
+    entry = registry.find("tensorf0");
+    ASSERT_TRUE(imagesIdentical(
+        v1, nerf::renderImageTiled(*entry->model, &entry->grid, cam, rc,
+                                   nullptr)));
+
+    // Budget pressure from hash-grid fillers evicts the idle TensoRF
+    // entry; acquireOrReload brings it back from the v3 artifact.
+    ASSERT_EQ(registry.addFromFile("filler01", filler1), nerf::LoadStatus::ok);
+    ASSERT_EQ(registry.addFromFile("filler02", filler2), nerf::LoadStatus::ok);
+    ASSERT_EQ(registry.find("tensorf0"), nullptr)
+        << "the idle TensoRF entry must be evicted";
+
+    const AcquireResult r = registry.acquireOrReload("tensorf0");
+    ASSERT_NE(r.entry, nullptr);
+    EXPECT_TRUE(r.reloaded);
+    EXPECT_EQ(r.entry->model->kind(), nerf::BackendKind::tensorf);
+    const Image after =
+        nerf::renderImageTiled(*r.entry->model, &r.entry->grid, cam, rc, nullptr);
+    EXPECT_TRUE(imagesIdentical(v1, after))
+        << "a reloaded TensoRF artifact must reproduce the original "
+           "render bit for bit";
 }
 
 // ---------------------------------------------------------------------------

@@ -143,5 +143,64 @@ TEST(FreqPipeline, QuantizeHookWorks)
     EXPECT_EQ(pipe.paramCount(), n);
 }
 
+FreqPipelineConfig
+tinyPipelineConfig()
+{
+    FreqPipelineConfig fc;
+    fc.model = tinyConfig();
+    fc.sampler.maxSamplesPerRay = 16;
+    fc.occupancyResolution = 12;
+    return fc;
+}
+
+std::vector<Ray>
+cameraRays(int size = 12)
+{
+    const Camera cam = Camera::orbit({0.5f, 0.5f, 0.5f}, 1.2f, 30.0f, 15.0f,
+                                     45.0f, size, size);
+    std::vector<Ray> rays;
+    for (int y = 0; y < cam.height(); ++y)
+        for (int x = 0; x < cam.width(); ++x)
+            rays.push_back(cam.rayForPixel(x, y));
+    return rays;
+}
+
+/** The batch-native traceRays override is bit-exact with the scalar
+ *  per-ray oracle (traceRay): the CSR batch draws jitter in the same
+ *  ray order and every sample's arithmetic is batch-invariant. */
+TEST(FreqPipeline, TraceRaysMatchesScalarOracleBitExact)
+{
+    FreqPipeline batched(tinyPipelineConfig());
+    FreqPipeline scalar(tinyPipelineConfig()); // same seed -> same weights
+
+    const std::vector<Ray> rays = cameraRays();
+    Pcg32 rng_a(5, 1), rng_b(5, 1);
+    std::vector<RayEval> evals(rays.size());
+    batched.traceRays(rays, rng_a, /*record=*/false, evals);
+
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+        const RayEval ref = scalar.traceRay(rays[r], rng_b, /*record=*/false);
+        EXPECT_EQ(evals[r].color, ref.color) << "ray " << r;
+        EXPECT_EQ(evals[r].transmittance, ref.transmittance) << "ray " << r;
+        EXPECT_EQ(evals[r].samples, ref.samples) << "ray " << r;
+    }
+    // Both paths consumed the identical jitter stream.
+    EXPECT_EQ(rng_a.nextUint(), rng_b.nextUint());
+}
+
+/** A recorded batch tape dies loudly after the optimizer moved the
+ *  weights — never a silent re-trace against the updated model. */
+TEST(FreqPipeline, StaleTapeAfterStepFailsLoudly)
+{
+    FreqPipeline pipe(tinyPipelineConfig());
+    const std::vector<Ray> rays = cameraRays(4);
+    Pcg32 rng(9, 2);
+    std::vector<RayEval> evals(rays.size());
+    pipe.traceRays(rays, rng, /*record=*/true, evals);
+    pipe.optimizerStep();
+    const std::vector<Vec3f> dcolors(rays.size(), Vec3f{0.1f, 0.1f, 0.1f});
+    EXPECT_DEATH(pipe.backwardRays(dcolors), "without a recorded");
+}
+
 } // namespace
 } // namespace fusion3d::nerf

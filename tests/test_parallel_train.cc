@@ -16,8 +16,10 @@
 
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "nerf/freq_nerf.h"
 #include "nerf/moe.h"
 #include "nerf/pipeline.h"
+#include "nerf/tensorf.h"
 #include "nerf/trainer.h"
 #include "scenes/dataset_gen.h"
 #include "scenes/factory.h"
@@ -213,6 +215,86 @@ TEST(ParallelTrain, AdamPoolStepBitExact)
     }
     for (std::size_t i = 0; i < n; ++i)
         ASSERT_EQ(params_a[i], params_b[i]);
+}
+
+/** Pool-size determinism of the point-model backends: PointPipeline's
+ *  shard partition and shard-ascending gradient merge depend only on
+ *  the batch, so FreqNeRF and TensoRF training reproduces bit-identical
+ *  weights at any pool size — the same contract the hash-grid pipeline
+ *  guarantees above. */
+template <class PipelineT, class CollectFn>
+void
+expectPointTrainingPoolInvariant(const typename PipelineT::Config &cfg,
+                                 CollectFn &&collect)
+{
+    const auto train = [&](ThreadPool *pool) {
+        const Dataset data = tinyDataset();
+        PipelineT pipe(cfg);
+        TrainerConfig tc;
+        tc.iterations = 8;
+        tc.raysPerBatch = 64;
+        tc.occupancyWarmup = 4;
+        tc.occupancyUpdateEvery = 4;
+        tc.pool = pool;
+        Trainer trainer(pipe, data, tc);
+        trainer.run();
+        return collect(pipe.model());
+    };
+
+    ThreadPool pool1(1);
+    const std::vector<float> ref = train(&pool1);
+    ASSERT_FALSE(ref.empty());
+    for (const int workers : {3, 0}) {
+        ThreadPool pool(workers);
+        const std::vector<float> got = train(&pool);
+        ASSERT_EQ(got.size(), ref.size());
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            if (got[i] != ref[i])
+                ++mismatches;
+        EXPECT_EQ(mismatches, 0u) << "at " << workers << " workers";
+    }
+}
+
+TEST(ParallelTrain, FreqDeterministicAcrossPoolSizes)
+{
+    FreqPipelineConfig fc;
+    fc.model.posFrequencies = 4;
+    fc.model.hidden = 24;
+    fc.model.trunkLayers = 2;
+    fc.model.geoFeatures = 7;
+    fc.model.colorHidden = 16;
+    fc.lrFactors = 2e-3f;
+    fc.sampler.maxSamplesPerRay = 16;
+    fc.occupancyResolution = 12;
+    expectPointTrainingPoolInvariant<FreqPipeline>(
+        fc, [](const FreqNerfModel &m) {
+            std::vector<float> out(m.trunk().params().begin(),
+                                   m.trunk().params().end());
+            out.insert(out.end(), m.colorNet().params().begin(),
+                       m.colorNet().params().end());
+            return out;
+        });
+}
+
+TEST(ParallelTrain, TensorfDeterministicAcrossPoolSizes)
+{
+    TensorfPipelineConfig tc;
+    tc.model.densityRank = 6;
+    tc.model.appearanceRank = 8;
+    tc.model.lineResolution = 48;
+    tc.model.appearanceDim = 8;
+    tc.model.colorHidden = 16;
+    tc.sampler.maxSamplesPerRay = 16;
+    tc.occupancyResolution = 12;
+    expectPointTrainingPoolInvariant<TensorfPipeline>(
+        tc, [](const TensorfModel &m) {
+            std::vector<float> out(m.factorParams().begin(),
+                                   m.factorParams().end());
+            out.insert(out.end(), m.colorNet().params().begin(),
+                       m.colorNet().params().end());
+            return out;
+        });
 }
 
 TEST(ParallelTrain, MoeDeterministicAcrossPoolSizes)

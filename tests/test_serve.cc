@@ -15,6 +15,7 @@
 #include "nerf/parallel_render.h"
 #include "nerf/pipeline.h"
 #include "nerf/serialize.h"
+#include "nerf/tensorf.h"
 #include "nerf/trainer.h"
 #include "serve/model_registry.h"
 #include "serve/scheduler.h"
@@ -175,6 +176,45 @@ TEST(RenderServer, ServesFullResolutionBitExact)
     EXPECT_EQ(server.stats().completed(), server.stats().submitted());
 }
 
+TEST(RenderServer, ServesTensorfV3ArtifactEndToEnd)
+{
+    // Backend polymorphism through the whole serve path: a TensoRF
+    // model saved as a v3 artifact deploys through the registry and
+    // serves bit-exactly against a direct tiled render of the original.
+    nerf::TensorfModelConfig mc;
+    mc.densityRank = 6;
+    mc.appearanceRank = 8;
+    mc.lineResolution = 48;
+    mc.appearanceDim = 8;
+    mc.colorHidden = 16;
+    const nerf::TensorfModel model(mc, /*seed=*/33);
+    const nerf::TensorfServeField field(model);
+    const std::string path = testing::TempDir() + "serve_tensorf.f3dm";
+    ASSERT_TRUE(nerf::saveField(field, path));
+
+    ModelRegistry registry(/*occupancy_resolution=*/8);
+    ASSERT_EQ(registry.addFromFile("vt", path), nerf::LoadStatus::ok);
+    const ModelEntry *entry = registry.find("vt");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->model->kind(), nerf::BackendKind::tensorf);
+    EXPECT_EQ(entry->model->paramCount(), model.paramCount());
+
+    ServeConfig sc;
+    sc.renderThreads = 2;
+    sc.render.sampler.maxSamplesPerRay = 16;
+    RenderServer server(registry, sc);
+    RenderRequest req;
+    req.model = "vt";
+    req.camera = testCamera();
+    const RenderResponse resp = server.submit(req).get();
+    ASSERT_EQ(resp.outcome, Outcome::renderedFull);
+
+    const Image direct = nerf::renderImageTiled(*entry->model, &entry->grid,
+                                                req.camera, sc.render, nullptr);
+    expectImagesIdentical(resp.image, direct);
+    server.shutdown();
+}
+
 TEST(RenderServer, RejectsUnknownModel)
 {
     ModelRegistry registry(8);
@@ -272,8 +312,9 @@ TEST(RenderServer, RemoveDuringTrafficDrainsClean)
         req.model = i % 2 == 0 ? "doomed" : "stays";
         req.camera = testCamera(16);
         futures.push_back(server.submit(req));
-        if (i == kRequests / 2)
+        if (i == kRequests / 2) {
             EXPECT_TRUE(registry.removeModel("doomed"));
+        }
     }
 
     int rendered = 0, unknown = 0;

@@ -132,6 +132,54 @@ TEST(TensorfPipeline, QuantizeAndOccupancyHooksWork)
     EXPECT_EQ(pipe.paramCount(), params);
 }
 
+std::vector<Ray>
+cameraRays(int size = 12)
+{
+    const Camera cam = Camera::orbit({0.5f, 0.5f, 0.5f}, 1.2f, 30.0f, 15.0f,
+                                     45.0f, size, size);
+    std::vector<Ray> rays;
+    for (int y = 0; y < cam.height(); ++y)
+        for (int x = 0; x < cam.width(); ++x)
+            rays.push_back(cam.rayForPixel(x, y));
+    return rays;
+}
+
+/** The batch-native traceRays override is bit-exact with the scalar
+ *  per-ray oracle (traceRay): level-major factor gathers change the
+ *  memory access pattern, never a sample's arithmetic. */
+TEST(TensorfPipeline, TraceRaysMatchesScalarOracleBitExact)
+{
+    TensorfPipeline batched(tinyConfig());
+    TensorfPipeline scalar(tinyConfig()); // same seed -> same weights
+
+    const std::vector<Ray> rays = cameraRays();
+    Pcg32 rng_a(5, 1), rng_b(5, 1);
+    std::vector<RayEval> evals(rays.size());
+    batched.traceRays(rays, rng_a, /*record=*/false, evals);
+
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+        const RayEval ref = scalar.traceRay(rays[r], rng_b, /*record=*/false);
+        EXPECT_EQ(evals[r].color, ref.color) << "ray " << r;
+        EXPECT_EQ(evals[r].transmittance, ref.transmittance) << "ray " << r;
+        EXPECT_EQ(evals[r].samples, ref.samples) << "ray " << r;
+    }
+    EXPECT_EQ(rng_a.nextUint(), rng_b.nextUint());
+}
+
+/** A recorded batch tape dies loudly after zeroGrads dropped it —
+ *  never a silent re-trace against a cleared accumulator state. */
+TEST(TensorfPipeline, StaleTapeAfterZeroGradsFailsLoudly)
+{
+    TensorfPipeline pipe(tinyConfig());
+    const std::vector<Ray> rays = cameraRays(4);
+    Pcg32 rng(9, 2);
+    std::vector<RayEval> evals(rays.size());
+    pipe.traceRays(rays, rng, /*record=*/true, evals);
+    pipe.zeroGrads();
+    const std::vector<Vec3f> dcolors(rays.size(), Vec3f{0.1f, 0.1f, 0.1f});
+    EXPECT_DEATH(pipe.backwardRays(dcolors), "without a recorded");
+}
+
 TEST(TensorfMoe, BuildsAndTraces)
 {
     MoeConfigT<TensorfPipeline> mc;
