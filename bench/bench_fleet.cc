@@ -41,6 +41,7 @@
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "nerf/nerf_model.h"
 #include "nerf/serialize.h"
 #include "serve/model_registry.h"
@@ -347,13 +348,14 @@ main(int argc, char **argv)
                 fail ? "FAILED" : "ok");
 
     std::printf(
-        "JSON: {\"bench\":\"fleet\",\"quick\":%s,\"models\":%d,"
+        "JSON: {\"bench\":\"fleet\",\"dispatch\":\"%s\",\"quick\":%s,\"models\":%d,"
         "\"budget_models\":%d,\"budget_bytes\":%zu,\"tenants\":%d,"
         "\"requests_per_tenant\":%d,\"fps_baseline\":%.3f,"
         "\"fps_budgeted\":%.3f,\"hit_rate\":%.4f,\"hit_rate_gate\":%.2f,"
         "\"reloads\":%llu,\"reloads_per_s\":%.3f,\"evictions\":%llu,"
         "\"tenant_p99\":{%s},\"p99_factor_gate\":%.1f,\"ok\":%s}\n",
-        quick ? "true" : "false", kModels, kBudgetModels, budget, kTenants,
+        simd::dispatchName(), quick ? "true" : "false", kModels, kBudgetModels,
+        budget, kTenants,
         per_tenant, base.fps, fleet.fps, fleet.hitRate, kHitRateGate,
         static_cast<unsigned long long>(fleet.reloads), fleet.reloadsPerS,
         static_cast<unsigned long long>(fleet.evictions), tenants_json.c_str(),

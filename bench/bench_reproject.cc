@@ -29,6 +29,7 @@
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "nerf/parallel_render.h"
 #include "serve/model_registry.h"
 #include "serve/reproject.h"
@@ -164,12 +165,13 @@ main(int argc, char **argv)
     char buf[512];
     std::snprintf(
         buf, sizeof(buf),
-        "{\"bench\":\"reproject\",\"quick\":%s,\"size\":%d,\"frames\":%d,"
+        "{\"bench\":\"reproject\",\"dispatch\":\"%s\",\"quick\":%s,\"size\":%d,"
+        "\"frames\":%d,"
         "\"rays_full\":%llu,\"rays_reproject\":%llu,\"ray_fraction\":%.4f,"
         "\"min_psnr_db\":%.2f,\"fallbacks\":%d,\"fps_full\":%.3f,"
         "\"fps_reproject\":%.3f,\"warp_overhead_measured\":%.4f,"
         "\"speedup_measured\":%.3f}",
-        quick ? "true" : "false", size, frames,
+        simd::dispatchName(), quick ? "true" : "false", size, frames,
         static_cast<unsigned long long>(rays_full),
         static_cast<unsigned long long>(rays_reproject), ray_fraction, min_psnr,
         fallbacks, fps_full, fps_reproject, warp_overhead, speedup_measured);

@@ -39,6 +39,7 @@
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "nerf/nerf_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -160,12 +161,13 @@ runOverheadCheck(serve::ModelRegistry &registry, int frames, int size,
     std::printf("  overhead:   %8.2f %% (max %.1f %%) -> %s\n", overhead_pct,
                 max_overhead_pct, ok ? "ok" : "FAILED");
     bench::rule();
-    std::printf("JSON: {\"bench\":\"serve_trace_overhead\",\"resolution\":%d,"
+    std::printf("JSON: {\"bench\":\"serve_trace_overhead\",\"dispatch\":\"%s\","
+                "\"resolution\":%d,"
                 "\"frames\":%d,\"fps_off\":%.3f,\"fps_on\":%.3f,"
                 "\"overhead_pct\":%.3f,\"max_overhead_pct\":%.1f,"
                 "\"ok\":%s}\n",
-                size, frames, fps_off, fps_on, overhead_pct, max_overhead_pct,
-                ok ? "true" : "false");
+                simd::dispatchName(), size, frames, fps_off, fps_on,
+                overhead_pct, max_overhead_pct, ok ? "true" : "false");
     return ok ? 0 : 1;
 }
 
@@ -240,8 +242,9 @@ main(int argc, char **argv)
     }
     bench::rule();
 
-    std::string json = "{\"bench\":\"serve_throughput\",\"resolution\":" +
-                       std::to_string(size) +
+    std::string json = "{\"bench\":\"serve_throughput\",\"dispatch\":\"" +
+                       std::string(simd::dispatchName()) +
+                       "\",\"resolution\":" + std::to_string(size) +
                        ",\"frames\":" + std::to_string(frames) + ",\"points\":[";
     char buf[256];
     for (std::size_t i = 0; i < points.size(); ++i) {

@@ -9,10 +9,13 @@
  * are the reproduced shape.
  */
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/simd.h"
 #include "nerf/trainer.h"
 #include "scenes/dataset_gen.h"
 
@@ -37,6 +40,74 @@ trainWithQuantization(const nerf::Dataset &data, int quantize_every, int iterati
     tc.occupancyUpdateEvery = 48;
     nerf::Trainer trainer(pipe, data, tc);
     return trainer.run().finalPsnr;
+}
+
+struct InferenceQuantRow
+{
+    const char *name;
+    QuantMode mode;
+    double psnr = 0.0;
+};
+
+/**
+ * Post-training inference quantization: train once in fp32, then
+ * re-evaluate the held-out PSNR with the serving weight image packed
+ * to fp16 / INT8 (per-tensor symmetric scales, the serve-path
+ * QuantMode). Unlike the fake-quantized *training* schedules above,
+ * this is the Table II deployment question: how much quality does the
+ * packed inference image give up against the fp32 master it was
+ * quantized from? Expectation (paper Table 2): fp16 is visually
+ * lossless (|delta| well under 0.5 dB), INT8 costs a moderate,
+ * bounded amount.
+ */
+std::vector<InferenceQuantRow>
+inferenceQuantPsnr(const nerf::Dataset &data, int iterations, double &fail)
+{
+    nerf::PipelineConfig pc = bench::defaultPipeline();
+    pc.model.grid.log2TableSize = 13;
+    pc.sampler.maxSamplesPerRay = 32;
+    nerf::NerfPipeline pipe(pc);
+
+    nerf::TrainerConfig tc;
+    tc.iterations = iterations;
+    tc.raysPerBatch = 160;
+    tc.quantizeEvery = 0; // pure fp32 training
+    tc.occupancyWarmup = 128;
+    tc.occupancyUpdateEvery = 48;
+    nerf::Trainer trainer(pipe, data, tc);
+    trainer.run();
+
+    std::vector<InferenceQuantRow> rows{
+        {"fp32", QuantMode::fp32},
+        {"fp16", QuantMode::fp16},
+        {"int8", QuantMode::int8},
+    };
+    for (InferenceQuantRow &row : rows) {
+        // Keep the fp32 masters so each mode quantizes from the same
+        // trained weights rather than compounding.
+        pipe.model().setInferenceQuant(row.mode, /*dropFp32=*/false);
+        row.psnr = trainer.evalPsnr(1);
+    }
+    pipe.model().setInferenceQuant(QuantMode::fp32);
+
+    // Gates: fp16 must be visually lossless vs the fp32 eval; INT8 may
+    // cost PSNR but must stay in the same quality regime (the paper's
+    // Table 2 deltas are single-digit dB on the full-scale setup).
+    const double d16 = rows[1].psnr - rows[0].psnr;
+    const double d8 = rows[2].psnr - rows[0].psnr;
+    if (std::fabs(d16) > 0.5) {
+        std::printf("FAIL: fp16 inference quant moved PSNR by %+.2f dB "
+                    "(gate |delta| <= 0.5)\n",
+                    d16);
+        fail += 1.0;
+    }
+    if (d8 < -8.0 || d8 > 0.5) {
+        std::printf("FAIL: int8 inference quant delta %+.2f dB outside "
+                    "[-8.0, +0.5]\n",
+                    d8);
+        fail += 1.0;
+    }
+    return rows;
 }
 
 } // namespace
@@ -86,5 +157,36 @@ main(int argc, char **argv)
                 "200-iter 26.0 (-5.7) | every iter: not convergent.\n");
     std::printf("Reproduced shape: monotonic degradation with quantization frequency;\n"
                 "per-iteration INT8 quantization breaks convergence.\n");
-    return 0;
+
+    // Deployment-side companion: quality of the packed inference weight
+    // image (serve-path QuantMode) against the fp32 master it was
+    // quantized from, on a model trained without fake quantization.
+    double fail = 0.0;
+    bench::banner("Post-training inference quantization: held-out PSNR by QuantMode");
+    const auto scene = scenes::makeSyntheticScene("lego");
+    scenes::DatasetConfig dc = scenes::syntheticRig(32);
+    dc.reference.steps = 128;
+    const nerf::Dataset data = scenes::makeDataset(*scene, dc);
+    const auto rows = inferenceQuantPsnr(data, iterations, fail);
+    bench::rule();
+    std::printf("%-10s %12s %12s\n", "QuantMode", "PSNR (dB)", "vs fp32");
+    bench::rule();
+    for (const auto &row : rows)
+        std::printf("%-10s %12.2f %+12.2f\n", row.name, row.psnr,
+                    row.psnr - rows[0].psnr);
+    bench::rule();
+
+    std::printf("JSON: {\"bench\":\"table2_quantization\",\"dispatch\":\"%s\","
+                "\"iterations\":%d,\"train_quant_psnr\":[",
+                simd::dispatchName(), iterations);
+    for (std::size_t i = 0; i < schedules.size(); ++i)
+        std::printf("%s{\"schedule\":\"%s\",\"psnr\":%.2f}", i > 0 ? "," : "",
+                    schedules[i].first.c_str(), mean_psnr[i]);
+    std::printf("],\"inference_quant_psnr\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::printf("%s{\"quant\":\"%s\",\"psnr\":%.2f,\"delta_db\":%.2f}",
+                    i > 0 ? "," : "", rows[i].name, rows[i].psnr,
+                    rows[i].psnr - rows[0].psnr);
+    std::printf("]}\n");
+    return fail > 0.0 ? 1 : 0;
 }

@@ -28,6 +28,7 @@
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "nerf/trainer.h"
 #include "scenes/dataset_gen.h"
@@ -151,8 +152,9 @@ main(int argc, char **argv)
     }
     bench::rule();
 
-    std::string json = "{\"bench\":\"train_throughput\",\"quick\":" +
-                       std::string(quick ? "true" : "false") +
+    std::string json = "{\"bench\":\"train_throughput\",\"dispatch\":\"" +
+                       std::string(simd::dispatchName()) +
+                       "\",\"quick\":" + std::string(quick ? "true" : "false") +
                        ",\"iterations\":" + std::to_string(iters) +
                        ",\"rays_per_batch\":" + std::to_string(kRaysPerBatch) +
                        ",\"points\":[";

@@ -2,9 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace fusion3d
 {
+
+const char *
+quantModeName(QuantMode mode)
+{
+    switch (mode) {
+    case QuantMode::fp32:
+        return "fp32";
+    case QuantMode::fp16:
+        return "fp16";
+    case QuantMode::int8:
+        return "int8";
+    }
+    return "fp32";
+}
+
+bool
+parseQuantMode(const char *text, QuantMode *out)
+{
+    if (text == nullptr || out == nullptr)
+        return false;
+    if (std::strcmp(text, "fp32") == 0) {
+        *out = QuantMode::fp32;
+        return true;
+    }
+    if (std::strcmp(text, "fp16") == 0) {
+        *out = QuantMode::fp16;
+        return true;
+    }
+    if (std::strcmp(text, "int8") == 0) {
+        *out = QuantMode::int8;
+        return true;
+    }
+    return false;
+}
 
 QuantScale
 computeScale(std::span<const float> values)

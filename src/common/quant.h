@@ -15,6 +15,26 @@
 namespace fusion3d
 {
 
+/**
+ * Numeric format of an inference weight image. `fp32` is the training
+ * master copy; `fp16`/`int8` select the packed images built by
+ * Mlp::buildQuantized / HashGridEncoding::buildQuantized, which the
+ * batched inference kernels read directly (weight-only quantization —
+ * activations stay fp32).
+ */
+enum class QuantMode
+{
+    fp32,
+    fp16,
+    int8,
+};
+
+/** Stable lowercase name of a quant mode ("fp32"/"fp16"/"int8"). */
+const char *quantModeName(QuantMode mode);
+
+/** Parse "fp32"/"fp16"/"int8"; returns false on anything else. */
+bool parseQuantMode(const char *text, QuantMode *out);
+
 /** Per-tensor symmetric quantization parameters. */
 struct QuantScale
 {

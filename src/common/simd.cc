@@ -1,0 +1,490 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define F3D_SIMD_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define F3D_SIMD_NEON 1
+#endif
+
+namespace fusion3d::simd
+{
+
+namespace
+{
+
+std::atomic<bool> g_force_scalar{false};
+
+bool
+envDisabled()
+{
+    static const bool disabled = [] {
+        const char *e = std::getenv("FUSION3D_SIMD_DISABLED");
+        return e != nullptr && *e != '\0';
+    }();
+    return disabled;
+}
+
+Caps
+detectCaps()
+{
+    Caps c;
+#if defined(F3D_SIMD_X86)
+    c.avx2 = __builtin_cpu_supports("avx2");
+    c.fma = __builtin_cpu_supports("fma");
+    c.f16c = __builtin_cpu_supports("f16c");
+    c.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+#if defined(F3D_SIMD_NEON)
+    c.neon = true;
+#endif
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar variants. These are the reference loops the AVX2/NEON kernels
+// must match bit-for-bat (lane = sample, accumulation order preserved);
+// they are also what the existing Mlp/HashGridEncoding batch loops
+// compiled to, so routing through them changes nothing.
+// ---------------------------------------------------------------------------
+
+/** Samples per GEMM tile: accumulators stay register/L1-resident while
+ *  each weight row is reused across the whole tile. */
+constexpr std::size_t kBatchBlock = 64;
+
+void
+mlpLayerScalar(const float *w, const float *b, const float *x, float *z,
+               float *a, int fan_in, int fan_out, std::size_t n, bool relu)
+{
+    for (std::size_t n0 = 0; n0 < n; n0 += kBatchBlock) {
+        const std::size_t nb = std::min(kBatchBlock, n - n0);
+        for (int o = 0; o < fan_out; ++o) {
+            const float *wrow = w + static_cast<std::size_t>(o) * fan_in;
+            // Per sample this accumulates bias-first then fan-in
+            // ascending — the exact order of the scalar Mlp::forward().
+            float acc[kBatchBlock];
+            for (std::size_t j = 0; j < nb; ++j)
+                acc[j] = b[o];
+            for (int i = 0; i < fan_in; ++i) {
+                const float wv = wrow[i];
+                const float *xrow = x + static_cast<std::size_t>(i) * n + n0;
+                for (std::size_t j = 0; j < nb; ++j)
+                    acc[j] += wv * xrow[j];
+            }
+            float *zrow = z + static_cast<std::size_t>(o) * n + n0;
+            float *arow = a + static_cast<std::size_t>(o) * n + n0;
+            for (std::size_t j = 0; j < nb; ++j) {
+                zrow[j] = acc[j];
+                arow[j] = relu ? std::max(acc[j], 0.0f) : acc[j];
+            }
+        }
+    }
+}
+
+void
+gatherInterp2Scalar(const float *tab, const std::uint32_t *idx,
+                    const float *wts, std::size_t nb, float *out0, float *out1)
+{
+    for (std::size_t j = 0; j < nb; ++j) {
+        float a0 = 0.0f, a1 = 0.0f;
+        for (int c = 0; c < 8; ++c) {
+            const std::size_t at = c * kGatherBlock + j;
+            const float *q =
+                tab + static_cast<std::size_t>(idx[at]) * 2;
+            const float wv = wts[at];
+            a0 += wv * q[0];
+            a1 += wv * q[1];
+        }
+        out0[j] = a0;
+        out1[j] = a1;
+    }
+}
+
+void
+gatherInterp2F16Scalar(const std::uint16_t *tab, const std::uint32_t *idx,
+                       const float *wts, std::size_t nb, float *out0,
+                       float *out1)
+{
+    for (std::size_t j = 0; j < nb; ++j) {
+        float a0 = 0.0f, a1 = 0.0f;
+        for (int c = 0; c < 8; ++c) {
+            const std::size_t at = c * kGatherBlock + j;
+            const std::uint16_t *q =
+                tab + static_cast<std::size_t>(idx[at]) * 2;
+            const float wv = wts[at];
+            a0 += wv * halfBitsToFloat(q[0]);
+            a1 += wv * halfBitsToFloat(q[1]);
+        }
+        out0[j] = a0;
+        out1[j] = a1;
+    }
+}
+
+void
+gatherInterp2I8Scalar(const std::int8_t *tab, float scale,
+                      const std::uint32_t *idx, const float *wts,
+                      std::size_t nb, float *out0, float *out1)
+{
+    for (std::size_t j = 0; j < nb; ++j) {
+        float a0 = 0.0f, a1 = 0.0f;
+        for (int c = 0; c < 8; ++c) {
+            const std::size_t at = c * kGatherBlock + j;
+            const std::int8_t *q =
+                tab + static_cast<std::size_t>(idx[at]) * 2;
+            const float wv = wts[at];
+            a0 += wv * (static_cast<float>(q[0]) * scale);
+            a1 += wv * (static_cast<float>(q[1]) * scale);
+        }
+        out0[j] = a0;
+        out1[j] = a1;
+    }
+}
+
+constexpr Kernels kScalarKernels = {
+    "scalar",           mlpLayerScalar,        gatherInterp2Scalar,
+    gatherInterp2F16Scalar, gatherInterp2I8Scalar,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 variants (x86-64). Compiled per-function with target attributes
+// so no file needs -mavx2; the dispatcher only selects them when CPUID
+// reports avx2+fma+f16c. Multiplies and adds stay SEPARATE intrinsics:
+// with -ffp-contract=off the scalar baseline never fuses, so a
+// single-rounding FMA here would break bit-equality.
+// ---------------------------------------------------------------------------
+#if defined(F3D_SIMD_X86)
+
+__attribute__((target("avx2,fma,f16c"))) void
+mlpLayerAvx2(const float *w, const float *b, const float *x, float *z,
+             float *a, int fan_in, int fan_out, std::size_t n, bool relu)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    for (int o = 0; o < fan_out; ++o) {
+        const float *wrow = w + static_cast<std::size_t>(o) * fan_in;
+        float *zrow = z + static_cast<std::size_t>(o) * n;
+        float *arow = a + static_cast<std::size_t>(o) * n;
+        const __m256 bias = _mm256_set1_ps(b[o]);
+        std::size_t j = 0;
+        for (; j + 16 <= n; j += 16) {
+            __m256 acc0 = bias;
+            __m256 acc1 = bias;
+            for (int i = 0; i < fan_in; ++i) {
+                const __m256 wv = _mm256_set1_ps(wrow[i]);
+                const float *xrow = x + static_cast<std::size_t>(i) * n + j;
+                acc0 = _mm256_add_ps(acc0,
+                                     _mm256_mul_ps(wv, _mm256_loadu_ps(xrow)));
+                acc1 = _mm256_add_ps(
+                    acc1, _mm256_mul_ps(wv, _mm256_loadu_ps(xrow + 8)));
+            }
+            _mm256_storeu_ps(zrow + j, acc0);
+            _mm256_storeu_ps(zrow + j + 8, acc1);
+            if (relu) {
+                acc0 = _mm256_max_ps(zero, acc0);
+                acc1 = _mm256_max_ps(zero, acc1);
+            }
+            _mm256_storeu_ps(arow + j, acc0);
+            _mm256_storeu_ps(arow + j + 8, acc1);
+        }
+        for (; j + 8 <= n; j += 8) {
+            __m256 acc = bias;
+            for (int i = 0; i < fan_in; ++i) {
+                const __m256 wv = _mm256_set1_ps(wrow[i]);
+                const float *xrow = x + static_cast<std::size_t>(i) * n + j;
+                acc = _mm256_add_ps(acc,
+                                    _mm256_mul_ps(wv, _mm256_loadu_ps(xrow)));
+            }
+            _mm256_storeu_ps(zrow + j, acc);
+            if (relu)
+                acc = _mm256_max_ps(zero, acc);
+            _mm256_storeu_ps(arow + j, acc);
+        }
+        for (; j < n; ++j) {
+            float acc = b[o];
+            for (int i = 0; i < fan_in; ++i)
+                acc += wrow[i] * x[static_cast<std::size_t>(i) * n + j];
+            zrow[j] = acc;
+            arow[j] = relu ? std::max(acc, 0.0f) : acc;
+        }
+    }
+}
+
+__attribute__((target("avx2,fma,f16c"))) void
+gatherInterp2Avx2(const float *tab, const std::uint32_t *idx, const float *wts,
+                  std::size_t nb, float *out0, float *out1)
+{
+    std::size_t j = 0;
+    for (; j + 8 <= nb; j += 8) {
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        for (int c = 0; c < 8; ++c) {
+            const std::size_t at = c * kGatherBlock + j;
+            const __m256i vi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(idx + at));
+            const __m256i vi2 = _mm256_slli_epi32(vi, 1);
+            const __m256 q0 = _mm256_i32gather_ps(tab, vi2, 4);
+            const __m256 q1 = _mm256_i32gather_ps(tab + 1, vi2, 4);
+            const __m256 wv = _mm256_loadu_ps(wts + at);
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(wv, q0));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(wv, q1));
+        }
+        _mm256_storeu_ps(out0 + j, acc0);
+        _mm256_storeu_ps(out1 + j, acc1);
+    }
+    if (j < nb)
+        gatherInterp2Scalar(tab, idx + j, wts + j, nb - j, out0 + j, out1 + j);
+}
+
+__attribute__((target("avx2,fma,f16c"))) void
+gatherInterp2F16Avx2(const std::uint16_t *tab, const std::uint32_t *idx,
+                     const float *wts, std::size_t nb, float *out0,
+                     float *out1)
+{
+    // A two-feature binary16 entry is one 32-bit word: one gather
+    // fetches both features, F16C widens them exactly.
+    const int *tab32 = reinterpret_cast<const int *>(tab);
+    const __m256i lomask = _mm256_set1_epi32(0xffff);
+    std::size_t j = 0;
+    for (; j + 8 <= nb; j += 8) {
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        for (int c = 0; c < 8; ++c) {
+            const std::size_t at = c * kGatherBlock + j;
+            const __m256i vi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(idx + at));
+            const __m256i words = _mm256_i32gather_epi32(tab32, vi, 4);
+            const __m256i lo = _mm256_and_si256(words, lomask);
+            const __m256i hi = _mm256_srli_epi32(words, 16);
+            const __m128i lo16 = _mm_packus_epi32(
+                _mm256_castsi256_si128(lo), _mm256_extracti128_si256(lo, 1));
+            const __m128i hi16 = _mm_packus_epi32(
+                _mm256_castsi256_si128(hi), _mm256_extracti128_si256(hi, 1));
+            const __m256 q0 = _mm256_cvtph_ps(lo16);
+            const __m256 q1 = _mm256_cvtph_ps(hi16);
+            const __m256 wv = _mm256_loadu_ps(wts + at);
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(wv, q0));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(wv, q1));
+        }
+        _mm256_storeu_ps(out0 + j, acc0);
+        _mm256_storeu_ps(out1 + j, acc1);
+    }
+    if (j < nb)
+        gatherInterp2F16Scalar(tab, idx + j, wts + j, nb - j, out0 + j,
+                               out1 + j);
+}
+
+__attribute__((target("avx2,fma,f16c"))) void
+gatherInterp2I8Avx2(const std::int8_t *tab, float scale,
+                    const std::uint32_t *idx, const float *wts, std::size_t nb,
+                    float *out0, float *out1)
+{
+    // 32-bit gathers at byte stride 2 over-read 2 bytes past the entry;
+    // callers pad the packed table (see HashGridEncoding::buildQuantized).
+    const int *tab32 = reinterpret_cast<const int *>(tab);
+    const __m256 vscale = _mm256_set1_ps(scale);
+    std::size_t j = 0;
+    for (; j + 8 <= nb; j += 8) {
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        for (int c = 0; c < 8; ++c) {
+            const std::size_t at = c * kGatherBlock + j;
+            const __m256i vi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(idx + at));
+            const __m256i words = _mm256_i32gather_epi32(tab32, vi, 2);
+            const __m256i b0 =
+                _mm256_srai_epi32(_mm256_slli_epi32(words, 24), 24);
+            const __m256i b1 =
+                _mm256_srai_epi32(_mm256_slli_epi32(words, 16), 24);
+            const __m256 q0 =
+                _mm256_mul_ps(_mm256_cvtepi32_ps(b0), vscale);
+            const __m256 q1 =
+                _mm256_mul_ps(_mm256_cvtepi32_ps(b1), vscale);
+            const __m256 wv = _mm256_loadu_ps(wts + at);
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(wv, q0));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(wv, q1));
+        }
+        _mm256_storeu_ps(out0 + j, acc0);
+        _mm256_storeu_ps(out1 + j, acc1);
+    }
+    if (j < nb)
+        gatherInterp2I8Scalar(tab, scale, idx + j, wts + j, nb - j, out0 + j,
+                              out1 + j);
+}
+
+constexpr Kernels kAvx2Kernels = {
+    "avx2",           mlpLayerAvx2,        gatherInterp2Avx2,
+    gatherInterp2F16Avx2, gatherInterp2I8Avx2,
+};
+
+#endif // F3D_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON variants (aarch64). The GEMM microkernel vectorizes 4-wide with
+// separate mul/add (no vfma — same contraction contract as AVX2); the
+// gather kernels stay scalar since NEON has no gather instruction and
+// the index loads dominate either way.
+// ---------------------------------------------------------------------------
+#if defined(F3D_SIMD_NEON)
+
+void
+mlpLayerNeon(const float *w, const float *b, const float *x, float *z,
+             float *a, int fan_in, int fan_out, std::size_t n, bool relu)
+{
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    for (int o = 0; o < fan_out; ++o) {
+        const float *wrow = w + static_cast<std::size_t>(o) * fan_in;
+        float *zrow = z + static_cast<std::size_t>(o) * n;
+        float *arow = a + static_cast<std::size_t>(o) * n;
+        const float32x4_t bias = vdupq_n_f32(b[o]);
+        std::size_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+            float32x4_t acc0 = bias;
+            float32x4_t acc1 = bias;
+            for (int i = 0; i < fan_in; ++i) {
+                const float32x4_t wv = vdupq_n_f32(wrow[i]);
+                const float *xrow = x + static_cast<std::size_t>(i) * n + j;
+                acc0 = vaddq_f32(acc0, vmulq_f32(wv, vld1q_f32(xrow)));
+                acc1 = vaddq_f32(acc1, vmulq_f32(wv, vld1q_f32(xrow + 4)));
+            }
+            vst1q_f32(zrow + j, acc0);
+            vst1q_f32(zrow + j + 4, acc1);
+            if (relu) {
+                acc0 = vmaxq_f32(zero, acc0);
+                acc1 = vmaxq_f32(zero, acc1);
+            }
+            vst1q_f32(arow + j, acc0);
+            vst1q_f32(arow + j + 4, acc1);
+        }
+        for (; j < n; ++j) {
+            float acc = b[o];
+            for (int i = 0; i < fan_in; ++i)
+                acc += wrow[i] * x[static_cast<std::size_t>(i) * n + j];
+            zrow[j] = acc;
+            arow[j] = relu ? std::max(acc, 0.0f) : acc;
+        }
+    }
+}
+
+constexpr Kernels kNeonKernels = {
+    "neon",           mlpLayerNeon,        gatherInterp2Scalar,
+    gatherInterp2F16Scalar, gatherInterp2I8Scalar,
+};
+
+#endif // F3D_SIMD_NEON
+
+Dispatch
+hardwareDispatch()
+{
+    static const Dispatch d = [] {
+        const Caps &c = caps();
+#if defined(F3D_SIMD_X86)
+        if (c.avx2 && c.fma && c.f16c)
+            return Dispatch::avx2;
+#endif
+#if defined(F3D_SIMD_NEON)
+        if (c.neon)
+            return Dispatch::neon;
+#endif
+        (void)c;
+        return Dispatch::scalar;
+    }();
+    return d;
+}
+
+void
+registerCpuFeatureMetrics()
+{
+    static const bool once = [] {
+        obs::MetricsRegistry::global().registerCollector(
+            "process.cpu_features", [](obs::MetricSink &sink) {
+                const Caps &c = caps();
+                sink.labeledGauge(
+                    "process.cpu_features",
+                    std::string("avx2=\"") + (c.avx2 ? "1" : "0") +
+                        "\",fma=\"" + (c.fma ? "1" : "0") + "\",f16c=\"" +
+                        (c.f16c ? "1" : "0") + "\",avx512f=\"" +
+                        (c.avx512f ? "1" : "0") + "\",neon=\"" +
+                        (c.neon ? "1" : "0") + "\",dispatch=\"" +
+                        dispatchName() + "\"",
+                    1.0);
+            });
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
+const Caps &
+caps()
+{
+    static const Caps c = detectCaps();
+    return c;
+}
+
+const char *
+dispatchName(Dispatch d)
+{
+    switch (d) {
+    case Dispatch::scalar:
+        return "scalar";
+    case Dispatch::avx2:
+        return "avx2";
+    case Dispatch::neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+Dispatch
+activeDispatch()
+{
+    registerCpuFeatureMetrics();
+    if (envDisabled() || g_force_scalar.load(std::memory_order_relaxed))
+        return Dispatch::scalar;
+    return hardwareDispatch();
+}
+
+const char *
+dispatchName()
+{
+    return dispatchName(activeDispatch());
+}
+
+void
+forceScalar(bool on)
+{
+    g_force_scalar.store(on, std::memory_order_relaxed);
+}
+
+bool
+scalarForced()
+{
+    return envDisabled() || g_force_scalar.load(std::memory_order_relaxed);
+}
+
+const Kernels &
+kernels()
+{
+    switch (activeDispatch()) {
+#if defined(F3D_SIMD_X86)
+    case Dispatch::avx2:
+        return kAvx2Kernels;
+#endif
+#if defined(F3D_SIMD_NEON)
+    case Dispatch::neon:
+        return kNeonKernels;
+#endif
+    default:
+        return kScalarKernels;
+    }
+}
+
+} // namespace fusion3d::simd

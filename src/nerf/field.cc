@@ -51,4 +51,27 @@ HashGridServeField::evalDensityBatch(std::span<const Vec3f> positions,
     model().queryDensityBatch(positions, ws, sigmas);
 }
 
+std::size_t
+HashGridServeField::residentBytes() const
+{
+    return model().residentParamBytes();
+}
+
+QuantMode
+HashGridServeField::quantMode() const
+{
+    return model().inferenceQuantMode();
+}
+
+bool
+HashGridServeField::applyQuantMode(QuantMode mode)
+{
+    // A borrowed model can't be mutated; once the fp32 masters are
+    // dropped the mode is pinned. Both cases succeed only as no-ops.
+    if (owned_ == nullptr || !owned_->encoding().hasFp32Weights())
+        return model().inferenceQuantMode() == mode;
+    owned_->setInferenceQuant(mode);
+    return true;
+}
+
 } // namespace fusion3d::nerf

@@ -23,6 +23,7 @@
 #include <memory>
 #include <span>
 
+#include "common/quant.h"
 #include "common/vec.h"
 
 namespace fusion3d::nerf
@@ -75,6 +76,30 @@ class ServeableField
      */
     virtual void evalDensityBatch(std::span<const Vec3f> positions,
                                   std::span<float> sigmas) const = 0;
+
+    /**
+     * Bytes of resident parameter storage — the registry's memory-
+     * budget accounting unit. Defaults to fp32 (paramCount() * 4);
+     * backends with packed weight images report their actual footprint.
+     */
+    virtual std::size_t residentBytes() const
+    {
+        return paramCount() * sizeof(float);
+    }
+
+    /** Numeric format evalBatch reads weights in (fp32 by default). */
+    virtual QuantMode quantMode() const { return QuantMode::fp32; }
+
+    /**
+     * Switch this field's inference weights to @p mode, releasing the
+     * fp32 masters for non-fp32 modes. Returns false if the backend
+     * does not support quantization (the default) or the field borrows
+     * its model; the field then keeps serving fp32.
+     */
+    virtual bool applyQuantMode(QuantMode mode)
+    {
+        return mode == QuantMode::fp32;
+    }
 };
 
 /**
@@ -96,6 +121,9 @@ class HashGridServeField : public ServeableField
                    std::span<float> sigmas, std::span<Vec3f> rgbs) const override;
     void evalDensityBatch(std::span<const Vec3f> positions,
                           std::span<float> sigmas) const override;
+    std::size_t residentBytes() const override;
+    QuantMode quantMode() const override;
+    bool applyQuantMode(QuantMode mode) override;
 
     const NerfModel &
     model() const

@@ -3,8 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/half.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define F3D_HASH_SIMD_X86 1
+#include <immintrin.h>
+#endif
 
 namespace fusion3d::nerf
 {
@@ -56,6 +63,102 @@ cornerIndicesWeights(const Vec3f &pos, float fres, bool dense, std::uint32_t n1,
     }
 }
 
+#if defined(F3D_HASH_SIMD_X86)
+
+/**
+ * AVX2 block staging: cornerIndicesWeights for 8 points per iteration,
+ * lanes mapping to samples, results stored corner-major into the
+ * [8][kGatherBlock] idx/wts arrays. Every float op mirrors the scalar
+ * helper exactly — clamp as min(max(v,0),1) (== std::clamp for finite
+ * inputs), floor via _mm256_floor_ps, frac as scaled - floor, weights
+ * as (wx*wy)*wz — and the integer index math (32-bit wraparound
+ * multiplies, xor, mask) is bitwise by construction, so staged indices
+ * and weights match the scalar path bit for bit. (For a -0.0 input
+ * component the clamp yields +0.0 where std::clamp keeps -0.0; the
+ * downstream products and sums are identical either way.)
+ */
+__attribute__((target("avx2"))) void
+stageCornersAvx2(const Vec3f *pos, std::size_t n8, float fres, bool dense,
+                 std::uint32_t n1, std::uint32_t mask, std::uint32_t prime_x,
+                 std::uint32_t prime_y, std::uint32_t prime_z,
+                 std::uint32_t *idx, float *wts)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 vres = _mm256_set1_ps(fres);
+    const __m256 vmaxc = _mm256_set1_ps(fres - 1e-4f);
+    const __m256i ione = _mm256_set1_epi32(1);
+    const __m256i vn1 = _mm256_set1_epi32(static_cast<int>(n1));
+    const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+    const __m256i vpx = _mm256_set1_epi32(static_cast<int>(prime_x));
+    const __m256i vpy = _mm256_set1_epi32(static_cast<int>(prime_y));
+    const __m256i vpz = _mm256_set1_epi32(static_cast<int>(prime_z));
+    // Vec3f is three packed floats; gather x/y/z lanes at stride 3.
+    const __m256i stride = _mm256_setr_epi32(0, 3, 6, 9, 12, 15, 18, 21);
+
+    for (std::size_t j = 0; j < n8; j += 8) {
+        const float *pf = reinterpret_cast<const float *>(pos + j);
+        __m256 px = _mm256_i32gather_ps(pf + 0, stride, 4);
+        __m256 py = _mm256_i32gather_ps(pf + 1, stride, 4);
+        __m256 pz = _mm256_i32gather_ps(pf + 2, stride, 4);
+        px = _mm256_min_ps(_mm256_max_ps(px, zero), one);
+        py = _mm256_min_ps(_mm256_max_ps(py, zero), one);
+        pz = _mm256_min_ps(_mm256_max_ps(pz, zero), one);
+        const __m256 sx = _mm256_min_ps(_mm256_mul_ps(px, vres), vmaxc);
+        const __m256 sy = _mm256_min_ps(_mm256_mul_ps(py, vres), vmaxc);
+        const __m256 sz = _mm256_min_ps(_mm256_mul_ps(pz, vres), vmaxc);
+        const __m256 fx = _mm256_floor_ps(sx);
+        const __m256 fy = _mm256_floor_ps(sy);
+        const __m256 fz = _mm256_floor_ps(sz);
+        const __m256i bx = _mm256_cvttps_epi32(fx);
+        const __m256i by = _mm256_cvttps_epi32(fy);
+        const __m256i bz = _mm256_cvttps_epi32(fz);
+        const __m256 frx = _mm256_sub_ps(sx, fx);
+        const __m256 fry = _mm256_sub_ps(sy, fy);
+        const __m256 frz = _mm256_sub_ps(sz, fz);
+        const __m256 ivx = _mm256_sub_ps(one, frx);
+        const __m256 ivy = _mm256_sub_ps(one, fry);
+        const __m256 ivz = _mm256_sub_ps(one, frz);
+        const __m256i bx1 = _mm256_add_epi32(bx, ione);
+        const __m256i by1 = _mm256_add_epi32(by, ione);
+        const __m256i bz1 = _mm256_add_epi32(bz, ione);
+
+        for (int c = 0; c < 8; ++c) {
+            const bool dx = (c & 1) != 0;
+            const bool dy = ((c >> 1) & 1) != 0;
+            const bool dz = ((c >> 2) & 1) != 0;
+            const __m256i vx = dx ? bx1 : bx;
+            const __m256i vy = dy ? by1 : by;
+            const __m256i vz = dz ? bz1 : bz;
+            __m256i vi;
+            if (dense)
+                vi = _mm256_add_epi32(
+                    _mm256_mullo_epi32(
+                        _mm256_add_epi32(_mm256_mullo_epi32(vz, vn1), vy),
+                        vn1),
+                    vx);
+            else
+                vi = _mm256_and_si256(
+                    _mm256_xor_si256(
+                        _mm256_xor_si256(_mm256_mullo_epi32(vx, vpx),
+                                         _mm256_mullo_epi32(vy, vpy)),
+                        _mm256_mullo_epi32(vz, vpz)),
+                    vmask);
+            const __m256 w = _mm256_mul_ps(
+                _mm256_mul_ps(dx ? frx : ivx, dy ? fry : ivy),
+                dz ? frz : ivz);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(
+                    idx + static_cast<std::size_t>(c) * simd::kGatherBlock + j),
+                vi);
+            _mm256_storeu_ps(
+                wts + static_cast<std::size_t>(c) * simd::kGatherBlock + j, w);
+        }
+    }
+}
+
+#endif // F3D_HASH_SIMD_X86
+
 } // namespace
 
 HashGridEncoding::HashGridEncoding(const HashGridConfig &cfg, std::uint64_t seed)
@@ -103,6 +206,7 @@ HashGridEncoding::HashGridEncoding(const HashGridConfig &cfg, std::uint64_t seed
 
     params_.resize(total_floats);
     grads_.assign(total_floats, 0.0f);
+    param_count_ = total_floats;
 
     // Small uniform init, as in Instant-NGP (U[-1e-4, 1e-4]).
     Pcg32 rng(seed, 0x9e3779b97f4a7c15ULL);
@@ -154,6 +258,8 @@ HashGridEncoding::encode(const Vec3f &pos, std::span<float> out,
     const int fpl = cfg_.featuresPerLevel;
     if (out.size() < static_cast<std::size_t>(cfg_.encodedDims()))
         panic("HashGridEncoding::encode output span too small");
+    if (!has_fp32_)
+        panic("HashGridEncoding::encode requires fp32 table (dropped)");
 
     CornerSet cs;
     for (int l = 0; l < cfg_.levels; ++l) {
@@ -181,6 +287,8 @@ HashGridEncoding::backward(const Vec3f &pos, std::span<const float> dout)
     const int fpl = cfg_.featuresPerLevel;
     if (dout.size() < static_cast<std::size_t>(cfg_.encodedDims()))
         panic("HashGridEncoding::backward gradient span too small");
+    if (!has_fp32_)
+        panic("HashGridEncoding::backward requires fp32 table (dropped)");
 
     CornerSet cs;
     for (int l = 0; l < cfg_.levels; ++l) {
@@ -205,12 +313,31 @@ HashGridEncoding::encodeBatch(std::span<const Vec3f> pos, std::span<float> out,
         panic("HashGridEncoding::encodeBatch output span too small (%zu < %zu)",
               out.size(), static_cast<std::size_t>(cfg_.encodedDims()) * n);
 
+    // One dispatch lookup per call; block-staged SoA corner
+    // indices/weights ([8][kGatherBlock], corner-major) feed the gather
+    // kernels, whose lanes map to samples — per point the corner
+    // accumulation order matches encode() exactly.
+    const simd::Kernels &kern = simd::kernels();
+    std::uint32_t idx[8 * simd::kGatherBlock];
+    float wts[8 * simd::kGatherBlock];
+#if defined(F3D_HASH_SIMD_X86)
+    // Corner staging (clamp/scale/floor/hash/trilinear weights) dominates
+    // encodeBatch; vectorize it under the same dispatch pin as the
+    // gather kernels so forceScalar() still exercises the scalar loop.
+    const bool stage_avx2 = simd::activeDispatch() == simd::Dispatch::avx2;
+#endif
+
     CornerSet cs;
     LevelCorners lc;
     for (int l = 0; l < cfg_.levels; ++l) {
         const std::size_t base = offsets_[l];
         const std::size_t row = static_cast<std::size_t>(l) * fpl * n;
         if (visitor) {
+            // Access-trace observation always runs over the fp32 master
+            // table (the chip model traces training-precision runs).
+            if (!has_fp32_)
+                panic("HashGridEncoding::encodeBatch visitor path requires "
+                      "fp32 table (dropped)");
             // Observed path: full gatherCorners so the visitor sees
             // coords, in the same contiguous 8-corner groups.
             for (std::size_t j = 0; j < n; ++j) {
@@ -239,19 +366,49 @@ HashGridEncoding::encodeBatch(std::span<const Vec3f> pos, std::span<float> out,
         const bool dense = dense_[l];
         const std::uint32_t n1 = static_cast<std::uint32_t>(resolutions_[l] + 1);
         const std::uint32_t mask = cfg_.tableSize() - 1;
-        const float *lp = params_.data() + base;
+        const float *lp = has_fp32_ ? params_.data() + base : nullptr;
+        const std::uint16_t *lq16 = quant_mode_ == QuantMode::fp16
+                                        ? qtab_fp16_.data() + base
+                                        : nullptr;
+        const std::int8_t *lq8 = quant_mode_ == QuantMode::int8
+                                     ? qtab_int8_.data() + base
+                                     : nullptr;
+        const float scale =
+            lq8 != nullptr ? qlevel_scales_[static_cast<std::size_t>(l)].scale
+                           : 1.0f;
+        if (lp == nullptr && lq16 == nullptr && lq8 == nullptr)
+            panic("HashGridEncoding::encodeBatch fp32 table dropped without "
+                  "a packed table");
         if (fpl == 2) {
-            for (std::size_t j = 0; j < n; ++j) {
-                cornerIndicesWeights(pos[j], fres, dense, n1, mask, lc);
-                float a0 = 0.0f, a1 = 0.0f;
-                for (int c = 0; c < 8; ++c) {
-                    const float *q = lp + static_cast<std::size_t>(lc.indices[c]) * 2;
-                    const float w = lc.weights[c];
-                    a0 += w * q[0];
-                    a1 += w * q[1];
+            for (std::size_t j0 = 0; j0 < n; j0 += simd::kGatherBlock) {
+                const std::size_t nb = std::min(simd::kGatherBlock, n - j0);
+                std::size_t j = 0;
+#if defined(F3D_HASH_SIMD_X86)
+                if (stage_avx2) {
+                    const std::size_t n8 = nb & ~std::size_t(7);
+                    if (n8 > 0)
+                        stageCornersAvx2(pos.data() + j0, n8, fres, dense, n1,
+                                         mask, kPrimeX, kPrimeY, kPrimeZ, idx,
+                                         wts);
+                    j = n8;
                 }
-                out[row + j] = a0;
-                out[row + n + j] = a1;
+#endif
+                for (; j < nb; ++j) {
+                    cornerIndicesWeights(pos[j0 + j], fres, dense, n1, mask,
+                                         lc);
+                    for (int c = 0; c < 8; ++c) {
+                        idx[c * simd::kGatherBlock + j] = lc.indices[c];
+                        wts[c * simd::kGatherBlock + j] = lc.weights[c];
+                    }
+                }
+                float *out0 = out.data() + row + j0;
+                float *out1 = out.data() + row + n + j0;
+                if (lq16 != nullptr)
+                    kern.gatherInterp2F16(lq16, idx, wts, nb, out0, out1);
+                else if (lq8 != nullptr)
+                    kern.gatherInterp2I8(lq8, scale, idx, wts, nb, out0, out1);
+                else
+                    kern.gatherInterp2(lp, idx, wts, nb, out0, out1);
             }
         } else {
             for (std::size_t j = 0; j < n; ++j) {
@@ -260,11 +417,20 @@ HashGridEncoding::encodeBatch(std::span<const Vec3f> pos, std::span<float> out,
                 for (int f = 0; f < fpl; ++f)
                     acc[f] = 0.0f;
                 for (int c = 0; c < 8; ++c) {
-                    const float *q =
-                        lp + static_cast<std::size_t>(lc.indices[c]) * fpl;
+                    const std::size_t at =
+                        static_cast<std::size_t>(lc.indices[c]) * fpl;
                     const float w = lc.weights[c];
-                    for (int f = 0; f < fpl; ++f)
-                        acc[f] += w * q[f];
+                    if (lq16 != nullptr) {
+                        for (int f = 0; f < fpl; ++f)
+                            acc[f] += w * simd::halfBitsToFloat(lq16[at + f]);
+                    } else if (lq8 != nullptr) {
+                        for (int f = 0; f < fpl; ++f)
+                            acc[f] +=
+                                w * (static_cast<float>(lq8[at + f]) * scale);
+                    } else {
+                        for (int f = 0; f < fpl; ++f)
+                            acc[f] += w * lp[at + f];
+                    }
                 }
                 for (int f = 0; f < fpl; ++f)
                     out[row + static_cast<std::size_t>(f) * n + j] = acc[f];
@@ -280,6 +446,8 @@ HashGridEncoding::backwardBatch(std::span<const Vec3f> pos, std::span<const floa
     const std::size_t n = pos.size();
     if (dout.size() < static_cast<std::size_t>(cfg_.encodedDims()) * n)
         panic("HashGridEncoding::backwardBatch gradient span too small");
+    if (!has_fp32_)
+        panic("HashGridEncoding::backwardBatch requires fp32 table (dropped)");
 
     LevelCorners lc;
     for (int l = 0; l < cfg_.levels; ++l) {
@@ -311,6 +479,9 @@ HashGridEncoding::backwardBatchInto(std::span<const Vec3f> pos,
     const std::size_t n = pos.size();
     if (dout.size() < static_cast<std::size_t>(cfg_.encodedDims()) * n)
         panic("HashGridEncoding::backwardBatchInto gradient span too small");
+    if (!has_fp32_)
+        panic("HashGridEncoding::backwardBatchInto requires fp32 table "
+              "(dropped)");
 
     // Lazy one-time sizing; a reused accumulator never reallocates.
     if (acc.acc_.size() != params_.size()) {
@@ -386,6 +557,89 @@ void
 HashGridEncoding::zeroGrads()
 {
     std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+void
+HashGridEncoding::buildQuantized(QuantMode mode)
+{
+    if (!has_fp32_)
+        panic("HashGridEncoding::buildQuantized requires fp32 master table "
+              "(dropped)");
+    qtab_fp16_.clear();
+    qtab_int8_.clear();
+    qlevel_scales_.clear();
+    quant_mode_ = mode;
+    if (mode == QuantMode::fp32)
+        return;
+
+    if (mode == QuantMode::fp16) {
+        qtab_fp16_.resize(param_count_);
+        for (std::size_t k = 0; k < param_count_; ++k)
+            qtab_fp16_[k] = Half::fromFloat(params_[k]).bits();
+        return;
+    }
+
+    // INT8: per-level symmetric scales; +4 pad bytes for the AVX2
+    // 32-bit entry gathers (byte stride 2 over-reads the last entry).
+    qtab_int8_.resize(param_count_ + 4, 0);
+    qlevel_scales_.resize(static_cast<std::size_t>(cfg_.levels));
+    for (int l = 0; l < cfg_.levels; ++l) {
+        const std::size_t base = offsets_[l];
+        const std::size_t count =
+            static_cast<std::size_t>(entries_[l]) * cfg_.featuresPerLevel;
+        const QuantScale qs = computeScale({params_.data() + base, count});
+        qlevel_scales_[static_cast<std::size_t>(l)] = qs;
+        const std::vector<std::int8_t> q =
+            quantize({params_.data() + base, count}, qs);
+        std::copy(q.begin(), q.end(), qtab_int8_.begin() + base);
+    }
+}
+
+void
+HashGridEncoding::dropFp32Weights()
+{
+    if (quant_mode_ == QuantMode::fp32)
+        panic("HashGridEncoding::dropFp32Weights needs a packed table "
+              "(quantMode fp32)");
+    params_.clear();
+    params_.shrink_to_fit();
+    grads_.clear();
+    grads_.shrink_to_fit();
+    has_fp32_ = false;
+}
+
+std::size_t
+HashGridEncoding::residentParamBytes() const
+{
+    return params_.size() * sizeof(float) +
+           qtab_fp16_.size() * sizeof(std::uint16_t) +
+           qtab_int8_.size() * sizeof(std::int8_t) +
+           qlevel_scales_.size() * sizeof(QuantScale);
+}
+
+std::vector<float>
+HashGridEncoding::dequantizedParams() const
+{
+    if (quant_mode_ == QuantMode::fp32) {
+        if (!has_fp32_)
+            panic("HashGridEncoding::dequantizedParams fp32 table dropped");
+        return params_;
+    }
+    std::vector<float> out(param_count_);
+    if (quant_mode_ == QuantMode::fp16) {
+        for (std::size_t k = 0; k < param_count_; ++k)
+            out[k] = simd::halfBitsToFloat(qtab_fp16_[k]);
+        return out;
+    }
+    for (int l = 0; l < cfg_.levels; ++l) {
+        const std::size_t base = offsets_[l];
+        const std::size_t count =
+            static_cast<std::size_t>(entries_[l]) * cfg_.featuresPerLevel;
+        const float s = qlevel_scales_[static_cast<std::size_t>(l)].scale;
+        for (std::size_t k = 0; k < count; ++k)
+            out[base + k] = static_cast<float>(qtab_int8_[base + k]) * s;
+    }
+    return out;
 }
 
 } // namespace fusion3d::nerf

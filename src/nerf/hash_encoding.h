@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "common/quant.h"
 #include "common/vec.h"
 
 namespace fusion3d::nerf
@@ -204,13 +205,48 @@ class HashGridEncoding
     void zeroGrads();
 
     /** Total parameter count. */
-    std::size_t paramCount() const { return params_.size(); }
+    std::size_t paramCount() const { return param_count_; }
 
     /** Parameter bytes at a given precision (for bandwidth accounting). */
     std::size_t paramBytes(int bytes_per_param = 2) const
     {
-        return params_.size() * static_cast<std::size_t>(bytes_per_param);
+        return param_count_ * static_cast<std::size_t>(bytes_per_param);
     }
+
+    /**
+     * Build the packed inference table for @p mode from the fp32 master
+     * table (binary16 for fp16; per-level symmetric INT8 + scale for
+     * int8). Afterwards encodeBatch() dequantizes each corner feature
+     * on the fly (float(q) * scale / exact binary16 widening) inside
+     * the gather kernels — arithmetic identical to interpolating a
+     * pre-dequantized fp32 table. The scalar encode(), the visitor
+     * path, and every backward entry point keep using the fp32 master
+     * table. fp32 discards the packed table.
+     */
+    void buildQuantized(QuantMode mode);
+
+    /** Numeric format encodeBatch reads table entries in. */
+    QuantMode quantMode() const { return quant_mode_; }
+
+    /**
+     * Release the fp32 master table and gradients. Requires a packed
+     * table (quantMode() != fp32); afterwards encode(), the visitor
+     * path and the backward entry points panic.
+     */
+    void dropFp32Weights();
+
+    /** True until dropFp32Weights(). */
+    bool hasFp32Weights() const { return has_fp32_; }
+
+    /** Bytes of resident table storage (fp32 master + packed image). */
+    std::size_t residentParamBytes() const;
+
+    /**
+     * The params()-layout table the batched encode evaluates: a copy of
+     * params() in fp32 mode, otherwise the packed table dequantized
+     * (what a dequantize-then-fp32 oracle would interpolate).
+     */
+    std::vector<float> dequantizedParams() const;
 
     static constexpr std::uint32_t kPrimeX = 1u;
     static constexpr std::uint32_t kPrimeY = 2654435761u;
@@ -235,6 +271,18 @@ class HashGridEncoding
     std::vector<std::size_t> offsets_;
     std::vector<float> params_;
     std::vector<float> grads_;
+
+    /** Logical parameter count (stable across dropFp32Weights). */
+    std::size_t param_count_ = 0;
+    QuantMode quant_mode_ = QuantMode::fp32;
+    bool has_fp32_ = true;
+    /** Packed tables, same element layout/offsets as params_. The int8
+     *  table carries 4 trailing pad bytes: the AVX2 variant fetches
+     *  entries with 32-bit gathers at byte stride 2. */
+    std::vector<std::uint16_t> qtab_fp16_;
+    std::vector<std::int8_t> qtab_int8_;
+    /** Per-level symmetric int8 scales. */
+    std::vector<QuantScale> qlevel_scales_;
 };
 
 } // namespace fusion3d::nerf

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/half.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace fusion3d::nerf
 {
@@ -32,6 +34,7 @@ Mlp::Mlp(std::vector<int> layer_sizes, std::uint64_t seed)
     }
     params_.resize(total);
     grads_.assign(total, 0.0f);
+    param_count_ = total;
 
     // He-uniform init for the ReLU layers.
     Pcg32 rng(seed, 0xcafef00dd15ea5e5ULL);
@@ -49,10 +52,6 @@ Mlp::Mlp(std::vector<int> layer_sizes, std::uint64_t seed)
 
 namespace
 {
-
-/** Samples per GEMM tile: accumulators stay register/L1-resident while
- *  each weight row is reused across the whole tile. */
-constexpr std::size_t kBatchBlock = 64;
 
 /** Grow @p ws to hold @p n samples; never shrinks. */
 void
@@ -118,41 +117,50 @@ Mlp::forwardBatch(std::span<const float> input, std::size_t n, MlpBatchWorkspace
     std::copy_n(input.begin(), static_cast<std::size_t>(inputDim()) * n,
                 ws.activations[0].begin());
 
+    // One dispatch lookup per call; lanes map to samples, so every
+    // variant preserves each column's accumulation order (bias first,
+    // then fan-in ascending — the exact order of the scalar forward()).
+    const simd::Kernels &kern = simd::kernels();
+    const bool quantized = quant_mode_ != QuantMode::fp32;
+    if (!quantized && !has_fp32_)
+        panic("Mlp::forwardBatch fp32 weights dropped without a packed image");
+
     // All matrices are feature-major with stride n for this call.
     for (int l = 0; l < layerCount(); ++l) {
         const int fan_in = sizes_[l];
         const int fan_out = sizes_[l + 1];
-        const float *w = params_.data() + w_offsets_[l];
-        const float *b = params_.data() + b_offsets_[l];
+        const float *w;
+        const float *b;
+        if (quantized) {
+            // Dequantize the layer's weight matrix into scratch and run
+            // the same fp32 kernel: bitwise identical to evaluating the
+            // dequantized image directly, at one extra pass per layer
+            // over a few KB of weights (amortized across the batch).
+            const std::size_t wcount =
+                static_cast<std::size_t>(fan_in) * fan_out;
+            if (ws.wdequant.size() < wcount)
+                ws.wdequant.resize(wcount);
+            if (quant_mode_ == QuantMode::fp16) {
+                const std::uint16_t *q = qw_fp16_.data() + qw_offsets_[l];
+                for (std::size_t k = 0; k < wcount; ++k)
+                    ws.wdequant[k] = simd::halfBitsToFloat(q[k]);
+            } else {
+                const std::int8_t *q = qw_int8_.data() + qw_offsets_[l];
+                const float s = qscales_[l].scale;
+                for (std::size_t k = 0; k < wcount; ++k)
+                    ws.wdequant[k] = static_cast<float>(q[k]) * s;
+            }
+            w = ws.wdequant.data();
+            b = qbias_.data() + qb_offsets_[l];
+        } else {
+            w = params_.data() + w_offsets_[l];
+            b = params_.data() + b_offsets_[l];
+        }
         const float *x = ws.activations[l].data();
         float *z = ws.preacts[l].data();
         float *a = ws.activations[l + 1].data();
         const bool hidden = l != layerCount() - 1;
-
-        for (std::size_t n0 = 0; n0 < n; n0 += kBatchBlock) {
-            const std::size_t nb = std::min(kBatchBlock, n - n0);
-            for (int o = 0; o < fan_out; ++o) {
-                const float *wrow = w + static_cast<std::size_t>(o) * fan_in;
-                // Per sample this accumulates bias-first then fan-in
-                // ascending — the exact order of the scalar forward(),
-                // so each column is bit-identical to the scalar path.
-                float acc[kBatchBlock];
-                for (std::size_t j = 0; j < nb; ++j)
-                    acc[j] = b[o];
-                for (int i = 0; i < fan_in; ++i) {
-                    const float wv = wrow[i];
-                    const float *xrow = x + static_cast<std::size_t>(i) * n + n0;
-                    for (std::size_t j = 0; j < nb; ++j)
-                        acc[j] += wv * xrow[j];
-                }
-                float *zrow = z + static_cast<std::size_t>(o) * n + n0;
-                float *arow = a + static_cast<std::size_t>(o) * n + n0;
-                for (std::size_t j = 0; j < nb; ++j) {
-                    zrow[j] = acc[j];
-                    arow[j] = hidden ? std::max(acc[j], 0.0f) : acc[j];
-                }
-            }
-        }
+        kern.mlpLayer(w, b, x, z, a, fan_in, fan_out, n, hidden);
     }
     return {ws.activations.back().data(), static_cast<std::size_t>(outputDim()) * n};
 }
@@ -173,9 +181,11 @@ Mlp::backwardBatchInto(std::span<const float> dout, std::size_t n,
         panic("Mlp::backwardBatch batch size mismatch (%zu != %zu)", n, ws.count);
     if (dout.size() < static_cast<std::size_t>(outputDim()) * n)
         panic("Mlp::backwardBatch gradient too small");
-    if (grads.size() != params_.size())
+    if (!has_fp32_)
+        panic("Mlp::backwardBatchInto requires fp32 weights (dropped)");
+    if (grads.size() != param_count_)
         panic("Mlp::backwardBatchInto gradient vector mismatch (%zu != %zu)",
-              grads.size(), params_.size());
+              grads.size(), param_count_);
 
     float *delta = ws.delta_a.data();
     float *next_delta = ws.delta_b.data();
@@ -232,6 +242,8 @@ Mlp::forward(std::span<const float> input, MlpWorkspace &ws) const
 {
     if (input.size() < static_cast<std::size_t>(inputDim()))
         panic("Mlp::forward input too small (%zu < %d)", input.size(), inputDim());
+    if (!has_fp32_)
+        panic("Mlp::forward requires fp32 weights (dropped)");
 
     std::copy_n(input.begin(), inputDim(), ws.activations[0].begin());
 
@@ -262,6 +274,8 @@ Mlp::backward(std::span<const float> dout, MlpWorkspace &ws)
 {
     if (dout.size() < static_cast<std::size_t>(outputDim()))
         panic("Mlp::backward gradient too small");
+    if (!has_fp32_)
+        panic("Mlp::backward requires fp32 weights (dropped)");
 
     float *delta = ws.delta_a.data();
     float *next_delta = ws.delta_b.data();
@@ -308,6 +322,106 @@ void
 Mlp::zeroGrads()
 {
     std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+void
+Mlp::buildQuantized(QuantMode mode)
+{
+    if (!has_fp32_)
+        panic("Mlp::buildQuantized requires fp32 master weights (dropped)");
+    qw_offsets_.assign(layerCount(), 0);
+    qb_offsets_.assign(layerCount(), 0);
+    qw_fp16_.clear();
+    qw_int8_.clear();
+    qscales_.clear();
+    qbias_.clear();
+    quant_mode_ = mode;
+    if (mode == QuantMode::fp32)
+        return;
+
+    std::size_t wtotal = 0, btotal = 0;
+    for (int l = 0; l < layerCount(); ++l) {
+        qw_offsets_[l] = wtotal;
+        qb_offsets_[l] = btotal;
+        wtotal += static_cast<std::size_t>(sizes_[l]) * sizes_[l + 1];
+        btotal += static_cast<std::size_t>(sizes_[l + 1]);
+    }
+    qbias_.resize(btotal);
+    qscales_.resize(layerCount());
+    if (mode == QuantMode::fp16)
+        qw_fp16_.resize(wtotal);
+    else
+        qw_int8_.resize(wtotal);
+
+    for (int l = 0; l < layerCount(); ++l) {
+        const std::size_t wcount =
+            static_cast<std::size_t>(sizes_[l]) * sizes_[l + 1];
+        const float *w = params_.data() + w_offsets_[l];
+        const float *b = params_.data() + b_offsets_[l];
+        std::copy_n(b, static_cast<std::size_t>(sizes_[l + 1]),
+                    qbias_.begin() + qb_offsets_[l]);
+        if (mode == QuantMode::fp16) {
+            std::uint16_t *q = qw_fp16_.data() + qw_offsets_[l];
+            for (std::size_t k = 0; k < wcount; ++k)
+                q[k] = Half::fromFloat(w[k]).bits();
+        } else {
+            const QuantScale qs = computeScale({w, wcount});
+            qscales_[l] = qs;
+            const std::vector<std::int8_t> q = quantize({w, wcount}, qs);
+            std::copy(q.begin(), q.end(), qw_int8_.begin() + qw_offsets_[l]);
+        }
+    }
+}
+
+void
+Mlp::dropFp32Weights()
+{
+    if (quant_mode_ == QuantMode::fp32)
+        panic("Mlp::dropFp32Weights needs a packed image (quantMode fp32)");
+    params_.clear();
+    params_.shrink_to_fit();
+    grads_.clear();
+    grads_.shrink_to_fit();
+    has_fp32_ = false;
+}
+
+std::size_t
+Mlp::residentParamBytes() const
+{
+    return params_.size() * sizeof(float) +
+           qw_fp16_.size() * sizeof(std::uint16_t) +
+           qw_int8_.size() * sizeof(std::int8_t) +
+           qbias_.size() * sizeof(float) + qscales_.size() * sizeof(QuantScale);
+}
+
+std::vector<float>
+Mlp::dequantizedParams() const
+{
+    if (quant_mode_ == QuantMode::fp32) {
+        if (!has_fp32_)
+            panic("Mlp::dequantizedParams fp32 weights dropped");
+        return params_;
+    }
+    std::vector<float> out(param_count_, 0.0f);
+    for (int l = 0; l < layerCount(); ++l) {
+        const std::size_t wcount =
+            static_cast<std::size_t>(sizes_[l]) * sizes_[l + 1];
+        float *w = out.data() + w_offsets_[l];
+        if (quant_mode_ == QuantMode::fp16) {
+            const std::uint16_t *q = qw_fp16_.data() + qw_offsets_[l];
+            for (std::size_t k = 0; k < wcount; ++k)
+                w[k] = simd::halfBitsToFloat(q[k]);
+        } else {
+            const std::int8_t *q = qw_int8_.data() + qw_offsets_[l];
+            const float s = qscales_[l].scale;
+            for (std::size_t k = 0; k < wcount; ++k)
+                w[k] = static_cast<float>(q[k]) * s;
+        }
+        std::copy_n(qbias_.begin() + qb_offsets_[l],
+                    static_cast<std::size_t>(sizes_[l + 1]),
+                    out.begin() + b_offsets_[l]);
+    }
+    return out;
 }
 
 std::uint64_t

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "common/quant.h"
+
 namespace fusion3d::nerf
 {
 
@@ -53,6 +55,9 @@ struct MlpBatchWorkspace
     /** Scratch delta matrices, [widest][N]. */
     std::vector<float> delta_a;
     std::vector<float> delta_b;
+    /** Per-layer weight dequantization scratch of the quantized
+     *  inference path (largest layer's weight count; batch-independent). */
+    std::vector<float> wdequant;
 };
 
 /**
@@ -142,10 +147,46 @@ class Mlp
     std::span<float> grads() { return grads_; }
 
     void zeroGrads();
-    std::size_t paramCount() const { return params_.size(); }
+    std::size_t paramCount() const { return param_count_; }
 
     /** Multiply-accumulate count of one forward pass (for op accounting). */
     std::uint64_t forwardMacs() const;
+
+    /**
+     * Build the packed inference weight image for @p mode from the fp32
+     * master weights (binary16 for fp16; per-layer-tensor symmetric
+     * INT8 + scale for int8; biases stay fp32 in both). Afterwards
+     * forwardBatch() dequantizes each layer into workspace scratch and
+     * runs the same kernels, so the quantized path is bitwise identical
+     * to a dequantize-then-fp32 oracle. fp32 discards any packed image
+     * and restores the master-weight path. Scalar forward() and the
+     * backward paths always use the fp32 master weights.
+     */
+    void buildQuantized(QuantMode mode);
+
+    /** Numeric format the batched inference path reads weights in. */
+    QuantMode quantMode() const { return quant_mode_; }
+
+    /**
+     * Release the fp32 master weights and gradients (the memory win of
+     * a quantized serve replica). Requires a packed image (quantMode()
+     * != fp32); afterwards the scalar forward() and every backward
+     * entry point panic, and buildQuantized() can no longer change mode.
+     */
+    void dropFp32Weights();
+
+    /** True until dropFp32Weights(). */
+    bool hasFp32Weights() const { return has_fp32_; }
+
+    /** Bytes of resident weight storage (fp32 master + packed image). */
+    std::size_t residentParamBytes() const;
+
+    /**
+     * The params()-layout weight image the batched inference path
+     * evaluates: a copy of params() in fp32 mode, otherwise the packed
+     * image dequantized (what a dequantize-then-fp32 oracle would use).
+     */
+    std::vector<float> dequantizedParams() const;
 
   private:
     std::size_t weightOffset(int layer) const { return w_offsets_[layer]; }
@@ -156,6 +197,19 @@ class Mlp
     std::vector<std::size_t> b_offsets_;
     std::vector<float> params_;
     std::vector<float> grads_;
+
+    /** Logical parameter count (stable across dropFp32Weights). */
+    std::size_t param_count_ = 0;
+    QuantMode quant_mode_ = QuantMode::fp32;
+    bool has_fp32_ = true;
+    /** Packed weight images (weights only, per-layer contiguous at
+     *  qw_offsets_); biases stay fp32 in qbias_ at qb_offsets_. */
+    std::vector<std::size_t> qw_offsets_;
+    std::vector<std::size_t> qb_offsets_;
+    std::vector<std::uint16_t> qw_fp16_;
+    std::vector<std::int8_t> qw_int8_;
+    std::vector<QuantScale> qscales_;
+    std::vector<float> qbias_;
 };
 
 } // namespace fusion3d::nerf

@@ -599,4 +599,25 @@ NerfModel::macsPerPoint() const
     return density_net_->forwardMacs() + color_net_->forwardMacs();
 }
 
+void
+NerfModel::setInferenceQuant(QuantMode mode, bool dropFp32)
+{
+    encoding_->buildQuantized(mode);
+    density_net_->buildQuantized(mode);
+    color_net_->buildQuantized(mode);
+    if (dropFp32 && mode != QuantMode::fp32) {
+        encoding_->dropFp32Weights();
+        density_net_->dropFp32Weights();
+        color_net_->dropFp32Weights();
+    }
+}
+
+std::size_t
+NerfModel::residentParamBytes() const
+{
+    return encoding_->residentParamBytes() +
+           density_net_->residentParamBytes() +
+           color_net_->residentParamBytes();
+}
+
 } // namespace fusion3d::nerf

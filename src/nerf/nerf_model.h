@@ -254,6 +254,22 @@ class NerfModel
     /** Total trainable parameter count. */
     std::size_t paramCount() const;
 
+    /**
+     * Switch the batched inference path of all three parameter blocks
+     * (hash table + both MLPs) to @p mode, building the packed weight
+     * images from the fp32 masters. With @p dropFp32 (and a non-fp32
+     * mode) the fp32 masters are released afterwards — the resident-
+     * memory win of a quantized serve replica — at the cost of the
+     * scalar/backward paths panicking from then on.
+     */
+    void setInferenceQuant(QuantMode mode, bool dropFp32 = true);
+
+    /** Numeric format the batched inference path reads weights in. */
+    QuantMode inferenceQuantMode() const { return encoding_->quantMode(); }
+
+    /** Bytes of resident parameter storage across all blocks. */
+    std::size_t residentParamBytes() const;
+
     /** MLP multiply-accumulates per point evaluation (forward). */
     std::uint64_t macsPerPoint() const;
 

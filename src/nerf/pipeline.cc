@@ -35,6 +35,7 @@ NerfPipeline::NerfPipeline(const PipelineConfig &cfg)
       adam_density_(model_->densityNet().paramCount(), adamFor(cfg.lrNet, false)),
       adam_color_(model_->colorNet().paramCount(), adamFor(cfg.lrNet, false))
 {
+    eval_.setCompaction(cfg.occupancyCompaction);
 }
 
 RayEval

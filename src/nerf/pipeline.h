@@ -32,6 +32,10 @@ struct PipelineConfig
     RenderParams render;
     int occupancyResolution = 48;
     float occupancyThreshold = 0.01f;
+    /** Compact occupancy-empty samples out of the batch before the
+     *  model forward (RayBatchEvaluator::setCompaction). Composited
+     *  colors stay bit-identical to the gated path. */
+    bool occupancyCompaction = false;
     float lrEncoding = 1e-2f;
     float lrNet = 2e-3f;
     std::uint64_t seed = 7;
@@ -58,6 +62,15 @@ class NerfPipeline : public RadianceField
      * simulation. Pass nullptr to detach.
      */
     void setVertexVisitor(VertexVisitor *v) { visitor_ = v; }
+
+    /** Toggle occupancy-driven sample compaction at runtime. */
+    void setOccupancyCompaction(bool on) { eval_.setCompaction(on); }
+    bool occupancyCompaction() const { return eval_.compaction(); }
+    /** Batch-vs-model sample counts of the last traceRays call. */
+    RayBatchEvaluator::CompactionStats lastCompaction() const
+    {
+        return eval_.lastCompaction();
+    }
 
     /** Scalar entry point; delegates to traceRays with a batch of one,
      *  so every evaluation rides the batched SoA core. */

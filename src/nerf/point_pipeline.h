@@ -62,6 +62,10 @@ struct PointPipelineConfig
     RenderParams render;
     int occupancyResolution = 48;
     float occupancyThreshold = 0.01f;
+    /** Compact occupancy-empty samples out of the batch before the
+     *  model forward (RayBatchEvaluator::setCompaction). Composited
+     *  colors stay bit-identical to the gated path. */
+    bool occupancyCompaction = false;
     /** Learning rate of the model's field/factor parameters. */
     float lrFactors = 2e-2f;
     /** Learning rate of the model's network parameters. */
@@ -87,13 +91,24 @@ class PointPipeline : public RadianceField
           model_(std::make_unique<ModelT>(cfg.model, cfg.seed)),
           grid_(cfg.occupancyResolution, cfg.occupancyThreshold),
           sampler_(cfg.sampler)
-    {}
+    {
+        eval_.setCompaction(cfg.occupancyCompaction);
+    }
 
     const Config &config() const { return cfg_; }
     ModelT &model() { return *model_; }
     const ModelT &model() const { return *model_; }
     OccupancyGrid &grid() { return grid_; }
     const OccupancyGrid &grid() const { return grid_; }
+
+    /** Toggle occupancy-driven sample compaction at runtime. */
+    void setOccupancyCompaction(bool on) { eval_.setCompaction(on); }
+    bool occupancyCompaction() const { return eval_.compaction(); }
+    /** Batch-vs-model sample counts of the last traceRays call. */
+    RayBatchEvaluator::CompactionStats lastCompaction() const
+    {
+        return eval_.lastCompaction();
+    }
 
     /**
      * Scalar reference path: per-point forwardPoint loop with its own

@@ -110,10 +110,19 @@ readBlock(std::FILE *f, std::span<float> data)
     return std::fread(data.data(), sizeof(float), data.size(), f) == data.size();
 }
 
+// v4: quantized hash-grid artifacts (helpers live with the v3 section
+// below; declared here so the v2 writer/reader can dispatch to them).
+constexpr std::uint32_t kVersionV4 = 4;
+bool writeModelV4To(std::FILE *f, const NerfModel &model);
+
 /** Header + all three parameter blocks to an open stream. */
 bool
 writeModelTo(std::FILE *f, const NerfModel &model)
 {
+    // Quantized models have no fp32 masters to write in the v2 layout;
+    // their artifacts carry a v4 quantized weight section instead.
+    if (model.inferenceQuantMode() != QuantMode::fp32)
+        return writeModelV4To(f, model);
     const Header h = makeHeader(model);
     bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
     ok = ok && !F3D_FAULT_POINT("nerf.save.write");
@@ -230,6 +239,8 @@ headerDimensionsSane(const Header &h)
            h.colorHidden <= 4096 && h.shDegree >= 1 && h.shDegree <= 4;
 }
 
+LoadResult loadModelV4(std::FILE *f, const std::string &path);
+
 } // namespace
 
 LoadResult
@@ -242,23 +253,38 @@ loadModelVerbose(const std::string &path)
                            strprintf("cannot open '%s'", path.c_str()));
 
     Header h{};
-    if (std::fread(&h, sizeof(h), 1, f) != 1) {
+    // Magic + version first: a v4 (quantized) artifact diverges from the
+    // v2 header layout right after this 8-byte prefix.
+    if (std::fread(&h, sizeof(h.magic) + sizeof(h.version), 1, f) != 1) {
         std::fclose(f);
         return loadFailure(
             LoadStatus::truncated,
-            strprintf("'%s' is shorter than the %zu-byte header", path.c_str(),
-                      sizeof(Header)));
+            strprintf("'%s' is shorter than the 8-byte prefix", path.c_str()));
     }
     if (std::memcmp(h.magic, kMagic, 4) != 0) {
         std::fclose(f);
         return loadFailure(LoadStatus::badMagic,
                            strprintf("'%s' is not an F3DM artifact", path.c_str()));
     }
+    if (h.version == kVersionV4) {
+        LoadResult r = loadModelV4(f, path);
+        std::fclose(f);
+        return r;
+    }
     if (h.version != kVersion) {
         std::fclose(f);
         return loadFailure(LoadStatus::badVersion,
-                           strprintf("'%s' has format version %u, expected %u",
-                                     path.c_str(), h.version, kVersion));
+                           strprintf("'%s' has format version %u, expected %u "
+                                     "or %u",
+                                     path.c_str(), h.version, kVersion,
+                                     kVersionV4));
+    }
+    if (std::fread(reinterpret_cast<char *>(&h) + 8, sizeof(h) - 8, 1, f) != 1) {
+        std::fclose(f);
+        return loadFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' is shorter than the %zu-byte header", path.c_str(),
+                      sizeof(Header)));
     }
     if (!headerDimensionsSane(h)) {
         std::fclose(f);
@@ -326,6 +352,10 @@ loadInto(NerfModel &dst, const NerfModel &src)
 {
     if (F3D_FAULT_POINT("nerf.loadinto")) {
         warn("loadInto: injected fault (nerf.loadinto)");
+        return false;
+    }
+    if (!src.encoding().hasFp32Weights() || !dst.encoding().hasFp32Weights()) {
+        warn("loadInto: quantized model without fp32 masters");
         return false;
     }
     if (dst.encoding().paramCount() != src.encoding().paramCount() ||
@@ -491,6 +521,135 @@ writeFieldTo(std::FILE *f, const ServeableField &field)
       }
     }
     return false;
+}
+
+/**
+ * v4: quantized hash-grid artifact. Layout: "F3DM", u32 version 4,
+ * u32 backend tag (hash_grid), u32 quant mode, the nine architecture
+ * dims, CRC32 over the three dequantized fp32 blocks, three u64
+ * counts, and the three blocks. Weights are stored *dequantized*:
+ * every stored value is exactly representable in the packed format
+ * (fp16 bits, or int8 × per-tensor scale whose max-abs element always
+ * requantizes to ±127), so the loader rebuilds a bit-identical packed
+ * image via setInferenceQuant() and drops the fp32 masters — the
+ * loaded replica is resident at quantized width even though the disk
+ * format stays fp32-wide.
+ */
+bool
+writeModelV4To(std::FILE *f, const NerfModel &model)
+{
+    const NerfModelConfig &cfg = model.config();
+    const std::vector<float> enc = model.encoding().dequantizedParams();
+    const std::vector<float> den = model.densityNet().dequantizedParams();
+    const std::vector<float> col = model.colorNet().dequantizedParams();
+    bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1 &&
+              writeU32(f, kVersionV4) &&
+              writeU32(f, static_cast<std::uint32_t>(BackendKind::hashGrid)) &&
+              writeU32(f, static_cast<std::uint32_t>(model.inferenceQuantMode()));
+    ok = ok && writeI32(f, cfg.grid.levels) &&
+         writeI32(f, cfg.grid.featuresPerLevel) &&
+         writeI32(f, cfg.grid.log2TableSize) &&
+         writeI32(f, cfg.grid.baseResolution) &&
+         writeI32(f, cfg.grid.maxResolution) && writeI32(f, cfg.geoFeatures) &&
+         writeI32(f, cfg.densityHidden) && writeI32(f, cfg.colorHidden) &&
+         writeI32(f, cfg.shDegree);
+    ok = ok && writeU32(f, blocksCrc({enc, den, col}));
+    ok = ok && writeU64(f, enc.size()) && writeU64(f, den.size()) &&
+         writeU64(f, col.size());
+    ok = ok && !F3D_FAULT_POINT("nerf.save.write");
+    ok = ok && writeBlock(f, enc);
+    ok = ok && writeBlock(f, den);
+    ok = ok && writeBlock(f, col);
+    return ok;
+}
+
+/** Body of a v4 artifact; the 8-byte prefix is already consumed. */
+LoadResult
+loadModelV4(std::FILE *f, const std::string &path)
+{
+    std::uint32_t kind = 0;
+    std::uint32_t qmode = 0;
+    Header h{}; // dimension fields only (sanity check + config build)
+    if (!(readU32(f, kind) && readU32(f, qmode) && readI32(f, h.levels) &&
+          readI32(f, h.featuresPerLevel) && readI32(f, h.log2TableSize) &&
+          readI32(f, h.baseResolution) && readI32(f, h.maxResolution) &&
+          readI32(f, h.geoFeatures) && readI32(f, h.densityHidden) &&
+          readI32(f, h.colorHidden) && readI32(f, h.shDegree)))
+        return loadFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends inside its v4 section header", path.c_str()));
+    if (static_cast<BackendKind>(kind) != BackendKind::hashGrid)
+        return loadFailure(
+            LoadStatus::badBackend,
+            strprintf("'%s' tags backend kind %u in a v4 (quantized "
+                      "hash_grid) container",
+                      path.c_str(), kind));
+    if (qmode > static_cast<std::uint32_t>(QuantMode::int8))
+        return loadFailure(
+            LoadStatus::headerMismatch,
+            strprintf("'%s' declares unknown quant mode %u", path.c_str(),
+                      qmode));
+    if (!headerDimensionsSane(h))
+        return loadFailure(
+            LoadStatus::headerMismatch,
+            strprintf("'%s' declares out-of-range model dimensions", path.c_str()));
+
+    std::uint32_t crc = 0;
+    std::uint64_t enc_n = 0;
+    std::uint64_t den_n = 0;
+    std::uint64_t col_n = 0;
+    if (!(readU32(f, crc) && readU64(f, enc_n) && readU64(f, den_n) &&
+          readU64(f, col_n)))
+        return loadFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends inside its v4 section header", path.c_str()));
+
+    NerfModelConfig cfg;
+    cfg.grid.levels = h.levels;
+    cfg.grid.featuresPerLevel = h.featuresPerLevel;
+    cfg.grid.log2TableSize = h.log2TableSize;
+    cfg.grid.baseResolution = h.baseResolution;
+    cfg.grid.maxResolution = h.maxResolution;
+    cfg.geoFeatures = h.geoFeatures;
+    cfg.densityHidden = h.densityHidden;
+    cfg.colorHidden = h.colorHidden;
+    cfg.shDegree = h.shDegree;
+
+    auto model = std::make_unique<NerfModel>(cfg);
+    if (model->encoding().paramCount() != enc_n ||
+        model->densityNet().paramCount() != den_n ||
+        model->colorNet().paramCount() != col_n)
+        return loadFailure(
+            LoadStatus::headerMismatch,
+            strprintf("parameter counts in '%s' do not match its declared "
+                      "architecture",
+                      path.c_str()));
+
+    bool ok = !F3D_FAULT_POINT("nerf.load.read");
+    ok = ok && readBlock(f, model->encoding().params());
+    ok = ok && readBlock(f, model->densityNet().params());
+    ok = ok && readBlock(f, model->colorNet().params());
+    if (!ok)
+        return loadFailure(
+            LoadStatus::truncated,
+            strprintf("'%s' ends before its parameter blocks do", path.c_str()));
+
+    if (paramCrc(*model) != crc || F3D_FAULT_POINT("nerf.load.crc"))
+        return loadFailure(
+            LoadStatus::badChecksum,
+            strprintf("parameter payload of '%s' fails its CRC32", path.c_str()));
+
+    // Rebuild the packed image the saver held (bit-identical: the
+    // stored dequantized values requantize to the same bits and
+    // scales), then drop the fp32 masters again.
+    const QuantMode mode = static_cast<QuantMode>(qmode);
+    if (mode != QuantMode::fp32)
+        model->setInferenceQuant(mode);
+
+    LoadResult r;
+    r.model = std::move(model);
+    r.status = LoadStatus::ok;
+    return r;
 }
 
 FieldLoadResult
@@ -696,9 +855,10 @@ loadFieldVerbose(const std::string &path)
                             strprintf("'%s' is not an F3DM artifact", path.c_str()));
     }
 
-    if (version == kVersion) {
-        // Legacy hash-grid artifact: reuse the v2 reader end to end so
-        // its diagnostics stay byte-for-byte identical.
+    if (version == kVersion || version == kVersionV4) {
+        // Hash-grid artifact (v2 fp32 or v4 quantized): reuse the model
+        // reader end to end so its diagnostics stay byte-for-byte
+        // identical.
         std::fclose(f);
         LoadResult legacy = loadModelVerbose(path);
         FieldLoadResult r;

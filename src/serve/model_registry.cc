@@ -154,6 +154,13 @@ ModelRegistry::addInternal(const std::string &name,
     auto entry = std::make_shared<ModelEntry>(
         name, std::move(field), cfg_.occupancyResolution, cfg_.occupancyThreshold);
 
+    // Quantize before the gate rebuild so the gate is derived from the
+    // exact weights this entry will serve. Backends that don't support
+    // quantization (applyQuantMode false) keep serving fp32.
+    if (cfg_.quantMode != QuantMode::fp32)
+        entry->model->applyQuantMode(cfg_.quantMode);
+    entry->quant = entry->model->quantMode();
+
     // Rebuild the inference gate from the deployed weights; decay 0
     // makes it exactly the current field's occupancy, like the benches'
     // scene bootstrap. The fixed seed keeps the gate — and therefore a
@@ -170,7 +177,7 @@ ModelRegistry::addInternal(const std::string &name,
     entry->grid.applyDensities(densities, /*decay=*/0.0f);
     entry->sourcePath = source_path;
     entry->bytes = sizeof(ModelEntry) + name.size() + source_path.size() +
-                   entry->model->paramCount() * sizeof(float) +
+                   entry->model->residentBytes() +
                    entry->grid.cellCount() * sizeof(float) +
                    entry->grid.bitfieldBytes();
 

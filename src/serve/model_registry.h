@@ -93,6 +93,9 @@ struct ModelEntry
      *  add()s. Only artifact-backed entries are evictable, because
      *  only they can be reloaded on demand. */
     std::string sourcePath;
+    /** Numeric format this entry serves in (RegistryConfig::quantMode
+     *  when the backend supports it, else fp32). */
+    QuantMode quant = QuantMode::fp32;
 
     ModelEntry(std::string n, std::unique_ptr<nerf::ServeableField> m,
                int grid_res, float grid_threshold)
@@ -163,6 +166,15 @@ struct RegistryConfig
      * by exactly the pinned set.
      */
     std::size_t memoryBudgetBytes = 0;
+    /**
+     * Numeric format registered fields serve in. Non-fp32 modes build
+     * packed weight images at deploy time and release the fp32 masters
+     * (fp16 ~2x, int8 ~4x lower resident bytes — so the same budget
+     * holds proportionally more of the fleet), applied *before* the
+     * occupancy-gate rebuild so the gate matches the served weights.
+     * Backends without quantization support keep serving fp32.
+     */
+    QuantMode quantMode = QuantMode::fp32;
 };
 
 /** Thread-safe name → model map; entries are immutable once added. */
